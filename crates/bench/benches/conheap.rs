@@ -1,0 +1,24 @@
+//! Criterion microbenchmark of the Sec. 8.2 connected-heap experiment:
+//! identical pool traces (derived from real window workloads) through
+//! connected (back pointers) and unconnected (linear-search) heaps.
+
+use audb_bench::heaps::{make_records, run_connected, run_unconnected};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_heaps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conheap/pool-trace");
+    g.sample_size(10);
+    for range in [2_000i64, 30_000] {
+        let recs = make_records(10_000, 0.05, range, 7);
+        g.bench_with_input(BenchmarkId::new("connected", range), &recs, |b, recs| {
+            b.iter(|| run_connected(recs, 3, 4))
+        });
+        g.bench_with_input(BenchmarkId::new("unconnected", range), &recs, |b, recs| {
+            b.iter(|| run_unconnected(recs, 3, 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_heaps);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks for uncertain sorting and top-k
+//! (statistically robust counterpart of Figs. 11 and 14; the `repro`
+//! binary prints the full paper-style tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use audb_workloads::runner;
+use audb_workloads::synthetic::{gen_sort_table, SyntheticConfig};
+
+fn bench_sort_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort/methods");
+    g.sample_size(10);
+    let table = gen_sort_table(&SyntheticConfig::default().rows(4_000).seed(1));
+    let order = [0usize, 1];
+    let au = table.to_au_relation();
+    let world = table.most_likely_world();
+
+    g.bench_function("det", |b| {
+        b.iter(|| audb_rel::sort_to_pos(&world, &order, "pos"))
+    });
+    g.bench_function("imp", |b| {
+        b.iter(|| audb_native::sort_native(&au, &order, "pos"))
+    });
+    g.bench_function("rewr", |b| {
+        b.iter(|| audb_rewrite::rewr_sort(&au, &order, "pos"))
+    });
+    g.bench_function("mcdb10", |b| {
+        b.iter(|| audb_competitors::mcdb_sort_bounds(&table, &order, 10, 1))
+    });
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort/topk");
+    g.sample_size(10);
+    let table = gen_sort_table(&SyntheticConfig::default().rows(4_000).seed(2));
+    let au = table.to_au_relation();
+    let order = [0usize, 1];
+    for k in [2u64, 10, 100] {
+        g.bench_with_input(BenchmarkId::new("imp", k), &k, |b, &k| {
+            b.iter(|| audb_native::topk_native(&au, &order, k, "pos"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort/scaling");
+    g.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000] {
+        let table = gen_sort_table(&SyntheticConfig::default().rows(n).seed(3));
+        let au = table.to_au_relation();
+        g.bench_with_input(BenchmarkId::new("imp", n), &n, |b, _| {
+            b.iter(|| audb_native::sort_native(&au, &[0, 1], "pos"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cmp_semantics(c: &mut Criterion) {
+    // Ablation: exact interval-lex vs the paper's syntactic recursion in
+    // the quadratic reference (DESIGN.md §3.2).
+    let mut g = c.benchmark_group("sort/cmp-semantics");
+    g.sample_size(10);
+    let table = gen_sort_table(&SyntheticConfig::default().rows(600).seed(4));
+    let au = table.to_au_relation();
+    g.bench_function("interval-lex", |b| {
+        b.iter(|| audb_core::sort_ref(&au, &[0, 1], "pos", audb_core::CmpSemantics::IntervalLex))
+    });
+    g.bench_function("syntactic", |b| {
+        b.iter(|| audb_core::sort_ref(&au, &[0, 1], "pos", audb_core::CmpSemantics::Syntactic))
+    });
+    g.finish();
+}
+
+fn bench_exact_competitors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort/exact-competitors");
+    g.sample_size(10);
+    let table = gen_sort_table(&SyntheticConfig::default().rows(1_000).seed(5));
+    let order = [0usize, 1];
+    g.bench_function("symb", |b| {
+        b.iter(|| audb_competitors::symb_sort_bounds(&table, &order))
+    });
+    g.bench_function("ptk_k10", |b| {
+        b.iter(|| audb_competitors::ptk_topk_probs(&table, &order, 10))
+    });
+    let _ = runner::det_sort(&table, &order, None); // keep runner linked
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sort_methods,
+    bench_topk,
+    bench_sort_scaling,
+    bench_cmp_semantics,
+    bench_exact_competitors
+);
+criterion_main!(benches);

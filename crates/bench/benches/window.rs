@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks for uncertain windowed aggregation
+//! (counterpart of Figs. 15 and 16).
+
+use audb_core::{AuWindowSpec, WinAgg};
+use audb_rewrite::JoinStrategy;
+use audb_workloads::synthetic::{gen_window_table, SyntheticConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_window_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window/methods");
+    g.sample_size(10);
+    let table = gen_window_table(&SyntheticConfig::default().rows(2_000).seed(1));
+    let au = table.to_au_relation();
+    let world = table.most_likely_world();
+    let order = [0usize];
+    let spec = AuWindowSpec::rows(vec![0], -2, 0);
+
+    g.bench_function("det", |b| {
+        b.iter(|| {
+            audb_rel::window_rows(
+                &world,
+                &audb_rel::WindowSpec::rows(vec![0], -2, 0),
+                audb_rel::AggFunc::Sum(2),
+                "x",
+            )
+        })
+    });
+    g.bench_function("imp", |b| {
+        b.iter(|| audb_native::window_native(&au, &spec, WinAgg::Sum(2), "x"))
+    });
+    g.bench_function("rewr", |b| {
+        b.iter(|| audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::NestedLoop))
+    });
+    g.bench_function("rewr-index", |b| {
+        b.iter(|| {
+            audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::IntervalIndex)
+        })
+    });
+    g.bench_function("mcdb10", |b| {
+        b.iter(|| audb_competitors::mcdb_window_bounds(&table, &order, WinAgg::Sum(2), -2, 0, 10, 1))
+    });
+    g.finish();
+}
+
+fn bench_window_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window/window-size");
+    g.sample_size(10);
+    let table = gen_window_table(&SyntheticConfig::default().rows(4_000).seed(2));
+    let au = table.to_au_relation();
+    for w in [3i64, 6, 12] {
+        let spec = AuWindowSpec::rows(vec![0], -(w - 1), 0);
+        g.bench_with_input(BenchmarkId::new("imp", w), &w, |b, _| {
+            b.iter(|| audb_native::window_native(&au, &spec, WinAgg::Sum(2), "x"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window/aggregates");
+    g.sample_size(10);
+    let table = gen_window_table(&SyntheticConfig::default().rows(4_000).seed(3));
+    let au = table.to_au_relation();
+    let spec = AuWindowSpec::rows(vec![0], -2, 0);
+    for (name, agg) in [
+        ("sum", WinAgg::Sum(2)),
+        ("count", WinAgg::Count),
+        ("min", WinAgg::Min(2)),
+        ("max", WinAgg::Max(2)),
+        ("avg", WinAgg::Avg(2)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| audb_native::window_native(&au, &spec, agg, "x"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_window_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window/scaling");
+    g.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000] {
+        let table = gen_window_table(&SyntheticConfig::default().rows(n).seed(4));
+        let au = table.to_au_relation();
+        let spec = AuWindowSpec::rows(vec![0], -2, 0);
+        g.bench_with_input(BenchmarkId::new("imp", n), &n, |b, _| {
+            b.iter(|| audb_native::window_native(&au, &spec, WinAgg::Sum(2), "x"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_methods,
+    bench_window_sizes,
+    bench_aggregates,
+    bench_window_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [targets...] [--scale X] [--quick]
+//!
+//! targets: heaps fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 all
+//! --scale  multiply the paper's data sizes (default 0.1)
+//! --quick  endpoint-only sweeps (smoke run)
+//! ```
+//!
+//! Absolute times will differ from the paper's Postgres-on-Opteron testbed;
+//! the shapes (method ordering, growth rates, quality relationships) are
+//! the reproduction target. See EXPERIMENTS.md for a captured run.
+
+use audb_bench::figures::{self, ReproOptions};
+
+fn main() {
+    let mut opts = ReproOptions::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                opts.scale = v.parse().expect("--scale must be a float");
+            }
+            "--quick" => opts.quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [heaps|fig11..fig19|all]... [--scale X] [--quick]"
+                );
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    println!(
+        "# audb repro — scale {} ({}), targets: {}",
+        opts.scale,
+        if opts.quick { "quick" } else { "full sweeps" },
+        targets.join(" ")
+    );
+    for t in &targets {
+        match t.as_str() {
+            "heaps" => figures::heaps_table(opts),
+            "fig11" => figures::fig11(opts),
+            "fig12" => figures::fig12(opts),
+            "fig13" => figures::fig13(opts),
+            "fig14" => figures::fig14(opts),
+            "fig15" => figures::fig15(opts),
+            "fig16" => figures::fig16(opts),
+            "fig17" => figures::fig17(opts),
+            "fig18" => figures::fig18(opts),
+            "fig19" => figures::fig19(opts),
+            "all" => figures::run_all(opts),
+            other => eprintln!("unknown target {other:?} (try --help)"),
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # audb-bench — the evaluation harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation
+//! (Sec. 8.2 + Sec. 9): the `repro` binary prints paper-vs-measured tables
+//! (`cargo run --release -p audb-bench --bin repro -- all`), and the
+//! Criterion benches (`cargo bench`) provide statistically robust timings
+//! of the individual operators. See EXPERIMENTS.md for the experiment
+//! index and a captured run.
+
+pub mod figures;
+pub mod heaps;
+pub mod table;

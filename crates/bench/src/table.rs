@@ -1,0 +1,93 @@
+//! Fixed-width console tables for the `repro-*` outputs: every figure
+//! prints the paper's reported numbers next to our measured ones.
+
+use std::time::Duration;
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render under a title.
+    pub fn print(&self, title: &str) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        println!("\n== {title} ==");
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (w, c) in widths.iter().zip(cells) {
+                s.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Milliseconds with sensible precision.
+pub fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 100.0 {
+        format!("{ms:.0}ms")
+    } else if ms >= 1.0 {
+        format!("{ms:.1}ms")
+    } else {
+        format!("{ms:.3}ms")
+    }
+}
+
+/// Three-decimal quality number.
+pub fn fmt_q(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_without_panicking() {
+        let mut t = Table::new(["a", "bee"]);
+        t.row(["1", "2"]).row(["333", "4"]);
+        t.print("demo");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(["a"]).row(["1", "2"]);
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_ms(Duration::from_millis(1500)), "1500ms");
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.5ms");
+        assert_eq!(fmt_ms(Duration::from_micros(150)), "0.150ms");
+    }
+}

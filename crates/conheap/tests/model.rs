@@ -1,0 +1,111 @@
+//! Model-based property tests: a connected heap must behave like a sorted
+//! multiset under arbitrary interleavings of inserts and pops, across all
+//! component orders, and its internal invariants must hold throughout.
+
+use audb_conheap::{ConnectedHeap, UnconnectedHeaps};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64, i64),
+    Pop(u8),
+}
+
+fn cmp2(h: usize, a: &(i64, i64), b: &(i64, i64)) -> Ordering {
+    // Tie-break with the other key so the order is total — pops are then
+    // fully deterministic and comparable against the model.
+    match h {
+        0 => a.cmp(b),
+        _ => (a.1, a.0).cmp(&(b.1, b.0)),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-50i64..50, -50i64..50).prop_map(|(a, b)| Op::Insert(a, b)),
+        (0u8..2).prop_map(Op::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The connected heap agrees with a plain sorted-vector model on every
+    /// peek/pop, under both component orders, and `validate()` never fails.
+    #[test]
+    fn connected_heap_matches_multiset_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut ch = ConnectedHeap::new(2, cmp2);
+        let mut model: Vec<(i64, i64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(a, b) => {
+                    ch.insert((a, b));
+                    model.push((a, b));
+                }
+                Op::Pop(h) => {
+                    let h = h as usize;
+                    let expect = model
+                        .iter()
+                        .cloned()
+                        .min_by(|x, y| cmp2(h, x, y));
+                    prop_assert_eq!(ch.peek(h).cloned(), expect);
+                    let got = ch.pop(h);
+                    prop_assert_eq!(got, expect);
+                    if let Some(e) = expect {
+                        let idx = model.iter().position(|&x| x == e).unwrap();
+                        model.swap_remove(idx);
+                    }
+                }
+            }
+            prop_assert!(ch.validate(), "heap invariants violated");
+            prop_assert_eq!(ch.len(), model.len());
+        }
+        // Drain and check the full sorted order on component 0.
+        let mut drained = Vec::new();
+        while let Some(x) = ch.pop(0) {
+            drained.push(x);
+        }
+        model.sort();
+        prop_assert_eq!(drained, model);
+    }
+
+    /// Connected and unconnected (linear-search) heaps are observationally
+    /// identical — the paper's Sec. 8.2 experiment varies only performance.
+    #[test]
+    fn connected_equals_unconnected(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut ch = ConnectedHeap::new(2, cmp2);
+        let mut uh = UnconnectedHeaps::new(2, cmp2);
+        for op in ops {
+            match op {
+                Op::Insert(a, b) => {
+                    ch.insert((a, b));
+                    uh.insert((a, b));
+                }
+                Op::Pop(h) => {
+                    prop_assert_eq!(ch.pop(h as usize), uh.pop(h as usize));
+                }
+            }
+            prop_assert_eq!(ch.len(), uh.len());
+        }
+    }
+
+    /// `sorted_iter` yields each component's full contents in order without
+    /// consuming the heap.
+    #[test]
+    fn sorted_iter_is_sorted_and_nondestructive(items in proptest::collection::vec((-50i64..50, -50i64..50), 0..60)) {
+        let mut ch = ConnectedHeap::new(2, cmp2);
+        for &it in &items {
+            ch.insert(it);
+        }
+        for h in 0..2 {
+            let out: Vec<(i64, i64)> = ch.sorted_iter(h).cloned().collect();
+            prop_assert_eq!(out.len(), items.len());
+            for w in out.windows(2) {
+                prop_assert_ne!(cmp2(h, &w[0], &w[1]), Ordering::Greater);
+            }
+        }
+        prop_assert_eq!(ch.len(), items.len());
+        prop_assert!(ch.validate());
+    }
+}

@@ -1,0 +1,135 @@
+//! The relational encoding of AU-DBs (paper Sec. 3.2 / Sec. 7): every
+//! range-annotated attribute `A` becomes three columns `A↓, A_sg, A↑` and
+//! three extra columns `#↓, #_sg, #↑` carry the multiplicity triple. The
+//! SQL-rewrite method (`audb-rewrite`) executes entirely over this encoding.
+
+use crate::mult::Mult3;
+use crate::range_value::RangeValue;
+use crate::relation::AuRelation;
+use crate::tuple::AuTuple;
+use audb_rel::{Relation, Schema, Tuple, Value};
+
+/// Column names of the flat encoding of `schema`.
+pub fn encoded_schema(schema: &Schema) -> Schema {
+    let mut cols: Vec<String> = Vec::with_capacity(schema.arity() * 3 + 3);
+    for c in schema.cols() {
+        cols.push(format!("{c}__lb"));
+        cols.push(format!("{c}__sg"));
+        cols.push(format!("{c}__ub"));
+    }
+    cols.push("__mult_lb".into());
+    cols.push("__mult_sg".into());
+    cols.push("__mult_ub".into());
+    Schema::new(cols)
+}
+
+/// Index of the lower-bound column of attribute `i` in the encoding.
+pub fn lb_col(i: usize) -> usize {
+    3 * i
+}
+/// Index of the selected-guess column of attribute `i`.
+pub fn sg_col(i: usize) -> usize {
+    3 * i + 1
+}
+/// Index of the upper-bound column of attribute `i`.
+pub fn ub_col(i: usize) -> usize {
+    3 * i + 2
+}
+/// Indices of the three multiplicity columns for an AU arity `n`.
+pub fn mult_cols(arity: usize) -> (usize, usize, usize) {
+    (3 * arity, 3 * arity + 1, 3 * arity + 2)
+}
+
+/// Encode an AU relation as a flat deterministic relation (one row per AU
+/// row, deterministic multiplicity 1; the triple lives in data columns).
+pub fn encode(rel: &AuRelation) -> Relation {
+    let schema = encoded_schema(&rel.schema);
+    let rows = rel
+        .rows
+        .iter()
+        .map(|row| {
+            let mut vals: Vec<Value> = Vec::with_capacity(schema.arity());
+            for r in &row.tuple.0 {
+                vals.push(r.lb.clone());
+                vals.push(r.sg.clone());
+                vals.push(r.ub.clone());
+            }
+            vals.push(Value::Int(row.mult.lb as i64));
+            vals.push(Value::Int(row.mult.sg as i64));
+            vals.push(Value::Int(row.mult.ub as i64));
+            (Tuple(vals), 1)
+        })
+        .collect::<Vec<_>>();
+    Relation::from_rows(schema, rows)
+}
+
+/// Decode a flat encoding back into an AU relation with the given attribute
+/// names.
+pub fn decode(flat: &Relation, schema: &Schema) -> AuRelation {
+    let n = schema.arity();
+    assert_eq!(
+        flat.schema.arity(),
+        3 * n + 3,
+        "flat relation is not an encoding of {schema}"
+    );
+    let rows = flat
+        .rows
+        .iter()
+        .filter(|r| r.mult > 0)
+        .flat_map(|r| std::iter::repeat(r).take(r.mult as usize).take(1).map(|r| r))
+        .map(|r| {
+            let vals = (0..n).map(|i| {
+                RangeValue::new(
+                    r.tuple.get(lb_col(i)).clone(),
+                    r.tuple.get(sg_col(i)).clone(),
+                    r.tuple.get(ub_col(i)).clone(),
+                )
+            });
+            let (ml, ms, mu) = mult_cols(n);
+            let mult = Mult3::new(
+                r.tuple.get(ml).as_i64().unwrap_or(0).max(0) as u64,
+                r.tuple.get(ms).as_i64().unwrap_or(0).max(0) as u64,
+                r.tuple.get(mu).as_i64().unwrap_or(0).max(0) as u64,
+            );
+            (AuTuple::new(vals), mult)
+        })
+        .collect::<Vec<_>>();
+    AuRelation::from_rows(schema.clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            [
+                (
+                    AuTuple::new([RangeValue::new(1, 2, 3), RangeValue::certain("x")]),
+                    Mult3::new(1, 1, 2),
+                ),
+                (
+                    AuTuple::new([RangeValue::certain(9i64), RangeValue::certain("y")]),
+                    Mult3::new(0, 0, 1),
+                ),
+            ],
+        );
+        let flat = encode(&rel);
+        assert_eq!(flat.schema.arity(), 9);
+        let back = decode(&flat, &rel.schema);
+        assert!(back.bag_eq(&rel));
+    }
+
+    #[test]
+    fn encoded_column_layout() {
+        let s = Schema::new(["a", "b"]);
+        let enc = encoded_schema(&s);
+        assert_eq!(enc.cols()[lb_col(0)], "a__lb");
+        assert_eq!(enc.cols()[ub_col(1)], "b__ub");
+        let (ml, _, mu) = mult_cols(2);
+        assert_eq!(enc.cols()[ml], "__mult_lb");
+        assert_eq!(enc.cols()[mu], "__mult_ub");
+    }
+}

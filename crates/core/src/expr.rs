@@ -1,0 +1,169 @@
+//! Range expressions: the bound-preserving expression semantics `⟦e⟧_t`
+//! of [24] over range-annotated tuples.
+//!
+//! Mirrors [`audb_rel::Expr`] but evaluates every sub-expression to a
+//! [`RangeValue`], and predicates to a [`TruthRange`]. For any deterministic
+//! tuple `t ⊑ t` the deterministic result `⟦e⟧_t` is guaranteed to lie
+//! within the range result `⟦e⟧_t` (paper Sec. 3.2).
+
+use crate::range_value::{RangeValue, TruthRange};
+use crate::tuple::AuTuple;
+use audb_rel::{CmpOp, Value};
+
+/// An expression over range-annotated tuples.
+#[derive(Clone, Debug)]
+pub enum RangeExpr {
+    /// Attribute reference.
+    Col(usize),
+    /// Constant range (usually certain).
+    Lit(RangeValue),
+    /// Addition.
+    Add(Box<RangeExpr>, Box<RangeExpr>),
+    /// Subtraction.
+    Sub(Box<RangeExpr>, Box<RangeExpr>),
+    /// Multiplication.
+    Mul(Box<RangeExpr>, Box<RangeExpr>),
+    /// Numeric negation.
+    Neg(Box<RangeExpr>),
+    /// Comparison producing a boolean range.
+    Cmp(CmpOp, Box<RangeExpr>, Box<RangeExpr>),
+    /// Conjunction of predicates.
+    And(Box<RangeExpr>, Box<RangeExpr>),
+    /// Disjunction of predicates.
+    Or(Box<RangeExpr>, Box<RangeExpr>),
+    /// Negation of a predicate.
+    Not(Box<RangeExpr>),
+}
+
+impl RangeExpr {
+    /// Attribute reference.
+    pub fn col(i: usize) -> Self {
+        RangeExpr::Col(i)
+    }
+
+    /// Certain literal.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        RangeExpr::Lit(RangeValue::certain(v))
+    }
+
+    /// `self op other`.
+    pub fn cmp(self, op: CmpOp, other: RangeExpr) -> Self {
+        RangeExpr::Cmp(op, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: RangeExpr) -> Self {
+        self.cmp(CmpOp::Lt, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: RangeExpr) -> Self {
+        self.cmp(CmpOp::Le, other)
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: RangeExpr) -> Self {
+        self.cmp(CmpOp::Eq, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: RangeExpr) -> Self {
+        RangeExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate to a range value. Predicates evaluate to boolean ranges
+    /// (`lb/sg/ub ∈ {false, true}` with `false < true`).
+    pub fn eval(&self, t: &AuTuple) -> RangeValue {
+        match self {
+            RangeExpr::Col(i) => t.get(*i).clone(),
+            RangeExpr::Lit(v) => v.clone(),
+            RangeExpr::Add(a, b) => a.eval(t).add(&b.eval(t)),
+            RangeExpr::Sub(a, b) => a.eval(t).sub(&b.eval(t)),
+            RangeExpr::Mul(a, b) => a.eval(t).mul(&b.eval(t)),
+            RangeExpr::Neg(a) => a.eval(t).neg(),
+            RangeExpr::Cmp(op, a, b) => truth_to_range(eval_cmp(*op, &a.eval(t), &b.eval(t))),
+            RangeExpr::And(a, b) => truth_to_range(a.truth(t).and(b.truth(t))),
+            RangeExpr::Or(a, b) => truth_to_range(a.truth(t).or(b.truth(t))),
+            RangeExpr::Not(a) => truth_to_range(a.truth(t).not()),
+        }
+    }
+
+    /// Evaluate as a predicate.
+    pub fn truth(&self, t: &AuTuple) -> TruthRange {
+        let v = self.eval(t);
+        TruthRange {
+            lb: v.lb.is_true(),
+            sg: v.sg.is_true(),
+            ub: v.ub.is_true(),
+        }
+    }
+}
+
+fn truth_to_range(t: TruthRange) -> RangeValue {
+    RangeValue {
+        lb: Value::Bool(t.lb),
+        sg: Value::Bool(t.sg),
+        ub: Value::Bool(t.ub),
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: &RangeValue, b: &RangeValue) -> TruthRange {
+    match op {
+        CmpOp::Lt => a.lt(b),
+        CmpOp::Le => a.le(b),
+        CmpOp::Gt => b.lt(a),
+        CmpOp::Ge => b.le(a),
+        CmpOp::Eq => a.eq_range(b),
+        CmpOp::Ne => a.eq_range(b).not(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_rel::Tuple;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    #[test]
+    fn arithmetic_over_ranges() {
+        let t = AuTuple::new([rv(1, 2, 3), rv(10, 10, 20)]);
+        let e = RangeExpr::col(0).cmp(CmpOp::Lt, RangeExpr::col(1));
+        assert_eq!(e.truth(&t), TruthRange::TRUE);
+        let sum = RangeExpr::Add(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::col(1)));
+        assert_eq!(sum.eval(&t), rv(11, 12, 23));
+    }
+
+    #[test]
+    fn predicate_truth_triples() {
+        let t = AuTuple::new([rv(1, 2, 5)]);
+        // col0 <= 3: certainly? ub=5 > 3 no. sg? 2<=3 yes. possibly? lb=1<=3 yes.
+        let e = RangeExpr::col(0).le(RangeExpr::lit(3));
+        let tr = e.truth(&t);
+        assert!(!tr.lb && tr.sg && tr.ub);
+        // Negation flips.
+        let n = RangeExpr::Not(Box::new(e)).truth(&t);
+        assert!(!n.lb && !n.sg && n.ub);
+    }
+
+    /// Property smoke: for every deterministic tuple bounded by the range
+    /// tuple, deterministic evaluation stays inside the range result.
+    #[test]
+    fn expression_bound_preservation() {
+        let at = AuTuple::new([rv(-2, 0, 2), rv(1, 3, 4)]);
+        let range_e = RangeExpr::Mul(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::col(1)))
+            .eval(&at);
+        for x in -2..=2i64 {
+            for y in 1..=4i64 {
+                let det = Tuple::from([x, y]);
+                assert!(at.bounds(&det));
+                assert!(
+                    range_e.bounds(&Value::Int(x * y)),
+                    "{x}*{y} not in {range_e}"
+                );
+            }
+        }
+    }
+}

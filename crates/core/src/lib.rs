@@ -1,0 +1,69 @@
+//! # audb-core — the AU-DB data model and bound-preserving query semantics
+//!
+//! This crate implements **attribute-annotated uncertain databases**
+//! (AU-DBs, [23, 24]) and the paper's extensions for order-based operators:
+//!
+//! * [`RangeValue`] — values `[c↓ / c_sg / c↑]` bounding an unknown value
+//!   and carrying a selected guess; bound-preserving expression evaluation
+//!   ([`expr::RangeExpr`]).
+//! * [`Mult3`] — the `ℕ³` multiplicity semiring annotating tuples.
+//! * [`AuRelation`] — bags of hypercube tuples; each AU-DB *bounds* a set of
+//!   possible worlds (an incomplete database) between an under-approximation
+//!   of certain answers and an over-approximation of possible answers.
+//! * The `RA+` operators of [23, 24] ([`ops`]) plus this paper's
+//!   contributions: uncertain comparison ([`cmp`]), position bounds
+//!   ([`pos`]), the **sort operator** (Def. 2, [`ops::sort`]), **top-k**,
+//!   and **row-based windowed aggregation** (Def. 3, [`ops::window`]).
+//!
+//! The operators in this crate are *reference implementations*: they follow
+//! the formal definitions literally and quadratically. The production
+//! implementations live in `audb-native` (one-pass algorithms over
+//! connected heaps) and `audb-rewrite` (SQL-style rewrites); both are
+//! property-tested against this crate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use audb_core::{AuRelation, AuTuple, Mult3, RangeValue, CmpSemantics};
+//! use audb_core::ops::sort::topk_ref;
+//! use audb_rel::Schema;
+//!
+//! // A sales relation with an uncertain Sales attribute.
+//! let rel = AuRelation::from_rows(
+//!     Schema::new(["term", "sales"]),
+//!     [
+//!         (AuTuple::from([RangeValue::certain(1i64), RangeValue::new(2, 2, 3)]), Mult3::ONE),
+//!         (AuTuple::from([RangeValue::certain(2i64), RangeValue::new(2, 3, 3)]), Mult3::ONE),
+//!     ],
+//! );
+//! // Top-1 by sales: positions carry uncertainty; multiplicities tell you
+//! // which answers are certain vs merely possible.
+//! let top = topk_ref(&rel, &[1], 1, CmpSemantics::IntervalLex);
+//! assert!(!top.is_empty());
+//! ```
+
+pub mod cmp;
+pub mod encode;
+pub mod expr;
+pub mod mult;
+pub mod ops;
+pub mod pos;
+pub mod range_value;
+pub mod relation;
+pub mod tuple;
+
+pub use cmp::{tuple_lt, CmpSemantics};
+pub use expr::RangeExpr;
+pub use mult::Mult3;
+pub use ops::aggregate::aggregate as au_aggregate;
+pub use ops::join::{join as au_join, product as au_product};
+pub use ops::project::{project as au_project, project_cols as au_project_cols};
+pub use ops::select::select as au_select;
+pub use ops::sort::{sort_ref, topk_ref};
+pub use ops::union::union as au_union;
+pub use ops::window::{aggregate_window, guaranteed_extra_slots, sg_window_values, window_ref, AuWindowSpec, WinAgg, WindowMembers};
+pub use ops::window_range::{window_range_ref, AuRangeWindowSpec};
+pub use pos::{all_pos_bounds, pos_bounds, PosBounds};
+pub use range_value::{RangeValue, TruthRange};
+pub use relation::{AuRelation, AuRow};
+pub use tuple::AuTuple;

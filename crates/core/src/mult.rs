@@ -1,0 +1,141 @@
+//! The `ℕ³` multiplicity semiring annotating AU-DB tuples (paper Sec. 3.2).
+//!
+//! A triple `(k↓, k_sg, k↑)` encodes a lower bound on a tuple's certain
+//! multiplicity, its multiplicity in the selected-guess world, and an upper
+//! bound on its possible multiplicity. Addition and multiplication act
+//! component-wise, making `ℕ³` a commutative semiring; the AU-DB query
+//! semantics of [23, 24] lift `RA+` through these operations exactly as
+//! Fig. 2 lifts it through ℕ.
+
+use crate::range_value::TruthRange;
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// A multiplicity triple `(k↓, k_sg, k↑)` with `k↓ ≤ k_sg ≤ k↑`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Mult3 {
+    /// Guaranteed (certain) multiplicity.
+    pub lb: u64,
+    /// Multiplicity in the selected-guess world.
+    pub sg: u64,
+    /// Largest possible multiplicity.
+    pub ub: u64,
+}
+
+impl Mult3 {
+    /// The semiring zero `0_ℕ³ = (0,0,0)` — the tuple certainly absent.
+    pub const ZERO: Mult3 = Mult3 {
+        lb: 0,
+        sg: 0,
+        ub: 0,
+    };
+
+    /// The semiring one `1_ℕ³ = (1,1,1)` — the tuple certainly present once.
+    pub const ONE: Mult3 = Mult3 {
+        lb: 1,
+        sg: 1,
+        ub: 1,
+    };
+
+    /// Build a triple, checking `lb ≤ sg ≤ ub`.
+    pub fn new(lb: u64, sg: u64, ub: u64) -> Self {
+        assert!(lb <= sg && sg <= ub, "multiplicity invariant: ({lb},{sg},{ub})");
+        Mult3 { lb, sg, ub }
+    }
+
+    /// A certain multiplicity `(n, n, n)`.
+    pub fn certain(n: u64) -> Self {
+        Mult3 {
+            lb: n,
+            sg: n,
+            ub: n,
+        }
+    }
+
+    /// True iff the tuple is certainly absent.
+    pub fn is_zero(&self) -> bool {
+        self.ub == 0
+    }
+
+    /// Does a deterministic multiplicity fall inside the triple?
+    pub fn bounds(&self, n: u64) -> bool {
+        self.lb <= n && n <= self.ub
+    }
+
+    /// Filter by a selection condition's truth triple ([24] selection
+    /// semantics): the certain multiplicity survives only if the condition
+    /// certainly holds, the possible multiplicity only if it possibly holds.
+    pub fn filter(&self, cond: TruthRange) -> Mult3 {
+        Mult3 {
+            lb: if cond.lb { self.lb } else { 0 },
+            sg: if cond.sg { self.sg } else { 0 },
+            ub: if cond.ub { self.ub } else { 0 },
+        }
+    }
+}
+
+impl Add for Mult3 {
+    type Output = Mult3;
+    fn add(self, rhs: Mult3) -> Mult3 {
+        Mult3 {
+            lb: self.lb + rhs.lb,
+            sg: self.sg + rhs.sg,
+            ub: self.ub + rhs.ub,
+        }
+    }
+}
+
+impl Mul for Mult3 {
+    type Output = Mult3;
+    fn mul(self, rhs: Mult3) -> Mult3 {
+        Mult3 {
+            lb: self.lb * rhs.lb,
+            sg: self.sg * rhs.sg,
+            ub: self.ub * rhs.ub,
+        }
+    }
+}
+
+impl fmt::Display for Mult3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.lb, self.sg, self.ub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semiring_laws_smoke() {
+        let a = Mult3::new(1, 2, 3);
+        let b = Mult3::new(0, 1, 4);
+        let c = Mult3::new(2, 2, 2);
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!(a * b, b * a);
+        assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a + Mult3::ZERO, a);
+        assert_eq!(a * Mult3::ONE, a);
+        assert_eq!(a * Mult3::ZERO, Mult3::ZERO);
+    }
+
+    #[test]
+    fn filter_by_truth() {
+        let m = Mult3::new(1, 2, 3);
+        let t = TruthRange {
+            lb: false,
+            sg: true,
+            ub: true,
+        };
+        assert_eq!(m.filter(t), Mult3::new(0, 2, 3));
+        assert_eq!(m.filter(TruthRange::FALSE), Mult3::ZERO);
+        assert_eq!(m.filter(TruthRange::TRUE), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplicity invariant")]
+    fn invariant_checked() {
+        Mult3::new(3, 2, 1);
+    }
+}

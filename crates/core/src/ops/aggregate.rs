@@ -1,0 +1,333 @@
+//! Grouping aggregation over AU-DBs — a pragmatic subset of the full
+//! aggregation semantics of [24], sufficient for the paper's evaluation
+//! queries (which pre-aggregate before ranking, Sec. 9.2).
+//!
+//! Groups are identified by their **selected-guess keys**: one output row is
+//! produced per distinct sg-projection of the group-by attributes. For each
+//! group `g`:
+//!
+//! * a row is **certainly** a member iff its group attributes are certain
+//!   and equal to `g` and it certainly exists;
+//! * a row is **possibly** a member iff its group-attribute ranges contain
+//!   `g`;
+//! * aggregation bounds fold certain members' contribution ranges and widen
+//!   by possible members' optional contributions (a possible member may be
+//!   absent, so e.g. a possible positive value never lowers a sum's lower
+//!   bound).
+//!
+//! Relative to full [24] this simplification outputs point (sg) group keys
+//! rather than range keys, so *possible groups whose key range never
+//! materializes as a selected guess* are not represented. All groups that
+//! exist in the selected-guess world are represented, and their aggregate
+//! bounds cover every possible world — which is what the downstream ranking
+//! experiments consume. See DESIGN.md §3.6.
+
+use crate::mult::Mult3;
+use crate::ops::window::WinAgg;
+use crate::range_value::RangeValue;
+use crate::relation::AuRelation;
+use crate::tuple::AuTuple;
+use audb_rel::{Schema, Tuple, Value};
+use std::collections::HashMap;
+
+/// `γ_{group; aggs}(rel)`: group on the sg-keys of `group`, computing each
+/// aggregate with bounds as described in the module docs.
+pub fn aggregate(rel: &AuRelation, group: &[usize], aggs: &[(WinAgg, &str)]) -> AuRelation {
+    let mut schema_cols: Vec<String> = group
+        .iter()
+        .map(|&i| rel.schema.cols()[i].clone())
+        .collect();
+    schema_cols.extend(aggs.iter().map(|(_, n)| n.to_string()));
+    let schema = Schema::new(schema_cols);
+
+    // Distinct sg group keys, in first-seen order.
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut index: HashMap<Tuple, usize> = HashMap::new();
+    for row in &rel.rows {
+        if row.mult.is_zero() {
+            continue;
+        }
+        let key = row.tuple.sg_tuple().project(group);
+        if !index.contains_key(&key) {
+            index.insert(key.clone(), order.len());
+            order.push(key);
+        }
+    }
+
+    let mut out = AuRelation::empty(schema);
+    for key in order {
+        // Classify membership of every row relative to this group key.
+        let mut cert_members: Vec<(&AuTuple, Mult3)> = Vec::new();
+        let mut poss_members: Vec<(&AuTuple, Mult3)> = Vec::new();
+        let mut sg_members: Vec<(&AuTuple, u64)> = Vec::new();
+        for row in &rel.rows {
+            if row.mult.is_zero() {
+                continue;
+            }
+            let mut certainly = true;
+            let mut possibly = true;
+            for (gi, &g) in group.iter().enumerate() {
+                let r = row.tuple.get(g);
+                let k = &key.0[gi];
+                certainly &= r.is_certain() && &r.sg == k;
+                possibly &= &r.lb <= k && k <= &r.ub;
+            }
+            if !possibly {
+                continue;
+            }
+            if certainly && row.mult.lb > 0 {
+                cert_members.push((&row.tuple, row.mult));
+            } else {
+                poss_members.push((&row.tuple, row.mult));
+            }
+            if row.mult.sg > 0 && row.tuple.sg_tuple().project(group) == key {
+                sg_members.push((&row.tuple, row.mult.sg));
+            }
+        }
+
+        let mult = Mult3 {
+            lb: u64::from(!cert_members.is_empty()),
+            sg: u64::from(!sg_members.is_empty()),
+            ub: 1,
+        };
+
+        let mut vals: Vec<RangeValue> = key.0.iter().cloned().map(RangeValue::certain).collect();
+        for (agg, _) in aggs {
+            vals.push(agg_bounds(*agg, &cert_members, &poss_members, &sg_members));
+        }
+        out.push(AuTuple::new(vals), mult);
+    }
+    out
+}
+
+fn corner_range(attr: &RangeValue, m: Mult3) -> (Value, Value) {
+    let corners = [
+        attr.lb.scale(m.lb),
+        attr.lb.scale(m.ub),
+        attr.ub.scale(m.lb),
+        attr.ub.scale(m.ub),
+    ];
+    (
+        corners.iter().min().unwrap().clone(),
+        corners.iter().max().unwrap().clone(),
+    )
+}
+
+fn agg_bounds(
+    agg: WinAgg,
+    cert: &[(&AuTuple, Mult3)],
+    poss: &[(&AuTuple, Mult3)],
+    sg: &[(&AuTuple, u64)],
+) -> RangeValue {
+    let attr_of = |t: &AuTuple| -> RangeValue {
+        match agg.input_col() {
+            Some(c) => t.get(c).clone(),
+            None => RangeValue::certain(1i64),
+        }
+    };
+    let (lb, ub) = match agg {
+        WinAgg::Count => {
+            let lo: u64 = cert.iter().map(|(_, m)| m.lb).sum();
+            let hi: u64 = cert
+                .iter()
+                .chain(poss.iter())
+                .map(|(_, m)| m.ub)
+                .sum();
+            (Value::Int(lo as i64), Value::Int(hi as i64))
+        }
+        WinAgg::Sum(_) => {
+            let mut lo = Value::Int(0);
+            let mut hi = Value::Int(0);
+            for (t, m) in cert {
+                let (clo, chi) = corner_range(&attr_of(t), *m);
+                lo = lo.add(&clo);
+                hi = hi.add(&chi);
+            }
+            for (t, m) in poss {
+                // A possible member may be absent entirely.
+                let absent = Mult3::new(0, 0, m.ub);
+                let (clo, chi) = corner_range(&attr_of(t), absent);
+                lo = lo.add(&clo.min(Value::Int(0)));
+                hi = hi.add(&chi.max(Value::Int(0)));
+            }
+            (lo, hi)
+        }
+        WinAgg::Min(_) => {
+            let cert_ub = cert.iter().map(|(t, _)| attr_of(t).ub).min();
+            let all_lb = cert
+                .iter()
+                .chain(poss.iter())
+                .map(|(t, _)| attr_of(t).lb)
+                .min()
+                .unwrap_or(Value::Null);
+            let hi = match cert_ub {
+                Some(v) => v,
+                // No certain member: the min can be as large as the largest
+                // possible member (a world where only it is present).
+                None => cert
+                    .iter()
+                    .chain(poss.iter())
+                    .map(|(t, _)| attr_of(t).ub)
+                    .max()
+                    .unwrap_or(Value::Null),
+            };
+            (all_lb, hi)
+        }
+        WinAgg::Max(_) => {
+            let cert_lb = cert.iter().map(|(t, _)| attr_of(t).lb).max();
+            let all_ub = cert
+                .iter()
+                .chain(poss.iter())
+                .map(|(t, _)| attr_of(t).ub)
+                .max()
+                .unwrap_or(Value::Null);
+            let lo = match cert_lb {
+                Some(v) => v,
+                None => cert
+                    .iter()
+                    .chain(poss.iter())
+                    .map(|(t, _)| attr_of(t).lb)
+                    .min()
+                    .unwrap_or(Value::Null),
+            };
+            (lo, all_ub)
+        }
+        WinAgg::Avg(_) => {
+            let lo = cert
+                .iter()
+                .chain(poss.iter())
+                .map(|(t, _)| attr_of(t).lb)
+                .min()
+                .unwrap_or(Value::Null);
+            let hi = cert
+                .iter()
+                .chain(poss.iter())
+                .map(|(t, _)| attr_of(t).ub)
+                .max()
+                .unwrap_or(Value::Null);
+            (lo, hi)
+        }
+    };
+
+    // Selected-guess value from the SG world members.
+    let sg_raw = match agg {
+        WinAgg::Count => Value::Int(sg.iter().map(|(_, m)| *m as i64).sum()),
+        WinAgg::Sum(_) => sg
+            .iter()
+            .fold(Value::Int(0), |acc, (t, m)| acc.add(&attr_of(t).sg.scale(*m))),
+        WinAgg::Min(_) => sg.iter().map(|(t, _)| attr_of(t).sg).min().unwrap_or(Value::Null),
+        WinAgg::Max(_) => sg.iter().map(|(t, _)| attr_of(t).sg).max().unwrap_or(Value::Null),
+        WinAgg::Avg(_) => {
+            let n: u64 = sg.iter().map(|(_, m)| *m).sum();
+            if n == 0 {
+                Value::Null
+            } else {
+                sg.iter()
+                    .fold(Value::Int(0), |acc, (t, m)| acc.add(&attr_of(t).sg.scale(*m)))
+                    .div(&Value::Int(n as i64))
+            }
+        }
+    };
+    let sg_val = if sg_raw.is_null() || sg_raw < lb {
+        lb.clone()
+    } else if sg_raw > ub {
+        ub.clone()
+    } else {
+        sg_raw
+    };
+    RangeValue {
+        lb,
+        sg: sg_val,
+        ub,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    #[test]
+    fn certain_input_matches_deterministic_aggregate() {
+        use audb_rel::{aggregate as det_agg, AggFunc, Relation, Schema as S};
+        let det = Relation::from_values(S::new(["g", "v"]), [[1i64, 10], [1, 5], [2, 7]]);
+        let au = AuRelation::certain(&det);
+        let out = aggregate(&au, &[0], &[(WinAgg::Sum(1), "s"), (WinAgg::Count, "c")]);
+        let dout = det_agg(&det, &[0], &[(AggFunc::Sum(1), "s"), (AggFunc::Count, "c")]);
+        assert!(out.sg_world().bag_eq(&dout), "{out}\nvs\n{dout}");
+        for row in &out.rows {
+            assert!(row.tuple.is_certain());
+            assert_eq!(row.mult, Mult3::ONE);
+        }
+    }
+
+    #[test]
+    fn uncertain_group_membership_widens_bounds() {
+        // Row with group range [1..2] possibly joins both groups.
+        let rel = AuRelation::from_rows(
+            Schema::new(["g", "v"]),
+            [
+                (
+                    AuTuple::new([RangeValue::certain(1i64), RangeValue::certain(10i64)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([RangeValue::certain(2i64), RangeValue::certain(20i64)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([rv(1, 1, 2), RangeValue::certain(5i64)]),
+                    Mult3::ONE,
+                ),
+            ],
+        );
+        let out = aggregate(&rel, &[0], &[(WinAgg::Sum(1), "s")]).normalize();
+        assert_eq!(out.rows.len(), 2);
+        // Group 1: certain 10, possible +5 → sum ∈ [10, 15], sg = 15.
+        let g1 = out
+            .rows
+            .iter()
+            .find(|r| r.tuple.get(0).sg == Value::Int(1))
+            .unwrap();
+        assert_eq!(g1.tuple.get(1), &rv(10, 15, 15));
+        // Group 2: certain 20, possible +5 → [20, 25], sg = 20.
+        let g2 = out
+            .rows
+            .iter()
+            .find(|r| r.tuple.get(0).sg == Value::Int(2))
+            .unwrap();
+        assert_eq!(g2.tuple.get(1), &rv(20, 20, 25));
+    }
+
+    #[test]
+    fn count_bounds_respect_tuple_multiplicity_ranges() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["g"]),
+            [(
+                AuTuple::new([RangeValue::certain(1i64)]),
+                Mult3::new(1, 2, 4),
+            )],
+        );
+        let out = aggregate(&rel, &[0], &[(WinAgg::Count, "c")]);
+        assert_eq!(out.rows[0].tuple.get(1), &rv(1, 2, 4));
+    }
+
+    #[test]
+    fn min_with_only_possible_members() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["g", "v"]),
+            [(
+                AuTuple::new([rv(1, 1, 2), RangeValue::certain(5i64)]),
+                Mult3::ONE,
+            )],
+        );
+        let out = aggregate(&rel, &[0], &[(WinAgg::Min(1), "m")]);
+        // Group key 1 exists in sg world; the single member is uncertain in
+        // membership (range [1,2]) but the sg world has it → [5,5,5].
+        assert_eq!(out.rows[0].tuple.get(1), &rv(5, 5, 5));
+        assert_eq!(out.rows[0].mult, Mult3::new(0, 1, 1));
+    }
+}

@@ -1,0 +1,93 @@
+//! AU-DB products and joins: annotations multiply in `ℕ³`; a theta-join
+//! additionally filters each pair by the predicate's truth triple ([24]).
+
+use crate::expr::RangeExpr;
+use crate::relation::AuRelation;
+
+/// Cross product `R × S`.
+pub fn product(left: &AuRelation, right: &AuRelation) -> AuRelation {
+    let schema = left.schema.concat(&right.schema);
+    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
+    for l in &left.rows {
+        if l.mult.is_zero() {
+            continue;
+        }
+        for r in &right.rows {
+            if r.mult.is_zero() {
+                continue;
+            }
+            rows.push((l.tuple.concat(&r.tuple), l.mult * r.mult));
+        }
+    }
+    AuRelation::from_rows(schema, rows)
+}
+
+/// Theta-join `R ⋈_θ S`: product multiplicities filtered by `θ`'s truth
+/// triple over the concatenated range tuple.
+pub fn join(left: &AuRelation, right: &AuRelation, theta: &RangeExpr) -> AuRelation {
+    let schema = left.schema.concat(&right.schema);
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        if l.mult.is_zero() {
+            continue;
+        }
+        for r in &right.rows {
+            if r.mult.is_zero() {
+                continue;
+            }
+            let t = l.tuple.concat(&r.tuple);
+            let m = (l.mult * r.mult).filter(theta.truth(&t));
+            if !m.is_zero() {
+                rows.push((t, m));
+            }
+        }
+    }
+    AuRelation::from_rows(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mult::Mult3;
+    use crate::range_value::RangeValue;
+    use crate::tuple::AuTuple;
+    use audb_rel::Schema;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    #[test]
+    fn join_filters_by_truth_triple() {
+        let l = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [(AuTuple::new([rv(1, 2, 3)]), Mult3::new(1, 1, 2))],
+        );
+        let r = AuRelation::from_rows(
+            Schema::new(["b"]),
+            [
+                (AuTuple::new([rv(2, 2, 2)]), Mult3::ONE), // possibly equal
+                (AuTuple::new([rv(9, 9, 9)]), Mult3::ONE), // never equal
+            ],
+        );
+        let j = join(&l, &r, &RangeExpr::col(0).eq(RangeExpr::col(1)));
+        assert_eq!(j.rows.len(), 1);
+        // a=[1..3] possibly equals 2 and sg-equals 2; not certainly.
+        assert_eq!(j.rows[0].mult, Mult3::new(0, 1, 2));
+    }
+
+    #[test]
+    fn product_multiplies_triples() {
+        let l = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [(AuTuple::new([rv(1, 1, 1)]), Mult3::new(1, 2, 3))],
+        );
+        let r = AuRelation::from_rows(
+            Schema::new(["b"]),
+            [(AuTuple::new([rv(5, 5, 5)]), Mult3::new(0, 1, 2))],
+        );
+        let p = product(&l, &r);
+        assert_eq!(p.rows[0].mult, Mult3::new(0, 2, 6));
+        assert_eq!(p.schema.arity(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! AU-DB selection `σ_θ(R)` ([24]): each tuple's multiplicity triple is
+//! filtered by the truth triple of the predicate — the certain multiplicity
+//! survives only if the predicate certainly holds, the possible multiplicity
+//! only if it possibly holds.
+
+use crate::expr::RangeExpr;
+use crate::relation::AuRelation;
+
+/// `σ_pred(rel)`. Rows whose filtered annotation is `(0,0,0)` are dropped.
+pub fn select(rel: &AuRelation, pred: &RangeExpr) -> AuRelation {
+    let rows = rel
+        .rows
+        .iter()
+        .filter_map(|row| {
+            let m = row.mult.filter(pred.truth(&row.tuple));
+            (!m.is_zero()).then(|| (row.tuple.clone(), m))
+        })
+        .collect::<Vec<_>>();
+    AuRelation::from_rows(rel.schema.clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mult::Mult3;
+    use crate::range_value::RangeValue;
+    use crate::tuple::AuTuple;
+    use audb_rel::Schema;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    #[test]
+    fn selection_filters_multiplicity_triples() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [
+                (AuTuple::new([rv(1, 1, 1)]), Mult3::new(2, 2, 2)), // certainly a=1
+                (AuTuple::new([rv(0, 1, 3)]), Mult3::new(1, 1, 1)), // possibly a=1
+                (AuTuple::new([rv(5, 6, 7)]), Mult3::new(1, 1, 1)), // never a=1
+            ],
+        );
+        let out = select(&rel, &RangeExpr::col(0).eq(RangeExpr::lit(1)));
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].mult, Mult3::new(2, 2, 2));
+        // possibly-matching tuple keeps only its possible multiplicity
+        // (sg survives because its sg value is 1).
+        assert_eq!(out.rows[1].mult, Mult3::new(0, 1, 1));
+    }
+
+    /// Selection preserves bounds: every world tuple satisfying the
+    /// predicate is still bounded.
+    #[test]
+    fn selection_bound_preservation_smoke() {
+        use audb_rel::{Expr, Relation, Schema as S, Tuple};
+        let rel = AuRelation::from_rows(
+            S::new(["a"]),
+            [(AuTuple::new([rv(0, 2, 4)]), Mult3::new(1, 1, 2))],
+        );
+        let pred_au = RangeExpr::col(0).le(RangeExpr::lit(2));
+        let out = select(&rel, &pred_au);
+        // Worlds: any a in 0..=4 with 1 or 2 copies.
+        for a in 0..=4i64 {
+            for copies in 1..=2u64 {
+                let world = Relation::from_rows(S::new(["a"]), [(Tuple::from([a]), copies)]);
+                let det = audb_rel::select(&world, &Expr::col(0).le(Expr::lit(2)));
+                // Every deterministic result tuple must fit into some output
+                // hypercube whose possible multiplicity covers it.
+                for r in &det.rows {
+                    let covered = out
+                        .rows
+                        .iter()
+                        .any(|o| o.tuple.bounds(&r.tuple) && o.mult.ub >= r.mult);
+                    assert!(covered, "a={a} copies={copies}");
+                }
+            }
+        }
+    }
+}

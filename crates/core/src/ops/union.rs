@@ -1,0 +1,35 @@
+//! AU-DB bag union: `ℕ³` annotations add ([23]).
+
+use crate::relation::AuRelation;
+
+/// `R ∪ S` — concatenation of supports; identical hypercubes merge on
+/// [`AuRelation::normalize`].
+pub fn union(left: &AuRelation, right: &AuRelation) -> AuRelation {
+    assert_eq!(
+        left.schema.arity(),
+        right.schema.arity(),
+        "union arity mismatch"
+    );
+    let mut out = left.clone();
+    out.rows.extend(right.rows.iter().cloned());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mult::Mult3;
+    use crate::range_value::RangeValue;
+    use crate::tuple::AuTuple;
+    use audb_rel::Schema;
+
+    #[test]
+    fn union_adds_annotations() {
+        let t = AuTuple::new([RangeValue::new(1, 2, 3)]);
+        let l = AuRelation::from_rows(Schema::new(["a"]), [(t.clone(), Mult3::new(1, 1, 1))]);
+        let r = AuRelation::from_rows(Schema::new(["a"]), [(t.clone(), Mult3::new(0, 1, 2))]);
+        let u = union(&l, &r).normalize();
+        assert_eq!(u.rows.len(), 1);
+        assert_eq!(u.rows[0].mult, Mult3::new(1, 2, 3));
+    }
+}

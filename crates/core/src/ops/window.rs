@@ -1,0 +1,573 @@
+//! Reference implementation of row-based windowed aggregation over AU-DBs
+//! (paper Def. 3 with the certain/possible window membership of Fig. 6).
+//!
+//! The computation follows the paper's four steps:
+//!
+//! 1. **expand** — split every row into rows of possible multiplicity 1
+//!    (the aggregate may differ between duplicates);
+//! 2. **partition** — per target tuple `t`, filter every row's multiplicity
+//!    triple by the truth of `G = t.G` ([24] selection semantics);
+//! 3. **window membership** — a tuple is *certainly* in `t`'s window if all
+//!    its possible positions lie within the positions certainly covered
+//!    (`[pos↑(t)+l, pos↓(t)+u]`), and *possibly* in the window if its
+//!    position range intersects the possibly covered span
+//!    (`[pos↓(t)+l, pos↑(t)+u]`);
+//! 4. **aggregate bounds** — tuples certainly in the window always
+//!    contribute; because a `[l,u]` window holds at most `size = u−l+1`
+//!    rows, only the `possn = size − |certain|` best/worst possible members
+//!    may additionally contribute (`min-k` / `max-k` of Sec. 6.1).
+//!
+//! One refinement is applied consistently here and in the native algorithm
+//! (and matches the paper's own Algorithms 5/6, which seed the bounds with
+//! `t.A`): the defining tuple is a **certain member of its own window** —
+//! in every world in which `t` exists, `t` lies inside `[l, u]` of itself
+//! (windows must satisfy `l ≤ 0 ≤ u`). The output row for `t` only
+//! describes worlds containing `t`, so this is bound-preserving and
+//! strictly tighter than running `t` through the Fig. 6 interval test.
+//!
+//! This module is the *semantic reference*: `O(n²)`–`O(n³)`. The one-pass
+//! equivalent lives in `audb_native::window`.
+
+use crate::cmp::{tuple_lt, CmpSemantics};
+use crate::mult::Mult3;
+use crate::range_value::{RangeValue, TruthRange};
+use crate::relation::AuRelation;
+use crate::tuple::AuTuple;
+use audb_rel::ops::sort::total_order;
+use audb_rel::Value;
+
+/// Window aggregate functions supported over AU-DBs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WinAgg {
+    /// `sum(A)` — tight bounds via min-k/max-k possible-member selection.
+    Sum(usize),
+    /// `count(*)` — sum over the constant 1.
+    Count,
+    /// `min(A)` — idempotent: certain members cap the upper bound.
+    Min(usize),
+    /// `max(A)`.
+    Max(usize),
+    /// `avg(A)` — sound `[min A↓, max A↑]` envelope over possible members
+    /// (the paper does not define a tight avg; see DESIGN.md §3.4).
+    Avg(usize),
+}
+
+impl WinAgg {
+    /// The aggregated attribute, if any.
+    pub fn input_col(&self) -> Option<usize> {
+        match self {
+            WinAgg::Count => None,
+            WinAgg::Sum(c) | WinAgg::Min(c) | WinAgg::Max(c) | WinAgg::Avg(c) => Some(*c),
+        }
+    }
+
+    /// The range of the aggregated attribute for a tuple (`[1,1,1]` for
+    /// `count(*)`).
+    fn attr_range(&self, t: &AuTuple) -> RangeValue {
+        match self.input_col() {
+            Some(c) => t.get(c).clone(),
+            None => RangeValue::certain(1i64),
+        }
+    }
+}
+
+/// A row-based window specification over an AU-DB relation.
+#[derive(Clone, Debug)]
+pub struct AuWindowSpec {
+    /// Partition-by attribute indices (`G`).
+    pub partition: Vec<usize>,
+    /// Order-by attribute indices (`O`).
+    pub order: Vec<usize>,
+    /// Window start offset `l ≤ 0`.
+    pub lower: i64,
+    /// Window end offset `u ≥ 0`.
+    pub upper: i64,
+}
+
+impl AuWindowSpec {
+    /// `ROWS BETWEEN -l PRECEDING AND u FOLLOWING` over `order`.
+    pub fn rows(order: Vec<usize>, lower: i64, upper: i64) -> Self {
+        assert!(
+            lower <= 0 && upper >= 0,
+            "AU-DB windows must contain the current row (l ≤ 0 ≤ u)"
+        );
+        AuWindowSpec {
+            partition: Vec::new(),
+            order,
+            lower,
+            upper,
+        }
+    }
+
+    /// Add a PARTITION BY clause.
+    pub fn partition_by(mut self, partition: Vec<usize>) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// `size([l,u]) = u − l + 1`.
+    pub fn size(&self) -> i64 {
+        self.upper - self.lower + 1
+    }
+}
+
+/// Per-window member data from which aggregate bounds are computed.
+/// Public so that the rewrite method (`audb-rewrite`) shares the exact
+/// same bounds math as this reference implementation.
+pub struct WindowMembers {
+    /// Attribute ranges of tuples certainly in the window (incl. self).
+    pub cert: Vec<RangeValue>,
+    /// Attribute ranges of tuples possibly (but not certainly) in the window.
+    pub poss: Vec<RangeValue>,
+    /// Selected-guess aggregate for this row (computed deterministically
+    /// over the SG world; see [`sg_window_values`]).
+    pub sg: Value,
+    /// Remaining window capacity for possible members.
+    pub possn: usize,
+    /// Slots of the window that are *guaranteed occupied* beyond the
+    /// certain members: in every world the window of `t` holds
+    /// `min(−l, pos↓(t))` preceding and `min(u, N_cert − 1 − pos↑(t))`
+    /// following rows (`N_cert` = rows certainly in the partition), so at
+    /// least this many *possible* members are present even though no
+    /// individual one is certain. The paper's Fig. 1g derives its term-2
+    /// lower bound of 6 from exactly this slot argument (its Sec. 6.1
+    /// formulas alone yield 2); see DESIGN.md §3.4.
+    pub guaranteed_extra: usize,
+}
+
+/// Compute [`WindowMembers::guaranteed_extra`] from a window's geometry.
+pub fn guaranteed_extra_slots(
+    l: i64,
+    u: i64,
+    pos_lb: u64,
+    pos_ub: u64,
+    n_cert_partition: u64,
+    cert_members: usize,
+    possn: usize,
+) -> usize {
+    let preceding = (-l).min(pos_lb as i64).max(0);
+    let following = u.min((n_cert_partition as i64 - 1 - pos_ub as i64).max(0));
+    let filled = (preceding + following + 1).max(0) as usize;
+    filled.saturating_sub(cert_members).min(possn)
+}
+
+/// Compute the selected-guess window aggregate for every expanded row by
+/// running the *deterministic* window operator (paper Fig. 3) over the
+/// selected-guess world, with row provenance so each duplicate receives its
+/// own value. Rows absent from the SG world (sg multiplicity 0) fall back
+/// to the value of their row's last SG duplicate, or to their own sg
+/// attribute value — the sg component of a tuple that does not exist in the
+/// SG world never surfaces in the SG projection, so any in-bounds value is
+/// sound (DESIGN.md §3.4); this choice reproduces the paper's Example 7.
+///
+/// `exp` must contain only rows of possible multiplicity ≤ 1 (the output of
+/// [`AuRelation::expand`]), with duplicates of the same hypercube adjacent.
+/// Shared by this reference implementation and `audb_native::window` so the
+/// two produce identical selected-guess components.
+pub fn sg_window_values(exp: &AuRelation, spec: &AuWindowSpec, agg: WinAgg) -> Vec<Value> {
+    use audb_rel::{window_rows, AggFunc, Relation, Schema, Tuple, WindowSpec};
+    let n = exp.rows.len();
+    let arity = exp.schema.arity();
+    // Provenance-tagged SG world with *content* tie-breaking: columns are
+    // [sg values | lb corner | ub corner | id]. The deterministic window
+    // operator breaks sg-order ties by the remaining columns in index
+    // order, so rows with equal selected guesses are ordered by their
+    // hypercube content before the arbitrary id — making the sg component
+    // independent of the caller's row ordering (native and reference feed
+    // rows in different orders but must agree; see tests/method_agreement).
+    let mut det_rows: Vec<(Tuple, u64)> = Vec::new();
+    for (i, row) in exp.rows.iter().enumerate() {
+        if row.mult.sg > 0 {
+            let mut vals = row.tuple.sg_tuple().0;
+            vals.extend(row.tuple.lb_tuple().0);
+            vals.extend(row.tuple.ub_tuple().0);
+            vals.push(Value::Int(i as i64));
+            det_rows.push((Tuple(vals), 1));
+        }
+    }
+    let mut cols: Vec<String> = exp.schema.cols().to_vec();
+    cols.extend(exp.schema.cols().iter().map(|c| format!("{c}__lb")));
+    cols.extend(exp.schema.cols().iter().map(|c| format!("{c}__ub")));
+    cols.push("__id".into());
+    let det = Relation::from_rows(Schema::new(cols), det_rows);
+
+    let dspec = WindowSpec {
+        partition: spec.partition.clone(),
+        order: spec.order.clone(),
+        lower: spec.lower,
+        upper: spec.upper,
+    };
+    let dagg = match agg {
+        WinAgg::Sum(c) => AggFunc::Sum(c),
+        WinAgg::Count => AggFunc::Count,
+        WinAgg::Min(c) => AggFunc::Min(c),
+        WinAgg::Max(c) => AggFunc::Max(c),
+        WinAgg::Avg(c) => AggFunc::Avg(c),
+    };
+    let dout = window_rows(&det, &dspec, dagg, "__x");
+    let id_col = 3 * arity;
+    let xcol = dout.schema.arity() - 1;
+    let mut vals: Vec<Option<Value>> = vec![None; n];
+    for row in &dout.rows {
+        let id = row.tuple.get(id_col).as_i64().expect("provenance id") as usize;
+        vals[id] = Some(row.tuple.get(xcol).clone());
+    }
+    // Fallbacks for rows outside the SG world: inherit from the previous
+    // duplicate of the same hypercube (expand emits duplicates adjacently,
+    // SG duplicates first), else use the row's own sg attribute.
+    let mut out: Vec<Value> = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = match &vals[i] {
+            Some(v) => v.clone(),
+            None if i > 0 && exp.rows[i - 1].tuple == exp.rows[i].tuple => out[i - 1].clone(),
+            None => agg.attr_range(&exp.rows[i].tuple).sg,
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// Compute bounds + sg for one window from its member sets (Sec. 6.1:
+/// certain members always contribute; at most `possn` possible members
+/// contribute via min-k/max-k selection).
+pub fn aggregate_window(m: &WindowMembers, agg: WinAgg) -> RangeValue {
+    // Guaranteed-occupied slots never exceed the pool (every occupant is a
+    // possible member by soundness of the possible set).
+    let q = m.guaranteed_extra.min(m.poss.len());
+    let (lb, ub) = match agg {
+        WinAgg::Sum(_) | WinAgg::Count => {
+            let mut lo = Value::Int(0);
+            let mut hi = Value::Int(0);
+            for r in &m.cert {
+                lo = lo.add(&r.lb);
+                hi = hi.add(&r.ub);
+            }
+            // min-k with a guaranteed floor: at least q and at most possn
+            // possible members are present; any j of them sum to at least
+            // the j smallest lower bounds, so the bound is the minimum of
+            // those prefix sums over j ∈ [q, possn] — attained at
+            // j = clamp(#negatives, q, possn).
+            let mut lbs: Vec<&Value> = m.poss.iter().map(|r| &r.lb).collect();
+            lbs.sort();
+            let negs = lbs.iter().take_while(|v| ***v < Value::Int(0)).count();
+            let j = negs.clamp(q, m.possn.min(lbs.len()));
+            for v in &lbs[..j.min(lbs.len())] {
+                lo = lo.add(v);
+            }
+            // max-k mirrored: j = clamp(#positives, q, possn) largest ubs.
+            let mut ubs: Vec<&Value> = m.poss.iter().map(|r| &r.ub).collect();
+            ubs.sort_by(|a, b| b.cmp(a));
+            let poss_cnt = ubs.iter().take_while(|v| ***v > Value::Int(0)).count();
+            let j = poss_cnt.clamp(q, m.possn.min(ubs.len()));
+            for v in &ubs[..j.min(ubs.len())] {
+                hi = hi.add(v);
+            }
+            (lo, hi)
+        }
+        WinAgg::Min(_) => {
+            let mut hi = m.cert.iter().map(|r| &r.ub).min().cloned().unwrap();
+            if q >= 1 {
+                // Any q pool members include one with value ≤ the q-th
+                // largest pool upper bound (pigeonhole).
+                let mut ubs: Vec<&Value> = m.poss.iter().map(|r| &r.ub).collect();
+                ubs.sort_by(|a, b| b.cmp(a));
+                hi = hi.min(ubs[q - 1].clone());
+            }
+            let mut lo = m.cert.iter().map(|r| &r.lb).min().cloned().unwrap();
+            if m.possn > 0 {
+                if let Some(p) = m.poss.iter().map(|r| &r.lb).min() {
+                    lo = lo.min(p.clone());
+                }
+            }
+            (lo, hi)
+        }
+        WinAgg::Max(_) => {
+            let mut lo = m.cert.iter().map(|r| &r.lb).max().cloned().unwrap();
+            if q >= 1 {
+                let mut lbs: Vec<&Value> = m.poss.iter().map(|r| &r.lb).collect();
+                lbs.sort();
+                lo = lo.max(lbs[q - 1].clone());
+            }
+            let mut hi = m.cert.iter().map(|r| &r.ub).max().cloned().unwrap();
+            if m.possn > 0 {
+                if let Some(p) = m.poss.iter().map(|r| &r.ub).max() {
+                    hi = hi.max(p.clone());
+                }
+            }
+            (lo, hi)
+        }
+        WinAgg::Avg(_) => {
+            let mut lo = m.cert.iter().map(|r| &r.lb).min().cloned().unwrap();
+            let mut hi = m.cert.iter().map(|r| &r.ub).max().cloned().unwrap();
+            if m.possn > 0 {
+                if let Some(p) = m.poss.iter().map(|r| &r.lb).min() {
+                    lo = lo.min(p.clone());
+                }
+                if let Some(p) = m.poss.iter().map(|r| &r.ub).max() {
+                    hi = hi.max(p.clone());
+                }
+            }
+            (lo, hi)
+        }
+    };
+
+    // The selected-guess component was computed deterministically over the
+    // SG world; clamp it into [lb, ub] to uphold the range invariant for
+    // rows that do not exist in the SG world (DESIGN.md §3.4).
+    let sg = clamp(m.sg.clone(), &lb, &ub);
+    RangeValue { lb, sg, ub }
+}
+
+fn clamp(v: Value, lo: &Value, hi: &Value) -> Value {
+    if v.is_null() || &v < lo {
+        lo.clone()
+    } else if &v > hi {
+        hi.clone()
+    } else {
+        v
+    }
+}
+
+/// `ω[l,u]_{f(A)→X; G; O}(R)` — reference semantics. Output schema
+/// `Sch(R) ∘ (out_name)`; result is normalized.
+pub fn window_ref(
+    rel: &AuRelation,
+    spec: &AuWindowSpec,
+    agg: WinAgg,
+    out_name: &str,
+    sem: CmpSemantics,
+) -> AuRelation {
+    // Merge identical hypercubes first (see sort_ref), then split into
+    // unit-multiplicity rows.
+    let exp = rel.clone().normalize().expand();
+    let n = exp.rows.len();
+    let total_idxs = total_order(exp.schema.arity(), &spec.order);
+    let schema = exp.schema.with(out_name);
+    let mut out = AuRelation::empty(schema);
+
+    // Partition truth of row j relative to target row ti.
+    let part_truth = |j: usize, ti: usize| -> TruthRange {
+        spec.partition.iter().fold(TruthRange::TRUE, |acc, &g| {
+            acc.and(exp.rows[j].tuple.get(g).eq_range(exp.rows[ti].tuple.get(g)))
+        })
+    };
+
+    // Fast path: with no PARTITION BY the filtered multiplicities and hence
+    // all position bounds are target-independent.
+    let global_pos = if spec.partition.is_empty() {
+        Some(crate::pos::all_pos_bounds(&exp, &total_idxs, sem))
+    } else {
+        None
+    };
+
+    // Selected-guess aggregates via the deterministic semantics on the SGW.
+    let sg_vals = sg_window_values(&exp, spec, agg);
+
+    for ti in 0..n {
+        // Filtered multiplicities within the target's partition.
+        let fm: Vec<Mult3> = (0..n)
+            .map(|j| exp.rows[j].mult.filter(part_truth(j, ti)))
+            .collect();
+
+        // Position bounds of every row within the partition.
+        let pos: Vec<crate::pos::PosBounds> = match &global_pos {
+            Some(p) => p.clone(),
+            None => (0..n)
+                .map(|j| {
+                    let t = &exp.rows[j].tuple;
+                    let (mut lb, mut sg, mut ub) = (0u64, 0u64, 0u64);
+                    for j2 in 0..n {
+                        if j2 == j {
+                            continue;
+                        }
+                        let r = tuple_lt(&exp.rows[j2].tuple, t, &total_idxs, sem);
+                        if r.lb {
+                            lb += fm[j2].lb;
+                        }
+                        if r.sg {
+                            sg += fm[j2].sg;
+                        }
+                        if r.ub {
+                            ub += fm[j2].ub;
+                        }
+                    }
+                    crate::pos::PosBounds { lb, sg, ub }
+                })
+                .collect(),
+        };
+
+        let tp = pos[ti];
+        let (l, u) = (spec.lower, spec.upper);
+        // Sort positions certainly / possibly covered by t's window (Fig. 5).
+        let cert_span = (tp.ub as i64 + l, tp.lb as i64 + u);
+        let poss_span = (tp.lb as i64 + l, tp.ub as i64 + u);
+
+        let self_attr = agg.attr_range(&exp.rows[ti].tuple);
+        let mut members = WindowMembers {
+            cert: vec![self_attr.clone()],
+            poss: Vec::new(),
+            sg: sg_vals[ti].clone(),
+            possn: 0,
+            guaranteed_extra: 0,
+        };
+        for j in 0..n {
+            if j == ti || fm[j].is_zero() {
+                continue;
+            }
+            let (plo, phi) = (pos[j].lb as i64, pos[j].ub as i64);
+            let attr = agg.attr_range(&exp.rows[j].tuple);
+            let certainly = fm[j].lb >= 1 && plo >= cert_span.0 && phi <= cert_span.1;
+            if certainly {
+                members.cert.push(attr.clone());
+            } else if phi >= poss_span.0 && plo <= poss_span.1 {
+                members.poss.push(attr.clone());
+            }
+        }
+        members.possn = (spec.size() as usize).saturating_sub(members.cert.len());
+        // Rows certainly in this partition (incl. the conditional self).
+        let n_cert: u64 = (0..n)
+            .filter(|&j| j != ti)
+            .map(|j| fm[j].lb)
+            .sum::<u64>()
+            + 1;
+        members.guaranteed_extra = guaranteed_extra_slots(
+            l,
+            u,
+            tp.lb,
+            tp.ub,
+            n_cert,
+            members.cert.len(),
+            members.possn,
+        );
+
+        let x = aggregate_window(&members, agg);
+        out.push(exp.rows[ti].tuple.with(x), exp.rows[ti].mult);
+    }
+    out.normalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_rel::Schema;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    /// Paper Example 7: ω[-1,0] sum(C), partition by A, order by B.
+    #[test]
+    fn example_7_windowed_aggregation() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a", "b", "c"]),
+            [
+                (
+                    AuTuple::new([
+                        RangeValue::certain(1i64),
+                        rv(1, 1, 3),
+                        RangeValue::certain(7i64),
+                    ]),
+                    Mult3::new(1, 1, 2),
+                ),
+                (
+                    AuTuple::new([
+                        rv(2, 3, 3),
+                        RangeValue::certain(15i64),
+                        RangeValue::certain(4i64),
+                    ]),
+                    Mult3::new(0, 1, 1),
+                ),
+                (
+                    AuTuple::new([rv(1, 1, 2), RangeValue::certain(2i64), rv(2, 4, 5)]),
+                    Mult3::ONE,
+                ),
+            ],
+        );
+        let spec = AuWindowSpec::rows(vec![1], -1, 0).partition_by(vec![0]);
+        let out = window_ref(&rel, &spec, WinAgg::Sum(2), "sum_c", CmpSemantics::IntervalLex);
+
+        let expected = AuRelation::from_rows(
+            Schema::new(["a", "b", "c", "sum_c"]),
+            [
+                (
+                    AuTuple::new([
+                        RangeValue::certain(1i64),
+                        rv(1, 1, 3),
+                        RangeValue::certain(7i64),
+                        rv(7, 7, 14),
+                    ]),
+                    Mult3::new(1, 1, 2), // r1 (×1) and r2 (×(0,0,1)) merge
+                ),
+                (
+                    AuTuple::new([
+                        rv(1, 1, 2),
+                        RangeValue::certain(2i64),
+                        rv(2, 4, 5),
+                        rv(2, 11, 12),
+                    ]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([
+                        rv(2, 3, 3),
+                        RangeValue::certain(15i64),
+                        RangeValue::certain(4i64),
+                        rv(4, 4, 9),
+                    ]),
+                    Mult3::new(0, 1, 1),
+                ),
+            ],
+        );
+        assert!(out.bag_eq(&expected), "got:\n{out}\nexpected:\n{expected}");
+    }
+
+    /// On certain input the window bounds collapse to the deterministic
+    /// result for every aggregate.
+    #[test]
+    fn certain_input_matches_deterministic_window() {
+        use audb_rel::{window_rows, AggFunc, Relation, Schema as S, WindowSpec};
+        let det = Relation::from_values(S::new(["o", "v"]), [[1i64, 5], [2, -3], [3, 8], [4, 1]]);
+        let au = AuRelation::certain(&det);
+        let cases = [
+            (WinAgg::Sum(1), AggFunc::Sum(1)),
+            (WinAgg::Count, AggFunc::Count),
+            (WinAgg::Min(1), AggFunc::Min(1)),
+            (WinAgg::Max(1), AggFunc::Max(1)),
+        ];
+        for (wa, da) in cases {
+            let spec = AuWindowSpec::rows(vec![0], -1, 0);
+            let out = window_ref(&au, &spec, wa, "x", CmpSemantics::IntervalLex);
+            let dspec = WindowSpec::rows(vec![0], -1, 0);
+            let dout = window_rows(&det, &dspec, da, "x");
+            for row in &out.rows {
+                assert!(row.tuple.get(2).is_certain(), "{wa:?}: {}", row.tuple);
+            }
+            assert!(out.sg_world().bag_eq(&dout), "{wa:?}:\n{out}\nvs\n{dout}");
+        }
+    }
+
+    #[test]
+    fn possn_caps_possible_contributions() {
+        // Window size 1 ([0,0]): self fills the window; possible members
+        // must not contribute even when their positions overlap.
+        let rel = AuRelation::from_rows(
+            Schema::new(["o", "v"]),
+            [
+                (AuTuple::new([rv(1, 1, 10), RangeValue::certain(100i64)]), Mult3::ONE),
+                (AuTuple::new([rv(1, 2, 10), RangeValue::certain(50i64)]), Mult3::ONE),
+            ],
+        );
+        let spec = AuWindowSpec::rows(vec![0], 0, 0);
+        let out = window_ref(&rel, &spec, WinAgg::Sum(1), "s", CmpSemantics::IntervalLex);
+        for row in &out.rows {
+            let x = row.tuple.get(2);
+            assert!(x.is_certain(), "window of size 1 is just the tuple: {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "current row")]
+    fn window_must_contain_current_row() {
+        AuWindowSpec::rows(vec![0], 1, 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! AU-DB relations: bags of range-annotated tuples with `ℕ³` annotations.
+
+use crate::mult::Mult3;
+use crate::tuple::AuTuple;
+use audb_rel::Schema;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One row: a hypercube tuple and its multiplicity triple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuRow {
+    /// The range-annotated tuple.
+    pub tuple: AuTuple,
+    /// Its `ℕ³` annotation.
+    pub mult: Mult3,
+}
+
+/// An AU-DB relation (paper Sec. 3.2).
+#[derive(Clone, Debug)]
+pub struct AuRelation {
+    /// Attribute names.
+    pub schema: Schema,
+    /// Rows; the same hypercube may appear several times (normalize to merge).
+    pub rows: Vec<AuRow>,
+}
+
+impl AuRelation {
+    /// Empty relation.
+    pub fn empty(schema: Schema) -> Self {
+        AuRelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build from `(tuple, mult)` pairs.
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = (AuTuple, Mult3)>) -> Self {
+        AuRelation {
+            schema,
+            rows: rows
+                .into_iter()
+                .map(|(tuple, mult)| AuRow { tuple, mult })
+                .collect(),
+        }
+    }
+
+    /// Lift a deterministic relation into a fully certain AU-relation.
+    pub fn certain(rel: &audb_rel::Relation) -> Self {
+        AuRelation {
+            schema: rel.schema.clone(),
+            rows: rel
+                .rows
+                .iter()
+                .filter(|r| r.mult > 0)
+                .map(|r| AuRow {
+                    tuple: AuTuple::certain(&r.tuple),
+                    mult: Mult3::certain(r.mult),
+                })
+                .collect(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, tuple: AuTuple, mult: Mult3) {
+        debug_assert_eq!(tuple.arity(), self.schema.arity());
+        self.rows.push(AuRow { tuple, mult });
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Drop rows that are certainly absent (`k↑ = 0`).
+    pub fn drop_impossible(mut self) -> Self {
+        self.rows.retain(|r| !r.mult.is_zero());
+        self
+    }
+
+    /// Canonical form: merge identical hypercubes (annotations add), drop
+    /// `(0,0,0)` rows, sort deterministically. Bag equality after
+    /// `normalize` is row equality.
+    pub fn normalize(mut self) -> Self {
+        let mut map: HashMap<AuTuple, Mult3> = HashMap::with_capacity(self.rows.len());
+        for row in self.rows.drain(..) {
+            if !row.mult.is_zero() {
+                let e = map.entry(row.tuple).or_insert(Mult3::ZERO);
+                *e = *e + row.mult;
+            }
+        }
+        let mut rows: Vec<AuRow> = map
+            .into_iter()
+            .map(|(tuple, mult)| AuRow { tuple, mult })
+            .collect();
+        rows.sort_by(|a, b| {
+            a.tuple
+                .lb_tuple()
+                .cmp(&b.tuple.lb_tuple())
+                .then_with(|| a.tuple.ub_tuple().cmp(&b.tuple.ub_tuple()))
+                .then_with(|| a.tuple.sg_tuple().cmp(&b.tuple.sg_tuple()))
+        });
+        AuRelation {
+            schema: self.schema,
+            rows,
+        }
+    }
+
+    /// Bag equality up to normalization.
+    pub fn bag_eq(&self, other: &AuRelation) -> bool {
+        if self.schema.arity() != other.schema.arity() {
+            return false;
+        }
+        self.clone().normalize().rows == other.clone().normalize().rows
+    }
+
+    /// Total possible multiplicity `Σ k↑`.
+    pub fn total_possible(&self) -> u64 {
+        self.rows.iter().map(|r| r.mult.ub).sum()
+    }
+
+    /// The selected-guess world as a deterministic relation.
+    pub fn sg_world(&self) -> audb_rel::Relation {
+        audb_rel::Relation::from_rows(
+            self.schema.clone(),
+            self.rows
+                .iter()
+                .filter(|r| r.mult.sg > 0)
+                .map(|r| (r.tuple.sg_tuple(), r.mult.sg)),
+        )
+    }
+
+    /// Split every row into rows of possible multiplicity ≤ 1, annotating
+    /// the `i`-th duplicate `(1,1,1)` / `(0,1,1)` / `(0,0,1)` depending on
+    /// whether it certainly / selected-guess / only possibly exists
+    /// (the `expand` step of paper Def. 3 and Algorithm 2's `split`).
+    pub fn expand(&self) -> AuRelation {
+        let mut rows = Vec::with_capacity(self.total_possible() as usize);
+        for row in &self.rows {
+            for i in 0..row.mult.ub {
+                let mult = if i < row.mult.lb {
+                    Mult3::ONE
+                } else if i < row.mult.sg {
+                    Mult3::new(0, 1, 1)
+                } else {
+                    Mult3::new(0, 0, 1)
+                };
+                rows.push(AuRow {
+                    tuple: row.tuple.clone(),
+                    mult,
+                });
+            }
+        }
+        AuRelation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+}
+
+impl fmt::Display for AuRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} rows]", self.schema, self.rows.len())?;
+        for row in &self.rows {
+            writeln!(f, "  {} {}", row.tuple, row.mult)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range_value::RangeValue;
+    use audb_rel::{Relation, Tuple};
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    #[test]
+    fn normalize_merges_hypercubes() {
+        let t = AuTuple::new([rv(1, 2, 3)]);
+        let r = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [
+                (t.clone(), Mult3::new(1, 1, 1)),
+                (t.clone(), Mult3::new(0, 1, 2)),
+                (AuTuple::new([rv(9, 9, 9)]), Mult3::ZERO),
+            ],
+        )
+        .normalize();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].mult, Mult3::new(1, 2, 3));
+    }
+
+    #[test]
+    fn sg_world_extraction() {
+        let r = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [
+                (AuTuple::new([rv(1, 2, 3)]), Mult3::new(0, 2, 2)),
+                (AuTuple::new([rv(5, 5, 5)]), Mult3::new(0, 0, 1)),
+            ],
+        );
+        let sg = r.sg_world();
+        assert_eq!(sg.mult_of(&Tuple::from([2i64])), 2);
+        assert_eq!(sg.total_mult(), 2);
+    }
+
+    #[test]
+    fn expand_splits_multiplicities() {
+        let r = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [(AuTuple::new([rv(1, 1, 3)]), Mult3::new(1, 2, 4))],
+        );
+        let e = r.expand();
+        assert_eq!(e.rows.len(), 4);
+        assert_eq!(e.rows[0].mult, Mult3::ONE);
+        assert_eq!(e.rows[1].mult, Mult3::new(0, 1, 1));
+        assert_eq!(e.rows[2].mult, Mult3::new(0, 0, 1));
+        assert_eq!(e.rows[3].mult, Mult3::new(0, 0, 1));
+    }
+
+    #[test]
+    fn certain_lift_roundtrips_sg_world() {
+        let det = Relation::from_values(Schema::new(["a", "b"]), [[1i64, 2], [3, 4]]);
+        let au = AuRelation::certain(&det);
+        assert!(au.sg_world().bag_eq(&det));
+        assert!(au.rows.iter().all(|r| r.tuple.is_certain()));
+    }
+}

@@ -1,0 +1,22 @@
+//! # audb-native — one-pass algorithms for uncertain ranking and windows
+//!
+//! The paper's Sec. 8: efficient physical operators for AU-DB sorting,
+//! top-k and row-based windowed aggregation (the `Imp` method of the
+//! evaluation). Both operators run in `O(n log n)` (windowed aggregation in
+//! `O(N · n log n)` for window size `N`) and produce **exactly** the bounds
+//! of the quadratic reference semantics in `audb-core` — a property
+//! enforced by the cross-crate test-suite.
+//!
+//! * [`sort::sort_native`] / [`sort::topk_native`] — Algorithm 1 + `split`
+//!   (Algorithm 2): a single sweep over the relation sorted by the
+//!   lower-bound corner, with a `todo` min-heap on upper-bound corners.
+//! * [`window::window_native`] — Algorithm 3 (+`compBounds`, Algorithms
+//!   4–6): a sweep over uncertain positions with a `cert` position index
+//!   and a three-way [`audb_conheap::ConnectedHeap`] over the possible
+//!   window members.
+
+pub mod sort;
+pub mod window;
+
+pub use sort::{sort_native, topk_native};
+pub use window::window_native;

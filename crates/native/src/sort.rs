@@ -1,0 +1,344 @@
+//! One-pass non-deterministic sort and top-k (paper Algorithm 1 + the
+//! `split` of Algorithm 2).
+//!
+//! The input is scanned in ascending order of the *lower-bound corner* of
+//! the order-by key (`O↓`); a min-heap `todo` keyed on the upper-bound
+//! corner (`O↑`) holds tuples whose position upper bound is not yet known.
+//! When an incoming tuple's `O↓` exceeds a heap tuple's `O↑`, that heap
+//! tuple's window of possible predecessors is complete and it is *emitted*:
+//!
+//! * its position lower bound was fixed at insertion time (`rank↓` = total
+//!   certain multiplicity of tuples emitted before it — exactly the tuples
+//!   `u` with `u.O↑ <lex t.O↓`, i.e. Equation (1));
+//! * its position upper bound is derived from `rank↑` (total possible
+//!   multiplicity processed so far). Unlike the paper's pseudocode, which
+//!   over-counts by the tuple's own multiplicity and by processed tuples
+//!   whose `O↓` *equals* the emitted tuple's `O↑` (not strict predecessors),
+//!   we subtract both — tracked per distinct lower-bound key — so the
+//!   emitted bound equals Equation (3) exactly. The result is
+//!   property-tested to be *identical* to the Def. 2 reference.
+//!
+//! Selected-guess positions are deterministic and computed by a sorting
+//! pre-pass over the selected-guess corners (Equation (2)).
+//!
+//! With `k` given, the scan stops once `rank↓ ≥ k` (all further tuples are
+//! certainly out of the top-k); position bounds of survivors are capped at
+//! `k` as in the paper's `emit` (both are applied to the reference, too,
+//! when comparing). Uses the exact interval-lexicographic comparison
+//! semantics ([`audb_core::CmpSemantics::IntervalLex`]).
+
+use audb_core::{AuRelation, Mult3, RangeValue};
+use audb_rel::ops::sort::total_order;
+use audb_rel::Tuple;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Key material for one input row.
+struct RowState {
+    row: usize,
+    /// `O↓` corner projected on the total order columns.
+    lb_key: Tuple,
+    /// `O↑` corner projected on the total order columns.
+    ub_key: Tuple,
+    /// Position lower bound (`rank↓` at insertion).
+    tau_lb: u64,
+    /// Selected-guess position of duplicate 0.
+    tau_sg: u64,
+}
+
+/// Heap entry ordered by (`ub_key`, insertion id) — a total order so pops
+/// are deterministic.
+struct Pending {
+    key: Tuple,
+    seq: usize,
+    state: RowState,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// `sort_{O→τ}(R)` — one-pass equivalent of [`audb_core::sort_ref`] under
+/// interval-lex comparison. The input is normalized first (identical
+/// hypercubes must be merged for duplicate offsets to be meaningful).
+pub fn sort_native(rel: &AuRelation, order: &[usize], pos_name: &str) -> AuRelation {
+    sort_impl(rel, order, pos_name, None)
+}
+
+/// Top-k: sort + AU-selection `σ_{τ < k}` fused into the scan with early
+/// termination; position bounds capped at `k` (paper Algorithm 1, `emit`).
+pub fn topk_native(rel: &AuRelation, order: &[usize], k: u64, pos_name: &str) -> AuRelation {
+    sort_impl(rel, order, pos_name, Some(k))
+}
+
+fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) -> AuRelation {
+    let rel = rel.clone().normalize();
+    let total_idxs = total_order(rel.schema.arity(), order);
+    let n = rel.rows.len();
+    let schema = rel.schema.with(pos_name);
+    let mut out = AuRelation::empty(schema);
+    if n == 0 {
+        return out;
+    }
+
+    // --- Selected-guess pre-pass (Equation (2)): deterministic ranks. ---
+    let sg_keys: Vec<Tuple> = rel
+        .rows
+        .iter()
+        .map(|r| r.tuple.sg_tuple().project(&total_idxs))
+        .collect();
+    let mut by_sg: Vec<usize> = (0..n).collect();
+    by_sg.sort_by(|&a, &b| sg_keys[a].cmp(&sg_keys[b]));
+    let mut sg_base = vec![0u64; n];
+    let mut cum = 0u64;
+    let mut i = 0;
+    while i < n {
+        // Tuples with equal sg keys do not precede each other (Eq. (2)
+        // sums over strictly smaller keys), so the whole group shares the
+        // cumulative multiplicity seen before it.
+        let mut j = i;
+        let mut group_mult = 0u64;
+        while j < n && sg_keys[by_sg[j]] == sg_keys[by_sg[i]] {
+            sg_base[by_sg[j]] = cum;
+            group_mult += rel.rows[by_sg[j]].mult.sg;
+            j += 1;
+        }
+        cum += group_mult;
+        i = j;
+    }
+
+    // --- Main sweep (Algorithm 1). ---
+    let mut by_lb: Vec<usize> = (0..n).collect();
+    let lb_keys: Vec<Tuple> = rel
+        .rows
+        .iter()
+        .map(|r| r.tuple.lb_tuple().project(&total_idxs))
+        .collect();
+    by_lb.sort_by(|&a, &b| lb_keys[a].cmp(&lb_keys[b]));
+
+    let mut todo: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+    let mut rank_lb = 0u64; // Σ k↓ of emitted tuples
+    let mut rank_ub = 0u64; // Σ k↑ of processed tuples
+    // Σ k↑ of processed tuples per distinct lower-bound key: emitted upper
+    // bounds must not count tuples whose O↓ merely *ties* the emitted O↑.
+    let mut processed_by_lb: HashMap<Tuple, u64> = HashMap::new();
+    let mut seq = 0usize;
+    let mut stopped = false;
+
+    let emit = |s: RowState,
+                    rank_lb: &mut u64,
+                    rank_ub: u64,
+                    processed_by_lb: &HashMap<Tuple, u64>,
+                    out: &mut AuRelation| {
+        let row = &rel.rows[s.row];
+        let bucket = processed_by_lb.get(&s.ub_key).copied().unwrap_or(0);
+        let self_extra = if s.lb_key != s.ub_key { row.mult.ub } else { 0 };
+        let tau_ub = rank_ub - bucket - self_extra;
+        // Without early termination the bounds are exact and ordered; with
+        // top-k early termination the raw sg rank (computed globally) can
+        // exceed the partially-computed upper bound — the cap below restores
+        // the invariant (both then equal k; see module docs).
+        debug_assert!(k.is_some() || (s.tau_lb <= s.tau_sg && s.tau_sg <= tau_ub));
+        // split (Algorithm 2): one output row per possible duplicate.
+        for i in 0..row.mult.ub {
+            let (plb, mut psg, mut pub_) = (s.tau_lb + i, s.tau_sg + i, tau_ub + i);
+            let mut mult = if i < row.mult.lb {
+                Mult3::ONE
+            } else if i < row.mult.sg {
+                Mult3::new(0, 1, 1)
+            } else {
+                Mult3::new(0, 0, 1)
+            };
+            if let Some(k) = k {
+                // Fused σ_{τ < k} with [24] selection semantics.
+                if plb >= k {
+                    continue; // certainly out of the top-k
+                }
+                mult = Mult3 {
+                    lb: if pub_ < k { mult.lb } else { 0 },
+                    sg: if psg < k { mult.sg } else { 0 },
+                    ub: mult.ub,
+                };
+                // Cap positions at k (paper: τ↑ ← min(k, rank↑)).
+                psg = psg.min(k);
+                pub_ = pub_.min(k);
+            }
+            if plb > psg {
+                psg = plb; // can only happen via capping; keep the invariant
+            }
+            let pos = RangeValue::from_i64s(plb as i64, psg as i64, pub_ as i64);
+            out.push(row.tuple.with(pos), mult);
+        }
+        *rank_lb += row.mult.lb;
+    };
+
+    for &r in &by_lb {
+        // Emit every pending tuple certainly ordered before the incoming one.
+        while let Some(Reverse(p)) = todo.peek() {
+            if p.key < lb_keys[r] {
+                let Reverse(p) = todo.pop().unwrap();
+                emit(p.state, &mut rank_lb, rank_ub, &processed_by_lb, &mut out);
+            } else {
+                break;
+            }
+        }
+        if let Some(k) = k {
+            if rank_lb >= k {
+                // Everything from here on is certainly out of the top-k.
+                stopped = true;
+                break;
+            }
+        }
+        let state = RowState {
+            row: r,
+            lb_key: lb_keys[r].clone(),
+            ub_key: rel.rows[r].tuple.ub_tuple().project(&total_idxs),
+            tau_lb: rank_lb,
+            tau_sg: sg_base[r],
+        };
+        rank_ub += rel.rows[r].mult.ub;
+        *processed_by_lb.entry(lb_keys[r].clone()).or_insert(0) += rel.rows[r].mult.ub;
+        todo.push(Reverse(Pending {
+            key: state.ub_key.clone(),
+            seq,
+            state,
+        }));
+        seq += 1;
+    }
+
+    // Flush remaining pending tuples (Algorithm 1, lines 10–11).
+    while let Some(Reverse(p)) = todo.pop() {
+        emit(p.state, &mut rank_lb, rank_ub, &processed_by_lb, &mut out);
+    }
+    let _ = stopped;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{sort_ref, topk_ref, AuTuple, CmpSemantics};
+    use audb_rel::Schema;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    fn example6() -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            [
+                (
+                    AuTuple::new([RangeValue::certain(1i64), rv(1, 1, 3)]),
+                    Mult3::new(1, 1, 2),
+                ),
+                (
+                    AuTuple::new([rv(2, 3, 3), RangeValue::certain(15i64)]),
+                    Mult3::new(0, 1, 1),
+                ),
+                (
+                    AuTuple::new([rv(1, 1, 2), RangeValue::certain(2i64)]),
+                    Mult3::ONE,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn matches_reference_on_example_6() {
+        let native = sort_native(&example6(), &[0, 1], "pos");
+        let reference = sort_ref(&example6(), &[0, 1], "pos", CmpSemantics::IntervalLex);
+        assert!(
+            native.bag_eq(&reference),
+            "native:\n{native}\nreference:\n{reference}"
+        );
+    }
+
+    #[test]
+    fn topk_matches_reference_with_capping() {
+        for k in 0..5u64 {
+            let native = topk_native(&example6(), &[0, 1], k, "pos");
+            let mut reference = topk_ref(&example6(), &[0, 1], k, CmpSemantics::IntervalLex);
+            cap_positions(&mut reference, k);
+            assert!(
+                native.bag_eq(&reference),
+                "k={k}\nnative:\n{native}\nreference:\n{reference}"
+            );
+        }
+    }
+
+    /// Apply the paper's `τ↑ ← min(k, ·)` cap to a reference top-k result
+    /// (reference keeps raw Def. 2 positions; native caps during emit).
+    fn cap_positions(rel: &mut AuRelation, k: u64) {
+        let pos_col = rel.schema.arity() - 1;
+        for row in &mut rel.rows {
+            let p = row.tuple.0[pos_col].clone();
+            let (lb, sg, ub) = p.as_i64_triple();
+            row.tuple.0[pos_col] =
+                RangeValue::from_i64s(lb, sg.min(k as i64), ub.min(k as i64));
+        }
+    }
+
+    #[test]
+    fn certain_relation_sorts_deterministically() {
+        use audb_rel::Relation;
+        let det = Relation::from_values(Schema::new(["a"]), [[5i64], [1], [3], [2], [4]]);
+        let au = AuRelation::certain(&det);
+        let native = sort_native(&au, &[0], "pos");
+        let reference = sort_ref(&au, &[0], "pos", CmpSemantics::IntervalLex);
+        assert!(native.bag_eq(&reference));
+        for row in &native.rows {
+            assert!(row.tuple.get(1).is_certain());
+        }
+    }
+
+    #[test]
+    fn duplicate_multiplicities_split_with_offsets() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [(AuTuple::new([rv(1, 2, 4)]), Mult3::new(2, 2, 3))],
+        );
+        let native = sort_native(&rel, &[0], "pos");
+        let reference = sort_ref(&rel, &[0], "pos", CmpSemantics::IntervalLex);
+        assert!(native.bag_eq(&reference), "{native}\nvs\n{reference}");
+        assert_eq!(native.rows.len(), 3);
+    }
+
+    #[test]
+    fn all_equal_certain_keys() {
+        // Equal certain keys collapse to one row of multiplicity 3 after
+        // normalization; positions 0,1,2 with certainty.
+        let t = AuTuple::new([RangeValue::certain(7i64)]);
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [
+                (t.clone(), Mult3::ONE),
+                (t.clone(), Mult3::ONE),
+                (t.clone(), Mult3::ONE),
+            ],
+        );
+        let native = sort_native(&rel, &[0], "pos");
+        let reference = sort_ref(&rel.clone().normalize(), &[0], "pos", CmpSemantics::IntervalLex);
+        assert!(native.bag_eq(&reference), "{native}\nvs\n{reference}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let rel = AuRelation::empty(Schema::new(["a"]));
+        assert!(sort_native(&rel, &[0], "pos").is_empty());
+        assert!(topk_native(&rel, &[0], 3, "pos").is_empty());
+    }
+}

@@ -1,0 +1,494 @@
+//! One-pass ranged windowed aggregation (paper Algorithm 3, with the
+//! `compBounds` family of Algorithms 4–6) built on connected heaps.
+//!
+//! The input relation is first sorted with [`crate::sort::sort_native`]
+//! (positions materialized as `τ` ranges, every row's possible multiplicity
+//! is 1), then swept in ascending `τ↓` order:
+//!
+//! * `openw` — a min-heap on `τ↑` of tuples whose windows are not yet
+//!   complete. A tuple `s` closes once the incoming `τ↓` exceeds
+//!   `s.τ↑ + u` (no future tuple can possibly belong to its window).
+//! * `cert` — a BTree of certain tuples (`k↓ ≥ 1`) bucketed by `τ↓`,
+//!   each bucket ordered by `τ↑`: a range scan over
+//!   `[s.τ↑ + l, s.τ↓ + u]` yields exactly the tuples *certainly* in `s`'s
+//!   window (Fig. 6). Buckets below every open window are evicted.
+//! * `poss` — a **three-way connected heap** ordered by `τ↑` (eviction),
+//!   `A↓` ascending (min-k candidates) and `A↑` descending (max-k
+//!   candidates). `compBounds` scans the `A↓`/`A↑` components in sorted
+//!   order, skipping tuples that are certain members or outside `s`'s
+//!   possible window, and takes at most `possn = size([l,u]) − |certain|`
+//!   contributions — the min-k/max-k pools of Sec. 6.1.
+//!
+//! Two deviations from the paper's pseudocode, both strictly tighter and
+//! needed for exact agreement with the Def. 3 reference
+//! ([`audb_core::window_ref`]): pool scans filter candidates to tuples
+//! actually overlapping `s`'s possible window, and eviction thresholds use
+//! the minimum `τ↓` over *all* open windows rather than the closing
+//! window's own `τ↓` (later-closing windows may start earlier when position
+//! ranges are wide). Selected-guess components are computed by the shared
+//! deterministic pre-pass [`audb_core::sg_window_values`].
+//!
+//! `PARTITION BY` is supported natively for *certain* partition attributes
+//! (hash partition + per-partition sweep, an extension over the paper's
+//! benchmarked configuration); uncertain partition attributes require the
+//! reference semantics or the rewrite method, as in the paper.
+
+use crate::sort::sort_native;
+use audb_conheap::ConnectedHeap;
+use audb_core::{guaranteed_extra_slots, sg_window_values, AuRelation, AuWindowSpec, RangeValue, WinAgg};
+use audb_rel::{Tuple, Value};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// One sorted tuple in flight through the sweep.
+#[derive(Clone, Debug)]
+struct Item {
+    /// Index into the sorted relation (also the provenance id).
+    id: usize,
+    tlo: i64,
+    thi: i64,
+    /// Lower/upper bound of the aggregated attribute (`[1,1]` for count).
+    alo: Value,
+    ahi: Value,
+    /// Certainly exists (`k↓ ≥ 1`).
+    cert: bool,
+}
+
+/// `ω[l,u]_{f(A)→X; G; O}(R)` — one-pass equivalent of
+/// [`audb_core::window_ref`]. Panics if partition attributes are uncertain
+/// (see module docs).
+pub fn window_native(
+    rel: &AuRelation,
+    spec: &AuWindowSpec,
+    agg: WinAgg,
+    out_name: &str,
+) -> AuRelation {
+    let mut out = AuRelation::empty(rel.schema.with(out_name));
+    if rel.is_empty() {
+        return out;
+    }
+    if spec.partition.is_empty() {
+        window_partitionless(rel, spec, agg, out_name, &mut out);
+        return out.normalize();
+    }
+    // Hash partitioning on certain partition attributes.
+    let mut parts: HashMap<Tuple, AuRelation> = HashMap::new();
+    for row in &rel.rows {
+        for &g in &spec.partition {
+            assert!(
+                row.tuple.get(g).is_certain(),
+                "window_native requires certain PARTITION BY attributes \
+                 (attribute {g} of {} is a range); use audb_core::window_ref \
+                 or the rewrite method for uncertain partitions",
+                row.tuple
+            );
+        }
+        let key = row.tuple.sg_tuple().project(&spec.partition);
+        parts
+            .entry(key)
+            .or_insert_with(|| AuRelation::empty(rel.schema.clone()))
+            .rows
+            .push(row.clone());
+    }
+    let inner = AuWindowSpec {
+        partition: Vec::new(),
+        order: spec.order.clone(),
+        lower: spec.lower,
+        upper: spec.upper,
+    };
+    for part in parts.values() {
+        window_partitionless(part, &inner, agg, out_name, &mut out);
+    }
+    out.normalize()
+}
+
+fn window_partitionless(
+    rel: &AuRelation,
+    spec: &AuWindowSpec,
+    agg: WinAgg,
+    _out_name: &str,
+    out: &mut AuRelation,
+) {
+    let (l, u) = (spec.lower, spec.upper);
+    let size = spec.size() as usize;
+
+    // Step 1: materialize uncertain sort positions; rows now have k↑ = 1.
+    let mut sorted = sort_native(rel, &spec.order, "__tau");
+    let pos_col = sorted.schema.arity() - 1;
+    sorted.rows.sort_by(|a, b| {
+        let pa = a.tuple.get(pos_col).as_i64_triple();
+        let pb = b.tuple.get(pos_col).as_i64_triple();
+        (pa.0, pa.2).cmp(&(pb.0, pb.2))
+    });
+    let n = sorted.rows.len();
+
+    // Shared deterministic SG pre-pass over the sorted rows (sans τ).
+    let exp_like = AuRelation::from_rows(
+        rel.schema.clone(),
+        sorted
+            .rows
+            .iter()
+            .map(|r| (r.tuple.project(&(0..pos_col).collect::<Vec<_>>()), r.mult)),
+    );
+    let sg_vals = sg_window_values(&exp_like, spec, agg);
+
+    // Rows certainly existing in this partition (for guaranteed slots).
+    let total_lb: u64 = sorted.rows.iter().map(|r| r.mult.lb).sum();
+    let items: Vec<Item> = sorted
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(id, r)| {
+            let (tlo, _, thi) = r.tuple.get(pos_col).as_i64_triple();
+            let attr = match agg.input_col() {
+                Some(c) => r.tuple.get(c).clone(),
+                None => RangeValue::certain(1i64),
+            };
+            Item {
+                id,
+                tlo,
+                thi,
+                alo: attr.lb,
+                ahi: attr.ub,
+                cert: r.mult.lb >= 1,
+            }
+        })
+        .collect();
+
+    // openw: (τ↑, id) min-heap of tuples whose windows are still open.
+    let mut openw: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+    // Multiset of open τ↓ values — the safe eviction watermark.
+    let mut open_tlos: BTreeMap<i64, usize> = BTreeMap::new();
+    // cert[τ↓] = certain tuples at that position lower bound, τ↑-sorted.
+    let mut cert: BTreeMap<i64, Vec<(i64, usize)>> = BTreeMap::new();
+    // poss: connected heap over (τ↑ asc | A↓ asc | A↑ desc).
+    let mut poss = ConnectedHeap::new(3, |h, a: &Item, b: &Item| match h {
+        0 => (a.thi, a.id).cmp(&(b.thi, b.id)),
+        1 => a.alo.cmp(&b.alo).then(a.id.cmp(&b.id)),
+        _ => b.ahi.cmp(&a.ahi).then(a.id.cmp(&b.id)),
+    });
+
+    let close = |id: usize,
+                     cert: &mut BTreeMap<i64, Vec<(i64, usize)>>,
+                     poss: &ConnectedHeap<Item, _>,
+                     open_tlos: &BTreeMap<i64, usize>,
+                     out: &mut AuRelation| {
+        let s = &items[id];
+        let cs = (s.thi + l, s.tlo + u); // certainly covered positions
+        let ps = (s.tlo + l, s.thi + u); // possibly covered positions
+
+        // Evict cert buckets no open window can reach any more.
+        let min_needed = open_tlos
+            .keys()
+            .next()
+            .map(|&t| t + l)
+            .unwrap_or(cs.0)
+            .min(cs.0);
+        while let Some((&key, _)) = cert.iter().next() {
+            if key < min_needed {
+                cert.remove(&key);
+            } else {
+                break;
+            }
+        }
+
+        // Certain members (excluding self).
+        let mut cert_vals: Vec<(Value, Value)> = Vec::new();
+        let self_attr = match agg.input_col() {
+            Some(c) => sorted.rows[id].tuple.get(c).clone(),
+            None => RangeValue::certain(1i64),
+        };
+        cert_vals.push((self_attr.lb.clone(), self_attr.ub.clone()));
+        if cs.0 <= cs.1 {
+            for (_, bucket) in cert.range(cs.0..=cs.1) {
+                for &(thi, cid) in bucket {
+                    if cid != id && thi <= cs.1 {
+                        cert_vals.push((items[cid].alo.clone(), items[cid].ahi.clone()));
+                    }
+                }
+            }
+        }
+        let possn = size.saturating_sub(cert_vals.len());
+        let n_cert = total_lb - u64::from(s.cert) + 1;
+        let q = guaranteed_extra_slots(
+            l,
+            u,
+            s.tlo as u64,
+            s.thi as u64,
+            n_cert,
+            cert_vals.len(),
+            possn,
+        );
+
+        // A pool candidate is a possible-but-not-certain member ≠ self.
+        let valid = |it: &Item| -> bool {
+            if it.id == id {
+                return false;
+            }
+            let certainly = it.cert && it.tlo >= cs.0 && it.thi <= cs.1;
+            !certainly && it.tlo <= ps.1 && it.thi >= ps.0
+        };
+
+        let (xlo, xhi) = match agg {
+            WinAgg::Sum(_) | WinAgg::Count => {
+                let mut lo = Value::Int(0);
+                let mut hi = Value::Int(0);
+                for (a, b) in &cert_vals {
+                    lo = lo.add(a);
+                    hi = hi.add(b);
+                }
+                // min-k over the A↓-ordered component with the guaranteed
+                // floor: j = clamp(#negatives, q, possn) smallest lbs
+                // (see audb_core::aggregate_window).
+                let picked: Vec<&Value> = poss
+                    .sorted_iter(1)
+                    .filter(|it| valid(it))
+                    .take(possn)
+                    .map(|it| &it.alo)
+                    .collect();
+                let negs = picked.iter().take_while(|v| ***v < Value::Int(0)).count();
+                let j = negs.clamp(q.min(picked.len()), possn.min(picked.len()));
+                for v in &picked[..j] {
+                    lo = lo.add(v);
+                }
+                // max-k over the A↑-descending component, mirrored.
+                let picked: Vec<&Value> = poss
+                    .sorted_iter(2)
+                    .filter(|it| valid(it))
+                    .take(possn)
+                    .map(|it| &it.ahi)
+                    .collect();
+                let pos_cnt = picked.iter().take_while(|v| ***v > Value::Int(0)).count();
+                let j = pos_cnt.clamp(q.min(picked.len()), possn.min(picked.len()));
+                for v in &picked[..j] {
+                    hi = hi.add(v);
+                }
+                (lo, hi)
+            }
+            WinAgg::Min(_) => {
+                let mut hi = cert_vals.iter().map(|(_, b)| b).min().unwrap().clone();
+                if q >= 1 {
+                    // q-th largest pool upper bound caps the minimum.
+                    if let Some(it) = poss.sorted_iter(2).filter(|it| valid(it)).nth(q - 1) {
+                        hi = hi.min(it.ahi.clone());
+                    }
+                }
+                let mut lo = cert_vals.iter().map(|(a, _)| a).min().unwrap().clone();
+                if possn > 0 {
+                    if let Some(it) = poss.sorted_iter(1).find(|it| valid(it)) {
+                        lo = lo.min(it.alo.clone());
+                    }
+                }
+                (lo, hi)
+            }
+            WinAgg::Max(_) => {
+                let mut lo = cert_vals.iter().map(|(a, _)| a).max().unwrap().clone();
+                if q >= 1 {
+                    if let Some(it) = poss.sorted_iter(1).filter(|it| valid(it)).nth(q - 1) {
+                        lo = lo.max(it.alo.clone());
+                    }
+                }
+                let mut hi = cert_vals.iter().map(|(_, b)| b).max().unwrap().clone();
+                if possn > 0 {
+                    if let Some(it) = poss.sorted_iter(2).find(|it| valid(it)) {
+                        hi = hi.max(it.ahi.clone());
+                    }
+                }
+                (lo, hi)
+            }
+            WinAgg::Avg(_) => {
+                let mut lo = cert_vals.iter().map(|(a, _)| a).min().unwrap().clone();
+                let mut hi = cert_vals.iter().map(|(_, b)| b).max().unwrap().clone();
+                if possn > 0 {
+                    if let Some(it) = poss.sorted_iter(1).find(|it| valid(it)) {
+                        lo = lo.min(it.alo.clone());
+                    }
+                    if let Some(it) = poss.sorted_iter(2).find(|it| valid(it)) {
+                        hi = hi.max(it.ahi.clone());
+                    }
+                }
+                (lo, hi)
+            }
+        };
+
+        // Selected guess, clamped into the bounds (DESIGN.md §3.4).
+        let sg = {
+            let raw = sg_vals[id].clone();
+            if raw.is_null() || raw < xlo {
+                xlo.clone()
+            } else if raw > xhi {
+                xhi.clone()
+            } else {
+                raw
+            }
+        };
+
+        let base = sorted.rows[id]
+            .tuple
+            .project(&(0..pos_col).collect::<Vec<_>>());
+        out.push(base.with(RangeValue { lb: xlo, sg, ub: xhi }), sorted.rows[id].mult);
+    };
+
+    for t in 0..n {
+        let it = &items[t];
+        // Close every window no future tuple can possibly join.
+        while let Some(&Reverse((thi, sid))) = openw.peek() {
+            if thi + u < it.tlo {
+                openw.pop();
+                // Remove from the open-τ↓ multiset before closing so the
+                // eviction watermark reflects the remaining open windows.
+                let e = open_tlos.get_mut(&items[sid].tlo).unwrap();
+                *e -= 1;
+                if *e == 0 {
+                    open_tlos.remove(&items[sid].tlo);
+                }
+                // Evict pool tuples below every remaining window.
+                let watermark = open_tlos
+                    .keys()
+                    .next()
+                    .copied()
+                    .unwrap_or(it.tlo)
+                    .min(items[sid].tlo)
+                    + l;
+                close(sid, &mut cert, &poss, &open_tlos, out);
+                while let Some(p) = poss.peek(0) {
+                    if p.thi < watermark {
+                        poss.pop(0);
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        openw.push(Reverse((it.thi, t)));
+        *open_tlos.entry(it.tlo).or_insert(0) += 1;
+        if it.cert {
+            let bucket = cert.entry(it.tlo).or_default();
+            let at = bucket.partition_point(|&(thi, _)| thi < it.thi);
+            bucket.insert(at, (it.thi, t));
+        }
+        poss.insert(it.clone());
+    }
+    // Flush the remaining open windows.
+    while let Some(Reverse((_, sid))) = openw.pop() {
+        let e = open_tlos.get_mut(&items[sid].tlo).unwrap();
+        *e -= 1;
+        if *e == 0 {
+            open_tlos.remove(&items[sid].tlo);
+        }
+        close(sid, &mut cert, &poss, &open_tlos, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{window_ref, AuTuple, CmpSemantics, Mult3};
+    use audb_rel::Schema;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    fn small_rel() -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["o", "v"]),
+            [
+                (AuTuple::new([rv(1, 1, 3), rv(5, 7, 7)]), Mult3::ONE),
+                (AuTuple::new([rv(2, 2, 2), rv(-3, -3, -3)]), Mult3::ONE),
+                (
+                    AuTuple::new([rv(4, 5, 6), rv(10, 10, 12)]),
+                    Mult3::new(0, 1, 1),
+                ),
+                (AuTuple::new([rv(8, 8, 8), rv(1, 2, 3)]), Mult3::ONE),
+            ],
+        )
+    }
+
+    #[test]
+    fn matches_reference_on_small_relation() {
+        for agg in [
+            WinAgg::Sum(1),
+            WinAgg::Count,
+            WinAgg::Min(1),
+            WinAgg::Max(1),
+            WinAgg::Avg(1),
+        ] {
+            for (l, u) in [(0i64, 0i64), (-1, 0), (-2, 0), (-1, 1), (0, 2)] {
+                let spec = AuWindowSpec::rows(vec![0], l, u);
+                let native = window_native(&small_rel(), &spec, agg, "x");
+                let reference =
+                    window_ref(&small_rel(), &spec, agg, "x", CmpSemantics::IntervalLex);
+                assert!(
+                    native.bag_eq(&reference),
+                    "agg={agg:?} l={l} u={u}\nnative:\n{native}\nreference:\n{reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certain_partition_by_splits_groups() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["g", "o", "v"]),
+            [
+                (
+                    AuTuple::new([rv(1, 1, 1), rv(1, 1, 2), rv(10, 10, 10)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([rv(1, 1, 1), rv(2, 3, 3), rv(20, 20, 20)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([rv(2, 2, 2), rv(1, 1, 1), rv(100, 100, 100)]),
+                    Mult3::ONE,
+                ),
+            ],
+        );
+        let spec = AuWindowSpec::rows(vec![1], -1, 0).partition_by(vec![0]);
+        let native = window_native(&rel, &spec, WinAgg::Sum(2), "s");
+        let reference = window_ref(&rel, &spec, WinAgg::Sum(2), "s", CmpSemantics::IntervalLex);
+        assert!(
+            native.bag_eq(&reference),
+            "native:\n{native}\nreference:\n{reference}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "certain PARTITION BY")]
+    fn uncertain_partition_rejected() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["g", "o"]),
+            [(AuTuple::new([rv(1, 1, 2), rv(1, 1, 1)]), Mult3::ONE)],
+        );
+        let spec = AuWindowSpec::rows(vec![1], -1, 0).partition_by(vec![0]);
+        window_native(&rel, &spec, WinAgg::Count, "c");
+    }
+
+    #[test]
+    fn certain_input_equals_deterministic() {
+        use audb_rel::{window_rows, AggFunc, Relation, WindowSpec};
+        let det = Relation::from_values(
+            Schema::new(["o", "v"]),
+            [[1i64, 4], [2, -2], [3, 9], [4, 0], [5, 7]],
+        );
+        let au = AuRelation::certain(&det);
+        let spec = AuWindowSpec::rows(vec![0], -2, 0);
+        let native = window_native(&au, &spec, WinAgg::Sum(1), "s");
+        let dout = window_rows(&det, &WindowSpec::rows(vec![0], -2, 0), AggFunc::Sum(1), "s");
+        assert!(native.sg_world().bag_eq(&dout), "{native}\nvs\n{dout}");
+        for row in &native.rows {
+            assert!(row.tuple.get(2).is_certain());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let rel = AuRelation::empty(Schema::new(["o", "v"]));
+        let spec = AuWindowSpec::rows(vec![0], -1, 0);
+        assert!(window_native(&rel, &spec, WinAgg::Sum(1), "s").is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Minimal CSV import/export for relations (no external dependencies).
+//!
+//! Good enough for loading benchmark datasets and dumping results: RFC-4180
+//! quoting on write; on read, unquoted fields are typed by inference
+//! (integer → float → string; empty → NULL), quoted fields are strings.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Parse one CSV line into fields (handles quotes and embedded commas).
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    let mut was_quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() && !was_quoted => {
+                quoted = true;
+                was_quoted = true;
+            }
+            ',' if !quoted => {
+                fields.push(finish(&mut cur, &mut was_quoted));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(finish(&mut cur, &mut was_quoted));
+    return fields;
+
+    fn finish(cur: &mut String, was_quoted: &mut bool) -> String {
+        let s = std::mem::take(cur);
+        let s = if *was_quoted {
+            format!("\u{0}{s}") // NUL marker: force string typing
+        } else {
+            s
+        };
+        *was_quoted = false;
+        s
+    }
+}
+
+fn parse_value(field: &str) -> Value {
+    if let Some(stripped) = field.strip_prefix('\u{0}') {
+        return Value::str(stripped);
+    }
+    let t = field.trim();
+    if t.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match t {
+        "true" | "TRUE" => Value::Bool(true),
+        "false" | "FALSE" => Value::Bool(false),
+        _ => Value::str(t),
+    }
+}
+
+/// Read a relation from CSV. The first line is the header (schema); every
+/// data row gets multiplicity 1.
+pub fn read_csv(reader: impl Read) -> io::Result<Relation> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+    let cols = split_line(&header)
+        .into_iter()
+        .map(|c| c.trim_start_matches('\u{0}').to_string())
+        .collect::<Vec<_>>();
+    let schema = Schema::new(cols);
+    let mut rel = Relation::empty(schema.clone());
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(&line);
+        if fields.len() != schema.arity() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "row has {} fields, header has {}",
+                    fields.len(),
+                    schema.arity()
+                ),
+            ));
+        }
+        rel.push(
+            Tuple::new(fields.iter().map(|f| parse_value(f))),
+            1,
+        );
+    }
+    Ok(rel)
+}
+
+fn write_field(out: &mut impl Write, v: &Value) -> io::Result<()> {
+    match v {
+        Value::Null => Ok(()),
+        Value::Str(s) => {
+            if s.contains([',', '"', '\n']) {
+                write!(out, "\"{}\"", s.replace('"', "\"\""))
+            } else {
+                write!(out, "{s}")
+            }
+        }
+        other => write!(out, "{other}"),
+    }
+}
+
+/// Write a relation as CSV (duplicates expanded; header included).
+pub fn write_csv(rel: &Relation, mut out: impl Write) -> io::Result<()> {
+    writeln!(out, "{}", rel.schema.cols().join(","))?;
+    for row in &rel.rows {
+        for _ in 0..row.mult {
+            for (i, v) in row.tuple.0.iter().enumerate() {
+                if i > 0 {
+                    write!(out, ",")?;
+                }
+                write_field(&mut out, v)?;
+            }
+            writeln!(out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rel = Relation::from_rows(
+            Schema::new(["id", "name", "score"]),
+            [
+                (
+                    Tuple::new([Value::Int(1), Value::str("ada"), Value::Float(9.5)]),
+                    1,
+                ),
+                (
+                    Tuple::new([Value::Int(2), Value::str("grace, phd"), Value::Null]),
+                    2,
+                ),
+            ],
+        );
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert!(back.bag_eq(&rel), "{back}");
+    }
+
+    #[test]
+    fn type_inference() {
+        let csv = "a,b,c,d\n1,2.5,hello,\n-3,0,\"42\",true\n";
+        let rel = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(rel.rows[0].tuple.get(0), &Value::Int(1));
+        assert_eq!(rel.rows[0].tuple.get(1), &Value::Float(2.5));
+        assert_eq!(rel.rows[0].tuple.get(2), &Value::str("hello"));
+        assert!(rel.rows[0].tuple.get(3).is_null());
+        // Quoted numerals stay strings.
+        assert_eq!(rel.rows[1].tuple.get(2), &Value::str("42"));
+        assert_eq!(rel.rows[1].tuple.get(3), &Value::Bool(true));
+    }
+
+    #[test]
+    fn quoting_with_commas_and_quotes() {
+        let rel = Relation::from_rows(
+            Schema::new(["s"]),
+            [(Tuple::new([Value::str("he said \"hi, there\"")]), 1)],
+        );
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert!(back.bag_eq(&rel));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv("a,b\n1\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

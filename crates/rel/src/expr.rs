@@ -1,0 +1,225 @@
+//! Scalar expressions over tuples.
+//!
+//! Expressions are built from attribute references, constants, arithmetic,
+//! boolean connectives, comparisons and a conditional. Evaluation is total:
+//! type mismatches yield [`Value::Null`], and predicates treat anything but
+//! `Bool(true)` as false. Comparisons use the total value order of
+//! [`crate::value`], mirroring the paper's assumption of totally ordered
+//! attribute domains.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an [`Ordering`].
+    pub fn test(self, o: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => o == Ordering::Equal,
+            CmpOp::Ne => o != Ordering::Equal,
+            CmpOp::Lt => o == Ordering::Less,
+            CmpOp::Le => o != Ordering::Greater,
+            CmpOp::Gt => o == Ordering::Greater,
+            CmpOp::Ge => o != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Attribute reference by position.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division (by-zero yields `Null`).
+    Div(Box<Expr>, Box<Expr>),
+    /// Numeric negation.
+    Neg(Box<Expr>),
+    /// Comparison under the total value order.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction (non-true operands count as false).
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation of a boolean.
+    Not(Box<Expr>),
+    /// `if cond then a else b`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Attribute reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Constant.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self op other`.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(other))
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Le, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, t: &Tuple) -> Value {
+        match self {
+            Expr::Col(i) => t.get(*i).clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Add(a, b) => a.eval(t).add(&b.eval(t)),
+            Expr::Sub(a, b) => a.eval(t).sub(&b.eval(t)),
+            Expr::Mul(a, b) => a.eval(t).mul(&b.eval(t)),
+            Expr::Div(a, b) => a.eval(t).div(&b.eval(t)),
+            Expr::Neg(a) => a.eval(t).neg(),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval(t), b.eval(t));
+                if va.is_null() || vb.is_null() {
+                    Value::Null
+                } else {
+                    Value::Bool(op.test(va.cmp(&vb)))
+                }
+            }
+            Expr::And(a, b) => Value::Bool(a.eval(t).is_true() && b.eval(t).is_true()),
+            Expr::Or(a, b) => Value::Bool(a.eval(t).is_true() || b.eval(t).is_true()),
+            Expr::Not(a) => Value::Bool(!a.eval(t).is_true()),
+            Expr::If(c, a, b) => {
+                if c.eval(t).is_true() {
+                    a.eval(t)
+                } else {
+                    b.eval(t)
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a predicate (non-`Bool(true)` results are false).
+    pub fn holds(&self, t: &Tuple) -> bool {
+        self.eval(t).is_true()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)))
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::col(0).add(Expr::lit(10)).lt(Expr::col(1));
+        assert!(e.holds(&t(&[1, 20])));
+        assert!(!e.holds(&t(&[15, 20])));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let e = Expr::col(0)
+            .eq(Expr::lit(1))
+            .and(Expr::Not(Box::new(Expr::col(1).eq(Expr::lit(2)))));
+        assert!(e.holds(&t(&[1, 3])));
+        assert!(!e.holds(&t(&[1, 2])));
+        let o = Expr::col(0).eq(Expr::lit(9)).or(Expr::col(1).eq(Expr::lit(3)));
+        assert!(o.holds(&t(&[1, 3])));
+    }
+
+    #[test]
+    fn conditional() {
+        let e = Expr::If(
+            Box::new(Expr::col(0).lt(Expr::lit(0))),
+            Box::new(Expr::Neg(Box::new(Expr::col(0)))),
+            Box::new(Expr::col(0)),
+        );
+        assert_eq!(e.eval(&t(&[-5])), Value::Int(5));
+        assert_eq!(e.eval(&t(&[5])), Value::Int(5));
+    }
+
+    #[test]
+    fn null_propagates_through_comparison() {
+        let e = Expr::Lit(Value::Null).lt(Expr::lit(1));
+        assert_eq!(e.eval(&t(&[0])), Value::Null);
+        assert!(!e.holds(&t(&[0])));
+    }
+}

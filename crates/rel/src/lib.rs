@@ -1,0 +1,44 @@
+//! # audb-rel — deterministic bag-relational algebra over ℕ-annotated relations
+//!
+//! This crate is the deterministic substrate of the AU-DB reproduction. It
+//! implements *K-relations* (Green et al., PODS'07) specialized to the
+//! natural-numbers semiring ℕ: every tuple carries a multiplicity, and the
+//! positive relational algebra is expressed through semiring operations
+//! (paper Fig. 2). On top of `RA+` it provides:
+//!
+//! * grouping aggregation (`sum`, `count`, `min`, `max`, `avg`),
+//! * the **row-based windowed aggregation operator** `ω[l,u]_{f(A)→X; G; O}`
+//!   of paper Fig. 3, including duplicate explosion and total-order
+//!   tie-breaking `<total_O`,
+//! * the **sort operator** `sort_{O→τ}` of paper Def. 1 (positions
+//!   materialized as data) and top-k as sort + selection,
+//! * a scalar expression language with a total value order.
+//!
+//! The engine evaluates eagerly and in memory; relations are plain data.
+//! It doubles as the `Det` baseline of the paper's evaluation and as the
+//! executor for the SQL-rewrite method (crate `audb-rewrite`).
+
+pub mod csv;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use csv::{read_csv, write_csv};
+pub use expr::{CmpOp, Expr};
+pub use ops::aggregate::{aggregate, AggFunc};
+pub use ops::join::{join, product};
+pub use ops::project::project;
+pub use ops::select::select;
+pub use ops::sort::{sort_to_pos, topk};
+pub use ops::union::{difference, union};
+pub use ops::window::{window_rows, WindowSpec};
+pub use ops::window_range::{window_range, RangeWindowSpec};
+pub use plan::LogicalPlan;
+pub use relation::{Relation, Row};
+pub use schema::Schema;
+pub use tuple::Tuple;
+pub use value::Value;

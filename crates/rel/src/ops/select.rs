@@ -1,0 +1,43 @@
+//! Selection `σ_θ(R)`: keeps a tuple's annotation when `θ(t)` holds,
+//! otherwise maps it to 0 (paper Fig. 2).
+
+use crate::expr::Expr;
+use crate::relation::Relation;
+
+/// `σ_pred(rel)`.
+pub fn select(rel: &Relation, pred: &Expr) -> Relation {
+    Relation {
+        schema: rel.schema.clone(),
+        rows: rel
+            .rows
+            .iter()
+            .filter(|r| r.mult > 0 && pred.holds(&r.tuple))
+            .cloned()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::schema::Schema;
+
+    #[test]
+    fn selection_preserves_multiplicity() {
+        let r = Relation::from_rows(
+            Schema::new(["a"]),
+            [(crate::tuple::Tuple::from([1i64]), 3), (crate::tuple::Tuple::from([2i64]), 5)],
+        );
+        let s = select(&r, &Expr::col(0).eq(Expr::lit(2)));
+        assert_eq!(s.total_mult(), 5);
+        assert_eq!(s.rows.len(), 1);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let r = Relation::from_values(Schema::new(["a"]), [[1i64], [2]]);
+        let s = select(&r, &Expr::lit(false));
+        assert!(s.is_empty());
+    }
+}

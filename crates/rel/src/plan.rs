@@ -1,0 +1,615 @@
+//! Logical query plans: a composable algebra tree over the engine's
+//! operators, with an `EXPLAIN`-style rendering and a small rule-based
+//! optimizer (selection fusion and pushdown).
+//!
+//! The SQL-rewrite method of the paper (Sec. 7) compiles uncertain sorting
+//! and windowed aggregation into trees of ordinary relational operators;
+//! this module is the shape such trees take over the `audb-rel` engine, and
+//! it doubles as a convenient way to compose deterministic queries in
+//! examples and tests.
+
+use crate::expr::Expr;
+use crate::ops::aggregate::{aggregate, AggFunc};
+use crate::ops::join::join;
+use crate::ops::project::project;
+use crate::ops::select::select;
+use crate::ops::sort::{sort_to_pos, topk_with_pos};
+use crate::ops::union::{difference, union};
+use crate::ops::window::{window_rows, WindowSpec};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use std::fmt;
+use std::sync::Arc;
+
+/// A logical plan node. Build fluently with the methods on this type, then
+/// [`LogicalPlan::execute`].
+#[derive(Clone, Debug)]
+pub enum LogicalPlan {
+    /// A base relation (inline data).
+    Scan {
+        /// Display name.
+        name: String,
+        /// The data (shared so plans clone cheaply).
+        relation: Arc<Relation>,
+    },
+    /// `σ_pred(input)`.
+    Select {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The predicate.
+        pred: Expr,
+    },
+    /// Generalized projection.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions with names.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Theta join.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join predicate over the concatenated schema.
+        theta: Expr,
+    },
+    /// Bag union.
+    Union {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+    /// Bag difference (monus).
+    Difference {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+    /// Grouping aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by column indices.
+        group: Vec<usize>,
+        /// Aggregates with output names.
+        aggs: Vec<(AggFunc, String)>,
+    },
+    /// Row-based windowed aggregation (paper Fig. 3).
+    Window {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The window specification.
+        spec: WindowSpec,
+        /// The aggregate.
+        agg: AggFunc,
+        /// Output column name.
+        out: String,
+    },
+    /// Sort-to-position (paper Def. 1).
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Order-by column indices.
+        order: Vec<usize>,
+        /// Name of the position column.
+        pos_name: String,
+    },
+    /// Top-k (first `k` rows under the order, position retained).
+    Limit {
+        /// Input plan (must be a `Sort` conceptually; here any plan with an
+        /// order specification).
+        input: Box<LogicalPlan>,
+        /// Order-by column indices.
+        order: Vec<usize>,
+        /// How many rows to keep.
+        k: u64,
+    },
+}
+
+impl LogicalPlan {
+    /// Start a plan from a relation.
+    pub fn scan(name: impl Into<String>, relation: Relation) -> Self {
+        LogicalPlan::Scan {
+            name: name.into(),
+            relation: Arc::new(relation),
+        }
+    }
+
+    /// `σ_pred`.
+    pub fn select(self, pred: Expr) -> Self {
+        LogicalPlan::Select {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    /// `π_exprs`.
+    pub fn project(self, exprs: Vec<(Expr, &str)>) -> Self {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (e, n.to_string()))
+                .collect(),
+        }
+    }
+
+    /// `⋈_theta`.
+    pub fn join(self, right: LogicalPlan, theta: Expr) -> Self {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            theta,
+        }
+    }
+
+    /// `∪`.
+    pub fn union(self, right: LogicalPlan) -> Self {
+        LogicalPlan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Bag difference.
+    pub fn difference(self, right: LogicalPlan) -> Self {
+        LogicalPlan::Difference {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// `γ_{group; aggs}`.
+    pub fn aggregate(self, group: Vec<usize>, aggs: Vec<(AggFunc, &str)>) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group,
+            aggs: aggs
+                .into_iter()
+                .map(|(f, n)| (f, n.to_string()))
+                .collect(),
+        }
+    }
+
+    /// `ω[l,u]`.
+    pub fn window(self, spec: WindowSpec, agg: AggFunc, out: &str) -> Self {
+        LogicalPlan::Window {
+            input: Box::new(self),
+            spec,
+            agg,
+            out: out.to_string(),
+        }
+    }
+
+    /// `sort_{O→τ}`.
+    pub fn sort(self, order: Vec<usize>, pos_name: &str) -> Self {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            order,
+            pos_name: pos_name.to_string(),
+        }
+    }
+
+    /// Top-k.
+    pub fn limit(self, order: Vec<usize>, k: u64) -> Self {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            order,
+            k,
+        }
+    }
+
+    /// The output schema of this plan.
+    pub fn schema(&self) -> Schema {
+        match self {
+            LogicalPlan::Scan { relation, .. } => relation.schema.clone(),
+            LogicalPlan::Select { input, .. } => input.schema(),
+            LogicalPlan::Project { exprs, .. } => {
+                Schema::new(exprs.iter().map(|(_, n)| n.clone()))
+            }
+            LogicalPlan::Join { left, right, .. } => left.schema().concat(&right.schema()),
+            LogicalPlan::Union { left, .. } | LogicalPlan::Difference { left, .. } => {
+                left.schema()
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group,
+                aggs,
+            } => {
+                let in_schema = input.schema();
+                let mut cols: Vec<String> = group
+                    .iter()
+                    .map(|&i| in_schema.cols()[i].clone())
+                    .collect();
+                cols.extend(aggs.iter().map(|(_, n)| n.clone()));
+                Schema::new(cols)
+            }
+            LogicalPlan::Window { input, out, .. } => input.schema().with(out.clone()),
+            LogicalPlan::Sort {
+                input, pos_name, ..
+            } => input.schema().with(pos_name.clone()),
+            LogicalPlan::Limit { input, .. } => input.schema().with("pos"),
+        }
+    }
+
+    /// Evaluate the plan bottom-up.
+    pub fn execute(&self) -> Relation {
+        match self {
+            LogicalPlan::Scan { relation, .. } => (**relation).clone(),
+            LogicalPlan::Select { input, pred } => select(&input.execute(), pred),
+            LogicalPlan::Project { input, exprs } => {
+                let borrowed: Vec<(Expr, &str)> = exprs
+                    .iter()
+                    .map(|(e, n)| (e.clone(), n.as_str()))
+                    .collect();
+                project(&input.execute(), &borrowed)
+            }
+            LogicalPlan::Join { left, right, theta } => {
+                join(&left.execute(), &right.execute(), theta)
+            }
+            LogicalPlan::Union { left, right } => union(&left.execute(), &right.execute()),
+            LogicalPlan::Difference { left, right } => {
+                difference(&left.execute(), &right.execute())
+            }
+            LogicalPlan::Aggregate { input, group, aggs } => {
+                let borrowed: Vec<(AggFunc, &str)> =
+                    aggs.iter().map(|(f, n)| (*f, n.as_str())).collect();
+                aggregate(&input.execute(), group, &borrowed)
+            }
+            LogicalPlan::Window {
+                input,
+                spec,
+                agg,
+                out,
+            } => window_rows(&input.execute(), spec, *agg, out),
+            LogicalPlan::Sort {
+                input,
+                order,
+                pos_name,
+            } => sort_to_pos(&input.execute(), order, pos_name),
+            LogicalPlan::Limit { input, order, k } => topk_with_pos(&input.execute(), order, *k),
+        }
+    }
+
+    /// Columns referenced by an expression.
+    fn expr_cols(e: &Expr, out: &mut Vec<usize>) {
+        match e {
+            Expr::Col(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Cmp(_, a, b) => {
+                Self::expr_cols(a, out);
+                Self::expr_cols(b, out);
+            }
+            Expr::Neg(a) | Expr::Not(a) => Self::expr_cols(a, out),
+            Expr::If(c, a, b) => {
+                Self::expr_cols(c, out);
+                Self::expr_cols(a, out);
+                Self::expr_cols(b, out);
+            }
+        }
+    }
+
+    /// Rule-based optimization: fuse stacked selections and push selections
+    /// through unions and into the applicable side of a join. Semantics
+    /// preserving (property-tested).
+    pub fn optimize(self) -> LogicalPlan {
+        match self {
+            LogicalPlan::Select { input, pred } => {
+                let input = input.optimize();
+                match input {
+                    // σ_p(σ_q(R)) → σ_{p ∧ q}(R)
+                    LogicalPlan::Select {
+                        input: inner,
+                        pred: q,
+                    } => LogicalPlan::Select {
+                        input: inner,
+                        pred: pred.and(q),
+                    }
+                    .optimize(),
+                    // σ_p(R ∪ S) → σ_p(R) ∪ σ_p(S)
+                    LogicalPlan::Union { left, right } => LogicalPlan::Union {
+                        left: Box::new(left.select(pred.clone()).optimize()),
+                        right: Box::new(right.select(pred).optimize()),
+                    },
+                    // σ_p(R ⋈ S) → σ_p-on-one-side pushed when columns allow.
+                    LogicalPlan::Join { left, right, theta } => {
+                        let lar = left.schema().arity();
+                        let mut cols = Vec::new();
+                        Self::expr_cols(&pred, &mut cols);
+                        if cols.iter().all(|&c| c < lar) {
+                            LogicalPlan::Join {
+                                left: Box::new(left.select(pred).optimize()),
+                                right,
+                                theta,
+                            }
+                        } else if cols.iter().all(|&c| c >= lar) {
+                            let shifted = shift_expr(&pred, -(lar as i64));
+                            LogicalPlan::Join {
+                                left,
+                                right: Box::new(right.select(shifted).optimize()),
+                                theta,
+                            }
+                        } else {
+                            LogicalPlan::Select {
+                                input: Box::new(LogicalPlan::Join { left, right, theta }),
+                                pred,
+                            }
+                        }
+                    }
+                    other => LogicalPlan::Select {
+                        input: Box::new(other),
+                        pred,
+                    },
+                }
+            }
+            LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+                input: Box::new(input.optimize()),
+                exprs,
+            },
+            LogicalPlan::Join { left, right, theta } => LogicalPlan::Join {
+                left: Box::new(left.optimize()),
+                right: Box::new(right.optimize()),
+                theta,
+            },
+            LogicalPlan::Union { left, right } => LogicalPlan::Union {
+                left: Box::new(left.optimize()),
+                right: Box::new(right.optimize()),
+            },
+            LogicalPlan::Difference { left, right } => LogicalPlan::Difference {
+                left: Box::new(left.optimize()),
+                right: Box::new(right.optimize()),
+            },
+            LogicalPlan::Aggregate { input, group, aggs } => LogicalPlan::Aggregate {
+                input: Box::new(input.optimize()),
+                group,
+                aggs,
+            },
+            LogicalPlan::Window {
+                input,
+                spec,
+                agg,
+                out,
+            } => LogicalPlan::Window {
+                input: Box::new(input.optimize()),
+                spec,
+                agg,
+                out,
+            },
+            LogicalPlan::Sort {
+                input,
+                order,
+                pos_name,
+            } => LogicalPlan::Sort {
+                input: Box::new(input.optimize()),
+                order,
+                pos_name,
+            },
+            LogicalPlan::Limit { input, order, k } => LogicalPlan::Limit {
+                input: Box::new(input.optimize()),
+                order,
+                k,
+            },
+            leaf @ LogicalPlan::Scan { .. } => leaf,
+        }
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            LogicalPlan::Scan { name, relation } => {
+                format!("Scan {name} {} [{} rows]", relation.schema, relation.len())
+            }
+            LogicalPlan::Select { .. } => "Select".to_string(),
+            LogicalPlan::Project { exprs, .. } => format!(
+                "Project [{}]",
+                exprs
+                    .iter()
+                    .map(|(_, n)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            LogicalPlan::Join { .. } => "Join".to_string(),
+            LogicalPlan::Union { .. } => "Union".to_string(),
+            LogicalPlan::Difference { .. } => "Difference".to_string(),
+            LogicalPlan::Aggregate { group, aggs, .. } => {
+                format!("Aggregate group={group:?} aggs={}", aggs.len())
+            }
+            LogicalPlan::Window { spec, out, .. } => {
+                format!("Window [{}, {}] -> {out}", spec.lower, spec.upper)
+            }
+            LogicalPlan::Sort { order, .. } => format!("Sort {order:?}"),
+            LogicalPlan::Limit { k, .. } => format!("Limit {k}"),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        match self {
+            LogicalPlan::Scan { .. } => {}
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Window { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.explain_into(depth + 1, out),
+            LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::Union { left, right }
+            | LogicalPlan::Difference { left, right } => {
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Shift every column reference by `delta` (used when pushing a predicate
+/// below a join into the right input).
+fn shift_expr(e: &Expr, delta: i64) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col((*i as i64 + delta) as usize),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(shift_expr(a, delta)),
+            Box::new(shift_expr(b, delta)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(shift_expr(a, delta)),
+            Box::new(shift_expr(b, delta)),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(shift_expr(a, delta)),
+            Box::new(shift_expr(b, delta)),
+        ),
+        Expr::Div(a, b) => Expr::Div(
+            Box::new(shift_expr(a, delta)),
+            Box::new(shift_expr(b, delta)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(shift_expr(a, delta))),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(shift_expr(a, delta)),
+            Box::new(shift_expr(b, delta)),
+        ),
+        Expr::And(a, b) => Expr::And(
+            Box::new(shift_expr(a, delta)),
+            Box::new(shift_expr(b, delta)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(shift_expr(a, delta)),
+            Box::new(shift_expr(b, delta)),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(shift_expr(a, delta))),
+        Expr::If(c, a, b) => Expr::If(
+            Box::new(shift_expr(c, delta)),
+            Box::new(shift_expr(a, delta)),
+            Box::new(shift_expr(b, delta)),
+        ),
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.explain_into(0, &mut s);
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::Tuple;
+
+    fn sales() -> Relation {
+        Relation::from_values(
+            Schema::new(["region", "amount"]),
+            [[1i64, 100], [1, 50], [2, 200], [2, 10], [3, 70]],
+        )
+    }
+
+    #[test]
+    fn plan_matches_direct_operator_calls() {
+        let plan = LogicalPlan::scan("sales", sales())
+            .select(Expr::col(1).cmp(crate::CmpOp::Ge, Expr::lit(50)))
+            .aggregate(vec![0], vec![(AggFunc::Sum(1), "total")]);
+        let got = plan.execute();
+        let direct = aggregate(
+            &select(&sales(), &Expr::col(1).cmp(crate::CmpOp::Ge, Expr::lit(50))),
+            &[0],
+            &[(AggFunc::Sum(1), "total")],
+        );
+        assert!(got.bag_eq(&direct));
+    }
+
+    #[test]
+    fn optimization_preserves_semantics() {
+        let left = LogicalPlan::scan("l", sales());
+        let right = LogicalPlan::scan("r", sales());
+        let plan = left
+            .join(right, Expr::col(0).eq(Expr::col(2)))
+            .select(Expr::col(1).cmp(crate::CmpOp::Gt, Expr::lit(40)))
+            .select(Expr::col(3).cmp(crate::CmpOp::Gt, Expr::lit(40)));
+        let plain = plan.execute();
+        let optimized_plan = plan.optimize();
+        let optimized = optimized_plan.execute();
+        assert!(plain.bag_eq(&optimized), "{plain}\nvs\n{optimized}");
+        // The selections should now sit below the join.
+        let explained = optimized_plan.to_string();
+        let join_line = explained.lines().position(|l| l.contains("Join")).unwrap();
+        let select_lines: Vec<usize> = explained
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("Select"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            select_lines.iter().all(|&i| i > join_line),
+            "selections not pushed below join:\n{explained}"
+        );
+    }
+
+    #[test]
+    fn select_fusion() {
+        let plan = LogicalPlan::scan("s", sales())
+            .select(Expr::col(0).eq(Expr::lit(1)))
+            .select(Expr::col(1).cmp(crate::CmpOp::Gt, Expr::lit(60)))
+            .optimize();
+        // One fused Select over the scan.
+        let s = plan.to_string();
+        assert_eq!(s.matches("Select").count(), 1, "{s}");
+        let out = plan.execute();
+        assert_eq!(out.total_mult(), 1);
+        assert_eq!(out.rows[0].tuple, Tuple::from([1i64, 100]));
+    }
+
+    #[test]
+    fn union_pushdown() {
+        let plan = LogicalPlan::scan("a", sales())
+            .union(LogicalPlan::scan("b", sales()))
+            .select(Expr::col(0).eq(Expr::lit(2)))
+            .optimize();
+        let s = plan.to_string();
+        // Selection duplicated into both branches.
+        assert_eq!(s.matches("Select").count(), 2, "{s}");
+        assert_eq!(plan.execute().total_mult(), 4);
+    }
+
+    #[test]
+    fn window_and_limit_in_plans() {
+        let plan = LogicalPlan::scan("s", sales())
+            .window(WindowSpec::rows(vec![1], -1, 0), AggFunc::Sum(1), "rolling")
+            .limit(vec![1], 2);
+        let out = plan.execute();
+        assert_eq!(out.total_mult(), 2);
+        assert_eq!(out.schema.cols().last().unwrap(), "pos");
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = LogicalPlan::scan("s", sales())
+            .select(Expr::col(0).eq(Expr::lit(1)))
+            .project(vec![(Expr::col(1), "amount")]);
+        let s = plan.to_string();
+        assert!(s.starts_with("Project"));
+        assert!(s.contains("Scan s"));
+    }
+
+    #[test]
+    fn schema_propagation() {
+        let plan = LogicalPlan::scan("s", sales())
+            .aggregate(vec![0], vec![(AggFunc::Count, "n")])
+            .sort(vec![1], "rank");
+        assert_eq!(plan.schema().cols(), &["region", "n", "rank"]);
+        let _ = Value::Int(0);
+    }
+}

@@ -1,0 +1,217 @@
+//! A static centered interval tree.
+//!
+//! The paper's `Rewr(index)` variant (Fig. 15) accelerates the range-overlap
+//! self-join of the window rewrite with a range index (Postgres GiST there);
+//! this is our equivalent substrate. Build is `O(n log n)`, an overlap query
+//! reports `k` results in `O(log n + k)`.
+
+/// A static index over closed integer intervals supporting stabbing and
+/// overlap queries.
+pub struct IntervalIndex {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    len: usize,
+}
+
+struct Node {
+    center: i64,
+    left: Option<usize>,
+    right: Option<usize>,
+    /// Intervals containing `center`, sorted by lower endpoint ascending.
+    by_lo: Vec<(i64, u32)>,
+    /// The same intervals sorted by upper endpoint descending.
+    by_hi: Vec<(i64, u32)>,
+}
+
+impl IntervalIndex {
+    /// Build from `(lo, hi)` closed intervals; the `u32` id reported by
+    /// queries is the input position. Intervals with `lo > hi` are ignored.
+    pub fn build(intervals: &[(i64, i64)]) -> Self {
+        let mut items: Vec<(i64, i64, u32)> = intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, &(lo, hi))| lo <= hi)
+            .map(|(i, &(lo, hi))| (lo, hi, i as u32))
+            .collect();
+        let len = items.len();
+        let mut nodes = Vec::new();
+        let root = Self::build_rec(&mut items, &mut nodes);
+        IntervalIndex { nodes, root, len }
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn build_rec(items: &mut Vec<(i64, i64, u32)>, nodes: &mut Vec<Node>) -> Option<usize> {
+        if items.is_empty() {
+            return None;
+        }
+        // Median of lower endpoints: guarantees at least the median
+        // interval contains the center (lo = center ≤ hi), so recursion
+        // always terminates, and keeps the tree balanced for near-uniform
+        // position data.
+        let mut los: Vec<i64> = items.iter().map(|&(lo, _, _)| lo).collect();
+        let m = los.len() / 2;
+        los.select_nth_unstable(m);
+        let center = los[m];
+
+        let mut here = Vec::new();
+        let mut left_items = Vec::new();
+        let mut right_items = Vec::new();
+        for &(lo, hi, id) in items.iter() {
+            if hi < center {
+                left_items.push((lo, hi, id));
+            } else if lo > center {
+                right_items.push((lo, hi, id));
+            } else {
+                here.push((lo, hi, id));
+            }
+        }
+        debug_assert!(
+            !here.is_empty(),
+            "the median-lo interval always contains the center"
+        );
+        let (left, right) = (
+            Self::build_rec(&mut left_items, nodes),
+            Self::build_rec(&mut right_items, nodes),
+        );
+
+        let mut by_lo: Vec<(i64, u32)> = here.iter().map(|&(lo, _, id)| (lo, id)).collect();
+        by_lo.sort_unstable();
+        let mut by_hi: Vec<(i64, u32)> = here.iter().map(|&(_, hi, id)| (hi, id)).collect();
+        by_hi.sort_unstable_by(|a, b| b.cmp(a));
+
+        nodes.push(Node {
+            center,
+            left,
+            right,
+            by_lo,
+            by_hi,
+        });
+        Some(nodes.len() - 1)
+    }
+
+    /// Collect the ids of all intervals overlapping `[qlo, qhi]`.
+    pub fn query_overlap(&self, qlo: i64, qhi: i64, out: &mut Vec<u32>) {
+        if qlo > qhi {
+            return;
+        }
+        let mut stack = Vec::new();
+        if let Some(r) = self.root {
+            stack.push(r);
+        }
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni];
+            if qhi < node.center {
+                // Only node intervals starting at or before qhi can overlap.
+                for &(lo, id) in &node.by_lo {
+                    if lo > qhi {
+                        break;
+                    }
+                    out.push(id);
+                }
+                if let Some(l) = node.left {
+                    stack.push(l);
+                }
+            } else if qlo > node.center {
+                for &(hi, id) in &node.by_hi {
+                    if hi < qlo {
+                        break;
+                    }
+                    out.push(id);
+                }
+                if let Some(r) = node.right {
+                    stack.push(r);
+                }
+            } else {
+                // The query straddles the center: every node interval hits.
+                out.extend(node.by_lo.iter().map(|&(_, id)| id));
+                if let Some(l) = node.left {
+                    stack.push(l);
+                }
+                if let Some(r) = node.right {
+                    stack.push(r);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(intervals: &[(i64, i64)], qlo: i64, qhi: i64) -> Vec<u32> {
+        let mut v: Vec<u32> = intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, &(lo, hi))| lo <= hi && hi >= qlo && lo <= qhi)
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn matches_bruteforce_on_pseudorandom_intervals() {
+        let intervals: Vec<(i64, i64)> = (0..500i64)
+            .map(|i| {
+                let lo = (i * 37) % 1000;
+                (lo, lo + (i * 13) % 80)
+            })
+            .collect();
+        let idx = IntervalIndex::build(&intervals);
+        assert_eq!(idx.len(), 500);
+        for q in 0..200 {
+            let qlo = (q * 71) % 1000;
+            let qhi = qlo + (q * 29) % 120;
+            let mut got = Vec::new();
+            idx.query_overlap(qlo, qhi, &mut got);
+            got.sort();
+            assert_eq!(got, brute(&intervals, qlo, qhi), "query [{qlo},{qhi}]");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let idx = IntervalIndex::build(&[]);
+        let mut out = Vec::new();
+        idx.query_overlap(0, 100, &mut out);
+        assert!(out.is_empty());
+
+        // All-identical intervals.
+        let same = vec![(5, 10); 20];
+        let idx = IntervalIndex::build(&same);
+        idx.query_overlap(7, 7, &mut out);
+        assert_eq!(out.len(), 20);
+        out.clear();
+        idx.query_overlap(11, 30, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn inverted_intervals_are_skipped() {
+        let idx = IntervalIndex::build(&[(5, 3), (1, 2)]);
+        assert_eq!(idx.len(), 1);
+        let mut out = Vec::new();
+        idx.query_overlap(0, 10, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn point_queries() {
+        let intervals = [(0, 10), (5, 5), (6, 20), (21, 30)];
+        let idx = IntervalIndex::build(&intervals);
+        let mut out = Vec::new();
+        idx.query_overlap(5, 5, &mut out);
+        out.sort();
+        assert_eq!(out, vec![0, 1]);
+    }
+}

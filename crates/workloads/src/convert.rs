@@ -1,0 +1,134 @@
+//! Conversions between AU-relations and x-tuple tables.
+//!
+//! Real-world rank queries in the paper run over *pre-aggregated* data
+//! (Sec. 9.2). Aggregation happens in the AU-DB model; to hand the same
+//! uncertain aggregate to the sampling/probabilistic competitors we
+//! re-materialize an x-tuple table whose alternatives are the range corners
+//! of each aggregated row. This keeps every method consuming the identical
+//! uncertainty model (DESIGN.md §2); probabilities follow the selected
+//! guess (most of the mass on the sg corner).
+
+use audb_core::AuRelation;
+use audb_rel::{Schema, Value};
+use audb_worlds::{Alternative, XTuple, XTupleTable};
+
+/// Probability mass assigned to the selected-guess corner.
+const SG_MASS: f64 = 0.6;
+/// Presence probability of rows that only possibly exist (`k↓ = 0`).
+const MAYBE_PRESENT: f64 = 0.8;
+
+/// Build an x-tuple table from an AU relation. Each row contributes its
+/// selected guess plus *inner-quartile* points of its range as alternatives
+/// (`lb + w/4` and `ub − w/4`), with the full `[lb, ub]` range attached as
+/// the declared range: the derived AU-DB keeps the cleaning heuristic's
+/// bounds while the realized worlds stay strictly inside them — the same
+/// relationship the paper's lens-cleaned datasets exhibit (and the reason
+/// its `Imp` accuracy is below 1 while MCDB's recall is). A trailing
+/// certain `id` attribute is appended for per-tuple quality tracking.
+pub fn xtuple_from_au(au: &AuRelation) -> XTupleTable {
+    let schema = Schema::new(
+        au.schema
+            .cols()
+            .iter()
+            .cloned()
+            .chain(["id".to_string()]),
+    );
+    let tuples = au
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(id, row)| {
+            let idv = Value::Int(id as i64);
+            let sg = row.tuple.sg_tuple().with(idv.clone());
+            // Inner-quartile corner points per attribute.
+            let inner = |frac_from_lb: bool| -> audb_rel::Tuple {
+                let vals = row.tuple.0.iter().map(|r| {
+                    match (r.lb.as_i64(), r.ub.as_i64()) {
+                        (Some(lo), Some(hi)) if hi > lo => {
+                            let w = hi - lo;
+                            Value::Int(if frac_from_lb {
+                                lo + (w / 4).max(1).min(w)
+                            } else {
+                                hi - (w / 4).max(1).min(w)
+                            })
+                        }
+                        _ => if frac_from_lb { r.lb.clone() } else { r.ub.clone() },
+                    }
+                });
+                audb_rel::Tuple(vals.collect()).with(idv.clone())
+            };
+            let mut corners = vec![sg.clone()];
+            for c in [inner(true), inner(false)] {
+                if !corners.contains(&c) {
+                    corners.push(c);
+                }
+            }
+            let declared: Vec<(Value, Value)> = row
+                .tuple
+                .0
+                .iter()
+                .map(|r| (r.lb.clone(), r.ub.clone()))
+                .chain([(idv.clone(), idv.clone())])
+                .collect();
+            let presence = if row.mult.lb >= 1 { 1.0 } else { MAYBE_PRESENT };
+            let rest = corners.len() - 1;
+            let alternatives = corners
+                .into_iter()
+                .enumerate()
+                .map(|(i, tuple)| {
+                    let prob = if rest == 0 {
+                        presence
+                    } else if i == 0 {
+                        presence * SG_MASS
+                    } else {
+                        presence * (1.0 - SG_MASS) / rest as f64
+                    };
+                    Alternative { tuple, prob }
+                })
+                .collect();
+            XTuple::new(alternatives).with_declared(declared)
+        })
+        .collect();
+    XTupleTable::new(schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{AuTuple, Mult3, RangeValue};
+
+    #[test]
+    fn inner_points_become_alternatives() {
+        let au = AuRelation::from_rows(
+            Schema::new(["ct"]),
+            [
+                (AuTuple::new([RangeValue::new(2, 3, 5)]), Mult3::ONE),
+                (AuTuple::new([RangeValue::certain(7i64)]), Mult3::new(0, 1, 1)),
+            ],
+        );
+        let xt = xtuple_from_au(&au);
+        assert_eq!(xt.schema.cols(), &["ct", "id"]);
+        // sg = 3, inner-from-lb = 3 (dedup with sg), inner-from-ub = 4.
+        assert_eq!(xt.tuples[0].alternatives.len(), 2);
+        assert!(xt.tuples[0].certainly_exists());
+        // Declared range = the full AU range (wider than the alternatives).
+        let d = xt.tuples[0].declared.as_ref().unwrap();
+        assert_eq!(d[0], (audb_rel::Value::Int(2), audb_rel::Value::Int(5)));
+        // Certain value, uncertain presence.
+        assert_eq!(xt.tuples[1].alternatives.len(), 1);
+        assert!(!xt.tuples[1].certainly_exists());
+        assert!((xt.tuples[1].presence_prob() - MAYBE_PRESENT).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_au_relation_bounds_the_corners() {
+        let au = AuRelation::from_rows(
+            Schema::new(["ct"]),
+            [(AuTuple::new([RangeValue::new(2, 3, 5)]), Mult3::ONE)],
+        );
+        let xt = xtuple_from_au(&au);
+        let back = xt.to_au_relation();
+        // Ranges must round-trip (corners span the same hull).
+        assert_eq!(back.rows[0].tuple.get(0), &RangeValue::new(2, 3, 5));
+    }
+}

@@ -1,0 +1,139 @@
+//! Approximation-quality metrics (paper Sec. 9, "Compared Algorithms").
+//!
+//! Given the tight bounds `[c, d]` (computed by the exact methods) and an
+//! approximation `[a, b]`:
+//!
+//! * `recall = (min(b,d) − max(a,c)) / (d − c)` — how much of the true
+//!   bound the approximation covers (1 for any over-approximation, < 1 for
+//!   MCDB's sampled envelopes);
+//! * `accuracy = (min(b,d) − max(a,c)) / (b − a)` — the *precision* of the
+//!   reported bound: the fraction of it that lies inside the truth. Always
+//!   1 for under-approximations (MCDB) and < 1 for over-approximations
+//!   (AU-DBs), matching the paper's Figs. 18/19. (The formula as printed in
+//!   the paper is its reciprocal and would exceed 1; the reported values
+//!   are ≤ 1, so the intended ratio is the one implemented here.)
+//! * `range_ratio = (b − a) / (d − c)` — the "estimated value range" of
+//!   Figs. 12/13 (>1: over-approximation, <1: under-approximation).
+//!
+//! Point ground truths (`c = d`) are handled by treating the tight width as
+//! one discrete unit, keeping every metric well-defined for integer data.
+
+/// Quality of one approximate bound against the tight bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundQuality {
+    /// Fraction of the tight bound covered.
+    pub recall: f64,
+    /// Precision of the reported bound (overlap / reported width).
+    pub accuracy: f64,
+    /// Width ratio (the "estimated value range").
+    pub range_ratio: f64,
+}
+
+/// Compare `[a, b]` against the tight `[c, d]`.
+pub fn bound_quality(approx: (f64, f64), tight: (f64, f64)) -> BoundQuality {
+    let (a, b) = approx;
+    let (c, d) = tight;
+    debug_assert!(a <= b && c <= d, "malformed bounds");
+    let unit = |w: f64| if w <= 0.0 { 1.0 } else { w };
+    let overlap = (b.min(d) - a.max(c)).max(0.0);
+    let overlap_u = if overlap > 0.0 || (a <= d && c <= b) {
+        unit(overlap)
+    } else {
+        0.0
+    };
+    BoundQuality {
+        recall: (overlap_u / unit(d - c)).min(1.0),
+        accuracy: (overlap_u / unit(b - a)).min(1.0),
+        range_ratio: unit(b - a) / unit(d - c),
+    }
+}
+
+/// Averaged quality over a relation (the per-tuple mean, as in the paper).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QualityStats {
+    /// Mean recall.
+    pub recall: f64,
+    /// Mean accuracy.
+    pub accuracy: f64,
+    /// Mean range ratio.
+    pub range_ratio: f64,
+    /// Number of tuples measured.
+    pub n: usize,
+}
+
+/// Average [`bound_quality`] over `(approx, tight)` pairs.
+pub fn aggregate_quality(
+    pairs: impl IntoIterator<Item = ((f64, f64), (f64, f64))>,
+) -> QualityStats {
+    let mut s = QualityStats::default();
+    for (approx, tight) in pairs {
+        let q = bound_quality(approx, tight);
+        s.recall += q.recall;
+        s.accuracy += q.accuracy;
+        s.range_ratio += q.range_ratio;
+        s.n += 1;
+    }
+    if s.n > 0 {
+        s.recall /= s.n as f64;
+        s.accuracy /= s.n as f64;
+        s.range_ratio /= s.n as f64;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_bounds_score_one() {
+        let q = bound_quality((2.0, 5.0), (2.0, 5.0));
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.accuracy, 1.0);
+        assert_eq!(q.range_ratio, 1.0);
+    }
+
+    #[test]
+    fn over_approximation_keeps_full_recall() {
+        let q = bound_quality((0.0, 10.0), (2.0, 5.0));
+        assert_eq!(q.recall, 1.0);
+        assert!((q.accuracy - 0.3).abs() < 1e-9);
+        assert!((q.range_ratio - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_approximation_loses_recall_not_accuracy() {
+        let q = bound_quality((3.0, 4.0), (2.0, 5.0));
+        assert!((q.recall - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(q.accuracy, 1.0, "under-approximations are fully precise");
+        assert!((q.range_ratio - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_truth_handled() {
+        let q = bound_quality((5.0, 5.0), (5.0, 5.0));
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.accuracy, 1.0);
+        // Containing point estimate, width 2.
+        let q = bound_quality((4.0, 6.0), (5.0, 5.0));
+        assert_eq!(q.recall, 1.0);
+        assert!((q.range_ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_bounds_score_zero() {
+        let q = bound_quality((0.0, 1.0), (3.0, 4.0));
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.accuracy, 0.0);
+    }
+
+    #[test]
+    fn aggregation_averages() {
+        let s = aggregate_quality([
+            ((2.0, 5.0), (2.0, 5.0)),
+            ((3.0, 4.0), (2.0, 5.0)), // recall 1/3
+        ]);
+        assert_eq!(s.n, 2);
+        assert!((s.recall - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+}

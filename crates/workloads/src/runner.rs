@@ -1,0 +1,325 @@
+//! Method drivers: run each compared algorithm on an x-tuple workload and
+//! extract per-input-tuple answer bounds plus wall-clock time.
+//!
+//! Every driver follows the same contract: it consumes the *same* x-tuple
+//! table (deriving whatever representation its method needs — the AU-DB for
+//! `Imp`/`Rewr`, the most likely world for `Det`, samples for `MCDB`), and
+//! returns `Vec<Option<(f64, f64)>>` of per-x-tuple bounds keyed by the
+//! table's trailing `id` attribute, ready for [`crate::metrics`].
+
+use audb_core::{AuRelation, WinAgg};
+use audb_rel::ops::sort::topk_with_pos;
+use audb_rel::{sort_to_pos, window_rows, AggFunc, Value, WindowSpec};
+use audb_worlds::{WindowTruth, XTupleTable};
+use std::time::{Duration, Instant};
+
+/// A timed result.
+pub struct Timed<T> {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// The produced value.
+    pub value: T,
+}
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> Timed<T> {
+    let start = Instant::now();
+    let value = f();
+    Timed {
+        elapsed: start.elapsed(),
+        value,
+    }
+}
+
+/// Per-x-tuple `[lo, hi]` bounds as floats (`None` = no answer for that
+/// input tuple, e.g. filtered out of a top-k).
+pub type Bounds = Vec<Option<(f64, f64)>>;
+
+fn val_f(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(f64::NAN)
+}
+
+/// Extract per-id bounds from an AU sort/window output: `id_col` holds the
+/// certain provenance id, `val_col` the range-annotated answer. Multiple
+/// rows per id (duplicates) hull together.
+pub fn au_bounds_by_id(out: &AuRelation, id_col: usize, val_col: usize, n: usize) -> Bounds {
+    let mut bounds: Bounds = vec![None; n];
+    for row in &out.rows {
+        if row.mult.is_zero() {
+            continue;
+        }
+        let id = row.tuple.get(id_col).sg.as_i64().expect("certain id") as usize;
+        let rv = row.tuple.get(val_col);
+        let (lo, hi) = (val_f(&rv.lb), val_f(&rv.ub));
+        bounds[id] = Some(match bounds[id] {
+            None => (lo, hi),
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+        });
+    }
+    bounds
+}
+
+// ---------------------------------------------------------------- sorting
+
+/// `Det`: deterministic sort of the most likely world (no bounds — returns
+/// the positions as point "bounds" for uniformity).
+pub fn det_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<Bounds> {
+    let world = table.most_likely_world();
+    let id_col = table.schema.arity() - 1;
+    time(move || {
+        let sorted = match k {
+            Some(k) => topk_with_pos(&world, order, k),
+            None => sort_to_pos(&world, order, "pos"),
+        };
+        let pos_col = sorted.schema.arity() - 1;
+        let mut bounds: Bounds = vec![None; world.total_mult() as usize + 1];
+        for row in &sorted.rows {
+            let id = row.tuple.get(id_col).as_i64().unwrap() as usize;
+            let p = val_f(row.tuple.get(pos_col));
+            if id < bounds.len() {
+                bounds[id] = Some((p, p));
+            }
+        }
+        bounds
+    })
+}
+
+/// `Imp`: the native one-pass sort / top-k over the derived AU-DB.
+pub fn imp_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<Bounds> {
+    let au = table.to_au_relation();
+    let id_col = table.schema.arity() - 1;
+    time(move || {
+        let out = match k {
+            Some(k) => audb_native::topk_native(&au, order, k, "pos"),
+            None => audb_native::sort_native(&au, order, "pos"),
+        };
+        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, au.rows.len() + 1)
+    })
+}
+
+/// `Rewr`: the Fig. 7 rewrite.
+pub fn rewr_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<Bounds> {
+    let au = table.to_au_relation();
+    let id_col = table.schema.arity() - 1;
+    time(move || {
+        let out = match k {
+            Some(k) => audb_rewrite::rewr_topk(&au, order, k, "pos"),
+            None => audb_rewrite::rewr_sort(&au, order, "pos"),
+        };
+        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, au.rows.len() + 1)
+    })
+}
+
+/// `MCDB`: sampled position envelopes.
+pub fn mcdb_sort(table: &XTupleTable, order: &[usize], samples: usize, seed: u64) -> Timed<Bounds> {
+    time(|| {
+        audb_competitors::mcdb_sort_bounds(table, order, samples, seed)
+            .into_iter()
+            .map(|b| b.map(|(lo, hi)| (lo as f64, hi as f64)))
+            .collect()
+    })
+}
+
+/// `Symb`: exact tight position bounds (quadratic pairwise reasoning).
+pub fn symb_sort(table: &XTupleTable, order: &[usize]) -> Timed<Bounds> {
+    time(|| {
+        audb_competitors::symb_sort_bounds(table, order)
+            .into_iter()
+            .map(|b| b.map(|(lo, hi)| (lo as f64, hi as f64)))
+            .collect()
+    })
+}
+
+/// `PT-k`: certain/possible top-k membership (returns the two answer sets'
+/// sizes packed as bounds is meaningless — expose the probabilities
+/// instead; timing is what the perf figures need).
+pub fn ptk_sort(table: &XTupleTable, order: &[usize], k: u64) -> Timed<Vec<f64>> {
+    time(|| audb_competitors::ptk_topk_probs(table, order, k))
+}
+
+// ---------------------------------------------------------------- windows
+
+/// `Det`: deterministic windowed aggregation on the most likely world.
+pub fn det_window(
+    table: &XTupleTable,
+    order: &[usize],
+    agg: WinAgg,
+    l: i64,
+    u: i64,
+) -> Timed<Bounds> {
+    let world = table.most_likely_world();
+    let id_col = table.schema.arity() - 1;
+    let dagg = match agg {
+        WinAgg::Sum(c) => AggFunc::Sum(c),
+        WinAgg::Count => AggFunc::Count,
+        WinAgg::Min(c) => AggFunc::Min(c),
+        WinAgg::Max(c) => AggFunc::Max(c),
+        WinAgg::Avg(c) => AggFunc::Avg(c),
+    };
+    time(move || {
+        let out = window_rows(&world, &WindowSpec::rows(order.to_vec(), l, u), dagg, "x");
+        let x_col = out.schema.arity() - 1;
+        let mut bounds: Bounds = vec![None; world.total_mult() as usize + 1];
+        for row in &out.rows {
+            let id = row.tuple.get(id_col).as_i64().unwrap() as usize;
+            let v = val_f(row.tuple.get(x_col));
+            if id < bounds.len() {
+                bounds[id] = Some((v, v));
+            }
+        }
+        bounds
+    })
+}
+
+/// `Imp`: the native one-pass window algorithm.
+pub fn imp_window(
+    table: &XTupleTable,
+    order: &[usize],
+    agg: WinAgg,
+    l: i64,
+    u: i64,
+) -> Timed<Bounds> {
+    let au = table.to_au_relation();
+    let id_col = table.schema.arity() - 1;
+    time(move || {
+        let spec = audb_core::AuWindowSpec::rows(order.to_vec(), l, u);
+        let out = audb_native::window_native(&au, &spec, agg, "x");
+        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, au.rows.len() + 1)
+    })
+}
+
+/// `Rewr` / `Rewr(index)`: the Fig. 8 rewrite.
+pub fn rewr_window(
+    table: &XTupleTable,
+    order: &[usize],
+    agg: WinAgg,
+    l: i64,
+    u: i64,
+    strategy: audb_rewrite::JoinStrategy,
+) -> Timed<Bounds> {
+    let au = table.to_au_relation();
+    let id_col = table.schema.arity() - 1;
+    time(move || {
+        let spec = audb_core::AuWindowSpec::rows(order.to_vec(), l, u);
+        let out = audb_rewrite::rewr_window(&au, &spec, agg, "x", strategy);
+        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, au.rows.len() + 1)
+    })
+}
+
+/// `MCDB`: sampled window-aggregate envelopes.
+pub fn mcdb_window(
+    table: &XTupleTable,
+    order: &[usize],
+    agg: WinAgg,
+    l: i64,
+    u: i64,
+    samples: usize,
+    seed: u64,
+) -> Timed<Bounds> {
+    time(|| {
+        audb_competitors::mcdb_window_bounds(table, order, agg, l, u, samples, seed)
+            .into_iter()
+            .map(|b| b.map(|(lo, hi)| (val_f(&lo), val_f(&hi))))
+            .collect()
+    })
+}
+
+/// `Symb`: exact window bounds by capped local enumeration. Skipped tuples
+/// become `None`.
+pub fn symb_window(
+    table: &XTupleTable,
+    order: &[usize],
+    agg: WinAgg,
+    l: i64,
+    u: i64,
+    enum_cap: u128,
+) -> Timed<Bounds> {
+    time(|| {
+        audb_worlds::exact_window_bounds(table, order, agg, l, u, enum_cap)
+            .into_iter()
+            .map(|b| match b {
+                Some(WindowTruth::Exact(lo, hi)) => Some((val_f(&lo), val_f(&hi))),
+                _ => None,
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
+    use crate::metrics::aggregate_quality;
+
+    fn pairs(approx: &Bounds, tight: &Bounds) -> Vec<((f64, f64), (f64, f64))> {
+        approx
+            .iter()
+            .zip(tight)
+            .filter_map(|(a, t)| Some(((*a)?, (*t)?)))
+            .collect()
+    }
+
+    /// End-to-end sanity: on a small synthetic workload the AU bounds cover
+    /// the exact bounds (recall 1), MCDB's envelopes are inside them
+    /// (recall ≤ 1, accuracy ≤ 1), and `Symb` is exact.
+    #[test]
+    fn sort_quality_relationships() {
+        let cfg = SyntheticConfig::default().rows(300).seed(9);
+        let t = gen_sort_table(&cfg);
+        let order = [0usize, 1];
+        let tight = symb_sort(&t, &order).value;
+        let imp = imp_sort(&t, &order, None).value;
+        let rewr = rewr_sort(&t, &order, None).value;
+        let mc = mcdb_sort(&t, &order, 10, 1).value;
+
+        assert_eq!(imp, rewr, "Imp and Rewr produce identical bounds");
+        let qi = aggregate_quality(pairs(&imp, &tight));
+        assert!(qi.recall > 0.999, "AU bounds over-approximate: {qi:?}");
+        assert!(qi.range_ratio >= 1.0 - 1e-9);
+        let qm = aggregate_quality(pairs(&mc, &tight));
+        assert!(qm.range_ratio <= 1.0 + 1e-9, "MCDB under-approximates: {qm:?}");
+        let qs = aggregate_quality(pairs(&tight, &tight));
+        assert!((qs.accuracy - 1.0).abs() < 1e-9);
+    }
+
+    /// With declared ranges (the default generator) the AU bounds are
+    /// strictly looser than the truth but still cover it; with declared
+    /// ranges stripped (AU = alternative hull) the position bounds are
+    /// exactly tight on single-attribute uncertainty (DESIGN.md §3.6).
+    #[test]
+    fn imp_sort_bounds_tight_iff_hull() {
+        let cfg = SyntheticConfig::default().rows(200).seed(4);
+        let t = gen_sort_table(&cfg);
+        let order = [0usize, 1];
+        let tight = symb_sort(&t, &order).value;
+        let loose = imp_sort(&t, &order, None).value;
+        let ql = aggregate_quality(pairs(&loose, &tight));
+        assert!(ql.recall > 0.999 && ql.range_ratio >= 1.0, "{ql:?}");
+
+        let mut hull = t.clone();
+        for xt in &mut hull.tuples {
+            xt.declared = None;
+        }
+        let imp = imp_sort(&hull, &order, None).value;
+        let q = aggregate_quality(pairs(&imp, &tight));
+        assert!(
+            (q.accuracy - 1.0).abs() < 1e-9,
+            "expected exact bounds, got {q:?}"
+        );
+    }
+
+    #[test]
+    fn window_bounds_cover_truth() {
+        let cfg = SyntheticConfig::default().rows(150).seed(11);
+        let t = gen_window_table(&cfg);
+        let order = [0usize];
+        let tight = symb_window(&t, &order, WinAgg::Sum(2), -2, 0, 1 << 22).value;
+        let imp = imp_window(&t, &order, WinAgg::Sum(2), -2, 0).value;
+        let q = aggregate_quality(pairs(&imp, &tight));
+        assert!(q.recall > 0.999, "AU window bounds must cover truth: {q:?}");
+        assert!(q.range_ratio >= 1.0 - 1e-9);
+        let mc = mcdb_window(&t, &order, WinAgg::Sum(2), -2, 0, 10, 3).value;
+        let qm = aggregate_quality(pairs(&mc, &tight));
+        assert!(qm.range_ratio <= 1.0 + 1e-9, "{qm:?}");
+    }
+}

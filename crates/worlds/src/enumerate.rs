@@ -1,0 +1,116 @@
+//! Exhaustive possible-world enumeration for small x-tuple tables.
+//!
+//! Used as ground truth by property tests (bound preservation) and by the
+//! exact competitors (the `Symb` stand-in, PT-k validation, expected
+//! ranks). The number of worlds is the product of per-tuple outcome counts;
+//! [`enumerate_worlds`] refuses to enumerate beyond an explicit cap so a
+//! misconfigured test fails loudly instead of hanging.
+
+use crate::model::XTupleTable;
+use audb_rel::{Relation, Tuple};
+
+/// One possible world: the realized relation, its probability, and for each
+/// x-tuple the index of the chosen alternative (`None` = absent) — the
+/// provenance needed to track per-tuple answers through queries.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// The deterministic relation of this world.
+    pub relation: Relation,
+    /// The world's probability (product of independent choices).
+    pub prob: f64,
+    /// Per x-tuple: which alternative realized.
+    pub choices: Vec<Option<usize>>,
+}
+
+/// Enumerate all possible worlds. Panics if the world count exceeds `cap`.
+pub fn enumerate_worlds(table: &XTupleTable, cap: u128) -> Vec<World> {
+    let count = table.world_count();
+    assert!(
+        count <= cap,
+        "{count} possible worlds exceed the enumeration cap of {cap}"
+    );
+    let mut worlds = Vec::with_capacity(count as usize);
+    let mut tuples: Vec<(Tuple, u64)> = Vec::new();
+    let mut choices: Vec<Option<usize>> = Vec::with_capacity(table.len());
+    rec(table, 0, 1.0, &mut tuples, &mut choices, &mut worlds);
+    worlds
+}
+
+fn rec(
+    table: &XTupleTable,
+    i: usize,
+    prob: f64,
+    tuples: &mut Vec<(Tuple, u64)>,
+    choices: &mut Vec<Option<usize>>,
+    out: &mut Vec<World>,
+) {
+    if i == table.len() {
+        out.push(World {
+            relation: Relation::from_rows(table.schema.clone(), tuples.iter().cloned()),
+            prob,
+            choices: choices.clone(),
+        });
+        return;
+    }
+    let xt = &table.tuples[i];
+    for (ai, alt) in xt.alternatives.iter().enumerate() {
+        if alt.prob <= 0.0 {
+            continue;
+        }
+        tuples.push((alt.tuple.clone(), 1));
+        choices.push(Some(ai));
+        rec(table, i + 1, prob * alt.prob, tuples, choices, out);
+        tuples.pop();
+        choices.pop();
+    }
+    let absent = 1.0 - xt.presence_prob();
+    if absent > crate::model::EPS {
+        choices.push(None);
+        rec(table, i + 1, prob * absent, tuples, choices, out);
+        choices.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Alternative, XTuple};
+    use audb_rel::Schema;
+
+    fn table() -> XTupleTable {
+        XTupleTable::new(
+            Schema::new(["a"]),
+            vec![
+                XTuple::certain(Tuple::from([1i64])),
+                XTuple::new(vec![
+                        Alternative {
+                            tuple: Tuple::from([2i64]),
+                            prob: 0.5,
+                        },
+                        Alternative {
+                            tuple: Tuple::from([3i64]),
+                            prob: 0.2,
+                        },
+                    ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn enumerates_all_worlds_with_probabilities() {
+        let worlds = enumerate_worlds(&table(), 100);
+        assert_eq!(worlds.len(), 3);
+        let total: f64 = worlds.iter().map(|w| w.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // The absent world has only the certain tuple.
+        let absent = worlds.iter().find(|w| w.choices[1].is_none()).unwrap();
+        assert_eq!(absent.relation.total_mult(), 1);
+        assert!((absent.prob - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the enumeration cap")]
+    fn cap_is_enforced() {
+        enumerate_worlds(&table(), 2);
+    }
+}

@@ -1,0 +1,351 @@
+//! Exact (tight) per-tuple answer bounds over x-tuple tables — the ground
+//! truth against which approximation quality is measured (paper Sec. 9:
+//! "the tightest bound [c, d] as computed by Symb and PT-k").
+//!
+//! * [`exact_position_bounds`] — closed-form tight sort-position bounds:
+//!   because x-tuples are independent, the smallest possible position of
+//!   `t` is the number of tuples that *unavoidably* precede it (certainly
+//!   exist and their largest key is below `t`'s smallest), and the largest
+//!   possible position counts every tuple that can precede it. `O(n log n)`
+//!   at any scale.
+//! * [`exact_window_bounds`] — tight window-aggregate bounds by bounded
+//!   *local enumeration*: under `ROWS [l, u]`, membership in `t`'s window
+//!   only depends on tuples not separated from `t` by at least
+//!   `max(−l, u)` fixed (certain, certain-key) tuples, so enumerating the
+//!   joint outcomes of that candidate neighbourhood is exhaustive. This is
+//!   the `Symb` stand-in (the paper used Z3; see DESIGN.md §2) — exact but
+//!   exponential in the local uncertainty, hence capped.
+
+use crate::model::XTupleTable;
+use audb_core::WinAgg;
+use audb_rel::ops::sort::total_order;
+use audb_rel::{Tuple, Value};
+
+/// Per-x-tuple keys (projections on the total order) over its alternatives.
+struct Keys {
+    min_key: Tuple,
+    max_key: Tuple,
+    certain: bool,
+    /// Certain existence *and* a single possible key.
+    fixed: bool,
+}
+
+fn keys_of(table: &XTupleTable, order: &[usize]) -> (Vec<usize>, Vec<Option<Keys>>) {
+    let total_idxs = total_order(table.schema.arity(), order);
+    let keys = table
+        .tuples
+        .iter()
+        .map(|t| {
+            let mut ks = t.alternatives.iter().map(|a| a.tuple.project(&total_idxs));
+            let first = ks.next()?;
+            let (mut lo, mut hi) = (first.clone(), first);
+            for k in ks {
+                if k < lo {
+                    lo = k.clone();
+                }
+                if k > hi {
+                    hi = k;
+                }
+            }
+            let certain = t.certainly_exists();
+            let fixed = certain && lo == hi;
+            Some(Keys {
+                min_key: lo,
+                max_key: hi,
+                certain,
+                fixed,
+            })
+        })
+        .collect();
+    (total_idxs, keys)
+}
+
+/// Tight `[pos_min, pos_max]` of each x-tuple's sort position (0-based,
+/// conditional on the tuple existing); `None` for alternatives-free tuples.
+/// Ties across distinct x-tuples are broken by x-tuple index (the
+/// deterministic semantics' arbitrary-but-fixed tie-break; generators keep
+/// keys distinct so this never matters in the benchmarks).
+pub fn exact_position_bounds(table: &XTupleTable, order: &[usize]) -> Vec<Option<(u64, u64)>> {
+    let (_, keys) = keys_of(table, order);
+    // Sorted key lists for counting.
+    let mut certain_max: Vec<&Tuple> = keys
+        .iter()
+        .flatten()
+        .filter(|k| k.certain)
+        .map(|k| &k.max_key)
+        .collect();
+    certain_max.sort();
+    let mut all_min: Vec<&Tuple> = keys.iter().flatten().map(|k| &k.min_key).collect();
+    all_min.sort();
+
+    keys.iter()
+        .map(|k| {
+            let k = k.as_ref()?;
+            // Unavoidable predecessors: certain tuples whose largest key is
+            // strictly below this tuple's smallest key.
+            let lo = certain_max.partition_point(|&m| m < &k.min_key) as u64;
+            // Possible predecessors: any tuple whose smallest key is
+            // strictly below this tuple's largest key (minus self).
+            let mut hi = all_min.partition_point(|&m| m < &k.max_key) as u64;
+            if k.min_key < k.max_key {
+                hi -= 1; // self was counted
+            }
+            debug_assert!(lo <= hi);
+            Some((lo, hi))
+        })
+        .collect()
+}
+
+/// Result of [`exact_window_bounds`] for one tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WindowTruth {
+    /// Tight `[lo, hi]` on the aggregate over the tuple's window,
+    /// conditional on the tuple existing.
+    Exact(Value, Value),
+    /// The local neighbourhood was too uncertain to enumerate under the cap.
+    Skipped,
+}
+
+/// Tight bounds on `f(A) OVER (ORDER BY O ROWS BETWEEN -l PRECEDING AND u
+/// FOLLOWING)` per x-tuple, by exhaustive enumeration of the candidate
+/// neighbourhood. `enum_cap` bounds the number of joint outcomes explored
+/// per tuple (tuples beyond it report [`WindowTruth::Skipped`]).
+pub fn exact_window_bounds(
+    table: &XTupleTable,
+    order: &[usize],
+    agg: WinAgg,
+    l: i64,
+    u: i64,
+    enum_cap: u128,
+) -> Vec<Option<WindowTruth>> {
+    assert!(l <= 0 && u >= 0, "window must contain the current row");
+    assert!(
+        !matches!(agg, WinAgg::Avg(_)),
+        "exact avg bounds are not supported"
+    );
+    let (total_idxs, keys) = keys_of(table, order);
+    let reach_below = (-l) as usize;
+    let reach_above = u as usize;
+
+    // Fixed separators: certainly existing tuples with a single key.
+    let mut fixed_keys: Vec<&Tuple> = keys
+        .iter()
+        .flatten()
+        .filter(|k| k.fixed)
+        .map(|k| &k.min_key)
+        .collect();
+    fixed_keys.sort();
+    // #fixed keys strictly inside the open interval (a, b).
+    let fixed_between = |a: &Tuple, b: &Tuple| -> usize {
+        if a >= b {
+            return 0;
+        }
+        fixed_keys.partition_point(|&k| k < b) - fixed_keys.partition_point(|&k| k <= a)
+    };
+
+    let val_of = |alt: &Tuple| -> Value {
+        match agg.input_col() {
+            Some(c) => alt.get(c).clone(),
+            None => Value::Int(1),
+        }
+    };
+
+    (0..table.len())
+        .map(|ti| {
+            let tk = keys[ti].as_ref()?;
+            // Candidate neighbourhood (see module docs for the argument
+            // that window members are always candidates).
+            let mut cands: Vec<usize> = Vec::new();
+            let mut outcomes: u128 = table.tuples[ti].alternatives.len() as u128;
+            for (j, jk) in keys.iter().enumerate() {
+                let Some(jk) = jk else { continue };
+                if j == ti {
+                    continue;
+                }
+                let below_ok = reach_below > 0
+                    && jk.min_key < tk.max_key
+                    && fixed_between(&jk.max_key, &tk.min_key) < reach_below;
+                let above_ok = reach_above > 0
+                    && jk.max_key > tk.min_key
+                    && fixed_between(&tk.max_key, &jk.min_key) < reach_above;
+                if below_ok || above_ok {
+                    cands.push(j);
+                    outcomes = outcomes.saturating_mul(table.tuples[j].outcome_count() as u128);
+                    if outcomes > enum_cap {
+                        return Some(WindowTruth::Skipped);
+                    }
+                }
+            }
+
+            // Enumerate the joint outcomes of target × candidates.
+            let mut best: Option<(Value, Value)> = None;
+            let mut realized: Vec<(Tuple, Value, usize)> = Vec::new();
+            for t_alt in &table.tuples[ti].alternatives {
+                let t_key = t_alt.tuple.project(&total_idxs);
+                let t_val = val_of(&t_alt.tuple);
+                enum_rec(
+                    table,
+                    &cands,
+                    0,
+                    &total_idxs,
+                    &mut realized,
+                    &mut |realized| {
+                        // Sort candidate realizations and slice the window.
+                        let mut sorted: Vec<(&Tuple, &Value, usize)> = realized
+                            .iter()
+                            .map(|(k, v, j)| (k, v, *j))
+                            .collect();
+                        sorted.push((&t_key, &t_val, ti));
+                        sorted.sort_by(|a, b| a.0.cmp(b.0).then(a.2.cmp(&b.2)));
+                        let p = sorted
+                            .iter()
+                            .position(|&(_, _, j)| j == ti)
+                            .expect("target present") as i64;
+                        let lo = (p + l).max(0) as usize;
+                        let hi = ((p + u).min(sorted.len() as i64 - 1)) as usize;
+                        let result = fold_agg(agg, sorted[lo..=hi].iter().map(|&(_, v, _)| v));
+                        match &mut best {
+                            None => best = Some((result.clone(), result)),
+                            Some((mn, mx)) => {
+                                if result < *mn {
+                                    *mn = result.clone();
+                                }
+                                if result > *mx {
+                                    *mx = result;
+                                }
+                            }
+                        }
+                    },
+                    &val_of,
+                );
+            }
+            best.map(|(lo, hi)| WindowTruth::Exact(lo, hi))
+        })
+        .collect()
+}
+
+fn enum_rec(
+    table: &XTupleTable,
+    cands: &[usize],
+    i: usize,
+    total_idxs: &[usize],
+    realized: &mut Vec<(Tuple, Value, usize)>,
+    visit: &mut dyn FnMut(&[(Tuple, Value, usize)]),
+    val_of: &dyn Fn(&Tuple) -> Value,
+) {
+    if i == cands.len() {
+        visit(realized);
+        return;
+    }
+    let j = cands[i];
+    for alt in &table.tuples[j].alternatives {
+        realized.push((alt.tuple.project(total_idxs), val_of(&alt.tuple), j));
+        enum_rec(table, cands, i + 1, total_idxs, realized, visit, val_of);
+        realized.pop();
+    }
+    if !table.tuples[j].certainly_exists() {
+        enum_rec(table, cands, i + 1, total_idxs, realized, visit, val_of);
+    }
+}
+
+fn fold_agg<'a>(agg: WinAgg, vals: impl Iterator<Item = &'a Value>) -> Value {
+    match agg {
+        WinAgg::Sum(_) => vals.fold(Value::Int(0), |acc, v| acc.add(v)),
+        WinAgg::Count => Value::Int(vals.count() as i64),
+        WinAgg::Min(_) => vals.min().cloned().unwrap_or(Value::Null),
+        WinAgg::Max(_) => vals.max().cloned().unwrap_or(Value::Null),
+        WinAgg::Avg(_) => unreachable!("rejected above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_worlds;
+    use crate::model::{Alternative, XTuple};
+    use audb_rel::{sort_to_pos, window_rows, AggFunc, Schema, WindowSpec};
+
+    fn table() -> XTupleTable {
+        XTupleTable::new(
+            Schema::new(["k", "v"]),
+            vec![
+                XTuple::certain(Tuple::from([10i64, 1])),
+                XTuple::uniform([Tuple::from([5i64, 2]), Tuple::from([15i64, 3])]),
+                XTuple::new(vec![Alternative {
+                        tuple: Tuple::from([12i64, 4]),
+                        prob: 0.5,
+                    }]),
+                XTuple::certain(Tuple::from([20i64, 5])),
+            ],
+        )
+    }
+
+    /// Enumerated ground truth for positions must match the closed form.
+    #[test]
+    fn position_bounds_match_enumeration() {
+        let t = table();
+        let bounds = exact_position_bounds(&t, &[0]);
+        let worlds = enumerate_worlds(&t, 1000);
+        for (i, b) in bounds.iter().enumerate() {
+            let b = b.expect("all tuples have alternatives");
+            let (mut lo, mut hi) = (u64::MAX, 0u64);
+            for w in &worlds {
+                let Some(ai) = w.choices[i] else { continue };
+                let realized = &t.tuples[i].alternatives[ai].tuple;
+                let sorted = sort_to_pos(&w.relation, &[0], "pos");
+                for row in &sorted.rows {
+                    if row.tuple.project(&[0, 1]) == *realized {
+                        let p = row.tuple.get(2).as_i64().unwrap() as u64;
+                        lo = lo.min(p);
+                        hi = hi.max(p);
+                    }
+                }
+            }
+            assert_eq!((lo, hi), b, "tuple {i}");
+        }
+    }
+
+    /// Enumerated ground truth for rolling sums must match the local
+    /// enumeration.
+    #[test]
+    fn window_bounds_match_enumeration() {
+        let t = table();
+        for (l, u) in [(-1i64, 0i64), (0, 1), (-2, 0)] {
+            let bounds = exact_window_bounds(&t, &[0], WinAgg::Sum(1), l, u, 1 << 20);
+            let worlds = enumerate_worlds(&t, 1000);
+            for (i, b) in bounds.iter().enumerate() {
+                let Some(WindowTruth::Exact(lo, hi)) = b else {
+                    panic!("tuple {i} skipped");
+                };
+                let (mut wlo, mut whi) = (Value::Null, Value::Null);
+                for w in &worlds {
+                    let Some(ai) = w.choices[i] else { continue };
+                    let realized = &t.tuples[i].alternatives[ai].tuple;
+                    let spec = WindowSpec::rows(vec![0], l, u);
+                    let out = window_rows(&w.relation, &spec, AggFunc::Sum(1), "s");
+                    for row in &out.rows {
+                        if row.tuple.project(&[0, 1]) == *realized {
+                            let s = row.tuple.get(2).clone();
+                            if wlo.is_null() || s < wlo {
+                                wlo = s.clone();
+                            }
+                            if whi.is_null() || s > whi {
+                                whi = s;
+                            }
+                        }
+                    }
+                }
+                assert_eq!((&wlo, &whi), (lo, hi), "tuple {i} window [{l},{u}]");
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_cap_reports_skipped() {
+        let t = table();
+        let bounds = exact_window_bounds(&t, &[0], WinAgg::Sum(1), -2, 0, 2);
+        assert!(bounds
+            .iter()
+            .any(|b| matches!(b, Some(WindowTruth::Skipped))));
+    }
+}

@@ -1,0 +1,26 @@
+//! # audb-worlds — incomplete and probabilistic database substrate
+//!
+//! The paper evaluates over *incomplete databases*: sets of possible worlds
+//! (Sec. 3.1), generated here from the block-independent **x-tuple model**
+//! ([`model::XTupleTable`]). This crate provides everything the AU-DB
+//! methods, competitors, and tests need from that model:
+//!
+//! * [`model`] — x-tuples, most-likely (selected-guess) worlds, world
+//!   sampling, and derivation of the bounding AU-DB;
+//! * [`enumerate`] — exhaustive world enumeration with provenance (small
+//!   inputs; ground truth for property tests and exact competitors);
+//! * [`exact`] — *tight* per-tuple position bounds in closed form and
+//!   window-aggregate bounds by bounded local enumeration (the `Symb`
+//!   stand-in used to normalize approximation quality, DESIGN.md §2);
+//! * [`bounding`] — the exact tuple-matching checker (max-flow) deciding
+//!   `R ⊏ R`, used to *prove* bound preservation in tests.
+
+pub mod bounding;
+pub mod enumerate;
+pub mod exact;
+pub mod model;
+
+pub use bounding::{bounds_incomplete, bounds_world};
+pub use enumerate::{enumerate_worlds, World};
+pub use exact::{exact_position_bounds, exact_window_bounds, WindowTruth};
+pub use model::{Alternative, XTuple, XTupleTable};

@@ -1,0 +1,54 @@
+//! Five-minute tour: build an uncertain relation, ask for bound-preserving
+//! top-k and windowed-aggregation answers.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use audb::core::{AuRelation, AuTuple, AuWindowSpec, Mult3, RangeValue, WinAgg};
+use audb::native::{topk_native, window_native};
+use audb::rel::Schema;
+
+fn main() {
+    // An uncertain product table: price ranges come from conflicting
+    // sources; the middle value is the curator's best guess. One row may
+    // not exist at all (multiplicity lower bound 0).
+    let products = AuRelation::from_rows(
+        Schema::new(["sku", "price"]),
+        [
+            (
+                AuTuple::from([RangeValue::certain(1i64), RangeValue::new(9, 10, 12)]),
+                Mult3::ONE,
+            ),
+            (
+                AuTuple::from([RangeValue::certain(2i64), RangeValue::new(8, 11, 11)]),
+                Mult3::ONE,
+            ),
+            (
+                AuTuple::from([RangeValue::certain(3i64), RangeValue::new(15, 15, 15)]),
+                Mult3::new(0, 1, 1), // possibly a duplicate entry
+            ),
+            (
+                AuTuple::from([RangeValue::certain(4i64), RangeValue::new(7, 7, 7)]),
+                Mult3::ONE,
+            ),
+        ],
+    );
+    println!("Uncertain products:\n{products}");
+
+    // Top-2 cheapest products. Multiplicity triples tell you which answers
+    // are certain (lb = 1), in the best-guess world (sg = 1), or merely
+    // possible (ub = 1); the position attribute carries rank bounds.
+    let top2 = topk_native(&products, &[1], 2, "rank");
+    println!("Top-2 by price (certain / guess / possible):\n{top2}");
+
+    // A rolling sum over the price-sorted order: each bound covers every
+    // possible world the input admits.
+    let spec = AuWindowSpec::rows(vec![1], -1, 0);
+    let rolling = window_native(&products, &spec, WinAgg::Sum(1), "rolling_sum");
+    println!("Rolling price sum (window = previous + current row):\n{rolling}");
+
+    // Every range is a guarantee: in no possible world does a value escape
+    // its printed bounds — that is the bound-preservation theorem the
+    // test-suite checks against exhaustive world enumeration.
+}

@@ -1,0 +1,97 @@
+//! Rolling aggregates over noisy sensor data — the paper's motivating
+//! windowed-aggregation use case. Readings arrive with calibration
+//! uncertainty (a declared error band around each measurement); the rolling
+//! sum/min/max must bound every world the bands admit.
+//!
+//! ```sh
+//! cargo run --example sensor_rolling
+//! ```
+
+use audb::core::{AuWindowSpec, WinAgg};
+use audb::native::window_native;
+use audb::rel::{Schema, Tuple, Value};
+use audb::worlds::{Alternative, XTuple, XTupleTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let n = 48; // 48 measurements = one day of half-hourly readings
+
+    // Each reading: a timestamp and a temperature in deci-degrees. Roughly
+    // one in six sensors drifts, widening its declared error band.
+    let tuples: Vec<XTuple> = (0..n)
+        .map(|ts| {
+            let true_temp = 180 + ((ts as f64 / 5.0).sin() * 40.0) as i64 + rng.gen_range(-3..=3);
+            let drifting = rng.gen_range(0..6) == 0;
+            let band = if drifting { 25 } else { 4 };
+            // The measured alternatives sit inside the declared band.
+            let alts: Vec<i64> = (0..3).map(|_| true_temp + rng.gen_range(-band..=band)).collect();
+            let p = 1.0 / alts.len() as f64;
+            XTuple::new(
+                alts.iter()
+                    .map(|&t| Alternative {
+                        tuple: Tuple::from([ts as i64, t]),
+                        prob: p,
+                    })
+                    .collect(),
+            )
+            .with_declared(vec![
+                (Value::Int(ts as i64), Value::Int(ts as i64)),
+                (Value::Int(true_temp - band), Value::Int(true_temp + band)),
+            ])
+        })
+        .collect();
+    let table = XTupleTable::new(Schema::new(["ts", "temp"]), tuples);
+    let au = table.to_au_relation();
+
+    // One-hour rolling window (current + 1 preceding reading).
+    let spec = AuWindowSpec::rows(vec![0], -1, 0);
+    for (name, agg) in [
+        ("rolling max", WinAgg::Max(1)),
+        ("rolling min", WinAgg::Min(1)),
+        ("rolling avg envelope", WinAgg::Avg(1)),
+    ] {
+        let out = window_native(&au, &spec, agg, "x");
+        // Report the widest bound of the day — where drift hurts the most.
+        let mut worst: Option<(i64, i64, i64)> = None;
+        for row in &out.rows {
+            let ts = row.tuple.get(0).sg.as_i64().unwrap();
+            let x = row.tuple.get(2);
+            let (lo, hi) = (
+                x.lb.as_f64().unwrap_or(0.0) as i64,
+                x.ub.as_f64().unwrap_or(0.0) as i64,
+            );
+            if worst.map_or(true, |(_, a, b)| hi - lo > b - a) {
+                worst = Some((ts, lo, hi));
+            }
+        }
+        let (ts, lo, hi) = worst.unwrap();
+        println!(
+            "{name:22} widest bound at t={ts:>2}: [{:.1}°, {:.1}°]",
+            lo as f64 / 10.0,
+            hi as f64 / 10.0
+        );
+    }
+
+    // Alarm logic on guarantees, not guesses: a certain alarm fires only if
+    // even the lower bound of the rolling max exceeds the threshold; a
+    // possible alarm if the upper bound does.
+    let out = window_native(&au, &spec, WinAgg::Max(1), "x");
+    let threshold = 215;
+    let certain = out
+        .rows
+        .iter()
+        .filter(|r| r.tuple.get(2).lb > Value::Int(threshold))
+        .count();
+    let possible = out
+        .rows
+        .iter()
+        .filter(|r| r.tuple.get(2).ub > Value::Int(threshold))
+        .count();
+    println!(
+        "\nalarm > {:.1}°: {certain} readings certainly alarm, {possible} possibly alarm",
+        threshold as f64 / 10.0
+    );
+    println!("(a dashboard built on point estimates would show exactly one number — and be wrong in some worlds)");
+}

@@ -1,0 +1,29 @@
+//! # audb — bound-preserving ranking and window queries over uncertain data
+//!
+//! Umbrella crate for the reproduction of *"Efficient Approximation of
+//! Certain and Possible Answers for Ranking and Window Queries over
+//! Uncertain Data"* (Feng, Glavic, Kennedy — VLDB 2023). It re-exports the
+//! workspace crates under stable module names:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`rel`] | deterministic bag-relational engine (values, `RA+`, windows, sort) |
+//! | [`core`] | AU-DB model, `ℕ³` semiring, reference sort/top-k/window semantics |
+//! | [`conheap`] | connected heaps (Sec. 8.2) |
+//! | [`native`] | one-pass native algorithms (Sec. 8) — the paper's `Imp` |
+//! | [`rewrite`] | SQL-style rewrites over the relational encoding (Sec. 7) — `Rewr` |
+//! | [`worlds`] | x-tuple probabilistic model, world enumeration/sampling, exact bounds |
+//! | [`competitors`] | MCDB, PT-k, Symb, U-Top, U-Rank, Global-Topk, expected rank |
+//! | [`workloads`] | synthetic + real-world-simulating generators, quality metrics |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
+//! full system inventory.
+
+pub use audb_competitors as competitors;
+pub use audb_conheap as conheap;
+pub use audb_core as core;
+pub use audb_native as native;
+pub use audb_rel as rel;
+pub use audb_rewrite as rewrite;
+pub use audb_workloads as workloads;
+pub use audb_worlds as worlds;

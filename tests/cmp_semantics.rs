@@ -1,0 +1,73 @@
+//! Comparison-semantics properties (DESIGN.md §3.2): the interval-lex
+//! comparison is *exact* for independent per-attribute ranges — verified
+//! against brute-force enumeration of all deterministic instantiations —
+//! and the paper's syntactic recursion is sound relative to it.
+
+use audb::core::{tuple_lt, AuTuple, CmpSemantics, RangeValue};
+use audb::rel::Tuple;
+use proptest::prelude::*;
+
+fn rv_small() -> impl Strategy<Value = RangeValue> {
+    (-2i64..3, 0i64..3).prop_map(|(lb, w)| RangeValue::new(lb, lb, lb + w))
+}
+
+fn tuple2() -> impl Strategy<Value = AuTuple> {
+    (rv_small(), rv_small()).prop_map(|(a, b)| AuTuple::new([a, b]))
+}
+
+/// Enumerate every deterministic instantiation of a 2-attribute range tuple.
+fn instantiations(t: &AuTuple) -> Vec<Tuple> {
+    let r0 = t.get(0);
+    let r1 = t.get(1);
+    let (a0, b0) = (r0.lb.as_i64().unwrap(), r0.ub.as_i64().unwrap());
+    let (a1, b1) = (r1.lb.as_i64().unwrap(), r1.ub.as_i64().unwrap());
+    let mut out = Vec::new();
+    for x in a0..=b0 {
+        for y in a1..=b1 {
+            out.push(Tuple::from([x, y]));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Interval-lex certain/possible flags are exactly the brute-force
+    /// ∀/∃ of the lexicographic comparison.
+    #[test]
+    fn interval_lex_is_exact(a in tuple2(), b in tuple2()) {
+        let r = tuple_lt(&a, &b, &[0, 1], CmpSemantics::IntervalLex);
+        let mut all = true;
+        let mut any = false;
+        for x in instantiations(&a) {
+            for y in instantiations(&b) {
+                let lt = x < y; // lexicographic on (attr0, attr1)
+                all &= lt;
+                any |= lt;
+            }
+        }
+        prop_assert_eq!(r.lb, all, "certain flag");
+        prop_assert_eq!(r.ub, any, "possible flag");
+        prop_assert!(r.is_wellformed());
+    }
+
+    /// Syntactic is sound: its certain ⊆ exact certain, its possible ⊇
+    /// exact possible.
+    #[test]
+    fn syntactic_is_sound(a in tuple2(), b in tuple2()) {
+        let exact = tuple_lt(&a, &b, &[0, 1], CmpSemantics::IntervalLex);
+        let syn = tuple_lt(&a, &b, &[0, 1], CmpSemantics::Syntactic);
+        prop_assert!(!syn.lb || exact.lb, "syntactic certain must imply exact certain");
+        prop_assert!(!exact.ub || syn.ub, "exact possible must imply syntactic possible");
+        prop_assert!(syn.is_wellformed());
+    }
+
+    /// Both semantics agree on the selected guess (it is deterministic).
+    #[test]
+    fn sg_component_agrees(a in tuple2(), b in tuple2()) {
+        let exact = tuple_lt(&a, &b, &[0, 1], CmpSemantics::IntervalLex);
+        let syn = tuple_lt(&a, &b, &[0, 1], CmpSemantics::Syntactic);
+        prop_assert_eq!(exact.sg, syn.sg);
+    }
+}
