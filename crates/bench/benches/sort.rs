@@ -2,9 +2,9 @@
 //! (statistically robust counterpart of Figs. 11 and 14; the `repro`
 //! binary prints the full paper-style tables).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use audb_workloads::runner;
 use audb_workloads::synthetic::{gen_sort_table, SyntheticConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sort_methods(c: &mut Criterion) {
     let mut g = c.benchmark_group("sort/methods");

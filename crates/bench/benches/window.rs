@@ -29,7 +29,9 @@ fn bench_window_methods(c: &mut Criterion) {
         b.iter(|| audb_native::window_native(&au, &spec, WinAgg::Sum(2), "x"))
     });
     g.bench_function("rewr", |b| {
-        b.iter(|| audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::NestedLoop))
+        b.iter(|| {
+            audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::NestedLoop)
+        })
     });
     g.bench_function("rewr-index", |b| {
         b.iter(|| {
@@ -37,7 +39,9 @@ fn bench_window_methods(c: &mut Criterion) {
         })
     });
     g.bench_function("mcdb10", |b| {
-        b.iter(|| audb_competitors::mcdb_window_bounds(&table, &order, WinAgg::Sum(2), -2, 0, 10, 1))
+        b.iter(|| {
+            audb_competitors::mcdb_window_bounds(&table, &order, WinAgg::Sum(2), -2, 0, 10, 1)
+        })
     });
     g.finish();
 }

@@ -1,11 +1,14 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [targets...] [--scale X] [--quick]
+//! repro [targets...] [--scale X] [--quick] [--json [PATH]]
 //!
-//! targets: heaps fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 all
+//! targets: heaps fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
+//!          bench all
 //! --scale  multiply the paper's data sizes (default 0.1)
 //! --quick  endpoint-only sweeps (smoke run)
+//! --json   with the `bench` target: write the tracked perf artifact
+//!          (default BENCH_sort_window.json)
 //! ```
 //!
 //! Absolute times will differ from the paper's Postgres-on-Opteron testbed;
@@ -14,10 +17,20 @@
 
 use audb_bench::figures::{self, ReproOptions};
 
+/// Names `main`'s target dispatch understands.
+fn is_target(s: &str) -> bool {
+    matches!(s, "heaps" | "bench" | "all")
+        || matches!(
+            s,
+            "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19"
+        )
+}
+
 fn main() {
     let mut opts = ReproOptions::default();
     let mut targets: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -25,9 +38,18 @@ fn main() {
                 opts.scale = v.parse().expect("--scale must be a float");
             }
             "--quick" => opts.quick = true,
+            "--json" => {
+                // Optional value. Only consume the next token as a path if
+                // it can't be a target name (`repro --json bench` must keep
+                // `bench` as the target, not write a file called "bench").
+                json_path = Some(match args.peek() {
+                    Some(p) if !p.starts_with('-') && !is_target(p) => args.next().unwrap(),
+                    _ => "BENCH_sort_window.json".to_string(),
+                });
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [heaps|fig11..fig19|all]... [--scale X] [--quick]"
+                    "usage: repro [heaps|fig11..fig19|bench|all]... [--scale X] [--quick] [--json [PATH]]"
                 );
                 return;
             }
@@ -35,7 +57,7 @@ fn main() {
         }
     }
     if targets.is_empty() {
-        targets.push("all".into());
+        targets.push(if json_path.is_some() { "bench" } else { "all" }.into());
     }
     println!(
         "# audb repro — scale {} ({}), targets: {}",
@@ -55,6 +77,10 @@ fn main() {
             "fig17" => figures::fig17(opts),
             "fig18" => figures::fig18(opts),
             "fig19" => figures::fig19(opts),
+            "bench" => audb_bench::perf::run_json(
+                json_path.as_deref().unwrap_or("BENCH_sort_window.json"),
+                opts.quick,
+            ),
             "all" => figures::run_all(opts),
             other => eprintln!("unknown target {other:?} (try --help)"),
         }

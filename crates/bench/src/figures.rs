@@ -10,10 +10,10 @@ use crate::heaps::heaps_experiment;
 use crate::table::{fmt_ms, fmt_q, Table};
 use audb_core::WinAgg;
 use audb_rewrite::JoinStrategy;
+use audb_workloads::all_datasets;
 use audb_workloads::metrics::{aggregate_quality, QualityStats};
 use audb_workloads::runner::{self, Bounds};
 use audb_workloads::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
-use audb_workloads::all_datasets;
 
 /// Global options for a repro run.
 #[derive(Clone, Copy, Debug)]
@@ -144,7 +144,13 @@ pub fn fig11(opts: ReproOptions) {
         },
     ];
     let mut t = Table::new([
-        "config", "Det", "Imp", "Rewr", "MCDB10", "MCDB20", "paper(Det/Imp/Rewr/MC10/MC20 ms)",
+        "config",
+        "Det",
+        "Imp",
+        "Rewr",
+        "MCDB10",
+        "MCDB20",
+        "paper(Det/Imp/Rewr/MC10/MC20 ms)",
     ]);
     for c in &cfgs {
         if opts.quick && c.label.starts_with("r=10k") {
@@ -256,14 +262,23 @@ pub fn fig13(opts: ReproOptions) {
         ]);
     };
 
-    let mut t = Table::new(["uncertainty", "MCDB10", "MCDB20", "Imp/Rewr", "truth coverage"]);
+    let mut t = Table::new([
+        "uncertainty",
+        "MCDB10",
+        "MCDB20",
+        "Imp/Rewr",
+        "truth coverage",
+    ]);
     let us: &[f64] = if opts.quick {
         &[0.01, 0.09]
     } else {
         &[0.01, 0.03, 0.05, 0.07, 0.09]
     };
     for &u_ in us {
-        let cfg = SyntheticConfig::default().rows(rows).uncertainty(u_).seed(8);
+        let cfg = SyntheticConfig::default()
+            .rows(rows)
+            .uncertainty(u_)
+            .seed(8);
         run(&cfg, &mut t, format!("{}%", (u_ * 100.0).round() as i64));
     }
     t.print(&format!(
@@ -287,7 +302,16 @@ pub fn fig13(opts: ReproOptions) {
 pub fn fig14(opts: ReproOptions) {
     let order = [0usize, 1];
     // (a) small sizes, including the exact competitors.
-    let mut t = Table::new(["n", "Det", "Imp", "Rewr", "MCDB10", "MCDB20", "Symb", "PT-k(k=10)"]);
+    let mut t = Table::new([
+        "n",
+        "Det",
+        "Imp",
+        "Rewr",
+        "MCDB10",
+        "MCDB20",
+        "Symb",
+        "PT-k(k=10)",
+    ]);
     let small: &[usize] = if opts.quick {
         &[256, 1024]
     } else {
@@ -337,7 +361,16 @@ pub fn fig15(opts: ReproOptions) {
     let (agg, l, u) = (WinAgg::Sum(2), -2i64, 0i64);
 
     // (a) small sizes including the rewrite variants + index build time.
-    let mut t = Table::new(["n", "Det", "Imp", "Rewr", "Rewr(index)", "index build", "MCDB10", "MCDB20"]);
+    let mut t = Table::new([
+        "n",
+        "Det",
+        "Imp",
+        "Rewr",
+        "Rewr(index)",
+        "index build",
+        "MCDB10",
+        "MCDB20",
+    ]);
     let small: &[usize] = if opts.quick {
         &[256, 1024]
     } else {
@@ -364,10 +397,11 @@ pub fn fig15(opts: ReproOptions) {
             format!("{n}"),
             fmt_ms(runner::det_window(&table, &order, agg, l, u).elapsed),
             fmt_ms(runner::imp_window(&table, &order, agg, l, u).elapsed),
-            fmt_ms(runner::rewr_window(&table, &order, agg, l, u, JoinStrategy::NestedLoop).elapsed),
             fmt_ms(
-                runner::rewr_window(&table, &order, agg, l, u, JoinStrategy::IntervalIndex)
-                    .elapsed,
+                runner::rewr_window(&table, &order, agg, l, u, JoinStrategy::NestedLoop).elapsed,
+            ),
+            fmt_ms(
+                runner::rewr_window(&table, &order, agg, l, u, JoinStrategy::IntervalIndex).elapsed,
             ),
             fmt_ms(build),
             fmt_ms(runner::mcdb_window(&table, &order, agg, l, u, 10, 1).elapsed),
@@ -438,7 +472,14 @@ pub fn fig16(opts: ReproOptions) {
             paper: ["86.2", "1008.3", "953.1", "1885.1"],
         },
     ];
-    let mut t = Table::new(["config", "Det", "Imp", "MCDB10", "MCDB20", "paper(Det/Imp/MC10/MC20 ms)"]);
+    let mut t = Table::new([
+        "config",
+        "Det",
+        "Imp",
+        "MCDB10",
+        "MCDB20",
+        "paper(Det/Imp/MC10/MC20 ms)",
+    ]);
     for c in &cfgs {
         if opts.quick && c.label != "w=3,r=1k,u=5%" {
             continue;
@@ -467,11 +508,31 @@ pub fn fig16(opts: ReproOptions) {
     // join) on 8k rows — the paper's Rewr is minutes here.
     let rows_b = n_scaled(8_000, opts.scale);
     let paper_b = [
-        ("w=3,r=1k,u=5%", 1_000i64, 0.05, ["105.1", "73500", "1209.4", "2127.1"]),
-        ("w=3,r=10k,u=5%", 10_000, 0.05, ["101.7", "75200", "1231.3", "2142.9"]),
-        ("w=3,r=1k,u=20%", 1_000, 0.20, ["104.2", "81100", "1201.1", "2102.3"]),
+        (
+            "w=3,r=1k,u=5%",
+            1_000i64,
+            0.05,
+            ["105.1", "73500", "1209.4", "2127.1"],
+        ),
+        (
+            "w=3,r=10k,u=5%",
+            10_000,
+            0.05,
+            ["101.7", "75200", "1231.3", "2142.9"],
+        ),
+        (
+            "w=3,r=1k,u=20%",
+            1_000,
+            0.20,
+            ["104.2", "81100", "1201.1", "2102.3"],
+        ),
     ];
-    let mut t = Table::new(["config", "Rewr", "Rewr(index)", "paper(Det/Rewr/MC10/MC20 ms)"]);
+    let mut t = Table::new([
+        "config",
+        "Rewr",
+        "Rewr(index)",
+        "paper(Det/Rewr/MC10/MC20 ms)",
+    ]);
     for (label, range, uncert, paper) in paper_b {
         if opts.quick && label != "w=3,r=1k,u=5%" {
             continue;
@@ -494,7 +555,12 @@ pub fn fig16(opts: ReproOptions) {
             audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::IntervalIndex)
         })
         .elapsed;
-        t.row([label.to_string(), fmt_ms(rewr), fmt_ms(rewr_idx), paper.join("/")]);
+        t.row([
+            label.to_string(),
+            fmt_ms(rewr),
+            fmt_ms(rewr_idx),
+            paper.join("/"),
+        ]);
     }
     t.print(&format!(
         "Fig 16b: window performance with partition-by, Rewr on {rows_b} rows (paper: Rewr minutes — orders slower than sampling)"
@@ -522,7 +588,14 @@ pub fn fig17(opts: ReproOptions) {
         ),
     ];
     let mut t = Table::new([
-        "dataset", "query", "Imp", "Det", "MCDB20", "Rewr", "Symb", "PT-k",
+        "dataset",
+        "query",
+        "Imp",
+        "Det",
+        "MCDB20",
+        "Rewr",
+        "Symb",
+        "PT-k",
         "paper(Imp/Det/MC20/Rewr/Symb/PTk ms)",
     ]);
     for (ds, (_, prank, pwin)) in datasets.iter().zip(paper) {
@@ -554,12 +627,20 @@ pub fn fig17(opts: ReproOptions) {
         let mc20 = runner::mcdb_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u, 20, 1).elapsed;
         let rewr_feasible = wq.table.len() <= 20_000;
         let rewr = rewr_feasible.then(|| {
-            runner::rewr_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u, JoinStrategy::IntervalIndex)
-                .elapsed
+            runner::rewr_window(
+                &wq.table,
+                &wq.order,
+                wq.agg,
+                wq.l,
+                wq.u,
+                JoinStrategy::IntervalIndex,
+            )
+            .elapsed
         });
         let symb_feasible = wq.table.len() <= 20_000 && wq.l.abs() <= 8 && wq.u <= 8;
-        let symb = symb_feasible
-            .then(|| runner::symb_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u, 1 << 22).elapsed);
+        let symb = symb_feasible.then(|| {
+            runner::symb_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u, 1 << 22).elapsed
+        });
         t.row([
             ds.name.to_string(),
             "window".into(),
@@ -637,7 +718,8 @@ pub fn fig19(opts: ReproOptions) {
         // unbounded healthcare window — skipped tuples are excluded).
         let bounded = wq.l.abs() <= 8 && wq.u <= 8;
         let (q_agg, q_mc) = if bounded {
-            let tight = runner::symb_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u, 1 << 22).value;
+            let tight =
+                runner::symb_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u, 1 << 22).value;
             let imp = runner::imp_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u).value;
             let mc = runner::mcdb_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u, 20, 1).value;
             (quality(&imp, &tight), quality(&mc, &tight))

@@ -9,4 +9,5 @@
 
 pub mod figures;
 pub mod heaps;
+pub mod perf;
 pub mod table;

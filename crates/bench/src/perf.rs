@@ -1,0 +1,246 @@
+//! Tracked performance artifact: `BENCH_sort_window.json`.
+//!
+//! `repro bench --json` measures ops/sec of the three methods (`det` — the
+//! deterministic engine on the most-likely world; `imp` — the one-pass
+//! native algorithms; `rewr` — the SQL-style rewrite) for sorting and
+//! windowed aggregation at n ∈ {1k, 4k, 16k}, and writes them as JSON so
+//! the perf trajectory is tracked in-repo from PR to PR.
+//!
+//! The file also carries the frozen `naive_baseline_ms` block: the same
+//! benchmarks measured on the pre-optimization implementation (per-
+//! comparison corner-tuple allocation in `normalize()`, `Vec<Value>` heap
+//! keys, caller-side `clone().normalize()`, per-record heap back-pointer
+//! vectors) on this machine. Those numbers never change; the `runs`
+//! section is regenerated on demand and comparing the two is the ≥ 2×
+//! acceptance gate of the optimization PR.
+
+use audb_core::{AuWindowSpec, WinAgg};
+use audb_rewrite::JoinStrategy;
+use audb_workloads::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Row counts tracked in the artifact.
+pub const SIZES: [usize; 3] = [1_000, 4_000, 16_000];
+
+/// Pre-optimization medians (milliseconds) of `imp` on this repo's
+/// reference container (single-core, release profile), recorded before the
+/// zero-allocation refactor landed. See module docs.
+pub const NAIVE_BASELINE_SORT_IMP_MS: [f64; 3] = [1.70, 8.34, 46.40];
+/// Pre-optimization window sweep medians (milliseconds).
+pub const NAIVE_BASELINE_WINDOW_IMP_MS: [f64; 3] = [4.02, 24.19, 125.63];
+
+/// One measured cell.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `sort` or `window`.
+    pub op: &'static str,
+    /// `det` / `imp` / `rewr`.
+    pub method: &'static str,
+    /// Input rows.
+    pub n: usize,
+    /// Median milliseconds per run.
+    pub ms: f64,
+    /// Runs per second (1000 / ms).
+    pub ops_per_sec: f64,
+}
+
+fn time_median(mut f: impl FnMut(), budget_runs: usize) -> f64 {
+    let mut samples = Vec::with_capacity(budget_runs);
+    for _ in 0..budget_runs {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Measure every (op, method, n) cell. `quick` halves the run counts.
+pub fn measure(quick: bool) -> Vec<Measurement> {
+    let runs = if quick { 3 } else { 7 };
+    let mut out = Vec::new();
+    for &n in &SIZES {
+        let table = gen_sort_table(&SyntheticConfig::default().rows(n).seed(3));
+        let au = table.to_au_relation();
+        let world = table.most_likely_world();
+        let order = [0usize, 1];
+        let cells: [(&'static str, Box<dyn FnMut()>); 3] = [
+            (
+                "det",
+                Box::new(|| {
+                    std::hint::black_box(audb_rel::sort_to_pos(&world, &order, "pos"));
+                }),
+            ),
+            (
+                "imp",
+                Box::new(|| {
+                    std::hint::black_box(audb_native::sort_native(&au, &order, "pos"));
+                }),
+            ),
+            (
+                "rewr",
+                Box::new(|| {
+                    std::hint::black_box(audb_rewrite::rewr_sort(&au, &order, "pos"));
+                }),
+            ),
+        ];
+        for (method, mut f) in cells {
+            let ms = time_median(&mut *f, runs);
+            out.push(Measurement {
+                op: "sort",
+                method,
+                n,
+                ms,
+                ops_per_sec: 1e3 / ms,
+            });
+        }
+
+        let wtable = gen_window_table(&SyntheticConfig::default().rows(n).seed(4));
+        let wau = wtable.to_au_relation();
+        let wworld = wtable.most_likely_world();
+        let spec = AuWindowSpec::rows(vec![0], -2, 0);
+        let cells: [(&'static str, Box<dyn FnMut()>); 3] = [
+            (
+                "det",
+                Box::new(|| {
+                    std::hint::black_box(audb_rel::window_rows(
+                        &wworld,
+                        &audb_rel::WindowSpec::rows(vec![0], -2, 0),
+                        audb_rel::AggFunc::Sum(2),
+                        "x",
+                    ));
+                }),
+            ),
+            (
+                "imp",
+                Box::new(|| {
+                    std::hint::black_box(audb_native::window_native(
+                        &wau,
+                        &spec,
+                        WinAgg::Sum(2),
+                        "x",
+                    ));
+                }),
+            ),
+            (
+                "rewr",
+                Box::new(|| {
+                    std::hint::black_box(audb_rewrite::rewr_window(
+                        &wau,
+                        &spec,
+                        WinAgg::Sum(2),
+                        "x",
+                        JoinStrategy::IntervalIndex,
+                    ));
+                }),
+            ),
+        ];
+        for (method, mut f) in cells {
+            let ms = time_median(&mut *f, runs);
+            out.push(Measurement {
+                op: "window",
+                method,
+                n,
+                ms,
+                ops_per_sec: 1e3 / ms,
+            });
+        }
+    }
+    out
+}
+
+/// Render the artifact JSON (no serde in this workspace; the structure is
+/// flat enough to emit by hand).
+pub fn render_json(measurements: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"artifact\": \"BENCH_sort_window\",\n");
+    s.push_str("  \"sizes\": [1000, 4000, 16000],\n");
+    s.push_str("  \"naive_baseline_ms\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"sort/imp\": [{}, {}, {}],",
+        NAIVE_BASELINE_SORT_IMP_MS[0], NAIVE_BASELINE_SORT_IMP_MS[1], NAIVE_BASELINE_SORT_IMP_MS[2]
+    );
+    let _ = writeln!(
+        s,
+        "    \"window/imp\": [{}, {}, {}]",
+        NAIVE_BASELINE_WINDOW_IMP_MS[0],
+        NAIVE_BASELINE_WINDOW_IMP_MS[1],
+        NAIVE_BASELINE_WINDOW_IMP_MS[2]
+    );
+    s.push_str("  },\n");
+    s.push_str("  \"runs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"op\": \"{}\", \"method\": \"{}\", \"n\": {}, \"ms\": {:.3}, \"ops_per_sec\": {:.3}}}",
+            m.op, m.method, m.n, m.ms, m.ops_per_sec
+        );
+        s.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    // Headline ratio the acceptance gate reads: naive / current for
+    // sort/imp at 16k rows.
+    let head = measurements
+        .iter()
+        .find(|m| m.op == "sort" && m.method == "imp" && m.n == 16_000);
+    let speedup = head
+        .map(|m| NAIVE_BASELINE_SORT_IMP_MS[2] / m.ms)
+        .unwrap_or(f64::NAN);
+    let _ = writeln!(s, "  \"sort_imp_16k_speedup_vs_naive\": {speedup:.2}");
+    s.push_str("}\n");
+    s
+}
+
+/// Run the tracked benchmark and write `path`.
+pub fn run_json(path: &str, quick: bool) {
+    let measurements = measure(quick);
+    for m in &measurements {
+        println!(
+            "{:>6} rows  {:<6} {:<5} {:>10.3} ms  {:>10.2} ops/s",
+            m.n, m.op, m.method, m.ms, m.ops_per_sec
+        );
+    }
+    let json = render_json(&measurements);
+    std::fs::write(path, &json).expect("write bench artifact");
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_valid_shaped_json() {
+        let ms = vec![
+            Measurement {
+                op: "sort",
+                method: "imp",
+                n: 16_000,
+                ms: 20.0,
+                ops_per_sec: 50.0,
+            },
+            Measurement {
+                op: "window",
+                method: "det",
+                n: 1_000,
+                ms: 1.0,
+                ops_per_sec: 1000.0,
+            },
+        ];
+        let json = render_json(&ms);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"sort_imp_16k_speedup_vs_naive\": 2.32"));
+        assert!(json.contains("\"naive_baseline_ms\""));
+        assert_eq!(json.matches("\"op\"").count(), 2);
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -7,6 +7,12 @@
 //! these envelopes *under-approximate* the tight bounds (a sample may miss
 //! extreme worlds), which is exactly what the recall metrics of Figs. 12/13
 //! and 18/19 measure. `MCDB10` / `MCDB20` are `S = 10` / `S = 20`.
+//!
+//! Worlds are independent, so sampling is embarrassingly parallel: each
+//! sample gets its own generator deterministically derived from `(seed,
+//! sample index)` (`audb_par::par_run` fans the samples out across cores),
+//! and the per-tuple envelopes are merged with commutative min/max folds —
+//! results are identical regardless of thread count or schedule.
 
 use audb_core::WinAgg;
 use audb_rel::{sort_to_pos, window_rows, AggFunc, Relation, Tuple, Value, WindowSpec};
@@ -22,16 +28,24 @@ pub fn mcdb_sort_bounds(
     samples: usize,
     seed: u64,
 ) -> Vec<Option<(u64, u64)>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut bounds: Vec<Option<(u64, u64)>> = vec![None; table.len()];
     let id_col = table.schema.arity(); // provenance appended after the data
-    for _ in 0..samples {
-        let world = tagged_world(table, &mut rng);
+    let per_sample = audb_par::par_run(samples, |s| {
+        let world = tagged_world(table, sample_rng(seed, s));
         let sorted = sort_to_pos(&world, order, "pos");
         let pos_col = sorted.schema.arity() - 1;
-        for row in &sorted.rows {
-            let id = row.tuple.get(id_col).as_i64().expect("provenance") as usize;
-            let p = row.tuple.get(pos_col).as_i64().expect("position") as u64;
+        sorted
+            .rows
+            .iter()
+            .map(|row| {
+                let id = row.tuple.get(id_col).as_i64().expect("provenance") as usize;
+                let p = row.tuple.get(pos_col).as_i64().expect("position") as u64;
+                (id, p)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut bounds: Vec<Option<(u64, u64)>> = vec![None; table.len()];
+    for obs in per_sample {
+        for (id, p) in obs {
             bounds[id] = Some(match bounds[id] {
                 None => (p, p),
                 Some((lo, hi)) => (lo.min(p), hi.max(p)),
@@ -51,8 +65,6 @@ pub fn mcdb_window_bounds(
     samples: usize,
     seed: u64,
 ) -> Vec<Option<(Value, Value)>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut bounds: Vec<Option<(Value, Value)>> = vec![None; table.len()];
     let id_col = table.schema.arity();
     let dagg = match agg {
         WinAgg::Sum(c) => AggFunc::Sum(c),
@@ -61,14 +73,22 @@ pub fn mcdb_window_bounds(
         WinAgg::Max(c) => AggFunc::Max(c),
         WinAgg::Avg(c) => AggFunc::Avg(c),
     };
-    for _ in 0..samples {
-        let world = tagged_world(table, &mut rng);
+    let per_sample = audb_par::par_run(samples, |s| {
+        let world = tagged_world(table, sample_rng(seed, s));
         let spec = WindowSpec::rows(order.to_vec(), l, u);
         let out = window_rows(&world, &spec, dagg, "x");
         let x_col = out.schema.arity() - 1;
-        for row in &out.rows {
-            let id = row.tuple.get(id_col).as_i64().expect("provenance") as usize;
-            let v = row.tuple.get(x_col).clone();
+        out.rows
+            .iter()
+            .map(|row| {
+                let id = row.tuple.get(id_col).as_i64().expect("provenance") as usize;
+                (id, row.tuple.get(x_col).clone())
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut bounds: Vec<Option<(Value, Value)>> = vec![None; table.len()];
+    for obs in per_sample {
+        for (id, v) in obs {
             bounds[id] = Some(match bounds[id].take() {
                 None => (v.clone(), v),
                 Some((lo, hi)) => (lo.min(v.clone()), hi.max(v)),
@@ -87,28 +107,39 @@ pub fn mcdb_topk_frequencies(
     samples: usize,
     seed: u64,
 ) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut hits = vec![0usize; table.len()];
     let id_col = table.schema.arity();
-    for _ in 0..samples {
-        let world = tagged_world(table, &mut rng);
+    let per_sample = audb_par::par_run(samples, |s| {
+        let world = tagged_world(table, sample_rng(seed, s));
         let top = audb_rel::ops::sort::topk_with_pos(&world, order, k);
-        for row in &top.rows {
-            let id = row.tuple.get(id_col).as_i64().expect("provenance") as usize;
+        top.rows
+            .iter()
+            .map(|row| row.tuple.get(id_col).as_i64().expect("provenance") as usize)
+            .collect::<Vec<_>>()
+    });
+    let mut hits = vec![0usize; table.len()];
+    for obs in per_sample {
+        for id in obs {
             hits[id] += 1;
         }
     }
     hits.iter().map(|&h| h as f64 / samples as f64).collect()
 }
 
+/// The generator for sample `s`: derived from the user seed and the sample
+/// index so every sample is reproducible independently of which thread
+/// draws it (and of how many samples precede it).
+fn sample_rng(seed: u64, s: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
 /// Realize one world with a trailing provenance column. The provenance sits
 /// *after* every data attribute, so order-by indices are unchanged (it only
 /// participates in the final tie-break, where it is harmless: distinct ids
 /// only break ties between otherwise identical tuples).
-fn tagged_world(table: &XTupleTable, rng: &mut StdRng) -> Relation {
+fn tagged_world(table: &XTupleTable, mut rng: StdRng) -> Relation {
     let schema = table.schema.with("__xid");
     let rows = table
-        .sample_world_tagged(rng)
+        .sample_world_tagged(&mut rng)
         .into_iter()
         .map(|(id, t)| (t.with(Value::Int(id as i64)), 1))
         .collect::<Vec<(Tuple, u64)>>();
@@ -118,8 +149,8 @@ fn tagged_world(table: &XTupleTable, rng: &mut StdRng) -> Relation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use audb_worlds::{exact_position_bounds, XTuple};
     use audb_rel::Schema;
+    use audb_worlds::{exact_position_bounds, XTuple};
 
     fn table() -> XTupleTable {
         XTupleTable::new(
@@ -141,7 +172,10 @@ mod tests {
         for (i, b) in mc.iter().enumerate() {
             let (elo, ehi) = exact[i].unwrap();
             if let Some((lo, hi)) = b {
-                assert!(*lo >= elo && *hi <= ehi, "tuple {i}: [{lo},{hi}] ⊄ [{elo},{ehi}]");
+                assert!(
+                    *lo >= elo && *hi <= ehi,
+                    "tuple {i}: [{lo},{hi}] ⊄ [{elo},{ehi}]"
+                );
             }
         }
     }

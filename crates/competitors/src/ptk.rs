@@ -136,10 +136,7 @@ mod tests {
                     let Some(ai) = w.choices[i] else { continue };
                     let realized = &t.tuples[i].alternatives[ai].tuple;
                     let top = topk_with_pos(&w.relation, &[0], k);
-                    let hit = top
-                        .rows
-                        .iter()
-                        .any(|r| &r.tuple.project(&[0]) == realized);
+                    let hit = top.rows.iter().any(|r| &r.tuple.project(&[0]) == realized);
                     if hit {
                         truth += w.prob;
                     }

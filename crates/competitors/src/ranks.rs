@@ -88,15 +88,12 @@ pub fn urank(table: &XTupleTable, order: &[usize], k: u64) -> Vec<Option<usize>>
             }
         }
         for (i, &p) in at_rank.iter().enumerate() {
-            if winners[i].map_or(true, |(_, best)| p > best) {
+            if winners[i].is_none_or(|(_, best)| p > best) {
                 winners[i] = Some((ti, p));
             }
         }
     }
-    winners
-        .into_iter()
-        .map(|w| w.map(|(t, _)| t))
-        .collect()
+    winners.into_iter().map(|w| w.map(|(t, _)| t)).collect()
 }
 
 /// Global-Topk [64]: the `k` tuples with the highest `Pr[t ∈ top-k]`
@@ -198,9 +195,9 @@ mod tests {
             vec![
                 XTuple::uniform([Tuple::from([1i64]), Tuple::from([9i64])]),
                 XTuple::new(vec![audb_worlds::Alternative {
-                        tuple: Tuple::from([5i64]),
-                        prob: 0.4,
-                    }]),
+                    tuple: Tuple::from([5i64]),
+                    prob: 0.4,
+                }]),
             ],
         );
         let r = urank(&t, &[0], 2);

@@ -108,9 +108,9 @@ mod tests {
                 XTuple::certain(Tuple::from([10i64])),
                 XTuple::uniform([Tuple::from([5i64]), Tuple::from([15i64])]),
                 XTuple::new(vec![audb_worlds::Alternative {
-                        tuple: Tuple::from([12i64]),
-                        prob: 0.5,
-                    }]),
+                    tuple: Tuple::from([12i64]),
+                    prob: 0.5,
+                }]),
                 XTuple::certain(Tuple::from([20i64])),
             ],
         )

@@ -76,7 +76,7 @@ pub fn decode(flat: &Relation, schema: &Schema) -> AuRelation {
         .rows
         .iter()
         .filter(|r| r.mult > 0)
-        .flat_map(|r| std::iter::repeat(r).take(r.mult as usize).take(1).map(|r| r))
+        .flat_map(|r| std::iter::repeat_n(r, r.mult as usize).take(1))
         .map(|r| {
             let vals = (0..n).map(|i| {
                 RangeValue::new(

@@ -153,8 +153,8 @@ mod tests {
     #[test]
     fn expression_bound_preservation() {
         let at = AuTuple::new([rv(-2, 0, 2), rv(1, 3, 4)]);
-        let range_e = RangeExpr::Mul(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::col(1)))
-            .eval(&at);
+        let range_e =
+            RangeExpr::Mul(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::col(1))).eval(&at);
         for x in -2..=2i64 {
             for y in 1..=4i64 {
                 let det = Tuple::from([x, y]);

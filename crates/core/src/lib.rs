@@ -50,6 +50,7 @@ pub mod ops;
 pub mod pos;
 pub mod range_value;
 pub mod relation;
+pub mod sortkey;
 pub mod tuple;
 
 pub use cmp::{tuple_lt, CmpSemantics};
@@ -61,9 +62,13 @@ pub use ops::project::{project as au_project, project_cols as au_project_cols};
 pub use ops::select::select as au_select;
 pub use ops::sort::{sort_ref, topk_ref};
 pub use ops::union::union as au_union;
-pub use ops::window::{aggregate_window, guaranteed_extra_slots, sg_window_values, window_ref, AuWindowSpec, WinAgg, WindowMembers};
+pub use ops::window::{
+    aggregate_window, guaranteed_extra_slots, sg_window_values, window_ref, AuWindowSpec, WinAgg,
+    WindowMembers,
+};
 pub use ops::window_range::{window_range_ref, AuRangeWindowSpec};
 pub use pos::{all_pos_bounds, pos_bounds, PosBounds};
 pub use range_value::{RangeValue, TruthRange};
 pub use relation::{AuRelation, AuRow};
+pub use sortkey::{Corner, SortKey};
 pub use tuple::AuTuple;

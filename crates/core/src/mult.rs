@@ -39,7 +39,10 @@ impl Mult3 {
 
     /// Build a triple, checking `lb ≤ sg ≤ ub`.
     pub fn new(lb: u64, sg: u64, ub: u64) -> Self {
-        assert!(lb <= sg && sg <= ub, "multiplicity invariant: ({lb},{sg},{ub})");
+        assert!(
+            lb <= sg && sg <= ub,
+            "multiplicity invariant: ({lb},{sg},{ub})"
+        );
         Mult3 { lb, sg, ub }
     }
 

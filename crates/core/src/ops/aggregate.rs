@@ -128,11 +128,7 @@ fn agg_bounds(
     let (lb, ub) = match agg {
         WinAgg::Count => {
             let lo: u64 = cert.iter().map(|(_, m)| m.lb).sum();
-            let hi: u64 = cert
-                .iter()
-                .chain(poss.iter())
-                .map(|(_, m)| m.ub)
-                .sum();
+            let hi: u64 = cert.iter().chain(poss.iter()).map(|(_, m)| m.ub).sum();
             (Value::Int(lo as i64), Value::Int(hi as i64))
         }
         WinAgg::Sum(_) => {
@@ -212,18 +208,28 @@ fn agg_bounds(
     // Selected-guess value from the SG world members.
     let sg_raw = match agg {
         WinAgg::Count => Value::Int(sg.iter().map(|(_, m)| *m as i64).sum()),
-        WinAgg::Sum(_) => sg
+        WinAgg::Sum(_) => sg.iter().fold(Value::Int(0), |acc, (t, m)| {
+            acc.add(&attr_of(t).sg.scale(*m))
+        }),
+        WinAgg::Min(_) => sg
             .iter()
-            .fold(Value::Int(0), |acc, (t, m)| acc.add(&attr_of(t).sg.scale(*m))),
-        WinAgg::Min(_) => sg.iter().map(|(t, _)| attr_of(t).sg).min().unwrap_or(Value::Null),
-        WinAgg::Max(_) => sg.iter().map(|(t, _)| attr_of(t).sg).max().unwrap_or(Value::Null),
+            .map(|(t, _)| attr_of(t).sg)
+            .min()
+            .unwrap_or(Value::Null),
+        WinAgg::Max(_) => sg
+            .iter()
+            .map(|(t, _)| attr_of(t).sg)
+            .max()
+            .unwrap_or(Value::Null),
         WinAgg::Avg(_) => {
             let n: u64 = sg.iter().map(|(_, m)| *m).sum();
             if n == 0 {
                 Value::Null
             } else {
                 sg.iter()
-                    .fold(Value::Int(0), |acc, (t, m)| acc.add(&attr_of(t).sg.scale(*m)))
+                    .fold(Value::Int(0), |acc, (t, m)| {
+                        acc.add(&attr_of(t).sg.scale(*m))
+                    })
                     .div(&Value::Int(n as i64))
             }
         }
@@ -235,11 +241,7 @@ fn agg_bounds(
     } else {
         sg_raw
     };
-    RangeValue {
-        lb,
-        sg: sg_val,
-        ub,
-    }
+    RangeValue { lb, sg: sg_val, ub }
 }
 
 #[cfg(test)]

@@ -30,9 +30,11 @@ pub fn sort_ref(
     // Identical hypercubes stored as separate rows must be merged first:
     // Def. 2 accounts for duplicate interleaving through the duplicate
     // index `i`, which presupposes one row per distinct hypercube.
-    let rel = rel.clone().normalize();
+    // Borrow-or-owned: normalized inputs skip the pass entirely.
+    let rel = rel.normalized();
+    let rel: &AuRelation = &rel;
     let total_idxs = total_order(rel.schema.arity(), order);
-    let bounds = all_pos_bounds(&rel, &total_idxs, sem);
+    let bounds = all_pos_bounds(rel, &total_idxs, sem);
     let schema = rel.schema.with(pos_name);
     let mut out = AuRelation::empty(schema);
     for (row, base) in rel.rows.iter().zip(bounds) {
@@ -120,10 +122,7 @@ mod tests {
                 ),
             ],
         );
-        assert!(
-            out.bag_eq(&expected),
-            "got:\n{out}\nexpected:\n{expected}"
-        );
+        assert!(out.bag_eq(&expected), "got:\n{out}\nexpected:\n{expected}");
     }
 
     #[test]

@@ -11,7 +11,9 @@ pub fn union(left: &AuRelation, right: &AuRelation) -> AuRelation {
         "union arity mismatch"
     );
     let mut out = left.clone();
-    out.rows.extend(right.rows.iter().cloned());
+    // Through the accessor, not `out.rows.extend(..)`: a normalized `left`
+    // must not leak its normalization flag onto the concatenation.
+    out.rows_mut().extend(right.rows.iter().cloned());
     out
 }
 
@@ -22,6 +24,23 @@ mod tests {
     use crate::range_value::RangeValue;
     use crate::tuple::AuTuple;
     use audb_rel::Schema;
+
+    /// Regression: a *normalized* left operand must not leak its
+    /// normalization flag onto the union — the documented follow-up
+    /// `normalize()` has to actually merge.
+    #[test]
+    fn union_of_normalized_operands_still_merges() {
+        let t = AuTuple::new([RangeValue::new(1, 2, 3)]);
+        let l = AuRelation::from_rows(Schema::new(["a"]), [(t.clone(), Mult3::new(1, 1, 1))])
+            .normalize();
+        let r = AuRelation::from_rows(Schema::new(["a"]), [(t.clone(), Mult3::new(0, 1, 2))])
+            .normalize();
+        let u = union(&l, &r);
+        assert!(!u.is_normalized());
+        let u = u.normalize();
+        assert_eq!(u.rows.len(), 1);
+        assert_eq!(u.rows[0].mult, Mult3::new(1, 2, 3));
+    }
 
     #[test]
     fn union_adds_annotations() {

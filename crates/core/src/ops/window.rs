@@ -339,7 +339,7 @@ pub fn window_ref(
 ) -> AuRelation {
     // Merge identical hypercubes first (see sort_ref), then split into
     // unit-multiplicity rows.
-    let exp = rel.clone().normalize().expand();
+    let exp = rel.normalized().expand();
     let n = exp.rows.len();
     let total_idxs = total_order(exp.schema.arity(), &spec.order);
     let schema = exp.schema.with(out_name);
@@ -425,11 +425,7 @@ pub fn window_ref(
         }
         members.possn = (spec.size() as usize).saturating_sub(members.cert.len());
         // Rows certainly in this partition (incl. the conditional self).
-        let n_cert: u64 = (0..n)
-            .filter(|&j| j != ti)
-            .map(|j| fm[j].lb)
-            .sum::<u64>()
-            + 1;
+        let n_cert: u64 = (0..n).filter(|&j| j != ti).map(|j| fm[j].lb).sum::<u64>() + 1;
         members.guaranteed_extra = guaranteed_extra_slots(
             l,
             u,
@@ -484,7 +480,13 @@ mod tests {
             ],
         );
         let spec = AuWindowSpec::rows(vec![1], -1, 0).partition_by(vec![0]);
-        let out = window_ref(&rel, &spec, WinAgg::Sum(2), "sum_c", CmpSemantics::IntervalLex);
+        let out = window_ref(
+            &rel,
+            &spec,
+            WinAgg::Sum(2),
+            "sum_c",
+            CmpSemantics::IntervalLex,
+        );
 
         let expected = AuRelation::from_rows(
             Schema::new(["a", "b", "c", "sum_c"]),
@@ -553,8 +555,14 @@ mod tests {
         let rel = AuRelation::from_rows(
             Schema::new(["o", "v"]),
             [
-                (AuTuple::new([rv(1, 1, 10), RangeValue::certain(100i64)]), Mult3::ONE),
-                (AuTuple::new([rv(1, 2, 10), RangeValue::certain(50i64)]), Mult3::ONE),
+                (
+                    AuTuple::new([rv(1, 1, 10), RangeValue::certain(100i64)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([rv(1, 2, 10), RangeValue::certain(50i64)]),
+                    Mult3::ONE,
+                ),
             ],
         );
         let spec = AuWindowSpec::rows(vec![0], 0, 0);

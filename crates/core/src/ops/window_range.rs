@@ -18,9 +18,9 @@
 //! selected-guess component reuses the deterministic range operator via a
 //! provenance pass, like the row-based implementation.
 
+use crate::ops::window::WinAgg;
 use crate::range_value::{RangeValue, TruthRange};
 use crate::relation::AuRelation;
-use crate::ops::window::WinAgg;
 use audb_rel::ops::window_range::{window_range as det_window_range, RangeWindowSpec};
 use audb_rel::{AggFunc, Relation, Schema, Tuple, Value};
 
@@ -67,7 +67,7 @@ pub fn window_range_ref(
     agg: WinAgg,
     out_name: &str,
 ) -> AuRelation {
-    let exp = rel.clone().normalize().expand();
+    let exp = rel.normalized().expand();
     let n = exp.rows.len();
     let mut out = AuRelation::empty(exp.schema.with(out_name));
     if n == 0 {
@@ -293,12 +293,7 @@ mod tests {
         // Five tuples all possibly within reach: unlike a row window of
         // size 2, ALL of them can contribute to the upper bound at once.
         let rows: Vec<_> = (0..5)
-            .map(|i| {
-                (
-                    AuTuple::from([rv(0, i, 10), rv(1, 1, 1)]),
-                    Mult3::ONE,
-                )
-            })
+            .map(|i| (AuTuple::from([rv(0, i, 10), rv(1, 1, 1)]), Mult3::ONE))
             .collect();
         let rel = AuRelation::from_rows(Schema::new(["o", "v"]), rows);
         let spec = AuRangeWindowSpec::new(0, 0, 0);
@@ -315,7 +310,10 @@ mod tests {
             Schema::new(["o", "v"]),
             [
                 (AuTuple::from([rv(0, 1, 2), rv(3, 3, 3)]), Mult3::ONE),
-                (AuTuple::from([rv(2, 2, 2), rv(-1, -1, 4)]), Mult3::new(0, 1, 1)),
+                (
+                    AuTuple::from([rv(2, 2, 2), rv(-1, -1, 4)]),
+                    Mult3::new(0, 1, 1),
+                ),
                 (AuTuple::from([rv(4, 4, 5), rv(2, 2, 2)]), Mult3::ONE),
             ],
         );
@@ -331,10 +329,7 @@ mod tests {
                             rows.push((Tuple::from([2i64, v1]), 1));
                         }
                         rows.push((Tuple::from([o2, 2i64]), 1));
-                        let world = audb_rel::Relation::from_rows(
-                            Schema::new(["o", "v"]),
-                            rows,
-                        );
+                        let world = audb_rel::Relation::from_rows(Schema::new(["o", "v"]), rows);
                         let det = det_window_range(
                             &world,
                             &RangeWindowSpec::new(0, -2, 0),

@@ -1,9 +1,10 @@
 //! AU-DB relations: bags of range-annotated tuples with `ℕ³` annotations.
 
 use crate::mult::Mult3;
+use crate::sortkey::SortKey;
 use crate::tuple::AuTuple;
 use audb_rel::Schema;
-use std::collections::HashMap;
+use std::borrow::Cow;
 use std::fmt;
 
 /// One row: a hypercube tuple and its multiplicity triple.
@@ -21,15 +22,27 @@ pub struct AuRelation {
     /// Attribute names.
     pub schema: Schema,
     /// Rows; the same hypercube may appear several times (normalize to merge).
+    ///
+    /// **Read freely; mutate only through [`AuRelation::push`],
+    /// [`AuRelation::append`], or [`AuRelation::rows_mut`]** — those clear
+    /// the normalization flag below. Mutating this field directly on a
+    /// relation whose flag is set makes `normalize()`/`normalized()`/
+    /// `bag_eq()` silently skip their pass and return wrong results.
     pub rows: Vec<AuRow>,
+    /// True iff this relation is known to be in canonical form (merged,
+    /// zero-free, key-sorted). [`AuRelation::normalize`] then returns
+    /// immediately. A stale `false` only costs a redundant pass; a stale
+    /// `true` is a correctness bug — hence the mutation rule on `rows`.
+    normalized: bool,
 }
 
 impl AuRelation {
-    /// Empty relation.
+    /// Empty relation (trivially normalized).
     pub fn empty(schema: Schema) -> Self {
         AuRelation {
             schema,
             rows: Vec::new(),
+            normalized: true,
         }
     }
 
@@ -41,6 +54,7 @@ impl AuRelation {
                 .into_iter()
                 .map(|(tuple, mult)| AuRow { tuple, mult })
                 .collect(),
+            normalized: false,
         }
     }
 
@@ -57,13 +71,33 @@ impl AuRelation {
                     mult: Mult3::certain(r.mult),
                 })
                 .collect(),
+            normalized: false,
         }
     }
 
-    /// Append a row.
+    /// Append a row. On every operator's inner loop — kept branch-light.
+    #[inline]
     pub fn push(&mut self, tuple: AuTuple, mult: Mult3) {
         debug_assert_eq!(tuple.arity(), self.schema.arity());
+        self.normalized = false;
         self.rows.push(AuRow { tuple, mult });
+    }
+
+    /// Mutable access to the rows that keeps the normalization fast path
+    /// honest: any call conservatively clears the canonical-form flag.
+    pub fn rows_mut(&mut self) -> &mut Vec<AuRow> {
+        self.normalized = false;
+        &mut self.rows
+    }
+
+    /// Move every row of `other` to the end of `self`.
+    pub fn append(&mut self, other: &mut AuRelation) {
+        debug_assert_eq!(self.schema.arity(), other.schema.arity());
+        if other.rows.is_empty() {
+            return;
+        }
+        self.normalized = false;
+        self.rows.append(&mut other.rows);
     }
 
     /// Number of stored rows.
@@ -76,46 +110,71 @@ impl AuRelation {
         self.rows.is_empty()
     }
 
-    /// Drop rows that are certainly absent (`k↑ = 0`).
+    /// Drop rows that are certainly absent (`k↑ = 0`). Removing rows
+    /// preserves canonical form, so the normalization flag survives.
     pub fn drop_impossible(mut self) -> Self {
         self.rows.retain(|r| !r.mult.is_zero());
         self
     }
 
+    /// True iff this relation is already in canonical form (a `normalize()`
+    /// call would be the identity and is skipped).
+    pub fn is_normalized(&self) -> bool {
+        self.normalized
+    }
+
     /// Canonical form: merge identical hypercubes (annotations add), drop
     /// `(0,0,0)` rows, sort deterministically. Bag equality after
     /// `normalize` is row equality.
+    ///
+    /// Already-normalized inputs return immediately. The sort precomputes
+    /// one [`SortKey`] per row — the old implementation materialized three
+    /// corner tuples (three `Vec<Value>` allocations) *per comparison*.
     pub fn normalize(mut self) -> Self {
-        let mut map: HashMap<AuTuple, Mult3> = HashMap::with_capacity(self.rows.len());
-        for row in self.rows.drain(..) {
-            if !row.mult.is_zero() {
-                let e = map.entry(row.tuple).or_insert(Mult3::ZERO);
-                *e = *e + row.mult;
-            }
+        if self.normalized {
+            return self;
         }
-        let mut rows: Vec<AuRow> = map
+        let rows = std::mem::take(&mut self.rows);
+        let keyed: Vec<(SortKey, AuRow)> = rows
             .into_iter()
-            .map(|(tuple, mult)| AuRow { tuple, mult })
+            .filter(|r| !r.mult.is_zero())
+            .map(|row| (SortKey::of_row(&row.tuple), row))
             .collect();
-        rows.sort_by(|a, b| {
-            a.tuple
-                .lb_tuple()
-                .cmp(&b.tuple.lb_tuple())
-                .then_with(|| a.tuple.ub_tuple().cmp(&b.tuple.ub_tuple()))
-                .then_with(|| a.tuple.sg_tuple().cmp(&b.tuple.sg_tuple()))
-        });
         AuRelation {
             schema: self.schema,
-            rows,
+            rows: merge_sorted(keyed),
+            normalized: true,
         }
     }
 
-    /// Bag equality up to normalization.
+    /// Borrow-or-owned normalization: already-canonical relations are
+    /// returned as a borrow (zero work, zero allocation); everything else
+    /// gets a freshly built canonical copy — cloning only the surviving
+    /// merged rows, not the whole input like `rel.clone().normalize()` did.
+    pub fn normalized(&self) -> Cow<'_, AuRelation> {
+        if self.normalized {
+            return Cow::Borrowed(self);
+        }
+        let keyed: Vec<(SortKey, AuRow)> = self
+            .rows
+            .iter()
+            .filter(|r| !r.mult.is_zero())
+            .map(|row| (SortKey::of_row(&row.tuple), row.clone()))
+            .collect();
+        Cow::Owned(AuRelation {
+            schema: self.schema.clone(),
+            rows: merge_sorted(keyed),
+            normalized: true,
+        })
+    }
+
+    /// Bag equality up to normalization. Normalized operands are compared
+    /// in place — no clone, no re-normalization.
     pub fn bag_eq(&self, other: &AuRelation) -> bool {
         if self.schema.arity() != other.schema.arity() {
             return false;
         }
-        self.clone().normalize().rows == other.clone().normalize().rows
+        self.normalized().rows == other.normalized().rows
     }
 
     /// Total possible multiplicity `Σ k↑`.
@@ -158,8 +217,33 @@ impl AuRelation {
         AuRelation {
             schema: self.schema.clone(),
             rows,
+            normalized: false,
         }
     }
+}
+
+/// Canonicalize pre-keyed rows: stable-sort by whole-row [`SortKey`]
+/// (computed once per row — the old implementation materialized three
+/// corner tuples per *comparison*), then merge adjacent equal keys by
+/// adding annotations. Equal keys mean value-equal tuples, so this is the
+/// same merge a tuple-keyed hash map performed — without hashing a single
+/// tuple, and with the first occurrence as the deterministic representative.
+fn merge_sorted(mut keyed: Vec<(SortKey, AuRow)>) -> Vec<AuRow> {
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<AuRow> = Vec::with_capacity(keyed.len());
+    let mut last_key: Option<SortKey> = None;
+    for (key, row) in keyed {
+        match (&last_key, out.last_mut()) {
+            (Some(k), Some(last)) if *k == key => {
+                last.mult = last.mult + row.mult;
+            }
+            _ => {
+                out.push(row);
+                last_key = Some(key);
+            }
+        }
+    }
+    out
 }
 
 impl fmt::Display for AuRelation {

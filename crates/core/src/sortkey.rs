@@ -1,0 +1,315 @@
+//! Memcmp-comparable sort keys: order-preserving byte encoding of values.
+//!
+//! The native one-pass algorithms (`audb-native`) and `normalize()` used to
+//! compare order-by projections of corner tuples by materializing fresh
+//! [`Tuple`]s — one heap `Vec<Value>` allocation *per comparison* inside
+//! sorts and heap sifts. A [`SortKey`] instead encodes a projection of a
+//! corner of an [`AuTuple`] into a single byte string whose plain `memcmp`
+//! (`&[u8]` ordering) equals the lexicographic [`Value::cmp`] order of the
+//! projected values. Keys are built **once per row**, and every subsequent
+//! comparison is a branch-free byte compare with zero allocation.
+//!
+//! ## Encoding
+//!
+//! Each value is encoded self-delimitingly (the scheme is prefix-free, so
+//! concatenation preserves lexicographic tuple order):
+//!
+//! | value | bytes |
+//! |---|---|
+//! | `Null` | `00` |
+//! | `Bool(false)` / `Bool(true)` | `08` / `09` |
+//! | numeric (non-NaN `Int`/`Float`) | `10` ∘ mono(f64) ∘ residual |
+//! | `Float(NaN)` (any payload) | `18` |
+//! | `Str(s)` | `20` ∘ escape(s) ∘ `00 00` |
+//!
+//! * **mono(f64)** is the standard monotone bijection from (non-NaN,
+//!   `-0.0`-normalized) doubles to big-endian `u64`: flip all bits for
+//!   negatives, flip the sign bit for positives.
+//! * **residual** breaks ties *within* a class of numbers sharing the same
+//!   double approximation `d` (an `i64` beyond 2⁵³ and the double it rounds
+//!   to, or two such `i64`s): the exact integer value, sign-flipped
+//!   big-endian. Values whose tie class is a singleton (fractional or
+//!   out-of-`i64`-range doubles) use the neutral residual `0x8000…`,
+//!   mirroring the saturating-cast comparison in `Value::cmp` exactly.
+//! * **escape(s)** maps interior `00` bytes to `00 FF`, so the `00 00`
+//!   terminator sorts below any continuation — shorter strings order
+//!   before their extensions, as in `str` ordering.
+//!
+//! Consistency with `Value::cmp` (including cross-type int–float numeric
+//! comparison and the NaN / `-0.0` equivalences) is pinned by property
+//! tests in `tests/sortkey_props.rs`.
+
+use crate::tuple::AuTuple;
+use audb_rel::{Tuple, Value};
+use std::cmp::Ordering;
+
+/// Which corner of the hypercube to project.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corner {
+    /// The lower-bound corner `t↓`.
+    Lb,
+    /// The selected-guess point `t_sg`.
+    Sg,
+    /// The upper-bound corner `t↑`.
+    Ub,
+}
+
+/// An order-preserving byte encoding of a value sequence; `Ord` on the raw
+/// bytes equals lexicographic [`Value::cmp`] on the encoded values.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SortKey(Vec<u8>);
+
+impl SortKey {
+    /// Encode the values of `t` at `idxs`, in order.
+    pub fn of_tuple(t: &Tuple, idxs: &[usize]) -> SortKey {
+        let mut out = Vec::with_capacity(idxs.len() * 17);
+        for &i in idxs {
+            encode_value(t.get(i), &mut out);
+        }
+        SortKey(out)
+    }
+
+    /// Encode one corner of `t` projected on `idxs` — without materializing
+    /// the corner tuple.
+    pub fn of_corner(t: &AuTuple, corner: Corner, idxs: &[usize]) -> SortKey {
+        let mut out = Vec::with_capacity(idxs.len() * 17);
+        for &i in idxs {
+            let r = &t.0[i];
+            let v = match corner {
+                Corner::Lb => &r.lb,
+                Corner::Sg => &r.sg,
+                Corner::Ub => &r.ub,
+            };
+            encode_value(v, &mut out);
+        }
+        SortKey(out)
+    }
+
+    /// The canonical whole-row key used by `normalize()`: all three corners
+    /// over every attribute, `lb` first, then `ub`, then `sg` (the historic
+    /// normalize order).
+    pub fn of_row(t: &AuTuple) -> SortKey {
+        let mut out = Vec::with_capacity(t.0.len() * 3 * 17);
+        for r in &t.0 {
+            encode_value(&r.lb, &mut out);
+        }
+        for r in &t.0 {
+            encode_value(&r.ub, &mut out);
+        }
+        for r in &t.0 {
+            encode_value(&r.sg, &mut out);
+        }
+        SortKey(out)
+    }
+
+    /// Encode a single value.
+    pub fn of_value(v: &Value) -> SortKey {
+        let mut out = Vec::with_capacity(17);
+        encode_value(v, &mut out);
+        SortKey(out)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Byte-wise comparison (what `Ord` does, spelled out for call sites
+    /// that hold `&SortKey`s from different containers).
+    #[inline]
+    pub fn cmp_bytes(&self, other: &SortKey) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x08;
+const TAG_TRUE: u8 = 0x09;
+const TAG_NUM: u8 = 0x10;
+const TAG_NAN: u8 = 0x18;
+const TAG_STR: u8 = 0x20;
+
+/// Append the order-preserving encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_NUM);
+            out.extend_from_slice(&mono_f64(*i as f64).to_be_bytes());
+            out.extend_from_slice(&flip_i64(*i).to_be_bytes());
+        }
+        Value::Float(f) => {
+            if f.is_nan() {
+                out.push(TAG_NAN);
+            } else {
+                out.push(TAG_NUM);
+                out.extend_from_slice(&mono_f64(*f).to_be_bytes());
+                out.extend_from_slice(&float_residual(*f).to_be_bytes());
+            }
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            for &b in s.as_bytes() {
+                out.push(b);
+                if b == 0 {
+                    out.push(0xFF);
+                }
+            }
+            out.extend_from_slice(&[0, 0]);
+        }
+    }
+}
+
+/// Monotone map from non-NaN doubles to `u64`: `a < b ⇔ mono(a) < mono(b)`
+/// under numeric comparison, with `-0.0` normalized to `0.0`.
+fn mono_f64(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f }; // collapse -0.0
+    let bits = f.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Sign-flip an `i64` so unsigned byte order equals signed order.
+fn flip_i64(i: i64) -> u64 {
+    (i as u64) ^ (1 << 63)
+}
+
+/// Tie-break residual for a non-NaN float: numbers sharing its double
+/// approximation are compared by exact integer value, with the same
+/// integrality/range test (and saturating cast) `Value::cmp` uses.
+fn float_residual(f: f64) -> u64 {
+    if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+        flip_i64(f as i64)
+    } else {
+        // Fractional or out-of-range doubles share their tie class with no
+        // integer; any constant works, the sign-flipped zero is neutral.
+        1 << 63
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range_value::RangeValue;
+
+    fn key(v: Value) -> SortKey {
+        SortKey::of_value(&v)
+    }
+
+    #[test]
+    fn key_order_matches_value_order_on_fixtures() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Int(i64::MIN),
+            Value::Float(-2.5),
+            Value::Int(0),
+            Value::Float(0.5),
+            Value::Int(1),
+            Value::Float(1e300),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NAN),
+            Value::str(""),
+            Value::str("a"),
+            Value::str("ab"),
+            Value::str("b"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    key(a.clone()).cmp(&key(b.clone())),
+                    a.cmp(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_equivalences_collapse() {
+        assert_eq!(key(Value::Int(7)), key(Value::Float(7.0)));
+        assert_eq!(key(Value::Float(-0.0)), key(Value::Float(0.0)));
+        assert_eq!(key(Value::Float(-0.0)), key(Value::Int(0)));
+        assert_eq!(key(Value::Float(f64::NAN)), key(Value::Float(-f64::NAN)));
+    }
+
+    #[test]
+    fn big_integers_keep_exact_order() {
+        // 2^53 + 1 is not representable as f64; the residual must resolve.
+        let a = Value::Int((1 << 53) + 1);
+        let b = Value::Float((1u64 << 53) as f64);
+        assert_eq!(key(a.clone()).cmp(&key(b.clone())), a.cmp(&b));
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Greater);
+        let c = Value::Int(i64::MAX);
+        let d = Value::Int(i64::MAX - 1);
+        assert_eq!(key(c.clone()).cmp(&key(d.clone())), c.cmp(&d));
+    }
+
+    #[test]
+    fn string_embedded_nuls_and_prefixes() {
+        let cases = [
+            Value::str("a"),
+            Value::str("a\0"),
+            Value::str("a\0b"),
+            Value::str("a\u{1}"),
+            Value::str("aa"),
+        ];
+        for a in &cases {
+            for b in &cases {
+                assert_eq!(
+                    key(a.clone()).cmp(&key(b.clone())),
+                    a.cmp(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concatenation_preserves_tuple_order() {
+        let tuples = [
+            Tuple::new([Value::Int(1), Value::str("z")]),
+            Tuple::new([Value::Int(1), Value::str("za")]),
+            Tuple::new([Value::Int(2), Value::Null]),
+            Tuple::new([Value::Float(1.5), Value::Bool(true)]),
+        ];
+        let idxs = [0usize, 1];
+        for a in &tuples {
+            for b in &tuples {
+                assert_eq!(
+                    SortKey::of_tuple(a, &idxs).cmp(&SortKey::of_tuple(b, &idxs)),
+                    a.cmp(b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corner_keys_equal_materialized_corner_keys() {
+        let t = AuTuple::new([
+            RangeValue::new(1, 2, 3),
+            RangeValue::certain(Value::str("x")),
+        ]);
+        let idxs = [0usize, 1];
+        assert_eq!(
+            SortKey::of_corner(&t, Corner::Lb, &idxs),
+            SortKey::of_tuple(&t.lb_tuple(), &idxs)
+        );
+        assert_eq!(
+            SortKey::of_corner(&t, Corner::Sg, &idxs),
+            SortKey::of_tuple(&t.sg_tuple(), &idxs)
+        );
+        assert_eq!(
+            SortKey::of_corner(&t, Corner::Ub, &idxs),
+            SortKey::of_tuple(&t.ub_tuple(), &idxs)
+        );
+    }
+}

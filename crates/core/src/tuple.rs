@@ -39,17 +39,24 @@ impl AuTuple {
 
     /// Project onto attribute indices.
     pub fn project(&self, idxs: &[usize]) -> AuTuple {
-        AuTuple(idxs.iter().map(|&i| self.0[i].clone()).collect())
+        let mut vals = Vec::with_capacity(idxs.len());
+        vals.extend(idxs.iter().map(|&i| self.0[i].clone()));
+        AuTuple(vals)
     }
 
     /// Concatenate.
     pub fn concat(&self, other: &AuTuple) -> AuTuple {
-        AuTuple(self.0.iter().chain(other.0.iter()).cloned().collect())
+        let mut vals = Vec::with_capacity(self.0.len() + other.0.len());
+        vals.extend_from_slice(&self.0);
+        vals.extend_from_slice(&other.0);
+        AuTuple(vals)
     }
 
-    /// Extend with one attribute.
+    /// Extend with one attribute. Pre-sized: `clone()` + `push` would
+    /// reallocate on every call (clone capacity equals length).
     pub fn with(&self, v: RangeValue) -> AuTuple {
-        let mut vals = self.0.clone();
+        let mut vals = Vec::with_capacity(self.0.len() + 1);
+        vals.extend_from_slice(&self.0);
         vals.push(v);
         AuTuple(vals)
     }

@@ -26,54 +26,34 @@
 //! `k` as in the paper's `emit` (both are applied to the reference, too,
 //! when comparing). Uses the exact interval-lexicographic comparison
 //! semantics ([`audb_core::CmpSemantics::IntervalLex`]).
+//!
+//! ## Zero-allocation keys
+//!
+//! All corner projections (`O↓`, `O↑`, selected guess) are encoded **once
+//! per row** into memcmp-comparable [`SortKey`]s
+//! ([`audb_core::sortkey`]). Every comparison in the pre-pass sorts, the
+//! `todo` heap and the per-key bucket map is a plain byte compare — the
+//! previous implementation materialized corner `Tuple`s and compared
+//! `Vec<Value>` element-wise. Already-normalized inputs skip the
+//! normalization pass entirely via [`AuRelation::normalized`].
 
-use audb_core::{AuRelation, Mult3, RangeValue};
+use audb_core::{AuRelation, Corner, Mult3, RangeValue, SortKey};
 use audb_rel::ops::sort::total_order;
-use audb_rel::Tuple;
 use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 
-/// Key material for one input row.
-struct RowState {
-    row: usize,
-    /// `O↓` corner projected on the total order columns.
-    lb_key: Tuple,
-    /// `O↑` corner projected on the total order columns.
-    ub_key: Tuple,
-    /// Position lower bound (`rank↓` at insertion).
-    tau_lb: u64,
-    /// Selected-guess position of duplicate 0.
-    tau_sg: u64,
-}
-
-/// Heap entry ordered by (`ub_key`, insertion id) — a total order so pops
-/// are deterministic.
-struct Pending {
-    key: Tuple,
-    seq: usize,
-    state: RowState,
-}
-
-impl PartialEq for Pending {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.seq == other.seq
-    }
-}
-impl Eq for Pending {}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
-    }
-}
+/// Heap entry: `(O↑ dense rank, insertion seq, row, rank↓ at insertion)`.
+/// Ordered by the first two fields (`seq` is unique, so the trailing
+/// payload never participates) — a total order, so pops are deterministic
+/// and FIFO among equal `O↑` keys, exactly like the previous
+/// byte-key + seq ordering. `Copy`: pushing allocates nothing.
+type Pending = (u32, u32, u32, u64);
 
 /// `sort_{O→τ}(R)` — one-pass equivalent of [`audb_core::sort_ref`] under
 /// interval-lex comparison. The input is normalized first (identical
-/// hypercubes must be merged for duplicate offsets to be meaningful).
+/// hypercubes must be merged for duplicate offsets to be meaningful);
+/// already-normalized inputs are borrowed, not copied.
 pub fn sort_native(rel: &AuRelation, order: &[usize], pos_name: &str) -> AuRelation {
     sort_impl(rel, order, pos_name, None)
 }
@@ -85,23 +65,94 @@ pub fn topk_native(rel: &AuRelation, order: &[usize], k: u64, pos_name: &str) ->
 }
 
 fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) -> AuRelation {
-    let rel = rel.clone().normalize();
     let total_idxs = total_order(rel.schema.arity(), order);
-    let n = rel.rows.len();
+    let nrows = rel.rows.len();
     let schema = rel.schema.with(pos_name);
     let mut out = AuRelation::empty(schema);
+    if nrows == 0 {
+        return out;
+    }
+
+    // Per-row corner keys over `<total_O`, each encoded exactly once.
+    let lb_keys: Vec<SortKey> = rel
+        .rows
+        .iter()
+        .map(|r| SortKey::of_corner(&r.tuple, Corner::Lb, &total_idxs))
+        .collect();
+    let ub_keys: Vec<SortKey> = rel
+        .rows
+        .iter()
+        .map(|r| SortKey::of_corner(&r.tuple, Corner::Ub, &total_idxs))
+        .collect();
+    let sg_keys: Vec<SortKey> = rel
+        .rows
+        .iter()
+        .map(|r| SortKey::of_corner(&r.tuple, Corner::Sg, &total_idxs))
+        .collect();
+
+    // Normalization, fused: identical hypercubes must be merged for
+    // duplicate offsets to be meaningful (see `sort_ref`). `total_idxs` is
+    // a permutation of *all* columns, so the corner-key triple determines
+    // the tuple up to value equality — merging hashes the keys we already
+    // hold instead of cloning and canonically sorting the whole relation.
+    // `live[j]` is the original row backing logical row `j`; `mult[j]` its
+    // merged annotation. Normalized inputs skip the pass (rows are already
+    // distinct and zero-free).
+    let mut live: Vec<usize> = Vec::with_capacity(nrows);
+    let mut mult: Vec<Mult3> = Vec::with_capacity(nrows);
+    if rel.is_normalized() {
+        live.extend(0..nrows);
+        mult.extend(rel.rows.iter().map(|r| r.mult));
+    } else {
+        let mut seen: HashMap<(&SortKey, &SortKey, &SortKey), usize> =
+            HashMap::with_capacity(nrows);
+        for r in 0..nrows {
+            if rel.rows[r].mult.is_zero() {
+                continue;
+            }
+            match seen.entry((&lb_keys[r], &ub_keys[r], &sg_keys[r])) {
+                Entry::Occupied(e) => {
+                    let j = *e.get();
+                    mult[j] = mult[j] + rel.rows[r].mult;
+                }
+                Entry::Vacant(v) => {
+                    v.insert(live.len());
+                    live.push(r);
+                    mult.push(rel.rows[r].mult);
+                }
+            }
+        }
+    }
+    let n = live.len();
     if n == 0 {
         return out;
     }
 
+    // Densify the corner keys of live rows into one shared integer rank
+    // space: `rank(x) < rank(y)` iff the byte keys (hence the corner
+    // values) compare that way, across both corners. Every comparison in
+    // the sweep below is then a plain integer compare, and the per-key
+    // bucket map becomes a flat vector.
+    let (lb_rank, ub_rank, rank_count) = {
+        let mut refs: Vec<(&SortKey, usize)> = Vec::with_capacity(2 * n);
+        refs.extend(live.iter().enumerate().map(|(j, &r)| (&lb_keys[r], j)));
+        refs.extend(live.iter().enumerate().map(|(j, &r)| (&ub_keys[r], n + j)));
+        refs.sort_unstable_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(&b.1)));
+        let mut rank = vec![0u32; 2 * n];
+        let mut r = 0u32;
+        for j in 0..refs.len() {
+            if j > 0 && refs[j].0 != refs[j - 1].0 {
+                r += 1;
+            }
+            rank[refs[j].1] = r;
+        }
+        let ub = rank.split_off(n);
+        (rank, ub, r as usize + 1)
+    };
+
     // --- Selected-guess pre-pass (Equation (2)): deterministic ranks. ---
-    let sg_keys: Vec<Tuple> = rel
-        .rows
-        .iter()
-        .map(|r| r.tuple.sg_tuple().project(&total_idxs))
-        .collect();
     let mut by_sg: Vec<usize> = (0..n).collect();
-    by_sg.sort_by(|&a, &b| sg_keys[a].cmp(&sg_keys[b]));
+    by_sg.sort_unstable_by(|&a, &b| sg_keys[live[a]].cmp(&sg_keys[live[b]]));
     let mut sg_base = vec![0u64; n];
     let mut cum = 0u64;
     let mut i = 0;
@@ -111,9 +162,9 @@ fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) 
         // cumulative multiplicity seen before it.
         let mut j = i;
         let mut group_mult = 0u64;
-        while j < n && sg_keys[by_sg[j]] == sg_keys[by_sg[i]] {
+        while j < n && sg_keys[live[by_sg[j]]] == sg_keys[live[by_sg[i]]] {
             sg_base[by_sg[j]] = cum;
-            group_mult += rel.rows[by_sg[j]].mult.sg;
+            group_mult += mult[by_sg[j]].sg;
             j += 1;
         }
         cum += group_mult;
@@ -122,42 +173,46 @@ fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) 
 
     // --- Main sweep (Algorithm 1). ---
     let mut by_lb: Vec<usize> = (0..n).collect();
-    let lb_keys: Vec<Tuple> = rel
-        .rows
-        .iter()
-        .map(|r| r.tuple.lb_tuple().project(&total_idxs))
-        .collect();
-    by_lb.sort_by(|&a, &b| lb_keys[a].cmp(&lb_keys[b]));
+    by_lb.sort_unstable_by_key(|&a| (lb_rank[a], a));
 
     let mut todo: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
     let mut rank_lb = 0u64; // Σ k↓ of emitted tuples
     let mut rank_ub = 0u64; // Σ k↑ of processed tuples
-    // Σ k↑ of processed tuples per distinct lower-bound key: emitted upper
-    // bounds must not count tuples whose O↓ merely *ties* the emitted O↑.
-    let mut processed_by_lb: HashMap<Tuple, u64> = HashMap::new();
-    let mut seq = 0usize;
+                            // Σ k↑ of processed tuples per distinct lower-bound key: emitted upper
+                            // bounds must not count tuples whose O↓ merely *ties* the emitted O↑.
+                            // Indexed by dense key rank.
+    let mut processed_by_lb: Vec<u64> = vec![0; rank_count];
+    let mut seq = 0u32;
     let mut stopped = false;
 
-    let emit = |s: RowState,
-                    rank_lb: &mut u64,
-                    rank_ub: u64,
-                    processed_by_lb: &HashMap<Tuple, u64>,
-                    out: &mut AuRelation| {
-        let row = &rel.rows[s.row];
-        let bucket = processed_by_lb.get(&s.ub_key).copied().unwrap_or(0);
-        let self_extra = if s.lb_key != s.ub_key { row.mult.ub } else { 0 };
+    let emit = |p: Pending,
+                rank_lb: &mut u64,
+                rank_ub: u64,
+                processed_by_lb: &[u64],
+                out: &mut AuRelation| {
+        let (ubr, _, prow, tau_lb) = p;
+        let prow = prow as usize;
+        let tuple = &rel.rows[live[prow]].tuple;
+        let rmult = mult[prow];
+        let tau_sg = sg_base[prow];
+        let bucket = processed_by_lb[ubr as usize];
+        let self_extra = if lb_rank[prow] != ub_rank[prow] {
+            rmult.ub
+        } else {
+            0
+        };
         let tau_ub = rank_ub - bucket - self_extra;
         // Without early termination the bounds are exact and ordered; with
         // top-k early termination the raw sg rank (computed globally) can
         // exceed the partially-computed upper bound — the cap below restores
         // the invariant (both then equal k; see module docs).
-        debug_assert!(k.is_some() || (s.tau_lb <= s.tau_sg && s.tau_sg <= tau_ub));
+        debug_assert!(k.is_some() || (tau_lb <= tau_sg && tau_sg <= tau_ub));
         // split (Algorithm 2): one output row per possible duplicate.
-        for i in 0..row.mult.ub {
-            let (plb, mut psg, mut pub_) = (s.tau_lb + i, s.tau_sg + i, tau_ub + i);
-            let mut mult = if i < row.mult.lb {
+        for i in 0..rmult.ub {
+            let (plb, mut psg, mut pub_) = (tau_lb + i, tau_sg + i, tau_ub + i);
+            let mut m = if i < rmult.lb {
                 Mult3::ONE
-            } else if i < row.mult.sg {
+            } else if i < rmult.sg {
                 Mult3::new(0, 1, 1)
             } else {
                 Mult3::new(0, 0, 1)
@@ -167,10 +222,10 @@ fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) 
                 if plb >= k {
                     continue; // certainly out of the top-k
                 }
-                mult = Mult3 {
-                    lb: if pub_ < k { mult.lb } else { 0 },
-                    sg: if psg < k { mult.sg } else { 0 },
-                    ub: mult.ub,
+                m = Mult3 {
+                    lb: if pub_ < k { m.lb } else { 0 },
+                    sg: if psg < k { m.sg } else { 0 },
+                    ub: m.ub,
                 };
                 // Cap positions at k (paper: τ↑ ← min(k, rank↑)).
                 psg = psg.min(k);
@@ -180,17 +235,17 @@ fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) 
                 psg = plb; // can only happen via capping; keep the invariant
             }
             let pos = RangeValue::from_i64s(plb as i64, psg as i64, pub_ as i64);
-            out.push(row.tuple.with(pos), mult);
+            out.push(tuple.with(pos), m);
         }
-        *rank_lb += row.mult.lb;
+        *rank_lb += rmult.lb;
     };
 
     for &r in &by_lb {
         // Emit every pending tuple certainly ordered before the incoming one.
-        while let Some(Reverse(p)) = todo.peek() {
-            if p.key < lb_keys[r] {
-                let Reverse(p) = todo.pop().unwrap();
-                emit(p.state, &mut rank_lb, rank_ub, &processed_by_lb, &mut out);
+        while let Some(&Reverse(p)) = todo.peek() {
+            if p.0 < lb_rank[r] {
+                todo.pop();
+                emit(p, &mut rank_lb, rank_ub, &processed_by_lb, &mut out);
             } else {
                 break;
             }
@@ -202,26 +257,15 @@ fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) 
                 break;
             }
         }
-        let state = RowState {
-            row: r,
-            lb_key: lb_keys[r].clone(),
-            ub_key: rel.rows[r].tuple.ub_tuple().project(&total_idxs),
-            tau_lb: rank_lb,
-            tau_sg: sg_base[r],
-        };
-        rank_ub += rel.rows[r].mult.ub;
-        *processed_by_lb.entry(lb_keys[r].clone()).or_insert(0) += rel.rows[r].mult.ub;
-        todo.push(Reverse(Pending {
-            key: state.ub_key.clone(),
-            seq,
-            state,
-        }));
+        rank_ub += mult[r].ub;
+        processed_by_lb[lb_rank[r] as usize] += mult[r].ub;
+        todo.push(Reverse((ub_rank[r], seq, r as u32, rank_lb)));
         seq += 1;
     }
 
     // Flush remaining pending tuples (Algorithm 1, lines 10–11).
     while let Some(Reverse(p)) = todo.pop() {
-        emit(p.state, &mut rank_lb, rank_ub, &processed_by_lb, &mut out);
+        emit(p, &mut rank_lb, rank_ub, &processed_by_lb, &mut out);
     }
     let _ = stopped;
     out
@@ -287,8 +331,7 @@ mod tests {
         for row in &mut rel.rows {
             let p = row.tuple.0[pos_col].clone();
             let (lb, sg, ub) = p.as_i64_triple();
-            row.tuple.0[pos_col] =
-                RangeValue::from_i64s(lb, sg.min(k as i64), ub.min(k as i64));
+            row.tuple.0[pos_col] = RangeValue::from_i64s(lb, sg.min(k as i64), ub.min(k as i64));
         }
     }
 
@@ -331,8 +374,22 @@ mod tests {
             ],
         );
         let native = sort_native(&rel, &[0], "pos");
-        let reference = sort_ref(&rel.clone().normalize(), &[0], "pos", CmpSemantics::IntervalLex);
+        let reference = sort_ref(
+            &rel.clone().normalize(),
+            &[0],
+            "pos",
+            CmpSemantics::IntervalLex,
+        );
         assert!(native.bag_eq(&reference), "{native}\nvs\n{reference}");
+    }
+
+    #[test]
+    fn prenormalized_input_is_not_renormalized() {
+        let rel = example6().normalize();
+        assert!(rel.is_normalized());
+        let native = sort_native(&rel, &[0, 1], "pos");
+        let reference = sort_ref(&rel, &[0, 1], "pos", CmpSemantics::IntervalLex);
+        assert!(native.bag_eq(&reference));
     }
 
     #[test]

@@ -32,11 +32,23 @@
 //! (hash partition + per-partition sweep, an extension over the paper's
 //! benchmarked configuration); uncertain partition attributes require the
 //! reference semantics or the rewrite method, as in the paper.
+//!
+//! ## Performance notes
+//!
+//! The connected heap stores *row ids* and compares precomputed
+//! memcmp-comparable [`SortKey`]s of the aggregation attribute bounds —
+//! inserting into the pool allocates nothing and sifting compares raw
+//! bytes. Per-partition sweeps are independent and run in parallel
+//! (`audb_par`), with results concatenated in deterministic partition-key
+//! order before the final normalize.
 
 use crate::sort::sort_native;
 use audb_conheap::ConnectedHeap;
-use audb_core::{guaranteed_extra_slots, sg_window_values, AuRelation, AuWindowSpec, RangeValue, WinAgg};
-use audb_rel::{Tuple, Value};
+use audb_core::{
+    guaranteed_extra_slots, sg_window_values, AuRelation, AuWindowSpec, Corner, RangeValue,
+    SortKey, WinAgg,
+};
+use audb_rel::Value;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
@@ -50,6 +62,9 @@ struct Item {
     /// Lower/upper bound of the aggregated attribute (`[1,1]` for count).
     alo: Value,
     ahi: Value,
+    /// Byte-encoded `alo`/`ahi` — the pool heap comparators memcmp these.
+    alo_key: SortKey,
+    ahi_key: SortKey,
     /// Certainly exists (`k↓ ≥ 1`).
     cert: bool,
 }
@@ -68,11 +83,10 @@ pub fn window_native(
         return out;
     }
     if spec.partition.is_empty() {
-        window_partitionless(rel, spec, agg, out_name, &mut out);
-        return out.normalize();
+        return window_partitionless(rel, spec, agg, out_name).normalize();
     }
     // Hash partitioning on certain partition attributes.
-    let mut parts: HashMap<Tuple, AuRelation> = HashMap::new();
+    let mut parts: HashMap<SortKey, AuRelation> = HashMap::new();
     for row in &rel.rows {
         for &g in &spec.partition {
             assert!(
@@ -83,12 +97,11 @@ pub fn window_native(
                 row.tuple
             );
         }
-        let key = row.tuple.sg_tuple().project(&spec.partition);
+        let key = SortKey::of_corner(&row.tuple, Corner::Sg, &spec.partition);
         parts
             .entry(key)
             .or_insert_with(|| AuRelation::empty(rel.schema.clone()))
-            .rows
-            .push(row.clone());
+            .push(row.tuple.clone(), row.mult);
     }
     let inner = AuWindowSpec {
         partition: Vec::new(),
@@ -96,8 +109,14 @@ pub fn window_native(
         lower: spec.lower,
         upper: spec.upper,
     };
-    for part in parts.values() {
-        window_partitionless(part, &inner, agg, out_name, &mut out);
+    // Deterministic partition order, then embarrassingly parallel sweeps.
+    let mut parts: Vec<(SortKey, AuRelation)> = parts.into_iter().collect();
+    parts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let results = audb_par::par_map(&parts, |(_, part)| {
+        window_partitionless(part, &inner, agg, out_name)
+    });
+    for mut part_out in results {
+        out.append(&mut part_out);
     }
     out.normalize()
 }
@@ -106,29 +125,29 @@ fn window_partitionless(
     rel: &AuRelation,
     spec: &AuWindowSpec,
     agg: WinAgg,
-    _out_name: &str,
-    out: &mut AuRelation,
-) {
+    out_name: &str,
+) -> AuRelation {
     let (l, u) = (spec.lower, spec.upper);
     let size = spec.size() as usize;
+    let mut out = AuRelation::empty(rel.schema.with(out_name));
 
     // Step 1: materialize uncertain sort positions; rows now have k↑ = 1.
     let mut sorted = sort_native(rel, &spec.order, "__tau");
     let pos_col = sorted.schema.arity() - 1;
-    sorted.rows.sort_by(|a, b| {
-        let pa = a.tuple.get(pos_col).as_i64_triple();
-        let pb = b.tuple.get(pos_col).as_i64_triple();
-        (pa.0, pa.2).cmp(&(pb.0, pb.2))
+    sorted.rows_mut().sort_unstable_by_key(|r| {
+        let p = r.tuple.get(pos_col).as_i64_triple();
+        (p.0, p.2)
     });
     let n = sorted.rows.len();
 
     // Shared deterministic SG pre-pass over the sorted rows (sans τ).
+    let base_cols: Vec<usize> = (0..pos_col).collect();
     let exp_like = AuRelation::from_rows(
         rel.schema.clone(),
         sorted
             .rows
             .iter()
-            .map(|r| (r.tuple.project(&(0..pos_col).collect::<Vec<_>>()), r.mult)),
+            .map(|r| (r.tuple.project(&base_cols), r.mult)),
     );
     let sg_vals = sg_window_values(&exp_like, spec, agg);
 
@@ -148,6 +167,8 @@ fn window_partitionless(
                 id,
                 tlo,
                 thi,
+                alo_key: SortKey::of_value(&attr.lb),
+                ahi_key: SortKey::of_value(&attr.ub),
                 alo: attr.lb,
                 ahi: attr.ub,
                 cert: r.mult.lb >= 1,
@@ -161,18 +182,23 @@ fn window_partitionless(
     let mut open_tlos: BTreeMap<i64, usize> = BTreeMap::new();
     // cert[τ↓] = certain tuples at that position lower bound, τ↑-sorted.
     let mut cert: BTreeMap<i64, Vec<(i64, usize)>> = BTreeMap::new();
-    // poss: connected heap over (τ↑ asc | A↓ asc | A↑ desc).
-    let mut poss = ConnectedHeap::new(3, |h, a: &Item, b: &Item| match h {
-        0 => (a.thi, a.id).cmp(&(b.thi, b.id)),
-        1 => a.alo.cmp(&b.alo).then(a.id.cmp(&b.id)),
-        _ => b.ahi.cmp(&a.ahi).then(a.id.cmp(&b.id)),
+    // poss: connected heap of row ids over (τ↑ asc | A↓ asc | A↑ desc);
+    // inserts allocate nothing, comparisons are byte compares.
+    let items_ref = &items;
+    let mut poss = ConnectedHeap::with_capacity(3, n.min(1024), |h, &a: &usize, &b: &usize| {
+        let (x, y) = (&items_ref[a], &items_ref[b]);
+        match h {
+            0 => (x.thi, a).cmp(&(y.thi, b)),
+            1 => x.alo_key.cmp(&y.alo_key).then(a.cmp(&b)),
+            _ => y.ahi_key.cmp(&x.ahi_key).then(a.cmp(&b)),
+        }
     });
 
     let close = |id: usize,
-                     cert: &mut BTreeMap<i64, Vec<(i64, usize)>>,
-                     poss: &ConnectedHeap<Item, _>,
-                     open_tlos: &BTreeMap<i64, usize>,
-                     out: &mut AuRelation| {
+                 cert: &mut BTreeMap<i64, Vec<(i64, usize)>>,
+                 poss: &ConnectedHeap<usize, _>,
+                 open_tlos: &BTreeMap<i64, usize>,
+                 out: &mut AuRelation| {
         let s = &items[id];
         let cs = (s.thi + l, s.tlo + u); // certainly covered positions
         let ps = (s.tlo + l, s.thi + u); // possibly covered positions
@@ -193,17 +219,17 @@ fn window_partitionless(
         }
 
         // Certain members (excluding self).
-        let mut cert_vals: Vec<(Value, Value)> = Vec::new();
         let self_attr = match agg.input_col() {
             Some(c) => sorted.rows[id].tuple.get(c).clone(),
             None => RangeValue::certain(1i64),
         };
-        cert_vals.push((self_attr.lb.clone(), self_attr.ub.clone()));
+        let mut cert_vals: Vec<(&Value, &Value)> = Vec::with_capacity(size);
+        cert_vals.push((&self_attr.lb, &self_attr.ub));
         if cs.0 <= cs.1 {
             for (_, bucket) in cert.range(cs.0..=cs.1) {
                 for &(thi, cid) in bucket {
                     if cid != id && thi <= cs.1 {
-                        cert_vals.push((items[cid].alo.clone(), items[cid].ahi.clone()));
+                        cert_vals.push((&items[cid].alo, &items[cid].ahi));
                     }
                 }
             }
@@ -242,6 +268,7 @@ fn window_partitionless(
                 // (see audb_core::aggregate_window).
                 let picked: Vec<&Value> = poss
                     .sorted_iter(1)
+                    .map(|&pid| &items[pid])
                     .filter(|it| valid(it))
                     .take(possn)
                     .map(|it| &it.alo)
@@ -254,6 +281,7 @@ fn window_partitionless(
                 // max-k over the A↑-descending component, mirrored.
                 let picked: Vec<&Value> = poss
                     .sorted_iter(2)
+                    .map(|&pid| &items[pid])
                     .filter(|it| valid(it))
                     .take(possn)
                     .map(|it| &it.ahi)
@@ -266,44 +294,70 @@ fn window_partitionless(
                 (lo, hi)
             }
             WinAgg::Min(_) => {
-                let mut hi = cert_vals.iter().map(|(_, b)| b).min().unwrap().clone();
+                let mut hi = (*cert_vals.iter().map(|(_, b)| b).min().unwrap()).clone();
                 if q >= 1 {
                     // q-th largest pool upper bound caps the minimum.
-                    if let Some(it) = poss.sorted_iter(2).filter(|it| valid(it)).nth(q - 1) {
+                    if let Some(it) = poss
+                        .sorted_iter(2)
+                        .map(|&pid| &items[pid])
+                        .filter(|it| valid(it))
+                        .nth(q - 1)
+                    {
                         hi = hi.min(it.ahi.clone());
                     }
                 }
-                let mut lo = cert_vals.iter().map(|(a, _)| a).min().unwrap().clone();
+                let mut lo = (*cert_vals.iter().map(|(a, _)| a).min().unwrap()).clone();
                 if possn > 0 {
-                    if let Some(it) = poss.sorted_iter(1).find(|it| valid(it)) {
+                    if let Some(it) = poss
+                        .sorted_iter(1)
+                        .map(|&pid| &items[pid])
+                        .find(|it| valid(it))
+                    {
                         lo = lo.min(it.alo.clone());
                     }
                 }
                 (lo, hi)
             }
             WinAgg::Max(_) => {
-                let mut lo = cert_vals.iter().map(|(a, _)| a).max().unwrap().clone();
+                let mut lo = (*cert_vals.iter().map(|(a, _)| a).max().unwrap()).clone();
                 if q >= 1 {
-                    if let Some(it) = poss.sorted_iter(1).filter(|it| valid(it)).nth(q - 1) {
+                    if let Some(it) = poss
+                        .sorted_iter(1)
+                        .map(|&pid| &items[pid])
+                        .filter(|it| valid(it))
+                        .nth(q - 1)
+                    {
                         lo = lo.max(it.alo.clone());
                     }
                 }
-                let mut hi = cert_vals.iter().map(|(_, b)| b).max().unwrap().clone();
+                let mut hi = (*cert_vals.iter().map(|(_, b)| b).max().unwrap()).clone();
                 if possn > 0 {
-                    if let Some(it) = poss.sorted_iter(2).find(|it| valid(it)) {
+                    if let Some(it) = poss
+                        .sorted_iter(2)
+                        .map(|&pid| &items[pid])
+                        .find(|it| valid(it))
+                    {
                         hi = hi.max(it.ahi.clone());
                     }
                 }
                 (lo, hi)
             }
             WinAgg::Avg(_) => {
-                let mut lo = cert_vals.iter().map(|(a, _)| a).min().unwrap().clone();
-                let mut hi = cert_vals.iter().map(|(_, b)| b).max().unwrap().clone();
+                let mut lo = (*cert_vals.iter().map(|(a, _)| a).min().unwrap()).clone();
+                let mut hi = (*cert_vals.iter().map(|(_, b)| b).max().unwrap()).clone();
                 if possn > 0 {
-                    if let Some(it) = poss.sorted_iter(1).find(|it| valid(it)) {
+                    if let Some(it) = poss
+                        .sorted_iter(1)
+                        .map(|&pid| &items[pid])
+                        .find(|it| valid(it))
+                    {
                         lo = lo.min(it.alo.clone());
                     }
-                    if let Some(it) = poss.sorted_iter(2).find(|it| valid(it)) {
+                    if let Some(it) = poss
+                        .sorted_iter(2)
+                        .map(|&pid| &items[pid])
+                        .find(|it| valid(it))
+                    {
                         hi = hi.max(it.ahi.clone());
                     }
                 }
@@ -323,10 +377,15 @@ fn window_partitionless(
             }
         };
 
-        let base = sorted.rows[id]
-            .tuple
-            .project(&(0..pos_col).collect::<Vec<_>>());
-        out.push(base.with(RangeValue { lb: xlo, sg, ub: xhi }), sorted.rows[id].mult);
+        let base = sorted.rows[id].tuple.project(&base_cols);
+        out.push(
+            base.with(RangeValue {
+                lb: xlo,
+                sg,
+                ub: xhi,
+            }),
+            sorted.rows[id].mult,
+        );
     };
 
     for t in 0..n {
@@ -350,9 +409,9 @@ fn window_partitionless(
                     .unwrap_or(it.tlo)
                     .min(items[sid].tlo)
                     + l;
-                close(sid, &mut cert, &poss, &open_tlos, out);
-                while let Some(p) = poss.peek(0) {
-                    if p.thi < watermark {
+                close(sid, &mut cert, &poss, &open_tlos, &mut out);
+                while let Some(&pid) = poss.peek(0) {
+                    if items[pid].thi < watermark {
                         poss.pop(0);
                     } else {
                         break;
@@ -369,7 +428,7 @@ fn window_partitionless(
             let at = bucket.partition_point(|&(thi, _)| thi < it.thi);
             bucket.insert(at, (it.thi, t));
         }
-        poss.insert(it.clone());
+        poss.insert(t);
     }
     // Flush the remaining open windows.
     while let Some(Reverse((_, sid))) = openw.pop() {
@@ -378,8 +437,9 @@ fn window_partitionless(
         if *e == 0 {
             open_tlos.remove(&items[sid].tlo);
         }
-        close(sid, &mut cert, &poss, &open_tlos, out);
+        close(sid, &mut cert, &poss, &open_tlos, &mut out);
     }
+    out
 }
 
 #[cfg(test)]
@@ -458,6 +518,38 @@ mod tests {
     }
 
     #[test]
+    fn many_partitions_parallel_sweep_is_deterministic() {
+        // 40 partitions × 6 rows; the parallel sweep must agree with the
+        // reference and with itself under a forced single thread.
+        let mut rows = Vec::new();
+        for g in 0..40i64 {
+            for o in 0..6i64 {
+                let unc = (g + o) % 3 == 0;
+                let (olo, ohi) = if unc { (o, o + 2) } else { (o, o) };
+                rows.push((
+                    AuTuple::new([
+                        rv(g, g, g),
+                        rv(olo, o, ohi),
+                        rv(g * 10 + o, g * 10 + o, g * 10 + o + 1),
+                    ]),
+                    if unc { Mult3::new(0, 1, 1) } else { Mult3::ONE },
+                ));
+            }
+        }
+        let rel = AuRelation::from_rows(Schema::new(["g", "o", "v"]), rows);
+        let spec = AuWindowSpec::rows(vec![1], -2, 0).partition_by(vec![0]);
+        let native = window_native(&rel, &spec, WinAgg::Sum(2), "s");
+        let reference = window_ref(&rel, &spec, WinAgg::Sum(2), "s", CmpSemantics::IntervalLex);
+        assert!(native.bag_eq(&reference));
+        let again = window_native(&rel, &spec, WinAgg::Sum(2), "s");
+        assert!(native.bag_eq(&again));
+        assert_eq!(native.rows.len(), again.rows.len());
+        for (a, b) in native.rows.iter().zip(&again.rows) {
+            assert_eq!(a, b, "parallel sweep order must be deterministic");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "certain PARTITION BY")]
     fn uncertain_partition_rejected() {
         let rel = AuRelation::from_rows(
@@ -478,7 +570,12 @@ mod tests {
         let au = AuRelation::certain(&det);
         let spec = AuWindowSpec::rows(vec![0], -2, 0);
         let native = window_native(&au, &spec, WinAgg::Sum(1), "s");
-        let dout = window_rows(&det, &WindowSpec::rows(vec![0], -2, 0), AggFunc::Sum(1), "s");
+        let dout = window_rows(
+            &det,
+            &WindowSpec::rows(vec![0], -2, 0),
+            AggFunc::Sum(1),
+            "s",
+        );
         assert!(native.sg_world().bag_eq(&dout), "{native}\nvs\n{dout}");
         for row in &native.rows {
             assert!(row.tuple.get(2).is_certain());

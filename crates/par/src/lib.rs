@@ -1,0 +1,168 @@
+//! # audb-par — tiny deterministic data-parallel helpers
+//!
+//! A minimal, dependency-free stand-in for the slice of rayon this project
+//! needs: fork–join maps over independent items with **deterministic result
+//! order** (output index `i` always holds `f(&items[i])`). Built on
+//! `std::thread::scope`, so borrowed inputs work without `'static` bounds.
+//!
+//! Parallelism is bounded by `std::thread::available_parallelism`, can be
+//! overridden with the `AUDB_THREADS` environment variable, and collapses
+//! to a plain sequential loop for small inputs (or `AUDB_THREADS=1`) so the
+//! embarrassingly parallel outer loops of `audb-native` and
+//! `audb-competitors` cost nothing extra on tiny relations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use (≥ 1).
+///
+/// `AUDB_THREADS=n` forces `n`; otherwise the machine's available
+/// parallelism is used.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("AUDB_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Don't spin up threads for fewer items than this unless forced.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Map `f` over `items` in parallel, preserving order: `out[i] == f(&items[i])`.
+///
+/// Work is split into contiguous chunks, one per worker; each worker writes
+/// its own chunk of the output, so the result is bit-for-bit identical to
+/// the sequential `items.iter().map(f).collect()`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Like [`par_map`], but `f` also receives the item's index.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n / MIN_ITEMS_PER_THREAD.max(1)).max(1);
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Work-stealing by atomic index: threads grab the next unprocessed item,
+    // so skewed per-item costs (one huge partition among many small ones)
+    // still balance. Results land at their item's index regardless of which
+    // worker computed them.
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots = SendSlots(out.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i, &items[i]);
+                // SAFETY: each index is claimed by exactly one worker via
+                // the atomic counter, so no two threads write the same slot,
+                // and the scope guarantees the buffer outlives the workers.
+                unsafe { *slots.0.add(i) = Some(v) };
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+/// Run `n` independent jobs in parallel, collecting results in job order.
+pub fn par_run<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let idxs: Vec<usize> = (0..n).collect();
+    par_map(&idxs, |&i| f(i))
+}
+
+/// Wrapper making a raw output pointer shareable across scoped workers.
+struct SendSlots<U>(*mut Option<U>);
+// SAFETY: workers write disjoint slots (unique indices from the atomic
+// counter) and the scope joins all threads before the buffer is read.
+unsafe impl<U: Send> Sync for SendSlots<U> {}
+unsafe impl<U: Send> Send for SendSlots<U> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<i64> = (0..10_000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<String> = (0..997).map(|i| format!("item-{i}")).collect();
+        let par = par_map(&items, |s| {
+            s.len() + s.chars().filter(|&c| c == '1').count()
+        });
+        let seq: Vec<usize> = items
+            .iter()
+            .map(|s| s.len() + s.chars().filter(|&c| c == '1').count())
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<i64> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[42i64], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn indexed_variant_sees_true_indices() {
+        let items = vec![5u64; 1000];
+        let out = par_map_indexed(&items, |i, &v| i as u64 + v);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 5);
+        }
+    }
+
+    #[test]
+    fn par_run_collects_in_order() {
+        let out = par_run(257, |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn skewed_workloads_balance() {
+        // One expensive item among many cheap ones must not serialize.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            let rounds = if x == 0 { 100_000u64 } else { 10 };
+            (0..rounds).fold(x, |a, b| a.wrapping_mul(31).wrapping_add(b))
+        });
+        assert_eq!(out.len(), 64);
+    }
+}

@@ -102,10 +102,7 @@ pub fn read_csv(reader: impl Read) -> io::Result<Relation> {
                 ),
             ));
         }
-        rel.push(
-            Tuple::new(fields.iter().map(|f| parse_value(f))),
-            1,
-        );
+        rel.push(Tuple::new(fields.iter().map(|f| parse_value(f))), 1);
     }
     Ok(rel)
 }

@@ -201,7 +201,9 @@ mod tests {
             .and(Expr::Not(Box::new(Expr::col(1).eq(Expr::lit(2)))));
         assert!(e.holds(&t(&[1, 3])));
         assert!(!e.holds(&t(&[1, 2])));
-        let o = Expr::col(0).eq(Expr::lit(9)).or(Expr::col(1).eq(Expr::lit(3)));
+        let o = Expr::col(0)
+            .eq(Expr::lit(9))
+            .or(Expr::col(1).eq(Expr::lit(3)));
         assert!(o.holds(&t(&[1, 3])));
     }
 

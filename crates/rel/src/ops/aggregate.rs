@@ -208,7 +208,11 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_relation() {
         let empty = Relation::empty(Schema::new(["g", "v"]));
-        let out = aggregate(&empty, &[], &[(AggFunc::Count, "c"), (AggFunc::Sum(1), "s")]);
+        let out = aggregate(
+            &empty,
+            &[],
+            &[(AggFunc::Count, "c"), (AggFunc::Sum(1), "s")],
+        );
         assert_eq!(out.rows.len(), 1);
         assert_eq!(out.rows[0].tuple.get(0), &Value::Int(0));
         assert!(out.rows[0].tuple.get(1).is_null());

@@ -58,7 +58,10 @@ pub fn hash_join(
     let mut table: HashMap<Tuple, Vec<usize>> = HashMap::new();
     for (i, r) in right.rows.iter().enumerate() {
         if r.mult > 0 {
-            table.entry(r.tuple.project(right_keys)).or_default().push(i);
+            table
+                .entry(r.tuple.project(right_keys))
+                .or_default()
+                .push(i);
         }
     }
     let mut rows = Vec::new();
@@ -112,7 +115,11 @@ mod tests {
 
     #[test]
     fn hash_join_matches_theta_join() {
-        let a = join(&left(), &right(), &Expr::col(0).cmp(CmpOp::Eq, Expr::col(1)));
+        let a = join(
+            &left(),
+            &right(),
+            &Expr::col(0).cmp(CmpOp::Eq, Expr::col(1)),
+        );
         let b = hash_join(&left(), &right(), &[0], &[0]);
         assert!(a.bag_eq(&b));
     }

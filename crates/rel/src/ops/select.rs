@@ -27,7 +27,10 @@ mod tests {
     fn selection_preserves_multiplicity() {
         let r = Relation::from_rows(
             Schema::new(["a"]),
-            [(crate::tuple::Tuple::from([1i64]), 3), (crate::tuple::Tuple::from([2i64]), 5)],
+            [
+                (crate::tuple::Tuple::from([1i64]), 3),
+                (crate::tuple::Tuple::from([2i64]), 5),
+            ],
         );
         let s = select(&r, &Expr::col(0).eq(Expr::lit(2)));
         assert_eq!(s.total_mult(), 5);

@@ -260,9 +260,18 @@ mod tests {
         let r = Relation::from_rows(
             Schema::new(["a", "b", "c"]),
             [
-                (Tuple::new([Value::str("a"), Value::Int(5), Value::Int(3)]), 3),
-                (Tuple::new([Value::str("b"), Value::Int(3), Value::Int(1)]), 1),
-                (Tuple::new([Value::str("b"), Value::Int(3), Value::Int(4)]), 1),
+                (
+                    Tuple::new([Value::str("a"), Value::Int(5), Value::Int(3)]),
+                    3,
+                ),
+                (
+                    Tuple::new([Value::str("b"), Value::Int(3), Value::Int(1)]),
+                    1,
+                ),
+                (
+                    Tuple::new([Value::str("b"), Value::Int(3), Value::Int(4)]),
+                    1,
+                ),
             ],
         );
         let spec = WindowSpec::rows(vec![0], -2, 0);
@@ -347,7 +356,10 @@ mod tests {
     #[test]
     fn dense_rank_windows() {
         // Two tuples share order-by value 3 → same group.
-        let r = Relation::from_values(Schema::new(["o", "v"]), [[1i64, 10], [3, 1], [3, 2], [5, 100]]);
+        let r = Relation::from_values(
+            Schema::new(["o", "v"]),
+            [[1i64, 10], [3, 1], [3, 2], [5, 100]],
+        );
         let spec = WindowSpec::rows(vec![0], -1, 0);
         let out = window_groups(&r, &spec, AggFunc::Sum(1), "s");
         // Group ranks: 1 -> 0, 3 -> 1, 5 -> 2.

@@ -131,10 +131,7 @@ impl LogicalPlan {
     pub fn project(self, exprs: Vec<(Expr, &str)>) -> Self {
         LogicalPlan::Project {
             input: Box::new(self),
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (e, n.to_string()))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
         }
     }
 
@@ -168,10 +165,7 @@ impl LogicalPlan {
         LogicalPlan::Aggregate {
             input: Box::new(self),
             group,
-            aggs: aggs
-                .into_iter()
-                .map(|(f, n)| (f, n.to_string()))
-                .collect(),
+            aggs: aggs.into_iter().map(|(f, n)| (f, n.to_string())).collect(),
         }
     }
 
@@ -208,23 +202,13 @@ impl LogicalPlan {
         match self {
             LogicalPlan::Scan { relation, .. } => relation.schema.clone(),
             LogicalPlan::Select { input, .. } => input.schema(),
-            LogicalPlan::Project { exprs, .. } => {
-                Schema::new(exprs.iter().map(|(_, n)| n.clone()))
-            }
+            LogicalPlan::Project { exprs, .. } => Schema::new(exprs.iter().map(|(_, n)| n.clone())),
             LogicalPlan::Join { left, right, .. } => left.schema().concat(&right.schema()),
-            LogicalPlan::Union { left, .. } | LogicalPlan::Difference { left, .. } => {
-                left.schema()
-            }
-            LogicalPlan::Aggregate {
-                input,
-                group,
-                aggs,
-            } => {
+            LogicalPlan::Union { left, .. } | LogicalPlan::Difference { left, .. } => left.schema(),
+            LogicalPlan::Aggregate { input, group, aggs } => {
                 let in_schema = input.schema();
-                let mut cols: Vec<String> = group
-                    .iter()
-                    .map(|&i| in_schema.cols()[i].clone())
-                    .collect();
+                let mut cols: Vec<String> =
+                    group.iter().map(|&i| in_schema.cols()[i].clone()).collect();
                 cols.extend(aggs.iter().map(|(_, n)| n.clone()));
                 Schema::new(cols)
             }
@@ -242,10 +226,8 @@ impl LogicalPlan {
             LogicalPlan::Scan { relation, .. } => (**relation).clone(),
             LogicalPlan::Select { input, pred } => select(&input.execute(), pred),
             LogicalPlan::Project { input, exprs } => {
-                let borrowed: Vec<(Expr, &str)> = exprs
-                    .iter()
-                    .map(|(e, n)| (e.clone(), n.as_str()))
-                    .collect();
+                let borrowed: Vec<(Expr, &str)> =
+                    exprs.iter().map(|(e, n)| (e.clone(), n.as_str())).collect();
                 project(&input.execute(), &borrowed)
             }
             LogicalPlan::Join { left, right, theta } => {

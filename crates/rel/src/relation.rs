@@ -148,8 +148,7 @@ mod tests {
     fn rel(rows: &[(i64, i64, u64)]) -> Relation {
         Relation::from_rows(
             Schema::new(["a", "b"]),
-            rows.iter()
-                .map(|&(a, b, m)| (Tuple::from([a, b]), m)),
+            rows.iter().map(|&(a, b, m)| (Tuple::from([a, b]), m)),
         )
     }
 

@@ -26,17 +26,24 @@ impl Tuple {
 
     /// Project onto the given attribute indices (`π_A t`).
     pub fn project(&self, idxs: &[usize]) -> Tuple {
-        Tuple(idxs.iter().map(|&i| self.0[i].clone()).collect())
+        let mut vals = Vec::with_capacity(idxs.len());
+        vals.extend(idxs.iter().map(|&i| self.0[i].clone()));
+        Tuple(vals)
     }
 
     /// Concatenate with another tuple (`t ∘ t'`).
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        Tuple(self.0.iter().chain(other.0.iter()).cloned().collect())
+        let mut vals = Vec::with_capacity(self.0.len() + other.0.len());
+        vals.extend_from_slice(&self.0);
+        vals.extend_from_slice(&other.0);
+        Tuple(vals)
     }
 
-    /// Extend with one more value.
+    /// Extend with one more value. Pre-sized: `clone()` + `push` would
+    /// reallocate on every call (clone capacity equals length).
     pub fn with(&self, v: Value) -> Tuple {
-        let mut vals = self.0.clone();
+        let mut vals = Vec::with_capacity(self.0.len() + 1);
+        vals.extend_from_slice(&self.0);
         vals.push(v);
         Tuple(vals)
     }

@@ -10,7 +10,16 @@
 //!
 //! `Int` and `Float` compare numerically against each other, and `Eq`/`Hash`
 //! are kept consistent with that comparison (an integral float hashes like
-//! the corresponding integer). `NaN` sorts after every other float.
+//! the corresponding integer). `NaN` sorts after every other number.
+//!
+//! The order is a genuine *total order* — transitive including the float
+//! edge cases: all `NaN` payloads compare equal (and after every non-NaN
+//! number, so int-vs-NaN and float-vs-NaN agree), and `-0.0 == 0.0 ==
+//! Int(0)`. This matters beyond hygiene: `audb_core::sortkey` encodes
+//! values into memcmp-comparable byte strings whose byte order must match
+//! `Value::cmp` exactly, which is impossible if the comparison is
+//! intransitive (as `f64::total_cmp` mixed with numeric int–float
+//! comparison would be).
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -26,8 +35,9 @@ pub enum Value {
     Bool(bool),
     /// 64-bit signed integer.
     Int(i64),
-    /// 64-bit float, totally ordered via `f64::total_cmp` semantics
-    /// (with cross-type numeric comparison against `Int`).
+    /// 64-bit float, totally ordered numerically (`-0.0 == 0.0`, every NaN
+    /// equal and greater than all other numbers) with cross-type numeric
+    /// comparison against `Int`.
     Float(f64),
     /// Interned string; clones are cheap reference bumps.
     Str(Arc<str>),
@@ -160,6 +170,20 @@ fn numeric_binop(
     }
 }
 
+/// Compare two `f64`s numerically and totally: `-0.0 == 0.0`, and every
+/// NaN (any sign/payload) is equal to every other NaN and greater than
+/// every non-NaN. Unlike `f64::total_cmp`, this is consistent with the
+/// numeric int–float comparison below (which cannot observe NaN payloads),
+/// keeping the whole `Value` order transitive.
+fn cmp_float_float(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN floats compare"),
+    }
+}
+
 /// Compare an `i64` against an `f64` numerically and totally.
 fn cmp_int_float(i: i64, f: f64) -> Ordering {
     if f.is_nan() {
@@ -191,7 +215,7 @@ impl Ord for Value {
             (Null, Null) => Ordering::Equal,
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
-            (Float(a), Float(b)) => a.total_cmp(b),
+            (Float(a), Float(b)) => cmp_float_float(*a, *b),
             (Int(a), Float(b)) => cmp_int_float(*a, *b),
             (Float(a), Int(b)) => cmp_int_float(*b, *a).reverse(),
             (Str(a), Str(b)) => a.cmp(b),
@@ -227,8 +251,12 @@ impl Hash for Value {
                 i.hash(state);
             }
             Value::Float(f) => {
-                // Keep Hash consistent with Eq: integral floats equal ints.
-                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                // Keep Hash consistent with Eq: integral floats equal ints,
+                // and all NaNs are equal (so they must hash alike).
+                if f.is_nan() {
+                    state.write_u8(3);
+                    f64::NAN.to_bits().hash(state);
+                } else if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
                     state.write_u8(2);
                     (*f as i64).hash(state);
                 } else {
@@ -357,5 +385,22 @@ mod tests {
     fn nan_sorts_last_among_floats() {
         assert!(Value::Float(f64::INFINITY) < Value::Float(f64::NAN));
         assert!(Value::Float(f64::NAN) < Value::str(""));
+    }
+
+    #[test]
+    fn float_edge_cases_are_totally_ordered() {
+        // All NaNs are one equivalence class after every number, regardless
+        // of sign or payload, and they hash alike.
+        assert_eq!(Value::Float(f64::NAN), Value::Float(-f64::NAN));
+        assert_eq!(
+            hash_of(&Value::Float(f64::NAN)),
+            hash_of(&Value::Float(-f64::NAN))
+        );
+        assert!(Value::Float(-f64::NAN) > Value::Float(f64::INFINITY));
+        assert!(Value::Int(i64::MAX) < Value::Float(f64::NAN));
+        // Signed zeros are numerically equal to each other and to Int(0).
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(Value::Float(-0.0), Value::Int(0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Int(0)));
     }
 }

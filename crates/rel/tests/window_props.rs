@@ -13,8 +13,7 @@ fn relation_strategy() -> impl Strategy<Value = Relation> {
     proptest::collection::vec(((0i64..20, -10i64..10), 1u64..3), 0..12).prop_map(|rows| {
         Relation::from_rows(
             Schema::new(["o", "v"]),
-            rows.into_iter()
-                .map(|((o, v), m)| (Tuple::from([o, v]), m)),
+            rows.into_iter().map(|((o, v), m)| (Tuple::from([o, v]), m)),
         )
     })
 }
@@ -27,7 +26,7 @@ fn brute_window(rel: &Relation, l: i64, u: i64, f: AggFunc) -> Relation {
             expanded.push(&row.tuple);
         }
     }
-    expanded.sort_by(|a, b| a.cmp(b));
+    expanded.sort();
     let n = expanded.len() as i64;
     let mut out = Relation::empty(rel.schema.with("x"));
     for (i, t) in expanded.iter().enumerate() {
@@ -46,8 +45,16 @@ fn brute_window(rel: &Relation, l: i64, u: i64, f: AggFunc) -> Relation {
                 }
             }
             AggFunc::Count => Value::Int(slice.len() as i64),
-            AggFunc::Min(_) => slice.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
-            AggFunc::Max(_) => slice.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+            AggFunc::Min(_) => slice
+                .iter()
+                .min()
+                .map(|v| (*v).clone())
+                .unwrap_or(Value::Null),
+            AggFunc::Max(_) => slice
+                .iter()
+                .max()
+                .map(|v| (*v).clone())
+                .unwrap_or(Value::Null),
             AggFunc::Avg(_) => unreachable!(),
         };
         out.push(t.with(val), 1);

@@ -49,7 +49,7 @@ impl IntervalIndex {
         self.len == 0
     }
 
-    fn build_rec(items: &mut Vec<(i64, i64, u32)>, nodes: &mut Vec<Node>) -> Option<usize> {
+    fn build_rec(items: &mut [(i64, i64, u32)], nodes: &mut Vec<Node>) -> Option<usize> {
         if items.is_empty() {
             return None;
         }

@@ -152,18 +152,19 @@ pub fn endpoint_union(rel: &AuRelation, order: &[usize]) -> Relation {
 ///
 /// The dataflow is executed as a DBMS would: the endpoint union is
 /// *materialized* through the relational engine (`encode` + three
-/// projections + two unions), and the running sums are evaluated by a sort
-/// + merge scan over that materialized relation — this is where `Rewr`'s
+/// projections + two unions), and the running sums are evaluated by a
+/// sort-and-merge scan over that materialized relation — this is where `Rewr`'s
 /// constant-factor overhead over the native algorithm comes from (Fig. 11).
 pub fn rewr_sort(rel: &AuRelation, order: &[usize], pos_name: &str) -> AuRelation {
-    let rel = rel.clone().normalize();
+    let rel = rel.normalized();
+    let rel: &AuRelation = &rel;
     let total_idxs = total_order(rel.schema.arity(), order);
     let n = rel.rows.len();
     let m = total_idxs.len();
 
     // Q_lower ∪ Q_sg ∪ Q_upper, materialized (schema:
     // [__id, isend, k0..k{m-1}, m_lb, m_sg, m_ub]).
-    let endpoints_rel = endpoint_union(&rel, order);
+    let endpoints_rel = endpoint_union(rel, order);
 
     // Parse the three endpoint streams back out of the materialized union
     // (the engine's rows are the source of truth from here on).

@@ -50,7 +50,7 @@ pub fn rewr_window(
     out_name: &str,
     strategy: JoinStrategy,
 ) -> AuRelation {
-    let exp = rel.clone().normalize().expand();
+    let exp = rel.normalized().expand();
     let n = exp.rows.len();
     let total_idxs = total_order(exp.schema.arity(), &spec.order);
     let mut out = AuRelation::empty(exp.schema.with(out_name));
@@ -323,8 +323,17 @@ mod tests {
         let spec = AuWindowSpec::rows(vec![1], -1, 0).partition_by(vec![0]);
         for strategy in [JoinStrategy::NestedLoop, JoinStrategy::IntervalIndex] {
             let got = rewr_window(&example7(), &spec, WinAgg::Sum(2), "s", strategy);
-            let want = window_ref(&example7(), &spec, WinAgg::Sum(2), "s", CmpSemantics::IntervalLex);
-            assert!(got.bag_eq(&want), "{strategy:?}\ngot:\n{got}\nwant:\n{want}");
+            let want = window_ref(
+                &example7(),
+                &spec,
+                WinAgg::Sum(2),
+                "s",
+                CmpSemantics::IntervalLex,
+            );
+            assert!(
+                got.bag_eq(&want),
+                "{strategy:?}\ngot:\n{got}\nwant:\n{want}"
+            );
         }
     }
 
@@ -335,11 +344,19 @@ mod tests {
             [
                 (AuTuple::new([rv(1, 1, 3), rv(5, 7, 7)]), Mult3::ONE),
                 (AuTuple::new([rv(2, 2, 2), rv(-3, -3, -3)]), Mult3::ONE),
-                (AuTuple::new([rv(4, 5, 6), rv(10, 10, 12)]), Mult3::new(0, 1, 1)),
+                (
+                    AuTuple::new([rv(4, 5, 6), rv(10, 10, 12)]),
+                    Mult3::new(0, 1, 1),
+                ),
                 (AuTuple::new([rv(8, 8, 8), rv(1, 2, 3)]), Mult3::ONE),
             ],
         );
-        for agg in [WinAgg::Sum(1), WinAgg::Count, WinAgg::Min(1), WinAgg::Max(1)] {
+        for agg in [
+            WinAgg::Sum(1),
+            WinAgg::Count,
+            WinAgg::Min(1),
+            WinAgg::Max(1),
+        ] {
             for (l, u) in [(0i64, 0i64), (-2, 0), (-1, 1)] {
                 let spec = AuWindowSpec::rows(vec![0], l, u);
                 for strategy in [JoinStrategy::NestedLoop, JoinStrategy::IntervalIndex] {
@@ -378,7 +395,13 @@ mod tests {
             ],
         );
         let spec = AuWindowSpec::rows(vec![1], -1, 0).partition_by(vec![0]);
-        let got = rewr_window(&rel, &spec, WinAgg::Sum(2), "s", JoinStrategy::IntervalIndex);
+        let got = rewr_window(
+            &rel,
+            &spec,
+            WinAgg::Sum(2),
+            "s",
+            JoinStrategy::IntervalIndex,
+        );
         let want = window_ref(&rel, &spec, WinAgg::Sum(2), "s", CmpSemantics::IntervalLex);
         assert!(got.bag_eq(&want), "got:\n{got}\nwant:\n{want}");
     }

@@ -26,13 +26,7 @@ const MAYBE_PRESENT: f64 = 0.8;
 /// its `Imp` accuracy is below 1 while MCDB's recall is). A trailing
 /// certain `id` attribute is appended for per-tuple quality tracking.
 pub fn xtuple_from_au(au: &AuRelation) -> XTupleTable {
-    let schema = Schema::new(
-        au.schema
-            .cols()
-            .iter()
-            .cloned()
-            .chain(["id".to_string()]),
-    );
+    let schema = Schema::new(au.schema.cols().iter().cloned().chain(["id".to_string()]));
     let tuples = au
         .rows
         .iter()
@@ -42,8 +36,11 @@ pub fn xtuple_from_au(au: &AuRelation) -> XTupleTable {
             let sg = row.tuple.sg_tuple().with(idv.clone());
             // Inner-quartile corner points per attribute.
             let inner = |frac_from_lb: bool| -> audb_rel::Tuple {
-                let vals = row.tuple.0.iter().map(|r| {
-                    match (r.lb.as_i64(), r.ub.as_i64()) {
+                let vals = row
+                    .tuple
+                    .0
+                    .iter()
+                    .map(|r| match (r.lb.as_i64(), r.ub.as_i64()) {
                         (Some(lo), Some(hi)) if hi > lo => {
                             let w = hi - lo;
                             Value::Int(if frac_from_lb {
@@ -52,9 +49,14 @@ pub fn xtuple_from_au(au: &AuRelation) -> XTupleTable {
                                 hi - (w / 4).max(1).min(w)
                             })
                         }
-                        _ => if frac_from_lb { r.lb.clone() } else { r.ub.clone() },
-                    }
-                });
+                        _ => {
+                            if frac_from_lb {
+                                r.lb.clone()
+                            } else {
+                                r.ub.clone()
+                            }
+                        }
+                    });
                 audb_rel::Tuple(vals.collect()).with(idv.clone())
             };
             let mut corners = vec![sg.clone()];
@@ -103,7 +105,10 @@ mod tests {
             Schema::new(["ct"]),
             [
                 (AuTuple::new([RangeValue::new(2, 3, 5)]), Mult3::ONE),
-                (AuTuple::new([RangeValue::certain(7i64)]), Mult3::new(0, 1, 1)),
+                (
+                    AuTuple::new([RangeValue::certain(7i64)]),
+                    Mult3::new(0, 1, 1),
+                ),
             ],
         );
         let xt = xtuple_from_au(&au);

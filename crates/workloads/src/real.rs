@@ -76,12 +76,13 @@ pub fn iceberg(scale: f64, seed: u64) -> RealDataset {
             let sizes: Vec<i64> = if rng.gen_bool(uncertainty) {
                 // Extraction ambiguity: two or three adjacent size classes.
                 let s = rng.gen_range(0..8i64);
-                (s..=s + rng.gen_range(1..=2)).collect()
+                (s..=s + rng.gen_range(1i64..=2)).collect()
             } else {
                 vec![rng.gen_range(0..10i64)]
             };
             let p = 1.0 / sizes.len() as f64;
-            XTuple::new(sizes
+            XTuple::new(
+                sizes
                     .into_iter()
                     .map(|s| Alternative {
                         tuple: Tuple::new([
@@ -92,7 +93,8 @@ pub fn iceberg(scale: f64, seed: u64) -> RealDataset {
                         ]),
                         prob: p,
                     })
-                    .collect())
+                    .collect(),
+            )
         })
         .collect();
     let base = XTupleTable::new(Schema::new(["date", "size", "number", "id"]), tuples);
@@ -212,13 +214,15 @@ pub fn crimes(scale: f64, seed: u64) -> RealDataset {
                 vec![2016]
             };
             let p = 1.0 / years.len() as f64;
-            XTuple::new(years
+            XTuple::new(
+                years
                     .into_iter()
                     .map(|y| Alternative {
                         tuple: Tuple::new([Value::Int(lat), Value::Int(y), Value::Int(id as i64)]),
                         prob: p,
                     })
-                    .collect())
+                    .collect(),
+            )
         })
         .collect();
     let window = WindowQuery {

@@ -248,8 +248,8 @@ pub fn symb_window(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
     use crate::metrics::aggregate_quality;
+    use crate::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
 
     fn pairs(approx: &Bounds, tight: &Bounds) -> Vec<((f64, f64), (f64, f64))> {
         approx
@@ -277,7 +277,10 @@ mod tests {
         assert!(qi.recall > 0.999, "AU bounds over-approximate: {qi:?}");
         assert!(qi.range_ratio >= 1.0 - 1e-9);
         let qm = aggregate_quality(pairs(&mc, &tight));
-        assert!(qm.range_ratio <= 1.0 + 1e-9, "MCDB under-approximates: {qm:?}");
+        assert!(
+            qm.range_ratio <= 1.0 + 1e-9,
+            "MCDB under-approximates: {qm:?}"
+        );
         let qs = aggregate_quality(pairs(&tight, &tight));
         assert!((qs.accuracy - 1.0).abs() < 1e-9);
     }

@@ -222,13 +222,12 @@ mod tests {
 
     #[test]
     fn uncertainty_rate_is_respected() {
-        let cfg = SyntheticConfig::default().rows(5_000).uncertainty(0.1).seed(2);
+        let cfg = SyntheticConfig::default()
+            .rows(5_000)
+            .uncertainty(0.1)
+            .seed(2);
         let t = gen_sort_table(&cfg);
-        let uncertain = t
-            .tuples
-            .iter()
-            .filter(|x| x.alternatives.len() > 1)
-            .count();
+        let uncertain = t.tuples.iter().filter(|x| x.alternatives.len() > 1).count();
         let rate = uncertain as f64 / t.len() as f64;
         assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
     }

@@ -210,14 +210,23 @@ mod tests {
         );
         let w1 = Relation::from_rows(
             Schema::new(["a", "b"]),
-            [(Tuple::new([audb_rel::Value::Int(2), audb_rel::Value::str("a")]), 2)],
+            [(
+                Tuple::new([audb_rel::Value::Int(2), audb_rel::Value::str("a")]),
+                2,
+            )],
         );
         assert!(bounds_world(&au, &w1));
         let w2 = Relation::from_rows(
             Schema::new(["a", "b"]),
             [
-                (Tuple::new([audb_rel::Value::Int(1), audb_rel::Value::str("a")]), 1),
-                (Tuple::new([audb_rel::Value::Int(5), audb_rel::Value::str("a")]), 1),
+                (
+                    Tuple::new([audb_rel::Value::Int(1), audb_rel::Value::str("a")]),
+                    1,
+                ),
+                (
+                    Tuple::new([audb_rel::Value::Int(5), audb_rel::Value::str("a")]),
+                    1,
+                ),
             ],
         );
         assert!(bounds_world(&au, &w2));

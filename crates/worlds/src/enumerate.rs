@@ -83,15 +83,15 @@ mod tests {
             vec![
                 XTuple::certain(Tuple::from([1i64])),
                 XTuple::new(vec![
-                        Alternative {
-                            tuple: Tuple::from([2i64]),
-                            prob: 0.5,
-                        },
-                        Alternative {
-                            tuple: Tuple::from([3i64]),
-                            prob: 0.2,
-                        },
-                    ]),
+                    Alternative {
+                        tuple: Tuple::from([2i64]),
+                        prob: 0.5,
+                    },
+                    Alternative {
+                        tuple: Tuple::from([3i64]),
+                        prob: 0.2,
+                    },
+                ]),
             ],
         )
     }

@@ -191,10 +191,8 @@ pub fn exact_window_bounds(
                     &mut realized,
                     &mut |realized| {
                         // Sort candidate realizations and slice the window.
-                        let mut sorted: Vec<(&Tuple, &Value, usize)> = realized
-                            .iter()
-                            .map(|(k, v, j)| (k, v, *j))
-                            .collect();
+                        let mut sorted: Vec<(&Tuple, &Value, usize)> =
+                            realized.iter().map(|(k, v, j)| (k, v, *j)).collect();
                         sorted.push((&t_key, &t_val, ti));
                         sorted.sort_by(|a, b| a.0.cmp(b.0).then(a.2.cmp(&b.2)));
                         let p = sorted
@@ -272,9 +270,9 @@ mod tests {
                 XTuple::certain(Tuple::from([10i64, 1])),
                 XTuple::uniform([Tuple::from([5i64, 2]), Tuple::from([15i64, 3])]),
                 XTuple::new(vec![Alternative {
-                        tuple: Tuple::from([12i64, 4]),
-                        prob: 0.5,
-                    }]),
+                    tuple: Tuple::from([12i64, 4]),
+                    prob: 0.5,
+                }]),
                 XTuple::certain(Tuple::from([20i64, 5])),
             ],
         )

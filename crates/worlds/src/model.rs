@@ -147,9 +147,9 @@ impl XTupleTable {
 
     /// Number of possible worlds (saturating).
     pub fn world_count(&self) -> u128 {
-        self.tuples
-            .iter()
-            .fold(1u128, |acc, t| acc.saturating_mul(t.outcome_count() as u128))
+        self.tuples.iter().fold(1u128, |acc, t| {
+            acc.saturating_mul(t.outcome_count() as u128)
+        })
     }
 
     /// The most likely world (per-tuple argmax) — the paper's
@@ -245,15 +245,15 @@ mod tests {
                 XTuple::certain(Tuple::from([10i64])),
                 XTuple::uniform([Tuple::from([1i64]), Tuple::from([5i64])]),
                 XTuple::new(vec![
-                        Alternative {
-                            tuple: Tuple::from([7i64]),
-                            prob: 0.4,
-                        },
-                        Alternative {
-                            tuple: Tuple::from([9i64]),
-                            prob: 0.3,
-                        },
-                    ]),
+                    Alternative {
+                        tuple: Tuple::from([7i64]),
+                        prob: 0.4,
+                    },
+                    Alternative {
+                        tuple: Tuple::from([9i64]),
+                        prob: 0.3,
+                    },
+                ]),
             ],
         )
     }

@@ -31,7 +31,10 @@ fn main() {
         rq.table.len()
     );
     println!("  Det   {:>10?}   (one world, no guarantees)", det.elapsed);
-    println!("  Imp   {:>10?}   (bounds on certain & possible top-3)", imp.elapsed);
+    println!(
+        "  Imp   {:>10?}   (bounds on certain & possible top-3)",
+        imp.elapsed
+    );
     println!("  MCDB20{:>10?}   (sampled envelope)", mc.elapsed);
     let answers = imp.value.iter().flatten().count();
     println!("  Imp returns {answers} candidate days (possible answers ⊇ certain answers)");

@@ -18,11 +18,11 @@ fn main() {
     // Scores under dispute: (resolved outcomes, probability). Lower = better
     // rank here (golf scoring); k = 2 podium places.
     let score_sets: [&[(i64, f64)]; 5] = [
-        &[(68, 0.6), (72, 0.4)],         // ada: one contested hole
-        &[(70, 1.0)],                    // grace: clean card
-        &[(66, 0.3), (74, 0.7)],         // edsger: big dispute
-        &[(71, 0.5), (69, 0.5)],         // barbara: coin-flip ruling
-        &[(75, 0.9)],                    // donald: may be disqualified
+        &[(68, 0.6), (72, 0.4)], // ada: one contested hole
+        &[(70, 1.0)],            // grace: clean card
+        &[(66, 0.3), (74, 0.7)], // edsger: big dispute
+        &[(71, 0.5), (69, 0.5)], // barbara: coin-flip ruling
+        &[(75, 0.9)],            // donald: may be disqualified
     ];
     let table = XTupleTable::new(
         Schema::new(["score", "player"]),
@@ -99,7 +99,7 @@ fn main() {
     // And the AU-DB answer: one relation carrying certain AND possible
     // membership plus rank bounds, still queryable further.
     let au = table.to_au_relation();
-    let podium = topk_native(&au, &[0], k as u64, "rank");
+    let podium = topk_native(&au, &[0], k, "rank");
     println!("\nAU-DB top-{k} (score range, player, rank range, certainty):");
     for row in &podium.rows {
         let player = name(row.tuple.get(1).sg.as_i64().unwrap() as usize);

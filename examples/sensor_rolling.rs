@@ -22,11 +22,14 @@ fn main() {
     // one in six sensors drifts, widening its declared error band.
     let tuples: Vec<XTuple> = (0..n)
         .map(|ts| {
-            let true_temp = 180 + ((ts as f64 / 5.0).sin() * 40.0) as i64 + rng.gen_range(-3..=3);
+            let true_temp =
+                180 + ((ts as f64 / 5.0).sin() * 40.0) as i64 + rng.gen_range(-3i64..=3);
             let drifting = rng.gen_range(0..6) == 0;
             let band = if drifting { 25 } else { 4 };
             // The measured alternatives sit inside the declared band.
-            let alts: Vec<i64> = (0..3).map(|_| true_temp + rng.gen_range(-band..=band)).collect();
+            let alts: Vec<i64> = (0..3)
+                .map(|_| true_temp + rng.gen_range(-band..=band))
+                .collect();
             let p = 1.0 / alts.len() as f64;
             XTuple::new(
                 alts.iter()
@@ -62,7 +65,7 @@ fn main() {
                 x.lb.as_f64().unwrap_or(0.0) as i64,
                 x.ub.as_f64().unwrap_or(0.0) as i64,
             );
-            if worst.map_or(true, |(_, a, b)| hi - lo > b - a) {
+            if worst.is_none_or(|(_, a, b)| hi - lo > b - a) {
                 worst = Some((ts, lo, hi));
             }
         }

@@ -117,7 +117,11 @@ fn fig_1g_windowed_sum() {
     assert_eq!(sum_of(1), RangeValue::new(4, 5, 6));
     assert_eq!(sum_of(3), RangeValue::new(4, 11, 14));
     assert_eq!(sum_of(4), RangeValue::new(4, 4, 14));
-    assert_eq!(sum_of(2), RangeValue::new(6, 10, 10), "paper's Fig. 1g row 2");
+    assert_eq!(
+        sum_of(2),
+        RangeValue::new(6, 10, 10),
+        "paper's Fig. 1g row 2"
+    );
     // And the paper's own over-approximation note holds: term 1's upper
     // bound is 6 although no single world exceeds 5.
     assert_eq!(sum_of(1).ub, audb::rel::Value::Int(6));

@@ -10,8 +10,8 @@ use audb::core::{
     RangeValue, WinAgg,
 };
 use audb::native::{sort_native, topk_native, window_native};
-use audb::rewrite::{rewr_sort, rewr_topk, rewr_window, JoinStrategy};
 use audb::rel::Schema;
+use audb::rewrite::{rewr_sort, rewr_topk, rewr_window, JoinStrategy};
 use proptest::prelude::*;
 
 /// Random range value over a small domain.

@@ -61,7 +61,10 @@ fn preaggregation_representations_are_consistent() {
     let ds = iceberg(0.004, 3);
     let rq = &ds.rank;
     let au = rq.table.to_au_relation();
-    assert!(audb::worlds::bounds_world(&au, &rq.table.most_likely_world()));
+    assert!(audb::worlds::bounds_world(
+        &au,
+        &rq.table.most_likely_world()
+    ));
 
     let possible = ptk_possible(&rq.table, &rq.order, rq.k);
     let imp = runner::imp_sort(&rq.table, &rq.order, Some(rq.k)).value;

@@ -1,0 +1,203 @@
+//! Property tests pinning the zero-allocation hot paths to their
+//! semantic references:
+//!
+//! * [`SortKey`] byte order ≡ [`Value::cmp`] (and its lexicographic
+//!   extension to mixed-type tuples) — the contract every heap, sweep and
+//!   normalize sort in `audb-native`/`audb-core` now relies on;
+//! * the rewritten `normalize()` (precomputed keys, sort + adjacent-merge,
+//!   borrow-or-owned fast path) ≡ the original semantics: merge identical
+//!   hypercubes additively, drop `(0,0,0)` rows, deterministic total order.
+
+use audb::core::sortkey::{Corner, SortKey};
+use audb::core::{AuRelation, AuTuple, Mult3, RangeValue};
+use audb::rel::{Schema, Tuple, Value};
+use proptest::prelude::*;
+
+/// Values across every variant, weighted toward collision-prone numerics
+/// (equal ints/floats, signed zeros, NaN) so the cross-type edge cases of
+/// `Value::cmp` are exercised, not dodged.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        proptest::bool::ANY.prop_map(Value::Bool),
+        (-6i64..6).prop_map(Value::Int),
+        Just(Value::Int(i64::MAX)),
+        Just(Value::Int(i64::MIN)),
+        Just(Value::Int((1 << 53) + 1)),
+        (-6i64..6).prop_map(|i| Value::Float(i as f64)),
+        (-24i64..24).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        Just(Value::Float(-0.0)),
+        Just(Value::Float(f64::NAN)),
+        Just(Value::Float(-f64::NAN)),
+        Just(Value::Float(f64::INFINITY)),
+        Just(Value::Float(f64::NEG_INFINITY)),
+        Just(Value::Float((1u64 << 53) as f64)),
+        (0u8..4, 0u8..3).prop_map(|(c, n)| {
+            let ch = [b'a', b'b', b'\0', b'z'][c as usize] as char;
+            Value::str(ch.to_string().repeat(n as usize))
+        }),
+    ]
+}
+
+fn rv_strategy() -> impl Strategy<Value = RangeValue> {
+    (value_strategy(), value_strategy(), value_strategy()).prop_map(|(a, b, c)| {
+        // Order the three draws so the range is well-formed.
+        let mut v = [a, b, c];
+        v.sort();
+        let [lb, sg, ub] = v;
+        RangeValue { lb, sg, ub }
+    })
+}
+
+fn au_relation_strategy() -> impl Strategy<Value = AuRelation> {
+    let mult = prop_oneof![
+        Just(Mult3::ZERO),
+        Just(Mult3::ONE),
+        Just(Mult3::new(0, 1, 1)),
+        Just(Mult3::new(0, 0, 1)),
+        Just(Mult3::new(1, 2, 3)),
+    ];
+    proptest::collection::vec(((rv_strategy(), rv_strategy()), mult), 0..14).prop_map(|rows| {
+        AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            rows.into_iter()
+                .map(|((a, b), m)| (AuTuple::new([a, b]), m)),
+        )
+    })
+}
+
+/// The historic normalize(): hash-merge on tuple equality, drop zeros,
+/// sort by corner tuples compared element-wise. Kept here as the semantic
+/// reference for the optimized implementation.
+fn normalize_reference(rel: &AuRelation) -> Vec<(AuTuple, Mult3)> {
+    let mut map: Vec<(AuTuple, Mult3)> = Vec::new();
+    for row in &rel.rows {
+        if row.mult.is_zero() {
+            continue;
+        }
+        match map.iter_mut().find(|(t, _)| *t == row.tuple) {
+            Some((_, m)) => *m = *m + row.mult,
+            None => map.push((row.tuple.clone(), row.mult)),
+        }
+    }
+    map.sort_by(|a, b| {
+        a.0.lb_tuple()
+            .cmp(&b.0.lb_tuple())
+            .then_with(|| a.0.ub_tuple().cmp(&b.0.ub_tuple()))
+            .then_with(|| a.0.sg_tuple().cmp(&b.0.sg_tuple()))
+    });
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Single-value key order ≡ `Value::cmp`, for every pair of generated
+    /// values (including NaN payload/sign classes and -0.0 vs Int(0)).
+    #[test]
+    fn sortkey_matches_value_cmp(a in value_strategy(), b in value_strategy()) {
+        let (ka, kb) = (SortKey::of_value(&a), SortKey::of_value(&b));
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b), "{:?} vs {:?}", a, b);
+    }
+
+    /// Concatenated keys ≡ lexicographic tuple comparison, mixed types and
+    /// unequal prefixes included.
+    #[test]
+    fn sortkey_tuples_match_lexicographic_cmp(
+        xs in proptest::collection::vec(value_strategy(), 1..4),
+        ys in proptest::collection::vec(value_strategy(), 1..4),
+    ) {
+        // Compare on the shared arity (keys of different arity encode
+        // different projections; the operators never mix those).
+        let n = xs.len().min(ys.len());
+        let idxs: Vec<usize> = (0..n).collect();
+        let (a, b) = (Tuple::new(xs), Tuple::new(ys));
+        let ka = SortKey::of_tuple(&a, &idxs);
+        let kb = SortKey::of_tuple(&b, &idxs);
+        let expect = idxs
+            .iter()
+            .map(|&i| a.get(i).cmp(b.get(i)))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal);
+        prop_assert_eq!(ka.cmp(&kb), expect, "{} vs {}", a, b);
+    }
+
+    /// Corner keys equal the key of the materialized corner tuple — the
+    /// allocation they avoid is pure overhead, not a semantic change.
+    #[test]
+    fn corner_keys_equal_materialized(
+        rvs in proptest::collection::vec(rv_strategy(), 1..4),
+    ) {
+        let t = AuTuple::new(rvs);
+        let idxs: Vec<usize> = (0..t.arity()).collect();
+        prop_assert_eq!(
+            SortKey::of_corner(&t, Corner::Lb, &idxs),
+            SortKey::of_tuple(&t.lb_tuple(), &idxs)
+        );
+        prop_assert_eq!(
+            SortKey::of_corner(&t, Corner::Sg, &idxs),
+            SortKey::of_tuple(&t.sg_tuple(), &idxs)
+        );
+        prop_assert_eq!(
+            SortKey::of_corner(&t, Corner::Ub, &idxs),
+            SortKey::of_tuple(&t.ub_tuple(), &idxs)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Optimized `normalize()` ≡ the historic merge/drop/sort semantics.
+    #[test]
+    fn normalize_matches_reference(rel in au_relation_strategy()) {
+        let expect = normalize_reference(&rel);
+        let got = rel.clone().normalize();
+        prop_assert!(got.is_normalized());
+        prop_assert_eq!(got.rows.len(), expect.len());
+        for (row, (t, m)) in got.rows.iter().zip(&expect) {
+            prop_assert_eq!(&row.tuple, t);
+            prop_assert_eq!(&row.mult, m);
+        }
+    }
+
+    /// The borrow-or-owned entry agrees with by-value normalize, and
+    /// borrowing really happens on canonical inputs.
+    #[test]
+    fn normalized_cow_agrees_and_borrows(rel in au_relation_strategy()) {
+        let owned = rel.clone().normalize();
+        {
+            let cow = rel.normalized();
+            prop_assert_eq!(cow.rows.len(), owned.rows.len());
+            for (a, b) in cow.rows.iter().zip(&owned.rows) {
+                prop_assert_eq!(a, b);
+            }
+            prop_assert!(matches!(rel.normalized(), std::borrow::Cow::Owned(_)) || rel.is_normalized());
+        }
+        // Once canonical, normalized() must borrow (the fast path).
+        let cow = owned.normalized();
+        prop_assert!(matches!(cow, std::borrow::Cow::Borrowed(_)));
+        // And normalize() on a canonical relation is the identity.
+        let again = owned.clone().normalize();
+        prop_assert_eq!(again.rows.len(), owned.rows.len());
+        for (a, b) in again.rows.iter().zip(&owned.rows) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Normalization is idempotent and blind to input row order.
+    #[test]
+    fn normalize_is_order_insensitive(rel in au_relation_strategy(), rot in 0usize..8) {
+        let mut shuffled = rel.clone();
+        if !shuffled.rows.is_empty() {
+            let r = rot % shuffled.rows.len();
+            shuffled.rows_mut().rotate_left(r);
+        }
+        let a = rel.normalize();
+        let b = shuffled.normalize();
+        prop_assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the subset of the
+//! criterion API this workspace's benches use is reimplemented here:
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, one untimed warmup iteration sizes a
+//! batch so a sample takes ≳ `SAMPLE_TARGET`; then `sample_size` samples
+//! are timed and the per-iteration median/min/max are reported on stdout as
+//! `group/name  time: [..]`. No plotting, no statistics beyond that —
+//! `audb-bench`'s `repro --json` is the tracked perf artifact; these
+//! benches exist for quick interactive comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Hard cap on the total time spent per benchmark.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    ran: usize,
+}
+
+impl Criterion {
+    /// Build from command-line arguments: `--test` runs each benchmark for
+    /// a single iteration (used by `cargo test --benches`); the first
+    /// non-flag argument is a substring filter on `group/name`.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if !s.starts_with('-') => c.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            owner: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Print the run footer.
+    pub fn final_summary(&self) {
+        println!("criterion-lite: {} benchmark(s) run", self.ran);
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    owner: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+/// A benchmark identifier `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time `f`'s `b.iter(..)` body.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.owner.matches(&full) {
+            let mut b = Bencher {
+                sample_size: self.sample_size,
+                test_mode: self.owner.test_mode,
+                report: None,
+            };
+            f(&mut b);
+            b.print(&full);
+            self.owner.ran += 1;
+        }
+        self
+    }
+
+    /// Time `f` with an auxiliary input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.owner.matches(&full) {
+            let mut b = Bencher {
+                sample_size: self.sample_size,
+                test_mode: self.owner.test_mode,
+                report: None,
+            };
+            f(&mut b, input);
+            b.print(&full);
+            self.owner.ran += 1;
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; `iter` runs and times the body.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    report: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `f`, retaining its output via `black_box` so the optimizer
+    /// cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.report = None;
+            return;
+        }
+        let budget_start = Instant::now();
+        // Warmup + batch sizing.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            if budget_start.elapsed() > BENCH_BUDGET {
+                break;
+            }
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / batch as u32);
+        }
+        if samples.is_empty() {
+            samples.push(once);
+        }
+        samples.sort();
+        let med = samples[samples.len() / 2];
+        self.report = Some((samples[0], med, samples[samples.len() - 1]));
+    }
+
+    fn print(&self, id: &str) {
+        match self.report {
+            Some((lo, med, hi)) => println!(
+                "{id:<40} time: [{} {} {}]",
+                fmt_dur(lo),
+                fmt_dur(med),
+                fmt_dur(hi)
+            ),
+            None => println!("{id:<40} ok (test mode)"),
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("t");
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+        assert_eq!(c.ran, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("imp", 16_000);
+        assert_eq!(id.id, "imp/16000");
+    }
+}

@@ -1,0 +1,436 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the subset of the
+//! proptest API this workspace uses is reimplemented here: the
+//! [`Strategy`] trait (`prop_map`, `boxed`), range / tuple / `Just` /
+//! collection / bool strategies, the `prop_oneof!` combinator, and the
+//! `proptest!` / `prop_assert*` macros. Differences from upstream:
+//!
+//! * **No shrinking.** A failing case panics with its case number and
+//!   seed; re-running is deterministic, so the case reproduces exactly.
+//! * Case counts honor `ProptestConfig::with_cases` and can be overridden
+//!   globally with the `PROPTEST_CASES` environment variable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Object-safe view of a strategy (implementation detail of
+    /// [`BoxedStrategy`]).
+    trait DynStrategy {
+        type Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(std::rc::Rc<dyn DynStrategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.uniform(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = rng.uniform128(span);
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = rng.uniform128(span);
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.uniform(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.uniform(2) == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test execution configuration.
+
+    /// Subset of proptest's run configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Effective case count, honoring the `PROPTEST_CASES` env override.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                Some(n) => n,
+                None => self.cases,
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-(property, case) generator.
+    pub fn for_case(property: &str, case: u32) -> Self {
+        // FNV-1a over the property name, mixed with the case number.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in property.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37)))
+    }
+
+    /// Uniform value in `[0, span)`.
+    pub fn uniform(&mut self, span: u64) -> u64 {
+        self.uniform128(span as u128) as u64
+    }
+
+    /// Uniform value in `[0, span)` for wide spans.
+    pub fn uniform128(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let x: u64 = self.0.gen();
+        ((x as u128) * span) >> 64
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@inner $cfg; $($rest)*);
+    };
+    (@inner $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let cases = config.effective_cases();
+            for case in 0..cases {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)*
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(err) = result {
+                    eprintln!(
+                        "proptest: property {} failed at case {}/{} (deterministic; re-run reproduces)",
+                        stringify!($name), case, cases
+                    );
+                    ::std::panic::resume_unwind(err);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@inner $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let s = (0i64..10).prop_map(|x| x * 2);
+        let mut rng = TestRng::for_case("ranges_and_maps", 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![Just(1i64), Just(2), Just(3)];
+        let mut rng = TestRng::for_case("oneof", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(s.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let s = crate::collection::vec(0i64..5, 2..=4);
+        let mut rng = TestRng::for_case("vecs", 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(x in 0i64..100, ys in crate::collection::vec(0i64..10, 0..5)) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert!(ys.len() < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(b in crate::bool::ANY) {
+            prop_assert_eq!(b as u8 > 0, b);
+        }
+    }
+}
