@@ -1,8 +1,11 @@
 //! Criterion microbenchmarks for uncertain sorting and top-k
 //! (statistically robust counterpart of Figs. 11 and 14; the `repro`
-//! binary prints the full paper-style tables).
+//! binary prints the full paper-style tables). The AU-DB methods are
+//! driven through the unified engine: one plan per input, one backend per
+//! measured cell.
 
-use audb_workloads::runner;
+use audb_engine::{CmpSemantics, Engine, Query};
+use audb_workloads::runner::{self, sort_plan};
 use audb_workloads::synthetic::{gen_sort_table, SyntheticConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -11,17 +14,17 @@ fn bench_sort_methods(c: &mut Criterion) {
     g.sample_size(10);
     let table = gen_sort_table(&SyntheticConfig::default().rows(4_000).seed(1));
     let order = [0usize, 1];
-    let au = table.to_au_relation();
+    let plan = sort_plan(&table, &order, None);
     let world = table.most_likely_world();
 
     g.bench_function("det", |b| {
         b.iter(|| audb_rel::sort_to_pos(&world, &order, "pos"))
     });
     g.bench_function("imp", |b| {
-        b.iter(|| audb_native::sort_native(&au, &order, "pos"))
+        b.iter(|| Engine::native().execute(&plan).unwrap())
     });
     g.bench_function("rewr", |b| {
-        b.iter(|| audb_rewrite::rewr_sort(&au, &order, "pos"))
+        b.iter(|| Engine::rewrite().execute(&plan).unwrap())
     });
     g.bench_function("mcdb10", |b| {
         b.iter(|| audb_competitors::mcdb_sort_bounds(&table, &order, 10, 1))
@@ -33,11 +36,11 @@ fn bench_topk(c: &mut Criterion) {
     let mut g = c.benchmark_group("sort/topk");
     g.sample_size(10);
     let table = gen_sort_table(&SyntheticConfig::default().rows(4_000).seed(2));
-    let au = table.to_au_relation();
     let order = [0usize, 1];
     for k in [2u64, 10, 100] {
-        g.bench_with_input(BenchmarkId::new("imp", k), &k, |b, &k| {
-            b.iter(|| audb_native::topk_native(&au, &order, k, "pos"))
+        let plan = sort_plan(&table, &order, Some(k));
+        g.bench_with_input(BenchmarkId::new("imp", k), &k, |b, _| {
+            b.iter(|| Engine::native().execute(&plan).unwrap())
         });
     }
     g.finish();
@@ -48,9 +51,9 @@ fn bench_sort_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for n in [1_000usize, 4_000, 16_000] {
         let table = gen_sort_table(&SyntheticConfig::default().rows(n).seed(3));
-        let au = table.to_au_relation();
+        let plan = sort_plan(&table, &[0, 1], None);
         g.bench_with_input(BenchmarkId::new("imp", n), &n, |b, _| {
-            b.iter(|| audb_native::sort_native(&au, &[0, 1], "pos"))
+            b.iter(|| Engine::native().execute(&plan).unwrap())
         });
     }
     g.finish();
@@ -58,16 +61,25 @@ fn bench_sort_scaling(c: &mut Criterion) {
 
 fn bench_cmp_semantics(c: &mut Criterion) {
     // Ablation: exact interval-lex vs the paper's syntactic recursion in
-    // the quadratic reference (DESIGN.md §3.2).
+    // the quadratic reference (DESIGN.md §3.2). Both run the same plan on
+    // the reference backend, differing only in the comparison semantics.
     let mut g = c.benchmark_group("sort/cmp-semantics");
     g.sample_size(10);
     let table = gen_sort_table(&SyntheticConfig::default().rows(600).seed(4));
-    let au = table.to_au_relation();
+    let plan = Query::scan(table.to_au_relation())
+        .sort_by([0usize, 1])
+        .build()
+        .expect("ablation sort plan");
     g.bench_function("interval-lex", |b| {
-        b.iter(|| audb_core::sort_ref(&au, &[0, 1], "pos", audb_core::CmpSemantics::IntervalLex))
+        b.iter(|| Engine::reference().execute(&plan).unwrap())
     });
     g.bench_function("syntactic", |b| {
-        b.iter(|| audb_core::sort_ref(&au, &[0, 1], "pos", audb_core::CmpSemantics::Syntactic))
+        b.iter(|| {
+            Engine::reference()
+                .with_semantics(CmpSemantics::Syntactic)
+                .execute(&plan)
+                .unwrap()
+        })
     });
     g.finish();
 }

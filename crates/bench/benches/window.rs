@@ -1,8 +1,10 @@
 //! Criterion microbenchmarks for uncertain windowed aggregation
-//! (counterpart of Figs. 15 and 16).
+//! (counterpart of Figs. 15 and 16). The AU-DB methods are driven through
+//! the unified engine: one plan per input, one backend per measured cell.
 
-use audb_core::{AuWindowSpec, WinAgg};
-use audb_rewrite::JoinStrategy;
+use audb_core::WinAgg;
+use audb_engine::{Engine, JoinStrategy};
+use audb_workloads::runner::window_plan;
 use audb_workloads::synthetic::{gen_window_table, SyntheticConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -10,10 +12,9 @@ fn bench_window_methods(c: &mut Criterion) {
     let mut g = c.benchmark_group("window/methods");
     g.sample_size(10);
     let table = gen_window_table(&SyntheticConfig::default().rows(2_000).seed(1));
-    let au = table.to_au_relation();
     let world = table.most_likely_world();
     let order = [0usize];
-    let spec = AuWindowSpec::rows(vec![0], -2, 0);
+    let plan = window_plan(&table, &order, WinAgg::Sum(2), -2, 0);
 
     g.bench_function("det", |b| {
         b.iter(|| {
@@ -26,16 +27,22 @@ fn bench_window_methods(c: &mut Criterion) {
         })
     });
     g.bench_function("imp", |b| {
-        b.iter(|| audb_native::window_native(&au, &spec, WinAgg::Sum(2), "x"))
+        b.iter(|| Engine::native().execute(&plan).unwrap())
     });
     g.bench_function("rewr", |b| {
         b.iter(|| {
-            audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::NestedLoop)
+            Engine::rewrite()
+                .with_join_strategy(JoinStrategy::NestedLoop)
+                .execute(&plan)
+                .unwrap()
         })
     });
     g.bench_function("rewr-index", |b| {
         b.iter(|| {
-            audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::IntervalIndex)
+            Engine::rewrite()
+                .with_join_strategy(JoinStrategy::IntervalIndex)
+                .execute(&plan)
+                .unwrap()
         })
     });
     g.bench_function("mcdb10", |b| {
@@ -50,11 +57,10 @@ fn bench_window_sizes(c: &mut Criterion) {
     let mut g = c.benchmark_group("window/window-size");
     g.sample_size(10);
     let table = gen_window_table(&SyntheticConfig::default().rows(4_000).seed(2));
-    let au = table.to_au_relation();
     for w in [3i64, 6, 12] {
-        let spec = AuWindowSpec::rows(vec![0], -(w - 1), 0);
+        let plan = window_plan(&table, &[0], WinAgg::Sum(2), -(w - 1), 0);
         g.bench_with_input(BenchmarkId::new("imp", w), &w, |b, _| {
-            b.iter(|| audb_native::window_native(&au, &spec, WinAgg::Sum(2), "x"))
+            b.iter(|| Engine::native().execute(&plan).unwrap())
         });
     }
     g.finish();
@@ -64,8 +70,6 @@ fn bench_aggregates(c: &mut Criterion) {
     let mut g = c.benchmark_group("window/aggregates");
     g.sample_size(10);
     let table = gen_window_table(&SyntheticConfig::default().rows(4_000).seed(3));
-    let au = table.to_au_relation();
-    let spec = AuWindowSpec::rows(vec![0], -2, 0);
     for (name, agg) in [
         ("sum", WinAgg::Sum(2)),
         ("count", WinAgg::Count),
@@ -73,8 +77,9 @@ fn bench_aggregates(c: &mut Criterion) {
         ("max", WinAgg::Max(2)),
         ("avg", WinAgg::Avg(2)),
     ] {
+        let plan = window_plan(&table, &[0], agg, -2, 0);
         g.bench_function(name, |b| {
-            b.iter(|| audb_native::window_native(&au, &spec, agg, "x"))
+            b.iter(|| Engine::native().execute(&plan).unwrap())
         });
     }
     g.finish();
@@ -85,10 +90,9 @@ fn bench_window_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for n in [1_000usize, 4_000, 16_000] {
         let table = gen_window_table(&SyntheticConfig::default().rows(n).seed(4));
-        let au = table.to_au_relation();
-        let spec = AuWindowSpec::rows(vec![0], -2, 0);
+        let plan = window_plan(&table, &[0], WinAgg::Sum(2), -2, 0);
         g.bench_with_input(BenchmarkId::new("imp", n), &n, |b, _| {
-            b.iter(|| audb_native::window_native(&au, &spec, WinAgg::Sum(2), "x"))
+            b.iter(|| Engine::native().execute(&plan).unwrap())
         });
     }
     g.finish();

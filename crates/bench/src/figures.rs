@@ -9,7 +9,7 @@
 use crate::heaps::heaps_experiment;
 use crate::table::{fmt_ms, fmt_q, Table};
 use audb_core::WinAgg;
-use audb_rewrite::JoinStrategy;
+use audb_engine::{Agg, Engine, JoinStrategy, Query, WindowSpec};
 use audb_workloads::all_datasets;
 use audb_workloads::metrics::{aggregate_quality, QualityStats};
 use audb_workloads::runner::{self, Bounds};
@@ -381,8 +381,11 @@ pub fn fig15(opts: ReproOptions) {
         let table = gen_window_table(&cfg);
         // Index build time measured on the position intervals, like the
         // paper reports Postgres' index creation separately.
-        let au = table.to_au_relation();
-        let sorted = audb_native::sort_native(&au, &order, "tau");
+        let sort_plan = Query::scan(table.to_au_relation())
+            .sort_by_as(order.iter().copied(), "tau")
+            .build()
+            .expect("index-build sort plan");
+        let sorted = Engine::native().execute(&sort_plan).expect("native sort");
         let pos_col = sorted.schema.arity() - 1;
         let intervals: Vec<(i64, i64)> = sorted
             .rows
@@ -392,7 +395,7 @@ pub fn fig15(opts: ReproOptions) {
                 (lo, hi)
             })
             .collect();
-        let build = runner::time(|| audb_rewrite::IntervalIndex::build(&intervals)).elapsed;
+        let build = runner::time(|| audb_engine::IntervalIndex::build(&intervals)).elapsed;
         t.row([
             format!("{n}"),
             fmt_ms(runner::det_window(&table, &order, agg, l, u).elapsed),
@@ -545,14 +548,28 @@ pub fn fig16(opts: ReproOptions) {
         let table = gen_window_table(&cfg);
         let spec_order = [0usize];
         // Partition by the category attribute g (index 1).
-        let au = table.to_au_relation();
-        let spec = audb_core::AuWindowSpec::rows(spec_order.to_vec(), -2, 0).partition_by(vec![1]);
+        let plan = Query::scan(table.to_au_relation())
+            .window(
+                WindowSpec::rows(-2, 0)
+                    .order_by(spec_order.iter().copied())
+                    .partition_by([1usize])
+                    .aggregate(Agg::Sum(2usize.into()))
+                    .output("x"),
+            )
+            .build()
+            .expect("partitioned window plan");
         let rewr = runner::time(|| {
-            audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::NestedLoop)
+            Engine::rewrite()
+                .with_join_strategy(JoinStrategy::NestedLoop)
+                .execute(&plan)
+                .expect("rewrite window")
         })
         .elapsed;
         let rewr_idx = runner::time(|| {
-            audb_rewrite::rewr_window(&au, &spec, WinAgg::Sum(2), "x", JoinStrategy::IntervalIndex)
+            Engine::rewrite()
+                .with_join_strategy(JoinStrategy::IntervalIndex)
+                .execute(&plan)
+                .expect("rewrite(index) window")
         })
         .elapsed;
         t.row([

@@ -81,8 +81,13 @@ pub fn make_records(rows: usize, uncertainty: f64, range: i64, seed: u64) -> Vec
         ..SyntheticConfig::default()
     };
     let table = gen_window_table(&cfg);
-    let au = table.to_au_relation();
-    let sorted = audb_native::sort_native(&au, &[0], "tau");
+    let plan = audb_engine::Query::scan(table.to_au_relation())
+        .sort_by_as([0usize], "tau")
+        .build()
+        .expect("heap-trace sort plan");
+    let sorted = audb_engine::Engine::native()
+        .execute(&plan)
+        .expect("native sort");
     let pos_col = sorted.schema.arity() - 1;
     let mut recs: Vec<Rec> = sorted
         .rows

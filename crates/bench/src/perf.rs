@@ -4,7 +4,14 @@
 //! deterministic engine on the most-likely world; `imp` — the one-pass
 //! native algorithms; `rewr` — the SQL-style rewrite) for sorting and
 //! windowed aggregation at n ∈ {1k, 4k, 16k}, and writes them as JSON so
-//! the perf trajectory is tracked in-repo from PR to PR.
+//! the perf trajectory is tracked in-repo from PR to PR. The AU cells share
+//! one logical plan per input (built via `audb_workloads::runner`) and
+//! differ only in the engine backend that executes it. Note for trajectory
+//! readers: as of the engine migration, `rewr` cells include the Rewrite
+//! backend's relational-encoding round-trip scan (an `O(n)` additive term,
+//! within this harness's noise band); `imp` cells — the ones the frozen
+//! `naive_baseline_ms` gate compares against — execute on a borrowed scan
+//! exactly as before.
 //!
 //! The file also carries the frozen `naive_baseline_ms` block: the same
 //! benchmarks measured on the pre-optimization implementation (per-
@@ -14,8 +21,9 @@
 //! section is regenerated on demand and comparing the two is the ≥ 2×
 //! acceptance gate of the optimization PR.
 
-use audb_core::{AuWindowSpec, WinAgg};
-use audb_rewrite::JoinStrategy;
+use audb_core::WinAgg;
+use audb_engine::Engine;
+use audb_workloads::runner::{sort_plan, window_plan};
 use audb_workloads::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -62,9 +70,11 @@ pub fn measure(quick: bool) -> Vec<Measurement> {
     let mut out = Vec::new();
     for &n in &SIZES {
         let table = gen_sort_table(&SyntheticConfig::default().rows(n).seed(3));
-        let au = table.to_au_relation();
         let world = table.most_likely_world();
         let order = [0usize, 1];
+        // One logical plan, two engine backends: only the execution path
+        // differs between the timed cells.
+        let plan = sort_plan(&table, &order, None);
         let cells: [(&'static str, Box<dyn FnMut()>); 3] = [
             (
                 "det",
@@ -75,13 +85,13 @@ pub fn measure(quick: bool) -> Vec<Measurement> {
             (
                 "imp",
                 Box::new(|| {
-                    std::hint::black_box(audb_native::sort_native(&au, &order, "pos"));
+                    std::hint::black_box(Engine::native().execute(&plan).expect("imp sort"));
                 }),
             ),
             (
                 "rewr",
                 Box::new(|| {
-                    std::hint::black_box(audb_rewrite::rewr_sort(&au, &order, "pos"));
+                    std::hint::black_box(Engine::rewrite().execute(&plan).expect("rewr sort"));
                 }),
             ),
         ];
@@ -97,9 +107,8 @@ pub fn measure(quick: bool) -> Vec<Measurement> {
         }
 
         let wtable = gen_window_table(&SyntheticConfig::default().rows(n).seed(4));
-        let wau = wtable.to_au_relation();
         let wworld = wtable.most_likely_world();
-        let spec = AuWindowSpec::rows(vec![0], -2, 0);
+        let wplan = window_plan(&wtable, &[0], WinAgg::Sum(2), -2, 0);
         let cells: [(&'static str, Box<dyn FnMut()>); 3] = [
             (
                 "det",
@@ -115,24 +124,13 @@ pub fn measure(quick: bool) -> Vec<Measurement> {
             (
                 "imp",
                 Box::new(|| {
-                    std::hint::black_box(audb_native::window_native(
-                        &wau,
-                        &spec,
-                        WinAgg::Sum(2),
-                        "x",
-                    ));
+                    std::hint::black_box(Engine::native().execute(&wplan).expect("imp window"));
                 }),
             ),
             (
                 "rewr",
                 Box::new(|| {
-                    std::hint::black_box(audb_rewrite::rewr_window(
-                        &wau,
-                        &spec,
-                        WinAgg::Sum(2),
-                        "x",
-                        JoinStrategy::IntervalIndex,
-                    ));
+                    std::hint::black_box(Engine::rewrite().execute(&wplan).expect("rewr window"));
                 }),
             ),
         ];

@@ -5,12 +5,12 @@
 //!
 //! | paper name | here | nature |
 //! |---|---|---|
-//! | `MCDB` [34] | [`mcdb`] | Monte-Carlo over sampled worlds (10/20 samples); *under*-approximates bounds |
-//! | `PT-k` [32] | [`ptk`] | exact `Pr[t ∈ top-k]` via Poisson-binomial DP; `PT(1)`/`PT(0)` = certain/possible answers |
-//! | `Symb` [12, 9] | [`symb`] | exact bounds via symbolic-style reasoning (Z3 stand-in, see DESIGN.md §2) |
-//! | U-Top / U-Rank [56] | [`ranks`] | most likely top-k sequence / per-rank winners (Fig. 1b/1c) |
-//! | Global-Topk [64] | [`ranks::global_topk`] | k most likely top-k members |
-//! | Expected rank [19] | [`ranks::expected_ranks`] | rank expectation ordering |
+//! | `MCDB` \[34\] | [`mcdb`] | Monte-Carlo over sampled worlds (10/20 samples); *under*-approximates bounds |
+//! | `PT-k` \[32\] | [`ptk`] | exact `Pr[t ∈ top-k]` via Poisson-binomial DP; `PT(1)`/`PT(0)` = certain/possible answers |
+//! | `Symb` \[12, 9\] | [`symb`] | exact bounds via symbolic-style reasoning (Z3 stand-in, see DESIGN.md §2) |
+//! | U-Top / U-Rank \[56\] | [`ranks`] | most likely top-k sequence / per-rank winners (Fig. 1b/1c) |
+//! | Global-Topk \[64\] | [`ranks::global_topk`] | k most likely top-k members |
+//! | Expected rank \[19\] | [`ranks::expected_ranks`] | rank expectation ordering |
 //!
 //! The `Det` baseline is simply the `audb-rel` engine on the most likely
 //! world ([`audb_worlds::XTupleTable::most_likely_world`]).

@@ -1,4 +1,4 @@
-//! The MCDB baseline [34]: Monte-Carlo evaluation over sampled worlds.
+//! The MCDB baseline \[34\]: Monte-Carlo evaluation over sampled worlds.
 //!
 //! MCDB samples `S` possible worlds, runs the *deterministic* query on each
 //! (here: the `audb-rel` engine — the same substrate the `Det` baseline

@@ -1,4 +1,4 @@
-//! Probabilistic Threshold Top-k (PT-k, Hua et al. [32]).
+//! Probabilistic Threshold Top-k (PT-k, Hua et al. \[32\]).
 //!
 //! PT-k returns every tuple whose probability of being among the top-k
 //! exceeds a threshold `p`. With `p = 1` this is the set of *certain*

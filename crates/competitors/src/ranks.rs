@@ -1,6 +1,6 @@
 //! The uncertain top-k semantics zoo of the paper's introduction and
-//! related work (Fig. 1b–1e): U-Top [56], U-Rank [56], Global-Topk [64] and
-//! Expected Rank [19]. Each picks a different trade-off; none simultaneously
+//! related work (Fig. 1b–1e): U-Top \[56\], U-Rank \[56\], Global-Topk \[64\] and
+//! Expected Rank \[19\]. Each picks a different trade-off; none simultaneously
 //! reports certain *and* possible answers — the motivation for AU-DBs.
 
 use crate::ptk::ptk_topk_probs;
@@ -9,7 +9,7 @@ use audb_rel::Tuple;
 use audb_worlds::{enumerate_worlds, XTupleTable};
 use std::collections::HashMap;
 
-/// U-Top [56]: the most likely top-k *sequence* (Fig. 1b). Computed exactly
+/// U-Top \[56\]: the most likely top-k *sequence* (Fig. 1b). Computed exactly
 /// by world enumeration — use only on small inputs (`cap` worlds).
 pub fn utop(table: &XTupleTable, order: &[usize], k: u64, cap: u128) -> Vec<Tuple> {
     let worlds = enumerate_worlds(table, cap);
@@ -31,7 +31,7 @@ pub fn utop(table: &XTupleTable, order: &[usize], k: u64, cap: u128) -> Vec<Tupl
         .unwrap_or_default()
 }
 
-/// U-Rank [56]: for each rank `i < k`, the tuple most likely to occupy it
+/// U-Rank \[56\]: for each rank `i < k`, the tuple most likely to occupy it
 /// (Fig. 1c) — the same tuple may win several ranks. Exact `O(n² k A)` via
 /// the Poisson-binomial DP (`Pr[t at rank i] = Pr[exactly i others precede]`).
 pub fn urank(table: &XTupleTable, order: &[usize], k: u64) -> Vec<Option<usize>> {
@@ -96,7 +96,7 @@ pub fn urank(table: &XTupleTable, order: &[usize], k: u64) -> Vec<Option<usize>>
     winners.into_iter().map(|w| w.map(|(t, _)| t)).collect()
 }
 
-/// Global-Topk [64]: the `k` tuples with the highest `Pr[t ∈ top-k]`
+/// Global-Topk \[64\]: the `k` tuples with the highest `Pr[t ∈ top-k]`
 /// (ties broken by index).
 pub fn global_topk(table: &XTupleTable, order: &[usize], k: u64) -> Vec<usize> {
     let probs = ptk_topk_probs(table, order, k);
@@ -106,7 +106,7 @@ pub fn global_topk(table: &XTupleTable, order: &[usize], k: u64) -> Vec<usize> {
     idx
 }
 
-/// Expected rank [19] (conditional on existence): `Σ_u Pr[u precedes t]`,
+/// Expected rank \[19\] (conditional on existence): `Σ_u Pr[u precedes t]`,
 /// averaged over `t`'s alternatives. Returns the per-tuple expected rank;
 /// the expected-rank top-k are the `k` smallest.
 pub fn expected_ranks(table: &XTupleTable, order: &[usize]) -> Vec<f64> {

@@ -1,5 +1,5 @@
 //! Range expressions: the bound-preserving expression semantics `⟦e⟧_t`
-//! of [24] over range-annotated tuples.
+//! of \[24\] over range-annotated tuples.
 //!
 //! Mirrors [`audb_rel::Expr`] but evaluates every sub-expression to a
 //! [`RangeValue`], and predicates to a [`TruthRange`]. For any deterministic

@@ -1,7 +1,7 @@
 //! # audb-core — the AU-DB data model and bound-preserving query semantics
 //!
 //! This crate implements **attribute-annotated uncertain databases**
-//! (AU-DBs, [23, 24]) and the paper's extensions for order-based operators:
+//! (AU-DBs, \[23, 24\]) and the paper's extensions for order-based operators:
 //!
 //! * [`RangeValue`] — values `[c↓ / c_sg / c↑]` bounding an unknown value
 //!   and carrying a selected guess; bound-preserving expression evaluation
@@ -10,7 +10,7 @@
 //! * [`AuRelation`] — bags of hypercube tuples; each AU-DB *bounds* a set of
 //!   possible worlds (an incomplete database) between an under-approximation
 //!   of certain answers and an over-approximation of possible answers.
-//! * The `RA+` operators of [23, 24] ([`ops`]) plus this paper's
+//! * The `RA+` operators of \[23, 24\] ([`ops`]) plus this paper's
 //!   contributions: uncertain comparison ([`cmp`]), position bounds
 //!   ([`pos`]), the **sort operator** (Def. 2, [`ops::sort`]), **top-k**,
 //!   and **row-based windowed aggregation** (Def. 3, [`ops::window`]).

@@ -4,7 +4,7 @@
 //! multiplicity, its multiplicity in the selected-guess world, and an upper
 //! bound on its possible multiplicity. Addition and multiplication act
 //! component-wise, making `ℕ³` a commutative semiring; the AU-DB query
-//! semantics of [23, 24] lift `RA+` through these operations exactly as
+//! semantics of \[23, 24\] lift `RA+` through these operations exactly as
 //! Fig. 2 lifts it through ℕ.
 
 use crate::range_value::TruthRange;
@@ -65,7 +65,7 @@ impl Mult3 {
         self.lb <= n && n <= self.ub
     }
 
-    /// Filter by a selection condition's truth triple ([24] selection
+    /// Filter by a selection condition's truth triple (\[24\] selection
     /// semantics): the certain multiplicity survives only if the condition
     /// certainly holds, the possible multiplicity only if it possibly holds.
     pub fn filter(&self, cond: TruthRange) -> Mult3 {

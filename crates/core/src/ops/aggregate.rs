@@ -1,5 +1,5 @@
 //! Grouping aggregation over AU-DBs — a pragmatic subset of the full
-//! aggregation semantics of [24], sufficient for the paper's evaluation
+//! aggregation semantics of \[24\], sufficient for the paper's evaluation
 //! queries (which pre-aggregate before ranking, Sec. 9.2).
 //!
 //! Groups are identified by their **selected-guess keys**: one output row is
@@ -15,7 +15,7 @@
 //!   absent, so e.g. a possible positive value never lowers a sum's lower
 //!   bound).
 //!
-//! Relative to full [24] this simplification outputs point (sg) group keys
+//! Relative to full \[24\] this simplification outputs point (sg) group keys
 //! rather than range keys, so *possible groups whose key range never
 //! materializes as a selected guess* are not represented. All groups that
 //! exist in the selected-guess world are represented, and their aggregate

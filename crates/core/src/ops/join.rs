@@ -1,5 +1,5 @@
 //! AU-DB products and joins: annotations multiply in `ℕ³`; a theta-join
-//! additionally filters each pair by the predicate's truth triple ([24]).
+//! additionally filters each pair by the predicate's truth triple (\[24\]).
 
 use crate::expr::RangeExpr;
 use crate::relation::AuRelation;

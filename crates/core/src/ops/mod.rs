@@ -1,4 +1,4 @@
-//! AU-DB operators: the bound-preserving `RA+` semantics of [23, 24] plus
+//! AU-DB operators: the bound-preserving `RA+` semantics of \[23, 24\] plus
 //! this paper's sort (Def. 2) and row-based windowed aggregation (Def. 3).
 //!
 //! The sort and window implementations here are *reference* implementations

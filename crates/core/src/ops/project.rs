@@ -1,5 +1,5 @@
 //! AU-DB projection: maps hypercubes through range expressions; equal
-//! hypercubes merge by adding their `ℕ³` annotations ([23]).
+//! hypercubes merge by adding their `ℕ³` annotations (\[23\]).
 
 use crate::expr::RangeExpr;
 use crate::relation::AuRelation;

@@ -1,4 +1,4 @@
-//! AU-DB selection `σ_θ(R)` ([24]): each tuple's multiplicity triple is
+//! AU-DB selection `σ_θ(R)` (\[24\]): each tuple's multiplicity triple is
 //! filtered by the truth triple of the predicate — the certain multiplicity
 //! survives only if the predicate certainly holds, the possible multiplicity
 //! only if it possibly holds.

@@ -55,7 +55,7 @@ pub fn sort_ref(
 }
 
 /// Top-k per paper Sec. 5: a selection `σ_{τ < k}` over the sort result
-/// (using the AU-DB selection semantics of [24]); rows that are certainly
+/// (using the AU-DB selection semantics of \[24\]); rows that are certainly
 /// out of the top-k (`(0,0,0)` after filtering) are dropped. The position
 /// attribute is retained, as in the paper's Fig. 1f.
 pub fn topk_ref(rel: &AuRelation, order: &[usize], k: u64, sem: CmpSemantics) -> AuRelation {

@@ -1,4 +1,4 @@
-//! AU-DB bag union: `ℕ³` annotations add ([23]).
+//! AU-DB bag union: `ℕ³` annotations add (\[23\]).
 
 use crate::relation::AuRelation;
 

@@ -6,7 +6,7 @@
 //! 1. **expand** — split every row into rows of possible multiplicity 1
 //!    (the aggregate may differ between duplicates);
 //! 2. **partition** — per target tuple `t`, filter every row's multiplicity
-//!    triple by the truth of `G = t.G` ([24] selection semantics);
+//!    triple by the truth of `G = t.G` (\[24\] selection semantics);
 //! 3. **window membership** — a tuple is *certainly* in `t`'s window if all
 //!    its possible positions lie within the positions certainly covered
 //!    (`[pos↑(t)+l, pos↓(t)+u]`), and *possibly* in the window if its

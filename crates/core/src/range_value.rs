@@ -1,5 +1,5 @@
 //! Range-annotated values `[c↓ / c_sg / c↑]` (paper Sec. 3.2) and the
-//! bound-preserving expression semantics of [24] (Sec. 3.2, "Expression
+//! bound-preserving expression semantics of \[24\] (Sec. 3.2, "Expression
 //! Evaluation").
 //!
 //! A range-annotated value bounds an unknown deterministic value from below
@@ -8,7 +8,7 @@
 //! construction. Arithmetic and comparisons evaluate component-wise so that
 //! for every deterministic value `c` with `lb ≤ c ≤ ub`, the deterministic
 //! result of an expression lies within the range result (bound preservation,
-//! proven in [24] for arithmetic, boolean operators and comparisons).
+//! proven in \[24\] for arithmetic, boolean operators and comparisons).
 
 use audb_rel::Value;
 use std::fmt;
@@ -57,7 +57,7 @@ impl RangeValue {
     }
 
     /// Component-wise addition (monotone, hence bound preserving):
-    /// `[a↓+b↓ / a_sg+b_sg / a↑+b↑]` ([24], Sec. 3.2).
+    /// `[a↓+b↓ / a_sg+b_sg / a↑+b↑]` (\[24\], Sec. 3.2).
     pub fn add(&self, other: &RangeValue) -> RangeValue {
         RangeValue {
             lb: self.lb.add(&other.lb),

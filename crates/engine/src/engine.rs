@@ -1,0 +1,304 @@
+//! The [`Engine`] handle: backend selection, per-query [`Explain`] output,
+//! and cross-backend [`Engine::run_all`] agreement runs.
+
+use crate::backend::{Backend, Native, Reference, Rewrite};
+use crate::error::EngineError;
+use crate::plan::Plan;
+use audb_core::{AuRelation, CmpSemantics};
+use audb_rewrite::JoinStrategy;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which physical implementation executes plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Quadratic Defs. 2–3 reference semantics (`audb-core`).
+    Reference,
+    /// One-pass Sec. 8 algorithms (`audb-native`) — the paper's `Imp`.
+    Native,
+    /// Sec. 7 SQL-style rewrites over the relational encoding
+    /// (`audb-rewrite`) — the paper's `Rewr`.
+    Rewrite,
+}
+
+impl BackendChoice {
+    /// All backends, in baseline-first order (used by
+    /// [`Engine::run_all`]).
+    pub const ALL: [BackendChoice; 3] = [
+        BackendChoice::Reference,
+        BackendChoice::Native,
+        BackendChoice::Rewrite,
+    ];
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendChoice::Reference => write!(f, "reference"),
+            BackendChoice::Native => write!(f, "native"),
+            BackendChoice::Rewrite => write!(f, "rewrite"),
+        }
+    }
+}
+
+/// The single entry point for every method: owns backend selection (with
+/// the documented fallback rules), executes validated [`Plan`]s, explains
+/// them, and cross-checks all backends against each other.
+///
+/// ```
+/// use audb_engine::{Engine, Query};
+/// use audb_core::{AuRelation, AuTuple, Mult3, RangeValue};
+/// use audb_rel::Schema;
+///
+/// let rel = AuRelation::from_rows(
+///     Schema::new(["term", "sales"]),
+///     [
+///         (AuTuple::from([RangeValue::certain(1i64), RangeValue::new(2, 2, 3)]), Mult3::ONE),
+///         (AuTuple::from([RangeValue::certain(2i64), RangeValue::new(2, 3, 3)]), Mult3::ONE),
+///     ],
+/// );
+/// let plan = Query::scan(rel).sort_by(["sales"]).topk(1).build()?;
+/// let engine = Engine::native();
+/// let top = engine.execute(&plan)?;                // one backend
+/// let agreed = engine.run_all(&plan)?;             // all three + agreement
+/// assert!(top.bag_eq(&agreed.output));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    choice: BackendChoice,
+    semantics: CmpSemantics,
+    join_strategy: JoinStrategy,
+}
+
+impl Engine {
+    /// An engine executing on the given backend with default settings
+    /// (interval-lex comparison, interval-index rewrite joins).
+    pub fn new(choice: BackendChoice) -> Self {
+        Engine {
+            choice,
+            semantics: CmpSemantics::default(),
+            join_strategy: JoinStrategy::default(),
+        }
+    }
+
+    /// The quadratic reference backend.
+    pub fn reference() -> Self {
+        Engine::new(BackendChoice::Reference)
+    }
+
+    /// The one-pass native backend (the usual production choice).
+    pub fn native() -> Self {
+        Engine::new(BackendChoice::Native)
+    }
+
+    /// The SQL-rewrite backend.
+    pub fn rewrite() -> Self {
+        Engine::new(BackendChoice::Rewrite)
+    }
+
+    /// Override the uncertain-comparison semantics. Only the reference
+    /// implements [`CmpSemantics::Syntactic`]; requesting it reroutes every
+    /// plan to the reference backend (a fallback visible in
+    /// [`Engine::explain`]).
+    pub fn with_semantics(mut self, semantics: CmpSemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Override the rewrite backend's window join strategy.
+    pub fn with_join_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.join_strategy = strategy;
+        self
+    }
+
+    /// The backend the engine was asked for.
+    pub fn requested(&self) -> BackendChoice {
+        self.choice
+    }
+
+    /// The backend that will actually run, after fallback rules: syntactic
+    /// comparison semantics exist only in the reference implementation.
+    pub fn effective(&self) -> BackendChoice {
+        if self.semantics != CmpSemantics::IntervalLex {
+            BackendChoice::Reference
+        } else {
+            self.choice
+        }
+    }
+
+    fn backend_for(&self, choice: BackendChoice) -> Box<dyn Backend> {
+        match choice {
+            BackendChoice::Reference => Box::new(Reference {
+                semantics: self.semantics,
+            }),
+            BackendChoice::Native => Box::new(Native),
+            BackendChoice::Rewrite => Box::new(Rewrite {
+                strategy: self.join_strategy,
+            }),
+        }
+    }
+
+    /// Execute a plan on the effective backend.
+    pub fn execute(&self, plan: &Plan) -> Result<AuRelation, EngineError> {
+        self.backend_for(self.effective()).execute(plan)
+    }
+
+    /// Describe how this engine would run the plan: chosen backend (after
+    /// fallbacks), operator chain, per-operator schemas and cost notes.
+    pub fn explain(&self, plan: &Plan) -> Explain {
+        let effective = self.effective();
+        let backend = self.backend_for(effective);
+        let mut steps = Vec::with_capacity(plan.ops().len() + 1);
+        steps.push(ExplainStep {
+            op: format!("scan [{} rows]", plan.source().len()),
+            schema: plan.schemas()[0].to_string(),
+            note: backend.scan_note(),
+        });
+        for (op, schema) in plan.ops().iter().zip(&plan.schemas()[1..]) {
+            steps.push(ExplainStep {
+                op: op.to_string(),
+                schema: schema.to_string(),
+                note: backend.op_note(op),
+            });
+        }
+        Explain {
+            requested: self.choice,
+            backend: effective,
+            steps,
+        }
+    }
+
+    /// Execute the plan on **every** backend (with this engine's
+    /// join-strategy setting), timing each run, and assert that all
+    /// outputs agree bag-wise — the cross-implementation invariant the
+    /// paper's evaluation rests on. Returns the agreed output plus
+    /// per-backend timings; disagreement is an
+    /// [`EngineError::BackendDisagreement`].
+    ///
+    /// The invariant is defined under [`CmpSemantics::IntervalLex`] — the
+    /// only semantics all three methods implement — so `run_all` pins the
+    /// reference to it regardless of [`Engine::with_semantics`] (under
+    /// `Syntactic`, every backend reroutes to the same reference run and
+    /// there would be nothing cross-implementation to compare).
+    pub fn run_all(&self, plan: &Plan) -> Result<RunAll, EngineError> {
+        let comparable = Engine {
+            semantics: CmpSemantics::IntervalLex,
+            ..*self
+        };
+        let mut output: Option<AuRelation> = None;
+        let mut runs = Vec::with_capacity(BackendChoice::ALL.len());
+        for choice in BackendChoice::ALL {
+            let backend = comparable.backend_for(choice);
+            let start = Instant::now();
+            let out = backend.execute(plan)?;
+            let elapsed = start.elapsed();
+            runs.push(BackendRun {
+                backend: choice,
+                elapsed,
+                rows: out.len(),
+            });
+            match &output {
+                None => output = Some(out),
+                Some(baseline) => {
+                    if !baseline.bag_eq(&out) {
+                        return Err(EngineError::BackendDisagreement {
+                            baseline: "reference",
+                            other: backend.name(),
+                            baseline_output: baseline.to_string(),
+                            other_output: out.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(RunAll {
+            output: output.expect("at least one backend ran"),
+            runs,
+        })
+    }
+}
+
+/// One backend's timing in a [`RunAll`].
+#[derive(Clone, Copy, Debug)]
+pub struct BackendRun {
+    /// Which backend ran.
+    pub backend: BackendChoice,
+    /// Wall-clock execution time of the whole plan.
+    pub elapsed: Duration,
+    /// Output rows produced (pre-normalization).
+    pub rows: usize,
+}
+
+/// Result of [`Engine::run_all`]: the agreed output and per-backend
+/// timings.
+#[derive(Clone, Debug)]
+pub struct RunAll {
+    /// The (bag-equal) output, as produced by the reference backend.
+    pub output: AuRelation,
+    /// Per-backend wall-clock timings, in [`BackendChoice::ALL`] order.
+    pub runs: Vec<BackendRun>,
+}
+
+impl RunAll {
+    /// The timing entry for one backend.
+    pub fn run(&self, backend: BackendChoice) -> &BackendRun {
+        self.runs
+            .iter()
+            .find(|r| r.backend == backend)
+            .expect("run_all executes every backend")
+    }
+}
+
+impl fmt::Display for RunAll {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "all backends agree ({} output rows):", self.output.len())?;
+        for r in &self.runs {
+            writeln!(f, "  {:<9} {:>12.3?}", r.backend.to_string(), r.elapsed)?;
+        }
+        Ok(())
+    }
+}
+
+/// One step of an [`Explain`].
+#[derive(Clone, Debug)]
+pub struct ExplainStep {
+    /// Operator description.
+    pub op: String,
+    /// Output schema of the step.
+    pub schema: String,
+    /// Backend cost/strategy note.
+    pub note: String,
+}
+
+/// Human-readable plan explanation: chosen backend and the operator chain
+/// with schemas and cost notes.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// Backend the engine was configured with.
+    pub requested: BackendChoice,
+    /// Backend that actually executes (after fallback rules).
+    pub backend: BackendChoice,
+    /// Scan + one step per operator.
+    pub steps: Vec<ExplainStep>,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.backend == self.requested {
+            writeln!(f, "backend: {}", self.backend)?;
+        } else {
+            writeln!(
+                f,
+                "backend: {} (requested {}, rerouted by fallback rules)",
+                self.backend, self.requested
+            )?;
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "{:>2}. {}", i, step.op)?;
+            writeln!(f, "      schema: {}", step.schema)?;
+            writeln!(f, "      note:   {}", step.note)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,130 @@
+//! Structured errors for plan construction and execution.
+//!
+//! The pre-engine API surfaced every misuse as a panic deep inside an
+//! operator (`Schema::col` panics on a missing attribute, `AuWindowSpec::
+//! rows` asserts on bad frames, `window_native` asserts on uncertain
+//! partition attributes, a colliding position-column name silently produced
+//! a schema with two identically-named attributes). The [`crate::Query`]
+//! builder turns all of these into values of [`PlanError`] at plan-build
+//! time; backends report execution-level problems as [`EngineError`].
+
+use std::error::Error;
+use std::fmt;
+
+/// A plan could not be built: a schema or column reference is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A column was referenced by a name the current schema does not have.
+    UnknownColumn {
+        /// The name that failed to resolve.
+        name: String,
+        /// Display form of the schema it was resolved against.
+        schema: String,
+    },
+    /// A column was referenced by an index past the current arity.
+    ColumnOutOfRange {
+        /// The out-of-range index.
+        index: usize,
+        /// Arity of the schema it was resolved against.
+        arity: usize,
+    },
+    /// A new output column (sort position, window aggregate, projection
+    /// alias) collides with an attribute already in the schema — or the
+    /// scanned relation's own schema repeats a name.
+    DuplicateColumn {
+        /// The colliding name.
+        name: String,
+    },
+    /// `sort_by` / `window` was given an empty ORDER BY list.
+    EmptyOrderBy,
+    /// A projection with no output columns.
+    EmptyProjection,
+    /// `topk(k)` must directly follow `sort_by(...)`.
+    TopKWithoutSort,
+    /// Row windows must contain the current row: `lower ≤ 0 ≤ upper`.
+    InvalidWindowFrame {
+        /// Window start offset.
+        lower: i64,
+        /// Window end offset.
+        upper: i64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownColumn { name, schema } => {
+                write!(f, "unknown column {name:?} in schema {schema}")
+            }
+            PlanError::ColumnOutOfRange { index, arity } => {
+                write!(f, "column index {index} out of range for arity {arity}")
+            }
+            PlanError::DuplicateColumn { name } => {
+                write!(f, "duplicate column name {name:?}")
+            }
+            PlanError::EmptyOrderBy => write!(f, "ORDER BY list is empty"),
+            PlanError::EmptyProjection => write!(f, "projection has no output columns"),
+            PlanError::TopKWithoutSort => {
+                write!(f, "topk(k) must directly follow sort_by(...)")
+            }
+            PlanError::InvalidWindowFrame { lower, upper } => write!(
+                f,
+                "window frame [{lower}, {upper}] must contain the current row (lower ≤ 0 ≤ upper)"
+            ),
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+/// A plan failed at execution time.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The plan itself was invalid (reported when a caller bypasses
+    /// [`crate::Query::build`] error handling, e.g. via `run_all`).
+    Plan(PlanError),
+    /// `run_all` detected two backends producing different bounds for the
+    /// same plan — a broken bound-agreement invariant.
+    BackendDisagreement {
+        /// Backend whose output is taken as the baseline.
+        baseline: &'static str,
+        /// Backend that disagreed with it.
+        other: &'static str,
+        /// Display form of the baseline output.
+        baseline_output: String,
+        /// Display form of the disagreeing output.
+        other_output: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(e) => write!(f, "invalid plan: {e}"),
+            EngineError::BackendDisagreement {
+                baseline,
+                other,
+                baseline_output,
+                other_output,
+            } => write!(
+                f,
+                "backend {other} disagrees with {baseline}:\n--- {baseline} ---\n{baseline_output}\n--- {other} ---\n{other_output}"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Plan(e) => Some(e),
+            EngineError::BackendDisagreement { .. } => None,
+        }
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}

@@ -1,0 +1,322 @@
+//! # audb-engine — one entry point for every uncertain-ranking method
+//!
+//! The paper's evaluation rests on one invariant: the quadratic reference
+//! semantics (Defs. 2–3), the one-pass native operators (Sec. 8) and the
+//! SQL-style rewrites (Sec. 7) all bound the *same* set of possible worlds.
+//! This crate turns that invariant into an API:
+//!
+//! * [`Query`] — a typed logical-plan builder
+//!   (`Query::scan(rel).select(p).sort_by(cols).topk(k)` /
+//!   `.window(spec)`) that validates schemas and column references at
+//!   build time and returns structured [`PlanError`]s instead of operator
+//!   panics;
+//! * [`Backend`] — the physical-implementation trait
+//!   (`execute(&Plan) -> Result<AuRelation, EngineError>`), implemented by
+//!   [`Reference`], [`Native`] (with fallback rules for the cases the
+//!   one-pass operators do not cover) and [`Rewrite`] (which scans through
+//!   the relational encoding, as a DBMS executing Figs. 7–8 would);
+//! * [`Engine`] — the handle that owns backend selection, renders
+//!   per-query [`Engine::explain`] output, and cross-checks every backend
+//!   against every other via [`Engine::run_all`].
+//!
+//! Everything downstream of the operator crates — examples, workload
+//! drivers, benchmarks — constructs its sort/top-k/window queries through
+//! this crate, so plan construction is written exactly once.
+
+mod backend;
+mod engine;
+mod error;
+mod plan;
+
+pub use backend::{Backend, Native, Reference, Rewrite};
+pub use engine::{BackendChoice, BackendRun, Engine, Explain, ExplainStep, RunAll};
+pub use error::{EngineError, PlanError};
+pub use plan::{Agg, ColRef, Op, Plan, Query, WindowSpec};
+
+// Re-exported so engine users can configure backends without importing the
+// operator crates directly. `IntervalIndex` rides along for callers that
+// measure the `Rewr(index)` strategy's index-build cost separately, as the
+// paper does.
+pub use audb_core::CmpSemantics;
+pub use audb_rewrite::{IntervalIndex, JoinStrategy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{AuRelation, AuTuple, Mult3, RangeValue, WinAgg};
+    use audb_rel::Schema;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    /// Paper Example 6 input.
+    fn example6() -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            [
+                (
+                    AuTuple::new([RangeValue::certain(1i64), rv(1, 1, 3)]),
+                    Mult3::new(1, 1, 2),
+                ),
+                (
+                    AuTuple::new([rv(2, 3, 3), RangeValue::certain(15i64)]),
+                    Mult3::new(0, 1, 1),
+                ),
+                (
+                    AuTuple::new([rv(1, 1, 2), RangeValue::certain(2i64)]),
+                    Mult3::ONE,
+                ),
+            ],
+        )
+    }
+
+    /// The acceptance-criteria test: explain() and run_all() agreement
+    /// through the unified API, on the paper's own example.
+    #[test]
+    fn explain_and_run_all_agree_on_example6() {
+        let plan = Query::scan(example6())
+            .sort_by_as(["a", "b"], "pos")
+            .build()
+            .unwrap();
+
+        let engine = Engine::native();
+        let explain = engine.explain(&plan);
+        assert_eq!(explain.backend, BackendChoice::Native);
+        let text = explain.to_string();
+        assert!(text.contains("backend: native"), "{text}");
+        assert!(text.contains("sort"), "{text}");
+        assert!(text.contains("Algorithm 1"), "{text}");
+
+        let all = engine.run_all(&plan).unwrap();
+        assert_eq!(all.runs.len(), 3);
+        // The agreed output is the reference output.
+        let reference = Engine::reference().execute(&plan).unwrap();
+        assert!(all.output.bag_eq(&reference));
+    }
+
+    #[test]
+    fn run_all_agreement_covers_topk_and_windows() {
+        let topk = Query::scan(example6())
+            .sort_by(["a", "b"])
+            .topk(2)
+            .build()
+            .unwrap();
+        Engine::native()
+            .run_all(&topk)
+            .expect("top-k backends agree");
+
+        let win = Query::scan(example6())
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["b"])
+                    .aggregate(Agg::sum("b"))
+                    .output("s"),
+            )
+            .build()
+            .unwrap();
+        // example6 has a duplicate multiplicity (1,1,2): the native backend
+        // must reroute that window to the reference semantics, keeping
+        // run_all's exact agreement.
+        Engine::native()
+            .run_all(&win)
+            .expect("window backends agree");
+    }
+
+    /// Regression: identical rows *stored separately* with unit
+    /// multiplicities normalize into one row with a duplicate multiplicity
+    /// inside the native operators — the fallback check must look at the
+    /// normalized relation, or the native backend silently diverges from
+    /// the reference bounds.
+    #[test]
+    fn native_window_falls_back_on_split_duplicate_rows() {
+        let dup = AuTuple::new([rv(1, 2, 4), RangeValue::certain(10i64)]);
+        let rel = AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            [
+                (dup.clone(), Mult3::ONE),
+                (dup, Mult3::ONE),
+                (
+                    AuTuple::new([rv(2, 3, 5), RangeValue::certain(7i64)]),
+                    Mult3::ONE,
+                ),
+            ],
+        );
+        let plan = Query::scan(rel)
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["a"])
+                    .aggregate(Agg::sum("b"))
+                    .output("s"),
+            )
+            .build()
+            .unwrap();
+        let native = Engine::native().execute(&plan).unwrap();
+        let reference = Engine::reference().execute(&plan).unwrap();
+        assert!(
+            native.bag_eq(&reference),
+            "native:\n{native}\nreference:\n{reference}"
+        );
+        Engine::native().run_all(&plan).expect("backends agree");
+    }
+
+    /// Regression: `run_all` compares the IntervalLex invariant even when
+    /// the engine is configured with Syntactic semantics (under which the
+    /// reference alone computes looser bounds — previously a spurious
+    /// BackendDisagreement).
+    #[test]
+    fn run_all_pins_interval_lex_under_syntactic_semantics() {
+        // Certainty flows through a possible tie: IntervalLex sees it,
+        // Syntactic does not (cmp.rs doc example).
+        let rel = AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            [
+                (
+                    AuTuple::new([rv(1, 1, 2), RangeValue::certain(2i64)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([rv(2, 3, 3), RangeValue::certain(15i64)]),
+                    Mult3::ONE,
+                ),
+            ],
+        );
+        let plan = Query::scan(rel).sort_by(["a", "b"]).build().unwrap();
+        let engine = Engine::native().with_semantics(CmpSemantics::Syntactic);
+        let all = engine.run_all(&plan).expect("run_all compares IntervalLex");
+        // The agreed output is the IntervalLex result, not the looser
+        // Syntactic one the same engine's execute() produces.
+        let interval = Engine::reference().execute(&plan).unwrap();
+        assert!(all.output.bag_eq(&interval));
+        let syntactic = engine.execute(&plan).unwrap();
+        assert!(!syntactic.bag_eq(&interval), "inputs chosen to differ");
+    }
+
+    #[test]
+    fn native_window_falls_back_on_uncertain_partition() {
+        // Uncertain partition attribute: window_native would assert; the
+        // engine reroutes to the reference instead of panicking.
+        let rel = AuRelation::from_rows(
+            Schema::new(["g", "o", "v"]),
+            [
+                (
+                    AuTuple::new([rv(0, 0, 1), RangeValue::certain(1i64), rv(1, 2, 3)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([
+                        RangeValue::certain(1i64),
+                        RangeValue::certain(2i64),
+                        rv(4, 5, 6),
+                    ]),
+                    Mult3::ONE,
+                ),
+            ],
+        );
+        let plan = Query::scan(rel)
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["o"])
+                    .partition_by(["g"])
+                    .aggregate(Agg::sum("v"))
+                    .output("s"),
+            )
+            .build()
+            .unwrap();
+        let native = Engine::native().execute(&plan).unwrap();
+        let reference = Engine::reference().execute(&plan).unwrap();
+        assert!(native.bag_eq(&reference));
+    }
+
+    #[test]
+    fn syntactic_semantics_reroute_to_reference() {
+        let engine = Engine::native().with_semantics(CmpSemantics::Syntactic);
+        assert_eq!(engine.effective(), BackendChoice::Reference);
+        let plan = Query::scan(example6()).sort_by(["a"]).build().unwrap();
+        let explain = engine.explain(&plan);
+        assert_eq!(explain.requested, BackendChoice::Native);
+        assert_eq!(explain.backend, BackendChoice::Reference);
+        assert!(explain.to_string().contains("rerouted"), "{explain}");
+        // And the output matches the reference run under the same
+        // semantics.
+        let reference = Engine::reference().with_semantics(CmpSemantics::Syntactic);
+        assert!(engine
+            .execute(&plan)
+            .unwrap()
+            .bag_eq(&reference.execute(&plan).unwrap()));
+    }
+
+    /// The engine's operator chain matches hand-wired operator calls — the
+    /// backends are thin adapters, not re-implementations.
+    #[test]
+    fn backends_are_faithful_adapters() {
+        let rel = example6();
+        let plan = Query::scan(rel.clone())
+            .sort_by_as(["a", "b"], "pos")
+            .build()
+            .unwrap();
+        let native = Engine::native().execute(&plan).unwrap();
+        assert!(native.bag_eq(&audb_native::sort_native(&rel, &[0, 1], "pos")));
+
+        let rewrite = Engine::rewrite().execute(&plan).unwrap();
+        assert!(rewrite.bag_eq(&audb_rewrite::rewr_sort(&rel, &[0, 1], "pos")));
+
+        let win_plan = Query::scan(rel.clone())
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["b"])
+                    .aggregate(WinAgg::Sum(1))
+                    .output("s"),
+            )
+            .build()
+            .unwrap();
+        let reference = Engine::reference().execute(&win_plan).unwrap();
+        assert!(reference.bag_eq(&audb_core::window_ref(
+            &rel,
+            &audb_core::AuWindowSpec::rows(vec![1], -1, 0),
+            WinAgg::Sum(1),
+            "s",
+            CmpSemantics::IntervalLex,
+        )));
+    }
+
+    #[test]
+    fn multi_op_plan_executes_end_to_end() {
+        use audb_core::RangeExpr;
+        let plan = Query::scan(example6())
+            .project_exprs([
+                (RangeExpr::col(0), "a".to_string()),
+                (RangeExpr::col(1), "b".to_string()),
+                (
+                    RangeExpr::Neg(Box::new(RangeExpr::col(1))),
+                    "neg_b".to_string(),
+                ),
+            ])
+            .select(RangeExpr::col(0).le(RangeExpr::lit(3)))
+            .sort_by_as(["neg_b"], "rank")
+            .topk(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.schema().cols(), &["a", "b", "neg_b", "rank"]);
+        let all = Engine::native().run_all(&plan).unwrap();
+        assert!(!all.output.is_empty());
+        for row in &all.output.rows {
+            let (lb, _, _) = row.tuple.get(3).as_i64_triple();
+            assert!(lb < 2, "top-2 rows sit possibly below rank 2");
+        }
+    }
+
+    #[test]
+    fn plan_is_cheap_to_share() {
+        use std::sync::Arc;
+        let shared = Arc::new(example6());
+        let p1 = Query::scan(Arc::clone(&shared))
+            .sort_by(["a"])
+            .build()
+            .unwrap();
+        let p2 = Query::scan(shared).sort_by(["b"]).build().unwrap();
+        // Both plans borrow the same source allocation — no data copies.
+        assert!(std::ptr::eq(p1.source(), p2.source()));
+        assert!(Engine::native().execute(&p2).unwrap().len() >= 3);
+    }
+}

@@ -1,0 +1,722 @@
+//! Typed logical plans: the [`Query`] builder, the resolved operator IR
+//! ([`Op`]), and the validated [`Plan`] every backend executes.
+//!
+//! A plan is a linear operator chain over one scanned [`AuRelation`]:
+//!
+//! ```text
+//! scan → (select | project | sort → [topk] | window)*
+//! ```
+//!
+//! The builder resolves every column reference (by name or index) against
+//! the *evolving* schema at build time and returns a structured
+//! [`PlanError`] instead of the scattered panics of the free-function API —
+//! a plan that builds cannot reference a missing attribute, shadow an
+//! existing column with a position/aggregate output, or carry a window
+//! frame that excludes the current row. The resolved IR is purely
+//! index-based, so backends never re-resolve names.
+
+use crate::error::PlanError;
+use audb_core::{AuRelation, AuWindowSpec, RangeExpr, WinAgg};
+use audb_rel::Schema;
+use std::fmt;
+use std::sync::Arc;
+
+/// A column reference: by attribute name (resolved against the schema at
+/// the point in the chain where it is used) or by positional index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ColRef {
+    /// Reference by attribute name.
+    Name(String),
+    /// Reference by 0-based position.
+    Index(usize),
+}
+
+impl From<&str> for ColRef {
+    fn from(s: &str) -> Self {
+        ColRef::Name(s.to_string())
+    }
+}
+
+impl From<String> for ColRef {
+    fn from(s: String) -> Self {
+        ColRef::Name(s)
+    }
+}
+
+impl From<usize> for ColRef {
+    fn from(i: usize) -> Self {
+        ColRef::Index(i)
+    }
+}
+
+impl ColRef {
+    fn resolve(&self, schema: &Schema) -> Result<usize, PlanError> {
+        match self {
+            ColRef::Name(name) => schema
+                .index_of(name)
+                .ok_or_else(|| PlanError::UnknownColumn {
+                    name: name.clone(),
+                    schema: schema.to_string(),
+                }),
+            ColRef::Index(i) => {
+                if *i < schema.arity() {
+                    Ok(*i)
+                } else {
+                    Err(PlanError::ColumnOutOfRange {
+                        index: *i,
+                        arity: schema.arity(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// A window aggregate with an unresolved input column (resolved to a
+/// [`WinAgg`] when the plan is built).
+#[derive(Clone, Debug)]
+pub enum Agg {
+    /// `sum(A)`.
+    Sum(ColRef),
+    /// `count(*)`.
+    Count,
+    /// `min(A)`.
+    Min(ColRef),
+    /// `max(A)`.
+    Max(ColRef),
+    /// `avg(A)` (sound envelope; see DESIGN.md §3.4).
+    Avg(ColRef),
+}
+
+impl Agg {
+    /// `sum(col)`.
+    pub fn sum(col: impl Into<ColRef>) -> Self {
+        Agg::Sum(col.into())
+    }
+    /// `count(*)`.
+    pub fn count() -> Self {
+        Agg::Count
+    }
+    /// `min(col)`.
+    pub fn min(col: impl Into<ColRef>) -> Self {
+        Agg::Min(col.into())
+    }
+    /// `max(col)`.
+    pub fn max(col: impl Into<ColRef>) -> Self {
+        Agg::Max(col.into())
+    }
+    /// `avg(col)`.
+    pub fn avg(col: impl Into<ColRef>) -> Self {
+        Agg::Avg(col.into())
+    }
+
+    fn resolve(&self, schema: &Schema) -> Result<WinAgg, PlanError> {
+        Ok(match self {
+            Agg::Sum(c) => WinAgg::Sum(c.resolve(schema)?),
+            Agg::Count => WinAgg::Count,
+            Agg::Min(c) => WinAgg::Min(c.resolve(schema)?),
+            Agg::Max(c) => WinAgg::Max(c.resolve(schema)?),
+            Agg::Avg(c) => WinAgg::Avg(c.resolve(schema)?),
+        })
+    }
+}
+
+impl From<WinAgg> for Agg {
+    /// Lift an already-resolved aggregate (as used by the operator crates)
+    /// into the builder's unresolved form.
+    fn from(agg: WinAgg) -> Self {
+        match agg {
+            WinAgg::Sum(c) => Agg::Sum(ColRef::Index(c)),
+            WinAgg::Count => Agg::Count,
+            WinAgg::Min(c) => Agg::Min(ColRef::Index(c)),
+            WinAgg::Max(c) => Agg::Max(ColRef::Index(c)),
+            WinAgg::Avg(c) => Agg::Avg(ColRef::Index(c)),
+        }
+    }
+}
+
+/// Builder-level row-window specification (`ROWS BETWEEN -lower PRECEDING
+/// AND upper FOLLOWING`), with unresolved column references and the
+/// aggregate + output name folded in — [`Query::window`] takes exactly one
+/// of these.
+#[derive(Clone, Debug)]
+pub struct WindowSpec {
+    order: Vec<ColRef>,
+    partition: Vec<ColRef>,
+    lower: i64,
+    upper: i64,
+    agg: Agg,
+    out_name: String,
+}
+
+impl WindowSpec {
+    /// A `[lower, upper]` row frame; defaults to `count(*)` into a column
+    /// named `"x"` until [`Self::aggregate`] / [`Self::output`] override it.
+    pub fn rows(lower: i64, upper: i64) -> Self {
+        WindowSpec {
+            order: Vec::new(),
+            partition: Vec::new(),
+            lower,
+            upper,
+            agg: Agg::Count,
+            out_name: "x".to_string(),
+        }
+    }
+
+    /// ORDER BY columns.
+    pub fn order_by<C: Into<ColRef>>(mut self, cols: impl IntoIterator<Item = C>) -> Self {
+        self.order = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// PARTITION BY columns.
+    pub fn partition_by<C: Into<ColRef>>(mut self, cols: impl IntoIterator<Item = C>) -> Self {
+        self.partition = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The window aggregate to compute.
+    pub fn aggregate(mut self, agg: impl Into<Agg>) -> Self {
+        self.agg = agg.into();
+        self
+    }
+
+    /// Name of the appended output column (default `"x"`).
+    pub fn output(mut self, name: impl Into<String>) -> Self {
+        self.out_name = name.into();
+        self
+    }
+}
+
+/// One resolved operator of a [`Plan`]. All column references are indices
+/// into the operator's input schema.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// AU-DB selection `σ_pred` (\[24\] semantics).
+    Select {
+        /// The predicate (column indices refer to the input schema).
+        pred: RangeExpr,
+    },
+    /// Projection onto existing columns.
+    Project {
+        /// Input column indices, in output order.
+        cols: Vec<usize>,
+    },
+    /// Generalized projection through range expressions.
+    ProjectExprs {
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(RangeExpr, String)>,
+    },
+    /// AU-DB sort (Def. 2): appends a position-range column.
+    Sort {
+        /// ORDER BY column indices.
+        order: Vec<usize>,
+        /// Name of the appended position column.
+        pos_name: String,
+    },
+    /// Top-k (Sec. 5): sort + `σ_{τ < k}`, position bounds capped at `k`
+    /// (the paper's Algorithm 1 `emit` step — applied uniformly by every
+    /// backend so their outputs are identical).
+    TopK {
+        /// ORDER BY column indices.
+        order: Vec<usize>,
+        /// Number of rows to keep per world.
+        k: u64,
+        /// Name of the appended position column.
+        pos_name: String,
+    },
+    /// Row-based windowed aggregation (Def. 3): appends an aggregate-range
+    /// column.
+    Window {
+        /// The resolved window specification.
+        spec: AuWindowSpec,
+        /// The resolved aggregate.
+        agg: WinAgg,
+        /// Name of the appended output column.
+        out_name: String,
+    },
+}
+
+impl Op {
+    /// Short operator name for explain output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Select { .. } => "select",
+            Op::Project { .. } | Op::ProjectExprs { .. } => "project",
+            Op::Sort { .. } => "sort",
+            Op::TopK { .. } => "topk",
+            Op::Window { .. } => "window",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Select { .. } => write!(f, "select σ"),
+            Op::Project { cols } => write!(f, "project {cols:?}"),
+            Op::ProjectExprs { exprs } => write!(
+                f,
+                "project [{}]",
+                exprs
+                    .iter()
+                    .map(|(_, n)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Op::Sort { order, pos_name } => write!(f, "sort {order:?} → {pos_name}"),
+            Op::TopK { order, k, pos_name } => {
+                write!(f, "topk k={k} {order:?} → {pos_name}")
+            }
+            Op::Window {
+                spec,
+                agg,
+                out_name,
+            } => write!(
+                f,
+                "window [{}, {}] {agg:?} over {:?} partition {:?} → {out_name}",
+                spec.lower, spec.upper, spec.order, spec.partition
+            ),
+        }
+    }
+}
+
+/// A validated logical plan: a scanned source plus a resolved operator
+/// chain. Cheap to clone (the source is shared behind an [`Arc`]); execute
+/// it through [`crate::Engine`] or any [`crate::Backend`].
+#[derive(Clone, Debug)]
+pub struct Plan {
+    source: Arc<AuRelation>,
+    ops: Vec<Op>,
+    /// Schema after each op: `schemas\[0\]` is the source schema,
+    /// `schemas[i + 1]` the output of `ops[i]`.
+    schemas: Vec<Schema>,
+}
+
+impl Plan {
+    /// The scanned source relation.
+    pub fn source(&self) -> &AuRelation {
+        &self.source
+    }
+
+    /// The resolved operator chain.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Schema of the plan's output.
+    pub fn schema(&self) -> &Schema {
+        self.schemas.last().expect("plan has a source schema")
+    }
+
+    /// Schema after each operator: index 0 is the source schema, index
+    /// `i + 1` the output schema of `ops()[i]`.
+    pub fn schemas(&self) -> &[Schema] {
+        &self.schemas
+    }
+}
+
+/// Fluent, validating builder for [`Plan`]s.
+///
+/// Every call validates its column references against the schema at that
+/// point in the chain; the first failure is remembered and returned by
+/// [`Query::build`] (subsequent calls become no-ops), so the chain style
+/// stays panic-free end to end:
+///
+/// ```
+/// use audb_engine::{Query, PlanError};
+/// use audb_core::{AuRelation, AuTuple, Mult3, RangeValue};
+/// use audb_rel::Schema;
+///
+/// let rel = AuRelation::from_rows(
+///     Schema::new(["sku", "price"]),
+///     [(AuTuple::from([RangeValue::certain(1i64), RangeValue::new(9, 10, 12)]), Mult3::ONE)],
+/// );
+/// let plan = Query::scan(rel.clone()).sort_by(["price"]).topk(2).build().unwrap();
+/// assert_eq!(plan.schema().cols(), &["sku", "price", "pos"]);
+///
+/// // A colliding position column is a structured error, not a panic:
+/// let err = Query::scan(rel).sort_by_as(["price"], "sku").build().unwrap_err();
+/// assert_eq!(err, PlanError::DuplicateColumn { name: "sku".into() });
+/// ```
+#[derive(Clone, Debug)]
+pub struct Query {
+    state: Result<QueryState, PlanError>,
+}
+
+#[derive(Clone, Debug)]
+struct QueryState {
+    source: Arc<AuRelation>,
+    ops: Vec<Op>,
+    schemas: Vec<Schema>,
+}
+
+impl QueryState {
+    fn schema(&self) -> &Schema {
+        self.schemas.last().expect("schemas is never empty")
+    }
+}
+
+/// Validate that every column reference inside a range expression is within
+/// the schema's arity.
+fn validate_expr(e: &RangeExpr, arity: usize) -> Result<(), PlanError> {
+    match e {
+        RangeExpr::Col(i) => {
+            if *i < arity {
+                Ok(())
+            } else {
+                Err(PlanError::ColumnOutOfRange { index: *i, arity })
+            }
+        }
+        RangeExpr::Lit(_) => Ok(()),
+        RangeExpr::Neg(a) | RangeExpr::Not(a) => validate_expr(a, arity),
+        RangeExpr::Add(a, b)
+        | RangeExpr::Sub(a, b)
+        | RangeExpr::Mul(a, b)
+        | RangeExpr::And(a, b)
+        | RangeExpr::Or(a, b)
+        | RangeExpr::Cmp(_, a, b) => {
+            validate_expr(a, arity)?;
+            validate_expr(b, arity)
+        }
+    }
+}
+
+/// A new column name must not shadow an existing attribute.
+fn check_new_name(schema: &Schema, name: &str) -> Result<(), PlanError> {
+    if schema.index_of(name).is_some() {
+        Err(PlanError::DuplicateColumn {
+            name: name.to_string(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+impl Query {
+    /// Start a plan by scanning an AU-relation. Accepts an owned relation
+    /// or an `Arc` (share the `Arc` to build many plans over one source
+    /// without copying the data). The source schema itself is validated:
+    /// repeated attribute names are rejected up front, because every
+    /// downstream name resolution would silently bind to the first.
+    pub fn scan(rel: impl Into<Arc<AuRelation>>) -> Query {
+        let source: Arc<AuRelation> = rel.into();
+        let mut seen: Vec<&str> = Vec::with_capacity(source.schema.arity());
+        for c in source.schema.cols() {
+            if seen.contains(&c.as_str()) {
+                return Query {
+                    state: Err(PlanError::DuplicateColumn { name: c.clone() }),
+                };
+            }
+            seen.push(c);
+        }
+        let schema = source.schema.clone();
+        Query {
+            state: Ok(QueryState {
+                source,
+                ops: Vec::new(),
+                schemas: vec![schema],
+            }),
+        }
+    }
+
+    fn try_push(mut self, f: impl FnOnce(&QueryState) -> Result<(Op, Schema), PlanError>) -> Self {
+        if let Ok(state) = &mut self.state {
+            match f(state) {
+                Ok((op, schema)) => {
+                    state.ops.push(op);
+                    state.schemas.push(schema);
+                }
+                Err(e) => self.state = Err(e),
+            }
+        }
+        self
+    }
+
+    /// AU-DB selection `σ_pred` — filters each row's multiplicity triple by
+    /// the predicate's truth triple.
+    pub fn select(self, pred: RangeExpr) -> Self {
+        self.try_push(|state| {
+            validate_expr(&pred, state.schema().arity())?;
+            Ok((Op::Select { pred }, state.schema().clone()))
+        })
+    }
+
+    /// Project onto existing columns (by name or index).
+    pub fn project<C: Into<ColRef>>(self, cols: impl IntoIterator<Item = C>) -> Self {
+        let cols: Vec<ColRef> = cols.into_iter().map(Into::into).collect();
+        self.try_push(|state| {
+            if cols.is_empty() {
+                return Err(PlanError::EmptyProjection);
+            }
+            let schema = state.schema();
+            let idxs = cols
+                .iter()
+                .map(|c| c.resolve(schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            let names: Vec<String> = idxs.iter().map(|&i| schema.cols()[i].clone()).collect();
+            for (i, n) in names.iter().enumerate() {
+                if names[..i].contains(n) {
+                    return Err(PlanError::DuplicateColumn { name: n.clone() });
+                }
+            }
+            Ok((Op::Project { cols: idxs }, Schema::new(names)))
+        })
+    }
+
+    /// Generalized projection: compute each output column from a range
+    /// expression over the input.
+    pub fn project_exprs(
+        self,
+        exprs: impl IntoIterator<Item = (RangeExpr, impl Into<String>)>,
+    ) -> Self {
+        let exprs: Vec<(RangeExpr, String)> =
+            exprs.into_iter().map(|(e, n)| (e, n.into())).collect();
+        self.try_push(|state| {
+            if exprs.is_empty() {
+                return Err(PlanError::EmptyProjection);
+            }
+            let arity = state.schema().arity();
+            for (i, (e, n)) in exprs.iter().enumerate() {
+                validate_expr(e, arity)?;
+                if exprs[..i].iter().any(|(_, m)| m == n) {
+                    return Err(PlanError::DuplicateColumn { name: n.clone() });
+                }
+            }
+            let schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()));
+            Ok((Op::ProjectExprs { exprs }, schema))
+        })
+    }
+
+    /// Sort (Def. 2), appending position ranges in a column named `"pos"`.
+    pub fn sort_by<C: Into<ColRef>>(self, order: impl IntoIterator<Item = C>) -> Self {
+        self.sort_by_as(order, "pos")
+    }
+
+    /// Sort with an explicit position-column name.
+    pub fn sort_by_as<C: Into<ColRef>>(
+        self,
+        order: impl IntoIterator<Item = C>,
+        pos_name: impl Into<String>,
+    ) -> Self {
+        let order: Vec<ColRef> = order.into_iter().map(Into::into).collect();
+        let pos_name = pos_name.into();
+        self.try_push(|state| {
+            if order.is_empty() {
+                return Err(PlanError::EmptyOrderBy);
+            }
+            let schema = state.schema();
+            let order = order
+                .iter()
+                .map(|c| c.resolve(schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            check_new_name(schema, &pos_name)?;
+            let out = schema.with(pos_name.clone());
+            Ok((Op::Sort { order, pos_name }, out))
+        })
+    }
+
+    /// Restrict the directly preceding [`Query::sort_by`] to the top `k`
+    /// rows (`σ_{τ < k}` with position bounds capped at `k`, the paper's
+    /// Algorithm 1 `emit` step). Calling it anywhere else is a
+    /// [`PlanError::TopKWithoutSort`].
+    pub fn topk(mut self, k: u64) -> Self {
+        if let Ok(state) = &mut self.state {
+            match state.ops.pop() {
+                Some(Op::Sort { order, pos_name }) => {
+                    state.ops.push(Op::TopK { order, k, pos_name });
+                }
+                other => {
+                    if let Some(op) = other {
+                        state.ops.push(op);
+                    }
+                    self.state = Err(PlanError::TopKWithoutSort);
+                }
+            }
+        }
+        self
+    }
+
+    /// Row-based windowed aggregation (Def. 3).
+    pub fn window(self, spec: WindowSpec) -> Self {
+        self.try_push(|state| {
+            let schema = state.schema();
+            if spec.order.is_empty() {
+                return Err(PlanError::EmptyOrderBy);
+            }
+            if spec.lower > 0 || spec.upper < 0 {
+                return Err(PlanError::InvalidWindowFrame {
+                    lower: spec.lower,
+                    upper: spec.upper,
+                });
+            }
+            let order = spec
+                .order
+                .iter()
+                .map(|c| c.resolve(schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            let partition = spec
+                .partition
+                .iter()
+                .map(|c| c.resolve(schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            let agg = spec.agg.resolve(schema)?;
+            check_new_name(schema, &spec.out_name)?;
+            let au_spec = AuWindowSpec::rows(order, spec.lower, spec.upper).partition_by(partition);
+            let out = schema.with(spec.out_name.clone());
+            Ok((
+                Op::Window {
+                    spec: au_spec,
+                    agg,
+                    out_name: spec.out_name.clone(),
+                },
+                out,
+            ))
+        })
+    }
+
+    /// Finish the chain, returning the validated plan or the first error
+    /// encountered while building it.
+    pub fn build(self) -> Result<Plan, PlanError> {
+        let state = self.state?;
+        Ok(Plan {
+            source: state.source,
+            ops: state.ops,
+            schemas: state.schemas,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{AuTuple, Mult3, RangeValue};
+
+    fn rel() -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            [(
+                AuTuple::new([RangeValue::certain(1i64), RangeValue::new(1, 2, 3)]),
+                Mult3::ONE,
+            )],
+        )
+    }
+
+    #[test]
+    fn builds_and_tracks_schemas() {
+        let plan = Query::scan(rel())
+            .select(RangeExpr::col(1).lt(RangeExpr::lit(10)))
+            .sort_by(["b", "a"])
+            .topk(3)
+            .build()
+            .unwrap();
+        assert_eq!(plan.ops().len(), 2);
+        assert_eq!(plan.schema().cols(), &["a", "b", "pos"]);
+        assert_eq!(plan.schemas()[0].cols(), &["a", "b"]);
+        assert!(matches!(&plan.ops()[1], Op::TopK { k: 3, order, .. } if order == &[1, 0]));
+    }
+
+    /// The satellite regression: a position/aggregate column that collides
+    /// with an existing attribute is a `DuplicateColumn` error, not a
+    /// silently double-named schema (and no panic anywhere).
+    #[test]
+    fn duplicate_position_and_window_columns_are_errors() {
+        let err = Query::scan(rel())
+            .sort_by_as(["a"], "b")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlanError::DuplicateColumn { name: "b".into() });
+
+        let err = Query::scan(rel())
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["b"])
+                    .aggregate(Agg::sum("b"))
+                    .output("a"),
+            )
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlanError::DuplicateColumn { name: "a".into() });
+
+        // A duplicate-named *source* is caught at scan.
+        let dup = AuRelation::empty(Schema::new(["x", "x"]));
+        let err = Query::scan(dup).build().unwrap_err();
+        assert_eq!(err, PlanError::DuplicateColumn { name: "x".into() });
+    }
+
+    #[test]
+    fn unknown_and_out_of_range_columns() {
+        let err = Query::scan(rel()).sort_by(["nope"]).build().unwrap_err();
+        assert!(matches!(err, PlanError::UnknownColumn { name, .. } if name == "nope"));
+
+        let err = Query::scan(rel()).sort_by([7usize]).build().unwrap_err();
+        assert_eq!(err, PlanError::ColumnOutOfRange { index: 7, arity: 2 });
+
+        let err = Query::scan(rel())
+            .select(RangeExpr::col(5).lt(RangeExpr::lit(1)))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlanError::ColumnOutOfRange { index: 5, arity: 2 });
+    }
+
+    #[test]
+    fn structural_errors() {
+        let err = Query::scan(rel()).topk(2).build().unwrap_err();
+        assert_eq!(err, PlanError::TopKWithoutSort);
+
+        let err = Query::scan(rel())
+            .select(RangeExpr::lit(true))
+            .topk(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlanError::TopKWithoutSort);
+
+        let err = Query::scan(rel())
+            .sort_by(Vec::<usize>::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlanError::EmptyOrderBy);
+
+        let err = Query::scan(rel())
+            .window(WindowSpec::rows(1, 2).order_by(["a"]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlanError::InvalidWindowFrame { lower: 1, upper: 2 });
+
+        let err = Query::scan(rel())
+            .project(Vec::<usize>::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlanError::EmptyProjection);
+    }
+
+    #[test]
+    fn first_error_wins_and_chain_stays_usable() {
+        // The unknown column is reported even though a later call would
+        // also fail; no panic anywhere in the chain.
+        let err = Query::scan(rel())
+            .sort_by(["nope"])
+            .topk(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn projection_resolution() {
+        let plan = Query::scan(rel()).project(["b"]).build().unwrap();
+        assert_eq!(plan.schema().cols(), &["b"]);
+
+        let err = Query::scan(rel()).project(["a", "a"]).build().unwrap_err();
+        assert_eq!(err, PlanError::DuplicateColumn { name: "a".into() });
+
+        let plan = Query::scan(rel())
+            .project_exprs([
+                (RangeExpr::col(0), "a"),
+                (RangeExpr::Neg(Box::new(RangeExpr::col(1))), "neg_b"),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(plan.schema().cols(), &["a", "neg_b"]);
+    }
+}

@@ -19,7 +19,7 @@ pub fn union(left: &Relation, right: &Relation) -> Relation {
 }
 
 /// Bag difference with monus semantics: `(R − S)(t) = max(0, R(t) − S(t))`.
-/// This is the `RA` difference under which AU-DBs remain closed ([23]).
+/// This is the `RA` difference under which AU-DBs remain closed (\[23\]).
 pub fn difference(left: &Relation, right: &Relation) -> Relation {
     assert_eq!(
         left.schema.arity(),

@@ -148,7 +148,7 @@ pub fn endpoint_union(rel: &AuRelation, order: &[usize]) -> Relation {
 }
 
 /// `rewr(sort_{O→τ}(R))`: the Fig. 7 rewrite. Produces the same output as
-/// [`audb_core::sort_ref`] / [`audb_native::sort_native`].
+/// [`audb_core::sort_ref`] / `audb_native::sort_native`.
 ///
 /// The dataflow is executed as a DBMS would: the endpoint union is
 /// *materialized* through the relational engine (`encode` + three

@@ -32,11 +32,13 @@ use audb_rel::ops::sort::total_order;
 use audb_rel::Tuple;
 
 /// How the rewrite evaluates its range-overlap self-join.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum JoinStrategy {
     /// Nested-loop scan — the plain `Rewr` of the paper.
     NestedLoop,
-    /// Interval-index probe — the paper's `Rewr(index)`.
+    /// Interval-index probe — the paper's `Rewr(index)` (default: it is
+    /// asymptotically no worse and usually far faster).
+    #[default]
     IntervalIndex,
 }
 

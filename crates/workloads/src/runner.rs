@@ -6,8 +6,15 @@
 //! `Imp`/`Rewr`, the most likely world for `Det`, samples for `MCDB`), and
 //! returns `Vec<Option<(f64, f64)>>` of per-x-tuple bounds keyed by the
 //! table's trailing `id` attribute, ready for [`crate::metrics`].
+//!
+//! The AU-DB methods (`Imp`, `Rewr`) are driven exclusively through the
+//! unified [`audb_engine`] API: each driver builds one logical plan and
+//! executes it on the corresponding backend, so the plan construction
+//! (order columns, position/aggregate output names, top-k capping) is
+//! written once and shared with the examples and benchmarks.
 
 use audb_core::{AuRelation, WinAgg};
+use audb_engine::{Agg, Engine, JoinStrategy, Plan, Query, WindowSpec as EngineWindowSpec};
 use audb_rel::ops::sort::topk_with_pos;
 use audb_rel::{sort_to_pos, window_rows, AggFunc, Value, WindowSpec};
 use audb_worlds::{WindowTruth, XTupleTable};
@@ -84,30 +91,56 @@ pub fn det_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<B
     })
 }
 
+/// Build the shared sort / top-k plan over a table's derived AU-DB.
+/// Written once for every AU method driver (and reused by the perf bench):
+/// positions land in a trailing `"pos"` column; `k` turns the sort into a
+/// top-k with position bounds capped at `k`.
+pub fn sort_plan(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Plan {
+    let q = Query::scan(table.to_au_relation()).sort_by(order.iter().copied());
+    let q = match k {
+        Some(k) => q.topk(k),
+        None => q,
+    };
+    q.build().expect("workload sort plan is valid")
+}
+
+/// Build the shared row-window plan over a table's derived AU-DB
+/// (aggregate lands in a trailing `"x"` column).
+pub fn window_plan(table: &XTupleTable, order: &[usize], agg: WinAgg, l: i64, u: i64) -> Plan {
+    Query::scan(table.to_au_relation())
+        .window(
+            EngineWindowSpec::rows(l, u)
+                .order_by(order.iter().copied())
+                .aggregate(Agg::from(agg))
+                .output("x"),
+        )
+        .build()
+        .expect("workload window plan is valid")
+}
+
+/// Time one engine execution of a sort/window plan, extracting per-id
+/// bounds from the trailing output column.
+fn engine_bounds(engine: Engine, plan: &Plan, id_col: usize, n_ids: usize) -> Timed<Bounds> {
+    time(move || {
+        let out = engine.execute(plan).expect("workload plan executes");
+        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, n_ids)
+    })
+}
+
 /// `Imp`: the native one-pass sort / top-k over the derived AU-DB.
 pub fn imp_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<Bounds> {
-    let au = table.to_au_relation();
+    let plan = sort_plan(table, order, k);
     let id_col = table.schema.arity() - 1;
-    time(move || {
-        let out = match k {
-            Some(k) => audb_native::topk_native(&au, order, k, "pos"),
-            None => audb_native::sort_native(&au, order, "pos"),
-        };
-        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, au.rows.len() + 1)
-    })
+    let n_ids = plan.source().len() + 1;
+    engine_bounds(Engine::native(), &plan, id_col, n_ids)
 }
 
 /// `Rewr`: the Fig. 7 rewrite.
 pub fn rewr_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<Bounds> {
-    let au = table.to_au_relation();
+    let plan = sort_plan(table, order, k);
     let id_col = table.schema.arity() - 1;
-    time(move || {
-        let out = match k {
-            Some(k) => audb_rewrite::rewr_topk(&au, order, k, "pos"),
-            None => audb_rewrite::rewr_sort(&au, order, "pos"),
-        };
-        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, au.rows.len() + 1)
-    })
+    let n_ids = plan.source().len() + 1;
+    engine_bounds(Engine::rewrite(), &plan, id_col, n_ids)
 }
 
 /// `MCDB`: sampled position envelopes.
@@ -179,13 +212,10 @@ pub fn imp_window(
     l: i64,
     u: i64,
 ) -> Timed<Bounds> {
-    let au = table.to_au_relation();
+    let plan = window_plan(table, order, agg, l, u);
     let id_col = table.schema.arity() - 1;
-    time(move || {
-        let spec = audb_core::AuWindowSpec::rows(order.to_vec(), l, u);
-        let out = audb_native::window_native(&au, &spec, agg, "x");
-        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, au.rows.len() + 1)
-    })
+    let n_ids = plan.source().len() + 1;
+    engine_bounds(Engine::native(), &plan, id_col, n_ids)
 }
 
 /// `Rewr` / `Rewr(index)`: the Fig. 8 rewrite.
@@ -195,15 +225,17 @@ pub fn rewr_window(
     agg: WinAgg,
     l: i64,
     u: i64,
-    strategy: audb_rewrite::JoinStrategy,
+    strategy: JoinStrategy,
 ) -> Timed<Bounds> {
-    let au = table.to_au_relation();
+    let plan = window_plan(table, order, agg, l, u);
     let id_col = table.schema.arity() - 1;
-    time(move || {
-        let spec = audb_core::AuWindowSpec::rows(order.to_vec(), l, u);
-        let out = audb_rewrite::rewr_window(&au, &spec, agg, "x", strategy);
-        au_bounds_by_id(&out, id_col, out.schema.arity() - 1, au.rows.len() + 1)
-    })
+    let n_ids = plan.source().len() + 1;
+    engine_bounds(
+        Engine::rewrite().with_join_strategy(strategy),
+        &plan,
+        id_col,
+        n_ids,
+    )
 }
 
 /// `MCDB`: sampled window-aggregate envelopes.

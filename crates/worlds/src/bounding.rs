@@ -198,7 +198,7 @@ mod tests {
     }
 
     /// The paper's Sec. 3.2 example: ([1/3/5], a) × (1,1,2) bounds worlds
-    /// with 1 or 2 tuples (v, a), v ∈ [1,5].
+    /// with 1 or 2 tuples (v, a), v ∈ \[1,5\].
     #[test]
     fn paper_section_3_example() {
         let au = AuRelation::from_rows(

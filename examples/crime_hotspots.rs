@@ -7,6 +7,7 @@
 //! cargo run --release --example crime_hotspots
 //! ```
 
+use audb::engine::Engine;
 use audb::workloads::metrics::aggregate_quality;
 use audb::workloads::runner;
 use audb::workloads::{crimes, RealDataset};
@@ -21,7 +22,15 @@ fn main() {
     );
 
     // --- Rank: top-3 days by count (pre-aggregated, Sec. 9.2). ---
+    // The AU-DB drivers build one logical plan and run it through the
+    // engine; here we additionally run the same plan on *every* backend and
+    // let run_all assert that reference, native and rewrite bounds agree on
+    // this real-world-shaped data.
     let rq = &ds.rank;
+    let plan = runner::sort_plan(&rq.table, &rq.order, Some(rq.k));
+    let agreement = Engine::native().run_all(&plan).expect("backends agree");
+    println!("cross-backend check on the rank query: {agreement}");
+
     let imp = runner::imp_sort(&rq.table, &rq.order, Some(rq.k));
     let det = runner::det_sort(&rq.table, &rq.order, Some(rq.k));
     let mc = runner::mcdb_sort(&rq.table, &rq.order, 20, 1);

@@ -9,7 +9,7 @@
 use audb::competitors::{
     expected_ranks, global_topk, ptk_certain, ptk_possible, ptk_topk_probs, urank, utop,
 };
-use audb::native::topk_native;
+use audb::engine::{Engine, Query};
 use audb::rel::{Schema, Tuple, Value};
 use audb::worlds::{Alternative, XTuple, XTupleTable};
 
@@ -97,9 +97,15 @@ fn main() {
     );
 
     // And the AU-DB answer: one relation carrying certain AND possible
-    // membership plus rank bounds, still queryable further.
-    let au = table.to_au_relation();
-    let podium = topk_native(&au, &[0], k, "rank");
+    // membership plus rank bounds, still queryable further. The plan runs
+    // on every engine backend; run_all asserts their bounds agree.
+    let plan = Query::scan(table.to_au_relation())
+        .sort_by_as(["score"], "rank")
+        .topk(k)
+        .build()
+        .expect("podium plan is valid");
+    let all = Engine::native().run_all(&plan).expect("backends agree");
+    let podium = all.output;
     println!("\nAU-DB top-{k} (score range, player, rank range, certainty):");
     for row in &podium.rows {
         let player = name(row.tuple.get(1).sg.as_i64().unwrap() as usize);

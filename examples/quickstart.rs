@@ -1,15 +1,18 @@
 //! Five-minute tour: build an uncertain relation, ask for bound-preserving
-//! top-k and windowed-aggregation answers.
+//! top-k and windowed-aggregation answers — every query goes through the
+//! unified engine, which plans it once, explains it, and can execute it on
+//! all three interchangeable backends (reference / native / rewrite) while
+//! asserting their bounds agree.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use audb::core::{AuRelation, AuTuple, AuWindowSpec, Mult3, RangeValue, WinAgg};
-use audb::native::{topk_native, window_native};
+use audb::core::{AuRelation, AuTuple, Mult3, RangeValue};
+use audb::engine::{Agg, Engine, Query, WindowSpec};
 use audb::rel::Schema;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An uncertain product table: price ranges come from conflicting
     // sources; the middle value is the curator's best guess. One row may
     // not exist at all (multiplicity lower bound 0).
@@ -36,19 +39,48 @@ fn main() {
     );
     println!("Uncertain products:\n{products}");
 
-    // Top-2 cheapest products. Multiplicity triples tell you which answers
-    // are certain (lb = 1), in the best-guess world (sg = 1), or merely
-    // possible (ub = 1); the position attribute carries rank bounds.
-    let top2 = topk_native(&products, &[1], 2, "rank");
-    println!("Top-2 by price (certain / guess / possible):\n{top2}");
+    let engine = Engine::native();
+
+    // Top-2 cheapest products. Column references are validated when the
+    // plan is built — a typo'd name or a colliding output column is a
+    // structured PlanError here, not a panic deep inside an operator.
+    let top2_plan = Query::scan(products.clone())
+        .sort_by_as(["price"], "rank")
+        .topk(2)
+        .build()?;
+    println!("How the engine runs it:\n{}", engine.explain(&top2_plan));
+
+    // Execute on every backend and assert the bounds agree — the paper's
+    // "same semantics, interchangeable implementations" invariant, checked
+    // on the fly. Multiplicity triples tell you which answers are certain
+    // (lb = 1), in the best-guess world (sg = 1), or merely possible
+    // (ub = 1); the rank attribute carries position bounds.
+    let top2 = engine.run_all(&top2_plan)?;
+    println!("{top2}");
+    println!(
+        "Top-2 by price (certain / guess / possible):\n{}",
+        top2.output
+    );
 
     // A rolling sum over the price-sorted order: each bound covers every
     // possible world the input admits.
-    let spec = AuWindowSpec::rows(vec![1], -1, 0);
-    let rolling = window_native(&products, &spec, WinAgg::Sum(1), "rolling_sum");
-    println!("Rolling price sum (window = previous + current row):\n{rolling}");
+    let rolling_plan = Query::scan(products)
+        .window(
+            WindowSpec::rows(-1, 0)
+                .order_by(["price"])
+                .aggregate(Agg::sum("price"))
+                .output("rolling_sum"),
+        )
+        .build()?;
+    let rolling = engine.run_all(&rolling_plan)?;
+    println!("{rolling}");
+    println!(
+        "Rolling price sum (window = previous + current row):\n{}",
+        rolling.output
+    );
 
     // Every range is a guarantee: in no possible world does a value escape
     // its printed bounds — that is the bound-preservation theorem the
     // test-suite checks against exhaustive world enumeration.
+    Ok(())
 }

@@ -7,8 +7,8 @@
 //! ```
 
 use audb::competitors::{ptk_certain, ptk_possible, urank, utop};
-use audb::core::{AuWindowSpec, RangeExpr, WinAgg};
-use audb::native::{topk_native, window_native};
+use audb::core::RangeExpr;
+use audb::engine::{Agg, Engine, Query, WindowSpec};
 use audb::rel::{Schema, Tuple};
 use audb::worlds::{Alternative, XTuple, XTupleTable};
 
@@ -78,25 +78,45 @@ fn main() {
     );
 
     println!("\n== The AU-DB approach (Fig. 1f/1g) ==");
-    let au = table.to_au_relation();
+    let au = std::sync::Arc::new(table.to_au_relation());
     println!("AU-DB bounding all three worlds:\n{au}");
 
-    // Top-2 highest selling terms: negate sales, rank ascending.
-    let ranked_input = audb::core::au_project(
-        &au,
-        &[
+    // Top-2 highest selling terms: negate sales, rank ascending — one
+    // logical plan (project → sort → top-k), validated at build time and
+    // executed on all three backends with bound agreement asserted.
+    let engine = Engine::native();
+    let top2_plan = Query::scan(std::sync::Arc::clone(&au))
+        .project_exprs([
             (RangeExpr::col(0), "term"),
             (RangeExpr::col(1), "sales"),
             (RangeExpr::Neg(Box::new(RangeExpr::col(1))), "neg_sales"),
-        ],
+        ])
+        .sort_by_as(["neg_sales"], "position")
+        .topk(2)
+        .build()
+        .expect("top-2 plan is valid");
+    println!("Plan:\n{}", engine.explain(&top2_plan));
+    let top2 = engine.run_all(&top2_plan).expect("backends agree");
+    println!(
+        "Top-2 (under- and over-approximating certain/possible answers):\n{}",
+        top2.output
     );
-    let top2 = topk_native(&ranked_input, &[2], 2, "position");
-    println!("Top-2 (under- and over-approximating certain/possible answers):\n{top2}");
 
     // Fig. 1g: rolling sum over the current and following term.
-    let spec = AuWindowSpec::rows(vec![0], 0, 1);
-    let windowed = window_native(&au, &spec, WinAgg::Sum(1), "sum");
-    println!("Rolling sum of sales (current + next term):\n{windowed}");
+    let window_plan = Query::scan(au)
+        .window(
+            WindowSpec::rows(0, 1)
+                .order_by(["term"])
+                .aggregate(Agg::sum("sales"))
+                .output("sum"),
+        )
+        .build()
+        .expect("rolling-sum plan is valid");
+    let windowed = engine.run_all(&window_plan).expect("backends agree");
+    println!(
+        "Rolling sum of sales (current + next term):\n{}",
+        windowed.output
+    );
 
     println!(
         "Unlike the classic semantics, the AU-DB result separates certain \

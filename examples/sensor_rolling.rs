@@ -7,8 +7,7 @@
 //! cargo run --example sensor_rolling
 //! ```
 
-use audb::core::{AuWindowSpec, WinAgg};
-use audb::native::window_native;
+use audb::engine::{Agg, Engine, Query, WindowSpec};
 use audb::rel::{Schema, Tuple, Value};
 use audb::worlds::{Alternative, XTuple, XTupleTable};
 use rand::rngs::StdRng;
@@ -46,16 +45,30 @@ fn main() {
         })
         .collect();
     let table = XTupleTable::new(Schema::new(["ts", "temp"]), tuples);
-    let au = table.to_au_relation();
+    let au = std::sync::Arc::new(table.to_au_relation());
+    let engine = Engine::native();
 
-    // One-hour rolling window (current + 1 preceding reading).
-    let spec = AuWindowSpec::rows(vec![0], -1, 0);
+    // One-hour rolling window (current + 1 preceding reading). Each query
+    // is one plan over the shared relation, executed on every backend with
+    // bound agreement asserted (`run_all`).
+    let rolling = |agg: Agg| {
+        let plan = Query::scan(std::sync::Arc::clone(&au))
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["ts"])
+                    .aggregate(agg)
+                    .output("x"),
+            )
+            .build()
+            .expect("rolling-window plan is valid");
+        engine.run_all(&plan).expect("backends agree").output
+    };
     for (name, agg) in [
-        ("rolling max", WinAgg::Max(1)),
-        ("rolling min", WinAgg::Min(1)),
-        ("rolling avg envelope", WinAgg::Avg(1)),
+        ("rolling max", Agg::max("temp")),
+        ("rolling min", Agg::min("temp")),
+        ("rolling avg envelope", Agg::avg("temp")),
     ] {
-        let out = window_native(&au, &spec, agg, "x");
+        let out = rolling(agg);
         // Report the widest bound of the day — where drift hurts the most.
         let mut worst: Option<(i64, i64, i64)> = None;
         for row in &out.rows {
@@ -80,7 +93,7 @@ fn main() {
     // Alarm logic on guarantees, not guesses: a certain alarm fires only if
     // even the lower bound of the rolling max exceeds the threshold; a
     // possible alarm if the upper bound does.
-    let out = window_native(&au, &spec, WinAgg::Max(1), "x");
+    let out = rolling(Agg::max("temp"));
     let threshold = 215;
     let certain = out
         .rows

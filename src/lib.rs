@@ -12,9 +12,39 @@
 //! | [`conheap`] | connected heaps (Sec. 8.2) |
 //! | [`native`] | one-pass native algorithms (Sec. 8) — the paper's `Imp` |
 //! | [`rewrite`] | SQL-style rewrites over the relational encoding (Sec. 7) — `Rewr` |
+//! | [`engine`] | **the front door**: logical plans + pluggable backends |
 //! | [`worlds`] | x-tuple probabilistic model, world enumeration/sampling, exact bounds |
 //! | [`competitors`] | MCDB, PT-k, Symb, U-Top, U-Rank, Global-Topk, expected rank |
 //! | [`workloads`] | synthetic + real-world-simulating generators, quality metrics |
+//!
+//! ## Quick example
+//!
+//! Queries are built once as validated logical plans and executed on any of
+//! the three interchangeable backends (reference / native / rewrite); the
+//! engine can also run a plan on *all* of them and assert the bounds agree:
+//!
+//! ```
+//! use audb::core::{AuRelation, AuTuple, Mult3, RangeValue};
+//! use audb::engine::{Engine, Query};
+//! use audb::rel::Schema;
+//!
+//! // A sales relation with an uncertain Sales attribute.
+//! let rel = AuRelation::from_rows(
+//!     Schema::new(["term", "sales"]),
+//!     [
+//!         (AuTuple::from([RangeValue::certain(1i64), RangeValue::new(2, 2, 3)]), Mult3::ONE),
+//!         (AuTuple::from([RangeValue::certain(2i64), RangeValue::new(2, 3, 3)]), Mult3::ONE),
+//!     ],
+//! );
+//! // Top-1 by sales: positions carry uncertainty; multiplicities tell you
+//! // which answers are certain vs merely possible.
+//! let plan = Query::scan(rel).sort_by(["sales"]).topk(1).build()?;
+//! let engine = Engine::native();
+//! println!("{}", engine.explain(&plan));   // backend + operator chain + cost notes
+//! let agreed = engine.run_all(&plan)?;     // reference ≡ native ≡ rewrite
+//! assert!(!agreed.output.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
 //! full system inventory.
@@ -22,6 +52,7 @@
 pub use audb_competitors as competitors;
 pub use audb_conheap as conheap;
 pub use audb_core as core;
+pub use audb_engine as engine;
 pub use audb_native as native;
 pub use audb_rel as rel;
 pub use audb_rewrite as rewrite;

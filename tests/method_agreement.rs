@@ -9,6 +9,7 @@ use audb::core::{
     sort_ref, topk_ref, window_ref, AuRelation, AuTuple, AuWindowSpec, CmpSemantics, Mult3,
     RangeValue, WinAgg,
 };
+use audb::engine::{Agg, Engine, Plan, Query, WindowSpec};
 use audb::native::{sort_native, topk_native, window_native};
 use audb::rel::Schema;
 use audb::rewrite::{rewr_sort, rewr_topk, rewr_window, JoinStrategy};
@@ -52,8 +53,81 @@ fn au_relation(max_rows: usize, unit_mults: bool) -> impl Strategy<Value = AuRel
     )
 }
 
+/// A random logical plan over a random relation, exercised through the
+/// unified engine API: sort / top-k plans over arbitrary multiplicities
+/// (optionally behind a selection), window plans over unit multiplicities
+/// (matching the coverage of the direct-operator tests below).
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    let maybe_k = prop_oneof![Just(None), (0u64..6).prop_map(Some),];
+    let sortish = (
+        au_relation(8, false),
+        0usize..2,
+        maybe_k,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(rel, col, k, with_select)| {
+            let q = Query::scan(rel);
+            let q = if with_select {
+                // σ(a ≤ 6): exercises the shared selection operator ahead
+                // of the backend-specific sort.
+                q.select(audb::core::RangeExpr::col(0).le(audb::core::RangeExpr::lit(6)))
+            } else {
+                q
+            };
+            let q = q.sort_by_as([col], "tau");
+            match k {
+                Some(k) => q.topk(k),
+                None => q,
+            }
+            .build()
+            .expect("generated sort plan is valid")
+        });
+    let windowish = (
+        au_relation(7, true),
+        prop_oneof![
+            Just((0i64, 0i64)),
+            Just((-1, 0)),
+            Just((-2, 0)),
+            Just((-1, 1))
+        ],
+        prop_oneof![
+            Just(WinAgg::Sum(1)),
+            Just(WinAgg::Count),
+            Just(WinAgg::Min(1)),
+            Just(WinAgg::Max(1)),
+            Just(WinAgg::Avg(1)),
+        ],
+    )
+        .prop_map(|(rel, (l, u), agg)| {
+            Query::scan(rel)
+                .window(
+                    WindowSpec::rows(l, u)
+                        .order_by(["a"])
+                        .aggregate(Agg::from(agg))
+                        .output("x"),
+                )
+                .build()
+                .expect("generated window plan is valid")
+        });
+    prop_oneof![sortish, windowish]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The unified-API agreement property: for random plans built through
+    /// `Query`, `run_all` executes the reference, native and rewrite
+    /// backends and asserts their bounds are bag-identical — so one
+    /// assertion covers the whole backend matrix, including the engine's
+    /// fallback rules (e.g. native windows on duplicate multiplicities).
+    #[test]
+    fn engine_backends_agree_on_random_plans(plan in plan_strategy()) {
+        let all = Engine::native().run_all(&plan).expect("backends agree");
+        // The agreed output is exactly the single-backend result.
+        let native = Engine::native().execute(&plan).expect("native executes");
+        prop_assert!(all.output.bag_eq(&native));
+        prop_assert!(all.output.schema.cols().last().is_some_and(|c| c == "tau" || c == "x"));
+    }
 
     /// Native sort ≡ reference sort ≡ rewrite sort, arbitrary multiplicities.
     #[test]
