@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro [targets...] [--scale X] [--quick] [--json [PATH]]
+//! repro sql [SCRIPT.sql] [--data DIR] [--table name=path.csv]...
+//!           [--backend reference|native|rewrite] [--explain] [--repl]
 //!
 //! targets: heaps fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
 //!          bench all
@@ -9,6 +11,10 @@
 //! --quick  endpoint-only sweeps (smoke run)
 //! --json   with the `bench` target: write the tracked perf artifact
 //!          (default BENCH_sort_window.json)
+//!
+//! The `sql` subcommand loads every `*.csv` in the data directory
+//! (default `workloads/`) as catalog tables and executes textual
+//! ranking/window queries — batch scripts, piped stdin, or `--repl`.
 //! ```
 //!
 //! Absolute times will differ from the paper's Postgres-on-Opteron testbed;
@@ -27,10 +33,20 @@ fn is_target(s: &str) -> bool {
 }
 
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // The SQL subcommand has its own argument grammar; hand everything
+    // after `sql` to it.
+    if raw.first().map(String::as_str) == Some("sql") {
+        if let Err(e) = audb_bench::sqlcli::cli(&raw[1..]) {
+            eprintln!("repro sql: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut opts = ReproOptions::default();
     let mut targets: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
-    let mut args = std::env::args().skip(1).peekable();
+    let mut args = raw.into_iter().peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -49,7 +65,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [heaps|fig11..fig19|bench|all]... [--scale X] [--quick] [--json [PATH]]"
+                    "usage: repro [heaps|fig11..fig19|bench|all]... [--scale X] [--quick] [--json [PATH]]\n\
+                     \x20      repro sql [SCRIPT.sql] [--data DIR] [--table name=path.csv]... \
+                     [--backend B] [--explain] [--repl]"
                 );
                 return;
             }

@@ -10,4 +10,5 @@
 pub mod figures;
 pub mod heaps;
 pub mod perf;
+pub mod sqlcli;
 pub mod table;

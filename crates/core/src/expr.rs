@@ -11,7 +11,7 @@ use crate::tuple::AuTuple;
 use audb_rel::{CmpOp, Value};
 
 /// An expression over range-annotated tuples.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RangeExpr {
     /// Attribute reference.
     Col(usize),

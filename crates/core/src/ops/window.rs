@@ -72,7 +72,7 @@ impl WinAgg {
 }
 
 /// A row-based window specification over an AU-DB relation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuWindowSpec {
     /// Partition-by attribute indices (`G`).
     pub partition: Vec<usize>,

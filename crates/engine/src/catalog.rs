@@ -1,0 +1,82 @@
+//! A [`Catalog`] of named AU-relations — the FROM-clause namespace of the
+//! SQL frontend.
+
+use audb_core::AuRelation;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Named AU-relations, shared cheaply behind [`Arc`]s. Names are
+/// case-sensitive (quote mixed-case names in SQL as `"MyTable"`); lookups
+/// iterate in name order, so catalog listings are deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<AuRelation>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation under a name, replacing (and returning) any
+    /// previous relation of that name.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        rel: impl Into<Arc<AuRelation>>,
+    ) -> Option<Arc<AuRelation>> {
+        self.tables.insert(name.into(), rel.into())
+    }
+
+    /// Remove a named relation, returning it if it was registered.
+    pub fn deregister(&mut self, name: &str) -> Option<Arc<AuRelation>> {
+        self.tables.remove(name)
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<AuRelation>> {
+        self.tables.get(name)
+    }
+
+    /// Registered names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// `(name, relation)` pairs, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<AuRelation>)> {
+        self.tables.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_rel::Schema;
+
+    #[test]
+    fn register_lookup_deregister() {
+        let mut cat = Catalog::new();
+        let rel = Arc::new(AuRelation::empty(Schema::new(["a"])));
+        assert!(cat.register("t", Arc::clone(&rel)).is_none());
+        assert!(Arc::ptr_eq(cat.get("t").unwrap(), &rel));
+        // Re-registering returns the replaced relation.
+        let rel2 = AuRelation::empty(Schema::new(["b"]));
+        let old = cat.register("t", rel2).unwrap();
+        assert!(Arc::ptr_eq(&old, &rel));
+        assert_eq!(cat.names().collect::<Vec<_>>(), ["t"]);
+        assert!(cat.deregister("t").is_some());
+        assert!(cat.is_empty() && cat.get("t").is_none());
+    }
+}

@@ -71,6 +71,14 @@ pub struct Engine {
     join_strategy: JoinStrategy,
 }
 
+impl Default for Engine {
+    /// The native backend with default settings — the usual production
+    /// choice (used by `Session::default()`).
+    fn default() -> Self {
+        Engine::native()
+    }
+}
+
 impl Engine {
     /// An engine executing on the given backend with default settings
     /// (interval-lex comparison, interval-index rewrite joins).
@@ -127,6 +135,19 @@ impl Engine {
         }
     }
 
+    /// Why the effective backend differs from the requested one, if it
+    /// does — the reason string `explain()` renders.
+    pub fn fallback_reason(&self) -> Option<String> {
+        if self.effective() != self.choice {
+            Some(format!(
+                "{:?} comparison semantics are implemented by the reference backend only",
+                self.semantics
+            ))
+        } else {
+            None
+        }
+    }
+
     fn backend_for(&self, choice: BackendChoice) -> Box<dyn Backend> {
         match choice {
             BackendChoice::Reference => Box::new(Reference {
@@ -165,6 +186,8 @@ impl Engine {
         Explain {
             requested: self.choice,
             backend: effective,
+            fallback: self.fallback_reason(),
+            sql: plan.sql().map(str::to_string),
             steps,
         }
     }
@@ -271,28 +294,53 @@ pub struct ExplainStep {
     pub note: String,
 }
 
-/// Human-readable plan explanation: chosen backend and the operator chain
-/// with schemas and cost notes.
+/// Human-readable plan explanation: originating SQL (when the plan came
+/// through the SQL frontend), chosen backend with any fallback reason, and
+/// the operator chain with schemas and cost notes.
+///
+/// The rendered format is stable (tested in `explain_format_is_stable`):
+///
+/// ```text
+/// query:   <sql, whitespace-flattened to one line>       (only when present)
+/// backend: <effective>                                   (no fallback)
+/// backend: <effective> (requested <requested>; rerouted: <reason>)
+///  0. scan [N rows]
+///       schema: (...)
+///       note:   ...
+/// ```
 #[derive(Clone, Debug)]
 pub struct Explain {
     /// Backend the engine was configured with.
     pub requested: BackendChoice,
     /// Backend that actually executes (after fallback rules).
     pub backend: BackendChoice,
+    /// Why `backend` differs from `requested`, when it does.
+    pub fallback: Option<String>,
+    /// The SQL text the plan was compiled from, when it came through the
+    /// SQL frontend.
+    pub sql: Option<String>,
     /// Scan + one step per operator.
     pub steps: Vec<ExplainStep>,
 }
 
+/// Collapse whitespace runs so a line-wrapped statement renders as one
+/// `query:` line (display only — the plan keeps its raw text).
+fn one_line(sql: &str) -> String {
+    sql.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
 impl fmt::Display for Explain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.backend == self.requested {
-            writeln!(f, "backend: {}", self.backend)?;
-        } else {
-            writeln!(
+        if let Some(sql) = &self.sql {
+            writeln!(f, "query:   {}", one_line(sql))?;
+        }
+        match &self.fallback {
+            None => writeln!(f, "backend: {}", self.backend)?,
+            Some(reason) => writeln!(
                 f,
-                "backend: {} (requested {}, rerouted by fallback rules)",
+                "backend: {} (requested {}; rerouted: {reason})",
                 self.backend, self.requested
-            )?;
+            )?,
         }
         for (i, step) in self.steps.iter().enumerate() {
             writeln!(f, "{:>2}. {}", i, step.op)?;

@@ -128,3 +128,94 @@ impl From<PlanError> for EngineError {
         EngineError::Plan(e)
     }
 }
+
+/// A SQL-session operation failed: anywhere from the lexer to execution.
+///
+/// The session funnels every layer's failure into one uniform
+/// `std::error::Error` value — [`audb_sql::SqlError`] (with line/column
+/// spans) for text-level problems, [`PlanError`] for binding/validation,
+/// [`EngineError`] for execution — plus the catalog- and binder-level
+/// conditions that only exist at the session layer.
+#[derive(Clone, Debug)]
+pub enum SessionError {
+    /// The query text failed to lex or parse.
+    Sql(audb_sql::SqlError),
+    /// The FROM clause names a relation the catalog does not have.
+    UnknownTable {
+        /// The missing name.
+        name: String,
+        /// The catalog's registered names (for the error message).
+        known: Vec<String>,
+    },
+    /// A compound select-list expression has no `AS` alias to name its
+    /// output column.
+    ExpressionNeedsAlias {
+        /// Display form of the unnamed expression's SQL.
+        item: String,
+    },
+    /// A `RANGE(lb, sg, ub)` literal violating `lb ≤ sg ≤ ub`.
+    InvalidRangeLiteral {
+        /// Display form of the offending literal.
+        lit: String,
+    },
+    /// The statement failed plan validation (unknown column, duplicate
+    /// output name, bad frame, ...).
+    Plan(PlanError),
+    /// The plan failed at execution time.
+    Engine(EngineError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Sql(e) => write!(f, "{e}"),
+            SessionError::UnknownTable { name, known } => {
+                write!(f, "unknown table {name:?}; registered: ")?;
+                if known.is_empty() {
+                    write!(f, "(none)")
+                } else {
+                    write!(f, "{}", known.join(", "))
+                }
+            }
+            SessionError::ExpressionNeedsAlias { item } => {
+                write!(f, "select-list expression {item} needs an AS alias")
+            }
+            SessionError::InvalidRangeLiteral { lit } => {
+                write!(f, "range literal {lit} violates lb \u{2264} sg \u{2264} ub")
+            }
+            SessionError::Plan(e) => write!(f, "invalid plan: {e}"),
+            SessionError::Engine(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Sql(e) => Some(e),
+            SessionError::Plan(e) => Some(e),
+            SessionError::Engine(e) => Some(e),
+            SessionError::UnknownTable { .. }
+            | SessionError::ExpressionNeedsAlias { .. }
+            | SessionError::InvalidRangeLiteral { .. } => None,
+        }
+    }
+}
+
+impl From<audb_sql::SqlError> for SessionError {
+    fn from(e: audb_sql::SqlError) -> Self {
+        SessionError::Sql(e)
+    }
+}
+
+impl From<PlanError> for SessionError {
+    fn from(e: PlanError) -> Self {
+        SessionError::Plan(e)
+    }
+}
+
+impl From<EngineError> for SessionError {
+    fn from(e: EngineError) -> Self {
+        SessionError::Engine(e)
+    }
+}

@@ -24,21 +24,30 @@
 //! this crate, so plan construction is written exactly once.
 
 mod backend;
+mod bind;
+mod catalog;
 mod engine;
 mod error;
 mod plan;
+mod print;
+mod session;
 
 pub use backend::{Backend, Native, Reference, Rewrite};
+pub use catalog::Catalog;
 pub use engine::{BackendChoice, BackendRun, Engine, Explain, ExplainStep, RunAll};
-pub use error::{EngineError, PlanError};
+pub use error::{EngineError, PlanError, SessionError};
 pub use plan::{Agg, ColRef, Op, Plan, Query, WindowSpec};
+pub use print::plan_to_sql;
+pub use session::{Prepared, Session};
 
 // Re-exported so engine users can configure backends without importing the
 // operator crates directly. `IntervalIndex` rides along for callers that
 // measure the `Rewr(index)` strategy's index-build cost separately, as the
-// paper does.
+// paper does. `SqlError` completes the error surface of the SQL front
+// door (`Session`).
 pub use audb_core::CmpSemantics;
 pub use audb_rewrite::{IntervalIndex, JoinStrategy};
+pub use audb_sql::{Span, SqlError, SqlErrorKind};
 
 #[cfg(test)]
 mod tests {
@@ -237,6 +246,13 @@ mod tests {
         assert_eq!(explain.requested, BackendChoice::Native);
         assert_eq!(explain.backend, BackendChoice::Reference);
         assert!(explain.to_string().contains("rerouted"), "{explain}");
+        assert!(
+            explain.to_string().contains(
+                "backend: reference (requested native; rerouted: \
+                 Syntactic comparison semantics are implemented by the reference backend only)"
+            ),
+            "{explain}"
+        );
         // And the output matches the reference run under the same
         // semantics.
         let reference = Engine::reference().with_semantics(CmpSemantics::Syntactic);
@@ -248,6 +264,35 @@ mod tests {
 
     /// The engine's operator chain matches hand-wired operator calls — the
     /// backends are thin adapters, not re-implementations.
+    /// The satellite contract: explain output has ONE stable shape —
+    /// optional `query:` line (the originating SQL), then the `backend:`
+    /// line carrying the fallback reason when rerouted, then numbered
+    /// steps. Consumers (CI golden files, scripts) may rely on it.
+    #[test]
+    fn explain_format_is_stable() {
+        let mut session = Session::new(Engine::native().with_semantics(CmpSemantics::Syntactic));
+        session.register("r", example6());
+        let explain = session.explain_sql("SELECT * FROM r ORDER BY a").unwrap();
+        let text = explain.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "query:   SELECT * FROM r ORDER BY a");
+        assert_eq!(
+            lines[1],
+            "backend: reference (requested native; rerouted: Syntactic comparison \
+             semantics are implemented by the reference backend only)"
+        );
+        assert_eq!(lines[2], " 0. scan [3 rows]");
+        assert!(lines[3].starts_with("      schema: "), "{text}");
+        assert!(lines[4].starts_with("      note:   "), "{text}");
+
+        // Without SQL provenance and without fallback: no query line, bare
+        // backend line.
+        let plan = Query::scan(example6()).sort_by(["a"]).build().unwrap();
+        let text = Engine::native().explain(&plan).to_string();
+        assert_eq!(text.lines().next().unwrap(), "backend: native");
+        assert!(!text.contains("query:"), "{text}");
+    }
+
     #[test]
     fn backends_are_faithful_adapters() {
         let rel = example6();

@@ -190,7 +190,7 @@ impl WindowSpec {
 
 /// One resolved operator of a [`Plan`]. All column references are indices
 /// into the operator's input schema.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Op {
     /// AU-DB selection `σ_pred` (\[24\] semantics).
     Select {
@@ -291,11 +291,20 @@ pub struct Plan {
     /// Schema after each op: `schemas\[0\]` is the source schema,
     /// `schemas[i + 1]` the output of `ops[i]`.
     schemas: Vec<Schema>,
+    /// The SQL text this plan was compiled from, when it came through the
+    /// SQL frontend (shown by `Engine::explain`).
+    sql: Option<String>,
 }
 
 impl Plan {
     /// The scanned source relation.
     pub fn source(&self) -> &AuRelation {
+        &self.source
+    }
+
+    /// The scanned source, shared (for re-registering a plan's input, e.g.
+    /// when compiling its printed SQL back against a catalog).
+    pub fn source_arc(&self) -> &Arc<AuRelation> {
         &self.source
     }
 
@@ -313,6 +322,26 @@ impl Plan {
     /// `i + 1` the output schema of `ops()[i]`.
     pub fn schemas(&self) -> &[Schema] {
         &self.schemas
+    }
+
+    /// The originating SQL text, if this plan came through the SQL
+    /// frontend.
+    pub fn sql(&self) -> Option<&str> {
+        self.sql.as_deref()
+    }
+
+    /// Attach the originating SQL text (used by `Session`).
+    pub fn with_sql(mut self, sql: impl Into<String>) -> Self {
+        self.sql = Some(sql.into());
+        self
+    }
+
+    /// Structural equality: same operator chain and same per-operator
+    /// schemas (the scanned data and SQL provenance are ignored). This is
+    /// the `parse ∘ print = id` round-trip invariant's notion of "the same
+    /// plan".
+    pub fn same_shape(&self, other: &Plan) -> bool {
+        self.ops == other.ops && self.schemas == other.schemas
     }
 }
 
@@ -575,6 +604,14 @@ impl Query {
         })
     }
 
+    /// The schema at the current point of the chain, or `None` if an
+    /// earlier call already failed (the error surfaces from
+    /// [`Query::build`]). Lets external compilers — the SQL binder — resolve
+    /// names mid-chain exactly like the builder itself does.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.state.as_ref().ok().map(|s| s.schema())
+    }
+
     /// Finish the chain, returning the validated plan or the first error
     /// encountered while building it.
     pub fn build(self) -> Result<Plan, PlanError> {
@@ -583,6 +620,7 @@ impl Query {
             source: state.source,
             ops: state.ops,
             schemas: state.schemas,
+            sql: None,
         })
     }
 }

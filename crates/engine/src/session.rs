@@ -1,0 +1,294 @@
+//! The [`Session`] handle: a [`Catalog`] plus an [`Engine`], speaking SQL.
+//!
+//! ```
+//! use audb_engine::{Engine, Session};
+//! use audb_core::{AuRelation, AuTuple, Mult3, RangeValue};
+//! use audb_rel::Schema;
+//!
+//! let mut session = Session::new(Engine::native());
+//! session.register("products", AuRelation::from_rows(
+//!     Schema::new(["sku", "price"]),
+//!     [
+//!         (AuTuple::from([RangeValue::certain(1i64), RangeValue::new(9, 10, 12)]), Mult3::ONE),
+//!         (AuTuple::from([RangeValue::certain(2i64), RangeValue::new(8, 11, 11)]), Mult3::ONE),
+//!     ],
+//! ));
+//! let top = session.sql("SELECT * FROM products ORDER BY price AS rank LIMIT 1")?;
+//! assert_eq!(top.schema.cols(), &["sku", "price", "rank"]);
+//! println!("{}", session.explain_sql("SELECT sku FROM products")?);
+//! # Ok::<(), audb_engine::SessionError>(())
+//! ```
+
+use crate::bind;
+use crate::catalog::Catalog;
+use crate::engine::{Engine, Explain, RunAll};
+use crate::error::SessionError;
+use crate::plan::Plan;
+use audb_core::AuRelation;
+use std::sync::Arc;
+
+/// A compiled, reusable statement: the validated [`Plan`] plus its source
+/// text. Prepare once, execute many times (the plan shares its scanned
+/// relation behind an `Arc`, so neither step copies data).
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    plan: Plan,
+}
+
+impl Prepared {
+    /// The compiled plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The originating SQL text.
+    pub fn sql(&self) -> &str {
+        self.plan
+            .sql()
+            .expect("prepared statements carry their SQL")
+    }
+}
+
+/// A catalog of named AU-relations bound to an engine: the textual front
+/// door. `register` relations, then drive everything with SQL strings —
+/// `sql` executes, `prepare` compiles for reuse, `explain_sql` shows the
+/// chosen backend/fallbacks, `run_all_sql` cross-checks all three
+/// backends.
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    engine: Engine,
+    catalog: Catalog,
+}
+
+impl Session {
+    /// A session on the given engine with an empty catalog.
+    pub fn new(engine: Engine) -> Self {
+        Session {
+            engine,
+            catalog: Catalog::new(),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Swap the engine (e.g. to a different backend); the catalog is kept.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The catalog of registered relations.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a relation under a name (replacing any previous one).
+    pub fn register(&mut self, name: impl Into<String>, rel: impl Into<Arc<AuRelation>>) {
+        self.catalog.register(name, rel);
+    }
+
+    /// Remove a named relation.
+    pub fn deregister(&mut self, name: &str) -> Option<Arc<AuRelation>> {
+        self.catalog.deregister(name)
+    }
+
+    /// Compile one statement to a reusable [`Prepared`] plan.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, SessionError> {
+        let stmt = audb_sql::parse(sql)?;
+        Ok(Prepared {
+            plan: bind::compile(&stmt, &self.catalog)?,
+        })
+    }
+
+    /// Compile every statement of a `;`-separated script.
+    pub fn prepare_script(&self, sql: &str) -> Result<Vec<Prepared>, SessionError> {
+        audb_sql::parse_script(sql)?
+            .iter()
+            .map(|stmt| {
+                Ok(Prepared {
+                    plan: bind::compile(stmt, &self.catalog)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Execute a prepared statement on the session's engine.
+    pub fn execute(&self, prepared: &Prepared) -> Result<AuRelation, SessionError> {
+        Ok(self.engine.execute(prepared.plan())?)
+    }
+
+    /// Parse, bind and execute one statement.
+    pub fn sql(&self, sql: &str) -> Result<AuRelation, SessionError> {
+        let prepared = self.prepare(sql)?;
+        self.execute(&prepared)
+    }
+
+    /// Explain how the engine would run a statement (includes the SQL text
+    /// and any backend-fallback reason).
+    pub fn explain_sql(&self, sql: &str) -> Result<Explain, SessionError> {
+        let prepared = self.prepare(sql)?;
+        Ok(self.engine.explain(prepared.plan()))
+    }
+
+    /// Execute a statement on **all three** backends, asserting their
+    /// bounds agree (see [`Engine::run_all`]).
+    pub fn run_all_sql(&self, sql: &str) -> Result<RunAll, SessionError> {
+        let prepared = self.prepare(sql)?;
+        Ok(self.engine.run_all(prepared.plan())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::BackendChoice;
+    use crate::error::PlanError;
+    use audb_core::{AuTuple, Mult3, RangeValue};
+    use audb_rel::Schema;
+
+    fn products() -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["sku", "price"]),
+            [
+                (
+                    AuTuple::from([RangeValue::certain(1i64), RangeValue::new(9, 10, 12)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::from([RangeValue::certain(2i64), RangeValue::new(8, 11, 11)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::from([RangeValue::certain(3i64), RangeValue::certain(15i64)]),
+                    Mult3::new(0, 1, 1),
+                ),
+            ],
+        )
+    }
+
+    fn session() -> Session {
+        let mut s = Session::new(Engine::native());
+        s.register("products", products());
+        s
+    }
+
+    #[test]
+    fn sql_matches_builder_plan() {
+        use crate::plan::Query;
+        let s = session();
+        let via_sql = s
+            .sql("SELECT * FROM products ORDER BY price AS rank LIMIT 2")
+            .unwrap();
+        let plan = Query::scan(products())
+            .sort_by_as(["price"], "rank")
+            .topk(2)
+            .build()
+            .unwrap();
+        let via_builder = Engine::native().execute(&plan).unwrap();
+        assert!(via_sql.bag_eq(&via_builder), "{via_sql}\n{via_builder}");
+    }
+
+    #[test]
+    fn prepare_reuses_and_carries_sql() {
+        let s = session();
+        let p = s
+            .prepare("SELECT sku, price FROM products WHERE price < 12;")
+            .unwrap();
+        assert_eq!(p.sql(), "SELECT sku, price FROM products WHERE price < 12");
+        let a = s.execute(&p).unwrap();
+        let b = s.execute(&p).unwrap();
+        assert!(a.bag_eq(&b));
+        // The prepared plan shares the registered relation, no copy.
+        assert!(Arc::ptr_eq(
+            p.plan().source_arc(),
+            s.catalog().get("products").unwrap()
+        ));
+    }
+
+    #[test]
+    fn window_sql_runs_on_all_backends() {
+        let s = session();
+        let all = s
+            .run_all_sql(
+                "SELECT *, SUM(price) OVER (ORDER BY price \
+                 ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS roll FROM products",
+            )
+            .unwrap();
+        assert_eq!(all.runs.len(), 3);
+        assert_eq!(all.output.schema.cols(), &["sku", "price", "roll"]);
+    }
+
+    #[test]
+    fn session_errors_are_structured() {
+        let s = session();
+        // Catalog miss.
+        let e = s.sql("SELECT * FROM nope").unwrap_err();
+        assert!(
+            matches!(&e, SessionError::UnknownTable { name, known }
+                if name == "nope" && known == &["products".to_string()]),
+            "{e}"
+        );
+        // Plan validation flows through unchanged.
+        let e = s.sql("SELECT missing FROM products").unwrap_err();
+        assert!(
+            matches!(&e, SessionError::Plan(PlanError::UnknownColumn { name, .. }) if name == "missing"),
+            "{e}"
+        );
+        let e = s.sql("SELECT * FROM products LIMIT 3").unwrap_err();
+        assert!(matches!(e, SessionError::Plan(PlanError::TopKWithoutSort)));
+        // Parse errors carry spans.
+        let e = s.sql("SELECT * FROM").unwrap_err();
+        assert!(
+            e.to_string().starts_with("SQL error at line 1, column 14"),
+            "{e}"
+        );
+        // Compound expressions need aliases.
+        let e = s.sql("SELECT price + 1 FROM products").unwrap_err();
+        assert!(matches!(e, SessionError::ExpressionNeedsAlias { .. }));
+        // Bad range literal.
+        let e = s
+            .sql("SELECT * FROM products WHERE price < RANGE(3, 2, 1)")
+            .unwrap_err();
+        assert!(matches!(e, SessionError::InvalidRangeLiteral { .. }));
+    }
+
+    #[test]
+    fn subqueries_chain_operator_blocks() {
+        let s = session();
+        let out = s
+            .sql(
+                "SELECT sku, rank FROM \
+                   (SELECT * FROM products WHERE price >= 8 ORDER BY price AS rank) \
+                 WHERE rank < 2",
+            )
+            .unwrap();
+        assert_eq!(out.schema.cols(), &["sku", "rank"]);
+        let p = s
+            .prepare(
+                "SELECT sku, rank FROM \
+                   (SELECT * FROM products WHERE price >= 8 ORDER BY price AS rank) \
+                 WHERE rank < 2",
+            )
+            .unwrap();
+        assert_eq!(
+            p.plan().ops().iter().map(|o| o.name()).collect::<Vec<_>>(),
+            ["select", "sort", "select", "project"]
+        );
+    }
+
+    #[test]
+    fn explain_sql_shows_query_and_backend() {
+        let s = session();
+        let ex = s
+            .explain_sql("SELECT * FROM products ORDER BY price")
+            .unwrap();
+        assert_eq!(ex.backend, BackendChoice::Native);
+        let text = ex.to_string();
+        assert!(
+            text.contains("query:   SELECT * FROM products ORDER BY price"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! CSV → AU-relation loading for the SQL frontend (`repro sql`) and
+//! scripted workloads.
+//!
+//! Builds on `audb_rel::csv` (dependency-free RFC-4180 reader) and folds a
+//! flat header convention into range annotations:
+//!
+//! * a column `c` with sibling columns `c_lb` / `c_ub` becomes the
+//!   range-annotated attribute `[c_lb / c / c_ub]` (either sibling may be
+//!   omitted — the missing bound defaults to the base value);
+//! * the column triple `mult_lb, mult_sg, mult_ub` (all three present)
+//!   becomes the row's `ℕ³` multiplicity (default `(1,1,1)`);
+//! * every other column is a certain attribute.
+//!
+//! Invalid rows (`lb ≤ sg ≤ ub` violated, non-integer multiplicities)
+//! are reported as `io::Error`s naming the row, not panics.
+
+use audb_core::{AuRelation, AuTuple, Mult3, RangeValue};
+use audb_rel::{read_csv, Relation, Schema};
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// How one output attribute maps onto input columns.
+struct ColPlan {
+    name: String,
+    sg: usize,
+    lb: Option<usize>,
+    ub: Option<usize>,
+}
+
+fn plan_columns(schema: &Schema) -> (Vec<ColPlan>, Option<[usize; 3]>) {
+    let cols = schema.cols();
+    let has = |name: &str| schema.index_of(name);
+    let mult = match (has("mult_lb"), has("mult_sg"), has("mult_ub")) {
+        (Some(l), Some(s), Some(u)) => Some([l, s, u]),
+        _ => None,
+    };
+    let is_mult_col = |i: usize| mult.is_some_and(|m| m.contains(&i));
+    let mut plans = Vec::new();
+    for (i, name) in cols.iter().enumerate() {
+        if is_mult_col(i) {
+            continue;
+        }
+        // A bound column of an existing base attribute is folded, not kept.
+        if let Some(base) = name
+            .strip_suffix("_lb")
+            .or_else(|| name.strip_suffix("_ub"))
+        {
+            if has(base).is_some() {
+                continue;
+            }
+        }
+        plans.push(ColPlan {
+            name: name.clone(),
+            sg: i,
+            lb: has(&format!("{name}_lb")),
+            ub: has(&format!("{name}_ub")),
+        });
+    }
+    (plans, mult)
+}
+
+fn bad_row(row: usize, msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("row {row}: {msg}"))
+}
+
+/// Fold a deterministic relation (as read from CSV) into an AU-relation
+/// under the `_lb`/`_ub` + `mult_*` header convention.
+pub fn au_from_relation(rel: &Relation) -> io::Result<AuRelation> {
+    let (plans, mult_cols) = plan_columns(&rel.schema);
+    let schema = Schema::new(plans.iter().map(|p| p.name.clone()));
+    let mut out = AuRelation::empty(schema);
+    for (ri, row) in rel.rows.iter().enumerate() {
+        let mut vals = Vec::with_capacity(plans.len());
+        for p in &plans {
+            let sg = row.tuple.get(p.sg).clone();
+            let lb =
+                p.lb.map_or_else(|| sg.clone(), |i| row.tuple.get(i).clone());
+            let ub =
+                p.ub.map_or_else(|| sg.clone(), |i| row.tuple.get(i).clone());
+            if !(lb <= sg && sg <= ub) {
+                return Err(bad_row(
+                    ri + 1,
+                    format!(
+                        "column {:?} violates lb \u{2264} sg \u{2264} ub: [{lb} / {sg} / {ub}]",
+                        p.name
+                    ),
+                ));
+            }
+            vals.push(RangeValue::new(lb, sg, ub));
+        }
+        let mult = match mult_cols {
+            None => Mult3::certain(row.mult),
+            Some([l, s, u]) => {
+                let get = |i: usize, what: &str| -> io::Result<u64> {
+                    row.tuple
+                        .get(i)
+                        .as_i64()
+                        .and_then(|v| u64::try_from(v).ok())
+                        .ok_or_else(|| {
+                            bad_row(ri + 1, format!("{what} is not a non-negative integer"))
+                        })
+                };
+                let (l, s, u) = (get(l, "mult_lb")?, get(s, "mult_sg")?, get(u, "mult_ub")?);
+                if !(l <= s && s <= u) {
+                    return Err(bad_row(
+                        ri + 1,
+                        format!("multiplicity violates lb \u{2264} sg \u{2264} ub: ({l},{s},{u})"),
+                    ));
+                }
+                Mult3::new(l, s, u)
+            }
+        };
+        out.push(AuTuple::new(vals), mult);
+    }
+    Ok(out)
+}
+
+/// Read an AU-relation from CSV text.
+pub fn read_au_csv(reader: impl Read) -> io::Result<AuRelation> {
+    au_from_relation(&read_csv(reader)?)
+}
+
+/// Load an AU-relation from a CSV file.
+pub fn load_au_csv(path: impl AsRef<Path>) -> io::Result<AuRelation> {
+    read_au_csv(File::open(path)?)
+}
+
+/// Load every `*.csv` in a directory as `(file stem, relation)` pairs, in
+/// name order — the table set `repro sql` registers.
+pub fn load_au_dir(dir: impl AsRef<Path>) -> io::Result<Vec<(String, AuRelation)>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let rel = load_au_csv(&p)
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", p.display())))?;
+            Ok((name, rel))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_and_mult_columns_fold() {
+        let csv = "sku,price_lb,price,price_ub,mult_lb,mult_sg,mult_ub\n\
+                   1,9,10,12,1,1,1\n\
+                   2,15,15,15,0,1,1\n";
+        let au = read_au_csv(csv.as_bytes()).unwrap();
+        assert_eq!(au.schema.cols(), &["sku", "price"]);
+        assert_eq!(au.rows[0].tuple.get(0), &RangeValue::certain(1i64));
+        assert_eq!(au.rows[0].tuple.get(1), &RangeValue::new(9, 10, 12));
+        assert_eq!(au.rows[0].mult, Mult3::ONE);
+        assert_eq!(au.rows[1].mult, Mult3::new(0, 1, 1));
+    }
+
+    #[test]
+    fn plain_csv_is_fully_certain() {
+        let csv = "a,b\n1,x\n2,y\n";
+        let au = read_au_csv(csv.as_bytes()).unwrap();
+        assert_eq!(au.schema.cols(), &["a", "b"]);
+        assert!(au
+            .rows
+            .iter()
+            .all(|r| r.mult == Mult3::ONE && r.tuple.0.iter().all(|v| v.is_certain())));
+    }
+
+    #[test]
+    fn one_sided_bounds_and_standalone_suffix_names() {
+        // `a_ub` without `a_lb` bounds only from above; `z_lb` without a
+        // base `z` stays a standalone certain column.
+        let csv = "a,a_ub,z_lb\n1,3,7\n";
+        let au = read_au_csv(csv.as_bytes()).unwrap();
+        assert_eq!(au.schema.cols(), &["a", "z_lb"]);
+        assert_eq!(au.rows[0].tuple.get(0), &RangeValue::new(1, 1, 3));
+        assert_eq!(au.rows[0].tuple.get(1), &RangeValue::certain(7i64));
+    }
+
+    #[test]
+    fn invalid_rows_are_errors_not_panics() {
+        let e = read_au_csv("a_lb,a,a_ub\n5,4,6\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("row 1"), "{e}");
+        let e = read_au_csv("a,mult_lb,mult_sg,mult_ub\n1,2,1,1\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("multiplicity"), "{e}");
+        let e = read_au_csv("a,mult_lb,mult_sg,mult_ub\n1,-1,1,1\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("mult_lb"), "{e}");
+    }
+}

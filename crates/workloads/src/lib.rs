@@ -12,15 +12,19 @@
 //!   per-input-tuple bounds;
 //! * [`metrics`] — recall / accuracy / estimated-range (Sec. 9 formulas);
 //! * [`convert`] — AU-relation ⇄ x-tuple bridging for pre-aggregated
-//!   queries.
+//!   queries;
+//! * [`csvload`] — CSV → AU-relation loading (the `_lb`/`_ub` + `mult_*`
+//!   header convention behind `repro sql`).
 
 pub mod convert;
+pub mod csvload;
 pub mod metrics;
 pub mod real;
 pub mod runner;
 pub mod synthetic;
 
 pub use convert::xtuple_from_au;
+pub use csvload::{au_from_relation, load_au_csv, load_au_dir, read_au_csv};
 pub use metrics::{aggregate_quality, bound_quality, BoundQuality, QualityStats};
 pub use real::{all_datasets, crimes, healthcare, iceberg, RankQuery, RealDataset, WindowQuery};
 pub use synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};

@@ -14,13 +14,16 @@
 //! written once and shared with the examples and benchmarks.
 
 use audb_core::{AuRelation, WinAgg};
-use audb_engine::{Agg, Engine, JoinStrategy, Plan, Query, WindowSpec as EngineWindowSpec};
+use audb_engine::{
+    Agg, Engine, JoinStrategy, Plan, Query, Session, SessionError, WindowSpec as EngineWindowSpec,
+};
 use audb_rel::ops::sort::topk_with_pos;
 use audb_rel::{sort_to_pos, window_rows, AggFunc, Value, WindowSpec};
 use audb_worlds::{WindowTruth, XTupleTable};
 use std::time::{Duration, Instant};
 
 /// A timed result.
+#[derive(Debug)]
 pub struct Timed<T> {
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
@@ -124,6 +127,30 @@ fn engine_bounds(engine: Engine, plan: &Plan, id_col: usize, n_ids: usize) -> Ti
     time(move || {
         let out = engine.execute(plan).expect("workload plan executes");
         au_bounds_by_id(&out, id_col, out.schema.arity() - 1, n_ids)
+    })
+}
+
+/// Drive a workload with a **textual** query: the table's derived AU-DB is
+/// registered as `t` in a fresh session, the SQL is compiled against it
+/// (inheriting every plan-validation check), executed on the engine's
+/// backend, and per-id bounds are extracted from the trailing output
+/// column — the same contract as the builder-driven drivers, so scripted
+/// and programmatic workloads are interchangeable.
+pub fn sql_bounds(
+    table: &XTupleTable,
+    engine: Engine,
+    sql: &str,
+) -> Result<Timed<Bounds>, SessionError> {
+    let mut session = Session::new(engine);
+    session.register("t", table.to_au_relation());
+    let prepared = session.prepare(sql)?;
+    let id_col = table.schema.arity() - 1;
+    let n_ids = prepared.plan().source().len() + 1;
+    let run = time(|| session.engine().execute(prepared.plan()));
+    let out = run.value?;
+    Ok(Timed {
+        elapsed: run.elapsed,
+        value: au_bounds_by_id(&out, id_col, out.schema.arity() - 1, n_ids),
     })
 }
 
@@ -341,6 +368,40 @@ mod tests {
             (q.accuracy - 1.0).abs() < 1e-9,
             "expected exact bounds, got {q:?}"
         );
+    }
+
+    /// Scripted and programmatic workloads are interchangeable: the same
+    /// ranking / window queries issued as SQL text produce exactly the
+    /// bounds of the builder-driven drivers.
+    #[test]
+    fn sql_driver_matches_builder_drivers() {
+        let cfg = SyntheticConfig::default().rows(120).seed(7);
+        let t = gen_sort_table(&cfg);
+        let sql = sql_bounds(
+            &t,
+            Engine::native(),
+            "SELECT * FROM t ORDER BY a, b LIMIT 5",
+        )
+        .expect("sql sort runs")
+        .value;
+        let built = imp_sort(&t, &[0, 1], Some(5)).value;
+        assert_eq!(sql, built, "SQL top-k ≡ builder top-k");
+
+        let w = gen_window_table(&cfg);
+        let sql = sql_bounds(
+            &w,
+            Engine::rewrite(),
+            "SELECT *, SUM(v) OVER (ORDER BY o ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) \
+             AS x FROM t",
+        )
+        .expect("sql window runs")
+        .value;
+        let built = rewr_window(&w, &[0], WinAgg::Sum(2), -2, 0, JoinStrategy::IntervalIndex).value;
+        assert_eq!(sql, built, "SQL window ≡ builder window");
+
+        // Validation errors surface as structured SessionErrors.
+        let err = sql_bounds(&t, Engine::native(), "SELECT * FROM t ORDER BY nope").unwrap_err();
+        assert!(err.to_string().contains("unknown column"), "{err}");
     }
 
     #[test]

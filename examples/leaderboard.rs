@@ -9,7 +9,7 @@
 use audb::competitors::{
     expected_ranks, global_topk, ptk_certain, ptk_possible, ptk_topk_probs, urank, utop,
 };
-use audb::engine::{Engine, Query};
+use audb::engine::{Engine, Session};
 use audb::rel::{Schema, Tuple, Value};
 use audb::worlds::{Alternative, XTuple, XTupleTable};
 
@@ -97,14 +97,16 @@ fn main() {
     );
 
     // And the AU-DB answer: one relation carrying certain AND possible
-    // membership plus rank bounds, still queryable further. The plan runs
-    // on every engine backend; run_all asserts their bounds agree.
-    let plan = Query::scan(table.to_au_relation())
-        .sort_by_as(["score"], "rank")
-        .topk(k)
-        .build()
-        .expect("podium plan is valid");
-    let all = Engine::native().run_all(&plan).expect("backends agree");
+    // membership plus rank bounds, still queryable further — issued as
+    // SQL through a session, executed on every engine backend with bound
+    // agreement asserted (run_all).
+    let mut session = Session::new(Engine::native());
+    session.register("scores", table.to_au_relation());
+    let all = session
+        .run_all_sql(&format!(
+            "SELECT * FROM scores ORDER BY score AS rank LIMIT {k}"
+        ))
+        .expect("backends agree");
     let podium = all.output;
     println!("\nAU-DB top-{k} (score range, player, rank range, certainty):");
     for row in &podium.rows {

@@ -9,7 +9,7 @@
 //! ```
 
 use audb::core::{AuRelation, AuTuple, Mult3, RangeValue};
-use audb::engine::{Agg, Engine, Query, WindowSpec};
+use audb::engine::{Agg, Engine, Query, Session, WindowSpec};
 use audb::rel::Schema;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -77,6 +77,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Rolling price sum (window = previous + current row):\n{}",
         rolling.output
+    );
+
+    // The same queries, as text: register the relation in a session and
+    // the SQL frontend compiles onto the identical plans (see
+    // examples/sql_tour.rs for the full tour).
+    let mut session = Session::new(engine);
+    session.register("products", rolling_plan.source_arc().clone());
+    let top2_sql = session.sql("SELECT * FROM products ORDER BY price AS rank LIMIT 2")?;
+    assert!(top2_sql.bag_eq(&top2.output));
+    println!(
+        "SQL says the same:\n  SELECT * FROM products ORDER BY price AS rank LIMIT 2\n{top2_sql}"
     );
 
     // Every range is a guarantee: in no possible world does a value escape

@@ -7,7 +7,7 @@
 //! cargo run --example sensor_rolling
 //! ```
 
-use audb::engine::{Agg, Engine, Query, WindowSpec};
+use audb::engine::{Engine, Session};
 use audb::rel::{Schema, Tuple, Value};
 use audb::worlds::{Alternative, XTuple, XTupleTable};
 use rand::rngs::StdRng;
@@ -45,28 +45,25 @@ fn main() {
         })
         .collect();
     let table = XTupleTable::new(Schema::new(["ts", "temp"]), tuples);
-    let au = std::sync::Arc::new(table.to_au_relation());
-    let engine = Engine::native();
+    let mut session = Session::new(Engine::native());
+    session.register("readings", table.to_au_relation());
 
     // One-hour rolling window (current + 1 preceding reading). Each query
-    // is one plan over the shared relation, executed on every backend with
-    // bound agreement asserted (`run_all`).
-    let rolling = |agg: Agg| {
-        let plan = Query::scan(std::sync::Arc::clone(&au))
-            .window(
-                WindowSpec::rows(-1, 0)
-                    .order_by(["ts"])
-                    .aggregate(agg)
-                    .output("x"),
-            )
-            .build()
-            .expect("rolling-window plan is valid");
-        engine.run_all(&plan).expect("backends agree").output
+    // is one line of SQL against the registered relation, executed on
+    // every backend with bound agreement asserted (`run_all_sql`).
+    let rolling = |agg: &str| {
+        session
+            .run_all_sql(&format!(
+                "SELECT *, {agg}(temp) OVER (ORDER BY ts \
+                 ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS x FROM readings"
+            ))
+            .expect("backends agree")
+            .output
     };
     for (name, agg) in [
-        ("rolling max", Agg::max("temp")),
-        ("rolling min", Agg::min("temp")),
-        ("rolling avg envelope", Agg::avg("temp")),
+        ("rolling max", "MAX"),
+        ("rolling min", "MIN"),
+        ("rolling avg envelope", "AVG"),
     ] {
         let out = rolling(agg);
         // Report the widest bound of the day — where drift hurts the most.
@@ -93,7 +90,7 @@ fn main() {
     // Alarm logic on guarantees, not guesses: a certain alarm fires only if
     // even the lower bound of the rolling max exceeds the threshold; a
     // possible alarm if the upper bound does.
-    let out = rolling(Agg::max("temp"));
+    let out = rolling("MAX");
     let threshold = 215;
     let certain = out
         .rows

@@ -1,0 +1,333 @@
+//! The SQL round-trip guarantee: for random builder-generated plans,
+//! pretty-printing to SQL and reparsing through a session catalog yields
+//! the *identical* plan (`parse ∘ print = id` — same operator chain, same
+//! per-operator schemas, same shared source), and both plans produce
+//! bag-equal bounds on **all three** backends (`run_all`).
+
+use audb::core::{AuRelation, AuTuple, Mult3, RangeExpr, RangeValue};
+use audb::engine::{Agg, Engine, Plan, Query, Session, WindowSpec};
+use audb::rel::{CmpOp, Schema};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn rv_strategy() -> impl Strategy<Value = RangeValue> {
+    (0i64..10, 0i64..4, 0i64..4)
+        .prop_map(|(lb, d1, d2)| RangeValue::new(lb, lb + d1.min(d2), lb + d1.max(d2)))
+}
+
+fn mult_strategy() -> impl Strategy<Value = Mult3> {
+    prop_oneof![
+        Just(Mult3::ONE),
+        Just(Mult3::new(0, 1, 1)),
+        Just(Mult3::new(0, 0, 1)),
+        Just(Mult3::new(1, 1, 2)),
+    ]
+}
+
+fn au_relation() -> impl Strategy<Value = AuRelation> {
+    proptest::collection::vec(((rv_strategy(), rv_strategy()), mult_strategy()), 1..=5).prop_map(
+        |rows| {
+            AuRelation::from_rows(
+                Schema::new(["a", "b"]),
+                rows.into_iter()
+                    .map(|((a, b), m)| (AuTuple::new([a, b]), m)),
+            )
+        },
+    )
+}
+
+/// Abstract operator choices with raw numeric parameters; `apply` fits
+/// them to whatever schema the chain has reached, so every generated chain
+/// builds successfully.
+#[derive(Clone, Debug)]
+enum OpSeed {
+    Select {
+        col: usize,
+        cmp: usize,
+        lit: i64,
+        neg: bool,
+    },
+    Project {
+        keep: Vec<usize>,
+    },
+    ProjectExprs {
+        a: usize,
+        b: usize,
+    },
+    Sort {
+        cols: Vec<usize>,
+        k: Option<u64>,
+    },
+    Window {
+        order: usize,
+        part: Option<usize>,
+        frame: usize,
+        agg: usize,
+    },
+}
+
+fn op_seed() -> impl Strategy<Value = OpSeed> {
+    prop_oneof![
+        (0usize..8, 0usize..6, 0i64..12, proptest::bool::ANY)
+            .prop_map(|(col, cmp, lit, neg)| { OpSeed::Select { col, cmp, lit, neg } }),
+        proptest::collection::vec(0usize..8, 1..=3).prop_map(|keep| OpSeed::Project { keep }),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| OpSeed::ProjectExprs { a, b }),
+        (
+            proptest::collection::vec(0usize..8, 1..=2),
+            prop_oneof![Just(None), (0u64..5).prop_map(Some)]
+        )
+            .prop_map(|(cols, k)| OpSeed::Sort { cols, k }),
+        (
+            0usize..8,
+            prop_oneof![Just(None), (0usize..8).prop_map(Some)],
+            0usize..5,
+            0usize..5
+        )
+            .prop_map(|(order, part, frame, agg)| OpSeed::Window {
+                order,
+                part,
+                frame,
+                agg
+            }),
+    ]
+}
+
+const CMPS: [CmpOp; 6] = [
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+    CmpOp::Eq,
+    CmpOp::Ne,
+];
+const FRAMES: [(i64, i64); 5] = [(0, 0), (-1, 0), (-2, 0), (-1, 1), (0, 1)];
+
+fn apply(q: Query, names: &mut Vec<String>, fresh: &mut u32, seed: &OpSeed) -> Query {
+    let n = names.len();
+    let mut next_name = || {
+        let name = format!("c{fresh}");
+        *fresh += 1;
+        name
+    };
+    match seed {
+        OpSeed::Select { col, cmp, lit, neg } => {
+            // Neg-of-literal is the regression case: it must print as
+            // `(-(5))`, not `(-5)` (which would fold back into a literal).
+            let rhs = if *neg {
+                RangeExpr::Neg(Box::new(RangeExpr::lit(*lit)))
+            } else {
+                RangeExpr::lit(*lit)
+            };
+            q.select(RangeExpr::Cmp(
+                CMPS[cmp % CMPS.len()],
+                Box::new(RangeExpr::col(col % n)),
+                Box::new(rhs),
+            ))
+        }
+        OpSeed::Project { keep } => {
+            let mut idxs: Vec<usize> = Vec::new();
+            for i in keep {
+                let i = i % n;
+                if !idxs.contains(&i) {
+                    idxs.push(i);
+                }
+            }
+            let selected: Vec<String> = idxs.iter().map(|&i| names[i].clone()).collect();
+            let q = q.project(selected.iter().map(String::as_str));
+            *names = selected;
+            q
+        }
+        OpSeed::ProjectExprs { a, b } => {
+            let (n1, n2) = (next_name(), next_name());
+            let q = q.project_exprs([
+                (RangeExpr::col(a % n), n1.clone()),
+                (
+                    RangeExpr::Add(
+                        Box::new(RangeExpr::col(a % n)),
+                        Box::new(RangeExpr::col(b % n)),
+                    ),
+                    n2.clone(),
+                ),
+            ]);
+            *names = vec![n1, n2];
+            q
+        }
+        OpSeed::Sort { cols, k } => {
+            let mut idxs: Vec<usize> = Vec::new();
+            for i in cols {
+                let i = i % n;
+                if !idxs.contains(&i) {
+                    idxs.push(i);
+                }
+            }
+            let pos = next_name();
+            let q = q.sort_by_as(idxs, pos.clone());
+            names.push(pos);
+            match k {
+                Some(k) => q.topk(*k),
+                None => q,
+            }
+        }
+        OpSeed::Window {
+            order,
+            part,
+            frame,
+            agg,
+        } => {
+            let (l, u) = FRAMES[frame % FRAMES.len()];
+            let agg = match agg % 5 {
+                0 => Agg::sum(order % n),
+                1 => Agg::count(),
+                2 => Agg::min(order % n),
+                3 => Agg::max(order % n),
+                _ => Agg::avg(order % n),
+            };
+            let mut spec = WindowSpec::rows(l, u).order_by([order % n]).aggregate(agg);
+            if let Some(p) = part {
+                spec = spec.partition_by([p % n]);
+            }
+            let out = next_name();
+            let q = q.window(spec.output(out.clone()));
+            names.push(out);
+            q
+        }
+    }
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (au_relation(), proptest::collection::vec(op_seed(), 0..=3)).prop_map(|(rel, seeds)| {
+        let mut names: Vec<String> = rel.schema.cols().to_vec();
+        let mut fresh = 0u32;
+        let mut q = Query::scan(rel);
+        for seed in &seeds {
+            q = apply(q, &mut names, &mut fresh, seed);
+        }
+        q.build().expect("generated plan is valid by construction")
+    })
+}
+
+/// Print a plan, reparse it against a catalog holding its source as `t`,
+/// and return the recompiled plan.
+fn roundtrip(plan: &Plan) -> Plan {
+    let sql = plan.to_sql("t");
+    let mut session = Session::new(Engine::native());
+    session.register("t", Arc::clone(plan.source_arc()));
+    let prepared = session
+        .prepare(&sql)
+        .unwrap_or_else(|e| panic!("printed SQL must reparse: {e}\nsql: {sql}\nplan: {plan:?}"));
+    prepared.plan().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse ∘ print = id`: the reparsed plan has the identical operator
+    /// chain and schemas, shares the same source, and the printed form is a
+    /// fixpoint (printing the reparsed plan gives the same SQL back).
+    #[test]
+    fn printed_plans_reparse_to_the_identical_plan(plan in plan_strategy()) {
+        let sql = plan.to_sql("t");
+        let back = roundtrip(&plan);
+        prop_assert!(
+            plan.same_shape(&back),
+            "plan drifted through SQL:\n  sql: {sql}\n  ops:  {:?}\n  back: {:?}",
+            plan.ops(), back.ops()
+        );
+        prop_assert!(Arc::ptr_eq(plan.source_arc(), back.source_arc()));
+        prop_assert_eq!(back.to_sql("t"), sql, "printing is a fixpoint");
+        prop_assert_eq!(back.sql().unwrap(), sql, "provenance carries the text");
+    }
+
+    /// SQL-issued plans keep the paper's cross-implementation invariant:
+    /// `run_all` (reference ≡ native ≡ rewrite, bag-equal bounds) agrees
+    /// between the original and the reparsed plan.
+    #[test]
+    fn reparsed_plans_agree_on_all_backends(plan in plan_strategy()) {
+        let back = roundtrip(&plan);
+        let original = Engine::native().run_all(&plan).expect("backends agree on original");
+        let reparsed = Engine::native().run_all(&back).expect("backends agree on reparsed");
+        prop_assert!(
+            original.output.bag_eq(&reparsed.output),
+            "original:\n{}\nreparsed:\n{}", original.output, reparsed.output
+        );
+    }
+}
+
+/// Regression: `Neg` over a numeric literal must not print as `(-5)` —
+/// the parser folds that into the literal -5 and the op chain drifts.
+#[test]
+fn neg_of_literal_roundtrips() {
+    let rel = AuRelation::from_rows(
+        Schema::new(["a", "b"]),
+        [(
+            AuTuple::new([RangeValue::new(-9, -3, 1), RangeValue::certain(2i64)]),
+            Mult3::ONE,
+        )],
+    );
+    let plan = Query::scan(rel)
+        .select(RangeExpr::col(0).lt(RangeExpr::Neg(Box::new(RangeExpr::lit(5)))))
+        .build()
+        .unwrap();
+    let sql = plan.to_sql("t");
+    assert_eq!(sql, "SELECT * FROM t WHERE (a < (-(5)))");
+    let back = roundtrip(&plan);
+    assert!(plan.same_shape(&back), "ops: {:?}", back.ops());
+
+    // A plain negative literal still prints (and folds back) as itself.
+    let rel2 = back.source_arc().clone();
+    let plan = Query::scan(rel2)
+        .select(RangeExpr::col(0).lt(RangeExpr::lit(-5)))
+        .build()
+        .unwrap();
+    assert_eq!(plan.to_sql("t"), "SELECT * FROM t WHERE (a < -5)");
+    assert!(plan.same_shape(&roundtrip(&plan)));
+}
+
+/// A deterministic multi-block chain: every operator kind in one plan,
+/// printed across nested sub-selects, reparses identically.
+#[test]
+fn kitchen_sink_plan_roundtrips() {
+    let rel = AuRelation::from_rows(
+        Schema::new(["a", "b"]),
+        [
+            (
+                AuTuple::new([RangeValue::new(1, 2, 3), RangeValue::certain(10i64)]),
+                Mult3::ONE,
+            ),
+            (
+                AuTuple::new([RangeValue::certain(2i64), RangeValue::new(7, 8, 12)]),
+                Mult3::new(0, 1, 1),
+            ),
+        ],
+    );
+    let plan = Query::scan(rel)
+        .select(RangeExpr::col(0).le(RangeExpr::Lit(RangeValue::new(1, 2, 9))))
+        .window(
+            WindowSpec::rows(-1, 0)
+                .order_by(["b"])
+                .partition_by(["a"])
+                .aggregate(Agg::sum("b"))
+                .output("s"),
+        )
+        .project_exprs([
+            (RangeExpr::col(0), "a2".to_string()),
+            (
+                RangeExpr::Mul(Box::new(RangeExpr::col(2)), Box::new(RangeExpr::lit(2))),
+                "s2".to_string(),
+            ),
+        ])
+        .sort_by_as(["s2", "a2"], "rank")
+        .topk(3)
+        .build()
+        .unwrap();
+    let sql = plan.to_sql("t");
+    assert_eq!(
+        sql,
+        "SELECT a AS a2, (s * 2) AS s2 FROM \
+         (SELECT *, SUM(b) OVER (PARTITION BY a ORDER BY b \
+         ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS s FROM t \
+         WHERE (a <= RANGE(1, 2, 9))) ORDER BY s2, a2 AS rank LIMIT 3"
+    );
+    let back = roundtrip(&plan);
+    assert!(plan.same_shape(&back));
+}

@@ -1,0 +1,24 @@
+-- Checked-in SQL demo script: ranking + window queries over the CSV
+-- tables in this directory. CI runs `repro sql workloads/demo.sql` and
+-- diffs the printed bounds against workloads/demo.golden.
+
+-- Top-2 cheapest products (AU-DB top-k: rank ranges + ℕ³ certainty).
+SELECT * FROM products ORDER BY price AS rank LIMIT 2;
+
+-- Certainly-cheap products only, through a range-literal predicate.
+SELECT sku, price FROM products WHERE price < RANGE(9, 9, 16) ORDER BY price;
+
+-- Generalized projection: a derived column rides into the sort.
+SELECT sku, price * 2 AS doubled FROM products ORDER BY doubled LIMIT 3;
+
+-- Rolling per-site temperature sum over the time order.
+SELECT *, SUM(temp) OVER (PARTITION BY site ORDER BY t
+    ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS rolling
+FROM readings;
+
+-- Windowed min over a subquery that pre-filters possible outliers.
+SELECT t, site, MIN(temp) OVER (ORDER BY t ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS low
+FROM (SELECT * FROM readings WHERE temp <= 30);
+
+-- A binding error is reported per statement, without aborting the script.
+SELECT nope FROM products;
