@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [targets...] [--scale X] [--quick] [--json [PATH]]
+//!       [--sizes N,N,...] [--threads N]
 //! repro sql [SCRIPT.sql] [--data DIR] [--table name=path.csv]...
 //!           [--backend reference|native|rewrite] [--explain] [--repl]
 //!
@@ -11,6 +12,10 @@
 //! --quick  endpoint-only sweeps (smoke run)
 //! --json   with the `bench` target: write the tracked perf artifact
 //!          (default BENCH_sort_window.json)
+//! --sizes  with the `bench` target: comma-separated row counts
+//!          (default 1000,4000,16000)
+//! --threads  with the `bench` target: pin the worker-thread count
+//!          (sets AUDB_THREADS; recorded in the artifact)
 //!
 //! The `sql` subcommand loads every `*.csv` in the data directory
 //! (default `workloads/`) as catalog tables and executes textual
@@ -44,6 +49,7 @@ fn main() {
         return;
     }
     let mut opts = ReproOptions::default();
+    let mut bench_cfg = audb_bench::perf::BenchConfig::default();
     let mut targets: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut args = raw.into_iter().peekable();
@@ -54,6 +60,17 @@ fn main() {
                 opts.scale = v.parse().expect("--scale must be a float");
             }
             "--quick" => opts.quick = true,
+            "--sizes" => {
+                let v = args.next().expect("--sizes needs a comma-separated list");
+                bench_cfg.sizes = v
+                    .split(',')
+                    .map(|n| n.trim().parse().expect("--sizes entries must be integers"))
+                    .collect();
+            }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                bench_cfg.threads = Some(v.parse().expect("--threads must be an integer"));
+            }
             "--json" => {
                 // Optional value. Only consume the next token as a path if
                 // it can't be a target name (`repro --json bench` must keep
@@ -65,7 +82,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [heaps|fig11..fig19|bench|all]... [--scale X] [--quick] [--json [PATH]]\n\
+                    "usage: repro [heaps|fig11..fig19|bench|all]... [--scale X] [--quick] [--json [PATH]] \
+                     [--sizes N,N,...] [--threads N]\n\
                      \x20      repro sql [SCRIPT.sql] [--data DIR] [--table name=path.csv]... \
                      [--backend B] [--explain] [--repl]"
                 );
@@ -95,10 +113,13 @@ fn main() {
             "fig17" => figures::fig17(opts),
             "fig18" => figures::fig18(opts),
             "fig19" => figures::fig19(opts),
-            "bench" => audb_bench::perf::run_json(
-                json_path.as_deref().unwrap_or("BENCH_sort_window.json"),
-                opts.quick,
-            ),
+            "bench" => {
+                bench_cfg.quick = opts.quick;
+                audb_bench::perf::run_json(
+                    json_path.as_deref().unwrap_or("BENCH_sort_window.json"),
+                    &bench_cfg,
+                );
+            }
             "all" => figures::run_all(opts),
             other => eprintln!("unknown target {other:?} (try --help)"),
         }

@@ -2,16 +2,20 @@
 //!
 //! `repro bench --json` measures ops/sec of the three methods (`det` — the
 //! deterministic engine on the most-likely world; `imp` — the one-pass
-//! native algorithms; `rewr` — the SQL-style rewrite) for sorting and
-//! windowed aggregation at n ∈ {1k, 4k, 16k}, and writes them as JSON so
-//! the perf trajectory is tracked in-repo from PR to PR. The AU cells share
-//! one logical plan per input (built via `audb_workloads::runner`) and
-//! differ only in the engine backend that executes it. Note for trajectory
-//! readers: as of the engine migration, `rewr` cells include the Rewrite
-//! backend's relational-encoding round-trip scan (an `O(n)` additive term,
-//! within this harness's noise band); `imp` cells — the ones the frozen
-//! `naive_baseline_ms` gate compares against — execute on a borrowed scan
-//! exactly as before.
+//! native algorithms; `rewr` — the SQL-style rewrite) for sorting, windowed
+//! aggregation, and a select/project-carrying ranking plan (`sort_sel`:
+//! `scan → select → project → sort`) at n ∈ {1k, 4k, 16k} by default
+//! (`--sizes` overrides), and writes them as JSON so the perf trajectory is
+//! tracked in-repo from PR to PR.
+//!
+//! Since the physical-pipeline refactor every AU cell is measured under
+//! **both** execution modes — `"exec": "pipeline"` (the production
+//! batch-streaming executor with fused select/project stages) and
+//! `"exec": "materialized"` (the operator-at-a-time loop) — so the
+//! artifact shows what pipelining buys per plan shape. `det` cells carry
+//! `"exec": "materialized"` (the deterministic engine has no pipeline
+//! path). `--threads N` pins `AUDB_THREADS` for reproducible parallelism
+//! and is recorded in the artifact.
 //!
 //! The file also carries the frozen `naive_baseline_ms` block: the same
 //! benchmarks measured on the pre-optimization implementation (per-
@@ -21,14 +25,14 @@
 //! section is regenerated on demand and comparing the two is the ≥ 2×
 //! acceptance gate of the optimization PR.
 
-use audb_core::WinAgg;
-use audb_engine::Engine;
+use audb_core::{RangeExpr, WinAgg};
+use audb_engine::{Engine, ExecMode, Plan, Query};
 use audb_workloads::runner::{sort_plan, window_plan};
 use audb_workloads::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Row counts tracked in the artifact.
+/// Row counts tracked in the artifact by default.
 pub const SIZES: [usize; 3] = [1_000, 4_000, 16_000];
 
 /// Pre-optimization medians (milliseconds) of `imp` on this repo's
@@ -38,13 +42,53 @@ pub const NAIVE_BASELINE_SORT_IMP_MS: [f64; 3] = [1.70, 8.34, 46.40];
 /// Pre-optimization window sweep medians (milliseconds).
 pub const NAIVE_BASELINE_WINDOW_IMP_MS: [f64; 3] = [4.02, 24.19, 125.63];
 
+/// Benchmark configuration (the `repro bench` flags).
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Halve the per-cell run count (smoke runs).
+    pub quick: bool,
+    /// Row counts to measure.
+    pub sizes: Vec<usize>,
+    /// Pinned worker-thread count (`--threads N`); `None` records "auto".
+    pub threads: Option<usize>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            quick: false,
+            sizes: SIZES.to_vec(),
+            threads: None,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The thread count the measured cells actually ran under: the
+    /// `--threads` pin when given, otherwise an ambient `AUDB_THREADS`
+    /// (which `audb_par` honors even without the flag). `None` means the
+    /// run genuinely auto-scaled — that's what the artifact must record,
+    /// or the PR-to-PR trajectory compares pinned runs against parallel
+    /// ones without saying so.
+    pub fn effective_threads(&self) -> Option<usize> {
+        self.threads.or_else(|| {
+            std::env::var("AUDB_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+    }
+}
+
 /// One measured cell.
 #[derive(Clone, Debug)]
 pub struct Measurement {
-    /// `sort` or `window`.
+    /// `sort`, `window`, or `sort_sel` (select/project stages ahead of the
+    /// sort — the plan shape pipelining targets).
     pub op: &'static str,
     /// `det` / `imp` / `rewr`.
     pub method: &'static str,
+    /// `pipeline` or `materialized` — the execution mode of the cell.
+    pub exec: &'static str,
     /// Input rows.
     pub n: usize,
     /// Median milliseconds per run.
@@ -64,97 +108,195 @@ fn time_median(mut f: impl FnMut(), budget_runs: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Measure every (op, method, n) cell. `quick` halves the run counts.
-pub fn measure(quick: bool) -> Vec<Measurement> {
-    let runs = if quick { 3 } else { 7 };
+/// The two AU engine execution arms every (op, method) pair is measured
+/// under.
+const EXECS: [(&str, ExecMode); 2] = [
+    ("pipeline", ExecMode::Pipelined),
+    ("materialized", ExecMode::Materialized),
+];
+
+/// Measure one plan on one backend under both execution modes.
+fn au_cells(
+    out: &mut Vec<Measurement>,
+    op: &'static str,
+    method: &'static str,
+    n: usize,
+    engine: Engine,
+    plan: &Plan,
+    runs: usize,
+) {
+    for (exec, mode) in EXECS {
+        let engine = engine.with_exec_mode(mode);
+        let ms = time_median(
+            || {
+                std::hint::black_box(engine.execute(plan).expect("bench plan executes"));
+            },
+            runs,
+        );
+        out.push(Measurement {
+            op,
+            method,
+            exec,
+            n,
+            ms,
+            ops_per_sec: 1e3 / ms,
+        });
+    }
+}
+
+/// Measure one deterministic-engine cell (always materialized — the
+/// deterministic engine has no pipeline path).
+fn det_cell(out: &mut Vec<Measurement>, op: &'static str, n: usize, f: impl FnMut(), runs: usize) {
+    let ms = time_median(f, runs);
+    out.push(Measurement {
+        op,
+        method: "det",
+        exec: "materialized",
+        n,
+        ms,
+        ops_per_sec: 1e3 / ms,
+    });
+}
+
+/// Scoped `AUDB_THREADS` pin: restores the previous value (or absence) on
+/// drop, so a `--threads` pin does not leak into other `repro` targets of
+/// the same invocation.
+struct ThreadPin(Option<String>);
+
+impl ThreadPin {
+    fn set(threads: Option<usize>) -> ThreadPin {
+        let previous = std::env::var("AUDB_THREADS").ok();
+        if let Some(t) = threads {
+            std::env::set_var("AUDB_THREADS", t.to_string());
+        }
+        ThreadPin(previous)
+    }
+}
+
+impl Drop for ThreadPin {
+    fn drop(&mut self) {
+        match &self.0 {
+            Some(v) => std::env::set_var("AUDB_THREADS", v),
+            None => std::env::remove_var("AUDB_THREADS"),
+        }
+    }
+}
+
+/// Measure every (op, method, exec, n) cell.
+pub fn measure(cfg: &BenchConfig) -> Vec<Measurement> {
+    let _pin = ThreadPin::set(cfg.threads);
+    let runs = if cfg.quick { 3 } else { 7 };
     let mut out = Vec::new();
-    for &n in &SIZES {
+    for &n in &cfg.sizes {
         let table = gen_sort_table(&SyntheticConfig::default().rows(n).seed(3));
         let world = table.most_likely_world();
         let order = [0usize, 1];
-        // One logical plan, two engine backends: only the execution path
-        // differs between the timed cells.
+        // One logical plan, two engine backends × two execution modes:
+        // only the physical path differs between the timed AU cells.
         let plan = sort_plan(&table, &order, None);
-        let cells: [(&'static str, Box<dyn FnMut()>); 3] = [
-            (
-                "det",
-                Box::new(|| {
-                    std::hint::black_box(audb_rel::sort_to_pos(&world, &order, "pos"));
-                }),
-            ),
-            (
-                "imp",
-                Box::new(|| {
-                    std::hint::black_box(Engine::native().execute(&plan).expect("imp sort"));
-                }),
-            ),
-            (
-                "rewr",
-                Box::new(|| {
-                    std::hint::black_box(Engine::rewrite().execute(&plan).expect("rewr sort"));
-                }),
-            ),
-        ];
-        for (method, mut f) in cells {
-            let ms = time_median(&mut *f, runs);
-            out.push(Measurement {
-                op: "sort",
-                method,
-                n,
-                ms,
-                ops_per_sec: 1e3 / ms,
-            });
-        }
+        det_cell(
+            &mut out,
+            "sort",
+            n,
+            || {
+                std::hint::black_box(audb_rel::sort_to_pos(&world, &order, "pos"));
+            },
+            runs,
+        );
+        au_cells(&mut out, "sort", "imp", n, Engine::native(), &plan, runs);
+        au_cells(&mut out, "sort", "rewr", n, Engine::rewrite(), &plan, runs);
+
+        // The pipelining showcase: streamable stages ahead of the breaker
+        // (≈50% selectivity on the certain `b` attribute, then a computed
+        // projection) — materialized execution pays two intermediate
+        // relation builds here, the pipeline executor one fused sweep.
+        let au = table.to_au_relation();
+        let mid = (n as i64 * 20) / 2;
+        let sel_plan = Query::scan(au)
+            .select(RangeExpr::col(1).le(RangeExpr::lit(mid)))
+            .project_exprs([
+                (RangeExpr::col(0), "a".to_string()),
+                (
+                    RangeExpr::Add(Box::new(RangeExpr::col(1)), Box::new(RangeExpr::col(2))),
+                    "bid".to_string(),
+                ),
+            ])
+            .sort_by(["a", "bid"])
+            .build()
+            .expect("sort_sel plan is valid");
+        au_cells(
+            &mut out,
+            "sort_sel",
+            "imp",
+            n,
+            Engine::native(),
+            &sel_plan,
+            runs,
+        );
+        au_cells(
+            &mut out,
+            "sort_sel",
+            "rewr",
+            n,
+            Engine::rewrite(),
+            &sel_plan,
+            runs,
+        );
 
         let wtable = gen_window_table(&SyntheticConfig::default().rows(n).seed(4));
         let wworld = wtable.most_likely_world();
         let wplan = window_plan(&wtable, &[0], WinAgg::Sum(2), -2, 0);
-        let cells: [(&'static str, Box<dyn FnMut()>); 3] = [
-            (
-                "det",
-                Box::new(|| {
-                    std::hint::black_box(audb_rel::window_rows(
-                        &wworld,
-                        &audb_rel::WindowSpec::rows(vec![0], -2, 0),
-                        audb_rel::AggFunc::Sum(2),
-                        "x",
-                    ));
-                }),
-            ),
-            (
-                "imp",
-                Box::new(|| {
-                    std::hint::black_box(Engine::native().execute(&wplan).expect("imp window"));
-                }),
-            ),
-            (
-                "rewr",
-                Box::new(|| {
-                    std::hint::black_box(Engine::rewrite().execute(&wplan).expect("rewr window"));
-                }),
-            ),
-        ];
-        for (method, mut f) in cells {
-            let ms = time_median(&mut *f, runs);
-            out.push(Measurement {
-                op: "window",
-                method,
-                n,
-                ms,
-                ops_per_sec: 1e3 / ms,
-            });
-        }
+        det_cell(
+            &mut out,
+            "window",
+            n,
+            || {
+                std::hint::black_box(audb_rel::window_rows(
+                    &wworld,
+                    &audb_rel::WindowSpec::rows(vec![0], -2, 0),
+                    audb_rel::AggFunc::Sum(2),
+                    "x",
+                ));
+            },
+            runs,
+        );
+        au_cells(&mut out, "window", "imp", n, Engine::native(), &wplan, runs);
+        au_cells(
+            &mut out,
+            "window",
+            "rewr",
+            n,
+            Engine::rewrite(),
+            &wplan,
+            runs,
+        );
     }
     out
 }
 
 /// Render the artifact JSON (no serde in this workspace; the structure is
 /// flat enough to emit by hand).
-pub fn render_json(measurements: &[Measurement]) -> String {
+pub fn render_json(measurements: &[Measurement], cfg: &BenchConfig) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"artifact\": \"BENCH_sort_window\",\n");
-    s.push_str("  \"sizes\": [1000, 4000, 16000],\n");
+    s.push_str("  \"schema_version\": 2,\n");
+    let sizes = cfg
+        .sizes
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(s, "  \"sizes\": [{sizes}],");
+    // Record what the cells actually ran under: the --threads pin or an
+    // ambient AUDB_THREADS both pin parallelism; only their absence is
+    // honestly "auto".
+    match cfg.effective_threads() {
+        Some(t) => {
+            let _ = writeln!(s, "  \"threads\": {t},");
+        }
+        None => s.push_str("  \"threads\": \"auto\",\n"),
+    }
     s.push_str("  \"naive_baseline_ms\": {\n");
     let _ = writeln!(
         s,
@@ -173,8 +315,8 @@ pub fn render_json(measurements: &[Measurement]) -> String {
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"op\": \"{}\", \"method\": \"{}\", \"n\": {}, \"ms\": {:.3}, \"ops_per_sec\": {:.3}}}",
-            m.op, m.method, m.n, m.ms, m.ops_per_sec
+            "    {{\"op\": \"{}\", \"method\": \"{}\", \"exec\": \"{}\", \"n\": {}, \"ms\": {:.3}, \"ops_per_sec\": {:.3}}}",
+            m.op, m.method, m.exec, m.n, m.ms, m.ops_per_sec
         );
         s.push_str(if i + 1 < measurements.len() {
             ",\n"
@@ -184,28 +326,35 @@ pub fn render_json(measurements: &[Measurement]) -> String {
     }
     s.push_str("  ],\n");
     // Headline ratio the acceptance gate reads: naive / current for
-    // sort/imp at 16k rows.
+    // sort/imp (pipeline arm) at 16k rows; null when 16k was not measured
+    // (e.g. the CI `--sizes 1000` smoke run).
     let head = measurements
         .iter()
-        .find(|m| m.op == "sort" && m.method == "imp" && m.n == 16_000);
-    let speedup = head
-        .map(|m| NAIVE_BASELINE_SORT_IMP_MS[2] / m.ms)
-        .unwrap_or(f64::NAN);
-    let _ = writeln!(s, "  \"sort_imp_16k_speedup_vs_naive\": {speedup:.2}");
+        .find(|m| m.op == "sort" && m.method == "imp" && m.exec == "pipeline" && m.n == 16_000);
+    match head {
+        Some(m) => {
+            let _ = writeln!(
+                s,
+                "  \"sort_imp_16k_speedup_vs_naive\": {:.2}",
+                NAIVE_BASELINE_SORT_IMP_MS[2] / m.ms
+            );
+        }
+        None => s.push_str("  \"sort_imp_16k_speedup_vs_naive\": null\n"),
+    }
     s.push_str("}\n");
     s
 }
 
 /// Run the tracked benchmark and write `path`.
-pub fn run_json(path: &str, quick: bool) {
-    let measurements = measure(quick);
+pub fn run_json(path: &str, cfg: &BenchConfig) {
+    let measurements = measure(cfg);
     for m in &measurements {
         println!(
-            "{:>6} rows  {:<6} {:<5} {:>10.3} ms  {:>10.2} ops/s",
-            m.n, m.op, m.method, m.ms, m.ops_per_sec
+            "{:>6} rows  {:<8} {:<5} {:<12} {:>10.3} ms  {:>10.2} ops/s",
+            m.n, m.op, m.method, m.exec, m.ms, m.ops_per_sec
         );
     }
-    let json = render_json(&measurements);
+    let json = render_json(&measurements, cfg);
     std::fs::write(path, &json).expect("write bench artifact");
     println!("wrote {path}");
 }
@@ -213,32 +362,95 @@ pub fn run_json(path: &str, quick: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes every test that touches `AUDB_THREADS`. Mutating the
+    /// process environment while another thread reads it is UB
+    /// (setenv/getenv), so the writer *and* every reader (anything calling
+    /// `effective_threads`, e.g. via `render_json` on a config without a
+    /// pinned count) must hold this.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn cell(
+        op: &'static str,
+        method: &'static str,
+        exec: &'static str,
+        n: usize,
+        ms: f64,
+    ) -> Measurement {
+        Measurement {
+            op,
+            method,
+            exec,
+            n,
+            ms,
+            ops_per_sec: 1e3 / ms,
+        }
+    }
 
     #[test]
     fn render_is_valid_shaped_json() {
+        // render_json on a default config reads AUDB_THREADS via
+        // effective_threads — serialize against the env-mutating test.
+        let _guard = ENV_LOCK.lock().unwrap();
         let ms = vec![
-            Measurement {
-                op: "sort",
-                method: "imp",
-                n: 16_000,
-                ms: 20.0,
-                ops_per_sec: 50.0,
-            },
-            Measurement {
-                op: "window",
-                method: "det",
-                n: 1_000,
-                ms: 1.0,
-                ops_per_sec: 1000.0,
-            },
+            cell("sort", "imp", "pipeline", 16_000, 20.0),
+            cell("sort", "imp", "materialized", 16_000, 21.0),
+            cell("window", "det", "materialized", 1_000, 1.0),
         ];
-        let json = render_json(&ms);
+        let json = render_json(&ms, &BenchConfig::default());
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema_version\": 2"));
+        // ("auto" vs a number depends on the ambient AUDB_THREADS — the
+        // env-sensitive assertions live in thread_pin_scopes_and_records,
+        // which owns the variable.)
+        assert!(json.contains("\"threads\": "));
+        // Headline reads the pipeline arm (20ms), not the materialized one.
         assert!(json.contains("\"sort_imp_16k_speedup_vs_naive\": 2.32"));
         assert!(json.contains("\"naive_baseline_ms\""));
-        assert_eq!(json.matches("\"op\"").count(), 2);
+        assert_eq!(json.matches("\"op\"").count(), 3);
+        assert_eq!(json.matches("\"exec\"").count(), 3);
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn thread_pin_scopes_and_records() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // The flag wins over the ambient variable and is restored after.
+        std::env::set_var("AUDB_THREADS", "3");
+        let cfg = BenchConfig {
+            threads: Some(5),
+            ..BenchConfig::default()
+        };
+        assert_eq!(cfg.effective_threads(), Some(5));
+        {
+            let _pin = ThreadPin::set(cfg.threads);
+            assert_eq!(std::env::var("AUDB_THREADS").unwrap(), "5");
+        }
+        assert_eq!(std::env::var("AUDB_THREADS").unwrap(), "3");
+        // Without the flag, the ambient pin is what the artifact records.
+        let cfg = BenchConfig::default();
+        assert_eq!(cfg.effective_threads(), Some(3));
+        assert!(render_json(&[], &cfg).contains("\"threads\": 3"));
+        std::env::remove_var("AUDB_THREADS");
+        assert_eq!(cfg.effective_threads(), None);
+        assert!(render_json(&[], &cfg).contains("\"threads\": \"auto\""));
+    }
+
+    #[test]
+    fn headline_is_null_without_a_16k_cell() {
+        let ms = vec![cell("sort", "imp", "pipeline", 1_000, 1.0)];
+        let cfg = BenchConfig {
+            quick: true,
+            sizes: vec![1_000],
+            threads: Some(2),
+        };
+        let json = render_json(&ms, &cfg);
+        assert!(json.contains("\"sort_imp_16k_speedup_vs_naive\": null"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"sizes\": [1000]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

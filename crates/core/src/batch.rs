@@ -1,0 +1,161 @@
+//! Cache-sized batch views over [`AuRelation`] — the unit of work of the
+//! engine's batch-streaming executor.
+//!
+//! A *batch* is a contiguous, borrowed slice of an AU-relation's rows. The
+//! physical operator pipeline (see `audb-engine`'s `exec` module) streams
+//! tuples through fused selection/projection chains one batch at a time, so
+//! the working set of a pipeline stage stays cache-sized regardless of the
+//! relation's total size, and independent batches can be processed
+//! morsel-parallel with deterministic output order.
+//!
+//! The view is deliberately thin: it adds no ownership and no copying —
+//! `AuRelation::batches(size)` is just a schema-carrying `chunks(size)`.
+//! Expression evaluation over whole batches lives here too
+//! ([`RangeExpr::eval_batch`] / [`RangeExpr::truth_batch`]): one call per
+//! batch for kernels that want a flat column of results (the fused
+//! executor itself stays row-at-a-time so a failed `select` can
+//! short-circuit the rest of the chain).
+
+use crate::expr::RangeExpr;
+use crate::range_value::{RangeValue, TruthRange};
+use crate::relation::{AuRelation, AuRow};
+use audb_rel::Schema;
+
+/// A borrowed, contiguous slice of an AU-relation: the unit the pipeline
+/// executor streams. Carries the schema (batches never change shape
+/// mid-pipeline) and the batch's ordinal position in its parent relation.
+#[derive(Clone, Copy, Debug)]
+pub struct AuBatch<'a> {
+    /// Schema shared by every row of the batch.
+    pub schema: &'a Schema,
+    /// The rows of this batch (at most the requested batch size).
+    pub rows: &'a [AuRow],
+    /// 0-based index of this batch within the relation's batch sequence.
+    pub index: usize,
+}
+
+impl<'a> AuBatch<'a> {
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the batch holds no rows (only possible for an empty
+    /// relation's single batch — interior batches are always full).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Iterator over the batches of a relation; see [`AuRelation::batches`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    schema: &'a Schema,
+    chunks: std::slice::Chunks<'a, AuRow>,
+    next_index: usize,
+}
+
+impl<'a> Iterator for Batches<'a> {
+    type Item = AuBatch<'a>;
+
+    fn next(&mut self) -> Option<AuBatch<'a>> {
+        let rows = self.chunks.next()?;
+        let index = self.next_index;
+        self.next_index += 1;
+        Some(AuBatch {
+            schema: self.schema,
+            rows,
+            index,
+        })
+    }
+}
+
+impl AuRelation {
+    /// Iterate the relation as contiguous batches of at most `size` rows
+    /// (the last batch may be shorter). Borrowing only — no row is copied.
+    ///
+    /// `size` is clamped to at least 1; an empty relation yields no
+    /// batches.
+    pub fn batches(&self, size: usize) -> Batches<'_> {
+        Batches {
+            schema: &self.schema,
+            chunks: self.rows.chunks(size.max(1)),
+            next_index: 0,
+        }
+    }
+
+    /// Number of batches `batches(size)` will yield.
+    pub fn batch_count(&self, size: usize) -> usize {
+        self.rows.len().div_ceil(size.max(1))
+    }
+}
+
+impl RangeExpr {
+    /// Evaluate the expression over every row of a batch, producing one
+    /// [`RangeValue`] per row (in row order).
+    pub fn eval_batch(&self, rows: &[AuRow]) -> Vec<RangeValue> {
+        rows.iter().map(|r| self.eval(&r.tuple)).collect()
+    }
+
+    /// Evaluate the expression as a predicate over every row of a batch,
+    /// producing one [`TruthRange`] per row (in row order).
+    pub fn truth_batch(&self, rows: &[AuRow]) -> Vec<TruthRange> {
+        rows.iter().map(|r| self.truth(&r.tuple)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mult::Mult3;
+    use crate::tuple::AuTuple;
+
+    fn rel(n: usize) -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["a"]),
+            (0..n).map(|i| (AuTuple::new([RangeValue::certain(i as i64)]), Mult3::ONE)),
+        )
+    }
+
+    #[test]
+    fn batches_cover_every_row_in_order() {
+        let r = rel(10);
+        for size in [1, 3, 10, 64] {
+            let batches: Vec<_> = r.batches(size).collect();
+            assert_eq!(batches.len(), r.batch_count(size));
+            let flat: Vec<&AuRow> = batches.iter().flat_map(|b| b.rows.iter()).collect();
+            assert_eq!(flat.len(), 10);
+            for (i, row) in flat.iter().enumerate() {
+                assert_eq!(row.tuple.get(0), &RangeValue::certain(i as i64));
+            }
+            for (i, b) in batches.iter().enumerate() {
+                assert_eq!(b.index, i);
+                assert_eq!(b.schema, &r.schema);
+                assert!(!b.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_and_zero_size_are_safe() {
+        let empty = rel(0);
+        assert_eq!(empty.batches(8).count(), 0);
+        assert_eq!(empty.batch_count(8), 0);
+        // size 0 clamps to 1 instead of panicking.
+        assert_eq!(rel(3).batches(0).count(), 3);
+        assert_eq!(rel(3).batch_count(0), 3);
+    }
+
+    #[test]
+    fn batch_eval_matches_per_row_eval() {
+        let r = rel(5);
+        let e = RangeExpr::col(0).le(RangeExpr::lit(2));
+        let truths = e.truth_batch(&r.rows);
+        let vals = RangeExpr::col(0).eval_batch(&r.rows);
+        assert_eq!(truths.len(), 5);
+        for (i, row) in r.rows.iter().enumerate() {
+            assert_eq!(truths[i], e.truth(&row.tuple));
+            assert_eq!(vals[i], *row.tuple.get(0));
+        }
+    }
+}

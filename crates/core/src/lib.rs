@@ -42,6 +42,7 @@
 //! assert!(!top.is_empty());
 //! ```
 
+pub mod batch;
 pub mod cmp;
 pub mod encode;
 pub mod expr;
@@ -53,6 +54,7 @@ pub mod relation;
 pub mod sortkey;
 pub mod tuple;
 
+pub use batch::{AuBatch, Batches};
 pub use cmp::{tuple_lt, CmpSemantics};
 pub use expr::RangeExpr;
 pub use mult::Mult3;

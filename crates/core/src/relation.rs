@@ -58,6 +58,16 @@ impl AuRelation {
         }
     }
 
+    /// Build from already-assembled [`AuRow`]s (the pipeline executor's
+    /// batch output). Conservatively not marked normalized.
+    pub fn from_au_rows(schema: Schema, rows: Vec<AuRow>) -> Self {
+        AuRelation {
+            schema,
+            rows,
+            normalized: false,
+        }
+    }
+
     /// Lift a deterministic relation into a fully certain AU-relation.
     pub fn certain(rel: &audb_rel::Relation) -> Self {
         AuRelation {

@@ -23,18 +23,19 @@
 //! between methods, so those are the trait's required methods.
 
 use crate::error::EngineError;
+use crate::exec::{self, ExecMode, ExecTrace, DEFAULT_BATCH_SIZE};
 use crate::plan::{Op, Plan};
 use audb_core::encode::{decode, encode};
 use audb_core::{
-    au_project, au_project_cols, au_select, sort_ref, window_ref, AuRelation, AuWindowSpec,
-    CmpSemantics, RangeValue, WinAgg,
+    au_select, sort_ref, window_ref, AuRelation, AuWindowSpec, CmpSemantics, RangeValue, WinAgg,
 };
 use audb_rewrite::JoinStrategy;
 use std::borrow::Cow;
 
-/// A physical implementation of the logical plan language. `execute` walks
-/// the operator chain; the per-operator hooks are what distinguish the
-/// three methods.
+/// A physical implementation of the logical plan language. `execute` runs
+/// the operator chain through the physical execution layer
+/// ([`crate::exec`]) in the backend's [`Backend::preferred_mode`]; the
+/// per-operator hooks are what distinguish the three methods.
 pub trait Backend {
     /// Stable backend name (used in explain output and disagreement
     /// reports).
@@ -81,32 +82,28 @@ pub trait Backend {
         "borrow the AU-relation in place".to_string()
     }
 
-    /// Execute a validated plan: scan, then apply each operator in order.
-    /// Selection and projection are shared across backends (the \[24\]
-    /// semantics of `audb-core`); the order-based operators dispatch to the
-    /// backend hooks.
+    /// How this backend runs plans: the batch-streaming pipeline executor
+    /// for the production backends, materialized operator-at-a-time for
+    /// the semantic oracle. Both modes are bag-equal on every plan
+    /// (property-tested); they differ only in intermediate materialization
+    /// and parallelism.
+    fn preferred_mode(&self) -> ExecMode {
+        ExecMode::Materialized
+    }
+
+    /// Execute a validated plan through the physical execution layer in
+    /// this backend's preferred mode. Selection and projection are shared
+    /// across backends (the \[24\] semantics of `audb-core`, fused into
+    /// per-batch chains under [`ExecMode::Pipelined`]); the order-based
+    /// operators dispatch to the backend hooks as pipeline breakers.
     fn execute(&self, plan: &Plan) -> Result<AuRelation, EngineError> {
-        let mut cur: Cow<'_, AuRelation> = self.scan(plan.source())?;
-        for op in plan.ops() {
-            let next = match op {
-                Op::Select { pred } => au_select(&cur, pred),
-                Op::Project { cols } => au_project_cols(&cur, cols),
-                Op::ProjectExprs { exprs } => {
-                    let borrowed: Vec<(audb_core::RangeExpr, &str)> =
-                        exprs.iter().map(|(e, n)| (e.clone(), n.as_str())).collect();
-                    au_project(&cur, &borrowed)
-                }
-                Op::Sort { order, pos_name } => self.sort(&cur, order, pos_name)?,
-                Op::TopK { order, k, pos_name } => self.topk(&cur, order, *k, pos_name)?,
-                Op::Window {
-                    spec,
-                    agg,
-                    out_name,
-                } => self.window(&cur, spec, *agg, out_name)?,
-            };
-            cur = Cow::Owned(next);
-        }
-        Ok(cur.into_owned())
+        self.execute_traced(plan).map(|(rel, _)| rel)
+    }
+
+    /// Like [`Backend::execute`], also returning the per-operator wall
+    /// times and batch counts the executor measured.
+    fn execute_traced(&self, plan: &Plan) -> Result<(AuRelation, ExecTrace), EngineError> {
+        exec::execute(self, plan, self.preferred_mode(), DEFAULT_BATCH_SIZE)
     }
 }
 
@@ -229,6 +226,12 @@ impl Backend for Native {
         "native"
     }
 
+    /// Production backend: batch-streaming pipelines with fused
+    /// select/project chains.
+    fn preferred_mode(&self) -> ExecMode {
+        ExecMode::Pipelined
+    }
+
     fn sort(
         &self,
         rel: &AuRelation,
@@ -297,6 +300,13 @@ pub struct Rewrite {
 impl Backend for Rewrite {
     fn name(&self) -> &'static str {
         "rewrite"
+    }
+
+    /// The rewrites execute over materialized encodings per breaker, but
+    /// the streamable stages between them pipeline like the native
+    /// backend's.
+    fn preferred_mode(&self) -> ExecMode {
+        ExecMode::Pipelined
     }
 
     /// Round-trip the source through the flat relational encoding (three

@@ -3,11 +3,12 @@
 
 use crate::backend::{Backend, Native, Reference, Rewrite};
 use crate::error::EngineError;
+use crate::exec::{self, ExecMode, ExecTrace, OpTiming, DEFAULT_BATCH_SIZE};
 use crate::plan::Plan;
 use audb_core::{AuRelation, CmpSemantics};
 use audb_rewrite::JoinStrategy;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which physical implementation executes plans.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +70,8 @@ pub struct Engine {
     choice: BackendChoice,
     semantics: CmpSemantics,
     join_strategy: JoinStrategy,
+    batch_size: usize,
+    exec_mode: Option<ExecMode>,
 }
 
 impl Default for Engine {
@@ -87,6 +90,8 @@ impl Engine {
             choice,
             semantics: CmpSemantics::default(),
             join_strategy: JoinStrategy::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
+            exec_mode: None,
         }
     }
 
@@ -118,6 +123,37 @@ impl Engine {
     pub fn with_join_strategy(mut self, strategy: JoinStrategy) -> Self {
         self.join_strategy = strategy;
         self
+    }
+
+    /// Override the pipeline executor's batch size (default
+    /// [`DEFAULT_BATCH_SIZE`]). Any batch size produces the same bounds —
+    /// this knob trades per-batch dispatch against cache residency, and
+    /// lets tests pin degenerate sizes (1, n, > n).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Force an execution mode for every backend, overriding
+    /// [`Backend::preferred_mode`]. `Pipelined` runs even the reference
+    /// backend through the batch-streaming executor; `Materialized` forces
+    /// the original operator-at-a-time loop (the comparison arm of the
+    /// pipelined-≡-materialized property test and of `repro bench`).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = Some(mode);
+        self
+    }
+
+    /// The pipeline executor's batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The execution mode a given backend runs under on this engine: the
+    /// forced override when [`Engine::with_exec_mode`] was called, the
+    /// backend's preference otherwise.
+    pub fn exec_mode_for(&self, backend: &dyn Backend) -> ExecMode {
+        self.exec_mode.unwrap_or_else(|| backend.preferred_mode())
     }
 
     /// The backend the engine was asked for.
@@ -160,9 +196,18 @@ impl Engine {
         }
     }
 
-    /// Execute a plan on the effective backend.
+    /// Execute a plan on the effective backend (through the physical
+    /// execution layer, in the backend's — or the forced — mode).
     pub fn execute(&self, plan: &Plan) -> Result<AuRelation, EngineError> {
-        self.backend_for(self.effective()).execute(plan)
+        self.execute_traced(plan).map(|(rel, _)| rel)
+    }
+
+    /// Execute a plan, also returning the executor's per-operator wall
+    /// times and batch counts.
+    pub fn execute_traced(&self, plan: &Plan) -> Result<(AuRelation, ExecTrace), EngineError> {
+        let backend = self.backend_for(self.effective());
+        let mode = self.exec_mode_for(&*backend);
+        exec::execute(&*backend, plan, mode, self.batch_size)
     }
 
     /// Describe how this engine would run the plan: chosen backend (after
@@ -183,12 +228,20 @@ impl Engine {
                 note: backend.op_note(op),
             });
         }
+        let mode = self.exec_mode_for(&*backend);
+        let pipelines = match mode {
+            ExecMode::Pipelined => exec::lower(plan).iter().map(|p| p.describe(plan)).collect(),
+            ExecMode::Materialized => Vec::new(),
+        };
         Explain {
             requested: self.choice,
             backend: effective,
             fallback: self.fallback_reason(),
             sql: plan.sql().map(str::to_string),
             steps,
+            mode,
+            batch_size: self.batch_size,
+            pipelines,
         }
     }
 
@@ -213,13 +266,16 @@ impl Engine {
         let mut runs = Vec::with_capacity(BackendChoice::ALL.len());
         for choice in BackendChoice::ALL {
             let backend = comparable.backend_for(choice);
-            let start = Instant::now();
-            let out = backend.execute(plan)?;
+            let mode = comparable.exec_mode_for(&*backend);
+            let start = std::time::Instant::now();
+            let (out, trace) = exec::execute(&*backend, plan, mode, comparable.batch_size)?;
             let elapsed = start.elapsed();
             runs.push(BackendRun {
                 backend: choice,
+                mode,
                 elapsed,
                 rows: out.len(),
+                ops: trace.ops,
             });
             match &output {
                 None => output = Some(out),
@@ -243,14 +299,19 @@ impl Engine {
 }
 
 /// One backend's timing in a [`RunAll`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BackendRun {
     /// Which backend ran.
     pub backend: BackendChoice,
+    /// Execution mode the backend ran under.
+    pub mode: ExecMode,
     /// Wall-clock execution time of the whole plan.
     pub elapsed: Duration,
     /// Output rows produced (pre-normalization).
     pub rows: usize,
+    /// Per-operator wall times and batch counts, in execution order (the
+    /// first entry is the scan).
+    pub ops: Vec<OpTiming>,
 }
 
 /// Result of [`Engine::run_all`]: the agreed output and per-backend
@@ -273,11 +334,32 @@ impl RunAll {
     }
 }
 
+/// The stable `run_all` report format (golden-tested in
+/// `run_all_report_format_is_stable`):
+///
+/// ```text
+/// all backends agree (N output rows):
+///   <backend>  <mode>  <total>
+///     · <op label>  <elapsed>  <batches> batches  <rows> rows
+/// ```
 impl fmt::Display for RunAll {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "all backends agree ({} output rows):", self.output.len())?;
         for r in &self.runs {
-            writeln!(f, "  {:<9} {:>12.3?}", r.backend.to_string(), r.elapsed)?;
+            writeln!(
+                f,
+                "  {:<9} {:<12} {:>12.3?}",
+                r.backend.to_string(),
+                r.mode.to_string(),
+                r.elapsed
+            )?;
+            for op in &r.ops {
+                writeln!(
+                    f,
+                    "    · {:<26} {:>12.3?}  {:>4} batches {:>7} rows",
+                    op.label, op.elapsed, op.batches, op.rows_out
+                )?;
+            }
         }
         Ok(())
     }
@@ -307,6 +389,9 @@ pub struct ExplainStep {
 ///  0. scan [N rows]
 ///       schema: (...)
 ///       note:   ...
+/// exec:    pipelined · batch 1024 · 2 pipelines          (or `materialized (operator-at-a-time)`)
+///       p0: fuse(select · project) ⇒ breaker sort
+///       p1: passthrough ⇒ output
 /// ```
 #[derive(Clone, Debug)]
 pub struct Explain {
@@ -321,6 +406,14 @@ pub struct Explain {
     pub sql: Option<String>,
     /// Scan + one step per operator.
     pub steps: Vec<ExplainStep>,
+    /// Execution mode the plan will run under on this engine.
+    pub mode: ExecMode,
+    /// Batch size of the pipeline executor.
+    pub batch_size: usize,
+    /// The lowered physical pipelines (fused stages + breaker
+    /// annotations), one rendered line per pipeline; empty under
+    /// materialized execution and for scan-only plans.
+    pub pipelines: Vec<String>,
 }
 
 /// Collapse whitespace runs so a line-wrapped statement renders as one
@@ -346,6 +439,23 @@ impl fmt::Display for Explain {
             writeln!(f, "{:>2}. {}", i, step.op)?;
             writeln!(f, "      schema: {}", step.schema)?;
             writeln!(f, "      note:   {}", step.note)?;
+        }
+        match self.mode {
+            ExecMode::Materialized => {
+                writeln!(f, "exec:    materialized (operator-at-a-time)")?;
+            }
+            ExecMode::Pipelined => {
+                writeln!(
+                    f,
+                    "exec:    pipelined · batch {} · {} pipeline{}",
+                    self.batch_size,
+                    self.pipelines.len(),
+                    if self.pipelines.len() == 1 { "" } else { "s" }
+                )?;
+                for (i, p) in self.pipelines.iter().enumerate() {
+                    writeln!(f, "      p{i}: {p}")?;
+                }
+            }
         }
         Ok(())
     }

@@ -1,0 +1,435 @@
+//! The batch-streaming executor and its materialized twin.
+//!
+//! [`execute`] runs a validated plan on any [`Backend`] in one of two
+//! modes:
+//!
+//! * [`ExecMode::Materialized`] — the original operator-at-a-time loop: a
+//!   full [`AuRelation`] between every step. Kept as the semantic oracle
+//!   (the [`Reference`](crate::Reference) backend's mode) and as the
+//!   comparison arm of the pipelined-≡-materialized property test.
+//! * [`ExecMode::Pipelined`] — the lowered [`Pipeline`]s: each pipeline's
+//!   fused select/project chain is applied per cache-sized batch, with the
+//!   batches of one stage processed **morsel-parallel** through
+//!   [`audb_par::par_map`] (deterministic output order: batch `i`'s rows
+//!   always precede batch `i + 1`'s). Only breakers materialize.
+//!
+//! Both modes collect an [`ExecTrace`]: per-operator wall time, batch
+//! count and output cardinality, surfaced by `Engine::run_all` and
+//! `repro bench`.
+
+use super::lower::{fuse_label, lower, Pipeline};
+use crate::backend::Backend;
+use crate::error::EngineError;
+use crate::plan::{Op, Plan};
+use audb_core::{AuRelation, AuRow, AuTuple};
+use std::borrow::Cow;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Default number of rows per batch: small enough that a batch of tuples
+/// plus its fused-stage output stays cache-resident, large enough to
+/// amortize per-batch dispatch.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// How a backend runs plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Operator-at-a-time with a materialized relation between steps.
+    Materialized,
+    /// Batch-streaming pipelines with fused stages and breaker-only
+    /// materialization.
+    Pipelined,
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecMode::Materialized => write!(f, "materialized"),
+            ExecMode::Pipelined => write!(f, "pipelined"),
+        }
+    }
+}
+
+/// One physical operator's measured execution.
+#[derive(Clone, Debug)]
+pub struct OpTiming {
+    /// Stable label: `scan`, a breaker's operator name, or
+    /// `fuse(select · project)` for a fused stage.
+    pub label: String,
+    /// Wall-clock time spent in this operator.
+    pub elapsed: Duration,
+    /// Batches processed (materialized operators count their single
+    /// materialized input as one batch).
+    pub batches: usize,
+    /// Rows flowing out of the operator.
+    pub rows_out: usize,
+}
+
+/// The measured physical execution of one plan on one backend.
+#[derive(Clone, Debug)]
+pub struct ExecTrace {
+    /// Mode the plan ran under.
+    pub mode: ExecMode,
+    /// Batch size used (also reported for materialized runs, where it only
+    /// affects the nominal scan batch count).
+    pub batch_size: usize,
+    /// Number of pipelines the plan lowered to (0 for materialized runs
+    /// and scan-only plans).
+    pub pipelines: usize,
+    /// Per-operator timings, in execution order (first entry is the scan).
+    pub ops: Vec<OpTiming>,
+}
+
+/// Execute `plan` on `backend` in the given mode, collecting a trace.
+pub fn execute<B: Backend + ?Sized>(
+    backend: &B,
+    plan: &Plan,
+    mode: ExecMode,
+    batch_size: usize,
+) -> Result<(AuRelation, ExecTrace), EngineError> {
+    match mode {
+        ExecMode::Materialized => run_materialized(backend, plan, batch_size),
+        ExecMode::Pipelined => run_pipelined(backend, plan, batch_size),
+    }
+}
+
+/// Dispatch one breaker operator to its backend hook.
+fn run_breaker<B: Backend + ?Sized>(
+    backend: &B,
+    op: &Op,
+    input: &AuRelation,
+) -> Result<AuRelation, EngineError> {
+    match op {
+        Op::Sort { order, pos_name } => backend.sort(input, order, pos_name),
+        Op::TopK { order, k, pos_name } => backend.topk(input, order, *k, pos_name),
+        Op::Window {
+            spec,
+            agg,
+            out_name,
+        } => backend.window(input, spec, *agg, out_name),
+        _ => unreachable!("only order-based operators are pipeline breakers"),
+    }
+}
+
+/// The operator-at-a-time loop: every step materializes.
+fn run_materialized<B: Backend + ?Sized>(
+    backend: &B,
+    plan: &Plan,
+    batch_size: usize,
+) -> Result<(AuRelation, ExecTrace), EngineError> {
+    let mut ops = Vec::with_capacity(plan.ops().len() + 1);
+    let start = Instant::now();
+    let mut cur: Cow<'_, AuRelation> = backend.scan(plan.source())?;
+    ops.push(OpTiming {
+        label: "scan".to_string(),
+        elapsed: start.elapsed(),
+        batches: cur.batch_count(batch_size),
+        rows_out: cur.len(),
+    });
+    for op in plan.ops() {
+        let start = Instant::now();
+        let next = match op {
+            Op::Select { pred } => audb_core::au_select(&cur, pred),
+            Op::Project { cols } => audb_core::au_project_cols(&cur, cols),
+            Op::ProjectExprs { exprs } => {
+                let borrowed: Vec<(audb_core::RangeExpr, &str)> =
+                    exprs.iter().map(|(e, n)| (e.clone(), n.as_str())).collect();
+                audb_core::au_project(&cur, &borrowed)
+            }
+            breaker => run_breaker(backend, breaker, &cur)?,
+        };
+        cur = Cow::Owned(next);
+        ops.push(OpTiming {
+            label: op.name().to_string(),
+            elapsed: start.elapsed(),
+            batches: 1,
+            rows_out: cur.len(),
+        });
+    }
+    Ok((
+        cur.into_owned(),
+        ExecTrace {
+            mode: ExecMode::Materialized,
+            batch_size,
+            pipelines: 0,
+            ops,
+        },
+    ))
+}
+
+/// Apply a fused chain of streamable operators to one batch of rows,
+/// producing the surviving (possibly reshaped) rows in input order.
+///
+/// Semantics mirror the materialized operators exactly:
+/// * `select` filters the multiplicity triple by the predicate's truth
+///   triple and drops rows whose filtered annotation is `(0, 0, 0)`;
+/// * both projections drop rows whose (current) annotation is zero, then
+///   map the tuple.
+fn apply_fused(steps: &[&Op], rows: &[AuRow]) -> Vec<AuRow> {
+    let mut out = Vec::with_capacity(rows.len());
+    'rows: for row in rows {
+        let mut tuple: Cow<'_, AuTuple> = Cow::Borrowed(&row.tuple);
+        let mut mult = row.mult;
+        for step in steps {
+            match step {
+                Op::Select { pred } => {
+                    mult = mult.filter(pred.truth(&tuple));
+                    if mult.is_zero() {
+                        continue 'rows;
+                    }
+                }
+                Op::Project { cols } => {
+                    if mult.is_zero() {
+                        continue 'rows;
+                    }
+                    tuple = Cow::Owned(tuple.project(cols));
+                }
+                Op::ProjectExprs { exprs } => {
+                    if mult.is_zero() {
+                        continue 'rows;
+                    }
+                    tuple = Cow::Owned(AuTuple::new(exprs.iter().map(|(e, _)| e.eval(&tuple))));
+                }
+                _ => unreachable!("breakers are never fused"),
+            }
+        }
+        out.push(AuRow {
+            tuple: tuple.into_owned(),
+            mult,
+        });
+    }
+    out
+}
+
+/// The batch-streaming executor: fused stages morsel-parallel per batch,
+/// breakers via the backend hooks.
+fn run_pipelined<B: Backend + ?Sized>(
+    backend: &B,
+    plan: &Plan,
+    batch_size: usize,
+) -> Result<(AuRelation, ExecTrace), EngineError> {
+    let pipelines: Vec<Pipeline> = lower(plan);
+    let mut ops = Vec::with_capacity(plan.ops().len() + 1);
+    let start = Instant::now();
+    let mut cur: Cow<'_, AuRelation> = backend.scan(plan.source())?;
+    ops.push(OpTiming {
+        label: "scan".to_string(),
+        elapsed: start.elapsed(),
+        batches: cur.batch_count(batch_size),
+        rows_out: cur.len(),
+    });
+    for pipeline in &pipelines {
+        if !pipeline.fused.is_empty() {
+            let start = Instant::now();
+            let steps: Vec<&Op> = pipeline.fused.iter().map(|&i| &plan.ops()[i]).collect();
+            // Output schema of the last fused operator.
+            let out_schema = plan.schemas()[pipeline.fused.last().unwrap() + 1].clone();
+            let batches: Vec<audb_core::AuBatch<'_>> = cur.batches(batch_size).collect();
+            let n_batches = batches.len();
+            // Morsel-parallel: each batch runs the whole fused chain
+            // independently; par_map guarantees chunk `i`'s rows land
+            // before chunk `i + 1`'s, so the output order is exactly the
+            // sequential one.
+            let chunks = audb_par::par_map(&batches, |b| apply_fused(&steps, b.rows));
+            let mut rows = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+            for chunk in chunks {
+                rows.extend(chunk);
+            }
+            cur = Cow::Owned(AuRelation::from_au_rows(out_schema, rows));
+            ops.push(OpTiming {
+                label: fuse_label(steps.iter().map(|op| op.name())),
+                elapsed: start.elapsed(),
+                batches: n_batches,
+                rows_out: cur.len(),
+            });
+        }
+        if let Some(b) = pipeline.breaker {
+            let start = Instant::now();
+            let op = &plan.ops()[b];
+            let next = run_breaker(backend, op, &cur)?;
+            cur = Cow::Owned(next);
+            ops.push(OpTiming {
+                label: op.name().to_string(),
+                elapsed: start.elapsed(),
+                batches: 1,
+                rows_out: cur.len(),
+            });
+        }
+    }
+    Ok((
+        cur.into_owned(),
+        ExecTrace {
+            mode: ExecMode::Pipelined,
+            batch_size,
+            pipelines: pipelines.len(),
+            ops,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Native, Reference, Rewrite};
+    use crate::plan::{Agg, Query, WindowSpec};
+    use audb_core::{AuTuple, Mult3, RangeExpr, RangeValue};
+    use audb_rel::Schema;
+
+    fn rel(n: usize) -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            (0..n).map(|i| {
+                (
+                    AuTuple::new([
+                        RangeValue::new(i as i64, i as i64 + 1, i as i64 + 2),
+                        RangeValue::certain((i % 5) as i64),
+                    ]),
+                    if i % 3 == 0 {
+                        Mult3::new(0, 1, 1)
+                    } else {
+                        Mult3::ONE
+                    },
+                )
+            }),
+        )
+    }
+
+    fn fused_plan(n: usize) -> Plan {
+        Query::scan(rel(n))
+            .select(RangeExpr::col(1).lt(RangeExpr::lit(4)))
+            .project_exprs([
+                (RangeExpr::col(0), "a".to_string()),
+                (
+                    RangeExpr::Add(Box::new(RangeExpr::col(1)), Box::new(RangeExpr::lit(1))),
+                    "b1".to_string(),
+                ),
+            ])
+            .sort_by(["b1", "a"])
+            .topk(4)
+            .build()
+            .unwrap()
+    }
+
+    /// The batch-boundary contract: batch size 1 (every row its own
+    /// morsel), exactly n (one full batch), and > n (one short batch) all
+    /// produce the materialized result, on every backend.
+    #[test]
+    fn batch_boundaries_are_bag_equal_to_materialized() {
+        let n = 23;
+        let plan = fused_plan(n);
+        let backends: [&dyn Backend; 3] = [&Reference::default(), &Native, &Rewrite::default()];
+        for backend in backends {
+            let (materialized, trace) =
+                execute(backend, &plan, ExecMode::Materialized, DEFAULT_BATCH_SIZE).unwrap();
+            assert_eq!(trace.mode, ExecMode::Materialized);
+            // scan + select + project + topk
+            assert_eq!(trace.ops.len(), 4);
+            for batch_size in [1, n, n + 10] {
+                let (pipelined, trace) =
+                    execute(backend, &plan, ExecMode::Pipelined, batch_size).unwrap();
+                assert!(
+                    pipelined.bag_eq(&materialized),
+                    "backend {} batch {batch_size}:\n{pipelined}\nvs\n{materialized}",
+                    backend.name()
+                );
+                assert_eq!(trace.pipelines, 1);
+                // scan, fused stage, breaker.
+                assert_eq!(trace.ops.len(), 3);
+                assert_eq!(trace.ops[1].label, "fuse(select · project)");
+                assert_eq!(trace.ops[2].label, "topk");
+                let expected_batches = if batch_size == 1 { n } else { 1 };
+                assert_eq!(trace.ops[1].batches, expected_batches);
+            }
+        }
+    }
+
+    /// Fused chains replicate the drop rules of the materialized
+    /// operators: select drops zero filtered annotations, projections drop
+    /// zero input annotations, and rows that never pass a dropping
+    /// operator survive untouched.
+    #[test]
+    fn fused_chain_matches_operator_composition() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [
+                (AuTuple::new([RangeValue::certain(1i64)]), Mult3::ONE),
+                (AuTuple::new([RangeValue::certain(9i64)]), Mult3::ONE),
+                (AuTuple::new([RangeValue::certain(2i64)]), Mult3::ZERO),
+            ],
+        );
+        // Zero-annotation rows survive an empty chain (no pipeline at all)…
+        let plan = Query::scan(rel.clone()).build().unwrap();
+        let (out, trace) = execute(&Native, &plan, ExecMode::Pipelined, 2).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(trace.pipelines, 0);
+        // …but a projection drops them, exactly like au_project_cols.
+        let plan = Query::scan(rel.clone()).project(["a"]).build().unwrap();
+        let (out, _) = execute(&Native, &plan, ExecMode::Pipelined, 2).unwrap();
+        assert!(out.bag_eq(&audb_core::au_project_cols(&rel, &[0])));
+        assert_eq!(out.len(), 2);
+        // A select ahead of the projection drops non-matching rows first.
+        let plan = Query::scan(rel.clone())
+            .select(RangeExpr::col(0).lt(RangeExpr::lit(5)))
+            .project(["a"])
+            .build()
+            .unwrap();
+        let (out, _) = execute(&Native, &plan, ExecMode::Pipelined, 1).unwrap();
+        let step = audb_core::au_select(&rel, &RangeExpr::col(0).lt(RangeExpr::lit(5)));
+        assert!(out.bag_eq(&audb_core::au_project_cols(&step, &[0])));
+        assert_eq!(out.len(), 1);
+    }
+
+    /// Uncertain predicates weaken annotations instead of dropping rows —
+    /// the fused select must carry the filtered (not original) triple into
+    /// the downstream projection.
+    #[test]
+    fn fused_select_filters_annotations() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [(
+                AuTuple::new([RangeValue::new(1, 2, 9)]),
+                Mult3::new(2, 2, 2),
+            )],
+        );
+        let pred = RangeExpr::col(0).le(RangeExpr::lit(4));
+        let plan = Query::scan(rel.clone())
+            .select(pred.clone())
+            .project(["a"])
+            .build()
+            .unwrap();
+        let (out, _) = execute(&Native, &plan, ExecMode::Pipelined, 8).unwrap();
+        // Possibly-true predicate: certain multiplicity drops to 0.
+        assert_eq!(out.rows[0].mult, Mult3::new(0, 2, 2));
+        let materialized = audb_core::au_project_cols(&audb_core::au_select(&rel, &pred), &[0]);
+        assert!(out.bag_eq(&materialized));
+    }
+
+    /// Multi-breaker plans: every pipeline runs, intermediate fused stages
+    /// see the previous breaker's output schema.
+    #[test]
+    fn multi_breaker_plan_pipelines_end_to_end() {
+        let plan = Query::scan(rel(17))
+            .sort_by_as(["b"], "r1")
+            .select(RangeExpr::col(2).lt(RangeExpr::lit(10)))
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["a"])
+                    .aggregate(Agg::sum("b"))
+                    .output("s"),
+            )
+            .project(["a", "s"])
+            .build()
+            .unwrap();
+        for backend in [&Native as &dyn Backend, &Reference::default()] {
+            let (pipelined, trace) = execute(backend, &plan, ExecMode::Pipelined, 4).unwrap();
+            let (materialized, _) = execute(backend, &plan, ExecMode::Materialized, 4).unwrap();
+            assert!(pipelined.bag_eq(&materialized), "{}", backend.name());
+            assert_eq!(trace.pipelines, 3);
+            let labels: Vec<&str> = trace.ops.iter().map(|o| o.label.as_str()).collect();
+            assert_eq!(
+                labels,
+                ["scan", "sort", "fuse(select)", "window", "fuse(project)"]
+            );
+        }
+    }
+}

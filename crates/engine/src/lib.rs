@@ -18,6 +18,13 @@
 //! * [`Engine`] — the handle that owns backend selection, renders
 //!   per-query [`Engine::explain`] output, and cross-checks every backend
 //!   against every other via [`Engine::run_all`].
+//! * [`exec`] — the physical execution layer between plans and backends:
+//!   logical chains lower to batch-streaming [`Pipeline`]s whose fused
+//!   select/project stages run morsel-parallel over cache-sized
+//!   [`audb_core::AuBatch`]es, with the order-based operators as the only
+//!   materializing pipeline breakers. The production backends (native,
+//!   rewrite) execute pipelined; the reference oracle stays materialized;
+//!   both modes are property-tested bag-equal on every plan.
 //!
 //! Everything downstream of the operator crates — examples, workload
 //! drivers, benchmarks — constructs its sort/top-k/window queries through
@@ -28,6 +35,7 @@ mod bind;
 mod catalog;
 mod engine;
 mod error;
+pub mod exec;
 mod plan;
 mod print;
 mod session;
@@ -36,6 +44,7 @@ pub use backend::{Backend, Native, Reference, Rewrite};
 pub use catalog::Catalog;
 pub use engine::{BackendChoice, BackendRun, Engine, Explain, ExplainStep, RunAll};
 pub use error::{EngineError, PlanError, SessionError};
+pub use exec::{ExecMode, ExecTrace, OpTiming, Pipeline, DEFAULT_BATCH_SIZE};
 pub use plan::{Agg, ColRef, Op, Plan, Query, WindowSpec};
 pub use print::plan_to_sql;
 pub use session::{Prepared, Session};
@@ -284,13 +293,114 @@ mod tests {
         assert_eq!(lines[2], " 0. scan [3 rows]");
         assert!(lines[3].starts_with("      schema: "), "{text}");
         assert!(lines[4].starts_with("      note:   "), "{text}");
+        // The reference oracle stays materialized; the explain says so on
+        // its final line.
+        assert_eq!(
+            lines.last().unwrap(),
+            &"exec:    materialized (operator-at-a-time)"
+        );
 
         // Without SQL provenance and without fallback: no query line, bare
-        // backend line.
-        let plan = Query::scan(example6()).sort_by(["a"]).build().unwrap();
+        // backend line — and the physical pipeline plan of the production
+        // backend, fused stages and breaker annotations included.
+        let plan = Query::scan(example6())
+            .select(audb_core::RangeExpr::col(0).le(audb_core::RangeExpr::lit(9)))
+            .project(["a", "b"])
+            .sort_by(["a"])
+            .build()
+            .unwrap();
         let text = Engine::native().explain(&plan).to_string();
         assert_eq!(text.lines().next().unwrap(), "backend: native");
         assert!(!text.contains("query:"), "{text}");
+        let tail: Vec<&str> = text.lines().rev().take(2).collect();
+        assert_eq!(tail[1], "exec:    pipelined · batch 1024 · 1 pipeline");
+        assert_eq!(tail[0], "      p0: fuse(select · project) ⇒ breaker sort");
+    }
+
+    /// The satellite contract for `run_all`: ONE stable report format —
+    /// per-backend totals with execution mode, then per-operator wall
+    /// times with batch counts and cardinalities. Built from synthetic
+    /// timings so the golden string is exact.
+    #[test]
+    fn run_all_report_format_is_stable() {
+        use crate::exec::{ExecMode, OpTiming};
+        use std::time::Duration;
+        let report = RunAll {
+            output: example6(),
+            runs: vec![
+                BackendRun {
+                    backend: BackendChoice::Reference,
+                    mode: ExecMode::Materialized,
+                    elapsed: Duration::from_micros(1500),
+                    rows: 3,
+                    ops: vec![
+                        OpTiming {
+                            label: "scan".into(),
+                            elapsed: Duration::from_micros(500),
+                            batches: 1,
+                            rows_out: 3,
+                        },
+                        OpTiming {
+                            label: "sort".into(),
+                            elapsed: Duration::from_micros(1000),
+                            batches: 1,
+                            rows_out: 3,
+                        },
+                    ],
+                },
+                BackendRun {
+                    backend: BackendChoice::Native,
+                    mode: ExecMode::Pipelined,
+                    elapsed: Duration::from_micros(800),
+                    rows: 3,
+                    ops: vec![OpTiming {
+                        label: "fuse(select · project)".into(),
+                        elapsed: Duration::from_micros(300),
+                        batches: 2,
+                        rows_out: 1234,
+                    }],
+                },
+            ],
+        };
+        assert_eq!(
+            report.to_string(),
+            "all backends agree (3 output rows):\n\
+             \x20 reference materialized      1.500ms\n\
+             \x20   · scan                          500.000µs     1 batches       3 rows\n\
+             \x20   · sort                            1.000ms     1 batches       3 rows\n\
+             \x20 native    pipelined       800.000µs\n\
+             \x20   · fuse(select · project)        300.000µs     2 batches    1234 rows\n"
+        );
+    }
+
+    /// `run_all` executes each backend in its preferred mode (pipelined
+    /// for native/rewrite, materialized for the reference oracle) and
+    /// carries per-operator timings for every run.
+    #[test]
+    fn run_all_reports_modes_and_op_timings() {
+        use crate::exec::ExecMode;
+        let plan = Query::scan(example6())
+            .select(audb_core::RangeExpr::col(0).le(audb_core::RangeExpr::lit(9)))
+            .sort_by(["a"])
+            .build()
+            .unwrap();
+        let all = Engine::native().run_all(&plan).unwrap();
+        let modes: Vec<ExecMode> = all.runs.iter().map(|r| r.mode).collect();
+        assert_eq!(
+            modes,
+            [
+                ExecMode::Materialized,
+                ExecMode::Pipelined,
+                ExecMode::Pipelined
+            ]
+        );
+        for run in &all.runs {
+            let labels: Vec<&str> = run.ops.iter().map(|o| o.label.as_str()).collect();
+            match run.mode {
+                ExecMode::Materialized => assert_eq!(labels, ["scan", "select", "sort"]),
+                ExecMode::Pipelined => assert_eq!(labels, ["scan", "fuse(select)", "sort"]),
+            }
+        }
     }
 
     #[test]

@@ -254,6 +254,46 @@ mod tests {
         assert!(matches!(e, SessionError::InvalidRangeLiteral { .. }));
     }
 
+    /// The satellite contract: scripts with trailing semicolons and blank
+    /// `;;` statements compile cleanly; a script with no statements is an
+    /// empty (not failing) preparation; and the single-statement entry
+    /// points report the empty-statement edge as a span-carrying
+    /// `SqlError` pointing at the end of input.
+    #[test]
+    fn prepare_script_accepts_trailing_semicolons_and_blank_statements() {
+        let s = session();
+        let prepared = s
+            .prepare_script(
+                ";;\nSELECT * FROM products;;\n;\n-- comment\nSELECT sku FROM products;\n;;",
+            )
+            .unwrap();
+        assert_eq!(prepared.len(), 2);
+        assert_eq!(prepared[1].sql(), "SELECT sku FROM products");
+        for p in &prepared {
+            s.execute(p).unwrap();
+        }
+
+        // No statements at all: an empty preparation, not an error.
+        assert!(s.prepare_script("").unwrap().is_empty());
+        assert!(s
+            .prepare_script(" ;; \n ; -- just a comment\n")
+            .unwrap()
+            .is_empty());
+
+        // The single-statement path reports the empty edge with a span at
+        // the end of the input.
+        let e = s.sql(";;\n ").unwrap_err();
+        let SessionError::Sql(sql_err) = &e else {
+            panic!("expected SqlError, got {e}");
+        };
+        assert_eq!(sql_err.kind, audb_sql::SqlErrorKind::EmptyStatement);
+        assert_eq!((sql_err.span.line, sql_err.span.col), (2, 2));
+        assert!(
+            e.to_string().starts_with("SQL error at line 2, column 2"),
+            "{e}"
+        );
+    }
+
     #[test]
     fn subqueries_chain_operator_blocks() {
         let s = session();

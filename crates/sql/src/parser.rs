@@ -490,8 +490,10 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Parse a script: zero or more `;`-separated SELECT statements.
-pub fn parse_script(src: &str) -> Result<Vec<Select>, SqlError> {
+/// Parse a script, also returning the lexer's end-of-input span (the same
+/// span accounting every other error position uses — where the missing
+/// statement of an [`SqlErrorKind::EmptyStatement`] would have begun).
+fn parse_script_spanned(src: &str) -> Result<(Vec<Select>, Span), SqlError> {
     let mut p = Parser::new(src)?;
     let mut out = Vec::new();
     loop {
@@ -499,7 +501,7 @@ pub fn parse_script(src: &str) -> Result<Vec<Select>, SqlError> {
             p.bump();
         }
         if p.peek() == &Tok::Eof {
-            return Ok(out);
+            return Ok((out, p.span()));
         }
         out.push(p.select()?);
         match p.peek() {
@@ -509,11 +511,18 @@ pub fn parse_script(src: &str) -> Result<Vec<Select>, SqlError> {
     }
 }
 
-/// Parse exactly one statement (a trailing `;` is allowed).
+/// Parse a script: zero or more `;`-separated SELECT statements (blank
+/// `;;` statements and trailing semicolons are skipped, not errors).
+pub fn parse_script(src: &str) -> Result<Vec<Select>, SqlError> {
+    parse_script_spanned(src).map(|(stmts, _)| stmts)
+}
+
+/// Parse exactly one statement (trailing `;`s and blank `;;` statements
+/// are allowed).
 pub fn parse(src: &str) -> Result<Select, SqlError> {
-    let mut stmts = parse_script(src)?;
+    let (mut stmts, eof) = parse_script_spanned(src)?;
     match stmts.len() {
-        0 => Err(SqlError::new(SqlErrorKind::EmptyStatement, Span::start())),
+        0 => Err(SqlError::new(SqlErrorKind::EmptyStatement, eof)),
         1 => Ok(stmts.pop().unwrap()),
         _ => Err(SqlError::new(SqlErrorKind::TrailingInput, stmts[1].span)),
     }
@@ -655,5 +664,41 @@ mod tests {
 
         let e = parse("   ").unwrap_err();
         assert_eq!(e.kind, SqlErrorKind::EmptyStatement);
+    }
+
+    /// Trailing semicolons and blank `;;` statements are accepted
+    /// everywhere; a source with *no* statement at all is an
+    /// `EmptyStatement` whose span points at the end of input (not a
+    /// blanket line 1, column 1).
+    #[test]
+    fn trailing_semicolons_blank_statements_and_empty_spans() {
+        // Scripts: blank statements between, before and after real ones.
+        let stmts = parse_script(";;\nSELECT * FROM t;;\n;SELECT * FROM u;;\n;").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(parse_script("").unwrap().is_empty());
+        assert!(parse_script(" ;; \n ; ").unwrap().is_empty());
+
+        // Single statements: trailing semicolons (even several) are fine.
+        assert!(parse("SELECT * FROM t;").is_ok());
+        assert!(parse("SELECT * FROM t;;;").is_ok());
+
+        // The empty-statement edge case, span-checked.
+        let e = parse("").unwrap_err();
+        assert_eq!(e.kind, SqlErrorKind::EmptyStatement);
+        assert_eq!((e.span.line, e.span.col, e.span.offset), (1, 1, 0));
+
+        let e = parse(";;\n  ").unwrap_err();
+        assert_eq!(e.kind, SqlErrorKind::EmptyStatement);
+        assert_eq!((e.span.line, e.span.col), (2, 3));
+        assert_eq!(e.span.offset, 5);
+        assert!(
+            e.to_string().starts_with("SQL error at line 2, column 3"),
+            "{e}"
+        );
+
+        // Comment-only sources are empty statements too.
+        let e = parse("-- nothing here\n").unwrap_err();
+        assert_eq!(e.kind, SqlErrorKind::EmptyStatement);
+        assert_eq!(e.span.line, 2);
     }
 }

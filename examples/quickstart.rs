@@ -8,7 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use audb::core::{AuRelation, AuTuple, Mult3, RangeValue};
+use audb::core::{AuRelation, AuTuple, Mult3, RangeExpr, RangeValue};
 use audb::engine::{Agg, Engine, Query, Session, WindowSpec};
 use audb::rel::Schema;
 
@@ -41,13 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = Engine::native();
 
-    // Top-2 cheapest products. Column references are validated when the
-    // plan is built — a typo'd name or a colliding output column is a
-    // structured PlanError here, not a panic deep inside an operator.
+    // Top-2 cheapest products under €14. Column references are validated
+    // when the plan is built — a typo'd name or a colliding output column
+    // is a structured PlanError here, not a panic deep inside an operator.
     let top2_plan = Query::scan(products.clone())
+        .select(RangeExpr::col(1).lt(RangeExpr::lit(14)))
         .sort_by_as(["price"], "rank")
         .topk(2)
         .build()?;
+    // The explain's `exec:` block shows the physical pipeline plan: the
+    // selection fuses into the scan pipeline (`fuse(select)`), the top-k
+    // is the pipeline breaker that materializes.
     println!("How the engine runs it:\n{}", engine.explain(&top2_plan));
 
     // Execute on every backend and assert the bounds agree — the paper's
@@ -84,10 +88,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // examples/sql_tour.rs for the full tour).
     let mut session = Session::new(engine);
     session.register("products", rolling_plan.source_arc().clone());
-    let top2_sql = session.sql("SELECT * FROM products ORDER BY price AS rank LIMIT 2")?;
+    let top2_sql =
+        session.sql("SELECT * FROM products WHERE price < 14 ORDER BY price AS rank LIMIT 2")?;
     assert!(top2_sql.bag_eq(&top2.output));
     println!(
-        "SQL says the same:\n  SELECT * FROM products ORDER BY price AS rank LIMIT 2\n{top2_sql}"
+        "SQL says the same:\n  SELECT * FROM products WHERE price < 14 \
+         ORDER BY price AS rank LIMIT 2\n{top2_sql}"
     );
 
     // Every range is a guarantee: in no possible world does a value escape
