@@ -388,7 +388,7 @@ pub fn fig15(opts: ReproOptions) {
         let sorted = Engine::native().execute(&sort_plan).expect("native sort");
         let pos_col = sorted.schema.arity() - 1;
         let intervals: Vec<(i64, i64)> = sorted
-            .rows
+            .rows()
             .iter()
             .map(|r| {
                 let (lo, _, hi) = r.tuple.get(pos_col).as_i64_triple();

@@ -90,7 +90,7 @@ pub fn make_records(rows: usize, uncertainty: f64, range: i64, seed: u64) -> Vec
         .expect("native sort");
     let pos_col = sorted.schema.arity() - 1;
     let mut recs: Vec<Rec> = sorted
-        .rows
+        .rows()
         .iter()
         .enumerate()
         .map(|(id, r)| {

@@ -17,6 +17,13 @@
 //! path). `--threads N` pins `AUDB_THREADS` for reproducible parallelism
 //! and is recorded in the artifact.
 //!
+//! Schema v3 (the columnar-storage PR) adds two columns per run:
+//! `rows_per_sec` (input rows over median wall time) and `bytes_per_row`
+//! — the **measured** per-row heap footprint of the cell's AU input table
+//! in both layouts (`{"row": …, "columnar": …}`), so the saving from the
+//! struct-of-arrays layout and its certain-column fast path is tracked
+//! in-repo. CI asserts columnar ≤ row on the `sort_sel` workload.
+//!
 //! The file also carries the frozen `naive_baseline_ms` block: the same
 //! benchmarks measured on the pre-optimization implementation (per-
 //! comparison corner-tuple allocation in `normalize()`, `Vec<Value>` heap
@@ -95,6 +102,26 @@ pub struct Measurement {
     pub ms: f64,
     /// Runs per second (1000 / ms).
     pub ops_per_sec: f64,
+    /// Input rows processed per second (`n · ops_per_sec`).
+    pub rows_per_sec: f64,
+    /// Measured heap footprint of the cell's AU input table in the **row**
+    /// layout (`AuRelation::heap_bytes`), per row.
+    pub bytes_per_row_row: f64,
+    /// Same footprint in the **columnar** layout
+    /// (`AuColumns::heap_bytes`), per row — the struct-of-arrays +
+    /// certain-column-fast-path saving, tracked run over run (CI asserts
+    /// columnar ≤ row on the `sort_sel` workload).
+    pub bytes_per_row_columnar: f64,
+}
+
+/// Per-row heap footprint of an AU relation under both storage layouts:
+/// `(row, columnar)`.
+fn bytes_per_row(rel: &audb_core::AuRelation) -> (f64, f64) {
+    let n = rel.len().max(1) as f64;
+    (
+        rel.heap_bytes() as f64 / n,
+        rel.to_columns().heap_bytes() as f64 / n,
+    )
 }
 
 fn time_median(mut f: impl FnMut(), budget_runs: usize) -> f64 {
@@ -125,6 +152,7 @@ fn au_cells(
     plan: &Plan,
     runs: usize,
 ) {
+    let (row_b, col_b) = bytes_per_row(plan.source());
     for (exec, mode) in EXECS {
         let engine = engine.with_exec_mode(mode);
         let ms = time_median(
@@ -140,13 +168,26 @@ fn au_cells(
             n,
             ms,
             ops_per_sec: 1e3 / ms,
+            rows_per_sec: n as f64 * 1e3 / ms,
+            bytes_per_row_row: row_b,
+            bytes_per_row_columnar: col_b,
         });
     }
 }
 
 /// Measure one deterministic-engine cell (always materialized — the
-/// deterministic engine has no pipeline path).
-fn det_cell(out: &mut Vec<Measurement>, op: &'static str, n: usize, f: impl FnMut(), runs: usize) {
+/// deterministic engine has no pipeline path). The storage-footprint
+/// columns still describe the op's **AU** input table, so every row of one
+/// (op, n) group reports the same footprint pair.
+fn det_cell(
+    out: &mut Vec<Measurement>,
+    op: &'static str,
+    n: usize,
+    au_input: &audb_core::AuRelation,
+    f: impl FnMut(),
+    runs: usize,
+) {
+    let (row_b, col_b) = bytes_per_row(au_input);
     let ms = time_median(f, runs);
     out.push(Measurement {
         op,
@@ -155,6 +196,9 @@ fn det_cell(out: &mut Vec<Measurement>, op: &'static str, n: usize, f: impl FnMu
         n,
         ms,
         ops_per_sec: 1e3 / ms,
+        rows_per_sec: n as f64 * 1e3 / ms,
+        bytes_per_row_row: row_b,
+        bytes_per_row_columnar: col_b,
     });
 }
 
@@ -198,6 +242,7 @@ pub fn measure(cfg: &BenchConfig) -> Vec<Measurement> {
             &mut out,
             "sort",
             n,
+            plan.source(),
             || {
                 std::hint::black_box(audb_rel::sort_to_pos(&world, &order, "pos"));
             },
@@ -250,6 +295,7 @@ pub fn measure(cfg: &BenchConfig) -> Vec<Measurement> {
             &mut out,
             "window",
             n,
+            wplan.source(),
             || {
                 std::hint::black_box(audb_rel::window_rows(
                     &wworld,
@@ -280,7 +326,9 @@ pub fn render_json(measurements: &[Measurement], cfg: &BenchConfig) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"artifact\": \"BENCH_sort_window\",\n");
-    s.push_str("  \"schema_version\": 2,\n");
+    // v3: per-run `rows_per_sec` + `bytes_per_row` {row, columnar} storage
+    // footprint columns (the columnar-refactor PR).
+    s.push_str("  \"schema_version\": 3,\n");
     let sizes = cfg
         .sizes
         .iter()
@@ -315,8 +363,8 @@ pub fn render_json(measurements: &[Measurement], cfg: &BenchConfig) -> String {
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"op\": \"{}\", \"method\": \"{}\", \"exec\": \"{}\", \"n\": {}, \"ms\": {:.3}, \"ops_per_sec\": {:.3}}}",
-            m.op, m.method, m.exec, m.n, m.ms, m.ops_per_sec
+            "    {{\"op\": \"{}\", \"method\": \"{}\", \"exec\": \"{}\", \"n\": {}, \"ms\": {:.3}, \"ops_per_sec\": {:.3}, \"rows_per_sec\": {:.0}, \"bytes_per_row\": {{\"row\": {:.1}, \"columnar\": {:.1}}}}}",
+            m.op, m.method, m.exec, m.n, m.ms, m.ops_per_sec, m.rows_per_sec, m.bytes_per_row_row, m.bytes_per_row_columnar
         );
         s.push_str(if i + 1 < measurements.len() {
             ",\n"
@@ -385,6 +433,9 @@ mod tests {
             n,
             ms,
             ops_per_sec: 1e3 / ms,
+            rows_per_sec: n as f64 * 1e3 / ms,
+            bytes_per_row_row: 264.0,
+            bytes_per_row_columnar: 96.0,
         }
     }
 
@@ -400,7 +451,14 @@ mod tests {
         ];
         let json = render_json(&ms, &BenchConfig::default());
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
+        // The v3 columns render per run.
+        assert_eq!(json.matches("\"rows_per_sec\"").count(), 3);
+        assert_eq!(
+            json.matches("\"bytes_per_row\": {\"row\": 264.0, \"columnar\": 96.0}")
+                .count(),
+            3
+        );
         // ("auto" vs a number depends on the ambient AUDB_THREADS — the
         // env-sensitive assertions live in thread_pin_scopes_and_records,
         // which owns the variable.)
@@ -437,6 +495,20 @@ mod tests {
         std::env::remove_var("AUDB_THREADS");
         assert_eq!(cfg.effective_threads(), None);
         assert!(render_json(&[], &cfg).contains("\"threads\": \"auto\""));
+    }
+
+    /// The columnar layout must never be a storage regression on the
+    /// `sort_sel` workload's input (the CI bench-smoke assertion, pinned
+    /// here without running the timed sweep).
+    #[test]
+    fn sort_sel_columnar_footprint_at_most_row() {
+        let table = gen_sort_table(&SyntheticConfig::default().rows(500).seed(3));
+        let au = table.to_au_relation();
+        let (row_b, col_b) = bytes_per_row(&au);
+        assert!(
+            col_b <= row_b,
+            "columnar {col_b:.1} B/row > row {row_b:.1} B/row"
+        );
     }
 
     #[test]

@@ -1,57 +1,131 @@
-//! Cache-sized batch views over [`AuRelation`] — the unit of work of the
+//! Cache-sized batch views over [`AuColumns`] — the unit of work of the
 //! engine's batch-streaming executor.
 //!
-//! A *batch* is a contiguous, borrowed slice of an AU-relation's rows. The
+//! A *batch* is a zero-copy **column-slice** view of a contiguous row
+//! range of a columnar AU-relation: per attribute, the three bound
+//! vectors' sub-slices for that range (one shared slice for
+//! certain-collapsed columns), plus the multiplicity sub-slices. The
 //! physical operator pipeline (see `audb-engine`'s `exec` module) streams
-//! tuples through fused selection/projection chains one batch at a time, so
-//! the working set of a pipeline stage stays cache-sized regardless of the
-//! relation's total size, and independent batches can be processed
-//! morsel-parallel with deterministic output order.
+//! these views through vectorized fused selection/projection kernels one
+//! batch at a time, so a pipeline stage's working set stays cache-sized
+//! regardless of the relation's total size, and independent batches can be
+//! processed morsel-parallel with deterministic output order.
 //!
-//! The view is deliberately thin: it adds no ownership and no copying —
-//! `AuRelation::batches(size)` is just a schema-carrying `chunks(size)`.
-//! Expression evaluation over whole batches lives here too
-//! ([`RangeExpr::eval_batch`] / [`RangeExpr::truth_batch`]): one call per
-//! batch for kernels that want a flat column of results (the fused
-//! executor itself stays row-at-a-time so a failed `select` can
-//! short-circuit the rest of the chain).
+//! The view adds no ownership and no copying — [`AuColumns::batches`] is
+//! just a schema-carrying range chunking. The vectorized expression
+//! kernels over batches ([`crate::RangeExpr::eval_batch`] /
+//! [`crate::RangeExpr::truth_batch`]) live in [`crate::expr`]; the gather
+//! steps that materialize a kernel's surviving rows into fresh columns are
+//! [`AuBatch::gather`] / [`AuBatch::gather_cols`].
 
-use crate::expr::RangeExpr;
-use crate::range_value::{RangeValue, TruthRange};
-use crate::relation::{AuRelation, AuRow};
-use audb_rel::Schema;
+use crate::columns::AuColumns;
+use crate::mult::Mult3;
+use crate::relation::AuRelation;
+use crate::sortkey::Corner;
+use crate::tuple::AuTuple;
+use audb_rel::{Schema, Value};
 
-/// A borrowed, contiguous slice of an AU-relation: the unit the pipeline
-/// executor streams. Carries the schema (batches never change shape
-/// mid-pipeline) and the batch's ordinal position in its parent relation.
+/// A borrowed, contiguous row range of a columnar AU-relation, exposed as
+/// per-attribute column slices: the unit the pipeline executor streams.
+/// Carries the batch's ordinal position in its parent relation.
 #[derive(Clone, Copy, Debug)]
 pub struct AuBatch<'a> {
-    /// Schema shared by every row of the batch.
-    pub schema: &'a Schema,
-    /// The rows of this batch (at most the requested batch size).
-    pub rows: &'a [AuRow],
-    /// 0-based index of this batch within the relation's batch sequence.
-    pub index: usize,
+    rel: &'a AuColumns,
+    start: usize,
+    len: usize,
+    index: usize,
 }
 
 impl<'a> AuBatch<'a> {
+    /// Schema shared by every row of the batch.
+    pub fn schema(&self) -> &'a Schema {
+        self.rel.schema()
+    }
+
     /// Number of rows in the batch.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True iff the batch holds no rows (only possible for an empty
     /// relation's single batch — interior batches are always full).
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
+    }
+
+    /// 0-based index of this batch within the relation's batch sequence.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.rel.arity()
+    }
+
+    /// One corner of attribute `c` over this batch's rows, as a
+    /// contiguous slice (zero-copy; certain columns return the same slice
+    /// for all three corners).
+    pub fn corner(&self, c: usize, corner: Corner) -> &'a [Value] {
+        &self.rel.col(c).corner(corner)[self.start..self.start + self.len]
+    }
+
+    /// True iff attribute `c` uses the collapsed certain representation.
+    pub fn col_is_certain(&self, c: usize) -> bool {
+        self.rel.col(c).is_certain()
+    }
+
+    /// The `ℕ³` annotation of batch-relative row `i`.
+    pub fn mult(&self, i: usize) -> Mult3 {
+        debug_assert!(i < self.len, "batch-relative index out of range");
+        self.rel.mult(self.start + i)
+    }
+
+    /// Batch-relative row `i` rebuilt as a range-annotated tuple (the
+    /// row-compatibility escape hatch; vectorized kernels never call it).
+    pub fn tuple(&self, i: usize) -> AuTuple {
+        debug_assert!(i < self.len, "batch-relative index out of range");
+        self.rel.tuple(self.start + i)
+    }
+
+    /// Materialize the rows at batch-relative `idxs` with fresh
+    /// annotations into owned columns (the gather step after a vectorized
+    /// selection).
+    pub fn gather(&self, idxs: &[usize], mults: &[Mult3]) -> AuColumns {
+        let abs: Vec<usize> = idxs.iter().map(|&i| self.start + i).collect();
+        self.rel.gather(&abs, mults)
+    }
+
+    /// Like [`AuBatch::gather`], also projecting onto `cols` under the
+    /// given output schema.
+    pub fn gather_cols(
+        &self,
+        cols: &[usize],
+        schema: Schema,
+        idxs: &[usize],
+        mults: &[Mult3],
+    ) -> AuColumns {
+        let abs: Vec<usize> = idxs.iter().map(|&i| self.start + i).collect();
+        self.rel.gather_cols(cols, schema, &abs, mults)
+    }
+
+    /// Copy attribute `c`'s cells at batch-relative `idxs` into a fresh
+    /// column (the pass-through arm of a vectorized computed projection:
+    /// a bare column reference copies the column instead of re-evaluating
+    /// it cell by cell).
+    pub fn gather_col(&self, c: usize, idxs: &[usize]) -> crate::columns::AuColumn {
+        let abs: Vec<usize> = idxs.iter().map(|&i| self.start + i).collect();
+        self.rel.col(c).gather(&abs)
     }
 }
 
-/// Iterator over the batches of a relation; see [`AuRelation::batches`].
+/// Iterator over the batches of a columnar relation; see
+/// [`AuColumns::batches`].
 #[derive(Debug)]
 pub struct Batches<'a> {
-    schema: &'a Schema,
-    chunks: std::slice::Chunks<'a, AuRow>,
+    rel: &'a AuColumns,
+    size: usize,
+    next_start: usize,
     next_index: usize,
 }
 
@@ -59,56 +133,68 @@ impl<'a> Iterator for Batches<'a> {
     type Item = AuBatch<'a>;
 
     fn next(&mut self) -> Option<AuBatch<'a>> {
-        let rows = self.chunks.next()?;
+        if self.next_start >= self.rel.len() {
+            return None;
+        }
+        let start = self.next_start;
+        let len = self.size.min(self.rel.len() - start);
         let index = self.next_index;
+        self.next_start += len;
         self.next_index += 1;
         Some(AuBatch {
-            schema: self.schema,
-            rows,
+            rel: self.rel,
+            start,
+            len,
             index,
         })
     }
 }
 
-impl AuRelation {
+impl AuColumns {
     /// Iterate the relation as contiguous batches of at most `size` rows
-    /// (the last batch may be shorter). Borrowing only — no row is copied.
+    /// (the last batch may be shorter). Borrowing only — no value is
+    /// copied.
     ///
     /// `size` is clamped to at least 1; an empty relation yields no
     /// batches.
     pub fn batches(&self, size: usize) -> Batches<'_> {
         Batches {
-            schema: &self.schema,
-            chunks: self.rows.chunks(size.max(1)),
+            rel: self,
+            size: size.max(1),
+            next_start: 0,
             next_index: 0,
         }
     }
 
     /// Number of batches `batches(size)` will yield.
     pub fn batch_count(&self, size: usize) -> usize {
-        self.rows.len().div_ceil(size.max(1))
+        self.len().div_ceil(size.max(1))
+    }
+
+    /// The whole relation as one batch view (index 0).
+    pub fn as_batch(&self) -> AuBatch<'_> {
+        AuBatch {
+            rel: self,
+            start: 0,
+            len: self.len(),
+            index: 0,
+        }
     }
 }
 
-impl RangeExpr {
-    /// Evaluate the expression over every row of a batch, producing one
-    /// [`RangeValue`] per row (in row order).
-    pub fn eval_batch(&self, rows: &[AuRow]) -> Vec<RangeValue> {
-        rows.iter().map(|r| self.eval(&r.tuple)).collect()
-    }
-
-    /// Evaluate the expression as a predicate over every row of a batch,
-    /// producing one [`TruthRange`] per row (in row order).
-    pub fn truth_batch(&self, rows: &[AuRow]) -> Vec<TruthRange> {
-        rows.iter().map(|r| self.truth(&r.tuple)).collect()
+impl AuRelation {
+    /// Number of batches the relation's columnar form spans at the given
+    /// batch size (the scan-stage batch count the executor reports).
+    pub fn batch_count(&self, size: usize) -> usize {
+        self.len().div_ceil(size.max(1))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mult::Mult3;
-    use crate::tuple::AuTuple;
+    use crate::range_value::RangeValue;
+    use crate::RangeExpr;
 
     fn rel(n: usize) -> AuRelation {
         AuRelation::from_rows(
@@ -120,42 +206,75 @@ mod tests {
     #[test]
     fn batches_cover_every_row_in_order() {
         let r = rel(10);
+        let cols = r.to_columns();
         for size in [1, 3, 10, 64] {
-            let batches: Vec<_> = r.batches(size).collect();
+            let batches: Vec<_> = cols.batches(size).collect();
+            assert_eq!(batches.len(), cols.batch_count(size));
             assert_eq!(batches.len(), r.batch_count(size));
-            let flat: Vec<&AuRow> = batches.iter().flat_map(|b| b.rows.iter()).collect();
-            assert_eq!(flat.len(), 10);
-            for (i, row) in flat.iter().enumerate() {
-                assert_eq!(row.tuple.get(0), &RangeValue::certain(i as i64));
-            }
-            for (i, b) in batches.iter().enumerate() {
-                assert_eq!(b.index, i);
-                assert_eq!(b.schema, &r.schema);
+            let total: usize = batches.iter().map(AuBatch::len).sum();
+            assert_eq!(total, 10);
+            let mut flat = 0i64;
+            for (bi, b) in batches.iter().enumerate() {
+                assert_eq!(b.index(), bi);
+                assert_eq!(b.schema(), &r.schema);
                 assert!(!b.is_empty());
+                for i in 0..b.len() {
+                    assert_eq!(b.tuple(i), AuTuple::new([RangeValue::certain(flat)]));
+                    assert_eq!(b.corner(0, Corner::Sg)[i], Value::Int(flat));
+                    flat += 1;
+                }
             }
         }
     }
 
     #[test]
     fn empty_relation_and_zero_size_are_safe() {
-        let empty = rel(0);
+        let empty = rel(0).to_columns();
         assert_eq!(empty.batches(8).count(), 0);
         assert_eq!(empty.batch_count(8), 0);
         // size 0 clamps to 1 instead of panicking.
-        assert_eq!(rel(3).batches(0).count(), 3);
-        assert_eq!(rel(3).batch_count(0), 3);
+        let three = rel(3).to_columns();
+        assert_eq!(three.batches(0).count(), 3);
+        assert_eq!(three.batch_count(0), 3);
     }
 
     #[test]
     fn batch_eval_matches_per_row_eval() {
         let r = rel(5);
+        let cols = r.to_columns();
+        let b = cols.as_batch();
         let e = RangeExpr::col(0).le(RangeExpr::lit(2));
-        let truths = e.truth_batch(&r.rows);
-        let vals = RangeExpr::col(0).eval_batch(&r.rows);
+        let truths = e.truth_batch(&b);
+        let vals = RangeExpr::col(0).eval_batch(&b);
         assert_eq!(truths.len(), 5);
-        for (i, row) in r.rows.iter().enumerate() {
+        for (i, row) in r.rows().iter().enumerate() {
             assert_eq!(truths[i], e.truth(&row.tuple));
             assert_eq!(vals[i], *row.tuple.get(0));
         }
+    }
+
+    #[test]
+    fn gather_projects_and_filters() {
+        let r = AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            (0..4).map(|i| {
+                (
+                    AuTuple::new([
+                        RangeValue::certain(i as i64),
+                        RangeValue::new(i as i64, i as i64 + 1, i as i64 + 2),
+                    ]),
+                    Mult3::ONE,
+                )
+            }),
+        );
+        let cols = r.to_columns();
+        let b = cols.as_batch();
+        let picked = b.gather(&[1, 3], &[Mult3::ONE, Mult3::new(0, 1, 1)]);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked.tuple(0), r.rows()[1].tuple);
+        assert_eq!(picked.mult(1), Mult3::new(0, 1, 1));
+        let swapped = b.gather_cols(&[1, 0], Schema::new(["b", "a"]), &[2], &[Mult3::ONE]);
+        assert_eq!(swapped.tuple(0), r.rows()[2].tuple.project(&[1, 0]));
+        assert_eq!(swapped.schema().cols(), &["b", "a"]);
     }
 }

@@ -1,0 +1,656 @@
+//! Columnar (struct-of-arrays) AU-relations: [`AuColumns`].
+//!
+//! The row layout ([`AuRelation`]) stores one heap `Vec<RangeValue>` per
+//! tuple, so every kernel that touches an attribute chases a pointer per
+//! row. [`AuColumns`] stores the same bag per *attribute*: three contiguous
+//! `Vec<Value>` bound vectors (`lb` / `sg` / `ub`) per column — collapsed
+//! to a **single** vector when the column is certain (`lb ≡ sg ≡ ub`, the
+//! common case for keys and dimensions) — plus three flat `u64`
+//! multiplicity vectors for the `ℕ³` annotations. Batch kernels
+//! ([`crate::batch`], `RangeExpr::{eval_batch, truth_batch}`,
+//! [`AuColumns::normalize`]) sweep these vectors directly instead of
+//! materializing per-row tuples.
+//!
+//! Unlike the historical `pub rows` field on [`AuRelation`], every field
+//! here is private: mutation goes through [`AuColumns::push_row`] /
+//! [`AuColumns::append`], which keep the canonical-form flag honest, so
+//! the "stale normalized flag" hazard documented in `relation.rs` cannot
+//! be recreated against the columnar representation.
+//!
+//! Conversions are cheap and lossless: [`AuRelation::to_columns`] /
+//! [`AuColumns::to_rows`] round-trip the exact row sequence **and** the
+//! normalized flag (property-tested in `tests/columnar_roundtrip.rs`), so
+//! the row API remains the compatibility surface for the reference
+//! operators while the pipeline executor runs columnar.
+
+use crate::mult::Mult3;
+use crate::range_value::RangeValue;
+use crate::relation::{AuRelation, AuRow};
+use crate::sortkey::{Corner, SortKey};
+use crate::tuple::AuTuple;
+use audb_rel::{Schema, Value};
+use std::fmt;
+
+/// One attribute of a columnar AU-relation: the three bound vectors, with
+/// the certain fast path storing a single vector when `lb ≡ sg ≡ ub` for
+/// every row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AuColumn {
+    /// Every row's range is a single point: one vector serves as all three
+    /// corners (a 3× memory and sweep saving).
+    Certain(Vec<Value>),
+    /// At least one row is uncertain: three parallel bound vectors.
+    Ranged {
+        /// Lower bounds `c↓`.
+        lb: Vec<Value>,
+        /// Selected guesses `c_sg`.
+        sg: Vec<Value>,
+        /// Upper bounds `c↑`.
+        ub: Vec<Value>,
+    },
+}
+
+impl AuColumn {
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            AuColumn::Certain(v) => v.len(),
+            AuColumn::Ranged { sg, .. } => sg.len(),
+        }
+    }
+
+    /// True iff no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True iff the column stores the collapsed certain representation.
+    pub fn is_certain(&self) -> bool {
+        matches!(self, AuColumn::Certain(_))
+    }
+
+    /// The requested corner as a contiguous slice. For a certain column
+    /// all three corners are the same vector.
+    pub fn corner(&self, corner: Corner) -> &[Value] {
+        match self {
+            AuColumn::Certain(v) => v,
+            AuColumn::Ranged { lb, sg, ub } => match corner {
+                Corner::Lb => lb,
+                Corner::Sg => sg,
+                Corner::Ub => ub,
+            },
+        }
+    }
+
+    /// One cell rebuilt as a [`RangeValue`].
+    pub fn range_value(&self, row: usize) -> RangeValue {
+        match self {
+            AuColumn::Certain(v) => RangeValue::certain(v[row].clone()),
+            AuColumn::Ranged { lb, sg, ub } => RangeValue {
+                lb: lb[row].clone(),
+                sg: sg[row].clone(),
+                ub: ub[row].clone(),
+            },
+        }
+    }
+
+    fn with_capacity(n: usize) -> AuColumn {
+        AuColumn::Certain(Vec::with_capacity(n))
+    }
+
+    /// Append one cell, promoting `Certain → Ranged` on the first
+    /// uncertain value.
+    fn push(&mut self, rv: &RangeValue) {
+        match self {
+            AuColumn::Certain(v) => {
+                if rv.is_certain() {
+                    v.push(rv.sg.clone());
+                } else {
+                    self.promote();
+                    self.push(rv);
+                }
+            }
+            AuColumn::Ranged { lb, sg, ub } => {
+                lb.push(rv.lb.clone());
+                sg.push(rv.sg.clone());
+                ub.push(rv.ub.clone());
+            }
+        }
+    }
+
+    /// Split the collapsed representation into three vectors.
+    fn promote(&mut self) {
+        if let AuColumn::Certain(v) = self {
+            let sg = std::mem::take(v);
+            *self = AuColumn::Ranged {
+                lb: sg.clone(),
+                sg: sg.clone(),
+                ub: sg,
+            };
+        }
+    }
+
+    /// Copy the cells at `idxs` (in order) into a fresh column, keeping
+    /// the certain fast path when the source has it.
+    pub(crate) fn gather(&self, idxs: &[usize]) -> AuColumn {
+        let pick = |v: &[Value]| -> Vec<Value> { idxs.iter().map(|&i| v[i].clone()).collect() };
+        match self {
+            AuColumn::Certain(v) => AuColumn::Certain(pick(v)),
+            AuColumn::Ranged { lb, sg, ub } => AuColumn::Ranged {
+                lb: pick(lb),
+                sg: pick(sg),
+                ub: pick(ub),
+            },
+        }
+    }
+
+    fn append(&mut self, other: AuColumn) {
+        match (&mut *self, other) {
+            (AuColumn::Certain(a), AuColumn::Certain(b)) => a.extend(b),
+            (AuColumn::Ranged { lb, sg, ub }, AuColumn::Certain(b)) => {
+                lb.extend(b.iter().cloned());
+                ub.extend(b.iter().cloned());
+                sg.extend(b);
+            }
+            (AuColumn::Certain(_), b @ AuColumn::Ranged { .. }) => {
+                self.promote();
+                self.append(b);
+            }
+            (
+                AuColumn::Ranged { lb, sg, ub },
+                AuColumn::Ranged {
+                    lb: l2,
+                    sg: s2,
+                    ub: u2,
+                },
+            ) => {
+                lb.extend(l2);
+                sg.extend(s2);
+                ub.extend(u2);
+            }
+        }
+    }
+
+    /// Measured heap footprint in bytes: vector capacities plus string
+    /// payloads (the certain fast path's saving is visible here).
+    pub fn heap_bytes(&self) -> usize {
+        let vec_bytes = |v: &Vec<Value>| {
+            v.capacity() * std::mem::size_of::<Value>()
+                + v.iter().map(value_heap_bytes).sum::<usize>()
+        };
+        match self {
+            AuColumn::Certain(v) => vec_bytes(v),
+            AuColumn::Ranged { lb, sg, ub } => vec_bytes(lb) + vec_bytes(sg) + vec_bytes(ub),
+        }
+    }
+}
+
+/// Bytes a value owns outside its inline representation.
+pub(crate) fn value_heap_bytes(v: &Value) -> usize {
+    match v {
+        Value::Str(s) => s.len(),
+        _ => 0,
+    }
+}
+
+/// A columnar AU-relation: the same bag an [`AuRelation`] holds, stored
+/// struct-of-arrays. See the module docs for the layout and the
+/// encapsulation contract.
+#[derive(Clone, Debug)]
+pub struct AuColumns {
+    schema: Schema,
+    len: usize,
+    cols: Vec<AuColumn>,
+    mult_lb: Vec<u64>,
+    mult_sg: Vec<u64>,
+    mult_ub: Vec<u64>,
+    normalized: bool,
+}
+
+impl AuColumns {
+    /// Empty columnar relation (trivially normalized).
+    pub fn empty(schema: Schema) -> Self {
+        let cols = (0..schema.arity())
+            .map(|_| AuColumn::Certain(Vec::new()))
+            .collect();
+        AuColumns {
+            schema,
+            len: 0,
+            cols,
+            mult_lb: Vec::new(),
+            mult_sg: Vec::new(),
+            mult_ub: Vec::new(),
+            normalized: true,
+        }
+    }
+
+    /// Empty columnar relation with row capacity `n` reserved.
+    pub fn with_capacity(schema: Schema, n: usize) -> Self {
+        let cols = (0..schema.arity())
+            .map(|_| AuColumn::with_capacity(n))
+            .collect();
+        AuColumns {
+            schema,
+            len: 0,
+            cols,
+            mult_lb: Vec::with_capacity(n),
+            mult_sg: Vec::with_capacity(n),
+            mult_ub: Vec::with_capacity(n),
+            normalized: true,
+        }
+    }
+
+    /// Columnarize a row relation in a single row sweep: every cell is
+    /// pushed onto its column, which starts certain-collapsed and promotes
+    /// to three vectors on the first uncertain cell (amortized — the
+    /// certain prefix is cloned once). Preserves the normalized flag — the
+    /// stored bag and its canonical-form status are unchanged by the
+    /// transposition.
+    pub fn from_relation(rel: &AuRelation) -> Self {
+        let rows = rel.rows();
+        let n = rows.len();
+        let mut cols: Vec<AuColumn> = (0..rel.schema.arity())
+            .map(|_| AuColumn::with_capacity(n))
+            .collect();
+        let mut mult_lb = Vec::with_capacity(n);
+        let mut mult_sg = Vec::with_capacity(n);
+        let mut mult_ub = Vec::with_capacity(n);
+        for r in rows {
+            for (col, rv) in cols.iter_mut().zip(&r.tuple.0) {
+                col.push(rv);
+            }
+            mult_lb.push(r.mult.lb);
+            mult_sg.push(r.mult.sg);
+            mult_ub.push(r.mult.ub);
+        }
+        AuColumns {
+            schema: rel.schema.clone(),
+            len: n,
+            cols,
+            mult_lb,
+            mult_sg,
+            mult_ub,
+            normalized: rel.is_normalized(),
+        }
+    }
+
+    /// Materialize back to the row representation, preserving the
+    /// normalized flag (the inverse of [`AuColumns::from_relation`]).
+    /// Column-major: tuples are pre-allocated, then each bound vector is
+    /// swept contiguously into them.
+    pub fn to_rows(&self) -> AuRelation {
+        let mut tuples: Vec<Vec<RangeValue>> = (0..self.len)
+            .map(|_| Vec::with_capacity(self.arity()))
+            .collect();
+        for col in &self.cols {
+            match col {
+                AuColumn::Certain(v) => {
+                    for (t, val) in tuples.iter_mut().zip(v) {
+                        t.push(RangeValue {
+                            lb: val.clone(),
+                            sg: val.clone(),
+                            ub: val.clone(),
+                        });
+                    }
+                }
+                AuColumn::Ranged { lb, sg, ub } => {
+                    for (k, t) in tuples.iter_mut().enumerate() {
+                        t.push(RangeValue {
+                            lb: lb[k].clone(),
+                            sg: sg[k].clone(),
+                            ub: ub[k].clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let rows = tuples
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| AuRow {
+                tuple: AuTuple(t),
+                mult: self.mult(i),
+            })
+            .collect();
+        AuRelation::from_parts(self.schema.clone(), rows, self.normalized)
+    }
+
+    /// Attribute names.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The attribute column at index `c`.
+    pub fn col(&self, c: usize) -> &AuColumn {
+        &self.cols[c]
+    }
+
+    /// The `ℕ³` annotation of row `i`.
+    pub fn mult(&self, i: usize) -> Mult3 {
+        Mult3 {
+            lb: self.mult_lb[i],
+            sg: self.mult_sg[i],
+            ub: self.mult_ub[i],
+        }
+    }
+
+    /// The certain-multiplicity vector `k↓`.
+    pub fn mult_lb(&self) -> &[u64] {
+        &self.mult_lb
+    }
+
+    /// The selected-guess multiplicity vector `k_sg`.
+    pub fn mult_sg(&self) -> &[u64] {
+        &self.mult_sg
+    }
+
+    /// The possible-multiplicity vector `k↑`.
+    pub fn mult_ub(&self) -> &[u64] {
+        &self.mult_ub
+    }
+
+    /// Row `i` rebuilt as a range-annotated tuple.
+    pub fn tuple(&self, i: usize) -> AuTuple {
+        AuTuple(self.cols.iter().map(|c| c.range_value(i)).collect())
+    }
+
+    /// True iff this relation is known to be in canonical form.
+    pub fn is_normalized(&self) -> bool {
+        self.normalized
+    }
+
+    /// Append a row. Clears the canonical-form flag — there is no way to
+    /// mutate the stored bag around this bookkeeping (all fields are
+    /// private).
+    pub fn push_row(&mut self, tuple: &AuTuple, mult: Mult3) {
+        debug_assert_eq!(tuple.arity(), self.arity());
+        self.normalized = false;
+        for (col, rv) in self.cols.iter_mut().zip(&tuple.0) {
+            col.push(rv);
+        }
+        self.mult_lb.push(mult.lb);
+        self.mult_sg.push(mult.sg);
+        self.mult_ub.push(mult.ub);
+        self.len += 1;
+    }
+
+    /// Move every row of `other` to the end of `self` (the morsel-merge
+    /// step of the pipeline executor).
+    pub fn append(&mut self, other: AuColumns) {
+        debug_assert_eq!(self.arity(), other.arity());
+        if other.len == 0 {
+            return;
+        }
+        self.normalized = false;
+        for (a, b) in self.cols.iter_mut().zip(other.cols) {
+            a.append(b);
+        }
+        self.mult_lb.extend(other.mult_lb);
+        self.mult_sg.extend(other.mult_sg);
+        self.mult_ub.extend(other.mult_ub);
+        self.len += other.len;
+    }
+
+    /// Build a new columnar relation from the rows at `idxs` with fresh
+    /// annotations (the gather step of a vectorized selection: `idxs` are
+    /// the surviving rows, `mults` their filtered triples).
+    pub fn gather(&self, idxs: &[usize], mults: &[Mult3]) -> AuColumns {
+        self.gather_cols(
+            &(0..self.arity()).collect::<Vec<_>>(),
+            self.schema.clone(),
+            idxs,
+            mults,
+        )
+    }
+
+    /// Like [`AuColumns::gather`], also projecting onto `cols` under the
+    /// given output schema (the vectorized column projection: surviving
+    /// columns are copied, dropped columns never touched).
+    pub fn gather_cols(
+        &self,
+        cols: &[usize],
+        schema: Schema,
+        idxs: &[usize],
+        mults: &[Mult3],
+    ) -> AuColumns {
+        debug_assert_eq!(idxs.len(), mults.len());
+        debug_assert_eq!(cols.len(), schema.arity());
+        AuColumns {
+            schema,
+            len: idxs.len(),
+            cols: cols.iter().map(|&c| self.cols[c].gather(idxs)).collect(),
+            mult_lb: mults.iter().map(|m| m.lb).collect(),
+            mult_sg: mults.iter().map(|m| m.sg).collect(),
+            mult_ub: mults.iter().map(|m| m.ub).collect(),
+            normalized: false,
+        }
+    }
+
+    /// Build one output column by **moving** per-row [`RangeValue`]s into
+    /// columnar form (the materialization step of a vectorized computed
+    /// projection — no value is cloned), collapsing to the certain fast
+    /// path when every cell is a point.
+    pub fn column_from_values(vals: Vec<RangeValue>) -> AuColumn {
+        if vals.iter().all(RangeValue::is_certain) {
+            AuColumn::Certain(vals.into_iter().map(|rv| rv.sg).collect())
+        } else {
+            let n = vals.len();
+            let mut lb = Vec::with_capacity(n);
+            let mut sg = Vec::with_capacity(n);
+            let mut ub = Vec::with_capacity(n);
+            for rv in vals {
+                lb.push(rv.lb);
+                sg.push(rv.sg);
+                ub.push(rv.ub);
+            }
+            AuColumn::Ranged { lb, sg, ub }
+        }
+    }
+
+    /// Assemble a columnar relation from already-built columns and
+    /// per-row annotations (the fused executor's computed projection).
+    /// Every column must have exactly `mults.len()` rows.
+    pub fn from_cols(schema: Schema, cols: Vec<AuColumn>, mults: &[Mult3]) -> AuColumns {
+        debug_assert_eq!(schema.arity(), cols.len());
+        debug_assert!(cols.iter().all(|c| c.len() == mults.len()));
+        AuColumns {
+            schema,
+            len: mults.len(),
+            cols,
+            mult_lb: mults.iter().map(|m| m.lb).collect(),
+            mult_sg: mults.iter().map(|m| m.sg).collect(),
+            mult_ub: mults.iter().map(|m| m.ub).collect(),
+            normalized: false,
+        }
+    }
+
+    /// Canonical form, computed entirely columnar: whole-row [`SortKey`]s
+    /// are encoded straight from the column slices (corner-major sweeps —
+    /// no per-row tuple is ever materialized), rows are stably ordered by
+    /// key, adjacent equal keys merge by adding annotations, and zero
+    /// annotations are dropped first. Produces exactly the row sequence
+    /// [`AuRelation::normalize`] produces (property-tested).
+    pub fn normalize(self) -> AuColumns {
+        if self.normalized {
+            return self;
+        }
+        let keys = SortKey::of_columns(&self);
+        // Stable order by key among surviving (k↑ > 0) rows.
+        let mut order: Vec<usize> = (0..self.len).filter(|&i| self.mult_ub[i] > 0).collect();
+        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        // Merge adjacent equal keys: first occurrence is the representative.
+        let mut idxs: Vec<usize> = Vec::with_capacity(order.len());
+        let mut mults: Vec<Mult3> = Vec::with_capacity(order.len());
+        for &i in &order {
+            match (idxs.last(), mults.last_mut()) {
+                (Some(&j), Some(m)) if keys[j] == keys[i] => *m = *m + self.mult(i),
+                _ => {
+                    idxs.push(i);
+                    mults.push(self.mult(i));
+                }
+            }
+        }
+        let mut out = self.gather(&idxs, &mults);
+        out.normalized = true;
+        out
+    }
+
+    /// Measured heap footprint in bytes: every column's vectors (one for
+    /// certain columns, three otherwise) plus the three multiplicity
+    /// vectors. The `bytes_per_row` column of `repro bench --json` is this
+    /// divided by the row count, compared against
+    /// [`AuRelation::heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.cols.iter().map(AuColumn::heap_bytes).sum::<usize>()
+            + (self.mult_lb.capacity() + self.mult_sg.capacity() + self.mult_ub.capacity())
+                * std::mem::size_of::<u64>()
+    }
+}
+
+impl AuRelation {
+    /// Columnarize this relation (see [`AuColumns::from_relation`]).
+    pub fn to_columns(&self) -> AuColumns {
+        AuColumns::from_relation(self)
+    }
+}
+
+impl fmt::Display for AuColumns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} rows, columnar]", self.schema, self.len)?;
+        for i in 0..self.len {
+            writeln!(f, "  {} {}", self.tuple(i), self.mult(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    fn sample() -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            [
+                (
+                    AuTuple::new([rv(1, 2, 3), RangeValue::certain(10i64)]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([RangeValue::certain(5i64), RangeValue::certain(20i64)]),
+                    Mult3::new(0, 1, 2),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows_and_flag() {
+        let rel = sample();
+        let cols = rel.to_columns();
+        assert_eq!(cols.len(), 2);
+        assert!(!cols.is_normalized());
+        assert!(!cols.col(0).is_certain());
+        assert!(cols.col(1).is_certain());
+        let back = cols.to_rows();
+        assert_eq!(back.rows(), rel.rows());
+        assert!(!back.is_normalized());
+
+        let norm = rel.normalize();
+        let cols = norm.to_columns();
+        assert!(cols.is_normalized());
+        assert!(cols.to_rows().is_normalized());
+        assert_eq!(cols.to_rows().rows(), norm.rows());
+    }
+
+    #[test]
+    fn push_row_promotes_and_clears_flag() {
+        let mut cols = AuColumns::empty(Schema::new(["a"]));
+        assert!(cols.is_normalized());
+        cols.push_row(&AuTuple::new([RangeValue::certain(1i64)]), Mult3::ONE);
+        assert!(cols.col(0).is_certain());
+        assert!(!cols.is_normalized());
+        cols.push_row(&AuTuple::new([rv(1, 2, 3)]), Mult3::ONE);
+        assert!(!cols.col(0).is_certain());
+        assert_eq!(
+            cols.col(0).corner(Corner::Lb),
+            &[Value::Int(1), Value::Int(1)]
+        );
+        assert_eq!(
+            cols.col(0).corner(Corner::Ub),
+            &[Value::Int(1), Value::Int(3)]
+        );
+        assert_eq!(cols.tuple(1), AuTuple::new([rv(1, 2, 3)]));
+    }
+
+    #[test]
+    fn append_promotes_on_mixed_columns() {
+        let certain = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [(AuTuple::new([RangeValue::certain(1i64)]), Mult3::ONE)],
+        );
+        let ranged = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [(AuTuple::new([rv(4, 5, 6)]), Mult3::new(0, 0, 1))],
+        );
+        // Certain ← Ranged promotes; Ranged ← Certain broadcasts.
+        for (first, second) in [(&certain, &ranged), (&ranged, &certain)] {
+            let mut cols = first.to_columns();
+            cols.append(second.to_columns());
+            assert_eq!(cols.len(), 2);
+            let mut expect = first.clone();
+            expect.append(&mut second.clone());
+            assert!(cols.to_rows().bag_eq(&expect));
+        }
+    }
+
+    #[test]
+    fn normalize_matches_row_normalize() {
+        let t = AuTuple::new([rv(1, 2, 3)]);
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [
+                (t.clone(), Mult3::new(1, 1, 1)),
+                (AuTuple::new([rv(0, 0, 9)]), Mult3::new(0, 1, 1)),
+                (t.clone(), Mult3::new(0, 1, 2)),
+                (AuTuple::new([rv(7, 7, 7)]), Mult3::ZERO),
+            ],
+        );
+        let cols = rel.to_columns().normalize();
+        assert!(cols.is_normalized());
+        let rows = rel.normalize();
+        assert_eq!(cols.to_rows().rows(), rows.rows());
+        // Idempotent: a second normalize is the identity fast path.
+        assert_eq!(cols.clone().normalize().to_rows().rows(), rows.rows());
+    }
+
+    #[test]
+    fn certain_fast_path_is_smaller() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            (0..100).map(|i| (AuTuple::new([RangeValue::certain(i as i64)]), Mult3::ONE)),
+        );
+        let cols = rel.to_columns();
+        assert!(cols.col(0).is_certain());
+        assert!(cols.heap_bytes() < rel.heap_bytes());
+    }
+}

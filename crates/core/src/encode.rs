@@ -45,7 +45,7 @@ pub fn mult_cols(arity: usize) -> (usize, usize, usize) {
 pub fn encode(rel: &AuRelation) -> Relation {
     let schema = encoded_schema(&rel.schema);
     let rows = rel
-        .rows
+        .rows()
         .iter()
         .map(|row| {
             let mut vals: Vec<Value> = Vec::with_capacity(schema.arity());

@@ -6,7 +6,9 @@
 //! tuple `t ⊑ t` the deterministic result `⟦e⟧_t` is guaranteed to lie
 //! within the range result `⟦e⟧_t` (paper Sec. 3.2).
 
+use crate::batch::AuBatch;
 use crate::range_value::{RangeValue, TruthRange};
+use crate::sortkey::Corner;
 use crate::tuple::AuTuple;
 use audb_rel::{CmpOp, Value};
 
@@ -96,6 +98,276 @@ impl RangeExpr {
             sg: v.sg.is_true(),
             ub: v.ub.is_true(),
         }
+    }
+
+    /// Evaluate the expression over every row of a columnar batch,
+    /// producing one [`RangeValue`] per row (in row order).
+    ///
+    /// This is the vectorized twin of [`RangeExpr::eval`]: each operator
+    /// node sweeps whole column slices (attribute references borrow the
+    /// batch's bound vectors zero-copy; comparisons compare `&Value`s
+    /// without cloning a single value). Row/columnar parity is pinned by
+    /// property tests in `tests/columnar_roundtrip.rs`.
+    pub fn eval_batch(&self, b: &AuBatch<'_>) -> Vec<RangeValue> {
+        self.eval_batch_sel(b, Sel::All(b.len()))
+    }
+
+    /// Evaluate the expression over the rows of a columnar batch at the
+    /// given batch-relative indices only, producing one [`RangeValue`]
+    /// per index (aligned with `idxs`). The fused executor uses this to
+    /// compute projections only for the rows a preceding selection kept.
+    pub fn eval_batch_at(&self, b: &AuBatch<'_>, idxs: &[usize]) -> Vec<RangeValue> {
+        self.eval_batch_sel(b, Sel::At(idxs))
+    }
+
+    fn eval_batch_sel(&self, b: &AuBatch<'_>, sel: Sel<'_>) -> Vec<RangeValue> {
+        let n = sel.count();
+        match self.eval_cols(b, sel) {
+            cv @ ColVals::Slices { .. } => (0..n).map(|k| cv.rv(k, sel)).collect(),
+            ColVals::Owned(vals) => vals,
+            ColVals::Truths(ts) => ts.into_iter().map(truth_to_range).collect(),
+            ColVals::Const(c) => vec![c; n],
+        }
+    }
+
+    /// Evaluate the expression as a predicate over every row of a
+    /// columnar batch, producing one [`TruthRange`] per row (in row
+    /// order). Predicate roots (comparisons, boolean connectives) stay in
+    /// truth-triple form end to end — no boolean is ever boxed into a
+    /// [`Value`].
+    pub fn truth_batch(&self, b: &AuBatch<'_>) -> Vec<TruthRange> {
+        let sel = Sel::All(b.len());
+        self.eval_cols(b, sel).into_truths(sel)
+    }
+
+    /// Evaluate the predicate over the rows at the given batch-relative
+    /// indices only, producing one [`TruthRange`] per index (aligned with
+    /// `idxs`) — the fused executor's path for a selection chained after
+    /// another selection, so already-dropped rows are never re-evaluated.
+    pub fn truth_batch_at(&self, b: &AuBatch<'_>, idxs: &[usize]) -> Vec<TruthRange> {
+        let sel = Sel::At(idxs);
+        self.eval_cols(b, sel).into_truths(sel)
+    }
+
+    /// Vectorized evaluation core: one [`ColVals`] per node, computed by
+    /// sweeping the children's column forms over the selected rows.
+    fn eval_cols<'a>(&'a self, b: &AuBatch<'a>, sel: Sel<'_>) -> ColVals<'a> {
+        let n = sel.count();
+        match self {
+            RangeExpr::Col(i) => ColVals::Slices {
+                lb: b.corner(*i, Corner::Lb),
+                sg: b.corner(*i, Corner::Sg),
+                ub: b.corner(*i, Corner::Ub),
+            },
+            RangeExpr::Lit(v) => ColVals::Const(v.clone()),
+            // Addition and subtraction sweep per corner with `&Value`
+            // operands — no intermediate RangeValue is cloned (the rules
+            // mirror RangeValue::{add, sub}: subtraction is antitone in
+            // its right argument).
+            RangeExpr::Add(x, y) => {
+                let a = x.eval_cols(b, sel).materialized();
+                let c = y.eval_cols(b, sel).materialized();
+                ColVals::Owned(
+                    (0..n)
+                        .map(|k| RangeValue {
+                            lb: a.lb(k, sel).add(c.lb(k, sel)),
+                            sg: a.sg(k, sel).add(c.sg(k, sel)),
+                            ub: a.ub(k, sel).add(c.ub(k, sel)),
+                        })
+                        .collect(),
+                )
+            }
+            RangeExpr::Sub(x, y) => {
+                let a = x.eval_cols(b, sel).materialized();
+                let c = y.eval_cols(b, sel).materialized();
+                ColVals::Owned(
+                    (0..n)
+                        .map(|k| RangeValue {
+                            lb: a.lb(k, sel).sub(c.ub(k, sel)),
+                            sg: a.sg(k, sel).sub(c.sg(k, sel)),
+                            ub: a.ub(k, sel).sub(c.lb(k, sel)),
+                        })
+                        .collect(),
+                )
+            }
+            RangeExpr::Mul(x, y) => {
+                let a = x.eval_cols(b, sel).materialized();
+                let c = y.eval_cols(b, sel).materialized();
+                ColVals::Owned((0..n).map(|k| a.rv(k, sel).mul(&c.rv(k, sel))).collect())
+            }
+            RangeExpr::Neg(x) => {
+                let a = x.eval_cols(b, sel).materialized();
+                ColVals::Owned((0..n).map(|k| a.rv(k, sel).neg()).collect())
+            }
+            RangeExpr::Cmp(op, x, y) => {
+                let a = x.eval_cols(b, sel).materialized();
+                let c = y.eval_cols(b, sel).materialized();
+                ColVals::Truths((0..n).map(|k| cmp_at(*op, &a, &c, k, sel)).collect())
+            }
+            RangeExpr::And(x, y) => {
+                let a = x.eval_cols(b, sel).into_truths(sel);
+                let c = y.eval_cols(b, sel).into_truths(sel);
+                ColVals::Truths(a.into_iter().zip(c).map(|(s, t)| s.and(t)).collect())
+            }
+            RangeExpr::Or(x, y) => {
+                let a = x.eval_cols(b, sel).into_truths(sel);
+                let c = y.eval_cols(b, sel).into_truths(sel);
+                ColVals::Truths(a.into_iter().zip(c).map(|(s, t)| s.or(t)).collect())
+            }
+            RangeExpr::Not(x) => {
+                let a = x.eval_cols(b, sel).into_truths(sel);
+                ColVals::Truths(a.into_iter().map(TruthRange::not).collect())
+            }
+        }
+    }
+}
+
+/// The row subset an expression sweep covers: every row of the batch, or
+/// an explicit batch-relative index list (the surviving rows of a pending
+/// selection). Borrowed column slices index through [`Sel::abs`]; owned
+/// per-node vectors are aligned with the selection positions.
+#[derive(Clone, Copy)]
+enum Sel<'r> {
+    /// All `n` rows, in order.
+    All(usize),
+    /// The rows at these batch-relative indices.
+    At(&'r [usize]),
+}
+
+impl Sel<'_> {
+    fn count(&self) -> usize {
+        match self {
+            Sel::All(n) => *n,
+            Sel::At(idxs) => idxs.len(),
+        }
+    }
+
+    #[inline]
+    fn abs(&self, k: usize) -> usize {
+        match self {
+            Sel::All(_) => k,
+            Sel::At(idxs) => idxs[k],
+        }
+    }
+}
+
+/// The column-level value of one expression node over a batch: borrowed
+/// bound slices for attribute references (zero-copy), owned range values
+/// for computed nodes, truth triples for predicate nodes, and a broadcast
+/// constant for literals.
+enum ColVals<'a> {
+    /// Borrowed bound slices (a certain column repeats one slice).
+    Slices {
+        lb: &'a [Value],
+        sg: &'a [Value],
+        ub: &'a [Value],
+    },
+    /// Computed per-row range values.
+    Owned(Vec<RangeValue>),
+    /// Predicate node: per-row truth triples (never boxed into values
+    /// unless a parent arithmetic node demands it).
+    Truths(Vec<TruthRange>),
+    /// Literal broadcast over the whole batch.
+    Const(RangeValue),
+}
+
+impl<'a> ColVals<'a> {
+    /// Convert a predicate node's truths into value form so the `lb`/
+    /// `sg`/`ub` accessors are total (parents that compare or compute over
+    /// predicate results call this first — exactly the boxing the row
+    /// path's `truth_to_range` performs).
+    fn materialized(self) -> ColVals<'a> {
+        match self {
+            ColVals::Truths(ts) => ColVals::Owned(ts.into_iter().map(truth_to_range).collect()),
+            other => other,
+        }
+    }
+
+    /// Lower bound at selection position `k` (borrowed forms index the
+    /// batch through `sel`; owned forms are already selection-aligned).
+    fn lb(&self, k: usize, sel: Sel<'_>) -> &Value {
+        match self {
+            ColVals::Slices { lb, .. } => &lb[sel.abs(k)],
+            ColVals::Owned(v) => &v[k].lb,
+            ColVals::Const(c) => &c.lb,
+            ColVals::Truths(_) => unreachable!("materialized() before access"),
+        }
+    }
+
+    fn sg(&self, k: usize, sel: Sel<'_>) -> &Value {
+        match self {
+            ColVals::Slices { sg, .. } => &sg[sel.abs(k)],
+            ColVals::Owned(v) => &v[k].sg,
+            ColVals::Const(c) => &c.sg,
+            ColVals::Truths(_) => unreachable!("materialized() before access"),
+        }
+    }
+
+    fn ub(&self, k: usize, sel: Sel<'_>) -> &Value {
+        match self {
+            ColVals::Slices { ub, .. } => &ub[sel.abs(k)],
+            ColVals::Owned(v) => &v[k].ub,
+            ColVals::Const(c) => &c.ub,
+            ColVals::Truths(_) => unreachable!("materialized() before access"),
+        }
+    }
+
+    /// Selection position `k` as an owned [`RangeValue`] (clones three
+    /// values — cheap for numerics, a reference bump for strings).
+    fn rv(&self, k: usize, sel: Sel<'_>) -> RangeValue {
+        RangeValue {
+            lb: self.lb(k, sel).clone(),
+            sg: self.sg(k, sel).clone(),
+            ub: self.ub(k, sel).clone(),
+        }
+    }
+
+    fn is_certain_at(&self, k: usize, sel: Sel<'_>) -> bool {
+        self.lb(k, sel) == self.sg(k, sel) && self.sg(k, sel) == self.ub(k, sel)
+    }
+
+    /// This node as per-row truth triples (`is_true` of each bound for
+    /// value nodes — the same lowering [`RangeExpr::truth`] applies).
+    fn into_truths(self, sel: Sel<'_>) -> Vec<TruthRange> {
+        match self {
+            ColVals::Truths(ts) => ts,
+            other => (0..sel.count())
+                .map(|k| TruthRange {
+                    lb: other.lb(k, sel).is_true(),
+                    sg: other.sg(k, sel).is_true(),
+                    ub: other.ub(k, sel).is_true(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One comparison over two column forms at selection position `k`, by
+/// reference — the zero-clone mirror of [`eval_cmp`] /
+/// `RangeValue::{lt, le, eq_range}`.
+fn cmp_at(op: CmpOp, a: &ColVals<'_>, b: &ColVals<'_>, k: usize, sel: Sel<'_>) -> TruthRange {
+    let lt = |x: &ColVals<'_>, y: &ColVals<'_>| TruthRange {
+        lb: x.ub(k, sel) < y.lb(k, sel),
+        sg: x.sg(k, sel) < y.sg(k, sel),
+        ub: x.lb(k, sel) < y.ub(k, sel),
+    };
+    let le = |x: &ColVals<'_>, y: &ColVals<'_>| TruthRange {
+        lb: x.ub(k, sel) <= y.lb(k, sel),
+        sg: x.sg(k, sel) <= y.sg(k, sel),
+        ub: x.lb(k, sel) <= y.ub(k, sel),
+    };
+    let eq = || TruthRange {
+        lb: a.is_certain_at(k, sel) && b.is_certain_at(k, sel) && a.lb(k, sel) == b.lb(k, sel),
+        sg: a.sg(k, sel) == b.sg(k, sel),
+        ub: a.lb(k, sel) <= b.ub(k, sel) && b.lb(k, sel) <= a.ub(k, sel),
+    };
+    match op {
+        CmpOp::Lt => lt(a, b),
+        CmpOp::Le => le(a, b),
+        CmpOp::Gt => lt(b, a),
+        CmpOp::Ge => le(b, a),
+        CmpOp::Eq => eq(),
+        CmpOp::Ne => eq().not(),
     }
 }
 

@@ -44,6 +44,7 @@
 
 pub mod batch;
 pub mod cmp;
+pub mod columns;
 pub mod encode;
 pub mod expr;
 pub mod mult;
@@ -56,6 +57,7 @@ pub mod tuple;
 
 pub use batch::{AuBatch, Batches};
 pub use cmp::{tuple_lt, CmpSemantics};
+pub use columns::{AuColumn, AuColumns};
 pub use expr::RangeExpr;
 pub use mult::Mult3;
 pub use ops::aggregate::aggregate as au_aggregate;

@@ -43,7 +43,7 @@ pub fn aggregate(rel: &AuRelation, group: &[usize], aggs: &[(WinAgg, &str)]) -> 
     // Distinct sg group keys, in first-seen order.
     let mut order: Vec<Tuple> = Vec::new();
     let mut index: HashMap<Tuple, usize> = HashMap::new();
-    for row in &rel.rows {
+    for row in rel.rows() {
         if row.mult.is_zero() {
             continue;
         }
@@ -60,7 +60,7 @@ pub fn aggregate(rel: &AuRelation, group: &[usize], aggs: &[(WinAgg, &str)]) -> 
         let mut cert_members: Vec<(&AuTuple, Mult3)> = Vec::new();
         let mut poss_members: Vec<(&AuTuple, Mult3)> = Vec::new();
         let mut sg_members: Vec<(&AuTuple, u64)> = Vec::new();
-        for row in &rel.rows {
+        for row in rel.rows() {
             if row.mult.is_zero() {
                 continue;
             }
@@ -260,7 +260,7 @@ mod tests {
         let out = aggregate(&au, &[0], &[(WinAgg::Sum(1), "s"), (WinAgg::Count, "c")]);
         let dout = det_agg(&det, &[0], &[(AggFunc::Sum(1), "s"), (AggFunc::Count, "c")]);
         assert!(out.sg_world().bag_eq(&dout), "{out}\nvs\n{dout}");
-        for row in &out.rows {
+        for row in out.rows() {
             assert!(row.tuple.is_certain());
             assert_eq!(row.mult, Mult3::ONE);
         }
@@ -287,17 +287,17 @@ mod tests {
             ],
         );
         let out = aggregate(&rel, &[0], &[(WinAgg::Sum(1), "s")]).normalize();
-        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows().len(), 2);
         // Group 1: certain 10, possible +5 → sum ∈ [10, 15], sg = 15.
         let g1 = out
-            .rows
+            .rows()
             .iter()
             .find(|r| r.tuple.get(0).sg == Value::Int(1))
             .unwrap();
         assert_eq!(g1.tuple.get(1), &rv(10, 15, 15));
         // Group 2: certain 20, possible +5 → [20, 25], sg = 20.
         let g2 = out
-            .rows
+            .rows()
             .iter()
             .find(|r| r.tuple.get(0).sg == Value::Int(2))
             .unwrap();
@@ -314,7 +314,7 @@ mod tests {
             )],
         );
         let out = aggregate(&rel, &[0], &[(WinAgg::Count, "c")]);
-        assert_eq!(out.rows[0].tuple.get(1), &rv(1, 2, 4));
+        assert_eq!(out.rows()[0].tuple.get(1), &rv(1, 2, 4));
     }
 
     #[test]
@@ -329,7 +329,7 @@ mod tests {
         let out = aggregate(&rel, &[0], &[(WinAgg::Min(1), "m")]);
         // Group key 1 exists in sg world; the single member is uncertain in
         // membership (range [1,2]) but the sg world has it → [5,5,5].
-        assert_eq!(out.rows[0].tuple.get(1), &rv(5, 5, 5));
-        assert_eq!(out.rows[0].mult, Mult3::new(0, 1, 1));
+        assert_eq!(out.rows()[0].tuple.get(1), &rv(5, 5, 5));
+        assert_eq!(out.rows()[0].mult, Mult3::new(0, 1, 1));
     }
 }

@@ -7,12 +7,12 @@ use crate::relation::AuRelation;
 /// Cross product `R × S`.
 pub fn product(left: &AuRelation, right: &AuRelation) -> AuRelation {
     let schema = left.schema.concat(&right.schema);
-    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
-    for l in &left.rows {
+    let mut rows = Vec::with_capacity(left.rows().len() * right.rows().len());
+    for l in left.rows() {
         if l.mult.is_zero() {
             continue;
         }
-        for r in &right.rows {
+        for r in right.rows() {
             if r.mult.is_zero() {
                 continue;
             }
@@ -27,11 +27,11 @@ pub fn product(left: &AuRelation, right: &AuRelation) -> AuRelation {
 pub fn join(left: &AuRelation, right: &AuRelation, theta: &RangeExpr) -> AuRelation {
     let schema = left.schema.concat(&right.schema);
     let mut rows = Vec::new();
-    for l in &left.rows {
+    for l in left.rows() {
         if l.mult.is_zero() {
             continue;
         }
-        for r in &right.rows {
+        for r in right.rows() {
             if r.mult.is_zero() {
                 continue;
             }
@@ -71,9 +71,9 @@ mod tests {
             ],
         );
         let j = join(&l, &r, &RangeExpr::col(0).eq(RangeExpr::col(1)));
-        assert_eq!(j.rows.len(), 1);
+        assert_eq!(j.rows().len(), 1);
         // a=[1..3] possibly equals 2 and sg-equals 2; not certainly.
-        assert_eq!(j.rows[0].mult, Mult3::new(0, 1, 2));
+        assert_eq!(j.rows()[0].mult, Mult3::new(0, 1, 2));
     }
 
     #[test]
@@ -87,7 +87,7 @@ mod tests {
             [(AuTuple::new([rv(5, 5, 5)]), Mult3::new(0, 1, 2))],
         );
         let p = product(&l, &r);
-        assert_eq!(p.rows[0].mult, Mult3::new(0, 2, 6));
+        assert_eq!(p.rows()[0].mult, Mult3::new(0, 2, 6));
         assert_eq!(p.schema.arity(), 2);
     }
 }

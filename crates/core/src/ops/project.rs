@@ -10,7 +10,7 @@ use audb_rel::Schema;
 pub fn project(rel: &AuRelation, exprs: &[(RangeExpr, &str)]) -> AuRelation {
     let schema = Schema::new(exprs.iter().map(|(_, n)| n.to_string()));
     let rows = rel
-        .rows
+        .rows()
         .iter()
         .filter(|r| !r.mult.is_zero())
         .map(|r| {
@@ -25,7 +25,7 @@ pub fn project(rel: &AuRelation, exprs: &[(RangeExpr, &str)]) -> AuRelation {
 pub fn project_cols(rel: &AuRelation, idxs: &[usize]) -> AuRelation {
     let schema = Schema::new(idxs.iter().map(|&i| rel.schema.cols()[i].clone()));
     let rows = rel
-        .rows
+        .rows()
         .iter()
         .filter(|r| !r.mult.is_zero())
         .map(|r| (r.tuple.project(idxs), r.mult))
@@ -55,8 +55,8 @@ mod tests {
             ],
         );
         let p = project_cols(&rel, &[0]).normalize();
-        assert_eq!(p.rows.len(), 1);
-        assert_eq!(p.rows[0].mult, Mult3::new(1, 2, 2));
+        assert_eq!(p.rows().len(), 1);
+        assert_eq!(p.rows()[0].mult, Mult3::new(1, 2, 2));
     }
 
     #[test]
@@ -67,7 +67,7 @@ mod tests {
         );
         let e = RangeExpr::Add(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::lit(10)));
         let p = project(&rel, &[(e, "a10")]);
-        assert_eq!(p.rows[0].tuple.get(0), &RangeValue::new(11, 12, 13));
+        assert_eq!(p.rows()[0].tuple.get(0), &RangeValue::new(11, 12, 13));
         assert_eq!(p.schema.cols(), &["a10"]);
     }
 }

@@ -9,7 +9,7 @@ use crate::relation::AuRelation;
 /// `σ_pred(rel)`. Rows whose filtered annotation is `(0,0,0)` are dropped.
 pub fn select(rel: &AuRelation, pred: &RangeExpr) -> AuRelation {
     let rows = rel
-        .rows
+        .rows()
         .iter()
         .filter_map(|row| {
             let m = row.mult.filter(pred.truth(&row.tuple));
@@ -42,11 +42,11 @@ mod tests {
             ],
         );
         let out = select(&rel, &RangeExpr::col(0).eq(RangeExpr::lit(1)));
-        assert_eq!(out.rows.len(), 2);
-        assert_eq!(out.rows[0].mult, Mult3::new(2, 2, 2));
+        assert_eq!(out.rows().len(), 2);
+        assert_eq!(out.rows()[0].mult, Mult3::new(2, 2, 2));
         // possibly-matching tuple keeps only its possible multiplicity
         // (sg survives because its sg value is 1).
-        assert_eq!(out.rows[1].mult, Mult3::new(0, 1, 1));
+        assert_eq!(out.rows()[1].mult, Mult3::new(0, 1, 1));
     }
 
     /// Selection preserves bounds: every world tuple satisfying the
@@ -69,7 +69,7 @@ mod tests {
                 // hypercube whose possible multiplicity covers it.
                 for r in &det.rows {
                     let covered = out
-                        .rows
+                        .rows()
                         .iter()
                         .any(|o| o.tuple.bounds(&r.tuple) && o.mult.ub >= r.mult);
                     assert!(covered, "a={a} copies={copies}");

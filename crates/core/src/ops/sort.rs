@@ -37,7 +37,7 @@ pub fn sort_ref(
     let bounds = all_pos_bounds(rel, &total_idxs, sem);
     let schema = rel.schema.with(pos_name);
     let mut out = AuRelation::empty(schema);
-    for (row, base) in rel.rows.iter().zip(bounds) {
+    for (row, base) in rel.rows().iter().zip(bounds) {
         for i in 0..row.mult.ub {
             let p = base.shift(i);
             let pos = RangeValue::from_i64s(p.lb as i64, p.sg as i64, p.ub as i64);
@@ -135,8 +135,8 @@ mod tests {
         // t1 dup1 (pos [1/1/2]) and t2 (pos [2/2/3]) are possible at... dup1
         // lb = 1 ≥ 1 → filtered out entirely; t2 lb = 2 → out.
         let n = out.clone().normalize();
-        assert_eq!(n.rows.len(), 2, "{n}");
-        for row in &n.rows {
+        assert_eq!(n.rows().len(), 2, "{n}");
+        for row in n.rows() {
             assert!(row.mult.lb == 0);
         }
     }
@@ -149,8 +149,8 @@ mod tests {
         let out = sort_ref(&au, &[0], "pos", CmpSemantics::IntervalLex);
         let det_sorted = audb_rel::sort_to_pos(&det, &[0], "pos");
         // Every position must be certain and equal to the deterministic one.
-        assert_eq!(out.rows.len(), 3);
-        for row in &out.rows {
+        assert_eq!(out.rows().len(), 3);
+        for row in out.rows() {
             assert!(row.tuple.get(1).is_certain());
             assert_eq!(row.mult, Mult3::ONE);
         }

@@ -13,7 +13,7 @@ pub fn union(left: &AuRelation, right: &AuRelation) -> AuRelation {
     let mut out = left.clone();
     // Through the accessor, not `out.rows.extend(..)`: a normalized `left`
     // must not leak its normalization flag onto the concatenation.
-    out.rows_mut().extend(right.rows.iter().cloned());
+    out.rows_mut().extend(right.rows().iter().cloned());
     out
 }
 
@@ -38,8 +38,8 @@ mod tests {
         let u = union(&l, &r);
         assert!(!u.is_normalized());
         let u = u.normalize();
-        assert_eq!(u.rows.len(), 1);
-        assert_eq!(u.rows[0].mult, Mult3::new(1, 2, 3));
+        assert_eq!(u.rows().len(), 1);
+        assert_eq!(u.rows()[0].mult, Mult3::new(1, 2, 3));
     }
 
     #[test]
@@ -48,7 +48,7 @@ mod tests {
         let l = AuRelation::from_rows(Schema::new(["a"]), [(t.clone(), Mult3::new(1, 1, 1))]);
         let r = AuRelation::from_rows(Schema::new(["a"]), [(t.clone(), Mult3::new(0, 1, 2))]);
         let u = union(&l, &r).normalize();
-        assert_eq!(u.rows.len(), 1);
-        assert_eq!(u.rows[0].mult, Mult3::new(1, 2, 3));
+        assert_eq!(u.rows().len(), 1);
+        assert_eq!(u.rows()[0].mult, Mult3::new(1, 2, 3));
     }
 }

@@ -166,7 +166,7 @@ pub fn guaranteed_extra_slots(
 /// two produce identical selected-guess components.
 pub fn sg_window_values(exp: &AuRelation, spec: &AuWindowSpec, agg: WinAgg) -> Vec<Value> {
     use audb_rel::{window_rows, AggFunc, Relation, Schema, Tuple, WindowSpec};
-    let n = exp.rows.len();
+    let n = exp.rows().len();
     let arity = exp.schema.arity();
     // Provenance-tagged SG world with *content* tie-breaking: columns are
     // [sg values | lb corner | ub corner | id]. The deterministic window
@@ -176,7 +176,7 @@ pub fn sg_window_values(exp: &AuRelation, spec: &AuWindowSpec, agg: WinAgg) -> V
     // independent of the caller's row ordering (native and reference feed
     // rows in different orders but must agree; see tests/method_agreement).
     let mut det_rows: Vec<(Tuple, u64)> = Vec::new();
-    for (i, row) in exp.rows.iter().enumerate() {
+    for (i, row) in exp.rows().iter().enumerate() {
         if row.mult.sg > 0 {
             let mut vals = row.tuple.sg_tuple().0;
             vals.extend(row.tuple.lb_tuple().0);
@@ -219,8 +219,8 @@ pub fn sg_window_values(exp: &AuRelation, spec: &AuWindowSpec, agg: WinAgg) -> V
     for i in 0..n {
         let v = match &vals[i] {
             Some(v) => v.clone(),
-            None if i > 0 && exp.rows[i - 1].tuple == exp.rows[i].tuple => out[i - 1].clone(),
-            None => agg.attr_range(&exp.rows[i].tuple).sg,
+            None if i > 0 && exp.rows()[i - 1].tuple == exp.rows()[i].tuple => out[i - 1].clone(),
+            None => agg.attr_range(&exp.rows()[i].tuple).sg,
         };
         out.push(v);
     }
@@ -340,7 +340,7 @@ pub fn window_ref(
     // Merge identical hypercubes first (see sort_ref), then split into
     // unit-multiplicity rows.
     let exp = rel.normalized().expand();
-    let n = exp.rows.len();
+    let n = exp.rows().len();
     let total_idxs = total_order(exp.schema.arity(), &spec.order);
     let schema = exp.schema.with(out_name);
     let mut out = AuRelation::empty(schema);
@@ -348,7 +348,12 @@ pub fn window_ref(
     // Partition truth of row j relative to target row ti.
     let part_truth = |j: usize, ti: usize| -> TruthRange {
         spec.partition.iter().fold(TruthRange::TRUE, |acc, &g| {
-            acc.and(exp.rows[j].tuple.get(g).eq_range(exp.rows[ti].tuple.get(g)))
+            acc.and(
+                exp.rows()[j]
+                    .tuple
+                    .get(g)
+                    .eq_range(exp.rows()[ti].tuple.get(g)),
+            )
         })
     };
 
@@ -366,7 +371,7 @@ pub fn window_ref(
     for ti in 0..n {
         // Filtered multiplicities within the target's partition.
         let fm: Vec<Mult3> = (0..n)
-            .map(|j| exp.rows[j].mult.filter(part_truth(j, ti)))
+            .map(|j| exp.rows()[j].mult.filter(part_truth(j, ti)))
             .collect();
 
         // Position bounds of every row within the partition.
@@ -374,13 +379,13 @@ pub fn window_ref(
             Some(p) => p.clone(),
             None => (0..n)
                 .map(|j| {
-                    let t = &exp.rows[j].tuple;
+                    let t = &exp.rows()[j].tuple;
                     let (mut lb, mut sg, mut ub) = (0u64, 0u64, 0u64);
                     for j2 in 0..n {
                         if j2 == j {
                             continue;
                         }
-                        let r = tuple_lt(&exp.rows[j2].tuple, t, &total_idxs, sem);
+                        let r = tuple_lt(&exp.rows()[j2].tuple, t, &total_idxs, sem);
                         if r.lb {
                             lb += fm[j2].lb;
                         }
@@ -402,7 +407,7 @@ pub fn window_ref(
         let cert_span = (tp.ub as i64 + l, tp.lb as i64 + u);
         let poss_span = (tp.lb as i64 + l, tp.ub as i64 + u);
 
-        let self_attr = agg.attr_range(&exp.rows[ti].tuple);
+        let self_attr = agg.attr_range(&exp.rows()[ti].tuple);
         let mut members = WindowMembers {
             cert: vec![self_attr.clone()],
             poss: Vec::new(),
@@ -415,7 +420,7 @@ pub fn window_ref(
                 continue;
             }
             let (plo, phi) = (pos[j].lb as i64, pos[j].ub as i64);
-            let attr = agg.attr_range(&exp.rows[j].tuple);
+            let attr = agg.attr_range(&exp.rows()[j].tuple);
             let certainly = fm[j].lb >= 1 && plo >= cert_span.0 && phi <= cert_span.1;
             if certainly {
                 members.cert.push(attr.clone());
@@ -437,7 +442,7 @@ pub fn window_ref(
         );
 
         let x = aggregate_window(&members, agg);
-        out.push(exp.rows[ti].tuple.with(x), exp.rows[ti].mult);
+        out.push(exp.rows()[ti].tuple.with(x), exp.rows()[ti].mult);
     }
     out.normalize()
 }
@@ -541,7 +546,7 @@ mod tests {
             let out = window_ref(&au, &spec, wa, "x", CmpSemantics::IntervalLex);
             let dspec = WindowSpec::rows(vec![0], -1, 0);
             let dout = window_rows(&det, &dspec, da, "x");
-            for row in &out.rows {
+            for row in out.rows() {
                 assert!(row.tuple.get(2).is_certain(), "{wa:?}: {}", row.tuple);
             }
             assert!(out.sg_world().bag_eq(&dout), "{wa:?}:\n{out}\nvs\n{dout}");
@@ -567,7 +572,7 @@ mod tests {
         );
         let spec = AuWindowSpec::rows(vec![0], 0, 0);
         let out = window_ref(&rel, &spec, WinAgg::Sum(1), "s", CmpSemantics::IntervalLex);
-        for row in &out.rows {
+        for row in out.rows() {
             let x = row.tuple.get(2);
             assert!(x.is_certain(), "window of size 1 is just the tuple: {x}");
         }

@@ -68,7 +68,7 @@ pub fn window_range_ref(
     out_name: &str,
 ) -> AuRelation {
     let exp = rel.normalized().expand();
-    let n = exp.rows.len();
+    let n = exp.rows().len();
     let mut out = AuRelation::empty(exp.schema.with(out_name));
     if n == 0 {
         return out;
@@ -77,12 +77,12 @@ pub fn window_range_ref(
 
     let attr_of = |j: usize| -> RangeValue {
         match agg.input_col() {
-            Some(c) => exp.rows[j].tuple.get(c).clone(),
+            Some(c) => exp.rows()[j].tuple.get(c).clone(),
             None => RangeValue::certain(1i64),
         }
     };
     let order_bounds = |j: usize| -> (i64, i64) {
-        let r = exp.rows[j].tuple.get(spec.order);
+        let r = exp.rows()[j].tuple.get(spec.order);
         (
             r.lb.as_i64().expect("integer order attribute"),
             r.ub.as_i64().expect("integer order attribute"),
@@ -101,9 +101,14 @@ pub fn window_range_ref(
                 continue;
             }
             let part = spec.partition.iter().fold(TruthRange::TRUE, |acc, &g| {
-                acc.and(exp.rows[j].tuple.get(g).eq_range(exp.rows[ti].tuple.get(g)))
+                acc.and(
+                    exp.rows()[j]
+                        .tuple
+                        .get(g)
+                        .eq_range(exp.rows()[ti].tuple.get(g)),
+                )
             });
-            let fm = exp.rows[j].mult.filter(part);
+            let fm = exp.rows()[j].mult.filter(part);
             if fm.is_zero() {
                 continue;
             }
@@ -186,12 +191,12 @@ pub fn window_range_ref(
             }
         };
         out.push(
-            exp.rows[ti].tuple.with(RangeValue {
+            exp.rows()[ti].tuple.with(RangeValue {
                 lb: xlo,
                 sg,
                 ub: xhi,
             }),
-            exp.rows[ti].mult,
+            exp.rows()[ti].mult,
         );
     }
     out.normalize()
@@ -201,9 +206,9 @@ pub fn window_range_ref(
 /// content tie-breaking (range windows have no order ties to break — equal
 /// order values share the window — so a plain id column suffices).
 fn sg_range_values(exp: &AuRelation, spec: &AuRangeWindowSpec, agg: WinAgg) -> Vec<Value> {
-    let n = exp.rows.len();
+    let n = exp.rows().len();
     let mut det_rows: Vec<(Tuple, u64)> = Vec::new();
-    for (i, row) in exp.rows.iter().enumerate() {
+    for (i, row) in exp.rows().iter().enumerate() {
         if row.mult.sg > 0 {
             det_rows.push((row.tuple.sg_tuple().with(Value::Int(i as i64)), 1));
         }
@@ -236,7 +241,7 @@ fn sg_range_values(exp: &AuRelation, spec: &AuRangeWindowSpec, agg: WinAgg) -> V
         .map(|i| match &vals[i] {
             Some(v) => v.clone(),
             None => match agg.input_col() {
-                Some(c) => exp.rows[i].tuple.get(c).sg.clone(),
+                Some(c) => exp.rows()[i].tuple.get(c).sg.clone(),
                 None => Value::Int(1),
             },
         })
@@ -262,7 +267,7 @@ mod tests {
         let out = window_range_ref(&au, &spec, WinAgg::Sum(1), "s");
         let dout = det_window_range(&det, &RangeWindowSpec::new(0, -1, 1), AggFunc::Sum(1), "s");
         assert!(out.sg_world().bag_eq(&dout), "{out}\nvs\n{dout}");
-        for row in &out.rows {
+        for row in out.rows() {
             assert!(row.tuple.get(2).is_certain());
         }
     }
@@ -280,7 +285,7 @@ mod tests {
         let spec = AuRangeWindowSpec::new(0, -1, 1);
         let out = window_range_ref(&rel, &spec, WinAgg::Sum(1), "s");
         let first = out
-            .rows
+            .rows()
             .iter()
             .find(|r| r.tuple.get(0) == &rv(0, 0, 0))
             .unwrap();
@@ -298,7 +303,7 @@ mod tests {
         let rel = AuRelation::from_rows(Schema::new(["o", "v"]), rows);
         let spec = AuRangeWindowSpec::new(0, 0, 0);
         let out = window_range_ref(&rel, &spec, WinAgg::Sum(1), "s");
-        for row in &out.rows {
+        for row in out.rows() {
             assert_eq!(row.tuple.get(2).ub, Value::Int(5), "{out}");
         }
     }
@@ -350,7 +355,7 @@ mod tests {
     /// audb-worlds): every world tuple fits some output hypercube.
     fn audb_worlds_check(au: &AuRelation, world: &audb_rel::Relation) -> bool {
         world.rows.iter().all(|r| {
-            au.rows
+            au.rows()
                 .iter()
                 .any(|a| a.tuple.bounds(&r.tuple) && a.mult.ub >= r.mult)
         })

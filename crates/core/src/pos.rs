@@ -46,9 +46,9 @@ pub fn pos_bounds(
     target: usize,
     sem: CmpSemantics,
 ) -> PosBounds {
-    let t = &rel.rows[target].tuple;
+    let t = &rel.rows()[target].tuple;
     let (mut lb, mut sg, mut ub) = (0u64, 0u64, 0u64);
-    for (j, row) in rel.rows.iter().enumerate() {
+    for (j, row) in rel.rows().iter().enumerate() {
         if j == target {
             continue;
         }
@@ -72,7 +72,7 @@ pub fn pos_bounds(
 /// All rows' duplicate-0 position bounds (still O(n²); convenience for the
 /// reference operators).
 pub fn all_pos_bounds(rel: &AuRelation, total_idxs: &[usize], sem: CmpSemantics) -> Vec<PosBounds> {
-    (0..rel.rows.len())
+    (0..rel.rows().len())
         .map(|i| pos_bounds(rel, total_idxs, i, sem))
         .collect()
 }
@@ -150,7 +150,7 @@ mod tests {
     fn syntactic_bounds_are_looser_but_contain_exact() {
         let rel = example6();
         let idxs = [0usize, 1];
-        for i in 0..rel.rows.len() {
+        for i in 0..rel.rows().len() {
             let exact = pos_bounds(&rel, &idxs, i, CmpSemantics::IntervalLex);
             let syn = pos_bounds(&rel, &idxs, i, CmpSemantics::Syntactic);
             assert!(syn.lb <= exact.lb, "row {i}");

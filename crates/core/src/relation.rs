@@ -1,6 +1,7 @@
 //! AU-DB relations: bags of range-annotated tuples with `ℕ³` annotations.
 
 use crate::mult::Mult3;
+use crate::range_value::RangeValue;
 use crate::sortkey::SortKey;
 use crate::tuple::AuTuple;
 use audb_rel::Schema;
@@ -21,14 +22,14 @@ pub struct AuRow {
 pub struct AuRelation {
     /// Attribute names.
     pub schema: Schema,
-    /// Rows; the same hypercube may appear several times (normalize to merge).
-    ///
-    /// **Read freely; mutate only through [`AuRelation::push`],
-    /// [`AuRelation::append`], or [`AuRelation::rows_mut`]** — those clear
-    /// the normalization flag below. Mutating this field directly on a
-    /// relation whose flag is set makes `normalize()`/`normalized()`/
-    /// `bag_eq()` silently skip their pass and return wrong results.
-    pub rows: Vec<AuRow>,
+    /// Rows; the same hypercube may appear several times (normalize to
+    /// merge). Private since the columnar refactor: read through
+    /// [`AuRelation::rows`], mutate through [`AuRelation::push`],
+    /// [`AuRelation::append`], or [`AuRelation::rows_mut`] — the mutators
+    /// clear the normalization flag below, so the historical hazard
+    /// (direct mutation leaving a stale `true` flag, silently skipping
+    /// `normalize()`/`bag_eq()` passes) is unrepresentable.
+    rows: Vec<AuRow>,
     /// True iff this relation is known to be in canonical form (merged,
     /// zero-free, key-sorted). [`AuRelation::normalize`] then returns
     /// immediately. A stale `false` only costs a redundant pass; a stale
@@ -58,16 +59,6 @@ impl AuRelation {
         }
     }
 
-    /// Build from already-assembled [`AuRow`]s (the pipeline executor's
-    /// batch output). Conservatively not marked normalized.
-    pub fn from_au_rows(schema: Schema, rows: Vec<AuRow>) -> Self {
-        AuRelation {
-            schema,
-            rows,
-            normalized: false,
-        }
-    }
-
     /// Lift a deterministic relation into a fully certain AU-relation.
     pub fn certain(rel: &audb_rel::Relation) -> Self {
         AuRelation {
@@ -83,6 +74,53 @@ impl AuRelation {
                 .collect(),
             normalized: false,
         }
+    }
+
+    /// Assemble from parts with an explicit normalization flag — the
+    /// row↔columnar conversion's way of preserving canonical-form status.
+    /// Crate-internal: callers outside `audb-core` cannot forge the flag.
+    pub(crate) fn from_parts(schema: Schema, rows: Vec<AuRow>, normalized: bool) -> Self {
+        AuRelation {
+            schema,
+            rows,
+            normalized,
+        }
+    }
+
+    /// The stored rows (read-only; see [`AuRelation::rows_mut`] to
+    /// mutate).
+    #[inline]
+    pub fn rows(&self) -> &[AuRow] {
+        &self.rows
+    }
+
+    /// Consume the relation into its rows.
+    pub fn into_rows(self) -> Vec<AuRow> {
+        self.rows
+    }
+
+    /// Measured heap footprint in bytes of the row representation: the
+    /// row vector, each tuple's `RangeValue` vector, and string payloads.
+    /// Compared against [`crate::AuColumns::heap_bytes`] by
+    /// `repro bench --json`'s `bytes_per_row` column.
+    pub fn heap_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<AuRow>()
+            + self
+                .rows
+                .iter()
+                .map(|r| {
+                    r.tuple.0.capacity() * std::mem::size_of::<RangeValue>()
+                        + r.tuple
+                            .0
+                            .iter()
+                            .map(|rv| {
+                                crate::columns::value_heap_bytes(&rv.lb)
+                                    + crate::columns::value_heap_bytes(&rv.sg)
+                                    + crate::columns::value_heap_bytes(&rv.ub)
+                            })
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
     }
 
     /// Append a row. On every operator's inner loop — kept branch-light.

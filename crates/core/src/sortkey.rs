@@ -102,6 +102,26 @@ impl SortKey {
         SortKey(out)
     }
 
+    /// The canonical whole-row keys of **every** row of a columnar
+    /// relation, encoded straight from the column slices in corner-major
+    /// sweeps (each bound vector is walked contiguously; no per-row tuple
+    /// is ever materialized). Key `i` equals
+    /// `SortKey::of_row(&cols.tuple(i))` byte for byte.
+    pub fn of_columns(cols: &crate::columns::AuColumns) -> Vec<SortKey> {
+        let n = cols.len();
+        let mut bufs: Vec<Vec<u8>> = (0..n)
+            .map(|_| Vec::with_capacity(cols.arity() * 3 * 17))
+            .collect();
+        for corner in [Corner::Lb, Corner::Ub, Corner::Sg] {
+            for c in 0..cols.arity() {
+                for (buf, v) in bufs.iter_mut().zip(cols.col(c).corner(corner)) {
+                    encode_value(v, buf);
+                }
+            }
+        }
+        bufs.into_iter().map(SortKey).collect()
+    }
+
     /// Encode a single value.
     pub fn of_value(v: &Value) -> SortKey {
         let mut out = Vec::with_capacity(17);

@@ -211,7 +211,7 @@ impl Native {
     /// multiplicity, so checking raw rows would miss them.
     fn window_needs_reference(rel: &AuRelation, spec: &AuWindowSpec) -> bool {
         debug_assert!(rel.is_normalized());
-        rel.rows.iter().any(|row| {
+        rel.rows().iter().any(|row| {
             row.mult.ub > 1
                 || spec
                     .partition

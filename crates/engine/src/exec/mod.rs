@@ -13,10 +13,13 @@
 //! order-based operators (`sort`, `topk`, `window`) as **pipeline
 //! breakers** — the only points where state is materialized.
 //!
-//! Execution ([`execute`]) streams cache-sized [`AuBatch`](audb_core::AuBatch)
-//! morsels through each pipeline's fused chain in parallel (via `audb-par`,
-//! with deterministic output order), then hands the single materialized
-//! build side to the backend's breaker hook. Per-operator wall times and
+//! Execution ([`execute`]) columnarizes each fused stage's input
+//! ([`audb_core::AuColumns`] — cached on the plan when the stage reads
+//! the scan source unchanged) and streams cache-sized zero-copy
+//! column-slice [`AuBatch`](audb_core::AuBatch) morsels through the
+//! fused chain in parallel (via `audb-par`, with deterministic output
+//! order) as vectorized column sweeps, then hands the single
+//! materialized build side to the backend's breaker hook. Per-operator wall times and
 //! batch counts are collected in an [`ExecTrace`], surfaced by
 //! `Engine::run_all` and the `repro bench` harness.
 //!

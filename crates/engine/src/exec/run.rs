@@ -7,11 +7,13 @@
 //!   full [`AuRelation`] between every step. Kept as the semantic oracle
 //!   (the [`Reference`](crate::Reference) backend's mode) and as the
 //!   comparison arm of the pipelined-≡-materialized property test.
-//! * [`ExecMode::Pipelined`] — the lowered [`Pipeline`]s: each pipeline's
-//!   fused select/project chain is applied per cache-sized batch, with the
+//! * [`ExecMode::Pipelined`] — the lowered [`Pipeline`]s: the input of
+//!   each pipeline's fused select/project chain is columnarized once
+//!   ([`AuColumns`]), then every step is a **vectorized column sweep**
+//!   over cache-sized zero-copy batch views ([`AuBatch`]), with the
 //!   batches of one stage processed **morsel-parallel** through
 //!   [`audb_par::par_map`] (deterministic output order: batch `i`'s rows
-//!   always precede batch `i + 1`'s). Only breakers materialize.
+//!   always precede batch `i + 1`'s). Only breakers materialize rows.
 //!
 //! Both modes collect an [`ExecTrace`]: per-operator wall time, batch
 //! count and output cardinality, surfaced by `Engine::run_all` and
@@ -21,7 +23,8 @@ use super::lower::{fuse_label, lower, Pipeline};
 use crate::backend::Backend;
 use crate::error::EngineError;
 use crate::plan::{Op, Plan};
-use audb_core::{AuRelation, AuRow, AuTuple};
+use audb_core::{AuBatch, AuColumns, AuRelation, Mult3};
+use audb_rel::Schema;
 use std::borrow::Cow;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -157,48 +160,122 @@ fn run_materialized<B: Backend + ?Sized>(
     ))
 }
 
-/// Apply a fused chain of streamable operators to one batch of rows,
-/// producing the surviving (possibly reshaped) rows in input order.
+/// Apply a fused chain of streamable operators to one columnar batch,
+/// producing the surviving (possibly reshaped) rows — as owned columns —
+/// in input order. Each `(op, output schema)` step is one vectorized
+/// column sweep over the current base (the borrowed batch view for the
+/// leading steps — zero-copy — then the owned columns of the last
+/// projection).
 ///
-/// Semantics mirror the materialized operators exactly:
-/// * `select` filters the multiplicity triple by the predicate's truth
-///   triple and drops rows whose filtered annotation is `(0, 0, 0)`;
+/// Semantics mirror the materialized operators exactly (pinned by the
+/// pipelined-≡-materialized property test):
+/// * `select` filters the multiplicity triple by the predicate's
+///   vectorized truth column and drops rows whose filtered annotation is
+///   `(0, 0, 0)`;
 /// * both projections drop rows whose (current) annotation is zero, then
-///   map the tuple.
-fn apply_fused(steps: &[&Op], rows: &[AuRow]) -> Vec<AuRow> {
-    let mut out = Vec::with_capacity(rows.len());
-    'rows: for row in rows {
-        let mut tuple: Cow<'_, AuTuple> = Cow::Borrowed(&row.tuple);
-        let mut mult = row.mult;
-        for step in steps {
-            match step {
-                Op::Select { pred } => {
-                    mult = mult.filter(pred.truth(&tuple));
-                    if mult.is_zero() {
-                        continue 'rows;
+///   gather / recompute columns — a bare column reference in a computed
+///   projection copies the column instead of re-evaluating per cell.
+fn apply_fused(steps: &[(&Op, &Schema)], batch: &AuBatch<'_>) -> AuColumns {
+    // Selections never copy a value: they fold into a pending selection
+    // vector (surviving batch-relative indices + filtered annotations)
+    // over the current base — the borrowed input batch, or the owned
+    // columns the last projection produced. Projections resolve the
+    // pending selection in their gather, so a `select · project` chain
+    // copies each surviving cell exactly once.
+    enum StepOut {
+        Selected(Vec<usize>, Vec<Mult3>),
+        Projected(AuColumns),
+    }
+    let mut owned: Option<AuColumns> = None;
+    let mut pending: Option<(Vec<usize>, Vec<Mult3>)> = None;
+    for (op, out_schema) in steps {
+        let out = {
+            let base = match &owned {
+                Some(cols) => cols.as_batch(),
+                None => *batch,
+            };
+            match op {
+                Op::Select { pred } => match pending.take() {
+                    // Fold into the previous selection: evaluate the
+                    // predicate over its surviving rows only and
+                    // re-filter their annotations.
+                    Some((sel, mults)) => {
+                        let truths = pred.truth_batch_at(&base, &sel);
+                        let mut keep = Vec::with_capacity(sel.len());
+                        let mut kept_mults = Vec::with_capacity(sel.len());
+                        for ((&i, m), truth) in sel.iter().zip(&mults).zip(truths) {
+                            let m = m.filter(truth);
+                            if !m.is_zero() {
+                                keep.push(i);
+                                kept_mults.push(m);
+                            }
+                        }
+                        StepOut::Selected(keep, kept_mults)
                     }
-                }
+                    None => {
+                        let truths = pred.truth_batch(&base);
+                        let mut keep = Vec::with_capacity(base.len());
+                        let mut mults = Vec::with_capacity(base.len());
+                        for (i, truth) in truths.into_iter().enumerate() {
+                            let m = base.mult(i).filter(truth);
+                            if !m.is_zero() {
+                                keep.push(i);
+                                mults.push(m);
+                            }
+                        }
+                        StepOut::Selected(keep, mults)
+                    }
+                },
                 Op::Project { cols } => {
-                    if mult.is_zero() {
-                        continue 'rows;
-                    }
-                    tuple = Cow::Owned(tuple.project(cols));
+                    let (keep, mults) = pending.take().unwrap_or_else(|| nonzero_rows(&base));
+                    StepOut::Projected(base.gather_cols(cols, (*out_schema).clone(), &keep, &mults))
                 }
                 Op::ProjectExprs { exprs } => {
-                    if mult.is_zero() {
-                        continue 'rows;
-                    }
-                    tuple = Cow::Owned(AuTuple::new(exprs.iter().map(|(e, _)| e.eval(&tuple))));
+                    let (keep, mults) = pending.take().unwrap_or_else(|| nonzero_rows(&base));
+                    let cols = exprs
+                        .iter()
+                        .map(|(e, _)| match e {
+                            // A bare column reference copies the column;
+                            // computed expressions evaluate only the kept
+                            // rows and move the results into columnar form.
+                            audb_core::RangeExpr::Col(c) => base.gather_col(*c, &keep),
+                            computed => {
+                                AuColumns::column_from_values(computed.eval_batch_at(&base, &keep))
+                            }
+                        })
+                        .collect();
+                    StepOut::Projected(AuColumns::from_cols((*out_schema).clone(), cols, &mults))
                 }
                 _ => unreachable!("breakers are never fused"),
             }
+        };
+        match out {
+            StepOut::Selected(keep, mults) => pending = Some((keep, mults)),
+            StepOut::Projected(cols) => owned = Some(cols),
         }
-        out.push(AuRow {
-            tuple: tuple.into_owned(),
-            mult,
-        });
     }
-    out
+    match (owned, pending) {
+        // Trailing selection: resolve it with one gather from the base.
+        (Some(cols), Some((keep, mults))) => cols.as_batch().gather(&keep, &mults),
+        (None, Some((keep, mults))) => batch.gather(&keep, &mults),
+        (Some(cols), None) => cols,
+        (None, None) => unreachable!("fused chains are non-empty"),
+    }
+}
+
+/// The batch-relative indices and annotations of the rows a projection
+/// keeps (`k↑ > 0` — the materialized operators' drop rule).
+fn nonzero_rows(b: &AuBatch<'_>) -> (Vec<usize>, Vec<Mult3>) {
+    let mut keep = Vec::with_capacity(b.len());
+    let mut mults = Vec::with_capacity(b.len());
+    for i in 0..b.len() {
+        let m = b.mult(i);
+        if !m.is_zero() {
+            keep.push(i);
+            mults.push(m);
+        }
+    }
+    (keep, mults)
 }
 
 /// The batch-streaming executor: fused stages morsel-parallel per batch,
@@ -221,23 +298,43 @@ fn run_pipelined<B: Backend + ?Sized>(
     for pipeline in &pipelines {
         if !pipeline.fused.is_empty() {
             let start = Instant::now();
-            let steps: Vec<&Op> = pipeline.fused.iter().map(|&i| &plan.ops()[i]).collect();
+            // Each fused step carries its output schema (`schemas()[i + 1]`
+            // is the schema *after* operator `i`).
+            let steps: Vec<(&Op, &Schema)> = pipeline
+                .fused
+                .iter()
+                .map(|&i| (&plan.ops()[i], &plan.schemas()[i + 1]))
+                .collect();
             // Output schema of the last fused operator.
             let out_schema = plan.schemas()[pipeline.fused.last().unwrap() + 1].clone();
-            let batches: Vec<audb_core::AuBatch<'_>> = cur.batches(batch_size).collect();
+            // Columnarize once per fused stage; every step inside the
+            // stage is then a vectorized column sweep. When the stage
+            // reads the plan's source unchanged (the common scan →
+            // select/project head), the plan's cached columnar form is
+            // used — transposed once, shared across executions, the
+            // stand-in for columnar base-table storage.
+            let cols_local;
+            let cols: &AuColumns = match &cur {
+                Cow::Borrowed(rel) if std::ptr::eq(*rel, plan.source()) => plan.source_columns(),
+                _ => {
+                    cols_local = cur.to_columns();
+                    &cols_local
+                }
+            };
+            let batches: Vec<audb_core::AuBatch<'_>> = cols.batches(batch_size).collect();
             let n_batches = batches.len();
             // Morsel-parallel: each batch runs the whole fused chain
             // independently; par_map guarantees chunk `i`'s rows land
             // before chunk `i + 1`'s, so the output order is exactly the
             // sequential one.
-            let chunks = audb_par::par_map(&batches, |b| apply_fused(&steps, b.rows));
-            let mut rows = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+            let chunks = audb_par::par_map(&batches, |b| apply_fused(&steps, b));
+            let mut merged = AuColumns::empty(out_schema);
             for chunk in chunks {
-                rows.extend(chunk);
+                merged.append(chunk);
             }
-            cur = Cow::Owned(AuRelation::from_au_rows(out_schema, rows));
+            cur = Cow::Owned(merged.to_rows());
             ops.push(OpTiming {
-                label: fuse_label(steps.iter().map(|op| op.name())),
+                label: fuse_label(steps.iter().map(|(op, _)| op.name())),
                 elapsed: start.elapsed(),
                 batches: n_batches,
                 rows_out: cur.len(),
@@ -399,7 +496,7 @@ mod tests {
             .unwrap();
         let (out, _) = execute(&Native, &plan, ExecMode::Pipelined, 8).unwrap();
         // Possibly-true predicate: certain multiplicity drops to 0.
-        assert_eq!(out.rows[0].mult, Mult3::new(0, 2, 2));
+        assert_eq!(out.rows()[0].mult, Mult3::new(0, 2, 2));
         let materialized = audb_core::au_project_cols(&audb_core::au_select(&rel, &pred), &[0]);
         assert!(out.bag_eq(&materialized));
     }

@@ -20,9 +20,10 @@
 //!   against every other via [`Engine::run_all`].
 //! * [`exec`] — the physical execution layer between plans and backends:
 //!   logical chains lower to batch-streaming [`Pipeline`]s whose fused
-//!   select/project stages run morsel-parallel over cache-sized
-//!   [`audb_core::AuBatch`]es, with the order-based operators as the only
-//!   materializing pipeline breakers. The production backends (native,
+//!   select/project stages run morsel-parallel as vectorized column
+//!   sweeps over cache-sized columnar [`audb_core::AuBatch`] views
+//!   ([`audb_core::AuColumns`] storage), with the order-based operators
+//!   as the only materializing pipeline breakers. The production backends (native,
 //!   rewrite) execute pipelined; the reference oracle stays materialized;
 //!   both modes are property-tested bag-equal on every plan.
 //!
@@ -455,7 +456,7 @@ mod tests {
         assert_eq!(plan.schema().cols(), &["a", "b", "neg_b", "rank"]);
         let all = Engine::native().run_all(&plan).unwrap();
         assert!(!all.output.is_empty());
-        for row in &all.output.rows {
+        for row in all.output.rows() {
             let (lb, _, _) = row.tuple.get(3).as_i64_triple();
             assert!(lb < 2, "top-2 rows sit possibly below rank 2");
         }

@@ -294,12 +294,26 @@ pub struct Plan {
     /// The SQL text this plan was compiled from, when it came through the
     /// SQL frontend (shown by `Engine::explain`).
     sql: Option<String>,
+    /// Lazily built columnar form of the source, shared across clones and
+    /// executions — the plan-level stand-in for columnar base-table
+    /// storage: the pipeline executor's first fused stage reads it instead
+    /// of re-transposing the row source on every run.
+    source_cols: Arc<std::sync::OnceLock<audb_core::AuColumns>>,
 }
 
 impl Plan {
     /// The scanned source relation.
     pub fn source(&self) -> &AuRelation {
         &self.source
+    }
+
+    /// The scanned source in columnar form, transposed on first use and
+    /// cached for the plan's lifetime (shared across clones). Executors
+    /// use this when their scan borrows the source unchanged; backends
+    /// whose scan rewrites the relation (e.g. the rewrite backend's
+    /// encoding round-trip) transpose their own scan output instead.
+    pub fn source_columns(&self) -> &audb_core::AuColumns {
+        self.source_cols.get_or_init(|| self.source.to_columns())
     }
 
     /// The scanned source, shared (for re-registering a plan's input, e.g.
@@ -621,6 +635,7 @@ impl Query {
             ops: state.ops,
             schemas: state.schemas,
             sql: None,
+            source_cols: Arc::new(std::sync::OnceLock::new()),
         })
     }
 }

@@ -66,7 +66,7 @@ pub fn topk_native(rel: &AuRelation, order: &[usize], k: u64, pos_name: &str) ->
 
 fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) -> AuRelation {
     let total_idxs = total_order(rel.schema.arity(), order);
-    let nrows = rel.rows.len();
+    let nrows = rel.rows().len();
     let schema = rel.schema.with(pos_name);
     let mut out = AuRelation::empty(schema);
     if nrows == 0 {
@@ -75,17 +75,17 @@ fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) 
 
     // Per-row corner keys over `<total_O`, each encoded exactly once.
     let lb_keys: Vec<SortKey> = rel
-        .rows
+        .rows()
         .iter()
         .map(|r| SortKey::of_corner(&r.tuple, Corner::Lb, &total_idxs))
         .collect();
     let ub_keys: Vec<SortKey> = rel
-        .rows
+        .rows()
         .iter()
         .map(|r| SortKey::of_corner(&r.tuple, Corner::Ub, &total_idxs))
         .collect();
     let sg_keys: Vec<SortKey> = rel
-        .rows
+        .rows()
         .iter()
         .map(|r| SortKey::of_corner(&r.tuple, Corner::Sg, &total_idxs))
         .collect();
@@ -102,23 +102,23 @@ fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) 
     let mut mult: Vec<Mult3> = Vec::with_capacity(nrows);
     if rel.is_normalized() {
         live.extend(0..nrows);
-        mult.extend(rel.rows.iter().map(|r| r.mult));
+        mult.extend(rel.rows().iter().map(|r| r.mult));
     } else {
         let mut seen: HashMap<(&SortKey, &SortKey, &SortKey), usize> =
             HashMap::with_capacity(nrows);
         for r in 0..nrows {
-            if rel.rows[r].mult.is_zero() {
+            if rel.rows()[r].mult.is_zero() {
                 continue;
             }
             match seen.entry((&lb_keys[r], &ub_keys[r], &sg_keys[r])) {
                 Entry::Occupied(e) => {
                     let j = *e.get();
-                    mult[j] = mult[j] + rel.rows[r].mult;
+                    mult[j] = mult[j] + rel.rows()[r].mult;
                 }
                 Entry::Vacant(v) => {
                     v.insert(live.len());
                     live.push(r);
-                    mult.push(rel.rows[r].mult);
+                    mult.push(rel.rows()[r].mult);
                 }
             }
         }
@@ -192,7 +192,7 @@ fn sort_impl(rel: &AuRelation, order: &[usize], pos_name: &str, k: Option<u64>) 
                 out: &mut AuRelation| {
         let (ubr, _, prow, tau_lb) = p;
         let prow = prow as usize;
-        let tuple = &rel.rows[live[prow]].tuple;
+        let tuple = &rel.rows()[live[prow]].tuple;
         let rmult = mult[prow];
         let tau_sg = sg_base[prow];
         let bucket = processed_by_lb[ubr as usize];
@@ -328,7 +328,7 @@ mod tests {
     /// (reference keeps raw Def. 2 positions; native caps during emit).
     fn cap_positions(rel: &mut AuRelation, k: u64) {
         let pos_col = rel.schema.arity() - 1;
-        for row in &mut rel.rows {
+        for row in rel.rows_mut() {
             let p = row.tuple.0[pos_col].clone();
             let (lb, sg, ub) = p.as_i64_triple();
             row.tuple.0[pos_col] = RangeValue::from_i64s(lb, sg.min(k as i64), ub.min(k as i64));
@@ -343,7 +343,7 @@ mod tests {
         let native = sort_native(&au, &[0], "pos");
         let reference = sort_ref(&au, &[0], "pos", CmpSemantics::IntervalLex);
         assert!(native.bag_eq(&reference));
-        for row in &native.rows {
+        for row in native.rows() {
             assert!(row.tuple.get(1).is_certain());
         }
     }
@@ -357,7 +357,7 @@ mod tests {
         let native = sort_native(&rel, &[0], "pos");
         let reference = sort_ref(&rel, &[0], "pos", CmpSemantics::IntervalLex);
         assert!(native.bag_eq(&reference), "{native}\nvs\n{reference}");
-        assert_eq!(native.rows.len(), 3);
+        assert_eq!(native.rows().len(), 3);
     }
 
     #[test]

@@ -87,7 +87,7 @@ pub fn window_native(
     }
     // Hash partitioning on certain partition attributes.
     let mut parts: HashMap<SortKey, AuRelation> = HashMap::new();
-    for row in &rel.rows {
+    for row in rel.rows() {
         for &g in &spec.partition {
             assert!(
                 row.tuple.get(g).is_certain(),
@@ -138,23 +138,23 @@ fn window_partitionless(
         let p = r.tuple.get(pos_col).as_i64_triple();
         (p.0, p.2)
     });
-    let n = sorted.rows.len();
+    let n = sorted.rows().len();
 
     // Shared deterministic SG pre-pass over the sorted rows (sans τ).
     let base_cols: Vec<usize> = (0..pos_col).collect();
     let exp_like = AuRelation::from_rows(
         rel.schema.clone(),
         sorted
-            .rows
+            .rows()
             .iter()
             .map(|r| (r.tuple.project(&base_cols), r.mult)),
     );
     let sg_vals = sg_window_values(&exp_like, spec, agg);
 
     // Rows certainly existing in this partition (for guaranteed slots).
-    let total_lb: u64 = sorted.rows.iter().map(|r| r.mult.lb).sum();
+    let total_lb: u64 = sorted.rows().iter().map(|r| r.mult.lb).sum();
     let items: Vec<Item> = sorted
-        .rows
+        .rows()
         .iter()
         .enumerate()
         .map(|(id, r)| {
@@ -220,7 +220,7 @@ fn window_partitionless(
 
         // Certain members (excluding self).
         let self_attr = match agg.input_col() {
-            Some(c) => sorted.rows[id].tuple.get(c).clone(),
+            Some(c) => sorted.rows()[id].tuple.get(c).clone(),
             None => RangeValue::certain(1i64),
         };
         let mut cert_vals: Vec<(&Value, &Value)> = Vec::with_capacity(size);
@@ -377,14 +377,14 @@ fn window_partitionless(
             }
         };
 
-        let base = sorted.rows[id].tuple.project(&base_cols);
+        let base = sorted.rows()[id].tuple.project(&base_cols);
         out.push(
             base.with(RangeValue {
                 lb: xlo,
                 sg,
                 ub: xhi,
             }),
-            sorted.rows[id].mult,
+            sorted.rows()[id].mult,
         );
     };
 
@@ -543,8 +543,8 @@ mod tests {
         assert!(native.bag_eq(&reference));
         let again = window_native(&rel, &spec, WinAgg::Sum(2), "s");
         assert!(native.bag_eq(&again));
-        assert_eq!(native.rows.len(), again.rows.len());
-        for (a, b) in native.rows.iter().zip(&again.rows) {
+        assert_eq!(native.rows().len(), again.rows().len());
+        for (a, b) in native.rows().iter().zip(again.rows()) {
             assert_eq!(a, b, "parallel sweep order must be deterministic");
         }
     }
@@ -577,7 +577,7 @@ mod tests {
             "s",
         );
         assert!(native.sg_world().bag_eq(&dout), "{native}\nvs\n{dout}");
-        for row in &native.rows {
+        for row in native.rows() {
             assert!(row.tuple.get(2).is_certain());
         }
     }

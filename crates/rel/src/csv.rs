@@ -76,6 +76,14 @@ fn parse_value(field: &str) -> Value {
 /// Read a relation from CSV. The first line is the header (schema); every
 /// data row gets multiplicity 1.
 pub fn read_csv(reader: impl Read) -> io::Result<Relation> {
+    read_csv_lines(reader).map(|(rel, _)| rel)
+}
+
+/// Like [`read_csv`], also returning the 1-based file line number of every
+/// data row (blank lines are skipped, so a row's index and its source line
+/// diverge — error reporting wants the latter). Ragged rows are rejected
+/// with a line-spanned error naming the field count mismatch.
+pub fn read_csv_lines(reader: impl Read) -> io::Result<(Relation, Vec<usize>)> {
     let mut lines = BufReader::new(reader).lines();
     let header = lines
         .next()
@@ -86,8 +94,10 @@ pub fn read_csv(reader: impl Read) -> io::Result<Relation> {
         .collect::<Vec<_>>();
     let schema = Schema::new(cols);
     let mut rel = Relation::empty(schema.clone());
-    for line in lines {
+    let mut row_lines = Vec::new();
+    for (li, line) in lines.enumerate() {
         let line = line?;
+        let lineno = li + 2; // 1-based; line 1 is the header.
         if line.trim().is_empty() {
             continue;
         }
@@ -96,15 +106,17 @@ pub fn read_csv(reader: impl Read) -> io::Result<Relation> {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
-                    "row has {} fields, header has {}",
+                    "line {lineno}: ragged row — {} fields (cols 1\u{2013}{}), header has {}",
+                    fields.len(),
                     fields.len(),
                     schema.arity()
                 ),
             ));
         }
         rel.push(Tuple::new(fields.iter().map(|f| parse_value(f))), 1);
+        row_lines.push(lineno);
     }
-    Ok(rel)
+    Ok((rel, row_lines))
 }
 
 fn write_field(out: &mut impl Write, v: &Value) -> io::Result<()> {

@@ -159,7 +159,7 @@ pub fn rewr_sort(rel: &AuRelation, order: &[usize], pos_name: &str) -> AuRelatio
     let rel = rel.normalized();
     let rel: &AuRelation = &rel;
     let total_idxs = total_order(rel.schema.arity(), order);
-    let n = rel.rows.len();
+    let n = rel.rows().len();
     let m = total_idxs.len();
 
     // Q_lower ∪ Q_sg ∪ Q_upper, materialized (schema:
@@ -194,7 +194,7 @@ pub fn rewr_sort(rel: &AuRelation, order: &[usize], pos_name: &str) -> AuRelatio
     // Merge the bounds back per tuple and split duplicates (Def. 2).
     let mut out = AuRelation::empty(rel.schema.with(pos_name));
     for r in 0..n {
-        let row = &rel.rows[r];
+        let row = &rel.rows()[r];
         for i in 0..row.mult.ub {
             let p = RangeValue::from_i64s(
                 (pos.lb[r] + i) as i64,

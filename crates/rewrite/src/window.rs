@@ -53,7 +53,7 @@ pub fn rewr_window(
     strategy: JoinStrategy,
 ) -> AuRelation {
     let exp = rel.normalized().expand();
-    let n = exp.rows.len();
+    let n = exp.rows().len();
     let total_idxs = total_order(exp.schema.arity(), &spec.order);
     let mut out = AuRelation::empty(exp.schema.with(out_name));
     if n == 0 {
@@ -61,17 +61,17 @@ pub fn rewr_window(
     }
 
     let keys_lb: Vec<Tuple> = exp
-        .rows
+        .rows()
         .iter()
         .map(|r| r.tuple.lb_tuple().project(&total_idxs))
         .collect();
     let keys_sg: Vec<Tuple> = exp
-        .rows
+        .rows()
         .iter()
         .map(|r| r.tuple.sg_tuple().project(&total_idxs))
         .collect();
     let keys_ub: Vec<Tuple> = exp
-        .rows
+        .rows()
         .iter()
         .map(|r| r.tuple.ub_tuple().project(&total_idxs))
         .collect();
@@ -82,14 +82,14 @@ pub fn rewr_window(
 
     let attr_of = |j: usize| -> RangeValue {
         match agg.input_col() {
-            Some(c) => exp.rows[j].tuple.get(c).clone(),
+            Some(c) => exp.rows()[j].tuple.get(c).clone(),
             None => RangeValue::certain(1i64),
         }
     };
 
     if spec.partition.is_empty() {
         // Positions are global; the self-join is on position-range overlap.
-        let mults: Vec<Mult3> = exp.rows.iter().map(|r| r.mult).collect();
+        let mults: Vec<Mult3> = exp.rows().iter().map(|r| r.mult).collect();
         let pos = positions_by_endpoints(&keys_lb, &keys_sg, &keys_ub, &mults);
         let intervals: Vec<(i64, i64)> = (0..n)
             .map(|j| (pos.lb[j] as i64, pos.ub[j] as i64))
@@ -120,7 +120,7 @@ pub fn rewr_window(
                 if jhi < ps.0 || jlo > ps.1 {
                     return;
                 }
-                if exp.rows[j].mult.lb >= 1 && jlo >= cs.0 && jhi <= cs.1 {
+                if exp.rows()[j].mult.lb >= 1 && jlo >= cs.0 && jhi <= cs.1 {
                     members.cert.push(attr_of(j));
                 } else {
                     members.poss.push(attr_of(j));
@@ -141,7 +141,7 @@ pub fn rewr_window(
                 }
             }
             members.possn = size.saturating_sub(members.cert.len());
-            let n_cert = total_lb - exp.rows[ti].mult.lb + 1;
+            let n_cert = total_lb - exp.rows()[ti].mult.lb + 1;
             members.guaranteed_extra = guaranteed_extra_slots(
                 l,
                 u,
@@ -152,7 +152,7 @@ pub fn rewr_window(
                 members.possn,
             );
             let x = aggregate_window(&members, agg);
-            out.push(exp.rows[ti].tuple.with(x), exp.rows[ti].mult);
+            out.push(exp.rows()[ti].tuple.with(x), exp.rows()[ti].mult);
         }
         return out.normalize();
     }
@@ -168,9 +168,14 @@ pub fn rewr_window(
             .iter()
             .map(|&j| {
                 let truth = spec.partition.iter().fold(TruthRange::TRUE, |acc, &g| {
-                    acc.and(exp.rows[j].tuple.get(g).eq_range(exp.rows[ti].tuple.get(g)))
+                    acc.and(
+                        exp.rows()[j]
+                            .tuple
+                            .get(g)
+                            .eq_range(exp.rows()[ti].tuple.get(g)),
+                    )
                 });
-                exp.rows[j].mult.filter(truth)
+                exp.rows()[j].mult.filter(truth)
             })
             .collect();
         // Positions of the candidates within this partition.
@@ -225,7 +230,7 @@ pub fn rewr_window(
             members.possn,
         );
         let x = aggregate_window(&members, agg);
-        out.push(exp.rows[ti].tuple.with(x), exp.rows[ti].mult);
+        out.push(exp.rows()[ti].tuple.with(x), exp.rows()[ti].mult);
     }
     out.normalize()
 }
@@ -238,18 +243,18 @@ fn partition_join(
     partition: &[usize],
     strategy: JoinStrategy,
 ) -> Vec<Vec<usize>> {
-    let n = exp.rows.len();
+    let n = exp.rows().len();
     let g0 = partition[0];
     let overlap_all = |i: usize, j: usize| -> bool {
         partition.iter().all(|&g| {
-            let a = exp.rows[i].tuple.get(g);
-            let b = exp.rows[j].tuple.get(g);
+            let a = exp.rows()[i].tuple.get(g);
+            let b = exp.rows()[j].tuple.get(g);
             a.lb <= b.ub && b.lb <= a.ub
         })
     };
 
     let int_intervals: Option<Vec<(i64, i64)>> = exp
-        .rows
+        .rows()
         .iter()
         .map(|r| {
             let v = r.tuple.get(g0);

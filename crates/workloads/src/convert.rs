@@ -28,7 +28,7 @@ const MAYBE_PRESENT: f64 = 0.8;
 pub fn xtuple_from_au(au: &AuRelation) -> XTupleTable {
     let schema = Schema::new(au.schema.cols().iter().cloned().chain(["id".to_string()]));
     let tuples = au
-        .rows
+        .rows()
         .iter()
         .enumerate()
         .map(|(id, row)| {
@@ -134,6 +134,6 @@ mod tests {
         let xt = xtuple_from_au(&au);
         let back = xt.to_au_relation();
         // Ranges must round-trip (corners span the same hull).
-        assert_eq!(back.rows[0].tuple.get(0), &RangeValue::new(2, 3, 5));
+        assert_eq!(back.rows()[0].tuple.get(0), &RangeValue::new(2, 3, 5));
     }
 }

@@ -11,11 +11,24 @@
 //!   becomes the row's `ℕ³` multiplicity (default `(1,1,1)`);
 //! * every other column is a certain attribute.
 //!
-//! Invalid rows (`lb ≤ sg ≤ ub` violated, non-integer multiplicities)
-//! are reported as `io::Error`s naming the row, not panics.
+//! Since the columnar refactor the loader builds [`AuColumns`] **directly**,
+//! one attribute at a time: a column with no bound siblings becomes a
+//! certain-collapsed column with zero per-cell work, a bounded column
+//! builds its three bound vectors in one sweep (collapsing back to the
+//! certain fast path when every cell turns out to be a point). The row
+//! representation is derived from it on demand.
+//!
+//! Invalid input is reported as an `io::Error` spanning the offending
+//! source location — ragged rows as `line N: ragged row …` (from
+//! [`audb_rel::read_csv_lines`], which tracks real file lines across
+//! skipped blanks), and `lb ≤ sg ≤ ub` violations (including `lb > ub`)
+//! as `line N, column "c" (cols X–Y): …` naming the folded source
+//! columns (`row N` instead of `line N` when the input is a
+//! programmatic [`Relation`] with no tracked source lines). Nothing
+//! panics and nothing is silently clamped.
 
-use audb_core::{AuRelation, AuTuple, Mult3, RangeValue};
-use audb_rel::{read_csv, Relation, Schema};
+use audb_core::{AuColumn, AuColumns, AuRelation, Mult3};
+use audb_rel::{read_csv_lines, Relation, Schema, Value};
 use std::fs::File;
 use std::io::{self, Read};
 use std::path::Path;
@@ -26,6 +39,22 @@ struct ColPlan {
     sg: usize,
     lb: Option<usize>,
     ub: Option<usize>,
+}
+
+impl ColPlan {
+    /// `cols X–Y` — the 1-based span of source columns folded into this
+    /// attribute (for error messages).
+    fn col_span(&self) -> (usize, usize) {
+        let idxs = [Some(self.sg), self.lb, self.ub];
+        let mut it = idxs.iter().flatten();
+        let first = *it.next().expect("sg always present");
+        let (mut lo, mut hi) = (first, first);
+        for &i in it {
+            lo = lo.min(i);
+            hi = hi.max(i);
+        }
+        (lo + 1, hi + 1)
+    }
 }
 
 fn plan_columns(schema: &Schema) -> (Vec<ColPlan>, Option<[usize; 3]>) {
@@ -60,65 +89,133 @@ fn plan_columns(schema: &Schema) -> (Vec<ColPlan>, Option<[usize; 3]>) {
     (plans, mult)
 }
 
-fn bad_row(row: usize, msg: String) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("row {row}: {msg}"))
+/// A location/column-spanned loading error (`loc` is `line N` for CSV
+/// input with tracked source lines, `row N` for programmatic relations).
+fn bad_cell(loc: &str, span: &str, msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{loc}, {span}: {msg}"))
 }
 
-/// Fold a deterministic relation (as read from CSV) into an AU-relation
-/// under the `_lb`/`_ub` + `mult_*` header convention.
-pub fn au_from_relation(rel: &Relation) -> io::Result<AuRelation> {
+/// Build one output attribute column from its source columns, validating
+/// `lb ≤ sg ≤ ub` per cell. Bound-free attributes collapse to the certain
+/// fast path with zero per-cell checks; bounded attributes whose every
+/// cell is a point collapse after the sweep.
+fn build_attr_column(
+    rel: &Relation,
+    p: &ColPlan,
+    loc_of: &dyn Fn(usize) -> String,
+) -> io::Result<AuColumn> {
+    let rows = &rel.rows;
+    if p.lb.is_none() && p.ub.is_none() {
+        return Ok(AuColumn::Certain(
+            rows.iter().map(|r| r.tuple.get(p.sg).clone()).collect(),
+        ));
+    }
+    let mut lb: Vec<Value> = Vec::with_capacity(rows.len());
+    let mut ub: Vec<Value> = Vec::with_capacity(rows.len());
+    let mut sg: Vec<Value> = Vec::with_capacity(rows.len());
+    let mut all_certain = true;
+    for (ri, row) in rows.iter().enumerate() {
+        let s = row.tuple.get(p.sg);
+        let l = p.lb.map_or(s, |i| row.tuple.get(i));
+        let u = p.ub.map_or(s, |i| row.tuple.get(i));
+        if !(l <= s && s <= u) {
+            let (a, b) = p.col_span();
+            return Err(bad_cell(
+                &loc_of(ri),
+                &format!("column {:?} (cols {a}\u{2013}{b})", p.name),
+                format!("lb \u{2264} sg \u{2264} ub violated: [{l} / {s} / {u}]"),
+            ));
+        }
+        all_certain = all_certain && l == u;
+        lb.push(l.clone());
+        sg.push(s.clone());
+        ub.push(u.clone());
+    }
+    Ok(if all_certain {
+        AuColumn::Certain(sg)
+    } else {
+        AuColumn::Ranged { lb, sg, ub }
+    })
+}
+
+/// Fold a deterministic relation (as read from CSV) straight into a
+/// columnar AU-relation under the `_lb`/`_ub` + `mult_*` header
+/// convention, building one [`AuColumn`] per output attribute.
+/// `loc_of` renders a data-row index as its source location (`line N`
+/// when real file lines are known, `row N` otherwise — used in error
+/// spans).
+fn build_columns(rel: &Relation, loc_of: &dyn Fn(usize) -> String) -> io::Result<AuColumns> {
     let (plans, mult_cols) = plan_columns(&rel.schema);
     let schema = Schema::new(plans.iter().map(|p| p.name.clone()));
-    let mut out = AuRelation::empty(schema);
-    for (ri, row) in rel.rows.iter().enumerate() {
-        let mut vals = Vec::with_capacity(plans.len());
-        for p in &plans {
-            let sg = row.tuple.get(p.sg).clone();
-            let lb =
-                p.lb.map_or_else(|| sg.clone(), |i| row.tuple.get(i).clone());
-            let ub =
-                p.ub.map_or_else(|| sg.clone(), |i| row.tuple.get(i).clone());
-            if !(lb <= sg && sg <= ub) {
-                return Err(bad_row(
-                    ri + 1,
-                    format!(
-                        "column {:?} violates lb \u{2264} sg \u{2264} ub: [{lb} / {sg} / {ub}]",
-                        p.name
-                    ),
-                ));
-            }
-            vals.push(RangeValue::new(lb, sg, ub));
-        }
-        let mult = match mult_cols {
-            None => Mult3::certain(row.mult),
-            Some([l, s, u]) => {
+    let mut cols = Vec::with_capacity(plans.len());
+    for p in &plans {
+        cols.push(build_attr_column(rel, p, loc_of)?);
+    }
+    let mults: Vec<Mult3> = match mult_cols {
+        None => rel.rows.iter().map(|r| Mult3::certain(r.mult)).collect(),
+        Some([l, s, u]) => {
+            let (lo, hi) = (l.min(s).min(u) + 1, l.max(s).max(u) + 1);
+            let span = format!("columns mult_lb\u{2013}mult_ub (cols {lo}\u{2013}{hi})");
+            let mut mults = Vec::with_capacity(rel.rows.len());
+            for (ri, row) in rel.rows.iter().enumerate() {
                 let get = |i: usize, what: &str| -> io::Result<u64> {
                     row.tuple
                         .get(i)
                         .as_i64()
                         .and_then(|v| u64::try_from(v).ok())
                         .ok_or_else(|| {
-                            bad_row(ri + 1, format!("{what} is not a non-negative integer"))
+                            bad_cell(
+                                &loc_of(ri),
+                                &span,
+                                format!("{what} is not a non-negative integer"),
+                            )
                         })
                 };
                 let (l, s, u) = (get(l, "mult_lb")?, get(s, "mult_sg")?, get(u, "mult_ub")?);
                 if !(l <= s && s <= u) {
-                    return Err(bad_row(
-                        ri + 1,
+                    return Err(bad_cell(
+                        &loc_of(ri),
+                        &span,
                         format!("multiplicity violates lb \u{2264} sg \u{2264} ub: ({l},{s},{u})"),
                     ));
                 }
-                Mult3::new(l, s, u)
+                mults.push(Mult3::new(l, s, u));
             }
-        };
-        out.push(AuTuple::new(vals), mult);
-    }
-    Ok(out)
+            mults
+        }
+    };
+    Ok(AuColumns::from_cols(schema, cols, &mults))
+}
+
+/// Fold a deterministic relation into a columnar AU-relation. Errors
+/// name the offending 1-based data row (`row N`) — the relation may be
+/// programmatic, so no file line is fabricated; use
+/// [`read_au_csv_columns`] for exact source lines.
+pub fn au_columns_from_relation(rel: &Relation) -> io::Result<AuColumns> {
+    build_columns(rel, &|ri| format!("row {}", ri + 1))
+}
+
+/// Fold a deterministic relation into a (row-layout) AU-relation — the
+/// compatibility wrapper over [`au_columns_from_relation`].
+pub fn au_from_relation(rel: &Relation) -> io::Result<AuRelation> {
+    au_columns_from_relation(rel).map(|c| c.to_rows())
+}
+
+/// Read a columnar AU-relation from CSV text (errors carry exact source
+/// line numbers).
+pub fn read_au_csv_columns(reader: impl Read) -> io::Result<AuColumns> {
+    let (rel, lines) = read_csv_lines(reader)?;
+    build_columns(&rel, &|ri| format!("line {}", lines[ri]))
 }
 
 /// Read an AU-relation from CSV text.
 pub fn read_au_csv(reader: impl Read) -> io::Result<AuRelation> {
-    au_from_relation(&read_csv(reader)?)
+    read_au_csv_columns(reader).map(|c| c.to_rows())
+}
+
+/// Load a columnar AU-relation from a CSV file.
+pub fn load_au_csv_columns(path: impl AsRef<Path>) -> io::Result<AuColumns> {
+    read_au_csv_columns(File::open(path)?)
 }
 
 /// Load an AU-relation from a CSV file.
@@ -153,6 +250,7 @@ pub fn load_au_dir(dir: impl AsRef<Path>) -> io::Result<Vec<(String, AuRelation)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use audb_core::RangeValue;
 
     #[test]
     fn bounds_and_mult_columns_fold() {
@@ -161,10 +259,26 @@ mod tests {
                    2,15,15,15,0,1,1\n";
         let au = read_au_csv(csv.as_bytes()).unwrap();
         assert_eq!(au.schema.cols(), &["sku", "price"]);
-        assert_eq!(au.rows[0].tuple.get(0), &RangeValue::certain(1i64));
-        assert_eq!(au.rows[0].tuple.get(1), &RangeValue::new(9, 10, 12));
-        assert_eq!(au.rows[0].mult, Mult3::ONE);
-        assert_eq!(au.rows[1].mult, Mult3::new(0, 1, 1));
+        assert_eq!(au.rows()[0].tuple.get(0), &RangeValue::certain(1i64));
+        assert_eq!(au.rows()[0].tuple.get(1), &RangeValue::new(9, 10, 12));
+        assert_eq!(au.rows()[0].mult, Mult3::ONE);
+        assert_eq!(au.rows()[1].mult, Mult3::new(0, 1, 1));
+    }
+
+    #[test]
+    fn columnar_load_uses_certain_fast_path() {
+        let csv = "sku,price_lb,price,price_ub\n1,9,10,12\n2,3,4,5\n";
+        let cols = read_au_csv_columns(csv.as_bytes()).unwrap();
+        assert!(cols.col(0).is_certain());
+        assert!(!cols.col(1).is_certain());
+        // A bounded column whose cells are all points collapses too.
+        let cols = read_au_csv_columns("a,a_ub\n1,1\n2,2\n".as_bytes()).unwrap();
+        assert!(cols.col(0).is_certain());
+        // And the columnar load agrees with the row load.
+        let csv = "a,a_lb,b,mult_lb,mult_sg,mult_ub\n1,0,x,0,1,2\n3,3,y,1,1,1\n";
+        let cols = read_au_csv_columns(csv.as_bytes()).unwrap();
+        let rows = read_au_csv(csv.as_bytes()).unwrap();
+        assert!(cols.to_rows().bag_eq(&rows));
     }
 
     #[test]
@@ -173,7 +287,7 @@ mod tests {
         let au = read_au_csv(csv.as_bytes()).unwrap();
         assert_eq!(au.schema.cols(), &["a", "b"]);
         assert!(au
-            .rows
+            .rows()
             .iter()
             .all(|r| r.mult == Mult3::ONE && r.tuple.0.iter().all(|v| v.is_certain())));
     }
@@ -185,16 +299,55 @@ mod tests {
         let csv = "a,a_ub,z_lb\n1,3,7\n";
         let au = read_au_csv(csv.as_bytes()).unwrap();
         assert_eq!(au.schema.cols(), &["a", "z_lb"]);
-        assert_eq!(au.rows[0].tuple.get(0), &RangeValue::new(1, 1, 3));
-        assert_eq!(au.rows[0].tuple.get(1), &RangeValue::certain(7i64));
+        assert_eq!(au.rows()[0].tuple.get(0), &RangeValue::new(1, 1, 3));
+        assert_eq!(au.rows()[0].tuple.get(1), &RangeValue::certain(7i64));
     }
 
     #[test]
-    fn invalid_rows_are_errors_not_panics() {
-        let e = read_au_csv("a_lb,a,a_ub\n5,4,6\n".as_bytes()).unwrap_err();
+    fn lb_gt_ub_cells_error_with_line_and_column_span() {
+        // Row on file line 3 (line 1 header, line 2 valid): the error must
+        // name the line and the folded source-column span, not panic or
+        // clamp.
+        let e = read_au_csv("a_lb,a,a_ub\n1,2,3\n5,4,6\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+        assert!(
+            e.to_string().contains("column \"a\" (cols 1\u{2013}3)"),
+            "{e}"
+        );
+        // Blank lines are skipped but do not shift the reported line.
+        let e = read_au_csv("a_lb,a,a_ub\n\n\n5,4,6\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 4"), "{e}");
+        // lb > ub via a one-sided bound.
+        let e = read_au_csv("a,a_ub\n5,4\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        assert!(e.to_string().contains("cols 1\u{2013}2"), "{e}");
+    }
+
+    #[test]
+    fn programmatic_relations_report_rows_not_lines() {
+        // No file behind the relation: the error names the data row, not
+        // a fabricated source line.
+        let rel = audb_rel::read_csv("a_lb,a,a_ub\n5,4,6\n".as_bytes()).unwrap();
+        let e = au_from_relation(&rel).unwrap_err();
         assert!(e.to_string().contains("row 1"), "{e}");
+        assert!(!e.to_string().contains("line"), "{e}");
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line() {
+        let e = read_au_csv("a,b\n1,2\n1\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+        assert!(e.to_string().contains("ragged row"), "{e}");
+        let e = read_au_csv("a,b\n1,2,3\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn invalid_mults_are_errors_not_panics() {
         let e = read_au_csv("a,mult_lb,mult_sg,mult_ub\n1,2,1,1\n".as_bytes()).unwrap_err();
         assert!(e.to_string().contains("multiplicity"), "{e}");
+        assert!(e.to_string().contains("line 2"), "{e}");
+        assert!(e.to_string().contains("cols 2\u{2013}4"), "{e}");
         let e = read_au_csv("a,mult_lb,mult_sg,mult_ub\n1,-1,1,1\n".as_bytes()).unwrap_err();
         assert!(e.to_string().contains("mult_lb"), "{e}");
     }

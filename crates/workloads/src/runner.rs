@@ -54,7 +54,7 @@ fn val_f(v: &Value) -> f64 {
 /// rows per id (duplicates) hull together.
 pub fn au_bounds_by_id(out: &AuRelation, id_col: usize, val_col: usize, n: usize) -> Bounds {
     let mut bounds: Bounds = vec![None; n];
-    for row in &out.rows {
+    for row in out.rows() {
         if row.mult.is_zero() {
             continue;
         }

@@ -103,7 +103,7 @@ impl Dinic {
 pub fn bounds_world(au: &AuRelation, world: &Relation) -> bool {
     let world = world.clone().normalize();
     let w = world.rows.len();
-    let r = au.rows.len();
+    let r = au.rows().len();
     // Circulation with lower bounds:
     //   s →(=mult)→ world tuple →(0..∞)→ AU row →(k↓..k↑)→ t →(∞)→ s
     // Feasible iff the standard lower-bound transformation saturates.
@@ -120,7 +120,7 @@ pub fn bounds_world(au: &AuRelation, world: &Relation) -> bool {
         excess[i] += row.mult as i64;
         excess[s] -= row.mult as i64;
         let mut contained = false;
-        for (j, arow) in au.rows.iter().enumerate() {
+        for (j, arow) in au.rows().iter().enumerate() {
             if arow.tuple.bounds(&row.tuple) {
                 contained = true;
                 flow.add_edge(i, w + j, row.mult as i64);
@@ -130,7 +130,7 @@ pub fn bounds_world(au: &AuRelation, world: &Relation) -> bool {
             return false; // some world tuple fits no hypercube
         }
     }
-    for (j, arow) in au.rows.iter().enumerate() {
+    for (j, arow) in au.rows().iter().enumerate() {
         let (lo, hi) = (arow.mult.lb as i64, arow.mult.ub as i64);
         if lo > 0 {
             excess[t] += lo;

@@ -278,13 +278,13 @@ mod tests {
     #[test]
     fn au_relation_hull_and_multiplicities() {
         let au = table().to_au_relation();
-        assert_eq!(au.rows.len(), 3);
-        assert_eq!(au.rows[0].mult, Mult3::ONE);
-        assert_eq!(au.rows[1].tuple.get(0).lb, audb_rel::Value::Int(1));
-        assert_eq!(au.rows[1].tuple.get(0).ub, audb_rel::Value::Int(5));
-        assert_eq!(au.rows[1].mult, Mult3::ONE);
+        assert_eq!(au.rows().len(), 3);
+        assert_eq!(au.rows()[0].mult, Mult3::ONE);
+        assert_eq!(au.rows()[1].tuple.get(0).lb, audb_rel::Value::Int(1));
+        assert_eq!(au.rows()[1].tuple.get(0).ub, audb_rel::Value::Int(5));
+        assert_eq!(au.rows()[1].mult, Mult3::ONE);
         // Maybe-absent tuple: lb 0, sg 1 (7 beats absence), ub 1.
-        assert_eq!(au.rows[2].mult, Mult3::new(0, 1, 1));
+        assert_eq!(au.rows()[2].mult, Mult3::new(0, 1, 1));
     }
 
     #[test]
@@ -312,7 +312,7 @@ mod tests {
             let w = t.sample_world(&mut rng);
             for row in &w.rows {
                 assert!(
-                    au.rows.iter().any(|r| r.tuple.bounds(&row.tuple)),
+                    au.rows().iter().any(|r| r.tuple.bounds(&row.tuple)),
                     "world tuple {} not bounded",
                     row.tuple
                 );

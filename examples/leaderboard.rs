@@ -109,7 +109,7 @@ fn main() {
         .expect("backends agree");
     let podium = all.output;
     println!("\nAU-DB top-{k} (score range, player, rank range, certainty):");
-    for row in &podium.rows {
+    for row in podium.rows() {
         let player = name(row.tuple.get(1).sg.as_i64().unwrap() as usize);
         println!(
             "  {player:8} score {:12} rank {:10} multiplicity {}",

@@ -68,7 +68,7 @@ fn main() {
         let out = rolling(agg);
         // Report the widest bound of the day — where drift hurts the most.
         let mut worst: Option<(i64, i64, i64)> = None;
-        for row in &out.rows {
+        for row in out.rows() {
             let ts = row.tuple.get(0).sg.as_i64().unwrap();
             let x = row.tuple.get(2);
             let (lo, hi) = (
@@ -93,12 +93,12 @@ fn main() {
     let out = rolling("MAX");
     let threshold = 215;
     let certain = out
-        .rows
+        .rows()
         .iter()
         .filter(|r| r.tuple.get(2).lb > Value::Int(threshold))
         .count();
     let possible = out
-        .rows
+        .rows()
         .iter()
         .filter(|r| r.tuple.get(2).ub > Value::Int(threshold))
         .count();

@@ -1,0 +1,202 @@
+//! Property tests pinning the columnar storage layer ([`AuColumns`]) to
+//! the row representation it mirrors:
+//!
+//! * `AuRelation ↔ AuColumns` round-trips are **exact**: the same row
+//!   sequence (hence bag equality) and the same normalized flag, through
+//!   both the bulk transposition and the incremental `push_row` path;
+//! * the columnar `normalize()` (whole-row sort keys encoded straight
+//!   from column slices) produces exactly the canonical row sequence
+//!   `AuRelation::normalize` produces;
+//! * the vectorized expression kernels (`eval_batch` / `truth_batch` /
+//!   `eval_batch_at`) agree with per-row `eval` / `truth` on every row,
+//!   every batch size, and every expression shape — including the
+//!   predicate-in-arithmetic and comparison-of-predicates corners the
+//!   `ColVals` lowering special-cases.
+
+use audb::core::{AuColumns, AuRelation, AuTuple, Mult3, RangeExpr, RangeValue};
+use audb::rel::{CmpOp, Schema, Value};
+use proptest::prelude::*;
+
+/// Mixed-type values (the columnar layout is type-agnostic per cell).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-5i64..5).prop_map(Value::Int),
+        (-8i64..8).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        proptest::bool::ANY.prop_map(Value::Bool),
+        (0u8..3).prop_map(|c| Value::str(["", "a", "bb"][c as usize])),
+    ]
+}
+
+/// Range values biased toward certainty so certain-collapsed columns and
+/// mid-column promotion both occur.
+fn rv_strategy() -> impl Strategy<Value = RangeValue> {
+    prop_oneof![
+        value_strategy().prop_map(RangeValue::certain),
+        value_strategy().prop_map(RangeValue::certain),
+        (0i64..8, 0i64..4, 0i64..4)
+            .prop_map(|(lb, d1, d2)| { RangeValue::new(lb, lb + d1.min(d2), lb + d1.max(d2)) }),
+    ]
+}
+
+fn mult_strategy() -> impl Strategy<Value = Mult3> {
+    prop_oneof![
+        Just(Mult3::ONE),
+        Just(Mult3::ZERO),
+        Just(Mult3::new(0, 1, 1)),
+        Just(Mult3::new(1, 2, 4)),
+        Just(Mult3::new(0, 0, 2)),
+    ]
+}
+
+fn au_relation(max_rows: usize) -> impl Strategy<Value = AuRelation> {
+    proptest::collection::vec(
+        (
+            (rv_strategy(), rv_strategy(), rv_strategy()),
+            mult_strategy(),
+        ),
+        0..=max_rows,
+    )
+    .prop_map(|rows| {
+        AuRelation::from_rows(
+            Schema::new(["a", "b", "c"]),
+            rows.into_iter()
+                .map(|((a, b, c), m)| (AuTuple::new([a, b, c]), m)),
+        )
+    })
+}
+
+/// Numeric-only relations for expression parity (arithmetic over
+/// mixed-type values has partial semantics either way; the kernels must
+/// agree wherever the row path is defined).
+fn numeric_au_relation(max_rows: usize) -> impl Strategy<Value = AuRelation> {
+    fn num_rv() -> impl Strategy<Value = RangeValue> {
+        (0i64..9, 0i64..4, 0i64..4)
+            .prop_map(|(lb, d1, d2)| RangeValue::new(lb, lb + d1.min(d2), lb + d1.max(d2)))
+    }
+    proptest::collection::vec(
+        (
+            (
+                prop_oneof![
+                    (-5i64..5).prop_map(RangeValue::certain),
+                    (-5i64..5).prop_map(RangeValue::certain),
+                    num_rv(),
+                ],
+                num_rv(),
+            ),
+            mult_strategy(),
+        ),
+        0..=max_rows,
+    )
+    .prop_map(|rows| {
+        AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            rows.into_iter()
+                .map(|((a, b), m)| (AuTuple::new([a, b]), m)),
+        )
+    })
+}
+
+/// Expression shapes covering every `RangeExpr` node, including the
+/// lowering corners: predicates under arithmetic and comparisons of
+/// predicates.
+fn exprs() -> Vec<RangeExpr> {
+    let col = RangeExpr::col;
+    let lit = RangeExpr::lit;
+    vec![
+        col(0),
+        lit(3),
+        RangeExpr::Add(Box::new(col(0)), Box::new(col(1))),
+        RangeExpr::Sub(Box::new(col(1)), Box::new(lit(2))),
+        RangeExpr::Mul(Box::new(col(0)), Box::new(col(1))),
+        RangeExpr::Neg(Box::new(col(1))),
+        col(0).lt(col(1)),
+        col(0).le(lit(4)),
+        col(0).eq(col(1)),
+        col(0).cmp(CmpOp::Ne, lit(2)),
+        col(0).cmp(CmpOp::Gt, col(1)),
+        col(0).cmp(CmpOp::Ge, lit(1)),
+        col(0).lt(col(1)).and(col(0).le(lit(5))),
+        RangeExpr::Or(Box::new(col(0).eq(lit(1))), Box::new(col(1).lt(lit(3)))),
+        RangeExpr::Not(Box::new(col(0).le(col(1)))),
+        // Predicate under arithmetic: booleans boxed into values.
+        RangeExpr::Add(Box::new(col(0).lt(col(1))), Box::new(lit(1))),
+        // Comparison of predicates: both sides materialize from truths.
+        col(0).lt(col(1)).eq(col(1).lt(col(0))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Round-trip exactness: same rows, same flag — for raw and
+    /// normalized inputs (the satellite's bag-equality pin is implied by
+    /// row equality).
+    #[test]
+    fn columns_roundtrip_rows_and_normalized_flag(rel in au_relation(10)) {
+        let cols = rel.to_columns();
+        prop_assert_eq!(cols.len(), rel.len());
+        prop_assert_eq!(cols.is_normalized(), rel.is_normalized());
+        let back = cols.to_rows();
+        prop_assert_eq!(back.rows(), rel.rows());
+        prop_assert_eq!(back.is_normalized(), rel.is_normalized());
+        prop_assert!(back.bag_eq(&rel));
+
+        // A canonicalized relation keeps its flag through the round-trip.
+        let norm = rel.clone().normalize();
+        let back = norm.to_columns().to_rows();
+        prop_assert!(back.is_normalized());
+        prop_assert_eq!(back.rows(), norm.rows());
+
+        // The incremental builder stores the same bag.
+        let mut pushed = AuColumns::empty(rel.schema.clone());
+        for row in rel.rows() {
+            pushed.push_row(&row.tuple, row.mult);
+        }
+        prop_assert_eq!(pushed.to_rows().rows(), rel.rows());
+    }
+
+    /// Columnar normalize ≡ row normalize, exactly (row order included),
+    /// and the result is flagged canonical on both sides.
+    #[test]
+    fn columnar_normalize_matches_row_normalize(rel in au_relation(10)) {
+        let via_cols = rel.to_columns().normalize();
+        let via_rows = rel.normalize();
+        prop_assert!(via_cols.is_normalized());
+        prop_assert_eq!(via_cols.to_rows().rows(), via_rows.rows());
+    }
+
+    /// Vectorized ≡ per-row expression evaluation, across batch sizes and
+    /// a selection-restricted sweep.
+    #[test]
+    fn batch_kernels_match_row_kernels(
+        rel in numeric_au_relation(9),
+        batch_size in prop_oneof![Just(1usize), Just(2), Just(7), Just(1024)],
+    ) {
+        let cols = rel.to_columns();
+        for e in exprs() {
+            let mut row_cursor = 0;
+            for b in cols.batches(batch_size) {
+                let vals = e.eval_batch(&b);
+                let truths = e.truth_batch(&b);
+                prop_assert_eq!(vals.len(), b.len());
+                prop_assert_eq!(truths.len(), b.len());
+                for i in 0..b.len() {
+                    let tuple = &rel.rows()[row_cursor + i].tuple;
+                    prop_assert_eq!(&vals[i], &e.eval(tuple), "expr {:?} row {}", e, i);
+                    prop_assert_eq!(truths[i], e.truth(tuple), "expr {:?} row {}", e, i);
+                }
+                // The selection-restricted sweep (every other row) agrees
+                // with the full sweep at the selected positions.
+                let idxs: Vec<usize> = (0..b.len()).step_by(2).collect();
+                let at = e.eval_batch_at(&b, &idxs);
+                let t_at = e.truth_batch_at(&b, &idxs);
+                for (k, &i) in idxs.iter().enumerate() {
+                    prop_assert_eq!(&at[k], &vals[i]);
+                    prop_assert_eq!(t_at[k], truths[i]);
+                }
+                row_cursor += b.len();
+            }
+        }
+    }
+}

@@ -49,10 +49,10 @@ fn fig_1f_top2() {
         ],
     );
     let top2 = topk_native(&input, &[2], 2, "pos").normalize();
-    assert_eq!(top2.rows.len(), 2, "{top2}");
+    assert_eq!(top2.rows().len(), 2, "{top2}");
 
     let find = |term_sg: i64| {
-        top2.rows
+        top2.rows()
             .iter()
             .find(|r| r.tuple.get(0).sg == audb::rel::Value::Int(term_sg))
             .unwrap_or_else(|| panic!("term {term_sg} missing from {top2}"))
@@ -82,7 +82,7 @@ fn fig_1f_full_sort_positions() {
     let sorted = audb::native::sort_native(&input, &[2], "pos");
     let pos_of = |term: i64| {
         sorted
-            .rows
+            .rows()
             .iter()
             .find(|r| r.tuple.get(0).sg == audb::rel::Value::Int(term))
             .map(|r| r.tuple.get(3).clone())
@@ -106,9 +106,9 @@ fn fig_1g_windowed_sum() {
     let au = sales_au();
     let spec = AuWindowSpec::rows(vec![0], 0, 1);
     let out = window_native(&au, &spec, WinAgg::Sum(1), "sum").normalize();
-    assert_eq!(out.rows.len(), 4, "{out}");
+    assert_eq!(out.rows().len(), 4, "{out}");
     let sum_of = |term: i64| {
-        out.rows
+        out.rows()
             .iter()
             .find(|r| r.tuple.get(0).sg == audb::rel::Value::Int(term))
             .map(|r| r.tuple.get(2).clone())

@@ -145,7 +145,7 @@ proptest! {
     fn topk_implementations_agree(rel in au_relation(8, false), k in 0u64..6) {
         let mut reference = topk_ref(&rel, &[0], k, CmpSemantics::IntervalLex);
         let pos_col = reference.schema.arity() - 1;
-        for row in &mut reference.rows {
+        for row in reference.rows_mut() {
             let (lb, sg, ub) = row.tuple.0[pos_col].as_i64_triple();
             row.tuple.0[pos_col] =
                 RangeValue::from_i64s(lb, sg.min(k as i64), ub.min(k as i64));
@@ -203,11 +203,11 @@ proptest! {
         let native = window_native(&rel, &spec, WinAgg::Sum(1), "x");
         // Realize worlds: per row pick a corner (lb/sg/ub tuple) and an
         // extreme multiplicity (lb or ub).
-        let n = rel.rows.len();
+        let n = rel.rows().len();
         let mut choice = vec![0usize; n];
         loop {
             let mut world = audb::rel::Relation::empty(rel.schema.clone());
-            for (row, &c) in rel.rows.iter().zip(&choice) {
+            for (row, &c) in rel.rows().iter().zip(&choice) {
                 let tuple = match c % 3 {
                     0 => row.tuple.lb_tuple(),
                     1 => row.tuple.sg_tuple(),

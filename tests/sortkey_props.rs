@@ -71,7 +71,7 @@ fn au_relation_strategy() -> impl Strategy<Value = AuRelation> {
 /// reference for the optimized implementation.
 fn normalize_reference(rel: &AuRelation) -> Vec<(AuTuple, Mult3)> {
     let mut map: Vec<(AuTuple, Mult3)> = Vec::new();
-    for row in &rel.rows {
+    for row in rel.rows() {
         if row.mult.is_zero() {
             continue;
         }
@@ -154,8 +154,8 @@ proptest! {
         let expect = normalize_reference(&rel);
         let got = rel.clone().normalize();
         prop_assert!(got.is_normalized());
-        prop_assert_eq!(got.rows.len(), expect.len());
-        for (row, (t, m)) in got.rows.iter().zip(&expect) {
+        prop_assert_eq!(got.rows().len(), expect.len());
+        for (row, (t, m)) in got.rows().iter().zip(&expect) {
             prop_assert_eq!(&row.tuple, t);
             prop_assert_eq!(&row.mult, m);
         }
@@ -168,8 +168,8 @@ proptest! {
         let owned = rel.clone().normalize();
         {
             let cow = rel.normalized();
-            prop_assert_eq!(cow.rows.len(), owned.rows.len());
-            for (a, b) in cow.rows.iter().zip(&owned.rows) {
+            prop_assert_eq!(cow.rows().len(), owned.rows().len());
+            for (a, b) in cow.rows().iter().zip(owned.rows()) {
                 prop_assert_eq!(a, b);
             }
             prop_assert!(matches!(rel.normalized(), std::borrow::Cow::Owned(_)) || rel.is_normalized());
@@ -179,8 +179,8 @@ proptest! {
         prop_assert!(matches!(cow, std::borrow::Cow::Borrowed(_)));
         // And normalize() on a canonical relation is the identity.
         let again = owned.clone().normalize();
-        prop_assert_eq!(again.rows.len(), owned.rows.len());
-        for (a, b) in again.rows.iter().zip(&owned.rows) {
+        prop_assert_eq!(again.rows().len(), owned.rows().len());
+        for (a, b) in again.rows().iter().zip(owned.rows()) {
             prop_assert_eq!(a, b);
         }
     }
@@ -189,14 +189,14 @@ proptest! {
     #[test]
     fn normalize_is_order_insensitive(rel in au_relation_strategy(), rot in 0usize..8) {
         let mut shuffled = rel.clone();
-        if !shuffled.rows.is_empty() {
-            let r = rot % shuffled.rows.len();
+        if !shuffled.rows().is_empty() {
+            let r = rot % shuffled.rows().len();
             shuffled.rows_mut().rotate_left(r);
         }
         let a = rel.normalize();
         let b = shuffled.normalize();
-        prop_assert_eq!(a.rows.len(), b.rows.len());
-        for (x, y) in a.rows.iter().zip(&b.rows) {
+        prop_assert_eq!(a.rows().len(), b.rows().len());
+        for (x, y) in a.rows().iter().zip(b.rows()) {
             prop_assert_eq!(x, y);
         }
     }
