@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the vectorized expression kernels:
+//! the typed monomorphic sweeps (PR 6's `i64`/`f64`/dictionary lanes)
+//! against the generic `Value`-sweeping path on the same columns
+//! (demoted via `AuColumns::to_generic`, which forces every kernel down
+//! the historical path). Statistically robust counterpart of the
+//! `kernel_sweeps` section of `BENCH_sort_window.json`.
+
+use audb_core::{AuColumns, RangeExpr};
+use audb_workloads::synthetic::{gen_sort_table, SyntheticConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const N: usize = 16_000;
+
+fn columns() -> AuColumns {
+    gen_sort_table(&SyntheticConfig::default().rows(N).seed(3))
+        .to_au_relation()
+        .to_columns()
+}
+
+/// The `sort_sel` selection predicate through `truth_batch`.
+fn bench_truth_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/truth_batch");
+    g.sample_size(20);
+    let typed = columns();
+    let generic = typed.to_generic();
+    let mid = (N as i64 * 20) / 2;
+    let pred = RangeExpr::col(1).le(RangeExpr::lit(mid));
+    for (layout, cols) in [("typed", &typed), ("generic", &generic)] {
+        g.bench_with_input(BenchmarkId::new("layout", layout), cols, |b, cols| {
+            b.iter(|| pred.truth_batch(&cols.as_batch()))
+        });
+    }
+    g.finish();
+}
+
+/// The `sort_sel` computed projection through `eval_batch`.
+fn bench_eval_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/eval_batch");
+    g.sample_size(20);
+    let typed = columns();
+    let generic = typed.to_generic();
+    let proj = RangeExpr::Add(Box::new(RangeExpr::col(1)), Box::new(RangeExpr::col(2)));
+    for (layout, cols) in [("typed", &typed), ("generic", &generic)] {
+        g.bench_with_input(BenchmarkId::new("layout", layout), cols, |b, cols| {
+            b.iter(|| proj.eval_batch(&cols.as_batch()))
+        });
+    }
+    g.finish();
+}
+
+/// The direct-to-column projection kernel the fused executor calls.
+fn bench_eval_batch_column(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/eval_batch_column");
+    g.sample_size(20);
+    let typed = columns();
+    let generic = typed.to_generic();
+    let proj = RangeExpr::Add(Box::new(RangeExpr::col(1)), Box::new(RangeExpr::col(2)));
+    let idxs: Vec<usize> = (0..N).step_by(2).collect();
+    for (layout, cols) in [("typed", &typed), ("generic", &generic)] {
+        g.bench_with_input(BenchmarkId::new("layout", layout), cols, |b, cols| {
+            b.iter(|| proj.eval_batch_column(&cols.as_batch(), &idxs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_truth_batch,
+    bench_eval_batch,
+    bench_eval_batch_column
+);
+criterion_main!(benches);

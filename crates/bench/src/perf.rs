@@ -24,6 +24,17 @@
 //! struct-of-arrays layout and its certain-column fast path is tracked
 //! in-repo. CI asserts columnar ≤ row on the `sort_sel` workload.
 //!
+//! Schema v4 (the typed-physical-columns PR) extends each run with the
+//! **typed** layout: `bytes_per_row` gains a `"typed"` entry (the
+//! monomorphic `i64`/`f64`/dictionary lanes `to_columns()` now builds;
+//! `"columnar"` is the same relation demoted to generic `Value` lanes —
+//! PR 5's layout) and a `"phys"` summary counting the input's columns per
+//! physical type. A separate `"kernel_sweeps"` section times the
+//! vectorized expression kernels (`truth_batch` / `eval_batch`) on the
+//! typed lanes against the same columns demoted to generic, as
+//! rows-per-second pairs. CI asserts typed ≤ columnar ≤ row on
+//! `sort_sel` and typed ≥ generic within each sweep.
+//!
 //! The file also carries the frozen `naive_baseline_ms` block: the same
 //! benchmarks measured on the pre-optimization implementation (per-
 //! comparison corner-tuple allocation in `normalize()`, `Vec<Value>` heap
@@ -32,7 +43,7 @@
 //! section is regenerated on demand and comparing the two is the ≥ 2×
 //! acceptance gate of the optimization PR.
 
-use audb_core::{RangeExpr, WinAgg};
+use audb_core::{PhysType, RangeExpr, WinAgg};
 use audb_engine::{Engine, ExecMode, Plan, Query};
 use audb_workloads::runner::{sort_plan, window_plan};
 use audb_workloads::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
@@ -107,21 +118,38 @@ pub struct Measurement {
     /// Measured heap footprint of the cell's AU input table in the **row**
     /// layout (`AuRelation::heap_bytes`), per row.
     pub bytes_per_row_row: f64,
-    /// Same footprint in the **columnar** layout
-    /// (`AuColumns::heap_bytes`), per row — the struct-of-arrays +
-    /// certain-column-fast-path saving, tracked run over run (CI asserts
-    /// columnar ≤ row on the `sort_sel` workload).
+    /// Same footprint in the **generic columnar** layout (struct-of-arrays
+    /// `Value` lanes — PR 5's layout, measured by demoting the typed
+    /// columns), per row.
     pub bytes_per_row_columnar: f64,
+    /// Same footprint in the **typed** columnar layout (monomorphic
+    /// `i64`/`f64`/dictionary lanes + certainty bitmaps — what
+    /// `to_columns()` now builds), per row. CI asserts
+    /// typed ≤ columnar ≤ row on the `sort_sel` workload.
+    pub bytes_per_row_typed: f64,
+    /// Physical layout of each input column (the per-op type summary the
+    /// artifact renders as per-type counts).
+    pub phys: Vec<PhysType>,
 }
 
-/// Per-row heap footprint of an AU relation under both storage layouts:
-/// `(row, columnar)`.
-fn bytes_per_row(rel: &audb_core::AuRelation) -> (f64, f64) {
+/// Per-row heap footprint of an AU relation under the three storage
+/// layouts, plus the typed layout's per-column physical types.
+struct Footprint {
+    row: f64,
+    columnar: f64,
+    typed: f64,
+    phys: Vec<PhysType>,
+}
+
+fn footprint(rel: &audb_core::AuRelation) -> Footprint {
     let n = rel.len().max(1) as f64;
-    (
-        rel.heap_bytes() as f64 / n,
-        rel.to_columns().heap_bytes() as f64 / n,
-    )
+    let typed = rel.to_columns();
+    Footprint {
+        row: rel.heap_bytes() as f64 / n,
+        columnar: typed.to_generic().heap_bytes() as f64 / n,
+        typed: typed.heap_bytes() as f64 / n,
+        phys: typed.col_phys_types(),
+    }
 }
 
 fn time_median(mut f: impl FnMut(), budget_runs: usize) -> f64 {
@@ -152,7 +180,7 @@ fn au_cells(
     plan: &Plan,
     runs: usize,
 ) {
-    let (row_b, col_b) = bytes_per_row(plan.source());
+    let fp = footprint(plan.source());
     for (exec, mode) in EXECS {
         let engine = engine.with_exec_mode(mode);
         let ms = time_median(
@@ -169,8 +197,10 @@ fn au_cells(
             ms,
             ops_per_sec: 1e3 / ms,
             rows_per_sec: n as f64 * 1e3 / ms,
-            bytes_per_row_row: row_b,
-            bytes_per_row_columnar: col_b,
+            bytes_per_row_row: fp.row,
+            bytes_per_row_columnar: fp.columnar,
+            bytes_per_row_typed: fp.typed,
+            phys: fp.phys.clone(),
         });
     }
 }
@@ -187,7 +217,7 @@ fn det_cell(
     f: impl FnMut(),
     runs: usize,
 ) {
-    let (row_b, col_b) = bytes_per_row(au_input);
+    let fp = footprint(au_input);
     let ms = time_median(f, runs);
     out.push(Measurement {
         op,
@@ -197,8 +227,10 @@ fn det_cell(
         ms,
         ops_per_sec: 1e3 / ms,
         rows_per_sec: n as f64 * 1e3 / ms,
-        bytes_per_row_row: row_b,
-        bytes_per_row_columnar: col_b,
+        bytes_per_row_row: fp.row,
+        bytes_per_row_columnar: fp.columnar,
+        bytes_per_row_typed: fp.typed,
+        phys: fp.phys,
     });
 }
 
@@ -320,15 +352,82 @@ pub fn measure(cfg: &BenchConfig) -> Vec<Measurement> {
     out
 }
 
+/// One typed-vs-generic vectorized kernel sweep: the same expression over
+/// the same columns, once on the typed lanes and once after demoting them
+/// to generic `Value` lanes.
+#[derive(Clone, Debug)]
+pub struct KernelSweep {
+    /// `truth_batch` (the `sort_sel` selection predicate) or `eval_batch`
+    /// (its computed projection).
+    pub kernel: &'static str,
+    /// Input rows per sweep.
+    pub n: usize,
+    /// Rows per second on the typed lanes.
+    pub typed_rows_per_sec: f64,
+    /// Rows per second on the demoted generic lanes (CI asserts
+    /// typed ≥ generic).
+    pub generic_rows_per_sec: f64,
+}
+
+/// Time the vectorized kernels of the `sort_sel` plan's expressions —
+/// the selection predicate through `truth_batch` and the computed
+/// projection through `eval_batch` — on typed vs demoted-generic columns
+/// of the same relation.
+pub fn measure_kernels(cfg: &BenchConfig) -> Vec<KernelSweep> {
+    let runs = if cfg.quick { 5 } else { 15 };
+    let n = cfg.sizes.iter().copied().max().unwrap_or(16_000);
+    let table = gen_sort_table(&SyntheticConfig::default().rows(n).seed(3));
+    let typed = table.to_au_relation().to_columns();
+    let generic = typed.to_generic();
+    let mid = (n as i64 * 20) / 2;
+    let pred = RangeExpr::col(1).le(RangeExpr::lit(mid));
+    let proj = RangeExpr::Add(Box::new(RangeExpr::col(1)), Box::new(RangeExpr::col(2)));
+    let mut out = Vec::new();
+    let mut sweep = |kernel: &'static str, f: &mut dyn FnMut(&audb_core::AuColumns)| {
+        let t_ms = time_median(|| f(&typed), runs);
+        let g_ms = time_median(|| f(&generic), runs);
+        out.push(KernelSweep {
+            kernel,
+            n,
+            typed_rows_per_sec: n as f64 * 1e3 / t_ms,
+            generic_rows_per_sec: n as f64 * 1e3 / g_ms,
+        });
+    };
+    sweep("truth_batch", &mut |cols| {
+        std::hint::black_box(pred.truth_batch(&cols.as_batch()));
+    });
+    sweep("eval_batch", &mut |cols| {
+        std::hint::black_box(proj.eval_batch(&cols.as_batch()));
+    });
+    out
+}
+
+/// Render the per-column physical-type counts of one run's input.
+fn phys_counts(phys: &[PhysType]) -> String {
+    let count = |t: PhysType| phys.iter().filter(|p| **p == t).count();
+    format!(
+        "{{\"i64\": {}, \"f64\": {}, \"str\": {}, \"generic\": {}}}",
+        count(PhysType::I64),
+        count(PhysType::F64),
+        count(PhysType::Str),
+        count(PhysType::Generic)
+    )
+}
+
 /// Render the artifact JSON (no serde in this workspace; the structure is
 /// flat enough to emit by hand).
-pub fn render_json(measurements: &[Measurement], cfg: &BenchConfig) -> String {
+pub fn render_json(
+    measurements: &[Measurement],
+    kernels: &[KernelSweep],
+    cfg: &BenchConfig,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"artifact\": \"BENCH_sort_window\",\n");
-    // v3: per-run `rows_per_sec` + `bytes_per_row` {row, columnar} storage
-    // footprint columns (the columnar-refactor PR).
-    s.push_str("  \"schema_version\": 3,\n");
+    // v4: per-run `bytes_per_row` gains the typed layout, each run carries
+    // its input's physical-type counts, and the `kernel_sweeps` section
+    // times the typed vs generic vectorized kernels.
+    s.push_str("  \"schema_version\": 4,\n");
     let sizes = cfg
         .sizes
         .iter()
@@ -363,14 +462,24 @@ pub fn render_json(measurements: &[Measurement], cfg: &BenchConfig) -> String {
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"op\": \"{}\", \"method\": \"{}\", \"exec\": \"{}\", \"n\": {}, \"ms\": {:.3}, \"ops_per_sec\": {:.3}, \"rows_per_sec\": {:.0}, \"bytes_per_row\": {{\"row\": {:.1}, \"columnar\": {:.1}}}}}",
-            m.op, m.method, m.exec, m.n, m.ms, m.ops_per_sec, m.rows_per_sec, m.bytes_per_row_row, m.bytes_per_row_columnar
+            "    {{\"op\": \"{}\", \"method\": \"{}\", \"exec\": \"{}\", \"n\": {}, \"ms\": {:.3}, \"ops_per_sec\": {:.3}, \"rows_per_sec\": {:.0}, \"bytes_per_row\": {{\"row\": {:.1}, \"columnar\": {:.1}, \"typed\": {:.1}}}, \"phys\": {}}}",
+            m.op, m.method, m.exec, m.n, m.ms, m.ops_per_sec, m.rows_per_sec, m.bytes_per_row_row, m.bytes_per_row_columnar, m.bytes_per_row_typed, phys_counts(&m.phys)
         );
         s.push_str(if i + 1 < measurements.len() {
             ",\n"
         } else {
             "\n"
         });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"kernel_sweeps\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"typed_rows_per_sec\": {:.0}, \"generic_rows_per_sec\": {:.0}}}",
+            k.kernel, k.n, k.typed_rows_per_sec, k.generic_rows_per_sec
+        );
+        s.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     // Headline ratio the acceptance gate reads: naive / current for
@@ -402,7 +511,14 @@ pub fn run_json(path: &str, cfg: &BenchConfig) {
             m.n, m.op, m.method, m.exec, m.ms, m.ops_per_sec
         );
     }
-    let json = render_json(&measurements, cfg);
+    let kernels = measure_kernels(cfg);
+    for k in &kernels {
+        println!(
+            "{:>6} rows  kernel {:<12} typed {:>12.0} rows/s  generic {:>12.0} rows/s",
+            k.n, k.kernel, k.typed_rows_per_sec, k.generic_rows_per_sec
+        );
+    }
+    let json = render_json(&measurements, &kernels, cfg);
     std::fs::write(path, &json).expect("write bench artifact");
     println!("wrote {path}");
 }
@@ -436,6 +552,17 @@ mod tests {
             rows_per_sec: n as f64 * 1e3 / ms,
             bytes_per_row_row: 264.0,
             bytes_per_row_columnar: 96.0,
+            bytes_per_row_typed: 48.0,
+            phys: vec![PhysType::I64, PhysType::I64, PhysType::Generic],
+        }
+    }
+
+    fn sweep(kernel: &'static str) -> KernelSweep {
+        KernelSweep {
+            kernel,
+            n: 16_000,
+            typed_rows_per_sec: 2e8,
+            generic_rows_per_sec: 5e7,
         }
     }
 
@@ -449,16 +576,32 @@ mod tests {
             cell("sort", "imp", "materialized", 16_000, 21.0),
             cell("window", "det", "materialized", 1_000, 1.0),
         ];
-        let json = render_json(&ms, &BenchConfig::default());
+        let sweeps = vec![sweep("truth_batch"), sweep("eval_batch")];
+        let json = render_json(&ms, &sweeps, &BenchConfig::default());
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema_version\": 3"));
-        // The v3 columns render per run.
+        assert!(json.contains("\"schema_version\": 4"));
+        // The v3 columns render per run, with the v4 typed layout added.
         assert_eq!(json.matches("\"rows_per_sec\"").count(), 3);
         assert_eq!(
-            json.matches("\"bytes_per_row\": {\"row\": 264.0, \"columnar\": 96.0}")
+            json.matches(
+                "\"bytes_per_row\": {\"row\": 264.0, \"columnar\": 96.0, \"typed\": 48.0}"
+            )
+            .count(),
+            3
+        );
+        // Each run carries its physical-type counts.
+        assert_eq!(
+            json.matches("\"phys\": {\"i64\": 2, \"f64\": 0, \"str\": 0, \"generic\": 1}")
                 .count(),
             3
         );
+        // The v4 kernel sweeps render as typed/generic rows-per-second pairs.
+        assert!(json.contains("\"kernel_sweeps\": ["));
+        assert!(json.contains(
+            "{\"kernel\": \"truth_batch\", \"n\": 16000, \
+             \"typed_rows_per_sec\": 200000000, \"generic_rows_per_sec\": 50000000}"
+        ));
+        assert_eq!(json.matches("\"kernel\"").count(), 2);
         // ("auto" vs a number depends on the ambient AUDB_THREADS — the
         // env-sensitive assertions live in thread_pin_scopes_and_records,
         // which owns the variable.)
@@ -491,24 +634,68 @@ mod tests {
         // Without the flag, the ambient pin is what the artifact records.
         let cfg = BenchConfig::default();
         assert_eq!(cfg.effective_threads(), Some(3));
-        assert!(render_json(&[], &cfg).contains("\"threads\": 3"));
+        assert!(render_json(&[], &[], &cfg).contains("\"threads\": 3"));
         std::env::remove_var("AUDB_THREADS");
         assert_eq!(cfg.effective_threads(), None);
-        assert!(render_json(&[], &cfg).contains("\"threads\": \"auto\""));
+        assert!(render_json(&[], &[], &cfg).contains("\"threads\": \"auto\""));
     }
 
-    /// The columnar layout must never be a storage regression on the
-    /// `sort_sel` workload's input (the CI bench-smoke assertion, pinned
-    /// here without running the timed sweep).
+    /// The typed layout must strictly beat the generic columnar layout,
+    /// which must not regress past the row layout, on the `sort_sel`
+    /// workload's input (the CI bench-smoke assertion, pinned here
+    /// without running the timed sweep).
     #[test]
-    fn sort_sel_columnar_footprint_at_most_row() {
+    fn sort_sel_typed_footprint_below_columnar_below_row() {
         let table = gen_sort_table(&SyntheticConfig::default().rows(500).seed(3));
         let au = table.to_au_relation();
-        let (row_b, col_b) = bytes_per_row(&au);
+        let fp = footprint(&au);
         assert!(
-            col_b <= row_b,
-            "columnar {col_b:.1} B/row > row {row_b:.1} B/row"
+            fp.columnar <= fp.row,
+            "columnar {:.1} B/row > row {:.1} B/row",
+            fp.columnar,
+            fp.row
         );
+        assert!(
+            fp.typed < fp.columnar,
+            "typed {:.1} B/row not below columnar {:.1} B/row",
+            fp.typed,
+            fp.columnar
+        );
+        // The sort workload's columns are all integer-classed, so every
+        // lane should land typed.
+        assert!(
+            fp.phys.iter().all(|t| *t == PhysType::I64),
+            "unexpected physical types: {:?}",
+            fp.phys
+        );
+    }
+
+    /// The monomorphic kernels must not lose to the generic sweep they
+    /// replace (the within-run CI gate, pinned at test scale). The
+    /// throughput ordering is a property of the *optimized* build — the
+    /// artifact is always produced by a release binary — so debug builds
+    /// (bounds checks, no autovectorization) only check the sweep shape.
+    #[test]
+    fn typed_kernels_at_least_generic() {
+        let cfg = BenchConfig {
+            quick: true,
+            sizes: vec![4_000],
+            threads: Some(1),
+        };
+        let sweeps = measure_kernels(&cfg);
+        assert_eq!(sweeps.len(), 2);
+        for s in &sweeps {
+            assert!(s.typed_rows_per_sec > 0.0 && s.generic_rows_per_sec > 0.0);
+            if !cfg!(debug_assertions) {
+                assert!(
+                    s.typed_rows_per_sec >= s.generic_rows_per_sec,
+                    "{}: typed {:.0} rows/s < generic {:.0} rows/s",
+                    s.kernel,
+                    s.typed_rows_per_sec,
+                    s.generic_rows_per_sec
+                );
+            }
+        }
     }
 
     #[test]
@@ -519,7 +706,7 @@ mod tests {
             sizes: vec![1_000],
             threads: Some(2),
         };
-        let json = render_json(&ms, &cfg);
+        let json = render_json(&ms, &[], &cfg);
         assert!(json.contains("\"sort_imp_16k_speedup_vs_naive\": null"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"sizes\": [1000]"));

@@ -24,9 +24,12 @@ pub fn utop(table: &XTupleTable, order: &[usize], k: u64, cap: u128) -> Vec<Tupl
             .collect();
         *weights.entry(seq).or_insert(0.0) += w.prob;
     }
+    // Exact weight ties happen (e.g. two coin-flip alternatives splitting a
+    // podium); break them toward the lexicographically smallest sequence so
+    // the answer doesn't depend on HashMap iteration order.
     weights
         .into_iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
         .map(|(seq, _)| seq)
         .unwrap_or_default()
 }

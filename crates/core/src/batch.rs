@@ -20,10 +20,11 @@
 
 use crate::columns::AuColumns;
 use crate::mult::Mult3;
+use crate::physical::PhysSlice;
 use crate::relation::AuRelation;
 use crate::sortkey::Corner;
 use crate::tuple::AuTuple;
-use audb_rel::{Schema, Value};
+use audb_rel::Schema;
 
 /// A borrowed, contiguous row range of a columnar AU-relation, exposed as
 /// per-attribute column slices: the unit the pipeline executor streams.
@@ -63,11 +64,22 @@ impl<'a> AuBatch<'a> {
         self.rel.arity()
     }
 
-    /// One corner of attribute `c` over this batch's rows, as a
-    /// contiguous slice (zero-copy; certain columns return the same slice
-    /// for all three corners).
-    pub fn corner(&self, c: usize, corner: Corner) -> &'a [Value] {
-        &self.rel.col(c).corner(corner)[self.start..self.start + self.len]
+    /// One corner of attribute `c` over this batch's rows, as a typed
+    /// contiguous slice view (zero-copy; certain columns return the same
+    /// lanes for all three corners).
+    pub fn corner(&self, c: usize, corner: Corner) -> PhysSlice<'a> {
+        self.rel
+            .col(c)
+            .corner(corner)
+            .subslice(self.start, self.len)
+    }
+
+    /// True iff batch-relative row `i` of attribute `c` is a point
+    /// (`lb ≡ sg ≡ ub`) — a bitmap probe, never a lane comparison.
+    #[inline]
+    pub fn col_certain_at(&self, c: usize, i: usize) -> bool {
+        debug_assert!(i < self.len, "batch-relative index out of range");
+        self.rel.col(c).certain_at(self.start + i)
     }
 
     /// True iff attribute `c` uses the collapsed certain representation.
@@ -195,6 +207,7 @@ mod tests {
     use super::*;
     use crate::range_value::RangeValue;
     use crate::RangeExpr;
+    use audb_rel::Value;
 
     fn rel(n: usize) -> AuRelation {
         AuRelation::from_rows(
@@ -220,7 +233,7 @@ mod tests {
                 assert!(!b.is_empty());
                 for i in 0..b.len() {
                     assert_eq!(b.tuple(i), AuTuple::new([RangeValue::certain(flat)]));
-                    assert_eq!(b.corner(0, Corner::Sg)[i], Value::Int(flat));
+                    assert_eq!(b.corner(0, Corner::Sg).value(i), Value::Int(flat));
                     flat += 1;
                 }
             }

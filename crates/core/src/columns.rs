@@ -3,13 +3,22 @@
 //! The row layout ([`AuRelation`]) stores one heap `Vec<RangeValue>` per
 //! tuple, so every kernel that touches an attribute chases a pointer per
 //! row. [`AuColumns`] stores the same bag per *attribute*: three contiguous
-//! `Vec<Value>` bound vectors (`lb` / `sg` / `ub`) per column — collapsed
-//! to a **single** vector when the column is certain (`lb ≡ sg ≡ ub`, the
+//! bound vectors (`lb` / `sg` / `ub`) per column — collapsed to a
+//! **single** vector when the column is certain (`lb ≡ sg ≡ ub`, the
 //! common case for keys and dimensions) — plus three flat `u64`
 //! multiplicity vectors for the `ℕ³` annotations. Batch kernels
 //! ([`crate::batch`], `RangeExpr::{eval_batch, truth_batch}`,
 //! [`AuColumns::normalize`]) sweep these vectors directly instead of
 //! materializing per-row tuples.
+//!
+//! Since PR 6 each bound vector is a *typed physical* vector
+//! ([`PhysVec`]): all-integer columns store flat `i64` lanes, numeric
+//! columns flat `f64` lanes, string columns dictionary codes into an
+//! interned pool, and everything else falls back to the historical
+//! `Vec<Value>` — see [`crate::physical`] for the layouts and inference
+//! rules. Ranged columns additionally carry a [`CertBitmap`] marking the
+//! rows whose range is a single point, so equality kernels answer
+//! per-row certainty without re-comparing the lanes.
 //!
 //! Unlike the historical `pub rows` field on [`AuRelation`], every field
 //! here is private: mutation goes through [`AuColumns::push_row`] /
@@ -19,11 +28,13 @@
 //!
 //! Conversions are cheap and lossless: [`AuRelation::to_columns`] /
 //! [`AuColumns::to_rows`] round-trip the exact row sequence **and** the
-//! normalized flag (property-tested in `tests/columnar_roundtrip.rs`), so
-//! the row API remains the compatibility surface for the reference
-//! operators while the pipeline executor runs columnar.
+//! normalized flag (property-tested in `tests/columnar_roundtrip.rs` and
+//! `tests/typed_columns.rs`), so the row API remains the compatibility
+//! surface for the reference operators while the pipeline executor runs
+//! columnar and typed.
 
 use crate::mult::Mult3;
+use crate::physical::{CertBitmap, PhysSlice, PhysType, PhysVec};
 use crate::range_value::RangeValue;
 use crate::relation::{AuRelation, AuRow};
 use crate::sortkey::{Corner, SortKey};
@@ -31,22 +42,31 @@ use crate::tuple::AuTuple;
 use audb_rel::{Schema, Value};
 use std::fmt;
 
-/// One attribute of a columnar AU-relation: the three bound vectors, with
-/// the certain fast path storing a single vector when `lb ≡ sg ≡ ub` for
-/// every row.
+pub(crate) use crate::physical::value_heap_bytes;
+
+/// One attribute of a columnar AU-relation: the three bound vectors in
+/// their typed physical layout, with the certain fast path storing a
+/// single vector when `lb ≡ sg ≡ ub` for every row.
+// `Ranged` (three lanes + bitmap) is inherently ~4× `Certain`'s size; there
+// is exactly one `AuColumn` per attribute, so boxing the large variant would
+// buy nothing and add a pointer chase to every kernel dispatch.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum AuColumn {
     /// Every row's range is a single point: one vector serves as all three
     /// corners (a 3× memory and sweep saving).
-    Certain(Vec<Value>),
-    /// At least one row is uncertain: three parallel bound vectors.
+    Certain(PhysVec),
+    /// At least one row is uncertain: three parallel bound vectors plus
+    /// the per-row certainty bitmap (bit set iff that row is a point).
     Ranged {
         /// Lower bounds `c↓`.
-        lb: Vec<Value>,
+        lb: PhysVec,
         /// Selected guesses `c_sg`.
-        sg: Vec<Value>,
+        sg: PhysVec,
         /// Upper bounds `c↑`.
-        ub: Vec<Value>,
+        ub: PhysVec,
+        /// Bit `i` set iff `lb[i] ≡ sg[i] ≡ ub[i]`.
+        certain: CertBitmap,
     },
 }
 
@@ -69,15 +89,41 @@ impl AuColumn {
         matches!(self, AuColumn::Certain(_))
     }
 
-    /// The requested corner as a contiguous slice. For a certain column
-    /// all three corners are the same vector.
-    pub fn corner(&self, corner: Corner) -> &[Value] {
+    /// True iff row `i`'s range is a single point — free for certain
+    /// columns, one bitmap probe otherwise (never re-compares the lanes).
+    #[inline]
+    pub fn certain_at(&self, i: usize) -> bool {
         match self {
-            AuColumn::Certain(v) => v,
-            AuColumn::Ranged { lb, sg, ub } => match corner {
-                Corner::Lb => lb,
-                Corner::Sg => sg,
-                Corner::Ub => ub,
+            AuColumn::Certain(_) => true,
+            AuColumn::Ranged { certain, .. } => certain.get(i),
+        }
+    }
+
+    /// The physical layout of the column's lanes; for a ranged column
+    /// whose three bounds landed in different layouts, `Generic`.
+    pub fn phys_type(&self) -> PhysType {
+        match self {
+            AuColumn::Certain(v) => v.phys_type(),
+            AuColumn::Ranged { lb, sg, ub, .. } => {
+                let t = sg.phys_type();
+                if lb.phys_type() == t && ub.phys_type() == t {
+                    t
+                } else {
+                    PhysType::Generic
+                }
+            }
+        }
+    }
+
+    /// The requested corner as a typed slice view. For a certain column
+    /// all three corners are the same vector.
+    pub fn corner(&self, corner: Corner) -> PhysSlice<'_> {
+        match self {
+            AuColumn::Certain(v) => v.slice(),
+            AuColumn::Ranged { lb, sg, ub, .. } => match corner {
+                Corner::Lb => lb.slice(),
+                Corner::Sg => sg.slice(),
+                Corner::Ub => ub.slice(),
             },
         }
     }
@@ -85,17 +131,40 @@ impl AuColumn {
     /// One cell rebuilt as a [`RangeValue`].
     pub fn range_value(&self, row: usize) -> RangeValue {
         match self {
-            AuColumn::Certain(v) => RangeValue::certain(v[row].clone()),
-            AuColumn::Ranged { lb, sg, ub } => RangeValue {
-                lb: lb[row].clone(),
-                sg: sg[row].clone(),
-                ub: ub[row].clone(),
+            AuColumn::Certain(v) => RangeValue::certain(v.value(row)),
+            AuColumn::Ranged { lb, sg, ub, .. } => RangeValue {
+                lb: lb.value(row),
+                sg: sg.value(row),
+                ub: ub.value(row),
             },
         }
     }
 
+    /// A certain column over already-collected point values, with layout
+    /// inference (the csv loader's unbounded-attribute path).
+    pub fn certain_from_values(vals: Vec<Value>) -> AuColumn {
+        AuColumn::Certain(PhysVec::from_values(vals))
+    }
+
+    /// A ranged column over already-collected bound vectors, computing the
+    /// certainty bitmap and inferring each lane's layout (the csv loader's
+    /// bounded-attribute path). All three vectors must share a length.
+    pub fn ranged_from_values(lb: Vec<Value>, sg: Vec<Value>, ub: Vec<Value>) -> AuColumn {
+        debug_assert!(lb.len() == sg.len() && sg.len() == ub.len());
+        let mut certain = CertBitmap::new();
+        for i in 0..sg.len() {
+            certain.push(lb[i] == sg[i] && sg[i] == ub[i]);
+        }
+        AuColumn::Ranged {
+            lb: PhysVec::from_values(lb),
+            sg: PhysVec::from_values(sg),
+            ub: PhysVec::from_values(ub),
+            certain,
+        }
+    }
+
     fn with_capacity(n: usize) -> AuColumn {
-        AuColumn::Certain(Vec::with_capacity(n))
+        AuColumn::Certain(PhysVec::with_capacity(n))
     }
 
     /// Append one cell, promoting `Certain → Ranged` on the first
@@ -104,92 +173,153 @@ impl AuColumn {
         match self {
             AuColumn::Certain(v) => {
                 if rv.is_certain() {
-                    v.push(rv.sg.clone());
+                    v.push_value(&rv.sg);
                 } else {
                     self.promote();
                     self.push(rv);
                 }
             }
-            AuColumn::Ranged { lb, sg, ub } => {
-                lb.push(rv.lb.clone());
-                sg.push(rv.sg.clone());
-                ub.push(rv.ub.clone());
+            AuColumn::Ranged {
+                lb,
+                sg,
+                ub,
+                certain,
+            } => {
+                lb.push_value(&rv.lb);
+                sg.push_value(&rv.sg);
+                ub.push_value(&rv.ub);
+                certain.push(rv.is_certain());
             }
         }
     }
 
-    /// Split the collapsed representation into three vectors.
+    /// Split the collapsed representation into three vectors; every
+    /// existing row was a point, so the bitmap starts all-certain.
     fn promote(&mut self) {
         if let AuColumn::Certain(v) = self {
             let sg = std::mem::take(v);
+            let n = sg.len();
             *self = AuColumn::Ranged {
                 lb: sg.clone(),
                 sg: sg.clone(),
                 ub: sg,
+                certain: CertBitmap::all_certain(n),
             };
         }
     }
 
-    /// Copy the cells at `idxs` (in order) into a fresh column, keeping
-    /// the certain fast path when the source has it.
-    pub(crate) fn gather(&self, idxs: &[usize]) -> AuColumn {
-        let pick = |v: &[Value]| -> Vec<Value> { idxs.iter().map(|&i| v[i].clone()).collect() };
+    /// Re-run layout inference on any `Generic` lanes (the bulk-build
+    /// compaction step — a column that collected mixed-looking pushes but
+    /// ended up homogeneous gets its typed layout back).
+    pub(crate) fn compact(&mut self) {
         match self {
-            AuColumn::Certain(v) => AuColumn::Certain(pick(v)),
-            AuColumn::Ranged { lb, sg, ub } => AuColumn::Ranged {
-                lb: pick(lb),
-                sg: pick(sg),
-                ub: pick(ub),
+            AuColumn::Certain(v) => v.compact(),
+            AuColumn::Ranged { lb, sg, ub, .. } => {
+                lb.compact();
+                sg.compact();
+                ub.compact();
+            }
+        }
+    }
+
+    /// Copy the cells at `idxs` (in order) into a fresh column, keeping
+    /// the certain fast path and the physical layout — primitive lanes
+    /// copy without constructing a single `Value`.
+    pub(crate) fn gather(&self, idxs: &[usize]) -> AuColumn {
+        match self {
+            AuColumn::Certain(v) => AuColumn::Certain(v.gather(idxs)),
+            AuColumn::Ranged {
+                lb,
+                sg,
+                ub,
+                certain,
+            } => AuColumn::Ranged {
+                lb: lb.gather(idxs),
+                sg: sg.gather(idxs),
+                ub: ub.gather(idxs),
+                certain: certain.gather(idxs),
             },
         }
     }
 
     fn append(&mut self, other: AuColumn) {
         match (&mut *self, other) {
-            (AuColumn::Certain(a), AuColumn::Certain(b)) => a.extend(b),
-            (AuColumn::Ranged { lb, sg, ub }, AuColumn::Certain(b)) => {
-                lb.extend(b.iter().cloned());
-                ub.extend(b.iter().cloned());
-                sg.extend(b);
+            (AuColumn::Certain(a), AuColumn::Certain(b)) => a.append(b),
+            (
+                AuColumn::Ranged {
+                    lb,
+                    sg,
+                    ub,
+                    certain,
+                },
+                AuColumn::Certain(b),
+            ) => {
+                for _ in 0..b.len() {
+                    certain.push(true);
+                }
+                lb.append(b.clone());
+                ub.append(b.clone());
+                sg.append(b);
             }
             (AuColumn::Certain(_), b @ AuColumn::Ranged { .. }) => {
                 self.promote();
                 self.append(b);
             }
             (
-                AuColumn::Ranged { lb, sg, ub },
+                AuColumn::Ranged {
+                    lb,
+                    sg,
+                    ub,
+                    certain,
+                },
                 AuColumn::Ranged {
                     lb: l2,
                     sg: s2,
                     ub: u2,
+                    certain: c2,
                 },
             ) => {
-                lb.extend(l2);
-                sg.extend(s2);
-                ub.extend(u2);
+                certain.append(&c2);
+                lb.append(l2);
+                sg.append(s2);
+                ub.append(u2);
             }
         }
     }
 
-    /// Measured heap footprint in bytes: vector capacities plus string
-    /// payloads (the certain fast path's saving is visible here).
-    pub fn heap_bytes(&self) -> usize {
-        let vec_bytes = |v: &Vec<Value>| {
-            v.capacity() * std::mem::size_of::<Value>()
-                + v.iter().map(value_heap_bytes).sum::<usize>()
-        };
+    /// The same logical column with every lane demoted to the
+    /// `Vec<Value>` layout — the parity oracle and the "what the enum tax
+    /// cost" baseline of the bench artifact.
+    pub fn to_generic(&self) -> AuColumn {
         match self {
-            AuColumn::Certain(v) => vec_bytes(v),
-            AuColumn::Ranged { lb, sg, ub } => vec_bytes(lb) + vec_bytes(sg) + vec_bytes(ub),
+            AuColumn::Certain(v) => AuColumn::Certain(v.to_generic()),
+            AuColumn::Ranged {
+                lb,
+                sg,
+                ub,
+                certain,
+            } => AuColumn::Ranged {
+                lb: lb.to_generic(),
+                sg: sg.to_generic(),
+                ub: ub.to_generic(),
+                certain: certain.clone(),
+            },
         }
     }
-}
 
-/// Bytes a value owns outside its inline representation.
-pub(crate) fn value_heap_bytes(v: &Value) -> usize {
-    match v {
-        Value::Str(s) => s.len(),
-        _ => 0,
+    /// Measured heap footprint in bytes: lane capacities plus string
+    /// payloads (both the certain fast path's saving and the typed
+    /// layout's saving are visible here).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            AuColumn::Certain(v) => v.heap_bytes(),
+            AuColumn::Ranged {
+                lb,
+                sg,
+                ub,
+                certain,
+            } => lb.heap_bytes() + sg.heap_bytes() + ub.heap_bytes() + certain.heap_bytes(),
+        }
     }
 }
 
@@ -211,7 +341,7 @@ impl AuColumns {
     /// Empty columnar relation (trivially normalized).
     pub fn empty(schema: Schema) -> Self {
         let cols = (0..schema.arity())
-            .map(|_| AuColumn::Certain(Vec::new()))
+            .map(|_| AuColumn::Certain(PhysVec::new()))
             .collect();
         AuColumns {
             schema,
@@ -243,9 +373,11 @@ impl AuColumns {
     /// Columnarize a row relation in a single row sweep: every cell is
     /// pushed onto its column, which starts certain-collapsed and promotes
     /// to three vectors on the first uncertain cell (amortized — the
-    /// certain prefix is cloned once). Preserves the normalized flag — the
-    /// stored bag and its canonical-form status are unchanged by the
-    /// transposition.
+    /// certain prefix is cloned once). Each lane adopts the layout of its
+    /// first value and demotes on mismatch; a final compaction pass
+    /// re-infers typed layouts for lanes that ended up homogeneous.
+    /// Preserves the normalized flag — the stored bag and its
+    /// canonical-form status are unchanged by the transposition.
     pub fn from_relation(rel: &AuRelation) -> Self {
         let rows = rel.rows();
         let n = rows.len();
@@ -262,6 +394,9 @@ impl AuColumns {
             mult_lb.push(r.mult.lb);
             mult_sg.push(r.mult.sg);
             mult_ub.push(r.mult.ub);
+        }
+        for col in &mut cols {
+            col.compact();
         }
         AuColumns {
             schema: rel.schema.clone(),
@@ -285,20 +420,16 @@ impl AuColumns {
         for col in &self.cols {
             match col {
                 AuColumn::Certain(v) => {
-                    for (t, val) in tuples.iter_mut().zip(v) {
-                        t.push(RangeValue {
-                            lb: val.clone(),
-                            sg: val.clone(),
-                            ub: val.clone(),
-                        });
+                    for (k, t) in tuples.iter_mut().enumerate() {
+                        t.push(RangeValue::certain(v.value(k)));
                     }
                 }
-                AuColumn::Ranged { lb, sg, ub } => {
+                AuColumn::Ranged { lb, sg, ub, .. } => {
                     for (k, t) in tuples.iter_mut().enumerate() {
                         t.push(RangeValue {
-                            lb: lb[k].clone(),
-                            sg: sg[k].clone(),
-                            ub: ub[k].clone(),
+                            lb: lb.value(k),
+                            sg: sg.value(k),
+                            ub: ub.value(k),
                         });
                     }
                 }
@@ -338,6 +469,12 @@ impl AuColumns {
     /// The attribute column at index `c`.
     pub fn col(&self, c: usize) -> &AuColumn {
         &self.cols[c]
+    }
+
+    /// The physical layout of every column, in schema order (the bench
+    /// artifact's per-op storage summary).
+    pub fn col_phys_types(&self) -> Vec<PhysType> {
+        self.cols.iter().map(AuColumn::phys_type).collect()
     }
 
     /// The `ℕ³` annotation of row `i`.
@@ -408,7 +545,8 @@ impl AuColumns {
 
     /// Build a new columnar relation from the rows at `idxs` with fresh
     /// annotations (the gather step of a vectorized selection: `idxs` are
-    /// the surviving rows, `mults` their filtered triples).
+    /// the surviving rows, `mults` their filtered triples). Typed lanes
+    /// gather as primitive copies — no `Value` is cloned.
     pub fn gather(&self, idxs: &[usize], mults: &[Mult3]) -> AuColumns {
         self.gather_cols(
             &(0..self.arity()).collect::<Vec<_>>(),
@@ -444,21 +582,31 @@ impl AuColumns {
     /// Build one output column by **moving** per-row [`RangeValue`]s into
     /// columnar form (the materialization step of a vectorized computed
     /// projection — no value is cloned), collapsing to the certain fast
-    /// path when every cell is a point.
+    /// path when every cell is a point and inferring the lanes' physical
+    /// layout.
     pub fn column_from_values(vals: Vec<RangeValue>) -> AuColumn {
         if vals.iter().all(RangeValue::is_certain) {
-            AuColumn::Certain(vals.into_iter().map(|rv| rv.sg).collect())
+            AuColumn::Certain(PhysVec::from_values(
+                vals.into_iter().map(|rv| rv.sg).collect(),
+            ))
         } else {
             let n = vals.len();
             let mut lb = Vec::with_capacity(n);
             let mut sg = Vec::with_capacity(n);
             let mut ub = Vec::with_capacity(n);
+            let mut certain = CertBitmap::new();
             for rv in vals {
+                certain.push(rv.is_certain());
                 lb.push(rv.lb);
                 sg.push(rv.sg);
                 ub.push(rv.ub);
             }
-            AuColumn::Ranged { lb, sg, ub }
+            AuColumn::Ranged {
+                lb: PhysVec::from_values(lb),
+                sg: PhysVec::from_values(sg),
+                ub: PhysVec::from_values(ub),
+                certain,
+            }
         }
     }
 
@@ -510,11 +658,27 @@ impl AuColumns {
         out
     }
 
+    /// The same logical relation with every lane demoted to the
+    /// `Vec<Value>` fallback layout — the within-run oracle the typed
+    /// kernels are property-tested and benchmarked against.
+    pub fn to_generic(&self) -> AuColumns {
+        AuColumns {
+            schema: self.schema.clone(),
+            len: self.len,
+            cols: self.cols.iter().map(AuColumn::to_generic).collect(),
+            mult_lb: self.mult_lb.clone(),
+            mult_sg: self.mult_sg.clone(),
+            mult_ub: self.mult_ub.clone(),
+            normalized: self.normalized,
+        }
+    }
+
     /// Measured heap footprint in bytes: every column's vectors (one for
     /// certain columns, three otherwise) plus the three multiplicity
     /// vectors. The `bytes_per_row` column of `repro bench --json` is this
     /// divided by the row count, compared against
-    /// [`AuRelation::heap_bytes`].
+    /// [`AuRelation::heap_bytes`] and the demoted
+    /// [`AuColumns::to_generic`] layout.
     pub fn heap_bytes(&self) -> usize {
         self.cols.iter().map(AuColumn::heap_bytes).sum::<usize>()
             + (self.mult_lb.capacity() + self.mult_sg.capacity() + self.mult_ub.capacity())
@@ -571,6 +735,9 @@ mod tests {
         assert!(!cols.is_normalized());
         assert!(!cols.col(0).is_certain());
         assert!(cols.col(1).is_certain());
+        // All-integer lanes adopt the typed layout.
+        assert_eq!(cols.col(0).phys_type(), PhysType::I64);
+        assert_eq!(cols.col(1).phys_type(), PhysType::I64);
         let back = cols.to_rows();
         assert_eq!(back.rows(), rel.rows());
         assert!(!back.is_normalized());
@@ -591,14 +758,17 @@ mod tests {
         assert!(!cols.is_normalized());
         cols.push_row(&AuTuple::new([rv(1, 2, 3)]), Mult3::ONE);
         assert!(!cols.col(0).is_certain());
-        assert_eq!(
-            cols.col(0).corner(Corner::Lb),
-            &[Value::Int(1), Value::Int(1)]
-        );
-        assert_eq!(
-            cols.col(0).corner(Corner::Ub),
-            &[Value::Int(1), Value::Int(3)]
-        );
+        match cols.col(0).corner(Corner::Lb) {
+            PhysSlice::I64(v) => assert_eq!(v, &[1, 1]),
+            other => panic!("expected typed i64 lanes, got {other:?}"),
+        }
+        match cols.col(0).corner(Corner::Ub) {
+            PhysSlice::I64(v) => assert_eq!(v, &[1, 3]),
+            other => panic!("expected typed i64 lanes, got {other:?}"),
+        }
+        // The certainty bitmap tracks per-row pointness through promotion.
+        assert!(cols.col(0).certain_at(0));
+        assert!(!cols.col(0).certain_at(1));
         assert_eq!(cols.tuple(1), AuTuple::new([rv(1, 2, 3)]));
     }
 
@@ -620,6 +790,10 @@ mod tests {
             let mut expect = first.clone();
             expect.append(&mut second.clone());
             assert!(cols.to_rows().bag_eq(&expect));
+            for i in 0..cols.len() {
+                let want = cols.col(0).range_value(i).is_certain();
+                assert_eq!(cols.col(0).certain_at(i), want, "bitmap row {i}");
+            }
         }
     }
 
@@ -652,5 +826,44 @@ mod tests {
         let cols = rel.to_columns();
         assert!(cols.col(0).is_certain());
         assert!(cols.heap_bytes() < rel.heap_bytes());
+        // …and the typed i64 lanes undercut even the generic columnar
+        // layout (8 B/cell vs 16 B/cell enum slots).
+        assert!(cols.heap_bytes() < cols.to_generic().heap_bytes());
+        assert_eq!(cols.to_generic().to_rows().rows(), cols.to_rows().rows());
+    }
+
+    #[test]
+    fn mixed_type_column_falls_back_generic() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [
+                (AuTuple::new([RangeValue::certain(1i64)]), Mult3::ONE),
+                (
+                    AuTuple::new([RangeValue::certain(Value::str("x"))]),
+                    Mult3::ONE,
+                ),
+                (AuTuple::new([RangeValue::certain(Value::Null)]), Mult3::ONE),
+            ],
+        );
+        let cols = rel.to_columns();
+        assert_eq!(cols.col(0).phys_type(), PhysType::Generic);
+        assert_eq!(cols.to_rows().rows(), rel.rows());
+    }
+
+    #[test]
+    fn string_columns_dictionary_encode() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["s"]),
+            (0..60).map(|i| {
+                (
+                    AuTuple::new([RangeValue::certain(Value::str(["lo", "hi", "mid"][i % 3]))]),
+                    Mult3::ONE,
+                )
+            }),
+        );
+        let cols = rel.to_columns();
+        assert_eq!(cols.col(0).phys_type(), PhysType::Str);
+        assert!(cols.heap_bytes() < cols.to_generic().heap_bytes());
+        assert_eq!(cols.to_rows().rows(), rel.rows());
     }
 }

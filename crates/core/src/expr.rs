@@ -5,12 +5,37 @@
 //! [`RangeValue`], and predicates to a [`TruthRange`]. For any deterministic
 //! tuple `t ⊑ t` the deterministic result `⟦e⟧_t` is guaranteed to lie
 //! within the range result `⟦e⟧_t` (paper Sec. 3.2).
+//!
+//! ## Two-tier vectorized evaluation
+//!
+//! The batch kernels (`eval_batch` / `truth_batch` / `eval_batch_at` /
+//! `eval_batch_column`) try a **typed fast path** first: when every
+//! attribute the expression touches has typed physical lanes
+//! ([`crate::physical`]) and every node is expressible over them, the
+//! whole expression lowers to monomorphic sweeps over `i64` / `f64` /
+//! dictionary-code slices — comparisons are branch-predictable primitive
+//! compares, bound arithmetic never constructs a [`Value`], and truth
+//! triples come straight off the lanes. Whenever *any* node cannot stay
+//! typed (a `Generic` column, a boolean literal, `Mul`'s four-corner
+//! extrema, `i64` overflow that the `Value` semantics would promote to
+//! float, a comparison of predicates), the expression falls back to the
+//! **generic path** — the historical `Vec<Value>`-sweeping kernels, which
+//! remain the semantics oracle. Typed ≡ generic parity is property-pinned
+//! in `tests/typed_columns.rs`; the exact `Value` semantics the typed
+//! loops must reproduce (NaN ordering, `-0.0`, int–float cross
+//! comparison) are [`audb_rel::cmp_float_float`] /
+//! [`audb_rel::cmp_int_float`].
 
 use crate::batch::AuBatch;
+use crate::columns::{AuColumn, AuColumns};
+use crate::physical::{CertBitmap, PhysSlice, PhysVec, StrPool};
 use crate::range_value::{RangeValue, TruthRange};
 use crate::sortkey::Corner;
 use crate::tuple::AuTuple;
-use audb_rel::{CmpOp, Value};
+use audb_rel::{cmp_float_float, cmp_int_float, CmpOp, Value};
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// An expression over range-annotated tuples.
 #[derive(Clone, Debug, PartialEq)]
@@ -103,11 +128,11 @@ impl RangeExpr {
     /// Evaluate the expression over every row of a columnar batch,
     /// producing one [`RangeValue`] per row (in row order).
     ///
-    /// This is the vectorized twin of [`RangeExpr::eval`]: each operator
-    /// node sweeps whole column slices (attribute references borrow the
-    /// batch's bound vectors zero-copy; comparisons compare `&Value`s
-    /// without cloning a single value). Row/columnar parity is pinned by
-    /// property tests in `tests/columnar_roundtrip.rs`.
+    /// This is the vectorized twin of [`RangeExpr::eval`]: typed lanes
+    /// evaluate monomorphically, everything else sweeps whole column
+    /// slices of `Value`s (see the module docs). Row/columnar parity is
+    /// pinned by property tests in `tests/columnar_roundtrip.rs` and
+    /// `tests/typed_columns.rs`.
     pub fn eval_batch(&self, b: &AuBatch<'_>) -> Vec<RangeValue> {
         self.eval_batch_sel(b, Sel::All(b.len()))
     }
@@ -122,6 +147,9 @@ impl RangeExpr {
 
     fn eval_batch_sel(&self, b: &AuBatch<'_>, sel: Sel<'_>) -> Vec<RangeValue> {
         let n = sel.count();
+        if let Some(tv) = self.eval_typed(b, sel) {
+            return tv.into_range_values(n, sel);
+        }
         match self.eval_cols(b, sel) {
             cv @ ColVals::Slices { .. } => (0..n).map(|k| cv.rv(k, sel)).collect(),
             ColVals::Owned(vals) => vals,
@@ -134,9 +162,13 @@ impl RangeExpr {
     /// columnar batch, producing one [`TruthRange`] per row (in row
     /// order). Predicate roots (comparisons, boolean connectives) stay in
     /// truth-triple form end to end — no boolean is ever boxed into a
-    /// [`Value`].
+    /// [`Value`] — and comparisons over typed lanes are monomorphic
+    /// primitive sweeps.
     pub fn truth_batch(&self, b: &AuBatch<'_>) -> Vec<TruthRange> {
         let sel = Sel::All(b.len());
+        if let Some(tv) = self.eval_typed(b, sel) {
+            return tv.into_truth_vec(sel.count(), sel);
+        }
         self.eval_cols(b, sel).into_truths(sel)
     }
 
@@ -146,18 +178,207 @@ impl RangeExpr {
     /// another selection, so already-dropped rows are never re-evaluated.
     pub fn truth_batch_at(&self, b: &AuBatch<'_>, idxs: &[usize]) -> Vec<TruthRange> {
         let sel = Sel::At(idxs);
+        if let Some(tv) = self.eval_typed(b, sel) {
+            return tv.into_truth_vec(sel.count(), sel);
+        }
         self.eval_cols(b, sel).into_truths(sel)
     }
 
-    /// Vectorized evaluation core: one [`ColVals`] per node, computed by
-    /// sweeping the children's column forms over the selected rows.
+    /// Evaluate a computed projection straight into an output
+    /// [`AuColumn`] for the rows at `idxs`: the typed path builds typed
+    /// lanes (and the certainty bitmap) directly — no [`RangeValue`] is
+    /// ever materialized between the kernel and the output column — and
+    /// the fallback routes through [`AuColumns::column_from_values`].
+    /// Collapses to the certain fast path exactly when every produced
+    /// cell is a point, matching the fallback's rule.
+    pub fn eval_batch_column(&self, b: &AuBatch<'_>, idxs: &[usize]) -> AuColumn {
+        let sel = Sel::At(idxs);
+        if let Some(tv) = self.eval_typed(b, sel) {
+            return tv.into_column(idxs.len(), sel);
+        }
+        AuColumns::column_from_values(self.eval_batch_at(b, idxs))
+    }
+
+    /// Typed evaluation core: `Some` iff this node (and its whole
+    /// subtree) is expressible over typed physical lanes; `None` sends
+    /// the **entire expression** down the generic path, so a partially
+    /// typed tree never mixes semantics mid-expression.
+    fn eval_typed<'a>(&'a self, b: &AuBatch<'a>, sel: Sel<'_>) -> Option<TypedVals<'a>> {
+        let n = sel.count();
+        match self {
+            RangeExpr::Col(i) => match (
+                b.corner(*i, Corner::Lb),
+                b.corner(*i, Corner::Sg),
+                b.corner(*i, Corner::Ub),
+            ) {
+                (PhysSlice::I64(l), PhysSlice::I64(s), PhysSlice::I64(u)) => {
+                    Some(TypedVals::I64(TriLanes {
+                        lb: Lane::Slice(l),
+                        sg: Lane::Slice(s),
+                        ub: Lane::Slice(u),
+                    }))
+                }
+                (PhysSlice::F64(l), PhysSlice::F64(s), PhysSlice::F64(u)) => {
+                    Some(TypedVals::F64(TriLanes {
+                        lb: Lane::Slice(l),
+                        sg: Lane::Slice(s),
+                        ub: Lane::Slice(u),
+                    }))
+                }
+                (
+                    PhysSlice::Str {
+                        codes: lc,
+                        pool: lp,
+                    },
+                    PhysSlice::Str {
+                        codes: sc,
+                        pool: sp,
+                    },
+                    PhysSlice::Str {
+                        codes: uc,
+                        pool: up,
+                    },
+                ) => Some(TypedVals::Str(TriStr {
+                    lb: StrLane::Dict {
+                        codes: lc,
+                        pool: lp,
+                    },
+                    sg: StrLane::Dict {
+                        codes: sc,
+                        pool: sp,
+                    },
+                    ub: StrLane::Dict {
+                        codes: uc,
+                        pool: up,
+                    },
+                })),
+                // A Generic lane — or a ranged column whose three bounds
+                // landed in different layouts — goes generic.
+                _ => None,
+            },
+            RangeExpr::Lit(v) => match (&v.lb, &v.sg, &v.ub) {
+                (Value::Int(l), Value::Int(s), Value::Int(u)) => Some(TypedVals::I64(TriLanes {
+                    lb: Lane::Const(*l),
+                    sg: Lane::Const(*s),
+                    ub: Lane::Const(*u),
+                })),
+                (Value::Float(l), Value::Float(s), Value::Float(u)) => {
+                    Some(TypedVals::F64(TriLanes {
+                        lb: Lane::Const(*l),
+                        sg: Lane::Const(*s),
+                        ub: Lane::Const(*u),
+                    }))
+                }
+                (Value::Str(l), Value::Str(s), Value::Str(u)) => Some(TypedVals::Str(TriStr {
+                    lb: StrLane::Const(l),
+                    sg: StrLane::Const(s),
+                    ub: StrLane::Const(u),
+                })),
+                _ => None,
+            },
+            // Addition and subtraction: i64 lanes use checked arithmetic —
+            // an overflow is exactly the case where the Value semantics
+            // promote that element to float, so the whole node bails to
+            // the generic path. Mixed i64/f64 promotes unconditionally via
+            // `as f64`, precisely what `numeric_binop` does for a genuine
+            // Int-class/Float-class pair.
+            RangeExpr::Add(x, y) => {
+                let a = x.eval_typed(b, sel)?;
+                let c = y.eval_typed(b, sel)?;
+                match (a, c) {
+                    (TypedVals::I64(p), TypedVals::I64(q)) => Some(TypedVals::I64(TriLanes {
+                        lb: zip_lanes(n, sel, &p.lb, &q.lb, i64::checked_add)?,
+                        sg: zip_lanes(n, sel, &p.sg, &q.sg, i64::checked_add)?,
+                        ub: zip_lanes(n, sel, &p.ub, &q.ub, i64::checked_add)?,
+                    })),
+                    (p, q) => {
+                        let p = tri_to_f64(p, n, sel)?;
+                        let q = tri_to_f64(q, n, sel)?;
+                        Some(TypedVals::F64(TriLanes {
+                            lb: zip_lanes(n, sel, &p.lb, &q.lb, |s, t| Some(s + t))?,
+                            sg: zip_lanes(n, sel, &p.sg, &q.sg, |s, t| Some(s + t))?,
+                            ub: zip_lanes(n, sel, &p.ub, &q.ub, |s, t| Some(s + t))?,
+                        }))
+                    }
+                }
+            }
+            // Subtraction is antitone in its right argument (mirrors
+            // RangeValue::sub): lb = a↓ − c↑, ub = a↑ − c↓.
+            RangeExpr::Sub(x, y) => {
+                let a = x.eval_typed(b, sel)?;
+                let c = y.eval_typed(b, sel)?;
+                match (a, c) {
+                    (TypedVals::I64(p), TypedVals::I64(q)) => Some(TypedVals::I64(TriLanes {
+                        lb: zip_lanes(n, sel, &p.lb, &q.ub, i64::checked_sub)?,
+                        sg: zip_lanes(n, sel, &p.sg, &q.sg, i64::checked_sub)?,
+                        ub: zip_lanes(n, sel, &p.ub, &q.lb, i64::checked_sub)?,
+                    })),
+                    (p, q) => {
+                        let p = tri_to_f64(p, n, sel)?;
+                        let q = tri_to_f64(q, n, sel)?;
+                        Some(TypedVals::F64(TriLanes {
+                            lb: zip_lanes(n, sel, &p.lb, &q.ub, |s, t| Some(s - t))?,
+                            sg: zip_lanes(n, sel, &p.sg, &q.sg, |s, t| Some(s - t))?,
+                            ub: zip_lanes(n, sel, &p.ub, &q.lb, |s, t| Some(s - t))?,
+                        }))
+                    }
+                }
+            }
+            // Four-corner extrema over mixed-sign ranges: rare enough on
+            // hot paths that it stays generic.
+            RangeExpr::Mul(..) => None,
+            RangeExpr::Neg(x) => match x.eval_typed(b, sel)? {
+                // Value::neg is wrapping for ints; negation swaps bounds.
+                TypedVals::I64(p) => Some(TypedVals::I64(TriLanes {
+                    lb: map_lane(&p.ub, n, sel, i64::wrapping_neg),
+                    sg: map_lane(&p.sg, n, sel, i64::wrapping_neg),
+                    ub: map_lane(&p.lb, n, sel, i64::wrapping_neg),
+                })),
+                TypedVals::F64(p) => Some(TypedVals::F64(TriLanes {
+                    lb: map_lane(&p.ub, n, sel, |v| -v),
+                    sg: map_lane(&p.sg, n, sel, |v| -v),
+                    ub: map_lane(&p.lb, n, sel, |v| -v),
+                })),
+                _ => None,
+            },
+            RangeExpr::Cmp(op, x, y) => {
+                let a = x.eval_typed(b, sel)?;
+                let c = y.eval_typed(b, sel)?;
+                cmp_typed(*op, a, c, n, sel).map(TypedVals::Truths)
+            }
+            RangeExpr::And(x, y) => {
+                let a = x.eval_typed(b, sel)?.into_truth_vec(n, sel);
+                let c = y.eval_typed(b, sel)?.into_truth_vec(n, sel);
+                Some(TypedVals::Truths(
+                    a.into_iter().zip(c).map(|(s, t)| s.and(t)).collect(),
+                ))
+            }
+            RangeExpr::Or(x, y) => {
+                let a = x.eval_typed(b, sel)?.into_truth_vec(n, sel);
+                let c = y.eval_typed(b, sel)?.into_truth_vec(n, sel);
+                Some(TypedVals::Truths(
+                    a.into_iter().zip(c).map(|(s, t)| s.or(t)).collect(),
+                ))
+            }
+            RangeExpr::Not(x) => {
+                let a = x.eval_typed(b, sel)?.into_truth_vec(n, sel);
+                Some(TypedVals::Truths(
+                    a.into_iter().map(TruthRange::not).collect(),
+                ))
+            }
+        }
+    }
+
+    /// Vectorized evaluation core of the generic fallback: one
+    /// [`ColVals`] per node, computed by sweeping the children's column
+    /// forms over the selected rows.
     fn eval_cols<'a>(&'a self, b: &AuBatch<'a>, sel: Sel<'_>) -> ColVals<'a> {
         let n = sel.count();
         match self {
             RangeExpr::Col(i) => ColVals::Slices {
-                lb: b.corner(*i, Corner::Lb),
-                sg: b.corner(*i, Corner::Sg),
-                ub: b.corner(*i, Corner::Ub),
+                lb: b.corner(*i, Corner::Lb).to_values(),
+                sg: b.corner(*i, Corner::Sg).to_values(),
+                ub: b.corner(*i, Corner::Ub).to_values(),
             },
             RangeExpr::Lit(v) => ColVals::Const(v.clone()),
             // Addition and subtraction sweep per corner with `&Value`
@@ -251,16 +472,450 @@ impl Sel<'_> {
     }
 }
 
-/// The column-level value of one expression node over a batch: borrowed
-/// bound slices for attribute references (zero-copy), owned range values
-/// for computed nodes, truth triples for predicate nodes, and a broadcast
-/// constant for literals.
+/// One bound vector of a typed node: a borrowed physical lane
+/// (batch-absolute, indexed through [`Sel::abs`]), an owned computed lane
+/// (selection-aligned), or a broadcast literal corner.
+enum Lane<'a, T: Copy> {
+    Slice(&'a [T]),
+    Owned(Vec<T>),
+    Const(T),
+}
+
+impl<T: Copy> Lane<'_, T> {
+    #[inline]
+    fn at(&self, k: usize, sel: Sel<'_>) -> T {
+        match self {
+            Lane::Slice(s) => s[sel.abs(k)],
+            Lane::Owned(v) => v[k],
+            Lane::Const(c) => *c,
+        }
+    }
+}
+
+/// Three bound lanes of a numeric typed node.
+struct TriLanes<'a, T: Copy> {
+    lb: Lane<'a, T>,
+    sg: Lane<'a, T>,
+    ub: Lane<'a, T>,
+}
+
+/// One bound vector of a string-typed node: dictionary codes into an
+/// interned pool, or a broadcast literal. (No operator *computes* new
+/// strings, so there is no owned lane.)
+enum StrLane<'a> {
+    Dict { codes: &'a [u32], pool: &'a StrPool },
+    Const(&'a Arc<str>),
+}
+
+impl<'a> StrLane<'a> {
+    #[inline]
+    fn at(&self, k: usize, sel: Sel<'_>) -> &'a str {
+        match self {
+            StrLane::Dict { codes, pool } => pool.get(codes[sel.abs(k)]),
+            StrLane::Const(s) => s,
+        }
+    }
+
+    fn arc_at(&self, k: usize, sel: Sel<'_>) -> Arc<str> {
+        match self {
+            StrLane::Dict { codes, pool } => pool.arc(codes[sel.abs(k)]).clone(),
+            StrLane::Const(s) => Arc::clone(s),
+        }
+    }
+}
+
+/// Three bound lanes of a string-typed node.
+struct TriStr<'a> {
+    lb: StrLane<'a>,
+    sg: StrLane<'a>,
+    ub: StrLane<'a>,
+}
+
+/// The typed column-level value of one expression node over a batch.
+enum TypedVals<'a> {
+    I64(TriLanes<'a, i64>),
+    F64(TriLanes<'a, f64>),
+    Str(TriStr<'a>),
+    /// Predicate node: per-row truth triples.
+    Truths(Vec<TruthRange>),
+}
+
+impl TypedVals<'_> {
+    /// This node as per-row truth triples: predicate nodes pass through;
+    /// numeric and string lanes are never `Bool(true)`, so their
+    /// truth-lowering (`Value::is_true` per corner) is constant `false`.
+    fn into_truth_vec(self, n: usize, _sel: Sel<'_>) -> Vec<TruthRange> {
+        match self {
+            TypedVals::Truths(ts) => ts,
+            _ => vec![TruthRange::FALSE; n],
+        }
+    }
+
+    /// Materialize per-row [`RangeValue`]s (the root of `eval_batch` on
+    /// the typed path — the only place the typed kernels box a `Value`).
+    fn into_range_values(self, n: usize, sel: Sel<'_>) -> Vec<RangeValue> {
+        match self {
+            TypedVals::I64(t) => (0..n)
+                .map(|k| RangeValue {
+                    lb: Value::Int(t.lb.at(k, sel)),
+                    sg: Value::Int(t.sg.at(k, sel)),
+                    ub: Value::Int(t.ub.at(k, sel)),
+                })
+                .collect(),
+            TypedVals::F64(t) => (0..n)
+                .map(|k| RangeValue {
+                    lb: Value::Float(t.lb.at(k, sel)),
+                    sg: Value::Float(t.sg.at(k, sel)),
+                    ub: Value::Float(t.ub.at(k, sel)),
+                })
+                .collect(),
+            TypedVals::Str(t) => (0..n)
+                .map(|k| RangeValue {
+                    lb: Value::Str(t.lb.arc_at(k, sel)),
+                    sg: Value::Str(t.sg.arc_at(k, sel)),
+                    ub: Value::Str(t.ub.arc_at(k, sel)),
+                })
+                .collect(),
+            TypedVals::Truths(ts) => ts.into_iter().map(truth_to_range).collect(),
+        }
+    }
+
+    /// Build the output [`AuColumn`] of a computed projection directly
+    /// from the typed lanes, with the certainty bitmap computed in the
+    /// same sweep. Per-row certainty uses the type's `Value`-equality
+    /// (`cmp_float_float == Equal` for floats — NaN ≡ NaN, `-0.0 ≡ 0.0`),
+    /// so the certain-collapse decision matches
+    /// [`AuColumns::column_from_values`] exactly.
+    fn into_column(self, n: usize, sel: Sel<'_>) -> AuColumn {
+        match self {
+            TypedVals::I64(t) => tri_column(n, sel, &t, |a, b| a == b, PhysVec::I64),
+            TypedVals::F64(t) => tri_column(
+                n,
+                sel,
+                &t,
+                |a, b| cmp_float_float(a, b) == Ordering::Equal,
+                PhysVec::F64,
+            ),
+            TypedVals::Str(t) => {
+                let mut lp = StrPool::new();
+                let mut sp = StrPool::new();
+                let mut up = StrPool::new();
+                let mut lc = Vec::with_capacity(n);
+                let mut sc = Vec::with_capacity(n);
+                let mut uc = Vec::with_capacity(n);
+                let mut certain = CertBitmap::new();
+                let mut all = true;
+                for k in 0..n {
+                    let (l, s, u) = (
+                        t.lb.arc_at(k, sel),
+                        t.sg.arc_at(k, sel),
+                        t.ub.arc_at(k, sel),
+                    );
+                    let c = l == s && s == u;
+                    all &= c;
+                    certain.push(c);
+                    lc.push(lp.intern(&l));
+                    sc.push(sp.intern(&s));
+                    uc.push(up.intern(&u));
+                }
+                if all {
+                    AuColumn::Certain(PhysVec::Str {
+                        codes: sc,
+                        pool: sp,
+                    })
+                } else {
+                    AuColumn::Ranged {
+                        lb: PhysVec::Str {
+                            codes: lc,
+                            pool: lp,
+                        },
+                        sg: PhysVec::Str {
+                            codes: sc,
+                            pool: sp,
+                        },
+                        ub: PhysVec::Str {
+                            codes: uc,
+                            pool: up,
+                        },
+                        certain,
+                    }
+                }
+            }
+            TypedVals::Truths(ts) => {
+                AuColumns::column_from_values(ts.into_iter().map(truth_to_range).collect())
+            }
+        }
+    }
+}
+
+/// Sweep three bound lanes into an output column, collapsing to the
+/// certain representation when every row is a point under `eq`.
+fn tri_column<T: Copy>(
+    n: usize,
+    sel: Sel<'_>,
+    t: &TriLanes<'_, T>,
+    eq: impl Fn(T, T) -> bool,
+    mk: impl Fn(Vec<T>) -> PhysVec,
+) -> AuColumn {
+    let mut lb = Vec::with_capacity(n);
+    let mut sg = Vec::with_capacity(n);
+    let mut ub = Vec::with_capacity(n);
+    let mut certain = CertBitmap::new();
+    let mut all = true;
+    for k in 0..n {
+        let (l, s, u) = (t.lb.at(k, sel), t.sg.at(k, sel), t.ub.at(k, sel));
+        let c = eq(l, s) && eq(s, u);
+        all &= c;
+        certain.push(c);
+        lb.push(l);
+        sg.push(s);
+        ub.push(u);
+    }
+    if all {
+        AuColumn::Certain(mk(sg))
+    } else {
+        AuColumn::Ranged {
+            lb: mk(lb),
+            sg: mk(sg),
+            ub: mk(ub),
+            certain,
+        }
+    }
+}
+
+/// Zip two lanes element-wise; `None` from `f` (i64 overflow) aborts the
+/// typed path for the whole expression.
+fn zip_lanes<T: Copy>(
+    n: usize,
+    sel: Sel<'_>,
+    a: &Lane<'_, T>,
+    b: &Lane<'_, T>,
+    f: impl Fn(T, T) -> Option<T>,
+) -> Option<Lane<'static, T>> {
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        out.push(f(a.at(k, sel), b.at(k, sel))?);
+    }
+    Some(Lane::Owned(out))
+}
+
+/// Map a lane element-wise (constants stay constants).
+fn map_lane<T: Copy, U: Copy>(
+    lane: &Lane<'_, T>,
+    n: usize,
+    sel: Sel<'_>,
+    f: impl Fn(T) -> U,
+) -> Lane<'static, U> {
+    match lane {
+        Lane::Const(c) => Lane::Const(f(*c)),
+        l => Lane::Owned((0..n).map(|k| f(l.at(k, sel))).collect()),
+    }
+}
+
+/// Promote a numeric node to `f64` lanes for mixed arithmetic — the
+/// unconditional `as f64` promotion `numeric_binop` applies to a genuine
+/// Int/Float pair.
+fn tri_to_f64<'a>(t: TypedVals<'a>, n: usize, sel: Sel<'_>) -> Option<TriLanes<'a, f64>> {
+    match t {
+        TypedVals::F64(x) => Some(x),
+        TypedVals::I64(x) => Some(TriLanes {
+            lb: map_lane(&x.lb, n, sel, |v| v as f64),
+            sg: map_lane(&x.sg, n, sel, |v| v as f64),
+            ub: map_lane(&x.ub, n, sel, |v| v as f64),
+        }),
+        _ => None,
+    }
+}
+
+/// Corner access shared by numeric and string typed triples, so the
+/// comparison kernel is written once and monomorphized per lane-type
+/// pair.
+trait TriView {
+    type Item: Copy;
+    fn lb_at(&self, k: usize, sel: Sel<'_>) -> Self::Item;
+    fn sg_at(&self, k: usize, sel: Sel<'_>) -> Self::Item;
+    fn ub_at(&self, k: usize, sel: Sel<'_>) -> Self::Item;
+}
+
+impl<T: Copy> TriView for TriLanes<'_, T> {
+    type Item = T;
+    #[inline]
+    fn lb_at(&self, k: usize, sel: Sel<'_>) -> T {
+        self.lb.at(k, sel)
+    }
+    #[inline]
+    fn sg_at(&self, k: usize, sel: Sel<'_>) -> T {
+        self.sg.at(k, sel)
+    }
+    #[inline]
+    fn ub_at(&self, k: usize, sel: Sel<'_>) -> T {
+        self.ub.at(k, sel)
+    }
+}
+
+impl<'a> TriView for TriStr<'a> {
+    type Item = &'a str;
+    #[inline]
+    fn lb_at(&self, k: usize, sel: Sel<'_>) -> &'a str {
+        self.lb.at(k, sel)
+    }
+    #[inline]
+    fn sg_at(&self, k: usize, sel: Sel<'_>) -> &'a str {
+        self.sg.at(k, sel)
+    }
+    #[inline]
+    fn ub_at(&self, k: usize, sel: Sel<'_>) -> &'a str {
+        self.ub.at(k, sel)
+    }
+}
+
+/// Typed comparison dispatch: canonicalizes `Gt`/`Ge` by swapping sides,
+/// then monomorphizes the truth-triple sweep per physical pair. `None`
+/// for pairs the typed layer does not cover (cross-class like
+/// string-vs-number, or comparisons of predicates).
+fn cmp_typed(
+    op: CmpOp,
+    a: TypedVals<'_>,
+    c: TypedVals<'_>,
+    n: usize,
+    sel: Sel<'_>,
+) -> Option<Vec<TruthRange>> {
+    let eq_f = |p: f64, q: f64| cmp_float_float(p, q) == Ordering::Equal;
+    let (op, a, c) = match op {
+        CmpOp::Gt => (CmpOp::Lt, c, a),
+        CmpOp::Ge => (CmpOp::Le, c, a),
+        op => (op, a, c),
+    };
+    Some(match (&a, &c) {
+        (TypedVals::I64(x), TypedVals::I64(y)) => cmp_lanes(
+            op,
+            n,
+            sel,
+            x,
+            y,
+            |p, q| p < q,
+            |p, q| p <= q,
+            |p, q| p == q,
+            |p, q| p == q,
+            |p, q| p == q,
+        ),
+        (TypedVals::F64(x), TypedVals::F64(y)) => cmp_lanes(
+            op,
+            n,
+            sel,
+            x,
+            y,
+            |p, q| cmp_float_float(p, q) == Ordering::Less,
+            |p, q| cmp_float_float(p, q) != Ordering::Greater,
+            eq_f,
+            eq_f,
+            eq_f,
+        ),
+        (TypedVals::I64(x), TypedVals::F64(y)) => cmp_lanes(
+            op,
+            n,
+            sel,
+            x,
+            y,
+            |p, q| cmp_int_float(p, q) == Ordering::Less,
+            |p, q| cmp_int_float(p, q) != Ordering::Greater,
+            |p, q| cmp_int_float(p, q) == Ordering::Equal,
+            |p, q| p == q,
+            eq_f,
+        ),
+        (TypedVals::F64(x), TypedVals::I64(y)) => cmp_lanes(
+            op,
+            n,
+            sel,
+            x,
+            y,
+            |p, q| cmp_int_float(q, p) == Ordering::Greater,
+            |p, q| cmp_int_float(q, p) != Ordering::Less,
+            |p, q| cmp_int_float(q, p) == Ordering::Equal,
+            eq_f,
+            |p, q| p == q,
+        ),
+        (TypedVals::Str(x), TypedVals::Str(y)) => cmp_lanes(
+            op,
+            n,
+            sel,
+            x,
+            y,
+            |p, q| p < q,
+            |p, q| p <= q,
+            |p, q| p == q,
+            |p, q| p == q,
+            |p, q| p == q,
+        ),
+        _ => return None,
+    })
+}
+
+/// The monomorphic truth-triple sweep (mirrors [`cmp_at`] /
+/// `RangeValue::{lt, le, eq_range}`): `Gt`/`Ge` must be canonicalized
+/// away by the caller. The `eq` upper bound uses the total order:
+/// `y↓ ≤ x↑ ⇔ ¬(x↑ < y↓)`.
+#[allow(clippy::too_many_arguments)]
+fn cmp_lanes<X: TriView, Y: TriView>(
+    op: CmpOp,
+    n: usize,
+    sel: Sel<'_>,
+    x: &X,
+    y: &Y,
+    lt: impl Fn(X::Item, Y::Item) -> bool,
+    le: impl Fn(X::Item, Y::Item) -> bool,
+    eq: impl Fn(X::Item, Y::Item) -> bool,
+    eq_x: impl Fn(X::Item, X::Item) -> bool,
+    eq_y: impl Fn(Y::Item, Y::Item) -> bool,
+) -> Vec<TruthRange> {
+    match op {
+        CmpOp::Lt => (0..n)
+            .map(|k| TruthRange {
+                lb: lt(x.ub_at(k, sel), y.lb_at(k, sel)),
+                sg: lt(x.sg_at(k, sel), y.sg_at(k, sel)),
+                ub: lt(x.lb_at(k, sel), y.ub_at(k, sel)),
+            })
+            .collect(),
+        CmpOp::Le => (0..n)
+            .map(|k| TruthRange {
+                lb: le(x.ub_at(k, sel), y.lb_at(k, sel)),
+                sg: le(x.sg_at(k, sel), y.sg_at(k, sel)),
+                ub: le(x.lb_at(k, sel), y.ub_at(k, sel)),
+            })
+            .collect(),
+        CmpOp::Eq | CmpOp::Ne => {
+            let ts = (0..n).map(|k| {
+                let (xl, xs, xu) = (x.lb_at(k, sel), x.sg_at(k, sel), x.ub_at(k, sel));
+                let (yl, ys, yu) = (y.lb_at(k, sel), y.sg_at(k, sel), y.ub_at(k, sel));
+                let cx = eq_x(xl, xs) && eq_x(xs, xu);
+                let cy = eq_y(yl, ys) && eq_y(ys, yu);
+                TruthRange {
+                    lb: cx && cy && eq(xl, yl),
+                    sg: eq(xs, ys),
+                    ub: le(xl, yu) && !lt(xu, yl),
+                }
+            });
+            if op == CmpOp::Ne {
+                ts.map(TruthRange::not).collect()
+            } else {
+                ts.collect()
+            }
+        }
+        CmpOp::Gt | CmpOp::Ge => unreachable!("canonicalized to Lt/Le before dispatch"),
+    }
+}
+
+/// The column-level value of one expression node over a batch: bound
+/// slices for attribute references (zero-copy when the lane is already
+/// `Vec<Value>`-backed, materialized once per node for typed lanes that
+/// fell back), owned range values for computed nodes, truth triples for
+/// predicate nodes, and a broadcast constant for literals.
 enum ColVals<'a> {
-    /// Borrowed bound slices (a certain column repeats one slice).
+    /// Bound slices (a certain column repeats one slice).
     Slices {
-        lb: &'a [Value],
-        sg: &'a [Value],
-        ub: &'a [Value],
+        lb: Cow<'a, [Value]>,
+        sg: Cow<'a, [Value]>,
+        ub: Cow<'a, [Value]>,
     },
     /// Computed per-row range values.
     Owned(Vec<RangeValue>),
@@ -393,7 +1048,9 @@ fn eval_cmp(op: CmpOp, a: &RangeValue, b: &RangeValue) -> TruthRange {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use audb_rel::Tuple;
+    use crate::mult::Mult3;
+    use crate::relation::AuRelation;
+    use audb_rel::{Schema, Tuple};
 
     fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
         RangeValue::new(lb, sg, ub)
@@ -437,5 +1094,110 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Typed kernels agree with the per-row oracle on awkward floats:
+    /// NaN sorts above everything and equals itself; `-0.0 ≡ 0.0`.
+    #[test]
+    fn typed_float_kernels_handle_nan_and_negzero() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            [
+                (
+                    AuTuple::new([
+                        RangeValue::certain(Value::Float(f64::NAN)),
+                        RangeValue::certain(Value::Float(1.0)),
+                    ]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([
+                        RangeValue::certain(Value::Float(-0.0)),
+                        RangeValue::certain(Value::Float(0.0)),
+                    ]),
+                    Mult3::ONE,
+                ),
+                (
+                    AuTuple::new([
+                        RangeValue::new(Value::Float(0.5), Value::Float(1.0), Value::Float(2.0)),
+                        RangeValue::certain(Value::Float(1.0)),
+                    ]),
+                    Mult3::ONE,
+                ),
+            ],
+        );
+        let cols = rel.to_columns();
+        assert!(!cols.col(0).is_certain());
+        let b = cols.as_batch();
+        for e in [
+            RangeExpr::col(0).lt(RangeExpr::col(1)),
+            RangeExpr::col(0).le(RangeExpr::col(1)),
+            RangeExpr::col(0).eq(RangeExpr::col(1)),
+            RangeExpr::col(0).cmp(CmpOp::Gt, RangeExpr::col(1)),
+            RangeExpr::col(0).cmp(CmpOp::Ne, RangeExpr::col(1)),
+        ] {
+            let truths = e.truth_batch(&b);
+            for (i, row) in rel.rows().iter().enumerate() {
+                assert_eq!(truths[i], e.truth(&row.tuple), "{e:?} row {i}");
+            }
+        }
+    }
+
+    /// `eval_batch_column` produces the same logical column as the
+    /// generic materialization, including the certain collapse, for
+    /// typed and fallback expressions alike.
+    #[test]
+    fn eval_batch_column_matches_generic_materialization() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            (0..8).map(|i| {
+                (
+                    AuTuple::new([
+                        RangeValue::certain(i as i64),
+                        RangeValue::new(i as i64, i as i64 + 1, i as i64 + 2),
+                    ]),
+                    Mult3::ONE,
+                )
+            }),
+        );
+        let cols = rel.to_columns();
+        let b = cols.as_batch();
+        let idxs: Vec<usize> = (0..8).step_by(2).collect();
+        for e in [
+            RangeExpr::col(0),
+            RangeExpr::col(1),
+            RangeExpr::Add(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::col(1))),
+            RangeExpr::Mul(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::col(1))),
+            RangeExpr::col(0).lt(RangeExpr::col(1)),
+        ] {
+            let typed = e.eval_batch_column(&b, &idxs);
+            let generic = AuColumns::column_from_values(e.eval_batch_at(&b, &idxs));
+            assert_eq!(typed.is_certain(), generic.is_certain(), "{e:?}");
+            for k in 0..idxs.len() {
+                assert_eq!(typed.range_value(k), generic.range_value(k), "{e:?} @ {k}");
+            }
+        }
+    }
+
+    /// i64 overflow falls back to the generic path, which promotes the
+    /// overflowing element to float — exactly what per-row eval does.
+    #[test]
+    fn overflow_falls_back_to_value_semantics() {
+        let rel = AuRelation::from_rows(
+            Schema::new(["a"]),
+            [
+                (AuTuple::new([RangeValue::certain(i64::MAX)]), Mult3::ONE),
+                (AuTuple::new([RangeValue::certain(1i64)]), Mult3::ONE),
+            ],
+        );
+        let cols = rel.to_columns();
+        let b = cols.as_batch();
+        let e = RangeExpr::Add(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::lit(1)));
+        let vals = e.eval_batch(&b);
+        for (i, row) in rel.rows().iter().enumerate() {
+            assert_eq!(vals[i], e.eval(&row.tuple), "row {i}");
+        }
+        assert_eq!(vals[0].sg, Value::Float(i64::MAX as f64 + 1.0));
+        assert_eq!(vals[1].sg, Value::Int(2));
     }
 }

@@ -49,6 +49,7 @@ pub mod encode;
 pub mod expr;
 pub mod mult;
 pub mod ops;
+pub mod physical;
 pub mod pos;
 pub mod range_value;
 pub mod relation;
@@ -71,6 +72,7 @@ pub use ops::window::{
     WindowMembers,
 };
 pub use ops::window_range::{window_range_ref, AuRangeWindowSpec};
+pub use physical::{CertBitmap, PhysSlice, PhysType, PhysVec, StrPool};
 pub use pos::{all_pos_bounds, pos_bounds, PosBounds};
 pub use range_value::{RangeValue, TruthRange};
 pub use relation::{AuRelation, AuRow};

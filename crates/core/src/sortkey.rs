@@ -105,8 +105,12 @@ impl SortKey {
     /// The canonical whole-row keys of **every** row of a columnar
     /// relation, encoded straight from the column slices in corner-major
     /// sweeps (each bound vector is walked contiguously; no per-row tuple
-    /// is ever materialized). Key `i` equals
-    /// `SortKey::of_row(&cols.tuple(i))` byte for byte.
+    /// is ever materialized). Typed lanes encode monomorphically — `i64`
+    /// and `f64` lanes never construct a `Value`, and dictionary lanes
+    /// encode each distinct string **once per pool** and then copy bytes
+    /// per row. Key `i` equals `SortKey::of_row(&cols.tuple(i))` byte for
+    /// byte (Int→F64 lane admission is key-exact: an integer stored in an
+    /// `f64` lane has the same mono and residual bytes as its `Int` form).
     pub fn of_columns(cols: &crate::columns::AuColumns) -> Vec<SortKey> {
         let n = cols.len();
         let mut bufs: Vec<Vec<u8>> = (0..n)
@@ -114,9 +118,7 @@ impl SortKey {
             .collect();
         for corner in [Corner::Lb, Corner::Ub, Corner::Sg] {
             for c in 0..cols.arity() {
-                for (buf, v) in bufs.iter_mut().zip(cols.col(c).corner(corner)) {
-                    encode_value(v, buf);
-                }
+                encode_slice(cols.col(c).corner(corner), &mut bufs);
             }
         }
         bufs.into_iter().map(SortKey).collect()
@@ -155,29 +157,77 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
         Value::Null => out.push(TAG_NULL),
         Value::Bool(false) => out.push(TAG_FALSE),
         Value::Bool(true) => out.push(TAG_TRUE),
-        Value::Int(i) => {
-            out.push(TAG_NUM);
-            out.extend_from_slice(&mono_f64(*i as f64).to_be_bytes());
-            out.extend_from_slice(&flip_i64(*i).to_be_bytes());
+        Value::Int(i) => encode_i64(*i, out),
+        Value::Float(f) => encode_f64(*f, out),
+        Value::Str(s) => encode_str(s, out),
+    }
+}
+
+/// The `Int` arm of [`encode_value`], monomorphic.
+#[inline]
+fn encode_i64(i: i64, out: &mut Vec<u8>) {
+    out.push(TAG_NUM);
+    out.extend_from_slice(&mono_f64(i as f64).to_be_bytes());
+    out.extend_from_slice(&flip_i64(i).to_be_bytes());
+}
+
+/// The `Float` arm of [`encode_value`], monomorphic.
+#[inline]
+fn encode_f64(f: f64, out: &mut Vec<u8>) {
+    if f.is_nan() {
+        out.push(TAG_NAN);
+    } else {
+        out.push(TAG_NUM);
+        out.extend_from_slice(&mono_f64(f).to_be_bytes());
+        out.extend_from_slice(&float_residual(f).to_be_bytes());
+    }
+}
+
+/// The `Str` arm of [`encode_value`], monomorphic.
+#[inline]
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.push(TAG_STR);
+    for &b in s.as_bytes() {
+        out.push(b);
+        if b == 0 {
+            out.push(0xFF);
         }
-        Value::Float(f) => {
-            if f.is_nan() {
-                out.push(TAG_NAN);
-            } else {
-                out.push(TAG_NUM);
-                out.extend_from_slice(&mono_f64(*f).to_be_bytes());
-                out.extend_from_slice(&float_residual(*f).to_be_bytes());
+    }
+    out.extend_from_slice(&[0, 0]);
+}
+
+/// Append one column corner's encoding to every row buffer: a monomorphic
+/// sweep per physical layout. Dictionary lanes pre-encode each distinct
+/// string once and append bytes by code.
+fn encode_slice(slice: crate::physical::PhysSlice<'_>, bufs: &mut [Vec<u8>]) {
+    use crate::physical::PhysSlice;
+    match slice {
+        PhysSlice::I64(lane) => {
+            for (buf, &i) in bufs.iter_mut().zip(lane) {
+                encode_i64(i, buf);
             }
         }
-        Value::Str(s) => {
-            out.push(TAG_STR);
-            for &b in s.as_bytes() {
-                out.push(b);
-                if b == 0 {
-                    out.push(0xFF);
-                }
+        PhysSlice::F64(lane) => {
+            for (buf, &f) in bufs.iter_mut().zip(lane) {
+                encode_f64(f, buf);
             }
-            out.extend_from_slice(&[0, 0]);
+        }
+        PhysSlice::Str { codes, pool } => {
+            let encoded: Vec<Vec<u8>> = (0..pool.len())
+                .map(|c| {
+                    let mut b = Vec::new();
+                    encode_str(pool.get(c as u32), &mut b);
+                    b
+                })
+                .collect();
+            for (buf, &code) in bufs.iter_mut().zip(codes) {
+                buf.extend_from_slice(&encoded[code as usize]);
+            }
+        }
+        PhysSlice::Generic(vals) => {
+            for (buf, v) in bufs.iter_mut().zip(vals) {
+                encode_value(v, buf);
+            }
         }
     }
 }

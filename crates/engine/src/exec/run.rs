@@ -237,11 +237,10 @@ fn apply_fused(steps: &[(&Op, &Schema)], batch: &AuBatch<'_>) -> AuColumns {
                         .map(|(e, _)| match e {
                             // A bare column reference copies the column;
                             // computed expressions evaluate only the kept
-                            // rows and move the results into columnar form.
+                            // rows, straight into a typed output column
+                            // when the kernel stays monomorphic.
                             audb_core::RangeExpr::Col(c) => base.gather_col(*c, &keep),
-                            computed => {
-                                AuColumns::column_from_values(computed.eval_batch_at(&base, &keep))
-                            }
+                            computed => computed.eval_batch_column(&base, &keep),
                         })
                         .collect();
                     StepOut::Projected(AuColumns::from_cols((*out_schema).clone(), cols, &mults))

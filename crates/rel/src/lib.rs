@@ -41,4 +41,4 @@ pub use plan::LogicalPlan;
 pub use relation::{Relation, Row};
 pub use schema::Schema;
 pub use tuple::Tuple;
-pub use value::Value;
+pub use value::{cmp_float_float, cmp_int_float, Value};

@@ -175,7 +175,11 @@ fn numeric_binop(
 /// every non-NaN. Unlike `f64::total_cmp`, this is consistent with the
 /// numeric int–float comparison below (which cannot observe NaN payloads),
 /// keeping the whole `Value` order transitive.
-fn cmp_float_float(a: f64, b: f64) -> Ordering {
+///
+/// Public because the typed (monomorphic) column kernels in `audb-core`
+/// compare raw `f64` lanes and must reproduce `Value::cmp` bit for bit.
+#[inline]
+pub fn cmp_float_float(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
@@ -184,8 +188,10 @@ fn cmp_float_float(a: f64, b: f64) -> Ordering {
     }
 }
 
-/// Compare an `i64` against an `f64` numerically and totally.
-fn cmp_int_float(i: i64, f: f64) -> Ordering {
+/// Compare an `i64` against an `f64` numerically and totally (the other
+/// monomorphic mirror of `Value::cmp`, see [`cmp_float_float`]).
+#[inline]
+pub fn cmp_int_float(i: i64, f: f64) -> Ordering {
     if f.is_nan() {
         // NaN sorts after all numbers.
         return Ordering::Less;

@@ -18,6 +18,16 @@
 //! certain fast path when every cell turns out to be a point). The row
 //! representation is derived from it on demand.
 //!
+//! The loader also **infers each attribute's physical layout** from its
+//! cells (across all bound lanes jointly, so a ranged column's three
+//! lanes always share one layout): all-integer attributes load as `i64`
+//! lanes, all-string attributes dictionary-encode, and an attribute
+//! mixing integer and float cells promotes to `f64` — the load boundary
+//! is the *only* place an integer is ever rewritten as a float, and an
+//! integer beyond ±2⁵³ contradicts the inferred `f64` layout and is a
+//! spanned error rather than a silent rounding. Anything else (booleans,
+//! nulls, string/number mixes) falls back to generic `Value` storage.
+//!
 //! Invalid input is reported as an `io::Error` spanning the offending
 //! source location — ragged rows as `line N: ragged row …` (from
 //! [`audb_rel::read_csv_lines`], which tracks real file lines across
@@ -27,6 +37,7 @@
 //! programmatic [`Relation`] with no tracked source lines). Nothing
 //! panics and nothing is silently clamped.
 
+use audb_core::physical::{int_fits_f64, CertBitmap, PhysVec};
 use audb_core::{AuColumn, AuColumns, AuRelation, Mult3};
 use audb_rel::{read_csv_lines, Relation, Schema, Value};
 use std::fs::File;
@@ -95,10 +106,61 @@ fn bad_cell(loc: &str, span: &str, msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("{loc}, {span}: {msg}"))
 }
 
+/// True iff the cells span both integers and floats but nothing else —
+/// the one case where the loader promotes integers to `f64`
+/// ([`PhysVec::from_values`] itself never rewrites a value's class).
+fn mixed_numeric<'a>(vals: impl Iterator<Item = &'a Value>) -> bool {
+    let (mut int, mut float, mut other) = (false, false, false);
+    for v in vals {
+        match v {
+            Value::Int(_) => int = true,
+            Value::Float(_) => float = true,
+            _ => other = true,
+        }
+    }
+    int && float && !other
+}
+
+/// Materialize one bound lane under the inferred layout: a promoted lane
+/// builds its `f64` vector directly, erroring on any integer `f64`
+/// cannot represent exactly (a cell contradicting the inferred type);
+/// otherwise [`PhysVec::from_values`] picks the class-strict layout.
+fn load_lane(
+    vals: Vec<Value>,
+    promote: bool,
+    p: &ColPlan,
+    loc_of: &dyn Fn(usize) -> String,
+) -> io::Result<PhysVec> {
+    if !promote {
+        return Ok(PhysVec::from_values(vals));
+    }
+    let mut out = Vec::with_capacity(vals.len());
+    for (ri, v) in vals.iter().enumerate() {
+        out.push(match v {
+            Value::Float(f) => *f,
+            Value::Int(i) if int_fits_f64(*i) => *i as f64,
+            Value::Int(i) => {
+                let (a, b) = p.col_span();
+                return Err(bad_cell(
+                    &loc_of(ri),
+                    &format!("column {:?} (cols {a}\u{2013}{b})", p.name),
+                    format!(
+                        "column inferred as f64 (mixed int/float cells), \
+                         but integer {i} is not exactly representable"
+                    ),
+                ));
+            }
+            _ => unreachable!("promotion requires an all-numeric attribute"),
+        });
+    }
+    Ok(PhysVec::F64(out))
+}
+
 /// Build one output attribute column from its source columns, validating
-/// `lb ≤ sg ≤ ub` per cell. Bound-free attributes collapse to the certain
-/// fast path with zero per-cell checks; bounded attributes whose every
-/// cell is a point collapse after the sweep.
+/// `lb ≤ sg ≤ ub` per cell and inferring the physical layout from the
+/// cells (see the module docs). Bound-free attributes collapse to the
+/// certain fast path; bounded attributes whose every cell is a point
+/// collapse after the sweep.
 fn build_attr_column(
     rel: &Relation,
     p: &ColPlan,
@@ -106,13 +168,14 @@ fn build_attr_column(
 ) -> io::Result<AuColumn> {
     let rows = &rel.rows;
     if p.lb.is_none() && p.ub.is_none() {
-        return Ok(AuColumn::Certain(
-            rows.iter().map(|r| r.tuple.get(p.sg).clone()).collect(),
-        ));
+        let vals: Vec<Value> = rows.iter().map(|r| r.tuple.get(p.sg).clone()).collect();
+        let promote = mixed_numeric(vals.iter());
+        return Ok(AuColumn::Certain(load_lane(vals, promote, p, loc_of)?));
     }
     let mut lb: Vec<Value> = Vec::with_capacity(rows.len());
     let mut ub: Vec<Value> = Vec::with_capacity(rows.len());
     let mut sg: Vec<Value> = Vec::with_capacity(rows.len());
+    let mut certain = CertBitmap::new();
     let mut all_certain = true;
     for (ri, row) in rows.iter().enumerate() {
         let s = row.tuple.get(p.sg);
@@ -126,15 +189,25 @@ fn build_attr_column(
                 format!("lb \u{2264} sg \u{2264} ub violated: [{l} / {s} / {u}]"),
             ));
         }
-        all_certain = all_certain && l == u;
+        let point = l == u;
+        all_certain = all_certain && point;
+        certain.push(point);
         lb.push(l.clone());
         sg.push(s.clone());
         ub.push(u.clone());
     }
+    // The three bound lanes share one inferred class, so a ranged
+    // column's lanes always land in the same physical layout.
+    let promote = mixed_numeric(lb.iter().chain(sg.iter()).chain(ub.iter()));
     Ok(if all_certain {
-        AuColumn::Certain(sg)
+        AuColumn::Certain(load_lane(sg, promote, p, loc_of)?)
     } else {
-        AuColumn::Ranged { lb, sg, ub }
+        AuColumn::Ranged {
+            lb: load_lane(lb, promote, p, loc_of)?,
+            sg: load_lane(sg, promote, p, loc_of)?,
+            ub: load_lane(ub, promote, p, loc_of)?,
+            certain,
+        }
     })
 }
 
@@ -279,6 +352,58 @@ mod tests {
         let cols = read_au_csv_columns(csv.as_bytes()).unwrap();
         let rows = read_au_csv(csv.as_bytes()).unwrap();
         assert!(cols.to_rows().bag_eq(&rows));
+    }
+
+    #[test]
+    fn load_infers_typed_physical_layouts() {
+        use audb_core::PhysType;
+        // all-int → i64, any float among numerics → f64, all-string →
+        // dictionary, string/number mix → generic fallback.
+        let csv = "i,f,s,g\n1,1.5,x,1\n2,2,y,z\n";
+        let cols = read_au_csv_columns(csv.as_bytes()).unwrap();
+        assert_eq!(
+            cols.col_phys_types(),
+            vec![
+                PhysType::I64,
+                PhysType::F64,
+                PhysType::Str,
+                PhysType::Generic
+            ]
+        );
+        // A ranged attribute's lanes share one inferred layout: an
+        // all-int lb lane promotes along with its float sg lane.
+        let cols = read_au_csv_columns("a_lb,a\n1,1.5\n2,3.5\n".as_bytes()).unwrap();
+        assert!(!cols.col(0).is_certain());
+        assert_eq!(cols.col_phys_types(), vec![PhysType::F64]);
+    }
+
+    #[test]
+    fn mixed_numeric_promotes_with_representability_check() {
+        // The promoted integer reads back as a float — logically equal
+        // to the int under the Value order.
+        let cols = read_au_csv_columns("a\n1.5\n2\n".as_bytes()).unwrap();
+        let rows = cols.to_rows();
+        assert_eq!(
+            rows.rows()[1].tuple.get(0),
+            &RangeValue::certain(Value::Float(2.0))
+        );
+        assert_eq!(rows.rows()[1].tuple.get(0), &RangeValue::certain(2i64));
+        // An integer beyond ±2^53 contradicts the inferred f64 layout:
+        // spanned error, never a silent rounding.
+        let big = (1i64 << 53) + 1;
+        let e = read_au_csv(format!("a\n0.5\n{big}\n").as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+        assert!(
+            e.to_string().contains("column \"a\" (cols 1\u{2013}1)"),
+            "{e}"
+        );
+        assert!(e.to_string().contains("not exactly representable"), "{e}");
+        // The same int in an all-int column is fine — i64 lanes are exact.
+        let cols = read_au_csv_columns(format!("a\n1\n{big}\n").as_bytes()).unwrap();
+        assert_eq!(
+            cols.to_rows().rows()[1].tuple.get(0),
+            &RangeValue::certain(big)
+        );
     }
 
     #[test]

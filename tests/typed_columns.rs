@@ -1,0 +1,272 @@
+//! Property tests pinning the typed physical layer (PR 6) to the generic
+//! `Value` path it accelerates. The oracle is [`AuColumns::to_generic`]:
+//! demoting every column to `Generic(Vec<Value>)` lanes forces every
+//! kernel down the historical `Value`-sweeping path, so for any relation
+//! the typed and demoted columns must agree on
+//!
+//! * the vectorized expression kernels (`eval_batch` / `truth_batch` /
+//!   `eval_batch_at` / `truth_batch_at` / `eval_batch_column`) — across
+//!   monomorphic `i64` / `f64` / dictionary-string sweeps, the int–float
+//!   cross-comparison kernels, overflow fallback, and plain generic
+//!   fallback expressions;
+//! * `SortKey::of_columns` (typed slices encode the same memcmp keys the
+//!   per-value encoder produces — NaN, `-0.0`, and int/float alignment
+//!   included);
+//! * `normalize` (whole relation canonicalization);
+//! * row ↔ column round-trips, dictionary-encoded string columns
+//!   included.
+//!
+//! The value pools deliberately include the adversarial corners: NaN
+//! (one equivalence class above every other number), `-0.0 ≡ 0.0`,
+//! `i64::MAX` (typed add bails to the generic overflow-to-float
+//! promotion), and `±2⁵³`-scale floats.
+
+use audb::core::{AuColumns, AuRelation, AuTuple, Mult3, PhysType, RangeExpr, RangeValue, SortKey};
+use audb::rel::{CmpOp, Schema, Value};
+use proptest::prelude::*;
+
+fn i64_val() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-6i64..6).prop_map(Value::Int),
+        Just(Value::Int(i64::MAX)),
+        Just(Value::Int(i64::MIN + 1)),
+    ]
+}
+
+fn f64_val() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-8i64..8).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        Just(Value::Float(f64::NAN)),
+        Just(Value::Float(-0.0)),
+        Just(Value::Float(0.0)),
+        Just(Value::Float(9_007_199_254_740_992.0)), // 2^53
+    ]
+}
+
+fn str_val() -> impl Strategy<Value = Value> {
+    (0u8..5).prop_map(|c| Value::str(["", "a", "ab", "b", "ba"][c as usize]))
+}
+
+/// Mixed-class cells — this column stays on the generic fallback.
+fn mixed_val() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-5i64..5).prop_map(Value::Int),
+        (-4i64..4).prop_map(|i| Value::Float(i as f64 + 0.5)),
+        proptest::bool::ANY.prop_map(Value::Bool),
+        str_val(),
+    ]
+}
+
+/// Range values over one value pool, biased toward certainty so both the
+/// certain-collapsed fast path and the bitmap-carrying ranged layout
+/// occur; the triple is sorted under the total `Value` order so the
+/// `lb ≤ sg ≤ ub` invariant holds even for NaN-bearing samples.
+fn rv_of<S: Strategy<Value = Value> + 'static>(
+    vals: impl Fn() -> S,
+) -> impl Strategy<Value = RangeValue> {
+    prop_oneof![
+        vals().prop_map(RangeValue::certain),
+        (vals(), vals(), vals()).prop_map(|(a, b, c)| {
+            let mut v = [a, b, c];
+            v.sort_by(|x, y| x.partial_cmp(y).expect("Value order is total"));
+            let [l, s, u] = v;
+            RangeValue::new(l, s, u)
+        }),
+    ]
+}
+
+fn mult_strategy() -> impl Strategy<Value = Mult3> {
+    prop_oneof![
+        Just(Mult3::ONE),
+        Just(Mult3::ZERO),
+        Just(Mult3::new(0, 1, 1)),
+        Just(Mult3::new(1, 2, 4)),
+    ]
+}
+
+/// Four-attribute relations: one column per typed layout (`i64`, `f64`,
+/// dictionary string) plus a mixed-class generic column.
+fn typed_relation(max_rows: usize) -> impl Strategy<Value = AuRelation> {
+    proptest::collection::vec(
+        (
+            (
+                rv_of(i64_val),
+                rv_of(f64_val),
+                rv_of(str_val),
+                rv_of(mixed_val),
+            ),
+            mult_strategy(),
+        ),
+        0..=max_rows,
+    )
+    .prop_map(|rows| {
+        AuRelation::from_rows(
+            Schema::new(["i", "f", "s", "g"]),
+            rows.into_iter()
+                .map(|((a, b, c, d), m)| (AuTuple::new([a, b, c, d]), m)),
+        )
+    })
+}
+
+/// Expression shapes whose typed lowering covers every kernel: pure
+/// monomorphic sweeps, int–float cross comparisons, string dictionary
+/// comparisons, typed arithmetic (with overflow bailout), and shapes that
+/// must fall back (generic column, `Mul`, cross-class comparison,
+/// predicates under arithmetic).
+fn exprs() -> Vec<RangeExpr> {
+    let col = RangeExpr::col;
+    let lit = RangeExpr::lit;
+    vec![
+        col(0),
+        col(1),
+        col(2),
+        col(3),
+        // Same-type comparisons: i64/i64, f64/f64, str/str.
+        col(0).lt(lit(2)),
+        col(1).le(RangeExpr::lit(Value::Float(0.5))),
+        col(1).eq(col(1)),
+        col(2).lt(RangeExpr::lit(Value::str("b"))),
+        col(2).cmp(CmpOp::Ge, col(2)),
+        // Cross-type numeric comparisons, both orders, all six ops.
+        col(0).lt(col(1)),
+        col(1).lt(col(0)),
+        col(0).le(col(1)),
+        col(0).eq(col(1)),
+        col(1).cmp(CmpOp::Ne, col(0)),
+        col(0).cmp(CmpOp::Gt, col(1)),
+        col(1).cmp(CmpOp::Ge, col(0)),
+        // Typed arithmetic: i64 (checked, may bail on i64::MAX), mixed
+        // promotion, antitone subtraction, bound-swapping negation.
+        RangeExpr::Add(Box::new(col(0)), Box::new(lit(1))),
+        RangeExpr::Add(Box::new(col(0)), Box::new(col(1))),
+        RangeExpr::Sub(Box::new(col(1)), Box::new(col(0))),
+        RangeExpr::Sub(Box::new(col(0)), Box::new(lit(3))),
+        RangeExpr::Neg(Box::new(col(0))),
+        RangeExpr::Neg(Box::new(col(1))),
+        RangeExpr::Add(Box::new(col(0)), Box::new(col(0))).lt(lit(4)),
+        // Boolean connectives over typed comparisons.
+        col(0)
+            .lt(col(1))
+            .and(col(2).le(RangeExpr::lit(Value::str("ab")))),
+        RangeExpr::Or(
+            Box::new(col(0).eq(lit(1))),
+            Box::new(col(1).lt(RangeExpr::lit(Value::Float(1.0)))),
+        ),
+        RangeExpr::Not(Box::new(col(0).le(col(1)))),
+        // Fallback shapes: generic column, Mul, cross-class comparison,
+        // predicate under arithmetic.
+        col(3).lt(col(0)),
+        RangeExpr::Mul(Box::new(col(0)), Box::new(col(1))),
+        col(0).lt(col(2)),
+        RangeExpr::Add(Box::new(col(0).lt(col(1))), Box::new(lit(1))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Load-time inference picks the typed layouts, and rows survive the
+    /// round-trip exactly — dictionary-encoded string columns included.
+    #[test]
+    fn typed_layouts_roundtrip_rows(rel in typed_relation(10)) {
+        let cols = rel.to_columns();
+        if !rel.is_empty() {
+            let t = cols.col_phys_types();
+            prop_assert_eq!(t[0], PhysType::I64);
+            prop_assert_eq!(t[1], PhysType::F64);
+            prop_assert_eq!(t[2], PhysType::Str);
+        }
+        prop_assert_eq!(cols.to_rows().rows(), rel.rows());
+        // Demotion is logically invisible.
+        let generic = cols.to_generic();
+        prop_assert!(generic.col_phys_types().iter().all(|t| *t == PhysType::Generic));
+        prop_assert_eq!(generic.to_rows().rows(), rel.rows());
+        for c in 0..cols.arity() {
+            prop_assert_eq!(generic.col(c), cols.col(c), "col {}", c);
+        }
+        // The incremental builder stores the same bag under the same
+        // logical equality.
+        let mut pushed = AuColumns::empty(rel.schema.clone());
+        for row in rel.rows() {
+            pushed.push_row(&row.tuple, row.mult);
+        }
+        prop_assert_eq!(pushed.to_rows().rows(), rel.rows());
+    }
+
+    /// Typed kernels ≡ generic kernels on every expression shape, batch
+    /// size, and selection, including `eval_batch_column`'s direct
+    /// column materialization (certain-collapse decision included).
+    #[test]
+    fn typed_kernels_match_generic_kernels(
+        rel in typed_relation(9),
+        batch_size in prop_oneof![Just(1usize), Just(3), Just(1024)],
+    ) {
+        let cols = rel.to_columns();
+        let generic = cols.to_generic();
+        for e in exprs() {
+            for (tb, gb) in cols.batches(batch_size).zip(generic.batches(batch_size)) {
+                let vals = e.eval_batch(&tb);
+                let truths = e.truth_batch(&tb);
+                prop_assert_eq!(&vals, &e.eval_batch(&gb), "expr {:?}", e);
+                prop_assert_eq!(&truths, &e.truth_batch(&gb), "expr {:?}", e);
+                let idxs: Vec<usize> = (0..tb.len()).step_by(2).collect();
+                prop_assert_eq!(
+                    e.eval_batch_at(&tb, &idxs),
+                    e.eval_batch_at(&gb, &idxs),
+                    "expr {:?}", e
+                );
+                prop_assert_eq!(
+                    e.truth_batch_at(&tb, &idxs),
+                    e.truth_batch_at(&gb, &idxs),
+                    "expr {:?}", e
+                );
+                let tc = e.eval_batch_column(&tb, &idxs);
+                let gc = e.eval_batch_column(&gb, &idxs);
+                prop_assert_eq!(tc.is_certain(), gc.is_certain(), "expr {:?}", e);
+                for k in 0..idxs.len() {
+                    prop_assert_eq!(
+                        tc.range_value(k),
+                        gc.range_value(k),
+                        "expr {:?} @ {}", e, k
+                    );
+                }
+            }
+        }
+    }
+
+    /// Typed slice encoding ≡ per-value encoding: the memcmp sort keys
+    /// are byte-identical, so every downstream order (sort, top-k,
+    /// normalize) is unchanged by the physical layout.
+    #[test]
+    fn sortkey_of_columns_parity(rel in typed_relation(10)) {
+        let cols = rel.to_columns();
+        prop_assert_eq!(
+            SortKey::of_columns(&cols),
+            SortKey::of_columns(&cols.to_generic())
+        );
+    }
+
+    /// Columnar normalize is layout-independent and agrees with the row
+    /// oracle.
+    #[test]
+    fn normalize_parity(rel in typed_relation(10)) {
+        let typed = rel.to_columns().normalize();
+        let generic = rel.to_columns().to_generic().normalize();
+        prop_assert_eq!(typed.to_rows().rows(), generic.to_rows().rows());
+        prop_assert_eq!(typed.to_rows().rows(), rel.clone().normalize().rows());
+    }
+
+    /// Gather (the post-selection materialization) is layout-independent
+    /// — the typed no-clone path picks exactly the rows the generic path
+    /// picks.
+    #[test]
+    fn gather_parity(rel in typed_relation(10)) {
+        let cols = rel.to_columns();
+        let idxs: Vec<usize> = (0..rel.len()).step_by(2).collect();
+        let mults: Vec<Mult3> = idxs.iter().map(|_| Mult3::ONE).collect();
+        let typed = cols.gather(&idxs, &mults);
+        let generic = cols.to_generic().gather(&idxs, &mults);
+        prop_assert_eq!(typed.to_rows().rows(), generic.to_rows().rows());
+    }
+}
