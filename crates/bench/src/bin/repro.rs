@@ -5,6 +5,10 @@
 //!       [--sizes N,N,...] [--threads N]
 //! repro sql [SCRIPT.sql] [--data DIR] [--table name=path.csv]...
 //!           [--backend reference|native|rewrite] [--explain] [--repl]
+//! repro serve [--data DIR] [--table name=path.csv]... [--port P]
+//!           [--threads N] [--backend B] [--port-file PATH]
+//! repro loadgen [--port P | --port-file PATH] [--clients 1,8,64]
+//!           [--duration S] [--quick] [--sql "..."] [--json [PATH]]
 //!
 //! targets: heaps fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
 //!          bench all
@@ -20,6 +24,11 @@
 //! The `sql` subcommand loads every `*.csv` in the data directory
 //! (default `workloads/`) as catalog tables and executes textual
 //! ranking/window queries — batch scripts, piped stdin, or `--repl`.
+//!
+//! `serve` exposes the same catalog over HTTP/JSON (see `audb-server`);
+//! `loadgen` measures a running server's QPS and p50/p99 latency per
+//! concurrency level and merges the results into the bench artifact's
+//! `server` section.
 //! ```
 //!
 //! Absolute times will differ from the paper's Postgres-on-Opteron testbed;
@@ -44,6 +53,20 @@ fn main() {
     if raw.first().map(String::as_str) == Some("sql") {
         if let Err(e) = audb_bench::sqlcli::cli(&raw[1..]) {
             eprintln!("repro sql: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        if let Err(e) = audb_bench::serve::serve_cli(&raw[1..]) {
+            eprintln!("repro serve: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if raw.first().map(String::as_str) == Some("loadgen") {
+        if let Err(e) = audb_bench::serve::loadgen_cli(&raw[1..]) {
+            eprintln!("repro loadgen: {e}");
             std::process::exit(1);
         }
         return;
@@ -85,7 +108,11 @@ fn main() {
                     "usage: repro [heaps|fig11..fig19|bench|all]... [--scale X] [--quick] [--json [PATH]] \
                      [--sizes N,N,...] [--threads N]\n\
                      \x20      repro sql [SCRIPT.sql] [--data DIR] [--table name=path.csv]... \
-                     [--backend B] [--explain] [--repl]"
+                     [--backend B] [--explain] [--repl]\n\
+                     \x20      repro serve [--data DIR] [--table name=path.csv]... [--port P] \
+                     [--threads N] [--backend B] [--port-file PATH]\n\
+                     \x20      repro loadgen [--port P | --port-file PATH] [--clients 1,8,64] \
+                     [--duration S] [--quick] [--sql \"...\"] [--json [PATH]]"
                 );
                 return;
             }

@@ -10,5 +10,6 @@
 pub mod figures;
 pub mod heaps;
 pub mod perf;
+pub mod serve;
 pub mod sqlcli;
 pub mod table;

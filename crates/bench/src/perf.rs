@@ -427,7 +427,10 @@ pub fn render_json(
     // v4: per-run `bytes_per_row` gains the typed layout, each run carries
     // its input's physical-type counts, and the `kernel_sweeps` section
     // times the typed vs generic vectorized kernels.
-    s.push_str("  \"schema_version\": 4,\n");
+    // v5: an optional top-level `server` section (written by `repro
+    // loadgen`, preserved by `repro bench`) records p50/p99 latency and
+    // QPS per concurrency level against a running `repro serve`.
+    s.push_str("  \"schema_version\": 5,\n");
     let sizes = cfg
         .sizes
         .iter()
@@ -519,8 +522,29 @@ pub fn run_json(path: &str, cfg: &BenchConfig) {
         );
     }
     let json = render_json(&measurements, &kernels, cfg);
+    let json = preserve_server_section(path, json);
     std::fs::write(path, &json).expect("write bench artifact");
     println!("wrote {path}");
+}
+
+/// Re-attach the `server` section of an existing artifact at `path` (the
+/// loadgen's measurements) so re-running `repro bench --json` does not
+/// discard it. Anything unparseable is ignored and the fresh artifact
+/// written as-is.
+fn preserve_server_section(path: &str, rendered: String) -> String {
+    use audb_server::Json;
+    let Some(server) = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|old| Json::parse(&old).ok())
+        .and_then(|old| old.get("server").cloned())
+    else {
+        return rendered;
+    };
+    let mut doc = Json::parse(&rendered).expect("render_json emits valid JSON");
+    doc.set("server", server);
+    let mut out = doc.pretty();
+    out.push('\n');
+    out
 }
 
 #[cfg(test)]
@@ -579,7 +603,7 @@ mod tests {
         let sweeps = vec![sweep("truth_batch"), sweep("eval_batch")];
         let json = render_json(&ms, &sweeps, &BenchConfig::default());
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         // The v3 columns render per run, with the v4 typed layout added.
         assert_eq!(json.matches("\"rows_per_sec\"").count(), 3);
         assert_eq!(

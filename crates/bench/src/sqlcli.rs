@@ -48,7 +48,7 @@ impl Default for SqlOptions {
 }
 
 fn build_session(opts: &SqlOptions, out: &mut dyn Write) -> io::Result<Session> {
-    let mut session = Session::new(Engine::new(opts.backend));
+    let session = Session::new(Engine::new(opts.backend));
     if Path::new(&opts.data_dir).is_dir() {
         for (name, rel) in csvload::load_au_dir(&opts.data_dir)? {
             session.register(name, rel);

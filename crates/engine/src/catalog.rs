@@ -1,9 +1,10 @@
-//! A [`Catalog`] of named AU-relations — the FROM-clause namespace of the
-//! SQL frontend.
+//! The FROM-clause namespace of the SQL frontend: an immutable-once-read
+//! [`Catalog`] of named AU-relations, and the snapshot-swappable
+//! [`SharedCatalog`] many concurrent sessions read through.
 
 use audb_core::AuRelation;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Named AU-relations, shared cheaply behind [`Arc`]s. Names are
 /// case-sensitive (quote mixed-case names in SQL as `"MyTable"`); lookups
@@ -60,10 +61,127 @@ impl Catalog {
     }
 }
 
+/// A catalog shared by many concurrent sessions, updated by **snapshot
+/// publication**: readers take an [`Arc`]'d snapshot of the whole catalog
+/// (one `Arc::clone` under a read lock — no lock is held while a query
+/// binds or executes), and registration is copy-on-write (clone the
+/// current [`Catalog`], apply the change, swap the `Arc` and bump the
+/// version under the write lock).
+///
+/// **Visibility rule:** a statement binds against the snapshot current at
+/// `prepare` time and its plan pins the scanned relation behind an `Arc`,
+/// so in-flight queries finish on their pinned snapshot; a `register`
+/// becomes visible to statements *prepared after* publication, never to
+/// ones already running. Nothing blocks: readers never wait on writers
+/// beyond the snapshot clone, writers never wait on running queries.
+///
+/// Cloning a `SharedCatalog` shares the underlying catalog (that is the
+/// point — many sessions, one namespace); [`SharedCatalog::snapshot`]
+/// gives a private immutable view.
+#[derive(Clone, Debug, Default)]
+pub struct SharedCatalog {
+    // (version, snapshot) swap together so a cache keyed on the version
+    // can never observe a torn pair.
+    current: Arc<RwLock<(u64, Arc<Catalog>)>>,
+}
+
+impl SharedCatalog {
+    /// An empty shared catalog at version 0.
+    pub fn new() -> Self {
+        SharedCatalog::default()
+    }
+
+    /// Wrap an existing catalog as the initial snapshot.
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        SharedCatalog {
+            current: Arc::new(RwLock::new((0, Arc::new(catalog)))),
+        }
+    }
+
+    /// The current snapshot. Callers hold it as long as they like; it
+    /// never changes under them.
+    pub fn snapshot(&self) -> Arc<Catalog> {
+        Arc::clone(&self.current.read().expect("catalog lock poisoned").1)
+    }
+
+    /// The current snapshot together with its version (the pair is
+    /// coherent — the plan cache keys on the version).
+    pub fn snapshot_versioned(&self) -> (u64, Arc<Catalog>) {
+        let guard = self.current.read().expect("catalog lock poisoned");
+        (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// The current publication version: bumped by every
+    /// [`SharedCatalog::register`] / [`SharedCatalog::deregister`].
+    pub fn version(&self) -> u64 {
+        self.current.read().expect("catalog lock poisoned").0
+    }
+
+    /// True iff two handles publish into the same underlying catalog.
+    pub fn same_catalog(&self, other: &SharedCatalog) -> bool {
+        Arc::ptr_eq(&self.current, &other.current)
+    }
+
+    /// Publish a new snapshot with `name` registered (copy-on-write:
+    /// the table map is cloned, each relation stays shared behind its
+    /// `Arc`). Returns the replaced relation, if any.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        rel: impl Into<Arc<AuRelation>>,
+    ) -> Option<Arc<AuRelation>> {
+        self.publish(|cat| cat.register(name, rel))
+    }
+
+    /// Publish a new snapshot with `name` removed, returning it if it was
+    /// registered.
+    pub fn deregister(&self, name: &str) -> Option<Arc<AuRelation>> {
+        self.publish(|cat| cat.deregister(name))
+    }
+
+    fn publish<T>(&self, change: impl FnOnce(&mut Catalog) -> T) -> T {
+        let mut guard = self.current.write().expect("catalog lock poisoned");
+        let mut next = (*guard.1).clone();
+        let out = change(&mut next);
+        *guard = (guard.0 + 1, Arc::new(next));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use audb_rel::Schema;
+
+    #[test]
+    fn shared_catalog_publishes_snapshots() {
+        let shared = SharedCatalog::new();
+        assert_eq!(shared.version(), 0);
+        let before = shared.snapshot();
+
+        let rel = Arc::new(AuRelation::empty(Schema::new(["a"])));
+        shared.register("t", Arc::clone(&rel));
+        assert_eq!(shared.version(), 1);
+
+        // The pre-registration snapshot is immutable — readers pinned to
+        // it never see the new table.
+        assert!(before.get("t").is_none());
+        let after = shared.snapshot();
+        assert!(Arc::ptr_eq(after.get("t").unwrap(), &rel));
+
+        // Deregistration publishes another snapshot; `after` is pinned.
+        assert!(shared.deregister("t").is_some());
+        assert_eq!(shared.version(), 2);
+        assert!(after.get("t").is_some());
+        assert!(shared.snapshot().get("t").is_none());
+
+        // Clones share the catalog; from_catalog starts a fresh one.
+        let clone = shared.clone();
+        assert!(clone.same_catalog(&shared));
+        clone.register("u", AuRelation::empty(Schema::new(["b"])));
+        assert!(shared.snapshot().get("u").is_some());
+        assert!(!SharedCatalog::from_catalog(Catalog::new()).same_catalog(&shared));
+    }
 
     #[test]
     fn register_lookup_deregister() {

@@ -50,6 +50,22 @@ pub enum PlanError {
     },
 }
 
+impl PlanError {
+    /// A stable machine-readable tag for this error variant, as used in
+    /// the server's structured error responses (`{"error": {"kind": ...}}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlanError::UnknownColumn { .. } => "unknown_column",
+            PlanError::ColumnOutOfRange { .. } => "column_out_of_range",
+            PlanError::DuplicateColumn { .. } => "duplicate_column",
+            PlanError::EmptyOrderBy => "empty_order_by",
+            PlanError::EmptyProjection => "empty_projection",
+            PlanError::TopKWithoutSort => "topk_without_sort",
+            PlanError::InvalidWindowFrame { .. } => "invalid_window_frame",
+        }
+    }
+}
+
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -163,6 +179,33 @@ pub enum SessionError {
     Plan(PlanError),
     /// The plan failed at execution time.
     Engine(EngineError),
+}
+
+impl SessionError {
+    /// A stable machine-readable tag ("kind") classifying the failure,
+    /// independent of its human-readable message. The HTTP layer maps
+    /// these onto status codes and clients match on them programmatically,
+    /// so values here are a compatibility surface: extend, don't rename.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionError::Sql(_) => "sql",
+            SessionError::UnknownTable { .. } => "unknown_table",
+            SessionError::ExpressionNeedsAlias { .. } => "needs_alias",
+            SessionError::InvalidRangeLiteral { .. } => "invalid_range_literal",
+            SessionError::Plan(e) => e.kind(),
+            SessionError::Engine(EngineError::Plan(e)) => e.kind(),
+            SessionError::Engine(EngineError::BackendDisagreement { .. }) => "backend_disagreement",
+        }
+    }
+
+    /// The line/column span of the failure, when the error originates in
+    /// the query text (lex/parse errors carry one; semantic errors do not).
+    pub fn span(&self) -> Option<audb_sql::Span> {
+        match self {
+            SessionError::Sql(e) => Some(e.span),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SessionError {

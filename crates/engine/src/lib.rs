@@ -38,15 +38,17 @@ mod engine;
 mod error;
 pub mod exec;
 mod plan;
+mod plancache;
 mod print;
 mod session;
 
 pub use backend::{Backend, Native, Reference, Rewrite};
-pub use catalog::Catalog;
+pub use catalog::{Catalog, SharedCatalog};
 pub use engine::{BackendChoice, BackendRun, Engine, Explain, ExplainStep, RunAll};
 pub use error::{EngineError, PlanError, SessionError};
 pub use exec::{ExecMode, ExecTrace, OpTiming, Pipeline, DEFAULT_BATCH_SIZE};
 pub use plan::{Agg, ColRef, Op, Plan, Query, WindowSpec};
+pub use plancache::{CacheStats, PlanCache};
 pub use print::plan_to_sql;
 pub use session::{Prepared, Session};
 
@@ -280,7 +282,7 @@ mod tests {
     /// steps. Consumers (CI golden files, scripts) may rely on it.
     #[test]
     fn explain_format_is_stable() {
-        let mut session = Session::new(Engine::native().with_semantics(CmpSemantics::Syntactic));
+        let session = Session::new(Engine::native().with_semantics(CmpSemantics::Syntactic));
         session.register("r", example6());
         let explain = session.explain_sql("SELECT * FROM r ORDER BY a").unwrap();
         let text = explain.to_string();

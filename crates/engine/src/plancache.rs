@@ -1,0 +1,310 @@
+//! A bounded, shared [`PlanCache`]: normalized-SQL → compiled plan, so a
+//! server answering the same hot queries skips parse + bind entirely.
+//!
+//! Keying: entries are keyed on `(catalog version, canonical SQL)`, where
+//! the canonical form is [`Plan::to_sql`](crate::Plan::to_sql) of the
+//! *bound* plan — two texts that differ only in whitespace, optional
+//! semicolons, or other surface syntax normalize to the same key and share
+//! one entry (the second text counts as a **hit**: its bind work is done
+//! once, then the plan is found already cached). Because the catalog
+//! version is part of the key, any `register`/`deregister` invalidates
+//! every cached plan at once — a plan can never serve stale data, and two
+//! queries over different tables can never collide (the table name is part
+//! of the canonical text).
+//!
+//! A raw-text alias map (`whitespace-flattened text → canonical key`)
+//! fronts the canonical map, so the common case — the *same* string
+//! arriving again — is a single hash probe with no parsing at all.
+//!
+//! Eviction is LRU at a fixed capacity. All state sits behind one
+//! [`Mutex`]; compilation of a missing entry happens *outside* the lock,
+//! so a slow bind never blocks other sessions' cache hits.
+
+use crate::catalog::SharedCatalog;
+use crate::error::SessionError;
+use crate::session::Prepared;
+use audb_sql::ast;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Cache key: catalog publication version + canonical (or flattened) text.
+type Key = (u64, String);
+
+/// Hit/miss counters plus occupancy, as surfaced in server responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (including normalized-equivalent
+    /// texts whose plan was already resident).
+    pub hits: u64,
+    /// Lookups that compiled a fresh plan.
+    pub misses: u64,
+    /// Plans currently resident.
+    pub len: usize,
+    /// Maximum resident plans before LRU eviction.
+    pub capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Canonical key → compiled plan.
+    plans: HashMap<Key, Prepared>,
+    /// LRU order over `plans` keys: front = coldest, back = hottest.
+    order: VecDeque<Key>,
+    /// Raw-text fast path: flattened text → canonical key.
+    aliases: HashMap<Key, Key>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded LRU of compiled plans keyed on normalized SQL; see the
+/// module docs for the keying and invalidation rules. Share one per
+/// engine/server (e.g. behind an `Arc`) and call
+/// [`crate::Session::prepare_cached`] instead of `prepare`.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(PlanCache::DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// Default bound: plenty for a dashboard-style workload of repeated
+    /// statements, small enough that eviction is exercised in tests.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let s = self.state.lock().expect("plan cache lock poisoned");
+        CacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            len: s.plans.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Look up (or compile and insert) the plan for `sql` against the
+    /// current snapshot of `catalog`. Returns the prepared statement and
+    /// whether it was served from the cache.
+    pub fn get_or_prepare(
+        &self,
+        catalog: &SharedCatalog,
+        sql: &str,
+    ) -> Result<(Prepared, bool), SessionError> {
+        let (version, snapshot) = catalog.snapshot_versioned();
+        let raw_key = (version, flatten(sql));
+
+        {
+            let mut s = self.state.lock().expect("plan cache lock poisoned");
+            if let Some(canonical) = s.aliases.get(&raw_key).cloned() {
+                if let Some(prepared) = s.plans.get(&canonical).cloned() {
+                    s.touch(&canonical);
+                    s.hits += 1;
+                    return Ok((prepared, true));
+                }
+            }
+        }
+
+        // Miss on the fast path: parse + bind outside the lock.
+        let stmt = audb_sql::parse(sql)?;
+        let plan = crate::bind::compile(&stmt, &snapshot)?;
+        let canonical = (version, plan.to_sql(root_table(&stmt)));
+        let prepared = Prepared::from_plan(plan);
+
+        let mut s = self.state.lock().expect("plan cache lock poisoned");
+        s.remember_alias(raw_key, canonical.clone(), self.capacity);
+        if let Some(existing) = s.plans.get(&canonical).cloned() {
+            // A normalized-equivalent text (or a racing thread) already
+            // resident: reuse its plan, count the normalization hit.
+            s.touch(&canonical);
+            s.hits += 1;
+            return Ok((existing, true));
+        }
+        s.plans.insert(canonical.clone(), prepared.clone());
+        s.order.push_back(canonical);
+        s.misses += 1;
+        while s.plans.len() > self.capacity {
+            if let Some(coldest) = s.order.pop_front() {
+                s.plans.remove(&coldest);
+                s.aliases.retain(|_, v| *v != coldest);
+            }
+        }
+        Ok((prepared, false))
+    }
+}
+
+impl CacheState {
+    /// Move `key` to the hot end of the LRU order.
+    fn touch(&mut self, key: &Key) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key.clone());
+        }
+    }
+
+    fn remember_alias(&mut self, raw: Key, canonical: Key, capacity: usize) {
+        // The alias map is only a fast path; re-derivable, so bound it by
+        // wholesale reset rather than its own LRU bookkeeping.
+        if self.aliases.len() >= capacity * 4 {
+            self.aliases.clear();
+        }
+        self.aliases.insert(raw, canonical);
+    }
+}
+
+/// Collapse all whitespace runs to single spaces and trim, so the byte-y
+/// fast path tolerates the formatting differences clients actually send.
+fn flatten(sql: &str) -> String {
+    sql.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .trim_end_matches(';')
+        .trim()
+        .to_string()
+}
+
+/// The innermost FROM table: the scan the whole operator chain hangs off,
+/// and the table name [`crate::Plan::to_sql`] needs to print.
+fn root_table(stmt: &ast::Select) -> &str {
+    match &stmt.from {
+        ast::TableRef::Name(name) => name,
+        ast::TableRef::Subquery(inner) => root_table(inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::session::Session;
+    use audb_core::{AuRelation, AuTuple, Mult3, RangeValue};
+    use audb_rel::Schema;
+
+    fn rel(rows: i64) -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["x"]),
+            (0..rows).map(|i| (AuTuple::from([RangeValue::certain(i)]), Mult3::ONE)),
+        )
+    }
+
+    fn session() -> Session {
+        let s = Session::new(Engine::native());
+        s.register("a", rel(3));
+        s.register("b", rel(3));
+        s
+    }
+
+    #[test]
+    fn hits_on_identical_and_normalized_equivalent_sql() {
+        let s = session();
+        let cache = PlanCache::new(8);
+
+        let (_, hit) = s
+            .prepare_cached(&cache, "SELECT x FROM a WHERE x < 2")
+            .unwrap();
+        assert!(!hit);
+        // Same text: raw-alias fast path.
+        let (_, hit) = s
+            .prepare_cached(&cache, "SELECT x FROM a WHERE x < 2")
+            .unwrap();
+        assert!(hit);
+        // Whitespace / trailing-semicolon variants flatten to the same key.
+        let (_, hit) = s
+            .prepare_cached(&cache, "  SELECT   x\nFROM a\tWHERE x < 2 ; ")
+            .unwrap();
+        assert!(hit);
+        // A genuinely different surface form (same operator chain spelled
+        // through a pass-through subquery) normalizes through the bound
+        // plan's canonical SQL and still hits.
+        let (_, hit) = s
+            .prepare_cached(&cache, "SELECT x FROM (SELECT * FROM a WHERE x < 2)")
+            .unwrap();
+        assert!(hit, "normalized-equivalent text should hit");
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (3, 1));
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn no_cross_table_false_hits() {
+        let s = session();
+        let cache = PlanCache::new(8);
+        let (pa, hit_a) = s.prepare_cached(&cache, "SELECT x FROM a").unwrap();
+        let (pb, hit_b) = s.prepare_cached(&cache, "SELECT x FROM b").unwrap();
+        assert!(
+            !hit_a && !hit_b,
+            "same shape over different tables must not collide"
+        );
+        assert!(!std::sync::Arc::ptr_eq(
+            pa.plan().source_arc(),
+            pb.plan().source_arc()
+        ));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let s = session();
+        let cache = PlanCache::new(2);
+        s.prepare_cached(&cache, "SELECT x FROM a WHERE x < 1")
+            .unwrap();
+        s.prepare_cached(&cache, "SELECT x FROM a WHERE x < 2")
+            .unwrap();
+        // Touch the first so the second is coldest...
+        let (_, hit) = s
+            .prepare_cached(&cache, "SELECT x FROM a WHERE x < 1")
+            .unwrap();
+        assert!(hit);
+        // ...then a third entry evicts `x < 2`.
+        s.prepare_cached(&cache, "SELECT x FROM a WHERE x < 3")
+            .unwrap();
+        assert_eq!(cache.stats().len, 2);
+        let (_, hit) = s
+            .prepare_cached(&cache, "SELECT x FROM a WHERE x < 1")
+            .unwrap();
+        assert!(hit, "recently used entry should survive eviction");
+        let (_, hit) = s
+            .prepare_cached(&cache, "SELECT x FROM a WHERE x < 2")
+            .unwrap();
+        assert!(!hit, "coldest entry should have been evicted");
+    }
+
+    #[test]
+    fn registration_invalidates_by_version() {
+        let s = session();
+        let cache = PlanCache::new(8);
+        let (p, _) = s.prepare_cached(&cache, "SELECT x FROM a").unwrap();
+        assert_eq!(s.execute(&p).unwrap().rows().len(), 3);
+
+        s.register("a", rel(5));
+        let (p2, hit) = s.prepare_cached(&cache, "SELECT x FROM a").unwrap();
+        assert!(!hit, "version bump must invalidate cached plans");
+        assert_eq!(s.execute(&p2).unwrap().rows().len(), 5);
+        // The old prepared statement still runs on its pinned snapshot.
+        assert_eq!(s.execute(&p).unwrap().rows().len(), 3);
+    }
+
+    #[test]
+    fn parse_and_bind_errors_are_not_cached() {
+        let s = session();
+        let cache = PlanCache::new(8);
+        assert!(s.prepare_cached(&cache, "SELECT nope FROM a").is_err());
+        assert!(s.prepare_cached(&cache, "SELEKT").is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+    }
+}

@@ -20,10 +20,11 @@
 //! ```
 
 use crate::bind;
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, SharedCatalog};
 use crate::engine::{Engine, Explain, RunAll};
 use crate::error::SessionError;
 use crate::plan::Plan;
+use crate::plancache::PlanCache;
 use audb_core::AuRelation;
 use std::sync::Arc;
 
@@ -36,6 +37,10 @@ pub struct Prepared {
 }
 
 impl Prepared {
+    pub(crate) fn from_plan(plan: Plan) -> Prepared {
+        Prepared { plan }
+    }
+
     /// The compiled plan.
     pub fn plan(&self) -> &Plan {
         &self.plan
@@ -54,10 +59,17 @@ impl Prepared {
 /// `sql` executes, `prepare` compiles for reuse, `explain_sql` shows the
 /// chosen backend/fallbacks, `run_all_sql` cross-checks all three
 /// backends.
+///
+/// The catalog is a [`SharedCatalog`]: cloning a `Session` (or building
+/// several via [`Session::with_catalog`]) yields sessions over the *same*
+/// namespace, which is how the server gives every connection its own
+/// session handle without copying tables. Each `prepare` pins one catalog
+/// snapshot, so concurrent `register` calls never disturb a statement that
+/// is already compiled or running.
 #[derive(Clone, Debug, Default)]
 pub struct Session {
     engine: Engine,
-    catalog: Catalog,
+    catalog: SharedCatalog,
 }
 
 impl Session {
@@ -65,8 +77,15 @@ impl Session {
     pub fn new(engine: Engine) -> Self {
         Session {
             engine,
-            catalog: Catalog::new(),
+            catalog: SharedCatalog::new(),
         }
+    }
+
+    /// A session on the given engine over an existing shared catalog
+    /// (typically one handed out by another session's
+    /// [`Session::shared_catalog`]).
+    pub fn with_catalog(engine: Engine, catalog: SharedCatalog) -> Self {
+        Session { engine, catalog }
     }
 
     /// The underlying engine.
@@ -79,36 +98,62 @@ impl Session {
         self.engine = engine;
     }
 
-    /// The catalog of registered relations.
-    pub fn catalog(&self) -> &Catalog {
+    /// The current catalog snapshot. The returned `Arc` is immutable:
+    /// registrations made after this call publish *new* snapshots and are
+    /// not visible through it.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.catalog.snapshot()
+    }
+
+    /// The shared catalog handle itself — clone it to build more sessions
+    /// over the same namespace.
+    pub fn shared_catalog(&self) -> &SharedCatalog {
         &self.catalog
     }
 
-    /// Register a relation under a name (replacing any previous one).
-    pub fn register(&mut self, name: impl Into<String>, rel: impl Into<Arc<AuRelation>>) {
+    /// Register a relation under a name (replacing any previous one) by
+    /// publishing a new catalog snapshot. In-flight queries and already
+    /// prepared statements keep their pinned snapshot; statements prepared
+    /// after this call see the new table.
+    pub fn register(&self, name: impl Into<String>, rel: impl Into<Arc<AuRelation>>) {
         self.catalog.register(name, rel);
     }
 
-    /// Remove a named relation.
-    pub fn deregister(&mut self, name: &str) -> Option<Arc<AuRelation>> {
+    /// Remove a named relation (again by snapshot publication).
+    pub fn deregister(&self, name: &str) -> Option<Arc<AuRelation>> {
         self.catalog.deregister(name)
     }
 
-    /// Compile one statement to a reusable [`Prepared`] plan.
+    /// Compile one statement to a reusable [`Prepared`] plan against the
+    /// current catalog snapshot.
     pub fn prepare(&self, sql: &str) -> Result<Prepared, SessionError> {
         let stmt = audb_sql::parse(sql)?;
         Ok(Prepared {
-            plan: bind::compile(&stmt, &self.catalog)?,
+            plan: bind::compile(&stmt, &self.catalog.snapshot())?,
         })
     }
 
-    /// Compile every statement of a `;`-separated script.
+    /// Compile one statement through a shared [`PlanCache`], so repeated
+    /// (even differently-whitespaced) texts skip parse + bind. Returns the
+    /// prepared statement and whether it was a cache hit.
+    pub fn prepare_cached(
+        &self,
+        cache: &PlanCache,
+        sql: &str,
+    ) -> Result<(Prepared, bool), SessionError> {
+        cache.get_or_prepare(&self.catalog, sql)
+    }
+
+    /// Compile every statement of a `;`-separated script. The whole script
+    /// binds against a single catalog snapshot, so a concurrent `register`
+    /// cannot make later statements see different tables than earlier ones.
     pub fn prepare_script(&self, sql: &str) -> Result<Vec<Prepared>, SessionError> {
+        let snapshot = self.catalog.snapshot();
         audb_sql::parse_script(sql)?
             .iter()
             .map(|stmt| {
                 Ok(Prepared {
-                    plan: bind::compile(stmt, &self.catalog)?,
+                    plan: bind::compile(stmt, &snapshot)?,
                 })
             })
             .collect()
@@ -169,7 +214,7 @@ mod tests {
     }
 
     fn session() -> Session {
-        let mut s = Session::new(Engine::native());
+        let s = Session::new(Engine::native());
         s.register("products", products());
         s
     }
@@ -230,6 +275,7 @@ mod tests {
                 if name == "nope" && known == &["products".to_string()]),
             "{e}"
         );
+        assert_eq!((e.kind(), e.span()), ("unknown_table", None));
         // Plan validation flows through unchanged.
         let e = s.sql("SELECT missing FROM products").unwrap_err();
         assert!(
@@ -238,12 +284,18 @@ mod tests {
         );
         let e = s.sql("SELECT * FROM products LIMIT 3").unwrap_err();
         assert!(matches!(e, SessionError::Plan(PlanError::TopKWithoutSort)));
-        // Parse errors carry spans.
+        // Parse errors carry spans, surfaced through kind()/span() for the
+        // HTTP error mapping.
         let e = s.sql("SELECT * FROM").unwrap_err();
         assert!(
             e.to_string().starts_with("SQL error at line 1, column 14"),
             "{e}"
         );
+        assert_eq!(e.kind(), "sql");
+        let span = e.span().expect("parse errors carry a span");
+        assert_eq!((span.line, span.col), (1, 14));
+        let e = s.sql("SELECT missing FROM products").unwrap_err();
+        assert_eq!(e.kind(), "unknown_column");
         // Compound expressions need aliases.
         let e = s.sql("SELECT price + 1 FROM products").unwrap_err();
         assert!(matches!(e, SessionError::ExpressionNeedsAlias { .. }));
@@ -292,6 +344,42 @@ mod tests {
             e.to_string().starts_with("SQL error at line 2, column 2"),
             "{e}"
         );
+    }
+
+    /// The visibility rule, deterministically: a statement prepared before
+    /// a `register` executes against its pinned snapshot; a statement
+    /// prepared after sees the new data; sessions built over the same
+    /// shared catalog observe each other's registrations.
+    #[test]
+    fn registration_publishes_snapshots_without_disturbing_prepared_plans() {
+        let s = session();
+        let p = s.prepare("SELECT sku FROM products").unwrap();
+        let before = s.execute(&p).unwrap();
+        assert_eq!(before.rows().len(), 3);
+
+        // Re-register under the same name with one row: the prepared plan
+        // keeps its pinned relation, a fresh statement sees the new one.
+        let one_row = AuRelation::from_rows(
+            Schema::new(["sku", "price"]),
+            [(
+                AuTuple::from([RangeValue::certain(9i64), RangeValue::certain(1i64)]),
+                Mult3::ONE,
+            )],
+        );
+        let peer = Session::with_catalog(Engine::native(), s.shared_catalog().clone());
+        peer.register("products", one_row);
+        assert!(s.shared_catalog().same_catalog(peer.shared_catalog()));
+
+        assert_eq!(s.execute(&p).unwrap().rows().len(), 3);
+        assert_eq!(s.sql("SELECT sku FROM products").unwrap().rows().len(), 1);
+
+        // Deregistration likewise only affects future preparations.
+        s.deregister("products");
+        assert_eq!(s.execute(&p).unwrap().rows().len(), 3);
+        assert!(matches!(
+            peer.sql("SELECT sku FROM products").unwrap_err(),
+            SessionError::UnknownTable { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Hand-rolled HTTP/1.1, just enough for the service layer: parse one
+//! request (request line, headers, `Content-Length` body), write one
+//! response. No chunked encoding, no TLS, no HTTP/2 — clients are the
+//! bundled load generator, tests, and `curl`.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (a registered CSV); anything larger is
+/// rejected before buffering.
+const MAX_BODY: usize = 64 << 20;
+/// Largest accepted request line / header line.
+const MAX_LINE: usize = 64 << 10;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (`/query`).
+    pub path: String,
+    /// `key=value` pairs from the query string, in order, percent-decoded.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First query-string value for `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy — SQL and CSV are expected).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Read one request off the stream. `Ok(None)` means the client closed
+/// the connection cleanly before sending another request (the normal end
+/// of a keep-alive conversation).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if read_line(reader, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let (method, target, version) = {
+        let mut parts = line.trim_end().splitn(3, ' ');
+        (
+            parts.next().unwrap_or("").to_ascii_uppercase(),
+            parts.next().unwrap_or("").to_string(),
+            parts.next().unwrap_or("").to_string(),
+        )
+    };
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(bad("malformed request line"));
+    }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if read_line(reader, &mut line)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let header = line.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| bad("bad Content-Length"))?;
+            if content_length > MAX_BODY {
+                return Err(bad("request body too large"));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect();
+
+    Ok(Some(Request {
+        method,
+        path: percent_decode(path),
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Write one response. `keep_alive` decides the `Connection:` header the
+/// server advertises back (the caller then actually closes or not).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Bounded line read (rejects absurdly long request/header lines instead
+/// of buffering them).
+fn read_line(reader: &mut BufReader<TcpStream>, out: &mut String) -> io::Result<usize> {
+    let mut buf = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            break;
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                buf.extend_from_slice(&available[..=i]);
+                reader.consume(i + 1);
+                break;
+            }
+            None => {
+                buf.extend_from_slice(available);
+                let n = available.len();
+                reader.consume(n);
+            }
+        }
+        if buf.len() > MAX_LINE {
+            return Err(bad("header line too long"));
+        }
+    }
+    out.push_str(&String::from_utf8_lossy(&buf));
+    Ok(buf.len())
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_plus() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("SELECT%3B"), "SELECT;");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

@@ -1,0 +1,44 @@
+//! # audb-server — the concurrent SQL service layer
+//!
+//! A dependency-free HTTP/1.1 + JSON front end over the engine: many
+//! sessions, one [`SharedCatalog`](audb_engine::SharedCatalog), no global
+//! lock on the query path. The paper's pitch is *interactive*
+//! approximation — bounds in milliseconds — and this crate is where
+//! "interactive" meets concurrency: a fixed worker pool serves `query` /
+//! `prepare` / `execute` / `explain` / `run_all` requests, each against a
+//! pinned catalog snapshot, with a shared bounded
+//! [`PlanCache`](audb_engine::PlanCache) keyed on normalized SQL.
+//!
+//! The zero-dependency discipline of `crates/sql` applies: request
+//! parsing ([`http`]), the JSON wire format ([`json`]) and the routing
+//! ([`wire`]) are hand-rolled on `std` only — `std::net::TcpListener`,
+//! threads and channels.
+//!
+//! ```no_run
+//! use audb_engine::{Engine, SharedCatalog};
+//! use audb_server::{serve, ServerConfig, ServerState};
+//!
+//! let catalog = SharedCatalog::new();
+//! let state = ServerState::new(Engine::native(), catalog, 4);
+//! let handle = serve(state, ServerConfig::default())?;
+//! println!("serving on http://{}", handle.addr());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Concurrency model in one paragraph: readers (`/query` et al.) take one
+//! `Arc` clone of the catalog snapshot per request and never hold a lock
+//! while binding or executing; writers (`/register`) publish a new
+//! snapshot copy-on-write. In-flight queries finish on their pinned
+//! snapshot. The plan cache keys on `(catalog version, canonical SQL)`,
+//! so publication also invalidates every cached plan at once. See
+//! DESIGN.md §11 for the full lifecycle.
+
+pub mod http;
+pub mod json;
+mod server;
+mod state;
+pub mod wire;
+
+pub use json::{Json, JsonError};
+pub use server::{default_threads, serve, ServerConfig, ServerHandle};
+pub use state::{ConnState, ServerState};

@@ -1,0 +1,89 @@
+//! Shared and per-connection server state.
+//!
+//! One [`ServerState`] is shared (behind an `Arc`) by every worker: the
+//! engine configuration, the [`SharedCatalog`] all sessions read through,
+//! the global [`PlanCache`], and request counters. One [`ConnState`] lives
+//! with each client connection and holds its prepared-statement table —
+//! statement ids are meaningful only on the connection that prepared them,
+//! exactly like database cursors.
+
+use audb_engine::{Engine, PlanCache, Prepared, Session, SharedCatalog};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// State shared by all workers.
+#[derive(Debug)]
+pub struct ServerState {
+    /// Engine configuration each per-request session runs on (`Engine` is
+    /// `Copy`: cloning a session is free).
+    pub engine: Engine,
+    /// The one catalog every session reads through.
+    pub catalog: SharedCatalog,
+    /// Plans cached across all connections, keyed on normalized SQL.
+    pub plan_cache: PlanCache,
+    /// Worker-pool size (surfaced in `/stats`).
+    pub threads: usize,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerState {
+    /// State over an engine and an existing shared catalog.
+    pub fn new(engine: Engine, catalog: SharedCatalog, threads: usize) -> Self {
+        ServerState {
+            engine,
+            catalog,
+            plan_cache: PlanCache::default(),
+            threads,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// A session over the shared catalog (cheap: an `Engine` copy plus a
+    /// catalog handle clone).
+    pub fn session(&self) -> Session {
+        Session::with_catalog(self.engine, self.catalog.clone())
+    }
+
+    /// Count one handled request (and one error for non-2xx statuses).
+    pub fn record(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with an error status so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-connection state: the prepared-statement table.
+#[derive(Debug, Default)]
+pub struct ConnState {
+    next_id: u64,
+    statements: HashMap<u64, Prepared>,
+}
+
+impl ConnState {
+    /// Store a prepared statement, returning its connection-local id.
+    pub fn store(&mut self, prepared: Prepared) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.statements.insert(id, prepared);
+        id
+    }
+
+    /// Look up a statement by id (cloning is cheap: plans share their
+    /// scanned relation behind an `Arc`).
+    pub fn lookup(&self, id: u64) -> Option<Prepared> {
+        self.statements.get(&id).cloned()
+    }
+}

@@ -1,0 +1,317 @@
+//! Wire encoding and request routing: AU-relations, explain reports and
+//! structured errors in and out of [`Json`], plus the endpoint dispatch
+//! table. Pure functions of `(state, request)` — no sockets here — so the
+//! whole wire surface golden-tests without a server.
+//!
+//! ## Response shapes (a compatibility surface, golden-tested)
+//!
+//! Query results: `{"schema": [...], "row_count": N, "rows": [[[lb,sg,ub],
+//! ...], ...], "mults": [[lb,sg,ub], ...], "cache": {"hit": bool, "hits":
+//! H, "misses": M}, "elapsed_us": T}` — every attribute is always the
+//! `[lb, sg, ub]` triple (certain values repeat), rows are normalized, so
+//! equal requests encode byte-identically (modulo `elapsed_us`).
+//!
+//! Errors: `{"error": {"kind": <machine tag>, "message": <human text>}}`
+//! plus `"line"`/`"col"` members when the failure has a position in the
+//! query text. The `kind` values come from
+//! [`SessionError::kind`](audb_engine::SessionError::kind).
+
+use crate::http::Request;
+use crate::json::Json;
+use crate::state::{ConnState, ServerState};
+use audb_core::{AuRelation, Mult3, RangeValue};
+use audb_engine::{RunAll, SessionError};
+use audb_rel::Value;
+use std::time::Instant;
+
+/// An HTTP status plus its JSON body.
+pub type Reply = (u16, Json);
+
+/// Route one parsed request. Infallible: every failure becomes a
+/// structured error reply.
+pub fn handle(state: &ServerState, conn: &mut ConnState, req: &Request) -> Reply {
+    let started = Instant::now();
+    let reply = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (200, Json::obj([("ok", Json::Bool(true))])),
+        ("GET", "/stats") => (200, stats_body(state)),
+        ("POST", "/query") => query(state, req, started),
+        ("POST", "/prepare") => prepare(state, conn, req),
+        ("POST", "/execute") => execute(state, conn, req, started),
+        ("POST", "/explain") => explain(state, req),
+        ("POST", "/run_all") => run_all(state, req, started),
+        ("POST", "/register") => register(state, req),
+        ("GET" | "POST", _) => (
+            404,
+            error_body(
+                "unknown_route",
+                &format!("no endpoint {:?}; see /health, /stats, /query, /prepare, /execute, /explain, /run_all, /register", req.path),
+                None,
+            ),
+        ),
+        _ => (
+            405,
+            error_body(
+                "method_not_allowed",
+                &format!("method {} not allowed", req.method),
+                None,
+            ),
+        ),
+    };
+    state.record(reply.0);
+    reply
+}
+
+fn query(state: &ServerState, req: &Request, started: Instant) -> Reply {
+    let session = state.session();
+    let (prepared, hit) = match session.prepare_cached(&state.plan_cache, &req.body_text()) {
+        Ok(p) => p,
+        Err(e) => return session_error(&e),
+    };
+    match session.execute(&prepared) {
+        Ok(rel) => {
+            let mut body = relation_body(rel);
+            body.set("cache", cache_body(state, hit));
+            body.set("elapsed_us", Json::Int(elapsed_us(started)));
+            (200, body)
+        }
+        Err(e) => session_error(&e),
+    }
+}
+
+fn prepare(state: &ServerState, conn: &mut ConnState, req: &Request) -> Reply {
+    let session = state.session();
+    match session.prepare_cached(&state.plan_cache, &req.body_text()) {
+        Ok((prepared, hit)) => {
+            let sql = prepared.plan().sql().map(str::to_string);
+            let id = conn.store(prepared);
+            let mut body = Json::obj([
+                ("id", Json::Int(id as i64)),
+                ("cache", cache_body(state, hit)),
+            ]);
+            if let Some(sql) = sql {
+                body.set("sql", Json::Str(sql));
+            }
+            (200, body)
+        }
+        Err(e) => session_error(&e),
+    }
+}
+
+fn execute(state: &ServerState, conn: &mut ConnState, req: &Request, started: Instant) -> Reply {
+    // The statement id arrives as `?id=N` or a bare/JSON body.
+    let id = req
+        .query_param("id")
+        .map(str::to_string)
+        .or_else(|| {
+            let text = req.body_text();
+            let text = text.trim().to_string();
+            Json::parse(&text)
+                .ok()
+                .and_then(|j| j.get("id").and_then(Json::as_i64).map(|i| i.to_string()))
+                .or(Some(text))
+        })
+        .unwrap_or_default();
+    let Ok(id) = id.parse::<u64>() else {
+        return (
+            400,
+            error_body(
+                "bad_request",
+                "execute needs a statement id (?id=N or {\"id\": N})",
+                None,
+            ),
+        );
+    };
+    let Some(prepared) = conn.lookup(id) else {
+        return (
+            404,
+            error_body(
+                "unknown_statement",
+                &format!("no prepared statement {id} on this connection"),
+                None,
+            ),
+        );
+    };
+    match state.session().execute(&prepared) {
+        Ok(rel) => {
+            let mut body = relation_body(rel);
+            body.set("elapsed_us", Json::Int(elapsed_us(started)));
+            (200, body)
+        }
+        Err(e) => session_error(&e),
+    }
+}
+
+fn explain(state: &ServerState, req: &Request) -> Reply {
+    match state.session().explain_sql(&req.body_text()) {
+        Ok(ex) => (
+            200,
+            Json::obj([
+                ("backend", Json::str(ex.backend.to_string())),
+                ("explain", Json::str(ex.to_string())),
+            ]),
+        ),
+        Err(e) => session_error(&e),
+    }
+}
+
+fn run_all(state: &ServerState, req: &Request, started: Instant) -> Reply {
+    match state.session().run_all_sql(&req.body_text()) {
+        Ok(all) => {
+            let mut body = relation_body(all.output.clone());
+            body.set("backends", backends_body(&all));
+            body.set("elapsed_us", Json::Int(elapsed_us(started)));
+            (200, body)
+        }
+        Err(e) => session_error(&e),
+    }
+}
+
+fn register(state: &ServerState, req: &Request) -> Reply {
+    let Some(name) = req.query_param("name").map(str::to_string) else {
+        return (
+            400,
+            error_body("bad_request", "register needs ?name=<table>", None),
+        );
+    };
+    match audb_workloads::read_au_csv(req.body.as_slice()) {
+        Ok(rel) => {
+            let rows = rel.rows().len();
+            state.catalog.register(&name, rel);
+            (
+                200,
+                Json::obj([
+                    ("registered", Json::Str(name)),
+                    ("rows", Json::Int(rows as i64)),
+                    ("catalog_version", Json::Int(state.catalog.version() as i64)),
+                ]),
+            )
+        }
+        Err(e) => (400, error_body("bad_csv", &e.to_string(), None)),
+    }
+}
+
+fn stats_body(state: &ServerState) -> Json {
+    let cache = state.plan_cache.stats();
+    let snapshot = state.catalog.snapshot();
+    Json::obj([
+        ("requests", Json::Int(state.requests() as i64)),
+        ("errors", Json::Int(state.errors() as i64)),
+        ("threads", Json::Int(state.threads as i64)),
+        ("catalog_version", Json::Int(state.catalog.version() as i64)),
+        (
+            "tables",
+            Json::Arr(snapshot.names().map(Json::str).collect()),
+        ),
+        (
+            "plan_cache",
+            Json::obj([
+                ("hits", Json::Int(cache.hits as i64)),
+                ("misses", Json::Int(cache.misses as i64)),
+                ("len", Json::Int(cache.len as i64)),
+                ("capacity", Json::Int(cache.capacity as i64)),
+            ]),
+        ),
+    ])
+}
+
+fn cache_body(state: &ServerState, hit: bool) -> Json {
+    let stats = state.plan_cache.stats();
+    Json::obj([
+        ("hit", Json::Bool(hit)),
+        ("hits", Json::Int(stats.hits as i64)),
+        ("misses", Json::Int(stats.misses as i64)),
+    ])
+}
+
+fn backends_body(all: &RunAll) -> Json {
+    Json::Arr(
+        all.runs
+            .iter()
+            .map(|run| {
+                Json::obj([
+                    ("backend", Json::str(run.backend.to_string())),
+                    ("mode", Json::str(run.mode.to_string())),
+                    ("elapsed_us", Json::Int(run.elapsed.as_micros() as i64)),
+                    ("rows", Json::Int(run.rows as i64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Encode a result relation. Rows are normalized first, so two bag-equal
+/// results encode identically — the property the golden tests and the
+/// concurrency stress test lean on.
+pub fn relation_body(rel: AuRelation) -> Json {
+    let rel = rel.normalize();
+    let schema = Json::Arr(rel.schema.cols().iter().map(Json::str).collect());
+    let mut rows = Vec::with_capacity(rel.rows().len());
+    let mut mults = Vec::with_capacity(rel.rows().len());
+    for row in rel.rows() {
+        rows.push(Json::Arr(
+            (0..row.tuple.arity())
+                .map(|i| range_value_json(row.tuple.get(i)))
+                .collect(),
+        ));
+        mults.push(mult_json(row.mult));
+    }
+    Json::obj([
+        ("schema", schema),
+        ("row_count", Json::Int(rows.len() as i64)),
+        ("rows", Json::Arr(rows)),
+        ("mults", Json::Arr(mults)),
+    ])
+}
+
+fn range_value_json(v: &RangeValue) -> Json {
+    Json::Arr(vec![
+        value_json(&v.lb),
+        value_json(&v.sg),
+        value_json(&v.ub),
+    ])
+}
+
+fn mult_json(m: Mult3) -> Json {
+    Json::Arr(vec![
+        Json::Int(m.lb as i64),
+        Json::Int(m.sg as i64),
+        Json::Int(m.ub as i64),
+    ])
+}
+
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Float(*f),
+        Value::Str(s) => Json::str(s.as_ref()),
+    }
+}
+
+/// Map a [`SessionError`] onto `(status, body)`: text/plan/semantic
+/// errors are the client's fault (400), a missing table is 404 (the
+/// resource does not exist), and a backend disagreement — an engine
+/// invariant violation — is the server's fault (500).
+pub fn session_error(e: &SessionError) -> Reply {
+    let status = match e.kind() {
+        "unknown_table" => 404,
+        "backend_disagreement" => 500,
+        _ => 400,
+    };
+    let span = e.span().map(|s| (s.line as i64, s.col as i64));
+    (status, error_body(e.kind(), &e.to_string(), span))
+}
+
+fn error_body(kind: &str, message: &str, span: Option<(i64, i64)>) -> Json {
+    let mut inner = Json::obj([("kind", Json::str(kind)), ("message", Json::str(message))]);
+    if let Some((line, col)) = span {
+        inner.set("line", Json::Int(line));
+        inner.set("col", Json::Int(col));
+    }
+    Json::obj([("error", inner)])
+}
+
+fn elapsed_us(started: Instant) -> i64 {
+    started.elapsed().as_micros() as i64
+}

@@ -1,0 +1,203 @@
+//! Wire-layer golden tests: the JSON response shapes are a compatibility
+//! surface, pinned here byte-for-byte. `wire::handle` is a pure function
+//! of `(state, request)`, so the whole surface tests without sockets;
+//! only `elapsed_us` is nondeterministic and gets zeroed before the diff.
+
+use audb_engine::{Engine, SharedCatalog};
+use audb_server::http::Request;
+use audb_server::wire;
+use audb_server::{ConnState, Json, ServerState};
+use audb_workloads::csvload;
+
+fn state() -> ServerState {
+    let catalog = SharedCatalog::new();
+    catalog.register(
+        "products",
+        csvload::load_au_csv("../../workloads/products.csv").unwrap(),
+    );
+    catalog.register(
+        "readings",
+        csvload::load_au_csv("../../workloads/readings.csv").unwrap(),
+    );
+    ServerState::new(Engine::native(), catalog, 1)
+}
+
+fn post(path: &str, body: &str) -> Request {
+    request("POST", path, body)
+}
+
+fn request(method: &str, path: &str, body: &str) -> Request {
+    let (path, query_str) = path.split_once('?').unwrap_or((path, ""));
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query_str
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                (k.to_string(), v.to_string())
+            })
+            .collect(),
+        body: body.as_bytes().to_vec(),
+        keep_alive: true,
+    }
+}
+
+/// Route a request and return `(status, body)` with volatile members
+/// (elapsed timings) zeroed so the encoding is deterministic.
+fn roundtrip(state: &ServerState, conn: &mut ConnState, req: &Request) -> (u16, String) {
+    let (status, mut body) = wire::handle(state, conn, req);
+    scrub(&mut body);
+    (status, body.to_string())
+}
+
+fn scrub(json: &mut Json) {
+    if json.get("elapsed_us").is_some() {
+        json.set("elapsed_us", Json::Int(0));
+    }
+    if let Some(Json::Arr(backends)) = json.get_mut("backends") {
+        for backend in backends {
+            backend.set("elapsed_us", Json::Int(0));
+        }
+    }
+}
+
+#[test]
+fn query_result_shape_is_stable() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let (status, body) = roundtrip(
+        &state,
+        &mut conn,
+        &post(
+            "/query",
+            "SELECT * FROM products ORDER BY price AS rank LIMIT 2",
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"schema\":[\"sku\",\"price\",\"rank\"],\"row_count\":4,\"rows\":[[[1,1,1],[9,10,12],[1,1,2]],[[2,2,2],[8,11,11],[1,2,2]],[[4,4,4],[7,7,7],[0,0,0]],[[5,5,5],[10,13,14],[1,2,2]]],\"mults\":[[0,1,1],[0,0,1],[1,1,1],[0,0,1]],\"cache\":{\"hit\":false,\"hits\":0,\"misses\":1},\"elapsed_us\":0}");
+}
+
+#[test]
+fn repeated_query_reports_a_cache_hit() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let sql = "SELECT sku FROM products ORDER BY sku";
+    let (_, first) = roundtrip(&state, &mut conn, &post("/query", sql));
+    // Same statement, different whitespace: still the same cached plan.
+    let (_, second) = roundtrip(
+        &state,
+        &mut conn,
+        &post("/query", "SELECT  sku\nFROM products ORDER BY sku;"),
+    );
+    let first = Json::parse(&first).unwrap();
+    let second = Json::parse(&second).unwrap();
+    assert_eq!(
+        first.get("cache").and_then(|c| c.get("hit")),
+        Some(&Json::Bool(false))
+    );
+    assert_eq!(
+        second.get("cache").and_then(|c| c.get("hit")),
+        Some(&Json::Bool(true))
+    );
+    assert_eq!(first.get("rows"), second.get("rows"));
+}
+
+#[test]
+fn parse_error_shape_carries_position() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let (status, body) = roundtrip(&state, &mut conn, &post("/query", "SELECT * FORM products"));
+    assert_eq!(status, 400);
+    assert_eq!(body, "{\"error\":{\"kind\":\"sql\",\"message\":\"SQL error at line 1, column 10: expected FROM, found identifier \\\"FORM\\\"\",\"line\":1,\"col\":10}}");
+}
+
+#[test]
+fn unknown_table_is_404() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let (status, body) = roundtrip(&state, &mut conn, &post("/query", "SELECT * FROM missing"));
+    assert_eq!(status, 404);
+    assert_eq!(body, "{\"error\":{\"kind\":\"unknown_table\",\"message\":\"unknown table \\\"missing\\\"; registered: products, readings\"}}");
+}
+
+#[test]
+fn unknown_column_is_400_with_kind() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let (status, body) = roundtrip(
+        &state,
+        &mut conn,
+        &post("/query", "SELECT nope FROM products"),
+    );
+    assert_eq!(status, 400);
+    assert_eq!(body, "{\"error\":{\"kind\":\"unknown_column\",\"message\":\"invalid plan: unknown column \\\"nope\\\" in schema (sku, price)\"}}");
+}
+
+#[test]
+fn prepare_then_execute_roundtrips() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let (status, body) = roundtrip(
+        &state,
+        &mut conn,
+        &post(
+            "/prepare",
+            "SELECT sku, price FROM products WHERE price < RANGE(9, 9, 16) ORDER BY price",
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"id\":0,\"cache\":{\"hit\":false,\"hits\":0,\"misses\":1},\"sql\":\"SELECT sku, price FROM products WHERE price < RANGE(9, 9, 16) ORDER BY price\"}");
+
+    let (status, body) = roundtrip(&state, &mut conn, &post("/execute?id=0", ""));
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"schema\":[\"sku\",\"price\",\"pos\"],\"row_count\":5,\"rows\":[[[1,1,1],[9,10,12],[1,1,3]],[[2,2,2],[8,11,11],[1,1,3]],[[3,3,3],[15,15,15],[1,1,4]],[[4,4,4],[7,7,7],[0,0,0]],[[5,5,5],[10,13,14],[1,1,3]]],\"mults\":[[0,0,1],[0,0,1],[0,0,1],[1,1,1],[0,0,1]],\"elapsed_us\":0}");
+
+    // Statement ids are per-connection: a fresh connection sees nothing.
+    let mut other = ConnState::default();
+    let (status, body) = roundtrip(&state, &mut other, &post("/execute?id=0", ""));
+    assert_eq!(status, 404);
+    assert_eq!(body, "{\"error\":{\"kind\":\"unknown_statement\",\"message\":\"no prepared statement 0 on this connection\"}}");
+}
+
+#[test]
+fn run_all_reports_every_backend() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let (status, body) = roundtrip(
+        &state,
+        &mut conn,
+        &post("/run_all", "SELECT sku FROM products ORDER BY sku LIMIT 2"),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"schema\":[\"sku\",\"pos\"],\"row_count\":2,\"rows\":[[[1,1,1],[0,0,0]],[[2,2,2],[1,1,1]]],\"mults\":[[1,1,1],[1,1,1]],\"backends\":[{\"backend\":\"reference\",\"mode\":\"materialized\",\"elapsed_us\":0,\"rows\":2},{\"backend\":\"native\",\"mode\":\"pipelined\",\"elapsed_us\":0,\"rows\":2},{\"backend\":\"rewrite\",\"mode\":\"pipelined\",\"elapsed_us\":0,\"rows\":2}],\"elapsed_us\":0}");
+}
+
+#[test]
+fn unknown_route_and_bad_method_are_structured() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let (status, body) = roundtrip(&state, &mut conn, &post("/nope", ""));
+    assert_eq!(status, 404);
+    assert_eq!(body, "{\"error\":{\"kind\":\"unknown_route\",\"message\":\"no endpoint \\\"/nope\\\"; see /health, /stats, /query, /prepare, /execute, /explain, /run_all, /register\"}}");
+
+    let (status, body) = roundtrip(&state, &mut conn, &request("DELETE", "/query", ""));
+    assert_eq!(status, 405);
+    assert_eq!(
+        body,
+        "{\"error\":{\"kind\":\"method_not_allowed\",\"message\":\"method DELETE not allowed\"}}"
+    );
+}
+
+#[test]
+fn health_and_stats_shapes() {
+    let state = state();
+    let mut conn = ConnState::default();
+    let (status, body) = roundtrip(&state, &mut conn, &request("GET", "/health", ""));
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"ok\":true}");
+
+    let (_, body) = roundtrip(&state, &mut conn, &request("GET", "/stats", ""));
+    assert_eq!(body, "{\"requests\":1,\"errors\":0,\"threads\":1,\"catalog_version\":2,\"tables\":[\"products\",\"readings\"],\"plan_cache\":{\"hits\":0,\"misses\":0,\"len\":0,\"capacity\":256}}");
+}

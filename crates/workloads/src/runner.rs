@@ -141,7 +141,7 @@ pub fn sql_bounds(
     engine: Engine,
     sql: &str,
 ) -> Result<Timed<Bounds>, SessionError> {
-    let mut session = Session::new(engine);
+    let session = Session::new(engine);
     session.register("t", table.to_au_relation());
     let prepared = session.prepare(sql)?;
     let id_col = table.schema.arity() - 1;

@@ -100,7 +100,7 @@ fn main() {
     // membership plus rank bounds, still queryable further — issued as
     // SQL through a session, executed on every engine backend with bound
     // agreement asserted (run_all).
-    let mut session = Session::new(Engine::native());
+    let session = Session::new(Engine::native());
     session.register("scores", table.to_au_relation());
     let all = session
         .run_all_sql(&format!(

@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same queries, as text: register the relation in a session and
     // the SQL frontend compiles onto the identical plans (see
     // examples/sql_tour.rs for the full tour).
-    let mut session = Session::new(engine);
+    let session = Session::new(engine);
     session.register("products", rolling_plan.source_arc().clone());
     let top2_sql =
         session.sql("SELECT * FROM products WHERE price < 14 ORDER BY price AS rank LIMIT 2")?;

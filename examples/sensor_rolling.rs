@@ -45,7 +45,7 @@ fn main() {
         })
         .collect();
     let table = XTupleTable::new(Schema::new(["ts", "temp"]), tuples);
-    let mut session = Session::new(Engine::native());
+    let session = Session::new(Engine::native());
     session.register("readings", table.to_au_relation());
 
     // One-hour rolling window (current + 1 preceding reading). Each query

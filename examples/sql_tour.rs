@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
         ],
     );
-    let mut session = Session::new(Engine::native());
+    let session = Session::new(Engine::native());
     session.register("products", products.clone());
 
     // 1. Text in, bounds out. ORDER BY is the AU-DB sort: it appends a

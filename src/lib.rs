@@ -17,6 +17,7 @@
 //! | [`worlds`] | x-tuple probabilistic model, world enumeration/sampling, exact bounds |
 //! | [`competitors`] | MCDB, PT-k, Symb, U-Top, U-Rank, Global-Topk, expected rank |
 //! | [`workloads`] | synthetic + real-world-simulating generators, quality metrics |
+//! | [`server`] | concurrent SQL service layer: HTTP/JSON front end, worker pool, plan cache |
 //!
 //! ## Quick example
 //!
@@ -89,6 +90,7 @@ pub use audb_engine as engine;
 pub use audb_native as native;
 pub use audb_rel as rel;
 pub use audb_rewrite as rewrite;
+pub use audb_server as server;
 pub use audb_sql as sql;
 pub use audb_workloads as workloads;
 pub use audb_worlds as worlds;
@@ -101,4 +103,5 @@ pub use audb_engine::{
     EngineError, Explain, ExplainStep, IntervalIndex, JoinStrategy, Native, Op, Plan, PlanError,
     Prepared, Query, Reference, Rewrite, RunAll, Session, SessionError, WindowSpec,
 };
+pub use audb_engine::{CacheStats, PlanCache, SharedCatalog};
 pub use audb_sql::{is_keyword, parse, parse_script, Span, SqlError, SqlErrorKind};

@@ -1,0 +1,167 @@
+//! End-to-end service test: every statement in `workloads/demo.sql` goes
+//! through a real localhost `audb-server` as `POST /query` and the wire
+//! responses are diffed against the same semantics `demo.golden` pins:
+//!
+//! * each statement's canonical form must appear as an echo line in
+//!   `workloads/demo.golden` (so this test and the CLI golden diff are
+//!   provably exercising the same script),
+//! * successful statements must return exactly the rows a local
+//!   [`Session`] produces (the oracle the golden file was generated
+//!   from), with the golden file's `[N rows]` count,
+//! * the script's deliberate binding error must come back as a
+//!   structured HTTP error with the same message the golden file records.
+
+use audb::engine::{Engine, Session};
+use audb::server::wire;
+use audb::server::{serve, Json, ServerConfig, ServerState};
+use audb::workloads::csvload;
+use audb::SharedCatalog;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+fn demo_catalog() -> SharedCatalog {
+    let catalog = SharedCatalog::new();
+    catalog.register(
+        "products",
+        csvload::load_au_csv("workloads/products.csv").unwrap(),
+    );
+    catalog.register(
+        "readings",
+        csvload::load_au_csv("workloads/readings.csv").unwrap(),
+    );
+    catalog
+}
+
+/// The demo script's statements: comment lines stripped, split on `;`.
+fn demo_statements() -> Vec<String> {
+    let script = std::fs::read_to_string("workloads/demo.sql").unwrap();
+    let code: String = script
+        .lines()
+        .filter(|line| !line.trim_start().starts_with("--"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    code.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Minimal HTTP client: one POST per connection, parse status and body.
+fn http_post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
+}
+
+#[test]
+fn demo_script_over_localhost_matches_golden_semantics() {
+    let catalog = demo_catalog();
+    let oracle = Session::with_catalog(Engine::native(), catalog.clone());
+    let state = ServerState::new(Engine::native(), catalog, 2);
+    let handle = serve(
+        state,
+        ServerConfig {
+            port: 0,
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let golden = std::fs::read_to_string("workloads/demo.golden").unwrap();
+    let statements = demo_statements();
+    assert!(statements.len() >= 6, "demo script shrank unexpectedly");
+
+    for sql in &statements {
+        // The canonical (whitespace-flattened) statement is the golden
+        // file's echo line — proof both harnesses run the same script.
+        let flat = sql.split_whitespace().collect::<Vec<_>>().join(" ");
+        assert!(
+            golden.contains(&format!("-- {flat}")),
+            "statement missing from demo.golden: {flat}"
+        );
+
+        let (status, body) = http_post(&addr, "/query", sql);
+        let reply = Json::parse(&body).unwrap();
+        match oracle.sql(sql) {
+            Ok(expected) => {
+                assert_eq!(status, 200, "unexpected status for {flat}: {body}");
+                // The oracle result, pushed through the same wire encoder,
+                // must match field-for-field (rows are normalized on both
+                // sides, so bag-equal means byte-equal).
+                let expected = wire::relation_body(expected);
+                for field in ["schema", "row_count", "rows", "mults"] {
+                    assert_eq!(
+                        reply.get(field),
+                        expected.get(field),
+                        "field {field} diverged for {flat}"
+                    );
+                }
+                // And the row count the golden file pins for this block.
+                let block = golden.split(&format!("-- {flat}\n")).nth(1).unwrap();
+                let header = block.lines().next().unwrap();
+                let count: i64 = header
+                    .rsplit_once('[')
+                    .and_then(|(_, tail)| tail.strip_suffix("rows]"))
+                    .expect("golden header has [N rows]")
+                    .trim()
+                    .parse()
+                    .unwrap();
+                assert_eq!(reply.get("row_count"), Some(&Json::Int(count)));
+            }
+            Err(e) => {
+                // The script's deliberate error: structured on the wire,
+                // same message the golden file records.
+                assert_eq!(status, 400, "expected client error for {flat}: {body}");
+                let error = reply.get("error").expect("error member");
+                assert_eq!(
+                    error.get("kind").and_then(Json::as_str),
+                    Some(e.kind()),
+                    "wrong kind for {flat}"
+                );
+                let message = error.get("message").and_then(Json::as_str).unwrap();
+                assert!(
+                    golden.contains(&format!("error: {message}")),
+                    "error message not pinned by demo.golden: {message}"
+                );
+            }
+        }
+    }
+
+    // The service survived the whole script; the counters saw it all.
+    let (status, body) = http_post(&addr, "/run_all", &statements[0]);
+    assert_eq!(status, 200, "run_all failed: {body}");
+    handle.shutdown();
+}

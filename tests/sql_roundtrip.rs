@@ -210,7 +210,7 @@ fn plan_strategy() -> impl Strategy<Value = Plan> {
 /// and return the recompiled plan.
 fn roundtrip(plan: &Plan) -> Plan {
     let sql = plan.to_sql("t");
-    let mut session = Session::new(Engine::native());
+    let session = Session::new(Engine::native());
     session.register("t", Arc::clone(plan.source_arc()));
     let prepared = session
         .prepare(&sql)
