@@ -9,6 +9,7 @@
 //!           [--threads N] [--backend B] [--port-file PATH]
 //! repro loadgen [--port P | --port-file PATH] [--clients 1,8,64]
 //!           [--duration S] [--quick] [--sql "..."] [--json [PATH]]
+//! repro lint [--json] [--rule ID] [--root PATH] [--list]
 //!
 //! targets: heaps fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
 //!          bench all
@@ -29,6 +30,9 @@
 //! `loadgen` measures a running server's QPS and p50/p99 latency per
 //! concurrency level and merges the results into the bench artifact's
 //! `server` section.
+//!
+//! `lint` runs the workspace invariant checker (see `audb-lint` and
+//! DESIGN.md §12); exit code 1 means diagnostics were found.
 //! ```
 //!
 //! Absolute times will differ from the paper's Postgres-on-Opteron testbed;
@@ -71,6 +75,15 @@ fn main() {
         }
         return;
     }
+    if raw.first().map(String::as_str) == Some("lint") {
+        match audb_lint::cli(&raw[1..]) {
+            Ok(code) => std::process::exit(code),
+            Err(e) => {
+                eprintln!("repro lint: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut opts = ReproOptions::default();
     let mut bench_cfg = audb_bench::perf::BenchConfig::default();
     let mut targets: Vec<String> = Vec::new();
@@ -112,7 +125,8 @@ fn main() {
                      \x20      repro serve [--data DIR] [--table name=path.csv]... [--port P] \
                      [--threads N] [--backend B] [--port-file PATH]\n\
                      \x20      repro loadgen [--port P | --port-file PATH] [--clients 1,8,64] \
-                     [--duration S] [--quick] [--sql \"...\"] [--json [PATH]]"
+                     [--duration S] [--quick] [--sql \"...\"] [--json [PATH]]\n\
+                     \x20      repro lint [--json] [--rule ID] [--root PATH] [--list]"
                 );
                 return;
             }

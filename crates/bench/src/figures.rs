@@ -164,7 +164,7 @@ pub fn fig11(opts: ReproOptions) {
         let table = gen_sort_table(&cfg);
         let det = runner::det_sort(&table, &order, c.k).elapsed;
         let imp = runner::imp_sort(&table, &order, c.k).elapsed;
-        let rewr = runner::rewr_sort(&table, &order, c.k).elapsed;
+        let rewr = runner::rewrite_sort(&table, &order, c.k).elapsed;
         let mc10 = runner::mcdb_sort(&table, &order, 10, 1).elapsed;
         let mc20 = runner::mcdb_sort(&table, &order, 20, 1).elapsed;
         t.row([
@@ -324,7 +324,7 @@ pub fn fig14(opts: ReproOptions) {
             format!("{n}"),
             fmt_ms(runner::det_sort(&table, &order, None).elapsed),
             fmt_ms(runner::imp_sort(&table, &order, None).elapsed),
-            fmt_ms(runner::rewr_sort(&table, &order, None).elapsed),
+            fmt_ms(runner::rewrite_sort(&table, &order, None).elapsed),
             fmt_ms(runner::mcdb_sort(&table, &order, 10, 1).elapsed),
             fmt_ms(runner::mcdb_sort(&table, &order, 20, 1).elapsed),
             fmt_ms(runner::symb_sort(&table, &order).elapsed),
@@ -346,7 +346,7 @@ pub fn fig14(opts: ReproOptions) {
             format!("{n}"),
             fmt_ms(runner::det_sort(&table, &order, None).elapsed),
             fmt_ms(runner::imp_sort(&table, &order, None).elapsed),
-            fmt_ms(runner::rewr_sort(&table, &order, None).elapsed),
+            fmt_ms(runner::rewrite_sort(&table, &order, None).elapsed),
             fmt_ms(runner::mcdb_sort(&table, &order, 10, 1).elapsed),
             fmt_ms(runner::mcdb_sort(&table, &order, 20, 1).elapsed),
         ]);
@@ -401,10 +401,11 @@ pub fn fig15(opts: ReproOptions) {
             fmt_ms(runner::det_window(&table, &order, agg, l, u).elapsed),
             fmt_ms(runner::imp_window(&table, &order, agg, l, u).elapsed),
             fmt_ms(
-                runner::rewr_window(&table, &order, agg, l, u, JoinStrategy::NestedLoop).elapsed,
+                runner::rewrite_window(&table, &order, agg, l, u, JoinStrategy::NestedLoop).elapsed,
             ),
             fmt_ms(
-                runner::rewr_window(&table, &order, agg, l, u, JoinStrategy::IntervalIndex).elapsed,
+                runner::rewrite_window(&table, &order, agg, l, u, JoinStrategy::IntervalIndex)
+                    .elapsed,
             ),
             fmt_ms(build),
             fmt_ms(runner::mcdb_window(&table, &order, agg, l, u, 10, 1).elapsed),
@@ -621,7 +622,7 @@ pub fn fig17(opts: ReproOptions) {
         let imp = runner::imp_sort(&rq.table, &rq.order, Some(rq.k)).elapsed;
         let det = runner::det_sort(&rq.table, &rq.order, Some(rq.k)).elapsed;
         let mc20 = runner::mcdb_sort(&rq.table, &rq.order, 20, 1).elapsed;
-        let rewr = runner::rewr_sort(&rq.table, &rq.order, Some(rq.k)).elapsed;
+        let rewr = runner::rewrite_sort(&rq.table, &rq.order, Some(rq.k)).elapsed;
         let feasible_exact = rq.table.len() <= 60_000;
         let symb = feasible_exact.then(|| runner::symb_sort(&rq.table, &rq.order).elapsed);
         let ptk = feasible_exact.then(|| runner::ptk_sort(&rq.table, &rq.order, rq.k).elapsed);
@@ -644,7 +645,7 @@ pub fn fig17(opts: ReproOptions) {
         let mc20 = runner::mcdb_window(&wq.table, &wq.order, wq.agg, wq.l, wq.u, 20, 1).elapsed;
         let rewr_feasible = wq.table.len() <= 20_000;
         let rewr = rewr_feasible.then(|| {
-            runner::rewr_window(
+            runner::rewrite_window(
                 &wq.table,
                 &wq.order,
                 wq.agg,

@@ -262,6 +262,7 @@ pub fn run_level(
         .map(|_| {
             let addr = addr.to_string();
             let sql = sql.to_string();
+            // lint: allow(no-raw-spawn) -- loadgen deliberately opens raw client threads to stress the server's pool from outside
             std::thread::spawn(move || client_loop(&addr, &sql, deadline, think))
         })
         .collect();

@@ -101,6 +101,7 @@ impl StrPool {
         if let Some(&c) = self.index.get(s.as_ref()) {
             return c;
         }
+        // lint: allow(no-panic-hot-path) -- a >4B-string dictionary exceeds the u32 code space by design; overflow here is unrepresentable data, not a recoverable state
         let c = u32::try_from(self.strs.len()).expect("string dictionary overflow");
         self.strs.push(s.clone());
         self.index.insert(s.clone(), c);
@@ -331,8 +332,10 @@ impl PhysVec {
             }
         }
         if all_int {
+            // lint: allow(no-panic-hot-path) -- the layout scan above proved every value is Int
             PhysVec::I64(vals.iter().map(|v| v.as_i64().unwrap()).collect())
         } else if all_float {
+            // lint: allow(no-panic-hot-path) -- the layout scan above proved every value is Float
             PhysVec::F64(vals.iter().map(|v| v.as_f64().unwrap()).collect())
         } else if all_str {
             let mut pool = StrPool::new();

@@ -6,6 +6,7 @@ use crate::error::EngineError;
 use crate::exec::{self, ExecMode, ExecTrace, OpTiming, DEFAULT_BATCH_SIZE};
 use crate::plan::Plan;
 use audb_core::{AuRelation, CmpSemantics};
+// lint: allow(no-direct-backend-call) -- JoinStrategy is a config knob on Engine itself, not an execution entry point
 use audb_rewrite::JoinStrategy;
 use std::fmt;
 use std::time::Duration;

@@ -58,6 +58,7 @@ pub use session::{Prepared, Session};
 // paper does. `SqlError` completes the error surface of the SQL front
 // door (`Session`).
 pub use audb_core::CmpSemantics;
+// lint: allow(no-direct-backend-call) -- re-export of config/measurement types; execution still flows through Engine
 pub use audb_rewrite::{IntervalIndex, JoinStrategy};
 pub use audb_sql::{Span, SqlError, SqlErrorKind};
 

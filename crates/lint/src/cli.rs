@@ -1,0 +1,237 @@
+//! The `repro lint` entry point: scan, render (text or JSON), exit code.
+
+use crate::rules::{self, Diagnostic};
+use crate::scan::{find_root, Workspace};
+use std::path::PathBuf;
+
+/// Parsed command line for `repro lint`.
+#[derive(Debug, Default)]
+pub struct LintArgs {
+    /// Emit the machine-readable JSON report instead of text.
+    pub json: bool,
+    /// Restrict reporting to one rule id.
+    pub rule: Option<String>,
+    /// Workspace root override (default: walk up from the current dir).
+    pub root: Option<PathBuf>,
+    /// Print the rule catalog and exit.
+    pub list: bool,
+}
+
+impl LintArgs {
+    /// Parse `repro lint`'s arguments.
+    pub fn parse(args: &[String]) -> Result<LintArgs, String> {
+        let mut out = LintArgs::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => out.json = true,
+                "--list" => out.list = true,
+                "--rule" => {
+                    let id = it.next().ok_or("--rule needs a rule id")?;
+                    if !rules::is_known_rule(id) {
+                        return Err(format!("unknown rule `{id}` (see --list)"));
+                    }
+                    out.rule = Some(id.clone());
+                }
+                "--root" => {
+                    let p = it.next().ok_or("--root needs a path")?;
+                    out.root = Some(PathBuf::from(p));
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: repro lint [--json] [--rule ID] [--root PATH] [--list]".into(),
+                    )
+                }
+                other => return Err(format!("unknown argument `{other}` (try --help)")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The result of one lint run, ready to render.
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+    pub manifests_scanned: usize,
+    /// Justified `lint: allow` escape hatches in effect, as
+    /// `(file, line, rule, reason)`.
+    pub allows: Vec<(String, u32, String, String)>,
+}
+
+/// Scan `root` and collect the report (every rule; filtering happens at
+/// render time).
+pub fn run(root: &std::path::Path) -> std::io::Result<Report> {
+    let ws = Workspace::collect(root)?;
+    let diagnostics = rules::check_workspace(&ws);
+    let mut allows = Vec::new();
+    for f in &ws.files {
+        for a in &f.allows {
+            allows.push((f.rel_path.clone(), a.line, a.rule.clone(), a.reason.clone()));
+        }
+    }
+    Ok(Report {
+        diagnostics,
+        files_scanned: ws.files.len(),
+        manifests_scanned: ws.manifests.len(),
+        allows,
+    })
+}
+
+/// CLI driver. Returns the process exit code: 0 clean, 1 diagnostics
+/// found; argument errors are `Err`.
+pub fn cli(args: &[String]) -> Result<i32, String> {
+    let args = LintArgs::parse(args)?;
+    if args.list {
+        for r in rules::RULES {
+            println!("{:26} {}", r.id, r.summary);
+        }
+        return Ok(0);
+    }
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_root(&cwd).ok_or("no workspace root found above the current directory")?
+        }
+    };
+    let mut report = run(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    if let Some(rule) = &args.rule {
+        report.diagnostics.retain(|d| d.rule == rule);
+    }
+    if args.json {
+        println!("{}", render_json(&report));
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        if report.diagnostics.is_empty() {
+            println!(
+                "lint clean: 0 diagnostics ({} files + {} manifests scanned, {} justified allows)",
+                report.files_scanned,
+                report.manifests_scanned,
+                report.allows.len()
+            );
+        } else {
+            println!(
+                "{} diagnostic(s) ({} files + {} manifests scanned)",
+                report.diagnostics.len(),
+                report.files_scanned,
+                report.manifests_scanned
+            );
+        }
+    }
+    Ok(if report.diagnostics.is_empty() { 0 } else { 1 })
+}
+
+/// Render the machine-readable report (stable shape, validated in CI).
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"artifact\": \"audb_lint_report\",\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!(
+        "  \"manifests_scanned\": {},\n",
+        report.manifests_scanned
+    ));
+    s.push_str("  \"rules\": [");
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(r.id));
+    }
+    s.push_str("],\n");
+    s.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        s.push_str(&format!(
+            "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"hint\": {}}}",
+            json_str(d.rule),
+            json_str(&d.file),
+            d.line,
+            d.col,
+            json_str(&d.message),
+            json_str(d.hint)
+        ));
+    }
+    s.push_str(if report.diagnostics.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    s.push_str("  \"allows\": [");
+    for (i, (file, line, rule, reason)) in report.allows.iter().enumerate() {
+        s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        s.push_str(&format!(
+            "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+            json_str(file),
+            line,
+            json_str(rule),
+            json_str(reason)
+        ));
+    }
+    s.push_str(if report.allows.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    s.push('}');
+    s
+}
+
+/// Minimal JSON string encoder (the linter is dependency-free).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let ok =
+            LintArgs::parse(&["--json".into(), "--rule".into(), "no-raw-spawn".into()]).unwrap();
+        assert!(ok.json);
+        assert_eq!(ok.rule.as_deref(), Some("no-raw-spawn"));
+        assert!(LintArgs::parse(&["--rule".into(), "nope".into()]).is_err());
+        assert!(LintArgs::parse(&["--wat".into()]).is_err());
+    }
+
+    #[test]
+    fn json_report_is_wellformed() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "no-raw-spawn",
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                message: "raw `thread::spawn` with \"quotes\"".into(),
+                hint: "use audb_par",
+            }],
+            files_scanned: 1,
+            manifests_scanned: 1,
+            allows: vec![("a.rs".into(), 9, "no-raw-spawn".into(), "why".into())],
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"audb_lint_report\""));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"reason\": \"why\""));
+    }
+}

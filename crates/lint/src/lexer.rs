@@ -1,0 +1,430 @@
+//! A token-level Rust lexer: just enough lexical structure to tell code
+//! from comments and string contents, with line/column spans on every
+//! token. Deliberately not a parser — the rules in [`crate::rules`] match
+//! short token patterns, which keeps the scanner dependency-free and
+//! immune to new syntax it does not need to understand.
+//!
+//! Handled: line and (nested) block comments, string/char/byte/raw-string
+//! literals, raw identifiers, lifetimes vs char literals, numbers with
+//! suffixes. Everything else is a single-character punctuation token.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `unsafe`, `r#type`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `(`, `{`, `#`, ...).
+    Punct,
+    /// String/char/byte/numeric literal. Contents are opaque to rules.
+    Literal,
+    /// `'a`, `'static` — distinct from char literals.
+    Lifetime,
+    /// `// ...` (incl. `///` and `//!`).
+    LineComment,
+    /// `/* ... */`, possibly nested and spanning lines.
+    BlockComment,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For comments this includes the delimiters.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+    /// 1-based line of the token's last character (differs from `line`
+    /// only for block comments and multi-line string literals).
+    pub end_line: u32,
+}
+
+impl Tok {
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Comment text without its delimiters (`//`, `/*`, `*/`), trimmed.
+    pub fn comment_text(&self) -> &str {
+        let t = self.text.as_str();
+        let t = t.strip_prefix("//").unwrap_or(t);
+        let t = t.strip_prefix("/*").unwrap_or(t);
+        let t = t.strip_suffix("*/").unwrap_or(t);
+        t.trim()
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unterminated literals/comments simply run
+/// to end of input (the compiler, not the linter, reports those).
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        let start = cur.pos;
+        let kind = if c.is_whitespace() {
+            cur.bump();
+            continue;
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            TokKind::LineComment
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            TokKind::BlockComment
+        } else if let Some(kind) = lex_prefixed_literal(&mut cur) {
+            kind
+        } else if is_ident_start(c) {
+            while cur.peek(0).map(is_ident_continue) == Some(true) {
+                cur.bump();
+            }
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            TokKind::Literal
+        } else if c == '"' {
+            lex_string(&mut cur);
+            TokKind::Literal
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else {
+            cur.bump();
+            TokKind::Punct
+        };
+        let text: String = cur.chars[start..cur.pos].iter().collect();
+        out.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+            end_line: cur.line,
+        });
+    }
+    // `src` is only held so `tokenize` signatures stay borrow-friendly if
+    // a future rule wants byte offsets; silence the otherwise-unused field.
+    let _ = cur.src;
+    out
+}
+
+/// `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, `c"..."`, and raw
+/// identifiers `r#ident`. Returns `None` when the cursor is not on one.
+fn lex_prefixed_literal(cur: &mut Cursor) -> Option<TokKind> {
+    let c = cur.peek(0)?;
+    let (hash_at, quote_kinds): (usize, bool) = match c {
+        'r' | 'c' => (1, true),
+        'b' => {
+            if cur.peek(1) == Some('r') {
+                (2, true)
+            } else {
+                (1, false)
+            }
+        }
+        _ => return None,
+    };
+    // Count `#`s after the prefix; then a `"` must follow for a raw
+    // string (or, with exactly one `#` and no quote, a raw identifier).
+    let mut hashes = 0usize;
+    while cur.peek(hash_at + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek(hash_at + hashes) {
+        Some('"') => {
+            for _ in 0..hash_at + hashes + 1 {
+                cur.bump();
+            }
+            if hashes == 0 && !quote_kinds {
+                // b"..." — a plain (escaped) byte string.
+                lex_string_body(cur);
+            } else if hashes == 0 {
+                // r"..." / c"..." — no escapes, ends at the next quote.
+                while let Some(c) = cur.bump() {
+                    if c == '"' {
+                        break;
+                    }
+                }
+            } else {
+                // r#"..."# — ends at `"` followed by `hashes` hashes.
+                'outer: while let Some(c) = cur.bump() {
+                    if c == '"' {
+                        for i in 0..hashes {
+                            if cur.peek(i) != Some('#') {
+                                continue 'outer;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                }
+            }
+            Some(TokKind::Literal)
+        }
+        Some('\'') if c == 'b' && hash_at == 1 => {
+            // b'x' byte char.
+            cur.bump();
+            cur.bump();
+            lex_char_body(cur);
+            Some(TokKind::Literal)
+        }
+        Some(n) if hashes == 1 && c == 'r' && is_ident_start(n) => {
+            // r#ident raw identifier.
+            cur.bump();
+            cur.bump();
+            while cur.peek(0).map(is_ident_continue) == Some(true) {
+                cur.bump();
+            }
+            Some(TokKind::Ident)
+        }
+        _ => None,
+    }
+}
+
+/// Consume a `"..."` string starting at the opening quote.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump();
+    lex_string_body(cur);
+}
+
+/// Consume string contents up to and including the closing quote,
+/// honouring backslash escapes.
+fn lex_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// After `'`: char literal (`'a'`, `'\n'`) or lifetime (`'a`, `'static`).
+fn lex_quote(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // the opening quote
+    match cur.peek(0) {
+        Some('\\') => {
+            lex_char_body(cur);
+            TokKind::Literal
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` / `'abc` without a closing quote is a
+            // lifetime.
+            if cur.peek(1) == Some('\'') {
+                cur.bump();
+                cur.bump();
+                TokKind::Literal
+            } else {
+                while cur.peek(0).map(is_ident_continue) == Some(true) {
+                    cur.bump();
+                }
+                TokKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // `'('`-style single-char literal.
+            lex_char_body(cur);
+            TokKind::Literal
+        }
+        None => TokKind::Punct,
+    }
+}
+
+/// Consume char-literal contents up to and including the closing quote.
+fn lex_char_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume a numeric literal: digits, `_`, suffixes, hex/oct/bin bodies,
+/// and a fractional part only when a digit follows the dot (so `1..n`
+/// stays three tokens).
+fn lex_number(cur: &mut Cursor) {
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            // `1e-3` / `1E+7`: the sign belongs to the exponent.
+            let was_exp = (c == 'e' || c == 'E')
+                && matches!(cur.peek(1), Some('+') | Some('-'))
+                && cur.peek(2).map(|d| d.is_ascii_digit()) == Some(true);
+            cur.bump();
+            if was_exp {
+                cur.bump();
+            }
+        } else if c == '.' && cur.peek(1).map(|d| d.is_ascii_digit()) == Some(true) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = tokenize("let x = a.unwrap();");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+        assert_eq!(toks[5].line, 1);
+        assert_eq!(toks[5].col, 11);
+    }
+
+    #[test]
+    fn comments_keep_text_and_span_lines() {
+        let toks = tokenize("// SAFETY: fine\n/* a\nb */ x");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[0].comment_text(), "SAFETY: fine");
+        assert_eq!(toks[1].kind, TokKind::BlockComment);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].end_line, 3);
+        assert_eq!(toks[2].text, "x");
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = tokenize("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unwrap() // not a comment";"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            1
+        );
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let s = r#"panic!("x")"#; let r#type = 1;"##);
+        assert!(toks.contains(&(TokKind::Ident, "r#type".to_string())));
+        assert!(!toks.iter().any(|(_, t)| t == "panic"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r###"f(b"abc", b'x', br#"raw"#);"###);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(toks.contains(&(TokKind::Literal, "'y'".to_string())));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let toks = kinds(r"let c = '\''; let d = '\n';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = tokenize("for i in 0..n { f(1.5e-3, 0xFFu8); }");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"n"));
+        assert!(texts.contains(&"1.5e-3"));
+        assert!(texts.contains(&"0xFFu8"));
+        assert_eq!(texts.iter().filter(|t| **t == ".").count(), 2);
+    }
+}

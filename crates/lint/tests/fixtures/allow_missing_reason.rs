@@ -1,0 +1,5 @@
+//@path: crates/core/src/physical.rs
+pub fn decode(v: Option<u32>) -> u32 {
+    // lint: allow(no-panic-hot-path)
+    v.unwrap()
+}

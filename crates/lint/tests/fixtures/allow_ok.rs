@@ -1,0 +1,8 @@
+//@path: crates/core/src/physical.rs
+pub fn decode(v: Option<u32>) -> u32 {
+    // lint: allow(no-panic-hot-path) -- fixture proving a well-formed allow suppresses the diagnostic
+    v.unwrap()
+}
+pub fn decode_trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // lint: allow(no-panic-hot-path) -- trailing form covers its own line
+}

@@ -1,0 +1,5 @@
+//@path: crates/core/src/physical.rs
+pub fn fine() -> u32 {
+    // lint: allow(no-such-rule) -- rule id does not exist
+    7
+}

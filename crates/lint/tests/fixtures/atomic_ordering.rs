@@ -1,0 +1,9 @@
+//@path: crates/engine/src/catalog.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+pub fn bump_justified(c: &AtomicU64) {
+    // Relaxed ordering: pure statistic, publishes nothing.
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,7 @@
+//@path: crates/workloads/src/probe.rs
+use audb_native::sort_native;
+pub fn run() {
+    let a = sort_native();
+    let b = rewr_sort();
+    (a, b)
+}

@@ -1,0 +1,11 @@
+//@path: crates/server/src/fault.rs
+use std::fmt;
+#[derive(Debug)]
+pub enum FaultError {
+    Broken,
+}
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "broken")
+    }
+}

@@ -1,0 +1,20 @@
+//@path: crates/core/src/physical.rs
+pub fn decode(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+pub fn decode2(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+pub fn boom() {
+    panic!("bad state");
+}
+pub fn later() -> u32 {
+    todo!()
+}
+pub fn dead_arm(x: bool) -> u32 {
+    // `unreachable!` is deliberately legal: it marks proven-dead arms.
+    match x {
+        true => 1,
+        false => unreachable!(),
+    }
+}

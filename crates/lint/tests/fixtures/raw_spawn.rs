@@ -1,0 +1,7 @@
+//@path: crates/engine/src/exec/pipeline.rs
+pub fn go() {
+    std::thread::spawn(|| {});
+}
+pub fn go_builder() {
+    let _ = std::thread::Builder::new().spawn(|| {});
+}

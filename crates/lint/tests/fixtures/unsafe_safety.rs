@@ -1,0 +1,8 @@
+//@path: crates/core/src/columns.rs
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+pub fn read_justified(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}

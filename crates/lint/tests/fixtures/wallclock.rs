@@ -1,0 +1,8 @@
+//@path: crates/core/src/sortkey.rs
+pub fn stamp() -> u128 {
+    let s = std::time::Instant::now();
+    s.elapsed().as_nanos()
+}
+pub fn epoch() -> bool {
+    std::time::SystemTime::now() == std::time::SystemTime::UNIX_EPOCH
+}

@@ -71,6 +71,9 @@ where
             let next = &next;
             let slots = &slots;
             scope.spawn(move || loop {
+                // Relaxed ordering suffices: the counter only hands out
+                // unique indices; result publication is ordered by the
+                // scope's thread join, not by this RMW.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -103,6 +106,8 @@ struct SendSlots<U>(*mut Option<U>);
 // SAFETY: workers write disjoint slots (unique indices from the atomic
 // counter) and the scope joins all threads before the buffer is read.
 unsafe impl<U: Send> Sync for SendSlots<U> {}
+// SAFETY: same argument as Sync above — the pointer is only dereferenced
+// at disjoint offsets while the owning scope keeps the buffer alive.
 unsafe impl<U: Send> Send for SendSlots<U> {}
 
 #[cfg(test)]

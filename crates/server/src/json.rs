@@ -294,7 +294,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.eat(b) {
             Ok(())
         } else {
@@ -325,7 +325,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.eat(b']') {
@@ -338,12 +338,12 @@ impl Parser<'_> {
             if self.eat(b']') {
                 return Ok(Json::Arr(items));
             }
-            self.expect(b',')?;
+            self.expect_byte(b',')?;
         }
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.eat(b'}') {
@@ -353,19 +353,19 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             pairs.push((key, self.value()?));
             self.skip_ws();
             if self.eat(b'}') {
                 return Ok(Json::Obj(pairs));
             }
-            self.expect(b',')?;
+            self.expect_byte(b',')?;
         }
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos) {
@@ -409,7 +409,10 @@ impl Parser<'_> {
                     // at char boundaries is safe via char_indices logic).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -440,7 +443,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Float)

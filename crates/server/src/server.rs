@@ -82,6 +82,10 @@ impl ServerHandle {
     }
 
     fn stop_and_join(&mut self) {
+        // Shutdown is a once-per-server event: SeqCst ordering makes the
+        // flag's visibility trivially correct relative to the wake-up
+        // connection below (Release/Acquire would do; the stronger
+        // ordering costs nothing off the request path).
         self.stop.store(true, Ordering::SeqCst);
         // Poke the blocking accept() so the acceptor observes the flag.
         let _ = TcpStream::connect(self.addr);
@@ -119,9 +123,8 @@ pub fn serve(state: ServerState, config: ServerConfig) -> io::Result<ServerHandl
             std::thread::Builder::new()
                 .name(format!("audb-worker-{i}"))
                 .spawn(move || worker_loop(&rx, &state, limit))
-                .expect("spawn worker")
         })
-        .collect();
+        .collect::<io::Result<Vec<_>>>()?;
 
     let acceptor = {
         let stop = Arc::clone(&stop);
@@ -129,6 +132,8 @@ pub fn serve(state: ServerState, config: ServerConfig) -> io::Result<ServerHandl
             .name("audb-acceptor".into())
             .spawn(move || {
                 for conn in listener.incoming() {
+                    // SeqCst ordering pairs with the store in
+                    // stop_and_join; see the justification there.
                     if stop.load(Ordering::SeqCst) {
                         break; // tx drops here; workers drain and exit.
                     }
@@ -141,8 +146,7 @@ pub fn serve(state: ServerState, config: ServerConfig) -> io::Result<ServerHandl
                         Err(_) => continue,
                     }
                 }
-            })
-            .expect("spawn acceptor")
+            })?
     };
 
     Ok(ServerHandle {

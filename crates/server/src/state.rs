@@ -48,19 +48,24 @@ impl ServerState {
 
     /// Count one handled request (and one error for non-2xx statuses).
     pub fn record(&self, status: u16) {
+        // Relaxed ordering: monotonic statistics counters that publish no
+        // other data — readers need totals, not happens-before edges.
         self.requests.fetch_add(1, Ordering::Relaxed);
         if status >= 400 {
+            // Relaxed ordering: same statistics-only argument as above.
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Requests handled so far.
     pub fn requests(&self) -> u64 {
+        // Relaxed ordering: see record() — a point-in-time statistic.
         self.requests.load(Ordering::Relaxed)
     }
 
     /// Requests answered with an error status so far.
     pub fn errors(&self) -> u64 {
+        // Relaxed ordering: see record() — a point-in-time statistic.
         self.errors.load(Ordering::Relaxed)
     }
 }

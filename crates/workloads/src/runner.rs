@@ -163,7 +163,7 @@ pub fn imp_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<B
 }
 
 /// `Rewr`: the Fig. 7 rewrite.
-pub fn rewr_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<Bounds> {
+pub fn rewrite_sort(table: &XTupleTable, order: &[usize], k: Option<u64>) -> Timed<Bounds> {
     let plan = sort_plan(table, order, k);
     let id_col = table.schema.arity() - 1;
     let n_ids = plan.source().len() + 1;
@@ -246,7 +246,7 @@ pub fn imp_window(
 }
 
 /// `Rewr` / `Rewr(index)`: the Fig. 8 rewrite.
-pub fn rewr_window(
+pub fn rewrite_window(
     table: &XTupleTable,
     order: &[usize],
     agg: WinAgg,
@@ -328,7 +328,7 @@ mod tests {
         let order = [0usize, 1];
         let tight = symb_sort(&t, &order).value;
         let imp = imp_sort(&t, &order, None).value;
-        let rewr = rewr_sort(&t, &order, None).value;
+        let rewr = rewrite_sort(&t, &order, None).value;
         let mc = mcdb_sort(&t, &order, 10, 1).value;
 
         assert_eq!(imp, rewr, "Imp and Rewr produce identical bounds");
@@ -396,7 +396,8 @@ mod tests {
         )
         .expect("sql window runs")
         .value;
-        let built = rewr_window(&w, &[0], WinAgg::Sum(2), -2, 0, JoinStrategy::IntervalIndex).value;
+        let built =
+            rewrite_window(&w, &[0], WinAgg::Sum(2), -2, 0, JoinStrategy::IntervalIndex).value;
         assert_eq!(sql, built, "SQL window ≡ builder window");
 
         // Validation errors surface as structured SessionErrors.

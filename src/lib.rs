@@ -87,8 +87,10 @@ pub use audb_competitors as competitors;
 pub use audb_conheap as conheap;
 pub use audb_core as core;
 pub use audb_engine as engine;
+// lint: allow(no-direct-backend-call) -- umbrella crate re-exports every layer by design
 pub use audb_native as native;
 pub use audb_rel as rel;
+// lint: allow(no-direct-backend-call) -- umbrella crate re-exports every layer by design
 pub use audb_rewrite as rewrite;
 pub use audb_server as server;
 pub use audb_sql as sql;

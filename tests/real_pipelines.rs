@@ -22,7 +22,7 @@ fn rank_quality_relationships_hold_on_all_datasets() {
         let rq = &ds.rank;
         let tight = runner::symb_sort(&rq.table, &rq.order).value;
         let imp = runner::imp_sort(&rq.table, &rq.order, None).value;
-        let rewr = runner::rewr_sort(&rq.table, &rq.order, None).value;
+        let rewr = runner::rewrite_sort(&rq.table, &rq.order, None).value;
         let mc = runner::mcdb_sort(&rq.table, &rq.order, 20, 9).value;
 
         assert_eq!(imp, rewr, "{}: Imp and Rewr must agree", ds.name);
