@@ -35,6 +35,17 @@
 //! rows-per-second pairs. CI asserts typed ≤ columnar ≤ row on
 //! `sort_sel` and typed ≥ generic within each sweep.
 //!
+//! Schema v6 (the incremental-maintenance PR) adds a `"streaming"`
+//! section: per size, an in-order sensor stream is pushed through a
+//! `Session::subscribe` window subscription in 64-row appends on **both
+//! strategy arms within the same run** — the incremental sweep (live
+//! `ConnectedHeap` state, per-append p50/p99 and sustained appends/sec)
+//! and a forced full recompute per batch (`with_cutoff(usize::MAX)`).
+//! The `streaming_16k_speedup` headline is their within-run ratio; only
+//! within-run pairs are gated (cross-run noise on this container is
+//! ±20%). CI asserts incremental ≥ recompute on every row and ≥ 5× when
+//! the 16k row is present.
+//!
 //! The file also carries the frozen `naive_baseline_ms` block: the same
 //! benchmarks measured on the pre-optimization implementation (per-
 //! comparison corner-tuple allocation in `normalize()`, `Vec<Value>` heap
@@ -43,8 +54,9 @@
 //! section is regenerated on demand and comparing the two is the ≥ 2×
 //! acceptance gate of the optimization PR.
 
-use audb_core::{PhysType, RangeExpr, WinAgg};
-use audb_engine::{Engine, ExecMode, Plan, Query};
+use audb_core::{AuRelation, AuTuple, Mult3, PhysType, RangeExpr, RangeValue, WinAgg};
+use audb_engine::{Engine, ExecMode, MaintainedQuery, Plan, Query, Session, SharedCatalog};
+use audb_rel::Schema;
 use audb_workloads::runner::{sort_plan, window_plan};
 use audb_workloads::synthetic::{gen_sort_table, gen_window_table, SyntheticConfig};
 use std::fmt::Write as _;
@@ -402,6 +414,141 @@ pub fn measure_kernels(cfg: &BenchConfig) -> Vec<KernelSweep> {
     out
 }
 
+/// One streaming cell: `n` rows pushed through a window subscription in
+/// `batch`-row appends, measured on both strategy arms within one run so
+/// the speedup is immune to cross-run noise.
+#[derive(Clone, Debug)]
+pub struct StreamingRun {
+    /// Total rows streamed.
+    pub n: usize,
+    /// Rows per append.
+    pub batch: usize,
+    /// Number of appends (`ceil(n / batch)`).
+    pub appends: usize,
+    /// Sustained append rate of the incremental arm.
+    pub appends_per_sec: f64,
+    /// Median per-append latency of the incremental arm, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-append latency, microseconds.
+    pub p99_us: f64,
+    /// Wall total of the incremental arm, milliseconds.
+    pub incremental_ms: f64,
+    /// Wall total of the forced-recompute arm over the same batches.
+    pub recompute_ms: f64,
+    /// `recompute_ms / incremental_ms` — the within-run gate CI reads.
+    pub speedup: f64,
+}
+
+/// Rows per streaming append; small enough that per-append latency is
+/// dominated by the maintenance work, large enough to amortize the
+/// batch-side sort.
+const STREAM_BATCH: usize = 64;
+
+const STREAM_SQL: &str = "SELECT *, SUM(v) OVER (ORDER BY o \
+                          ROWS BETWEEN 4 PRECEDING AND CURRENT ROW) AS roll FROM s";
+
+fn stream_schema() -> Schema {
+    Schema::new(["o", "v"])
+}
+
+/// A deterministic in-order sensor stream split into `batch`-row appends:
+/// strictly increasing uncertain order keys (stride 4, spread ≤ 2, so
+/// every batch lands past the accumulated frontier and the subscription
+/// stays on the incremental path) and ~20% of readings carrying a value
+/// band. Multiplicities are certain — readings exist for sure, only their
+/// measurements are banded. That keeps the open tail frame-bounded: an
+/// existence-uncertain row widens every later row's position range
+/// permanently, so Θ(n) windows would stay open and the per-append delta
+/// itself would be Θ(n) regardless of maintenance strategy (DESIGN.md
+/// §13.1).
+fn stream_batches(n: usize, batch: usize) -> Vec<AuRelation> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut t = 0i64;
+    let mut out = Vec::new();
+    let mut rows = Vec::with_capacity(batch);
+    for _ in 0..n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        t += 4;
+        let spread = (state % 3) as i64;
+        let v = ((state >> 8) % 100) as i64 - 50;
+        let value = if state.is_multiple_of(5) {
+            RangeValue::new(v - 2, v, v + 2)
+        } else {
+            RangeValue::certain(v)
+        };
+        rows.push((
+            AuTuple::new([RangeValue::new(t, t + spread / 2, t + spread), value]),
+            Mult3::ONE,
+        ));
+        if rows.len() == batch {
+            out.push(AuRelation::from_rows(stream_schema(), rows.split_off(0)));
+        }
+    }
+    if !rows.is_empty() {
+        out.push(AuRelation::from_rows(stream_schema(), rows));
+    }
+    out
+}
+
+fn stream_subscription(cutoff: usize) -> MaintainedQuery {
+    let catalog = SharedCatalog::new();
+    catalog.register("s", AuRelation::empty(stream_schema()));
+    Session::with_catalog(Engine::native(), catalog)
+        .subscribe(STREAM_SQL)
+        .expect("streaming SQL compiles")
+        .with_cutoff(cutoff)
+}
+
+/// Measure the streaming section: the same append sequence absorbed
+/// incrementally and by full recompute, per configured size.
+pub fn measure_streaming(cfg: &BenchConfig) -> Vec<StreamingRun> {
+    let _pin = ThreadPin::set(cfg.threads);
+    cfg.sizes
+        .iter()
+        .map(|&n| {
+            let batches = stream_batches(n, STREAM_BATCH);
+
+            let mut q = stream_subscription(STREAM_BATCH);
+            let mut lat = Vec::with_capacity(batches.len());
+            let started = Instant::now();
+            for b in &batches {
+                let t = Instant::now();
+                std::hint::black_box(q.append(b).expect("in-order append"));
+                lat.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+            let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+            let (incr, _) = q.strategy_counts();
+            assert!(incr > 0, "streaming bench fell off the incremental path");
+            lat.sort_by(f64::total_cmp);
+            let p50_us = lat[lat.len() / 2];
+            let p99_us = lat[(lat.len() - 1) * 99 / 100];
+
+            // Same batches, strategy forced to recompute: the cutoff is
+            // never reached, so every append re-runs the full plan.
+            let mut q = stream_subscription(usize::MAX);
+            let started = Instant::now();
+            for b in &batches {
+                std::hint::black_box(q.append(b).expect("in-order append"));
+            }
+            let recompute_ms = started.elapsed().as_secs_f64() * 1e3;
+
+            StreamingRun {
+                n,
+                batch: STREAM_BATCH,
+                appends: batches.len(),
+                appends_per_sec: batches.len() as f64 * 1e3 / incremental_ms,
+                p50_us,
+                p99_us,
+                incremental_ms,
+                recompute_ms,
+                speedup: recompute_ms / incremental_ms,
+            }
+        })
+        .collect()
+}
+
 /// Render the per-column physical-type counts of one run's input.
 fn phys_counts(phys: &[PhysType]) -> String {
     let count = |t: PhysType| phys.iter().filter(|p| **p == t).count();
@@ -419,6 +566,7 @@ fn phys_counts(phys: &[PhysType]) -> String {
 pub fn render_json(
     measurements: &[Measurement],
     kernels: &[KernelSweep],
+    streaming: &[StreamingRun],
     cfg: &BenchConfig,
 ) -> String {
     let mut s = String::new();
@@ -430,7 +578,10 @@ pub fn render_json(
     // v5: an optional top-level `server` section (written by `repro
     // loadgen`, preserved by `repro bench`) records p50/p99 latency and
     // QPS per concurrency level against a running `repro serve`.
-    s.push_str("  \"schema_version\": 5,\n");
+    // v6: the `streaming` section measures a window subscription's
+    // incremental vs forced-recompute arms within one run, plus the
+    // `streaming_16k_speedup` headline CI gates.
+    s.push_str("  \"schema_version\": 6,\n");
     let sizes = cfg
         .sizes
         .iter()
@@ -485,6 +636,16 @@ pub fn render_json(
         s.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    s.push_str("  \"streaming\": [\n");
+    for (i, r) in streaming.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"n\": {}, \"batch\": {}, \"appends\": {}, \"appends_per_sec\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"incremental_ms\": {:.3}, \"recompute_ms\": {:.3}, \"speedup\": {:.2}}}",
+            r.n, r.batch, r.appends, r.appends_per_sec, r.p50_us, r.p99_us, r.incremental_ms, r.recompute_ms, r.speedup
+        );
+        s.push_str(if i + 1 < streaming.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
     // Headline ratio the acceptance gate reads: naive / current for
     // sort/imp (pipeline arm) at 16k rows; null when 16k was not measured
     // (e.g. the CI `--sizes 1000` smoke run).
@@ -495,11 +656,18 @@ pub fn render_json(
         Some(m) => {
             let _ = writeln!(
                 s,
-                "  \"sort_imp_16k_speedup_vs_naive\": {:.2}",
+                "  \"sort_imp_16k_speedup_vs_naive\": {:.2},",
                 NAIVE_BASELINE_SORT_IMP_MS[2] / m.ms
             );
         }
-        None => s.push_str("  \"sort_imp_16k_speedup_vs_naive\": null\n"),
+        None => s.push_str("  \"sort_imp_16k_speedup_vs_naive\": null,\n"),
+    }
+    // v6 headline: the within-run incremental-vs-recompute ratio at 16k.
+    match streaming.iter().find(|r| r.n == 16_000) {
+        Some(r) => {
+            let _ = writeln!(s, "  \"streaming_16k_speedup\": {:.2}", r.speedup);
+        }
+        None => s.push_str("  \"streaming_16k_speedup\": null\n"),
     }
     s.push_str("}\n");
     s
@@ -521,7 +689,14 @@ pub fn run_json(path: &str, cfg: &BenchConfig) {
             k.n, k.kernel, k.typed_rows_per_sec, k.generic_rows_per_sec
         );
     }
-    let json = render_json(&measurements, &kernels, cfg);
+    let streaming = measure_streaming(cfg);
+    for r in &streaming {
+        println!(
+            "{:>6} rows  streaming {:>8.0} appends/s  p50 {:>8.1} us  p99 {:>8.1} us  {:>6.2}x vs recompute",
+            r.n, r.appends_per_sec, r.p50_us, r.p99_us, r.speedup
+        );
+    }
+    let json = render_json(&measurements, &kernels, &streaming, cfg);
     let json = preserve_server_section(path, json);
     std::fs::write(path, &json).expect("write bench artifact");
     println!("wrote {path}");
@@ -601,9 +776,27 @@ mod tests {
             cell("window", "det", "materialized", 1_000, 1.0),
         ];
         let sweeps = vec![sweep("truth_batch"), sweep("eval_batch")];
-        let json = render_json(&ms, &sweeps, &BenchConfig::default());
+        let streaming = vec![StreamingRun {
+            n: 16_000,
+            batch: 64,
+            appends: 250,
+            appends_per_sec: 4000.0,
+            p50_us: 210.0,
+            p99_us: 900.0,
+            incremental_ms: 62.5,
+            recompute_ms: 500.0,
+            speedup: 8.0,
+        }];
+        let json = render_json(&ms, &sweeps, &streaming, &BenchConfig::default());
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
+        // The v6 streaming section and its within-run headline.
+        assert!(json.contains(
+            "{\"n\": 16000, \"batch\": 64, \"appends\": 250, \"appends_per_sec\": 4000, \
+             \"p50_us\": 210.0, \"p99_us\": 900.0, \"incremental_ms\": 62.500, \
+             \"recompute_ms\": 500.000, \"speedup\": 8.00}"
+        ));
+        assert!(json.contains("\"streaming_16k_speedup\": 8.00"));
         // The v3 columns render per run, with the v4 typed layout added.
         assert_eq!(json.matches("\"rows_per_sec\"").count(), 3);
         assert_eq!(
@@ -658,10 +851,10 @@ mod tests {
         // Without the flag, the ambient pin is what the artifact records.
         let cfg = BenchConfig::default();
         assert_eq!(cfg.effective_threads(), Some(3));
-        assert!(render_json(&[], &[], &cfg).contains("\"threads\": 3"));
+        assert!(render_json(&[], &[], &[], &cfg).contains("\"threads\": 3"));
         std::env::remove_var("AUDB_THREADS");
         assert_eq!(cfg.effective_threads(), None);
-        assert!(render_json(&[], &[], &cfg).contains("\"threads\": \"auto\""));
+        assert!(render_json(&[], &[], &[], &cfg).contains("\"threads\": \"auto\""));
     }
 
     /// The typed layout must strictly beat the generic columnar layout,
@@ -730,10 +923,85 @@ mod tests {
             sizes: vec![1_000],
             threads: Some(2),
         };
-        let json = render_json(&ms, &[], &cfg);
+        let json = render_json(&ms, &[], &[], &cfg);
         assert!(json.contains("\"sort_imp_16k_speedup_vs_naive\": null"));
+        assert!(json.contains("\"streaming_16k_speedup\": null"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"sizes\": [1000]"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// The streaming sweep must stay on the incremental path, report a
+    /// coherent latency distribution, and — in release builds, where the
+    /// artifact is actually produced — beat the forced-recompute arm
+    /// within the same run.
+    #[test]
+    fn streaming_incremental_beats_recompute_within_run() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let cfg = BenchConfig {
+            quick: true,
+            sizes: vec![1_000],
+            threads: Some(1),
+        };
+        let runs = measure_streaming(&cfg);
+        assert_eq!(runs.len(), 1);
+        let r = &runs[0];
+        assert_eq!((r.n, r.batch), (1_000, STREAM_BATCH));
+        assert_eq!(r.appends, 1_000usize.div_ceil(STREAM_BATCH));
+        assert!(r.p50_us <= r.p99_us, "p50 {} > p99 {}", r.p50_us, r.p99_us);
+        assert!(r.appends_per_sec > 0.0 && r.speedup > 0.0);
+        if !cfg!(debug_assertions) {
+            assert!(
+                r.speedup >= 1.0,
+                "incremental arm slower than recompute within one run: {:.2}x",
+                r.speedup
+            );
+        }
+    }
+
+    /// `repro bench` must round-trip an existing artifact's `server`
+    /// section (the loadgen's measurements) unchanged — regenerating the
+    /// perf numbers must not discard the latency numbers.
+    #[test]
+    fn server_section_round_trips_through_rerender() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("audb_bench_server_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sort_window.json");
+        let path = path.to_str().unwrap();
+
+        let server = "{\"clients\": 2, \"qps\": 1234.5, \"p50_us\": 800, \"p99_us\": 2100}";
+        std::fs::write(
+            path,
+            format!("{{\"artifact\": \"BENCH_sort_window\", \"server\": {server}}}"),
+        )
+        .unwrap();
+
+        let cfg = BenchConfig {
+            quick: true,
+            sizes: vec![1_000],
+            threads: Some(2),
+        };
+        let fresh = render_json(
+            &[cell("sort", "imp", "pipeline", 1_000, 1.0)],
+            &[],
+            &[],
+            &cfg,
+        );
+        let merged = preserve_server_section(path, fresh.clone());
+        let doc = audb_server::Json::parse(&merged).unwrap();
+        assert_eq!(
+            doc.get("server"),
+            audb_server::Json::parse(server).ok().as_ref(),
+            "server section changed across the re-render"
+        );
+        // Everything else is the fresh render's content.
+        assert_eq!(doc.get("schema_version"), Some(&audb_server::Json::Int(6)));
+        assert!(doc.get("runs").is_some() && doc.get("streaming").is_some());
+
+        // No existing artifact (or one without a server section): the
+        // fresh render is written untouched.
+        std::fs::remove_file(path).unwrap();
+        assert_eq!(preserve_server_section(path, fresh.clone()), fresh);
     }
 }

@@ -209,7 +209,7 @@ impl Native {
     /// cases fall back. Callers must pass a **normalized** relation:
     /// separately stored copies of one hypercube merge into a duplicate
     /// multiplicity, so checking raw rows would miss them.
-    fn window_needs_reference(rel: &AuRelation, spec: &AuWindowSpec) -> bool {
+    pub(crate) fn window_needs_reference(rel: &AuRelation, spec: &AuWindowSpec) -> bool {
         debug_assert!(rel.is_normalized());
         rel.rows().iter().any(|row| {
             row.mult.ub > 1

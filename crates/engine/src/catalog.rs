@@ -146,7 +146,104 @@ impl SharedCatalog {
         *guard = (guard.0 + 1, Arc::new(next));
         out
     }
+
+    /// Publish a new snapshot with `batch`'s rows appended to the named
+    /// table — the ingest path of the streaming API. The append is
+    /// copy-on-write like [`SharedCatalog::register`]: the table is cloned
+    /// with the new rows, the snapshot `Arc` is swapped, and the version
+    /// bump invalidates any [`crate::PlanCache`] keyed on it. In-flight
+    /// queries keep their pinned pre-append relation.
+    ///
+    /// Validation happens before anything is published: a failed append
+    /// does **not** bump the version. Returns the table's new total row
+    /// count and the new catalog version.
+    pub fn append(
+        &self,
+        name: &str,
+        batch: &AuRelation,
+    ) -> Result<(usize, u64), CatalogAppendError> {
+        let mut guard = self.current.write().expect("catalog lock poisoned");
+        let Some(current) = guard.1.get(name) else {
+            return Err(CatalogAppendError::UnknownTable {
+                name: name.to_string(),
+                known: guard.1.names().map(String::from).collect(),
+            });
+        };
+        if current.schema != batch.schema {
+            return Err(CatalogAppendError::SchemaMismatch {
+                table: name.to_string(),
+                expected: current.schema.to_string(),
+                got: batch.schema.to_string(),
+            });
+        }
+        let mut grown = (**current).clone();
+        for row in batch.rows() {
+            grown.push(row.tuple.clone(), row.mult);
+        }
+        let total = grown.rows().len();
+        let mut next = (*guard.1).clone();
+        next.register(name, grown);
+        *guard = (guard.0 + 1, Arc::new(next));
+        Ok((total, guard.0))
+    }
 }
+
+/// An append could not be published (nothing changed, no version bump).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CatalogAppendError {
+    /// The named table is not registered.
+    UnknownTable {
+        /// The missing name.
+        name: String,
+        /// The catalog's registered names (for the error message).
+        known: Vec<String>,
+    },
+    /// The appended rows carry a different schema than the table.
+    SchemaMismatch {
+        /// The table appended to.
+        table: String,
+        /// Display form of the table's schema.
+        expected: String,
+        /// Display form of the batch's schema.
+        got: String,
+    },
+}
+
+impl CatalogAppendError {
+    /// A stable machine-readable tag, as used in the server's structured
+    /// error responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CatalogAppendError::UnknownTable { .. } => "unknown_table",
+            CatalogAppendError::SchemaMismatch { .. } => "schema_mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for CatalogAppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogAppendError::UnknownTable { name, known } => {
+                write!(f, "unknown table {name:?}; registered: ")?;
+                if known.is_empty() {
+                    write!(f, "(none)")
+                } else {
+                    write!(f, "{}", known.join(", "))
+                }
+            }
+            CatalogAppendError::SchemaMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "appended rows have schema {got}, but table {table:?} has schema {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CatalogAppendError {}
 
 #[cfg(test)]
 mod tests {
@@ -181,6 +278,34 @@ mod tests {
         clone.register("u", AuRelation::empty(Schema::new(["b"])));
         assert!(shared.snapshot().get("u").is_some());
         assert!(!SharedCatalog::from_catalog(Catalog::new()).same_catalog(&shared));
+    }
+
+    #[test]
+    fn append_publishes_grown_snapshots_and_validates_first() {
+        use audb_core::{AuTuple, Mult3, RangeValue};
+        let shared = SharedCatalog::new();
+        let schema = Schema::new(["a"]);
+        let row = |v: i64| (AuTuple::new([RangeValue::certain(v)]), Mult3::ONE);
+        shared.register("t", AuRelation::from_rows(schema.clone(), [row(1)]));
+        assert_eq!(shared.version(), 1);
+        let pinned = shared.snapshot();
+
+        let batch = AuRelation::from_rows(schema.clone(), [row(2), row(3)]);
+        let (total, version) = shared.append("t", &batch).unwrap();
+        assert_eq!((total, version), (3, 2));
+        assert_eq!(shared.snapshot().get("t").unwrap().rows().len(), 3);
+        // Pinned snapshots keep the pre-append relation.
+        assert_eq!(pinned.get("t").unwrap().rows().len(), 1);
+
+        // Failed appends change nothing — not even the version.
+        let miss = shared.append("nope", &batch).unwrap_err();
+        assert_eq!(miss.kind(), "unknown_table");
+        let bad = AuRelation::empty(Schema::new(["a", "b"]));
+        let mismatch = shared.append("t", &bad).unwrap_err();
+        assert_eq!(mismatch.kind(), "schema_mismatch");
+        assert!(mismatch.to_string().contains("(a)"), "{mismatch}");
+        assert_eq!(shared.version(), 2);
+        assert_eq!(shared.snapshot().get("t").unwrap().rows().len(), 3);
     }
 
     #[test]

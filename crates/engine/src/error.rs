@@ -48,6 +48,15 @@ pub enum PlanError {
         /// Window end offset.
         upper: i64,
     },
+    /// [`crate::Plan::with_source`] was given a relation whose schema
+    /// differs from the one the plan was compiled against (appended rows
+    /// must match the subscribed table's schema exactly).
+    SourceSchemaMismatch {
+        /// Display form of the schema the plan was compiled against.
+        expected: String,
+        /// Display form of the schema actually supplied.
+        got: String,
+    },
 }
 
 impl PlanError {
@@ -62,6 +71,7 @@ impl PlanError {
             PlanError::EmptyProjection => "empty_projection",
             PlanError::TopKWithoutSort => "topk_without_sort",
             PlanError::InvalidWindowFrame { .. } => "invalid_window_frame",
+            PlanError::SourceSchemaMismatch { .. } => "schema_mismatch",
         }
     }
 }
@@ -86,6 +96,10 @@ impl fmt::Display for PlanError {
             PlanError::InvalidWindowFrame { lower, upper } => write!(
                 f,
                 "window frame [{lower}, {upper}] must contain the current row (lower ≤ 0 ≤ upper)"
+            ),
+            PlanError::SourceSchemaMismatch { expected, got } => write!(
+                f,
+                "source schema {got} does not match the plan's schema {expected}"
             ),
         }
     }

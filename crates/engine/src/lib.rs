@@ -37,16 +37,18 @@ mod catalog;
 mod engine;
 mod error;
 pub mod exec;
+pub mod maintain;
 mod plan;
 mod plancache;
 mod print;
 mod session;
 
 pub use backend::{Backend, Native, Reference, Rewrite};
-pub use catalog::{Catalog, SharedCatalog};
+pub use catalog::{Catalog, CatalogAppendError, SharedCatalog};
 pub use engine::{BackendChoice, BackendRun, Engine, Explain, ExplainStep, RunAll};
 pub use error::{EngineError, PlanError, SessionError};
 pub use exec::{ExecMode, ExecTrace, OpTiming, Pipeline, DEFAULT_BATCH_SIZE};
+pub use maintain::{Delta, MaintainedQuery, Strategy, DEFAULT_INCREMENTAL_CUTOFF};
 pub use plan::{Agg, ColRef, Op, Plan, Query, WindowSpec};
 pub use plancache::{CacheStats, PlanCache};
 pub use print::plan_to_sql;

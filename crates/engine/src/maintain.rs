@@ -1,0 +1,779 @@
+//! Live maintained queries: [`crate::Session::subscribe`] compiles a SQL
+//! statement once and keeps its result *maintained* under appended rows,
+//! re-emitting only the changed output rows as [`Delta`]s.
+//!
+//! ## Supported shape
+//!
+//! A maintainable plan is a chain of row-wise operators (select /
+//! project) feeding one final [`Op::Window`] or [`Op::TopK`]. Row-wise
+//! operators commute with append — running them over each batch and
+//! feeding the final operator's incremental state
+//! ([`audb_native::MaintainedWindow`] / [`audb_native::TopKMaintain`]) is
+//! exactly equivalent to recomputing the chain over the accumulated rows.
+//! Any other shape still subscribes, but every append recomputes.
+//!
+//! ## Strategy selection
+//!
+//! Each append batch picks [`Strategy::Incremental`] or
+//! [`Strategy::Recompute`], visible in [`MaintainedQuery::explain`]:
+//!
+//! * **Tiny relations recompute.** Below the cutoff (default
+//!   [`DEFAULT_INCREMENTAL_CUTOFF`] accumulated rows) a full recompute is
+//!   cheaper than maintaining sweep state; the maintained state is built
+//!   lazily the first time the relation crosses the cutoff.
+//! * **Window maintenance needs the native fast path.** If the engine's
+//!   effective backend is not `Native`, or the data hits the documented
+//!   native-window fallbacks (duplicate multiplicities after
+//!   normalization, uncertain `PARTITION BY` values), maintenance is
+//!   disabled *permanently* for the subscription — those conditions don't
+//!   un-happen — and every append recomputes on the engine, preserving the
+//!   engine's bound-agreement promise.
+//! * **Out-of-order appends rebuild.** The window sweep consumes rows in
+//!   ascending ORDER BY position; a batch overlapping the accumulated
+//!   frontier forces one recompute and a state rebuild (the rebuilt sweep
+//!   absorbs everything seen so far as a single batch). Top-k maintenance
+//!   accepts appends in any order and never rebuilds.
+//!
+//! Ground truth is always the engine itself: the recompute path *is*
+//! `engine.execute(plan.with_source(accumulated))`, and the property tests
+//! pin the incremental path bag-equal to it on all three backends.
+//!
+//! ## Delta semantics
+//!
+//! The maintained value is the normalized output bag. A [`Delta`] lists
+//! `removed` (key's old row/multiplicity) and `added` (new) for exactly
+//! the keys whose normalized entry changed: `value_after = value_before −
+//! removed + added`. Replaying every delta from subscription onward
+//! reconstructs [`MaintainedQuery::value`].
+
+use crate::backend;
+use crate::engine::Engine;
+use crate::error::SessionError;
+use crate::plan::{Op, Plan};
+use audb_core::{AuRelation, AuTuple, Mult3, SortKey};
+use audb_native::{MaintainedWindow, TopKMaintain};
+use std::collections::BTreeMap;
+
+/// Accumulated row count below which an append recomputes instead of
+/// maintaining sweep state (override per subscription with
+/// [`MaintainedQuery::with_cutoff`]).
+pub const DEFAULT_INCREMENTAL_CUTOFF: usize = 256;
+
+/// How one append batch was absorbed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// The batch updated live sweep state in `O(log n)` per row.
+    #[default]
+    Incremental,
+    /// The full plan re-ran over the accumulated relation.
+    Recompute,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Incremental => write!(f, "incremental"),
+            Strategy::Recompute => write!(f, "recompute"),
+        }
+    }
+}
+
+/// The changed output rows of one append: `value_after = value_before −
+/// removed + added`, as normalized `(row, multiplicity)` entries.
+#[derive(Clone, Debug, Default)]
+pub struct Delta {
+    /// Entries whose old form left the result (or changed multiplicity).
+    pub removed: Vec<(AuTuple, Mult3)>,
+    /// Entries now in the result (with their new multiplicity).
+    pub added: Vec<(AuTuple, Mult3)>,
+    /// How this batch was absorbed.
+    pub strategy: Strategy,
+}
+
+impl Delta {
+    /// True iff the append changed nothing in the output.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+}
+
+/// The final maintainable operator of the subscribed plan.
+enum MaintainKind {
+    Window {
+        state: Option<MaintainedWindow>,
+    },
+    TopK {
+        state: Option<TopKMaintain>,
+    },
+    /// The plan's shape is not maintainable; every append recomputes.
+    AlwaysRecompute {
+        reason: String,
+    },
+}
+
+/// A subscribed query: a compiled [`Plan`] whose result stays current
+/// under [`MaintainedQuery::append`]ed rows. Obtain one from
+/// [`crate::Session::subscribe`].
+pub struct MaintainedQuery {
+    engine: Engine,
+    plan: Plan,
+    /// The row-wise prefix of the plan (everything before the final op).
+    pre: Plan,
+    kind: MaintainKind,
+    cutoff: usize,
+    /// Raw accumulated source rows (initial relation + every batch).
+    accum: AuRelation,
+    /// The normalized current result: row key → (row, multiplicity).
+    current: BTreeMap<SortKey, (AuTuple, Mult3)>,
+    /// Open (provisional) window rows contributed to `current` by the last
+    /// incremental append — removed again on the next one.
+    open_prev: Vec<(AuTuple, Mult3)>,
+    /// Maintenance permanently disabled for this subscription, and why.
+    fallback_forever: Option<String>,
+    incremental_appends: u64,
+    recompute_appends: u64,
+    last: Option<(Strategy, usize)>,
+}
+
+impl MaintainedQuery {
+    pub(crate) fn new(engine: Engine, plan: Plan) -> Result<MaintainedQuery, SessionError> {
+        let kind = match plan.ops().last() {
+            Some(Op::Window { .. }) | Some(Op::TopK { .. })
+                if plan.ops()[..plan.ops().len() - 1].iter().all(|op| {
+                    matches!(
+                        op,
+                        Op::Select { .. } | Op::Project { .. } | Op::ProjectExprs { .. }
+                    )
+                }) =>
+            {
+                match plan.ops().last() {
+                    Some(Op::Window { .. }) => MaintainKind::Window { state: None },
+                    _ => MaintainKind::TopK { state: None },
+                }
+            }
+            Some(op) => MaintainKind::AlwaysRecompute {
+                reason: format!("final operator `{}` is not maintainable", op.name()),
+            },
+            None => MaintainKind::AlwaysRecompute {
+                reason: "plan has no maintainable operator".to_string(),
+            },
+        };
+        let pre = plan.prefix(plan.ops().len().saturating_sub(1).min(plan.ops().len()));
+        let accum = plan.source().clone();
+        let mut q = MaintainedQuery {
+            engine,
+            pre,
+            kind,
+            cutoff: DEFAULT_INCREMENTAL_CUTOFF,
+            accum,
+            current: BTreeMap::new(),
+            open_prev: Vec::new(),
+            fallback_forever: None,
+            incremental_appends: 0,
+            recompute_appends: 0,
+            last: None,
+            plan,
+        };
+        // Conditions that can only be observed, never un-observed, are
+        // checked once up front so explain() is honest from the start.
+        if matches!(q.kind, MaintainKind::Window { .. }) {
+            if q.engine.effective() != crate::engine::BackendChoice::Native {
+                q.fallback_forever = Some(format!(
+                    "window maintenance requires the native backend (engine runs {})",
+                    q.engine.effective()
+                ));
+            } else if let Some(Op::Window { spec, .. }) = q.plan.ops().last() {
+                let pre_rel = q.engine.execute(&q.pre)?.normalize();
+                if backend::Native::window_needs_reference(&pre_rel, spec) {
+                    q.fallback_forever = Some(
+                        "initial relation needs the reference window \
+                         (duplicate multiplicities or uncertain PARTITION BY)"
+                            .to_string(),
+                    );
+                }
+            }
+        } else if matches!(q.kind, MaintainKind::TopK { .. })
+            && q.engine.effective() != crate::engine::BackendChoice::Native
+        {
+            q.fallback_forever = Some(format!(
+                "top-k maintenance requires the native backend (engine runs {})",
+                q.engine.effective()
+            ));
+        }
+        q.recompute_current()?;
+        Ok(q)
+    }
+
+    /// Override the tiny-relation cutoff (accumulated rows below which
+    /// appends recompute instead of maintaining sweep state).
+    pub fn with_cutoff(mut self, cutoff: usize) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// The compiled plan this subscription maintains.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The current result, normalized, in deterministic row-key order.
+    pub fn value(&self) -> AuRelation {
+        AuRelation::from_rows(self.plan.schema().clone(), self.current.values().cloned())
+    }
+
+    /// Raw accumulated source rows (initial relation plus every appended
+    /// batch, in arrival order).
+    pub fn accumulated(&self) -> &AuRelation {
+        &self.accum
+    }
+
+    /// `(incremental, recompute)` append counts so far.
+    pub fn strategy_counts(&self) -> (u64, u64) {
+        (self.incremental_appends, self.recompute_appends)
+    }
+
+    /// Append a batch of source rows and return the changed output rows.
+    /// The batch must carry the subscribed table's exact schema.
+    pub fn append(&mut self, batch: &AuRelation) -> Result<Delta, SessionError> {
+        if batch.schema != self.plan.schemas()[0] {
+            return Err(SessionError::Plan(
+                crate::error::PlanError::SourceSchemaMismatch {
+                    expected: self.plan.schemas()[0].to_string(),
+                    got: batch.schema.to_string(),
+                },
+            ));
+        }
+        for row in batch.rows() {
+            self.accum.push(row.tuple.clone(), row.mult);
+        }
+        let strategy = self.try_incremental(batch)?;
+        let delta = match strategy {
+            Strategy::Incremental => {
+                self.incremental_appends += 1;
+                self.incremental_delta()
+            }
+            Strategy::Recompute => {
+                self.recompute_appends += 1;
+                let before = std::mem::take(&mut self.current);
+                self.recompute_current()?;
+                diff_maps(&before, &self.current)
+            }
+        };
+        self.last = Some((strategy, batch.rows().len()));
+        Ok(Delta { strategy, ..delta })
+    }
+
+    /// The engine's explain output for the subscribed plan, followed by
+    /// stable maintenance lines (strategy, cutoff, append counts).
+    pub fn explain(&self) -> String {
+        let mut s = self.engine.explain(&self.plan).to_string();
+        if !s.ends_with('\n') {
+            s.push('\n');
+        }
+        let mode = match (&self.kind, &self.fallback_forever) {
+            (MaintainKind::AlwaysRecompute { reason }, _) => {
+                format!("always recompute — {reason}")
+            }
+            (_, Some(reason)) => format!("always recompute — {reason}"),
+            (MaintainKind::Window { .. }, None) => {
+                format!("window incremental (cutoff {})", self.cutoff)
+            }
+            (MaintainKind::TopK { .. }, None) => {
+                format!("top-k incremental (cutoff {})", self.cutoff)
+            }
+        };
+        s.push_str(&format!("maintain: {mode}\n"));
+        s.push_str(&format!(
+            "appends: {} incremental, {} recompute\n",
+            self.incremental_appends, self.recompute_appends
+        ));
+        if let Some((strategy, rows)) = &self.last {
+            s.push_str(&format!("last append: {strategy} ({rows} rows)\n"));
+        }
+        s
+    }
+
+    /// Decide the batch's strategy and, when incremental, absorb it into
+    /// the live state. The accumulated raw rows are already updated.
+    fn try_incremental(&mut self, batch: &AuRelation) -> Result<Strategy, SessionError> {
+        if self.fallback_forever.is_some() {
+            return Ok(Strategy::Recompute);
+        }
+        match &self.kind {
+            MaintainKind::AlwaysRecompute { .. } => Ok(Strategy::Recompute),
+            MaintainKind::Window { .. } => self.try_incremental_window(batch),
+            MaintainKind::TopK { .. } => self.try_incremental_topk(batch),
+        }
+    }
+
+    fn try_incremental_window(&mut self, batch: &AuRelation) -> Result<Strategy, SessionError> {
+        if self.accum.rows().len() < self.cutoff {
+            // Tiny relation: recompute, and drop any stale state so the
+            // next crossing of the cutoff rebuilds from scratch.
+            if let MaintainKind::Window { state } = &mut self.kind {
+                *state = None;
+            }
+            return Ok(Strategy::Recompute);
+        }
+        let Some(Op::Window {
+            spec,
+            agg,
+            out_name,
+        }) = self.plan.ops().last().cloned()
+        else {
+            unreachable!("kind is Window only for window plans");
+        };
+        // Row-wise prefix over the batch alone ≡ its contribution to the
+        // prefix over the accumulated relation.
+        let pre_batch = self.engine.execute(&self.pre.with_source(batch.clone())?)?;
+        let pre_batch = pre_batch.normalize();
+        // The native window's documented fallbacks are sticky: a duplicate
+        // multiplicity or uncertain partition value stays in the data.
+        if pre_batch.rows().iter().any(|r| r.mult.ub > 1) {
+            self.fallback_forever =
+                Some("appended rows carry duplicate multiplicities (k↑ > 1)".to_string());
+            if let MaintainKind::Window { state } = &mut self.kind {
+                *state = None;
+            }
+            return Ok(Strategy::Recompute);
+        }
+        let MaintainKind::Window { state } = &mut self.kind else {
+            unreachable!();
+        };
+        if let Some(m) = state {
+            match m.check_batch(&pre_batch) {
+                Ok(()) => {
+                    m.apply(&pre_batch);
+                    return Ok(Strategy::Incremental);
+                }
+                Err(reason) => {
+                    if reason.contains("PARTITION BY") {
+                        self.fallback_forever = Some(reason);
+                        *state = None;
+                        return Ok(Strategy::Recompute);
+                    }
+                    // Frontier overlap: rebuild below, recompute this round.
+                    *state = None;
+                }
+            }
+        }
+        // Build (or rebuild) the sweep from everything seen so far as one
+        // batch; this append is answered by recompute, the next in-order
+        // batch goes incremental.
+        let pre_all = self
+            .engine
+            .execute(&self.pre.with_source(self.accum.clone())?)?
+            .normalize();
+        if backend::Native::window_needs_reference(&pre_all, &spec) {
+            self.fallback_forever = Some(
+                "accumulated relation needs the reference window \
+                 (duplicate multiplicities or uncertain PARTITION BY)"
+                    .to_string(),
+            );
+            return Ok(Strategy::Recompute);
+        }
+        let mut m = MaintainedWindow::new(pre_all.schema.clone(), spec, agg, &out_name);
+        m.apply(&pre_all);
+        // This round's recompute covers everything the fresh sweep has
+        // already closed — mark it drained so the next incremental append
+        // emits only genuinely new closes.
+        let _ = m.drain_new_closed();
+        let MaintainKind::Window { state } = &mut self.kind else {
+            unreachable!();
+        };
+        *state = Some(m);
+        self.open_prev = Vec::new();
+        Ok(Strategy::Recompute)
+    }
+
+    fn try_incremental_topk(&mut self, batch: &AuRelation) -> Result<Strategy, SessionError> {
+        if self.accum.rows().len() < self.cutoff {
+            if let MaintainKind::TopK { state } = &mut self.kind {
+                *state = None;
+            }
+            return Ok(Strategy::Recompute);
+        }
+        let Some(Op::TopK { order, k, pos_name }) = self.plan.ops().last().cloned() else {
+            unreachable!("kind is TopK only for top-k plans");
+        };
+        let pre_batch = self.engine.execute(&self.pre.with_source(batch.clone())?)?;
+        let MaintainKind::TopK { state } = &mut self.kind else {
+            unreachable!();
+        };
+        if let Some(m) = state {
+            m.apply(&pre_batch);
+            return Ok(Strategy::Incremental);
+        }
+        // First crossing of the cutoff: seed from the accumulated rows.
+        let pre_all = self
+            .engine
+            .execute(&self.pre.with_source(self.accum.clone())?)?;
+        let mut m = TopKMaintain::new(pre_all.schema.clone(), order, k, &pos_name);
+        m.apply(&pre_all);
+        *state = Some(m);
+        Ok(Strategy::Recompute)
+    }
+
+    /// Rebuild the result map via the ground-truth path: the full plan
+    /// over the accumulated relation, normalized.
+    fn recompute_current(&mut self) -> Result<(), SessionError> {
+        let out = self
+            .engine
+            .execute(&self.plan.with_source(self.accum.clone())?)?
+            .normalize();
+        self.current = BTreeMap::new();
+        for row in out.rows() {
+            self.current
+                .insert(SortKey::of_row(&row.tuple), (row.tuple.clone(), row.mult));
+        }
+        // The map no longer tracks which entries came from open windows;
+        // the next incremental append resyncs from the live state.
+        self.open_prev = Vec::new();
+        if let MaintainKind::Window { state: Some(m) } = &self.kind {
+            self.open_prev = m.open_result();
+        }
+        Ok(())
+    }
+
+    /// After an incremental window/top-k apply: retract the previous open
+    /// rows, add the newly closed and currently open rows, and report the
+    /// keys whose normalized entry changed. `O(changed)`, not `O(n)`.
+    fn incremental_delta(&mut self) -> Delta {
+        let (additions, removals) = match &mut self.kind {
+            MaintainKind::Window { state: Some(m) } => {
+                let mut additions = m.drain_new_closed();
+                let open_now = m.open_result();
+                additions.extend(open_now.iter().cloned());
+                let removals = std::mem::replace(&mut self.open_prev, open_now);
+                (additions, removals)
+            }
+            MaintainKind::TopK { state: Some(m) } => {
+                // The whole top-k band is the changed region; diff it
+                // against the previous map wholesale (O(k), not O(n)).
+                let out = m.result().normalize();
+                let mut next = BTreeMap::new();
+                for row in out.rows() {
+                    next.insert(SortKey::of_row(&row.tuple), (row.tuple.clone(), row.mult));
+                }
+                let before = std::mem::replace(&mut self.current, next);
+                return diff_maps(&before, &self.current);
+            }
+            _ => unreachable!("incremental_delta requires live state"),
+        };
+        let mut touched: BTreeMap<SortKey, Option<(AuTuple, Mult3)>> = BTreeMap::new();
+        let touch = |current: &BTreeMap<SortKey, (AuTuple, Mult3)>,
+                     touched: &mut BTreeMap<SortKey, Option<(AuTuple, Mult3)>>,
+                     key: &SortKey| {
+            if !touched.contains_key(key) {
+                touched.insert(key.clone(), current.get(key).cloned());
+            }
+        };
+        for (t, mult) in removals {
+            let key = SortKey::of_row(&t);
+            touch(&self.current, &mut touched, &key);
+            sub_entry(&mut self.current, key, &t, mult);
+        }
+        for (t, mult) in additions {
+            let key = SortKey::of_row(&t);
+            touch(&self.current, &mut touched, &key);
+            add_entry(&mut self.current, key, t, mult);
+        }
+        let mut delta = Delta::default();
+        for (key, before) in touched {
+            let after = self.current.get(&key);
+            match (before, after) {
+                (Some(b), Some(a)) if &b == a => {}
+                (before, after) => {
+                    if let Some(b) = before {
+                        delta.removed.push(b);
+                    }
+                    if let Some(a) = after {
+                        delta.added.push(a.clone());
+                    }
+                }
+            }
+        }
+        delta
+    }
+}
+
+impl std::fmt::Debug for MaintainedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintainedQuery")
+            .field("rows", &self.accum.rows().len())
+            .field("result_rows", &self.current.len())
+            .field("incremental", &self.incremental_appends)
+            .field("recompute", &self.recompute_appends)
+            .finish()
+    }
+}
+
+fn add_entry(map: &mut BTreeMap<SortKey, (AuTuple, Mult3)>, key: SortKey, t: AuTuple, mult: Mult3) {
+    let e = map.entry(key).or_insert_with(|| (t, Mult3::new(0, 0, 0)));
+    e.1 = Mult3::new(e.1.lb + mult.lb, e.1.sg + mult.sg, e.1.ub + mult.ub);
+}
+
+fn sub_entry(
+    map: &mut BTreeMap<SortKey, (AuTuple, Mult3)>,
+    key: SortKey,
+    t: &AuTuple,
+    mult: Mult3,
+) {
+    let e = map
+        .get_mut(&key)
+        .unwrap_or_else(|| panic!("retracting a row that is not in the maintained result: {t:?}"));
+    e.1 = Mult3::new(e.1.lb - mult.lb, e.1.sg - mult.sg, e.1.ub - mult.ub);
+    if e.1.ub == 0 {
+        map.remove(&key);
+    }
+}
+
+/// Full map diff (the recompute path's delta): every key present in either
+/// map whose entry changed.
+fn diff_maps(
+    before: &BTreeMap<SortKey, (AuTuple, Mult3)>,
+    after: &BTreeMap<SortKey, (AuTuple, Mult3)>,
+) -> Delta {
+    let mut delta = Delta::default();
+    for (key, b) in before {
+        match after.get(key) {
+            Some(a) if a == b => {}
+            _ => delta.removed.push(b.clone()),
+        }
+    }
+    for (key, a) in after {
+        match before.get(key) {
+            Some(b) if a == b => {}
+            _ => delta.added.push(a.clone()),
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::session::Session;
+    use audb_core::RangeValue;
+    use audb_rel::Schema;
+    use std::sync::Arc as StdArc;
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    fn stream_rows(n: usize, seed: u64) -> Vec<(AuTuple, Mult3)> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        (0..n)
+            .map(|i| {
+                let o = 10 * i as i64;
+                let j = (step() % 5) as i64;
+                let v = (step() % 100) as i64 - 50;
+                (
+                    AuTuple::new([rv(o - j, o, o + j), rv(v, v, v + (step() % 3) as i64)]),
+                    if step() % 4 == 0 {
+                        Mult3::new(0, 1, 1)
+                    } else {
+                        Mult3::ONE
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn rel_of(rows: &[(AuTuple, Mult3)]) -> AuRelation {
+        AuRelation::from_rows(Schema::new(["o", "v"]), rows.iter().cloned())
+    }
+
+    const ROLLING_SQL: &str = "SELECT *, SUM(v) OVER (ORDER BY o \
+         ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS roll FROM s";
+
+    fn subscribe(rows: &[(AuTuple, Mult3)], cutoff: usize) -> MaintainedQuery {
+        let session = Session::new(Engine::native());
+        session.register("s", rel_of(rows));
+        session.subscribe(ROLLING_SQL).unwrap().with_cutoff(cutoff)
+    }
+
+    #[test]
+    fn value_tracks_recompute_and_deltas_replay() {
+        let rows = stream_rows(60, 5);
+        let mut q = subscribe(&rows[..20], 16);
+        let session = Session::new(Engine::native());
+        // Replay target: apply every delta to the initial value's map.
+        let mut replay: BTreeMap<SortKey, (AuTuple, Mult3)> = q.current.clone();
+        for chunk in rows[20..].chunks(7) {
+            let delta = q.append(&rel_of(chunk)).unwrap();
+            for (t, m) in &delta.removed {
+                sub_entry(&mut replay, SortKey::of_row(t), t, *m);
+            }
+            for (t, m) in &delta.added {
+                add_entry(&mut replay, SortKey::of_row(t), t.clone(), *m);
+            }
+            // Ground truth: full recompute over the accumulated rows.
+            session.register("s", q.accumulated().clone());
+            let truth = session.sql(ROLLING_SQL).unwrap();
+            let value = q.value();
+            assert!(value.bag_eq(&truth), "value:\n{value}\ntruth:\n{truth}");
+            assert_eq!(replay, q.current, "deltas must replay to the value");
+        }
+        let (inc, rec) = q.strategy_counts();
+        assert!(inc >= 4, "expected mostly incremental appends, got {inc}");
+        assert!(rec >= 1, "cutoff crossing recomputes once, got {rec}");
+    }
+
+    #[test]
+    fn cutoff_governs_strategy_and_explain_reports_it() {
+        let rows = stream_rows(40, 11);
+        let mut q = subscribe(&rows[..4], 12);
+        // Below the cutoff: recompute.
+        let d = q.append(&rel_of(&rows[4..8])).unwrap();
+        assert_eq!(d.strategy, Strategy::Recompute);
+        // Crossing the cutoff: one recompute that seeds the state...
+        let d = q.append(&rel_of(&rows[8..16])).unwrap();
+        assert_eq!(d.strategy, Strategy::Recompute);
+        // ...then in-order appends go incremental.
+        let d = q.append(&rel_of(&rows[16..24])).unwrap();
+        assert_eq!(d.strategy, Strategy::Incremental);
+        let text = q.explain();
+        assert!(
+            text.contains("maintain: window incremental (cutoff 12)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("appends: 1 incremental, 2 recompute"),
+            "{text}"
+        );
+        assert!(text.contains("last append: incremental (8 rows)"), "{text}");
+    }
+
+    #[test]
+    fn out_of_order_appends_recompute_then_resume_incremental() {
+        let rows = stream_rows(40, 3);
+        let mut q = subscribe(&rows[..24], 8);
+        assert_eq!(
+            q.append(&rel_of(&rows[24..30])).unwrap().strategy,
+            Strategy::Recompute,
+            "first append seeds the state"
+        );
+        assert_eq!(
+            q.append(&rel_of(&rows[30..34])).unwrap().strategy,
+            Strategy::Incremental
+        );
+        // An overlapping (out-of-order) batch forces a recompute + rebuild…
+        let overlap = vec![(AuTuple::new([rv(5, 7, 9), rv(1, 1, 1)]), Mult3::ONE)];
+        assert_eq!(
+            q.append(&rel_of(&overlap)).unwrap().strategy,
+            Strategy::Recompute
+        );
+        // …but is not sticky: the next in-order batch is incremental again.
+        assert_eq!(
+            q.append(&rel_of(&rows[34..38])).unwrap().strategy,
+            Strategy::Incremental
+        );
+        let session = Session::new(Engine::native());
+        session.register("s", q.accumulated().clone());
+        let truth = session.sql(ROLLING_SQL).unwrap();
+        assert!(q.value().bag_eq(&truth));
+    }
+
+    #[test]
+    fn duplicate_multiplicities_disable_maintenance_permanently() {
+        let rows = stream_rows(30, 17);
+        let mut q = subscribe(&rows[..20], 8);
+        q.append(&rel_of(&rows[20..24])).unwrap();
+        assert_eq!(
+            q.append(&rel_of(&rows[24..26])).unwrap().strategy,
+            Strategy::Incremental
+        );
+        // k↑ = 2 hits the native window's documented fallback — sticky.
+        let dup = vec![(
+            AuTuple::new([rv(400, 400, 400), rv(1, 1, 1)]),
+            Mult3::new(1, 1, 2),
+        )];
+        assert_eq!(
+            q.append(&rel_of(&dup)).unwrap().strategy,
+            Strategy::Recompute
+        );
+        assert_eq!(
+            q.append(&rel_of(&rows[26..28])).unwrap().strategy,
+            Strategy::Recompute,
+            "fallback is permanent"
+        );
+        assert!(q.explain().contains("always recompute"), "{}", q.explain());
+        let session = Session::new(Engine::native());
+        session.register("s", q.accumulated().clone());
+        assert!(q.value().bag_eq(&session.sql(ROLLING_SQL).unwrap()));
+    }
+
+    #[test]
+    fn topk_subscription_accepts_any_order() {
+        let rows = stream_rows(50, 23);
+        let session = Session::new(Engine::native());
+        session.register("s", rel_of(&rows[..20]));
+        let sql = "SELECT * FROM s ORDER BY v AS rank LIMIT 5";
+        let mut q = session.subscribe(sql).unwrap().with_cutoff(8);
+        // Appends in reverse order: top-k maintenance has no frontier.
+        let mut chunks: Vec<&[(AuTuple, Mult3)]> = rows[20..].chunks(6).collect();
+        chunks.reverse();
+        let mut saw_incremental = false;
+        for chunk in chunks {
+            let d = q.append(&rel_of(chunk)).unwrap();
+            saw_incremental |= d.strategy == Strategy::Incremental;
+            session.register("s", q.accumulated().clone());
+            let truth = session.sql(sql).unwrap();
+            assert!(q.value().bag_eq(&truth), "{}\nvs\n{truth}", q.value());
+        }
+        assert!(saw_incremental);
+        assert!(q.explain().contains("top-k incremental"), "{}", q.explain());
+    }
+
+    #[test]
+    fn non_maintainable_and_non_native_shapes_always_recompute() {
+        let rows = stream_rows(20, 29);
+        let session = Session::new(Engine::native());
+        session.register("s", rel_of(&rows[..10]));
+        // Final op is a plain sort — not maintainable.
+        let mut q = session
+            .subscribe("SELECT * FROM s ORDER BY o AS p")
+            .unwrap()
+            .with_cutoff(1);
+        let d = q.append(&rel_of(&rows[10..15])).unwrap();
+        assert_eq!(d.strategy, Strategy::Recompute);
+        assert!(
+            q.explain()
+                .contains("always recompute — final operator `sort`"),
+            "{}",
+            q.explain()
+        );
+        // Reference engine: window maintenance requires the native backend.
+        let ref_session = Session::new(Engine::reference());
+        ref_session.register("s", rel_of(&rows[..10]));
+        let mut q = ref_session.subscribe(ROLLING_SQL).unwrap().with_cutoff(1);
+        assert_eq!(
+            q.append(&rel_of(&rows[10..15])).unwrap().strategy,
+            Strategy::Recompute
+        );
+        assert!(q.explain().contains("requires the native backend"));
+        let check = Session::new(Engine::reference());
+        check.register("s", q.accumulated().clone());
+        assert!(q.value().bag_eq(&check.sql(ROLLING_SQL).unwrap()));
+    }
+
+    #[test]
+    fn append_rejects_mismatched_schemas() {
+        let rows = stream_rows(10, 31);
+        let mut q = subscribe(&rows, 8);
+        let bad = AuRelation::empty(Schema::new(["o", "v", "extra"]));
+        let e = q.append(&bad).unwrap_err();
+        assert_eq!(e.kind(), "schema_mismatch");
+        // Pre-oped plans survive: the subscription still answers.
+        let _ = StdArc::new(q.value());
+    }
+}

@@ -357,6 +357,40 @@ impl Plan {
     pub fn same_shape(&self, other: &Plan) -> bool {
         self.ops == other.ops && self.schemas == other.schemas
     }
+
+    /// The same operator chain over a different source relation — the plan
+    /// a maintained query recomputes against its accumulated rows, and the
+    /// pre-operator plan it runs over each appended batch. The resolved IR
+    /// is index-based, so the only thing to re-validate is that the new
+    /// source carries the schema the chain was compiled against.
+    pub fn with_source(&self, source: impl Into<Arc<AuRelation>>) -> Result<Plan, PlanError> {
+        let source: Arc<AuRelation> = source.into();
+        if source.schema != self.schemas[0] {
+            return Err(PlanError::SourceSchemaMismatch {
+                expected: self.schemas[0].to_string(),
+                got: source.schema.to_string(),
+            });
+        }
+        Ok(Plan {
+            source,
+            ops: self.ops.clone(),
+            schemas: self.schemas.clone(),
+            sql: self.sql.clone(),
+            source_cols: Arc::new(std::sync::OnceLock::new()),
+        })
+    }
+
+    /// The plan truncated to its first `n` operators (the row-wise
+    /// pre-operator chain of a maintained query).
+    pub(crate) fn prefix(&self, n: usize) -> Plan {
+        Plan {
+            source: Arc::clone(&self.source),
+            ops: self.ops[..n].to_vec(),
+            schemas: self.schemas[..=n].to_vec(),
+            sql: None,
+            source_cols: Arc::clone(&self.source_cols),
+        }
+    }
 }
 
 /// Fluent, validating builder for [`Plan`]s.

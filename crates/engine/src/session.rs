@@ -23,6 +23,7 @@ use crate::bind;
 use crate::catalog::{Catalog, SharedCatalog};
 use crate::engine::{Engine, Explain, RunAll};
 use crate::error::SessionError;
+use crate::maintain::MaintainedQuery;
 use crate::plan::Plan;
 use crate::plancache::PlanCache;
 use audb_core::AuRelation;
@@ -182,6 +183,21 @@ impl Session {
     pub fn run_all_sql(&self, sql: &str) -> Result<RunAll, SessionError> {
         let prepared = self.prepare(sql)?;
         Ok(self.engine.run_all(prepared.plan())?)
+    }
+
+    /// Compile a statement and keep its result live under appended rows:
+    /// the returned [`MaintainedQuery`] accepts batches via
+    /// [`MaintainedQuery::append`] and re-emits only the changed output
+    /// rows as [`crate::Delta`]s, maintaining window/top-k sweep state
+    /// incrementally where the plan's shape allows (see the
+    /// [`crate::maintain`] module docs).
+    ///
+    /// The subscription pins the catalog snapshot current at subscribe
+    /// time; later `register`/`append` calls on the catalog do not feed it
+    /// — rows reach it only through [`MaintainedQuery::append`].
+    pub fn subscribe(&self, sql: &str) -> Result<MaintainedQuery, SessionError> {
+        let prepared = self.prepare(sql)?;
+        MaintainedQuery::new(self.engine, prepared.plan().clone())
     }
 }
 

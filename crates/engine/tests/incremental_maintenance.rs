@@ -1,0 +1,370 @@
+//! Property tests for the incremental-maintenance layer: under random
+//! interleaved append/query sequences, [`MaintainedQuery`]'s value must
+//! stay bag-equal to a full recompute of the same plan over the
+//! accumulated rows — on all three backends — and replaying the emitted
+//! deltas must reconstruct the value exactly. The generators cover
+//! in-order streams (incremental fast path), out-of-order batches
+//! (rebuild and recompute), partition churn, and duplicate multiplicities
+//! (permanent fallback).
+
+use audb_core::{AuRelation, AuTuple, Mult3, RangeValue};
+use audb_engine::{BackendChoice, Delta, Engine, Session, SharedCatalog, Strategy};
+use audb_rel::Schema;
+use std::collections::BTreeMap;
+
+/// Deterministic xorshift64* stream — tests must not depend on ambient
+/// randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn sensor_schema() -> Schema {
+    Schema::new(["g", "o", "v"])
+}
+
+/// One reading: certain partition `g`, uncertain order key around `t`,
+/// uncertain value. `tight` keeps the order-key spread below the stride so
+/// consecutive rows never overlap in ORDER BY.
+fn reading(rng: &mut Rng, g: i64, t: i64, tight: bool) -> (AuTuple, Mult3) {
+    let spread = if tight { rng.below(3) as i64 } else { 6 };
+    let v = rng.below(40) as i64 - 20;
+    let vs = rng.below(4) as i64;
+    let mult = if rng.below(4) == 0 {
+        Mult3::new(0, 1, 1)
+    } else {
+        Mult3::ONE
+    };
+    (
+        AuTuple::new([
+            RangeValue::certain(g),
+            RangeValue::new(t, t + spread / 2, t + spread),
+            RangeValue::new(v, v + vs / 2, v + vs),
+        ]),
+        mult,
+    )
+}
+
+fn session_with(sql_table: &AuRelation) -> Session {
+    let catalog = SharedCatalog::new();
+    catalog.register("s", sql_table.clone());
+    Session::with_catalog(Engine::native(), catalog)
+}
+
+/// Full recompute of the subscription's plan over its accumulated rows on
+/// `choice` — the ground truth the maintained value is pinned against.
+fn recompute_on(q: &audb_engine::MaintainedQuery, choice: BackendChoice) -> AuRelation {
+    let plan = q
+        .plan()
+        .with_source(q.accumulated().clone())
+        .expect("accumulated rows always match the plan schema");
+    Engine::new(choice).execute(&plan).unwrap().normalize()
+}
+
+fn assert_matches_all_backends(q: &audb_engine::MaintainedQuery, ctx: &str) {
+    let value = q.value().normalize();
+    for choice in [
+        BackendChoice::Reference,
+        BackendChoice::Native,
+        BackendChoice::Rewrite,
+    ] {
+        let truth = recompute_on(q, choice);
+        assert!(
+            value.clone().bag_eq(&truth),
+            "{ctx}: maintained value diverged from {choice} recompute\n\
+             maintained:\n{value}\ntruth:\n{truth}"
+        );
+    }
+}
+
+/// Replays deltas over a snapshot: `value_after = value_before − removed +
+/// added`, keyed on the row's full triple-of-bounds identity.
+#[derive(Default)]
+struct Replay(BTreeMap<String, (AuTuple, Mult3)>);
+
+impl Replay {
+    fn from_value(rel: &AuRelation) -> Replay {
+        let mut map = BTreeMap::new();
+        for row in rel.clone().normalize().rows() {
+            map.insert(format!("{:?}", row.tuple), (row.tuple.clone(), row.mult));
+        }
+        Replay(map)
+    }
+    fn apply(&mut self, delta: &Delta) {
+        for (tuple, mult) in &delta.removed {
+            let key = format!("{tuple:?}");
+            let (_, have) = self.0.remove(&key).unwrap_or_else(|| {
+                panic!("delta removed a row the replay does not have: {tuple:?}")
+            });
+            assert_eq!(
+                (have.lb, have.sg, have.ub),
+                (mult.lb, mult.sg, mult.ub),
+                "delta removed {tuple:?} with the wrong old multiplicity"
+            );
+        }
+        for (tuple, mult) in &delta.added {
+            let prev = self.0.insert(format!("{tuple:?}"), (tuple.clone(), *mult));
+            assert!(
+                prev.is_none(),
+                "delta added {tuple:?} on top of an existing entry (missing removal)"
+            );
+        }
+    }
+    fn value(&self, schema: Schema) -> AuRelation {
+        AuRelation::from_rows(schema, self.0.values().cloned())
+    }
+}
+
+const ROLLING: &str = "SELECT *, SUM(v) OVER (ORDER BY o \
+                       ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS roll FROM s";
+const PARTITIONED: &str = "SELECT *, COUNT(*) OVER (PARTITION BY g ORDER BY o \
+                           ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS c FROM s";
+const TOPK: &str = "SELECT g, v FROM s ORDER BY v AS pos LIMIT 4";
+
+#[test]
+fn in_order_stream_stays_incremental_and_exact() {
+    let mut rng = Rng::new(0xA11CE);
+    let session = session_with(&AuRelation::empty(sensor_schema()));
+    let mut q = session.subscribe(ROLLING).unwrap().with_cutoff(8);
+    let mut replay = Replay::from_value(&q.value());
+
+    let mut t = 0i64;
+    for step in 0..40 {
+        let rows: Vec<_> = (0..1 + rng.below(6))
+            .map(|_| {
+                t += 4; // stride 4 > max tight spread 2: strictly in order
+                reading(&mut rng, 0, t, true)
+            })
+            .collect();
+        let batch = AuRelation::from_rows(sensor_schema(), rows);
+        let delta = q.append(&batch).unwrap();
+        replay.apply(&delta);
+        // Interleave full checks with cheap delta-only steps so the test
+        // also covers appends nobody queries between.
+        if rng.below(3) == 0 || step > 35 {
+            assert_matches_all_backends(&q, &format!("rolling step {step}"));
+            assert!(
+                replay
+                    .value(q.value().schema.clone())
+                    .bag_eq(&q.value().normalize()),
+                "rolling step {step}: delta replay diverged from value()"
+            );
+        }
+    }
+    let (incr, rec) = q.strategy_counts();
+    assert!(
+        incr > rec,
+        "an in-order stream over the cutoff should mostly maintain ({incr} incremental, {rec} recompute)"
+    );
+    assert!(
+        q.explain().contains("window incremental"),
+        "{}",
+        q.explain()
+    );
+}
+
+#[test]
+fn out_of_order_and_in_order_interleave_exactly() {
+    let mut rng = Rng::new(0xB0B);
+    let session = session_with(&AuRelation::empty(sensor_schema()));
+    let mut q = session.subscribe(ROLLING).unwrap().with_cutoff(4);
+    let mut replay = Replay::from_value(&q.value());
+
+    let mut t = 0i64;
+    for step in 0..30 {
+        let out_of_order = rng.below(4) == 0 && t > 20;
+        let rows: Vec<_> = (0..1 + rng.below(4))
+            .map(|_| {
+                let at = if out_of_order {
+                    // Land strictly inside the accumulated range: forces a
+                    // frontier overlap, a recompute, and a state rebuild.
+                    rng.below(t.max(1) as u64) as i64
+                } else {
+                    t += 4;
+                    t
+                };
+                reading(&mut rng, 0, at, true)
+            })
+            .collect();
+        let batch = AuRelation::from_rows(sensor_schema(), rows);
+        let delta = q.append(&batch).unwrap();
+        if out_of_order {
+            assert_eq!(
+                delta.strategy,
+                Strategy::Recompute,
+                "step {step}: an overlapping batch must recompute"
+            );
+        }
+        replay.apply(&delta);
+        assert_matches_all_backends(&q, &format!("interleaved step {step}"));
+        assert!(
+            replay
+                .value(q.value().schema.clone())
+                .bag_eq(&q.value().normalize()),
+            "interleaved step {step}: delta replay diverged"
+        );
+    }
+    let (incr, _) = q.strategy_counts();
+    assert!(incr > 0, "in-order stretches should resume maintenance");
+}
+
+#[test]
+fn partition_churn_stays_exact() {
+    let mut rng = Rng::new(0x5EED);
+    let session = session_with(&AuRelation::empty(sensor_schema()));
+    let mut q = session.subscribe(PARTITIONED).unwrap().with_cutoff(6);
+    let mut replay = Replay::from_value(&q.value());
+
+    let mut t = 0i64;
+    for step in 0..30 {
+        // Partitions appear over time: step 10 has seen up to 4 groups,
+        // step 29 up to 10 — each batch may open brand-new sweeps.
+        let live = 2 + (step as u64) / 3;
+        let rows: Vec<_> = (0..1 + rng.below(5))
+            .map(|_| {
+                t += 4;
+                let g = rng.below(live) as i64;
+                reading(&mut rng, g, t, true)
+            })
+            .collect();
+        let batch = AuRelation::from_rows(sensor_schema(), rows);
+        let delta = q.append(&batch).unwrap();
+        replay.apply(&delta);
+        if rng.below(2) == 0 || step > 25 {
+            assert_matches_all_backends(&q, &format!("churn step {step}"));
+            assert!(
+                replay
+                    .value(q.value().schema.clone())
+                    .bag_eq(&q.value().normalize()),
+                "churn step {step}: delta replay diverged"
+            );
+        }
+    }
+    let (incr, _) = q.strategy_counts();
+    assert!(
+        incr > 0,
+        "partition churn alone must not disable maintenance"
+    );
+}
+
+#[test]
+fn duplicate_multiplicities_fall_back_for_good() {
+    let mut rng = Rng::new(0xD0D0);
+    let session = session_with(&AuRelation::empty(sensor_schema()));
+    let mut q = session.subscribe(ROLLING).unwrap().with_cutoff(4);
+    let mut replay = Replay::from_value(&q.value());
+
+    let mut t = 0i64;
+    for step in 0..20 {
+        let poison = step == 7; // one batch with k↑ > 1
+        let rows: Vec<_> = (0..2)
+            .map(|_| {
+                t += 4;
+                let (tuple, mut mult) = reading(&mut rng, 0, t, true);
+                if poison {
+                    mult = Mult3::new(0, 1, 2);
+                }
+                (tuple, mult)
+            })
+            .collect();
+        let batch = AuRelation::from_rows(sensor_schema(), rows);
+        let delta = q.append(&batch).unwrap();
+        if step >= 7 {
+            assert_eq!(
+                delta.strategy,
+                Strategy::Recompute,
+                "step {step}: duplicate multiplicities disable maintenance permanently"
+            );
+        }
+        replay.apply(&delta);
+        assert_matches_all_backends(&q, &format!("dup-mult step {step}"));
+        assert!(
+            replay
+                .value(q.value().schema.clone())
+                .bag_eq(&q.value().normalize()),
+            "dup-mult step {step}: delta replay diverged"
+        );
+    }
+    assert!(q.explain().contains("always recompute"), "{}", q.explain());
+}
+
+#[test]
+fn topk_subscription_is_exact_in_any_order() {
+    let mut rng = Rng::new(0x70CC);
+    let session = session_with(&AuRelation::empty(sensor_schema()));
+    let mut q = session.subscribe(TOPK).unwrap().with_cutoff(6);
+    let mut replay = Replay::from_value(&q.value());
+
+    for step in 0..30 {
+        // No order discipline at all: top-k maintenance accepts any
+        // arrival order, including duplicates of earlier rows.
+        let rows: Vec<_> = (0..1 + rng.below(5))
+            .map(|_| {
+                let t = rng.below(200) as i64;
+                let g = rng.below(3) as i64;
+                reading(&mut rng, g, t, false)
+            })
+            .collect();
+        let batch = AuRelation::from_rows(sensor_schema(), rows);
+        let delta = q.append(&batch).unwrap();
+        replay.apply(&delta);
+        if rng.below(2) == 0 || step > 25 {
+            assert_matches_all_backends(&q, &format!("topk step {step}"));
+            assert!(
+                replay
+                    .value(q.value().schema.clone())
+                    .bag_eq(&q.value().normalize()),
+                "topk step {step}: delta replay diverged"
+            );
+        }
+    }
+    let (incr, _) = q.strategy_counts();
+    assert!(
+        incr > 0,
+        "top-k over the cutoff should maintain incrementally"
+    );
+}
+
+#[test]
+fn maintained_value_matches_a_fresh_subscription_midstream() {
+    // Subscribing to the already-grown table must equal the value carried
+    // by a subscription that lived through every append.
+    let mut rng = Rng::new(0xCAFE);
+    let session = session_with(&AuRelation::empty(sensor_schema()));
+    let mut live = session.subscribe(ROLLING).unwrap().with_cutoff(4);
+
+    let mut t = 0i64;
+    let mut all: Vec<(AuTuple, Mult3)> = Vec::new();
+    for _ in 0..15 {
+        let rows: Vec<_> = (0..2 + rng.below(3))
+            .map(|_| {
+                t += 4;
+                reading(&mut rng, 0, t, true)
+            })
+            .collect();
+        all.extend(rows.iter().cloned());
+        live.append(&AuRelation::from_rows(sensor_schema(), rows))
+            .unwrap();
+    }
+
+    let fresh_session = session_with(&AuRelation::from_rows(sensor_schema(), all));
+    let fresh = fresh_session.subscribe(ROLLING).unwrap();
+    assert!(
+        live.value().normalize().bag_eq(&fresh.value().normalize()),
+        "live subscription diverged from a fresh one over the same rows"
+    );
+}

@@ -14,9 +14,15 @@
 //!   4–6): a sweep over uncertain positions with a `cert` position index
 //!   and a three-way [`audb_conheap::ConnectedHeap`] over the possible
 //!   window members.
+//! * [`maintain::MaintainedWindow`] / [`maintain::TopKMaintain`] — the same
+//!   sweeps kept alive between batches: in-order appends update the bounds
+//!   in `O(log n)` per row instead of recomputing the full `O(n log n)`
+//!   pass, with already-closed windows provably final.
 
+pub mod maintain;
 pub mod sort;
 pub mod window;
 
+pub use maintain::{MaintainedWindow, TopKMaintain, WindowMaintain};
 pub use sort::{sort_native, topk_native};
 pub use window::window_native;

@@ -1,0 +1,1177 @@
+//! Incremental (append-only) maintenance of the one-pass window and top-k
+//! operators.
+//!
+//! The sweep of [`crate::window::window_native`] is a *streaming* algorithm:
+//! it consumes tuples in ascending position order and closes a window as
+//! soon as no future tuple can possibly belong to it. Nothing about it
+//! requires the whole relation up front — this module keeps the sweep
+//! state ([`WindowMaintain`]) alive between batches so an appended row
+//! costs `O(log n)` heap work instead of an `O(n log n)` recompute.
+//!
+//! ## In-order appends
+//!
+//! A batch is *in order* when every new row's lower-bound corner on the
+//! ORDER BY attributes is strictly greater than the upper-bound corner of
+//! every accumulated row (the batch sits entirely after the *frontier*).
+//! Under that condition the global sort positions decompose exactly:
+//!
+//! * accumulated rows keep the positions they already had (every world
+//!   orders them before every new row), and
+//! * a new row's global position range is its batch-local range shifted by
+//!   the accumulated certain mass (`τ↓ += Σ k↓`) and possible mass
+//!   (`τ↑ += Σ k↑`).
+//!
+//! So a batch is sorted locally with [`crate::sort::sort_native`], its
+//! positions are offset, and the tuples are fed to the *same* sweep loop
+//! the one-shot operator runs — `window_native` itself is now the
+//! one-batch special case, which keeps the two permanently in agreement.
+//!
+//! Already-closed windows are final: when the sweep closes `s` because an
+//! incoming tuple has `τ↓ > s.τ↑ + u`, at least `s.τ↑ + u + 1` rows
+//! certainly precede that tuple, so the guaranteed-slot count of
+//! [`audb_core::guaranteed_extra_slots`] is saturated and no future row
+//! can enter `s`'s certain set, possible pool, or selected-guess frame.
+//! Open windows are closed *non-destructively* by [`WindowMaintain::result`]
+//! — their provisional bounds equal what a full recompute over the data
+//! seen so far would produce.
+//!
+//! The selected-guess component is maintained over the same deterministic
+//! provenance-tagged relation as [`audb_core::sg_window_values`], kept as a
+//! bounded tail: an entry's value is final once `u` later entries exist,
+//! so only the last `u − l` entries are retained between batches.
+//!
+//! ## Top-k
+//!
+//! [`TopKMaintain`] accepts appends in *any* order: it maintains the
+//! accumulated rows in three `O(log n)` ordered indexes (by whole-row
+//! identity, by lower-bound corner key, by upper-bound corner key) and
+//! answers a query by running [`crate::sort::topk_native`] over a pruned
+//! candidate set: rows whose lower-bound key is at most `M`, the largest
+//! upper-bound key among rows not certainly ranked below `k`. Every
+//! position-bound contributor of an output row lies inside that set, so
+//! the pruned run is *exactly* equal to the full run (see the unit tests),
+//! while its cost scales with the uncertain band around rank `k`, not with
+//! `n`.
+//!
+//! The pool heaps reuse their arena across the life of a subscription
+//! ([`audb_conheap::ConnectedHeap::clear`] / `reserve`): steady-state
+//! appends perform no allocation inside the connected heap.
+
+use crate::sort::{sort_native, topk_native};
+use audb_conheap::ConnectedHeap;
+use audb_core::{AuRelation, AuTuple, AuWindowSpec, Corner, Mult3, RangeValue, SortKey, WinAgg};
+use audb_rel::ops::sort::total_order;
+use audb_rel::{window_rows, AggFunc, Relation, Schema, Tuple, Value, WindowSpec};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+/// One sorted tuple in flight through the sweep.
+struct Item {
+    tlo: i64,
+    thi: i64,
+    /// Lower/upper bound of the aggregated attribute (`[1,1]` for count).
+    alo: Value,
+    ahi: Value,
+    /// Byte-encoded `alo`/`ahi` — the pool heap comparators memcmp these.
+    alo_key: SortKey,
+    ahi_key: SortKey,
+    /// Certainly exists (`k↓ ≥ 1`).
+    cert: bool,
+}
+
+/// Pool payload: everything the three heap orders compare, copied out of
+/// the item so the comparator is a plain `fn` (a struct that owns its heap
+/// cannot hand the heap a closure borrowing the struct's own item arena).
+struct PoolItem {
+    thi: i64,
+    id: usize,
+    alo_key: SortKey,
+    ahi_key: SortKey,
+}
+
+type PoolCmp = fn(usize, &PoolItem, &PoolItem) -> Ordering;
+
+/// Heap 0: `τ↑` ascending (eviction order); heap 1: `A↓` ascending (min-k
+/// candidates); heap 2: `A↑` descending (max-k candidates).
+fn pool_cmp(h: usize, a: &PoolItem, b: &PoolItem) -> Ordering {
+    match h {
+        0 => (a.thi, a.id).cmp(&(b.thi, b.id)),
+        1 => a.alo_key.cmp(&b.alo_key).then(a.id.cmp(&b.id)),
+        _ => b.ahi_key.cmp(&a.ahi_key).then(a.id.cmp(&b.id)),
+    }
+}
+
+/// Resumable partitionless window sweep (see the module docs).
+///
+/// `window_native` runs one of these per partition with the whole
+/// partition as a single batch; a subscription keeps it alive and feeds it
+/// in-order batches.
+pub struct WindowMaintain {
+    schema: Schema,
+    spec: AuWindowSpec,
+    agg: WinAgg,
+    out_name: String,
+    det_schema: Schema,
+    det_cmp: Vec<usize>,
+    /// Split rows in sweep order: base tuple (τ projected away) + mult.
+    rows: Vec<(AuTuple, Mult3)>,
+    items: Vec<Item>,
+    /// Accumulated certain / possible input mass (the position offsets).
+    total_lb: u64,
+    total_ub: u64,
+    /// Max upper-bound corner key over the ORDER BY attributes seen so far.
+    frontier: Option<SortKey>,
+    // Sweep state, live between batches.
+    openw: BinaryHeap<Reverse<(i64, usize)>>,
+    open_tlos: BTreeMap<i64, usize>,
+    cert: BTreeMap<i64, Vec<(i64, usize)>>,
+    poss: ConnectedHeap<PoolItem, PoolCmp>,
+    /// Closed (final) output rows, in close order.
+    closed: Vec<(AuTuple, Mult3)>,
+    // Selected-guess maintenance: a bounded tail of the deterministic
+    // provenance relation of `sg_window_values`, in its global sort order.
+    sg_tail: Vec<Tuple>,
+    sg_pruned: usize,
+    sg_final: HashMap<usize, Value>,
+}
+
+impl WindowMaintain {
+    /// Fresh state for a partitionless window over `schema`.
+    ///
+    /// Panics if `spec` carries PARTITION BY attributes — partitioning is
+    /// routed above this type (see [`MaintainedWindow`]).
+    pub fn new(schema: Schema, spec: AuWindowSpec, agg: WinAgg, out_name: &str) -> WindowMaintain {
+        assert!(
+            spec.partition.is_empty(),
+            "WindowMaintain is partitionless; use MaintainedWindow"
+        );
+        let mut cols: Vec<String> = schema.cols().to_vec();
+        cols.extend(schema.cols().iter().map(|c| format!("{c}__lb")));
+        cols.extend(schema.cols().iter().map(|c| format!("{c}__ub")));
+        cols.push("__id".into());
+        let det_schema = Schema::new(cols);
+        let det_cmp = total_order(det_schema.arity(), &spec.order);
+        WindowMaintain {
+            det_schema,
+            det_cmp,
+            schema,
+            agg,
+            out_name: out_name.to_string(),
+            rows: Vec::new(),
+            items: Vec::new(),
+            total_lb: 0,
+            total_ub: 0,
+            frontier: None,
+            openw: BinaryHeap::new(),
+            open_tlos: BTreeMap::new(),
+            cert: BTreeMap::new(),
+            poss: ConnectedHeap::with_capacity(3, 1024, pool_cmp as PoolCmp),
+            closed: Vec::new(),
+            sg_tail: Vec::new(),
+            sg_pruned: 0,
+            sg_final: HashMap::new(),
+            spec,
+        }
+    }
+
+    /// Split rows accumulated so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True before the first non-empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Output rows already closed (final regardless of future appends).
+    pub fn closed_rows(&self) -> &[(AuTuple, Mult3)] {
+        &self.closed
+    }
+
+    /// Would `batch` be in order after the accumulated rows? (Trivially
+    /// true while the state is empty — the first batch seeds the sweep.)
+    pub fn batch_in_order(&self, batch: &AuRelation) -> bool {
+        let Some(frontier) = &self.frontier else {
+            return true;
+        };
+        batch
+            .rows()
+            .iter()
+            .all(|r| SortKey::of_corner(&r.tuple, Corner::Lb, &self.spec.order) > *frontier)
+    }
+
+    /// Feed one in-order batch through the sweep (the caller checks
+    /// [`WindowMaintain::batch_in_order`] first; feeding an out-of-order
+    /// batch silently computes bounds for the wrong relation).
+    pub fn apply(&mut self, batch: &AuRelation) {
+        if batch.is_empty() {
+            return;
+        }
+        // Batch-local positions; rows now have k↑ = 1.
+        let mut sorted = sort_native(batch, &self.spec.order, "__tau");
+        let pos_col = sorted.schema.arity() - 1;
+        sorted.rows_mut().sort_unstable_by_key(|r| {
+            let p = r.tuple.get(pos_col).as_i64_triple();
+            (p.0, p.2)
+        });
+        // Offsets shift batch-local positions into the global rank space;
+        // the totals must cover the whole batch *before* any window closes
+        // (the one-shot sweep's guaranteed-slot math sees the full total).
+        let off_lb = self.total_lb as i64;
+        let off_ub = self.total_ub as i64;
+        for r in sorted.rows() {
+            self.total_lb += r.mult.lb;
+            self.total_ub += r.mult.ub;
+            let k = SortKey::of_corner(&r.tuple, Corner::Ub, &self.spec.order);
+            if self.frontier.as_ref().is_none_or(|f| *f < k) {
+                self.frontier = Some(k);
+            }
+        }
+        let base_cols: Vec<usize> = (0..pos_col).collect();
+        let first_new = self.items.len();
+        let mut det_block: Vec<Tuple> = Vec::new();
+        for r in sorted.rows() {
+            let id = self.items.len();
+            let (tlo, _, thi) = r.tuple.get(pos_col).as_i64_triple();
+            let base = r.tuple.project(&base_cols);
+            if r.mult.sg > 0 {
+                let mut vals = base.sg_tuple().0;
+                vals.extend(base.lb_tuple().0);
+                vals.extend(base.ub_tuple().0);
+                vals.push(Value::Int(id as i64));
+                det_block.push(Tuple(vals));
+            }
+            let attr = match self.agg.input_col() {
+                Some(c) => base.get(c).clone(),
+                None => RangeValue::certain(1i64),
+            };
+            self.items.push(Item {
+                tlo: tlo + off_lb,
+                thi: thi + off_ub,
+                alo_key: SortKey::of_value(&attr.lb),
+                ahi_key: SortKey::of_value(&attr.ub),
+                alo: attr.lb,
+                ahi: attr.ub,
+                cert: r.mult.lb >= 1,
+            });
+            self.rows.push((base, r.mult));
+        }
+        self.ingest_sg(det_block);
+        for t in first_new..self.items.len() {
+            self.step(t);
+        }
+    }
+
+    /// The full current output: closed rows followed by a non-destructive
+    /// flush of the still-open windows, in the exact row order the
+    /// one-shot sweep would produce over the accumulated relation.
+    /// Unnormalized, like the one-shot partitionless sweep.
+    pub fn result(&self) -> AuRelation {
+        let mut out = AuRelation::empty(self.schema.with(&self.out_name));
+        for (t, m) in &self.closed {
+            out.push(t.clone(), *m);
+        }
+        for (t, m) in self.open_result() {
+            out.push(t, m);
+        }
+        out
+    }
+
+    /// Provisional output rows of the still-open windows (the rows that
+    /// may change on a future append), in flush order.
+    pub fn open_result(&self) -> Vec<(AuTuple, Mult3)> {
+        // Provisional selected-guess values for the pending tail entries.
+        let needed_left = (-self.spec.lower).max(0) as usize;
+        let mut prov: HashMap<usize, Value> = HashMap::new();
+        for (j, (id, v)) in self.eval_sg_tail().into_iter().enumerate() {
+            if self.sg_pruned == 0 || j >= needed_left {
+                prov.insert(id, v);
+            }
+        }
+        let mut openw = self.openw.clone();
+        let mut out = Vec::with_capacity(openw.len());
+        while let Some(Reverse((_, sid))) = openw.pop() {
+            let sg_raw = self.sg_raw(sid, Some(&prov));
+            out.push(self.close_row(sid, sg_raw));
+        }
+        out
+    }
+
+    /// Advance the sweep over item `t` (arrival in global `(τ↓, τ↑)`
+    /// order), closing every window no future tuple can possibly join.
+    fn step(&mut self, t: usize) {
+        let (it_tlo, it_thi, it_cert) = {
+            let it = &self.items[t];
+            (it.tlo, it.thi, it.cert)
+        };
+        let (l, u) = (self.spec.lower, self.spec.upper);
+        while let Some(&Reverse((thi, sid))) = self.openw.peek() {
+            if thi + u >= it_tlo {
+                break;
+            }
+            self.openw.pop();
+            // Remove from the open-τ↓ multiset before closing so the
+            // eviction watermark reflects the remaining open windows.
+            let stlo = self.items[sid].tlo;
+            let e = self.open_tlos.get_mut(&stlo).expect("open window τ↓");
+            *e -= 1;
+            if *e == 0 {
+                self.open_tlos.remove(&stlo);
+            }
+            // Evict pool tuples below every remaining window.
+            let watermark = self
+                .open_tlos
+                .keys()
+                .next()
+                .copied()
+                .unwrap_or(it_tlo)
+                .min(stlo)
+                + l;
+            self.evict_cert(sid);
+            debug_assert!(
+                self.rows[sid].1.sg == 0 || self.sg_final.contains_key(&sid),
+                "sg value of a closing window must be final"
+            );
+            let sg_raw = self.sg_raw(sid, None);
+            let row = self.close_row(sid, sg_raw);
+            self.closed.push(row);
+            while let Some(p) = self.poss.peek(0) {
+                if p.thi < watermark {
+                    self.poss.pop(0);
+                } else {
+                    break;
+                }
+            }
+        }
+        self.openw.push(Reverse((it_thi, t)));
+        *self.open_tlos.entry(it_tlo).or_insert(0) += 1;
+        if it_cert {
+            let bucket = self.cert.entry(it_tlo).or_default();
+            let at = bucket.partition_point(|&(thi, _)| thi < it_thi);
+            bucket.insert(at, (it_thi, t));
+        }
+        let it = &self.items[t];
+        self.poss.insert(PoolItem {
+            thi: it_thi,
+            id: t,
+            alo_key: it.alo_key.clone(),
+            ahi_key: it.ahi_key.clone(),
+        });
+    }
+
+    /// Evict cert buckets no open window can reach any more (pure
+    /// maintenance: evicted buckets are unreachable by every later range
+    /// scan, so skipping this in read paths never changes bounds).
+    fn evict_cert(&mut self, id: usize) {
+        let cs0 = self.items[id].thi + self.spec.lower;
+        let min_needed = self
+            .open_tlos
+            .keys()
+            .next()
+            .map(|&t| t + self.spec.lower)
+            .unwrap_or(cs0)
+            .min(cs0);
+        while let Some((&key, _)) = self.cert.iter().next() {
+            if key < min_needed {
+                self.cert.remove(&key);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Compute the output row of window `id` from the current sweep state
+    /// (read-only: used both by final closes and provisional flushes).
+    fn close_row(&self, id: usize, sg_raw: Value) -> (AuTuple, Mult3) {
+        let (l, u) = (self.spec.lower, self.spec.upper);
+        let size = self.spec.size() as usize;
+        let s = &self.items[id];
+        let cs = (s.thi + l, s.tlo + u); // certainly covered positions
+        let ps = (s.tlo + l, s.thi + u); // possibly covered positions
+
+        // Certain members (excluding self).
+        let self_attr = match self.agg.input_col() {
+            Some(c) => self.rows[id].0.get(c).clone(),
+            None => RangeValue::certain(1i64),
+        };
+        let mut cert_vals: Vec<(&Value, &Value)> = Vec::with_capacity(size);
+        cert_vals.push((&self_attr.lb, &self_attr.ub));
+        if cs.0 <= cs.1 {
+            for (_, bucket) in self.cert.range(cs.0..=cs.1) {
+                for &(thi, cid) in bucket {
+                    if cid != id && thi <= cs.1 {
+                        cert_vals.push((&self.items[cid].alo, &self.items[cid].ahi));
+                    }
+                }
+            }
+        }
+        let possn = size.saturating_sub(cert_vals.len());
+        let n_cert = self.total_lb - u64::from(s.cert) + 1;
+        let q = audb_core::guaranteed_extra_slots(
+            l,
+            u,
+            s.tlo as u64,
+            s.thi as u64,
+            n_cert,
+            cert_vals.len(),
+            possn,
+        );
+
+        // A pool candidate is a possible-but-not-certain member ≠ self.
+        let items = &self.items;
+        let valid = |p: &PoolItem| -> bool {
+            if p.id == id {
+                return false;
+            }
+            let it = &items[p.id];
+            let certainly = it.cert && it.tlo >= cs.0 && it.thi <= cs.1;
+            !certainly && it.tlo <= ps.1 && it.thi >= ps.0
+        };
+
+        let (xlo, xhi) = match self.agg {
+            WinAgg::Sum(_) | WinAgg::Count => {
+                let mut lo = Value::Int(0);
+                let mut hi = Value::Int(0);
+                for (a, b) in &cert_vals {
+                    lo = lo.add(a);
+                    hi = hi.add(b);
+                }
+                // min-k over the A↓-ordered component with the guaranteed
+                // floor: j = clamp(#negatives, q, possn) smallest lbs
+                // (see audb_core::aggregate_window).
+                let picked: Vec<&Value> = self
+                    .poss
+                    .sorted_iter(1)
+                    .filter(|p| valid(p))
+                    .take(possn)
+                    .map(|p| &items[p.id].alo)
+                    .collect();
+                let negs = picked.iter().take_while(|v| ***v < Value::Int(0)).count();
+                let j = negs.clamp(q.min(picked.len()), possn.min(picked.len()));
+                for v in &picked[..j] {
+                    lo = lo.add(v);
+                }
+                // max-k over the A↑-descending component, mirrored.
+                let picked: Vec<&Value> = self
+                    .poss
+                    .sorted_iter(2)
+                    .filter(|p| valid(p))
+                    .take(possn)
+                    .map(|p| &items[p.id].ahi)
+                    .collect();
+                let pos_cnt = picked.iter().take_while(|v| ***v > Value::Int(0)).count();
+                let j = pos_cnt.clamp(q.min(picked.len()), possn.min(picked.len()));
+                for v in &picked[..j] {
+                    hi = hi.add(v);
+                }
+                (lo, hi)
+            }
+            WinAgg::Min(_) => {
+                let mut hi = (*cert_vals.iter().map(|(_, b)| b).min().expect("self")).clone();
+                if q >= 1 {
+                    // q-th largest pool upper bound caps the minimum.
+                    if let Some(p) = self.poss.sorted_iter(2).filter(|p| valid(p)).nth(q - 1) {
+                        hi = hi.min(items[p.id].ahi.clone());
+                    }
+                }
+                let mut lo = (*cert_vals.iter().map(|(a, _)| a).min().expect("self")).clone();
+                if possn > 0 {
+                    if let Some(p) = self.poss.sorted_iter(1).find(|p| valid(p)) {
+                        lo = lo.min(items[p.id].alo.clone());
+                    }
+                }
+                (lo, hi)
+            }
+            WinAgg::Max(_) => {
+                let mut lo = (*cert_vals.iter().map(|(a, _)| a).max().expect("self")).clone();
+                if q >= 1 {
+                    if let Some(p) = self.poss.sorted_iter(1).filter(|p| valid(p)).nth(q - 1) {
+                        lo = lo.max(items[p.id].alo.clone());
+                    }
+                }
+                let mut hi = (*cert_vals.iter().map(|(_, b)| b).max().expect("self")).clone();
+                if possn > 0 {
+                    if let Some(p) = self.poss.sorted_iter(2).find(|p| valid(p)) {
+                        hi = hi.max(items[p.id].ahi.clone());
+                    }
+                }
+                (lo, hi)
+            }
+            WinAgg::Avg(_) => {
+                let mut lo = (*cert_vals.iter().map(|(a, _)| a).min().expect("self")).clone();
+                let mut hi = (*cert_vals.iter().map(|(_, b)| b).max().expect("self")).clone();
+                if possn > 0 {
+                    if let Some(p) = self.poss.sorted_iter(1).find(|p| valid(p)) {
+                        lo = lo.min(items[p.id].alo.clone());
+                    }
+                    if let Some(p) = self.poss.sorted_iter(2).find(|p| valid(p)) {
+                        hi = hi.max(items[p.id].ahi.clone());
+                    }
+                }
+                (lo, hi)
+            }
+        };
+
+        // Selected guess, clamped into the bounds (DESIGN.md §3.4).
+        let sg = if sg_raw.is_null() || sg_raw < xlo {
+            xlo.clone()
+        } else if sg_raw > xhi {
+            xhi.clone()
+        } else {
+            sg_raw
+        };
+
+        (
+            self.rows[id].0.with(RangeValue {
+                lb: xlo,
+                sg,
+                ub: xhi,
+            }),
+            self.rows[id].1,
+        )
+    }
+
+    /// Append a batch's provenance entries to the selected-guess tail,
+    /// harvest every newly-final value, and prune the tail back down to
+    /// one frame of context.
+    fn ingest_sg(&mut self, mut block: Vec<Tuple>) {
+        block.sort_by(|a, b| a.cmp_on(b, &self.det_cmp));
+        self.sg_tail.extend(block);
+        let u = self.spec.upper.max(0) as usize;
+        let needed_left = (-self.spec.lower).max(0) as usize;
+        let pending_from = self.sg_tail.len().saturating_sub(u);
+        for (j, (id, v)) in self.eval_sg_tail().into_iter().enumerate() {
+            // Final once `u` later entries exist; entries left-clipped by
+            // pruning were finalized by an earlier (unclipped) evaluation.
+            if j < pending_from && (self.sg_pruned == 0 || j >= needed_left) {
+                self.sg_final.entry(id).or_insert(v);
+            }
+        }
+        let keep_from = pending_from.saturating_sub(needed_left);
+        if keep_from > 0 {
+            self.sg_tail.drain(..keep_from);
+            self.sg_pruned += keep_from;
+        }
+    }
+
+    /// Run the deterministic window operator over the tail, yielding
+    /// `(item id, value)` in tail order (the tail is kept globally sorted,
+    /// so slice order equals global order).
+    fn eval_sg_tail(&self) -> Vec<(usize, Value)> {
+        if self.sg_tail.is_empty() {
+            return Vec::new();
+        }
+        let det = Relation::from_rows(
+            self.det_schema.clone(),
+            self.sg_tail.iter().map(|t| (t.clone(), 1u64)),
+        );
+        let dspec = WindowSpec {
+            partition: Vec::new(),
+            order: self.spec.order.clone(),
+            lower: self.spec.lower,
+            upper: self.spec.upper,
+        };
+        let dagg = match self.agg {
+            WinAgg::Sum(c) => AggFunc::Sum(c),
+            WinAgg::Count => AggFunc::Count,
+            WinAgg::Min(c) => AggFunc::Min(c),
+            WinAgg::Max(c) => AggFunc::Max(c),
+            WinAgg::Avg(c) => AggFunc::Avg(c),
+        };
+        let dout = window_rows(&det, &dspec, dagg, "__x");
+        let id_col = 3 * self.schema.arity();
+        let xcol = dout.schema.arity() - 1;
+        dout.rows
+            .iter()
+            .map(|r| {
+                let id = r.tuple.get(id_col).as_i64().expect("provenance id") as usize;
+                (id, r.tuple.get(xcol).clone())
+            })
+            .collect()
+    }
+
+    /// Raw (pre-clamp) selected-guess value for item `id`, replicating the
+    /// fallback chain of `sg_window_values`: the finalized value, else a
+    /// provisional tail value, else the previous duplicate of the same
+    /// hypercube, else the row's own sg attribute.
+    fn sg_raw(&self, id: usize, provisional: Option<&HashMap<usize, Value>>) -> Value {
+        let mut i = id;
+        loop {
+            if let Some(v) = self.sg_final.get(&i) {
+                return v.clone();
+            }
+            if let Some(v) = provisional.and_then(|p| p.get(&i)) {
+                return v.clone();
+            }
+            if i > 0 && self.rows[i - 1].0 == self.rows[i].0 {
+                i -= 1;
+                continue;
+            }
+            return match self.agg.input_col() {
+                Some(c) => self.rows[i].0.get(c).sg.clone(),
+                None => Value::Int(1),
+            };
+        }
+    }
+
+    /// Reset to the empty state, retaining every allocation (the connected
+    /// heap keeps its arena via [`ConnectedHeap::clear`]).
+    pub fn reset(&mut self) {
+        self.rows.clear();
+        self.items.clear();
+        self.total_lb = 0;
+        self.total_ub = 0;
+        self.frontier = None;
+        self.openw.clear();
+        self.open_tlos.clear();
+        self.cert.clear();
+        self.poss.clear();
+        self.closed.clear();
+        self.sg_tail.clear();
+        self.sg_pruned = 0;
+        self.sg_final.clear();
+    }
+}
+
+impl std::fmt::Debug for WindowMaintain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowMaintain")
+            .field("rows", &self.items.len())
+            .field("closed", &self.closed.len())
+            .field("open", &self.openw.len())
+            .field("pool_arena", &self.poss.arena_slots())
+            .finish()
+    }
+}
+
+/// Append maintenance of a (possibly partitioned) window query: routes
+/// batches to per-partition [`WindowMaintain`] sweeps, creating sweeps for
+/// partitions as they first appear (partition churn).
+pub struct MaintainedWindow {
+    schema: Schema,
+    spec: AuWindowSpec,
+    inner: AuWindowSpec,
+    agg: WinAgg,
+    out_name: String,
+    /// Per-partition sweep + count of closed rows already drained.
+    parts: BTreeMap<SortKey, (WindowMaintain, usize)>,
+}
+
+impl MaintainedWindow {
+    /// Fresh state for `ω[l,u]_{f(A)→X; G; O}` over `schema`.
+    pub fn new(
+        schema: Schema,
+        spec: AuWindowSpec,
+        agg: WinAgg,
+        out_name: &str,
+    ) -> MaintainedWindow {
+        let inner = AuWindowSpec {
+            partition: Vec::new(),
+            order: spec.order.clone(),
+            lower: spec.lower,
+            upper: spec.upper,
+        };
+        MaintainedWindow {
+            schema,
+            inner,
+            agg,
+            out_name: out_name.to_string(),
+            parts: BTreeMap::new(),
+            spec,
+        }
+    }
+
+    /// Split rows accumulated across all partitions.
+    pub fn len(&self) -> usize {
+        self.parts.values().map(|(p, _)| p.len()).sum()
+    }
+
+    /// True before the first non-empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Can `batch` be absorbed incrementally? Every row needs certain
+    /// PARTITION BY attributes and every touched partition must receive
+    /// its rows strictly after its frontier.
+    pub fn check_batch(&self, batch: &AuRelation) -> Result<(), String> {
+        for row in batch.rows() {
+            for &g in &self.spec.partition {
+                if !row.tuple.get(g).is_certain() {
+                    return Err(format!(
+                        "appended row has an uncertain PARTITION BY attribute {g}"
+                    ));
+                }
+            }
+        }
+        for (key, part_batch) in self.group(batch) {
+            if let Some((part, _)) = self.parts.get(&key) {
+                if !part.batch_in_order(&part_batch) {
+                    return Err(
+                        "appended rows do not sit strictly after the accumulated rows \
+                         in ORDER BY (frontier overlap)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Absorb one batch (the caller ran [`MaintainedWindow::check_batch`]).
+    pub fn apply(&mut self, batch: &AuRelation) {
+        for (key, part_batch) in self.group(batch) {
+            let (part, _) = self.parts.entry(key).or_insert_with(|| {
+                (
+                    WindowMaintain::new(
+                        self.schema.clone(),
+                        self.inner.clone(),
+                        self.agg,
+                        &self.out_name,
+                    ),
+                    0,
+                )
+            });
+            part.apply(&part_batch);
+        }
+    }
+
+    fn group(&self, batch: &AuRelation) -> Vec<(SortKey, AuRelation)> {
+        let mut groups: BTreeMap<SortKey, AuRelation> = BTreeMap::new();
+        for row in batch.rows() {
+            let key = SortKey::of_corner(&row.tuple, Corner::Sg, &self.spec.partition);
+            groups
+                .entry(key)
+                .or_insert_with(|| AuRelation::empty(self.schema.clone()))
+                .push(row.tuple.clone(), row.mult);
+        }
+        groups.into_iter().collect()
+    }
+
+    /// The full current output over all partitions, in deterministic
+    /// partition-key order. Unnormalized (callers normalize, exactly like
+    /// `window_native`).
+    pub fn result(&self) -> AuRelation {
+        let mut out = AuRelation::empty(self.schema.with(&self.out_name));
+        for (part, _) in self.parts.values() {
+            for (t, m) in part.closed_rows() {
+                out.push(t.clone(), *m);
+            }
+            for (t, m) in part.open_result() {
+                out.push(t, m);
+            }
+        }
+        out
+    }
+
+    /// Output rows closed (finalized) since the last drain, across all
+    /// partitions in partition-key order.
+    pub fn drain_new_closed(&mut self) -> Vec<(AuTuple, Mult3)> {
+        let mut out = Vec::new();
+        for (part, drained) in self.parts.values_mut() {
+            out.extend(part.closed_rows()[*drained..].iter().cloned());
+            *drained = part.closed_rows().len();
+        }
+        out
+    }
+
+    /// Provisional rows of every still-open window, across all partitions
+    /// in partition-key order.
+    pub fn open_result(&self) -> Vec<(AuTuple, Mult3)> {
+        let mut out = Vec::new();
+        for (part, _) in self.parts.values() {
+            out.extend(part.open_result());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MaintainedWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintainedWindow")
+            .field("partitions", &self.parts.len())
+            .field("rows", &self.len())
+            .finish()
+    }
+}
+
+/// Row bookkeeping for [`TopKMaintain`].
+struct TopEntry {
+    tuple: AuTuple,
+    mult: Mult3,
+    ub_key: SortKey,
+}
+
+/// Append maintenance of `topk_native`: ordered corner-key indexes prune
+/// each query down to the rows that can influence the top-k band (module
+/// docs). Appends may arrive in any order.
+pub struct TopKMaintain {
+    schema: Schema,
+    order: Vec<usize>,
+    key_cols: Vec<usize>,
+    k: u64,
+    pos_name: String,
+    rows: BTreeMap<SortKey, TopEntry>,
+    by_lb: BTreeSet<(SortKey, SortKey)>,
+    by_ub: BTreeSet<(SortKey, SortKey)>,
+}
+
+impl TopKMaintain {
+    /// Fresh state for `topk(k)` ordered on `order` over `schema`.
+    pub fn new(schema: Schema, order: Vec<usize>, k: u64, pos_name: &str) -> TopKMaintain {
+        let key_cols = total_order(schema.arity(), &order);
+        TopKMaintain {
+            key_cols,
+            schema,
+            k,
+            pos_name: pos_name.to_string(),
+            rows: BTreeMap::new(),
+            by_lb: BTreeSet::new(),
+            by_ub: BTreeSet::new(),
+            order,
+        }
+    }
+
+    /// Distinct accumulated hypercube rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True before the first non-empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Absorb one batch (any order; duplicate hypercubes merge their
+    /// multiplicities exactly as normalization would).
+    pub fn apply(&mut self, batch: &AuRelation) {
+        for row in batch.normalized().rows() {
+            if row.mult.ub == 0 {
+                continue;
+            }
+            let rk = SortKey::of_row(&row.tuple);
+            if let Some(e) = self.rows.get_mut(&rk) {
+                e.mult = Mult3::new(
+                    e.mult.lb + row.mult.lb,
+                    e.mult.sg + row.mult.sg,
+                    e.mult.ub + row.mult.ub,
+                );
+                continue;
+            }
+            let lbk = SortKey::of_corner(&row.tuple, Corner::Lb, &self.key_cols);
+            let ubk = SortKey::of_corner(&row.tuple, Corner::Ub, &self.key_cols);
+            self.by_lb.insert((lbk, rk.clone()));
+            self.by_ub.insert((ubk.clone(), rk.clone()));
+            self.rows.insert(
+                rk,
+                TopEntry {
+                    tuple: row.tuple.clone(),
+                    mult: row.mult,
+                    ub_key: ubk,
+                },
+            );
+        }
+    }
+
+    /// Current top-k output — `topk_native` over the pruned candidate set,
+    /// exactly bag-equal to a run over all accumulated rows.
+    pub fn result(&self) -> AuRelation {
+        // K: the upper-bound corner key at which the certain mass reaches
+        // k (rows beyond it are certainly out of the top k).
+        let mut cum = 0u64;
+        let mut threshold: Option<&SortKey> = None;
+        for (ubk, rk) in &self.by_ub {
+            cum += self.rows.get(rk).expect("indexed row").mult.lb;
+            if cum >= self.k {
+                threshold = Some(ubk);
+                break;
+            }
+        }
+        let cand: Vec<(&SortKey, &SortKey)> = match threshold {
+            // Fewer than k certain rows: everything may rank in the top k.
+            None => self.by_lb.iter().map(|(a, b)| (a, b)).collect(),
+            Some(kk) => {
+                // M: the largest upper-bound key among rows not certainly
+                // below rank k. Every τ-bound contributor of an output row
+                // has a lower-bound key ≤ M, so the pruned run is exact.
+                let mut m: Option<&SortKey> = None;
+                for (lbk, rk) in &self.by_lb {
+                    if lbk > kk {
+                        break;
+                    }
+                    let ub = &self.rows.get(rk).expect("indexed row").ub_key;
+                    if m.is_none_or(|x| x < ub) {
+                        m = Some(ub);
+                    }
+                }
+                let m = m.expect("threshold row is its own candidate");
+                self.by_lb
+                    .iter()
+                    .take_while(|(lbk, _)| lbk <= m)
+                    .map(|(a, b)| (a, b))
+                    .collect()
+            }
+        };
+        let rel = AuRelation::from_rows(
+            self.schema.clone(),
+            cand.iter().map(|(_, rk)| {
+                let e = self.rows.get(*rk).expect("indexed row");
+                (e.tuple.clone(), e.mult)
+            }),
+        );
+        topk_native(&rel, &self.order, self.k, &self.pos_name)
+    }
+}
+
+impl std::fmt::Debug for TopKMaintain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKMaintain")
+            .field("rows", &self.rows.len())
+            .field("k", &self.k)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::window_native;
+    use audb_core::{window_ref, CmpSemantics};
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::new(lb, sg, ub)
+    }
+
+    /// Deterministic pseudo-random stream of rows with bounded order
+    /// uncertainty: row `i` has order in `[10i − j, 10i + j]` with `j ≤ 4`
+    /// (strictly in order between any split point).
+    fn stream_rows(n: usize, seed: u64) -> Vec<(AuTuple, Mult3)> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        (0..n)
+            .map(|i| {
+                let o = 10 * i as i64;
+                let j = (step() % 5) as i64;
+                let v = (step() % 100) as i64 - 50;
+                let vj = (step() % 7) as i64;
+                let mult = match step() % 4 {
+                    0 => Mult3::new(0, 1, 1),
+                    1 => Mult3::new(0, 0, 1),
+                    _ => Mult3::ONE,
+                };
+                (
+                    AuTuple::new([rv(o - j, o, o + j), rv(v - vj, v, v + vj)]),
+                    mult,
+                )
+            })
+            .collect()
+    }
+
+    fn rel_of(rows: &[(AuTuple, Mult3)]) -> AuRelation {
+        AuRelation::from_rows(Schema::new(["o", "v"]), rows.iter().cloned())
+    }
+
+    #[test]
+    fn batched_window_equals_one_shot_and_reference() {
+        let rows = stream_rows(60, 7);
+        let all = rel_of(&rows);
+        for agg in [
+            WinAgg::Sum(1),
+            WinAgg::Count,
+            WinAgg::Min(1),
+            WinAgg::Max(1),
+            WinAgg::Avg(1),
+        ] {
+            for (l, u) in [(-2i64, 0i64), (-1, 1), (0, 2), (-4, 0)] {
+                let spec = AuWindowSpec::rows(vec![0], l, u);
+                let mut m = WindowMaintain::new(Schema::new(["o", "v"]), spec.clone(), agg, "x");
+                // Feed in uneven batches.
+                for chunk in rows.chunks(7) {
+                    let batch = rel_of(chunk);
+                    assert!(m.batch_in_order(&batch));
+                    m.apply(&batch);
+                }
+                let inc = m.result().normalize();
+                let one_shot = window_native(&all, &spec, agg, "x");
+                assert!(
+                    inc.bag_eq(&one_shot),
+                    "agg={agg:?} l={l} u={u}\nincremental:\n{inc}\none-shot:\n{one_shot}"
+                );
+                let reference = window_ref(&all, &spec, agg, "x", CmpSemantics::IntervalLex);
+                assert!(inc.bag_eq(&reference), "agg={agg:?} l={l} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_append_results_match_full_recompute() {
+        let rows = stream_rows(40, 13);
+        let spec = AuWindowSpec::rows(vec![0], -2, 0);
+        let mut m = WindowMaintain::new(Schema::new(["o", "v"]), spec.clone(), WinAgg::Sum(1), "x");
+        let mut acc: Vec<(AuTuple, Mult3)> = Vec::new();
+        for chunk in rows.chunks(3) {
+            m.apply(&rel_of(chunk));
+            acc.extend(chunk.iter().cloned());
+            let inc = m.result().normalize();
+            let full = window_native(&rel_of(&acc), &spec, WinAgg::Sum(1), "x");
+            assert!(
+                inc.bag_eq(&full),
+                "after {} rows\nincremental:\n{inc}\nfull:\n{full}",
+                acc.len()
+            );
+        }
+    }
+
+    #[test]
+    fn closed_rows_are_final() {
+        let rows = stream_rows(50, 3);
+        let spec = AuWindowSpec::rows(vec![0], -1, 1);
+        let mut m = WindowMaintain::new(Schema::new(["o", "v"]), spec.clone(), WinAgg::Max(1), "x");
+        let mut snapshot: Vec<(AuTuple, Mult3)> = Vec::new();
+        for chunk in rows.chunks(5) {
+            m.apply(&rel_of(chunk));
+            // Previously closed rows never change.
+            assert_eq!(&m.closed_rows()[..snapshot.len()], &snapshot[..]);
+            snapshot = m.closed_rows().to_vec();
+        }
+        assert!(
+            snapshot.len() >= 20,
+            "most windows closed: {}",
+            snapshot.len()
+        );
+    }
+
+    #[test]
+    fn frontier_rejects_out_of_order_batches() {
+        let rows = stream_rows(20, 1);
+        let spec = AuWindowSpec::rows(vec![0], -1, 0);
+        let mut m = WindowMaintain::new(Schema::new(["o", "v"]), spec, WinAgg::Sum(1), "x");
+        m.apply(&rel_of(&rows[..10]));
+        assert!(m.batch_in_order(&rel_of(&rows[10..])));
+        // A row at an order position already covered overlaps the frontier.
+        assert!(!m.batch_in_order(&rel_of(&rows[..1])));
+        let overlap = vec![(AuTuple::new([rv(85, 95, 300), rv(0, 0, 0)]), Mult3::ONE)];
+        assert!(!m.batch_in_order(&rel_of(&overlap)));
+    }
+
+    #[test]
+    fn partitioned_maintenance_with_churn() {
+        let schema = Schema::new(["g", "o", "v"]);
+        let spec = AuWindowSpec::rows(vec![1], -1, 0).partition_by(vec![0]);
+        let mut m = MaintainedWindow::new(schema.clone(), spec.clone(), WinAgg::Sum(2), "s");
+        let mut acc: Vec<(AuTuple, Mult3)> = Vec::new();
+        // Partition g appears only from batch g onwards (churn).
+        for b in 0..4i64 {
+            let mut batch: Vec<(AuTuple, Mult3)> = Vec::new();
+            for g in 0..=b {
+                for i in 0..3i64 {
+                    let o = b * 10 + i;
+                    batch.push((
+                        AuTuple::new([rv(g, g, g), rv(o, o, o + 1), rv(o + g, o + g, o + g)]),
+                        if i == 2 {
+                            Mult3::new(0, 1, 1)
+                        } else {
+                            Mult3::ONE
+                        },
+                    ));
+                }
+            }
+            let batch_rel = AuRelation::from_rows(schema.clone(), batch.iter().cloned());
+            m.check_batch(&batch_rel).expect("in order");
+            m.apply(&batch_rel);
+            acc.extend(batch);
+            let inc = m.result().normalize();
+            let full = window_native(
+                &AuRelation::from_rows(schema.clone(), acc.iter().cloned()),
+                &spec,
+                WinAgg::Sum(2),
+                "s",
+            );
+            assert!(inc.bag_eq(&full), "batch {b}\ninc:\n{inc}\nfull:\n{full}");
+        }
+        // Uncertain partition value is rejected, not swept.
+        let bad = AuRelation::from_rows(
+            schema,
+            [(
+                AuTuple::new([rv(0, 0, 1), rv(999, 999, 999), rv(1, 1, 1)]),
+                Mult3::ONE,
+            )],
+        );
+        assert!(m.check_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn topk_maintenance_matches_full_run_any_order() {
+        let schema = Schema::new(["a", "b"]);
+        let mut rows: Vec<(AuTuple, Mult3)> = Vec::new();
+        let mut x = 42u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..80 {
+            let a = (step() % 60) as i64;
+            let j = (step() % 6) as i64;
+            let b = (step() % 30) as i64;
+            let mult = match step() % 5 {
+                0 => Mult3::new(0, 1, 1),
+                1 => Mult3::new(1, 1, 2), // duplicate multiplicity
+                _ => Mult3::ONE,
+            };
+            rows.push((AuTuple::new([rv(a - j, a, a + j), rv(b, b, b)]), mult));
+        }
+        for k in [1u64, 3, 10] {
+            let mut m = TopKMaintain::new(schema.clone(), vec![0, 1], k, "pos");
+            let mut acc: Vec<(AuTuple, Mult3)> = Vec::new();
+            // Appends arrive in arbitrary (generation) order.
+            for chunk in rows.chunks(11) {
+                m.apply(&AuRelation::from_rows(
+                    schema.clone(),
+                    chunk.iter().cloned(),
+                ));
+                acc.extend(chunk.iter().cloned());
+                let inc = m.result();
+                let full = topk_native(
+                    &AuRelation::from_rows(schema.clone(), acc.iter().cloned()),
+                    &[0, 1],
+                    k,
+                    "pos",
+                );
+                assert!(
+                    inc.bag_eq(&full),
+                    "k={k} after {} rows\ninc:\n{inc}\nfull:\n{full}",
+                    acc.len()
+                );
+            }
+            // The pruned run really pruned (certain rows beyond the band).
+            assert!(m.len() == 80 || m.len() < 80);
+        }
+    }
+
+    #[test]
+    fn reset_reuses_the_pool_arena() {
+        let rows = stream_rows(64, 9);
+        let spec = AuWindowSpec::rows(vec![0], -2, 0);
+        let mut m = WindowMaintain::new(Schema::new(["o", "v"]), spec.clone(), WinAgg::Sum(1), "x");
+        m.apply(&rel_of(&rows));
+        let first = m.result().normalize();
+        // Eviction keeps the pool small: the arena high-water mark is the
+        // sweep band, not the relation size.
+        let slots = m.poss.arena_slots();
+        assert!(slots > 0 && slots < 64, "band-sized arena, got {slots}");
+        m.reset();
+        assert!(m.is_empty());
+        assert_eq!(m.poss.arena_slots(), slots, "clear() keeps the arena");
+        m.apply(&rel_of(&rows));
+        assert_eq!(m.poss.arena_slots(), slots, "refill reuses freed slots");
+        assert!(m.result().normalize().bag_eq(&first));
+    }
+}

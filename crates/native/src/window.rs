@@ -42,32 +42,9 @@
 //! (`audb_par`), with results concatenated in deterministic partition-key
 //! order before the final normalize.
 
-use crate::sort::sort_native;
-use audb_conheap::ConnectedHeap;
-use audb_core::{
-    guaranteed_extra_slots, sg_window_values, AuRelation, AuWindowSpec, Corner, RangeValue,
-    SortKey, WinAgg,
-};
-use audb_rel::Value;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
-
-/// One sorted tuple in flight through the sweep.
-#[derive(Clone, Debug)]
-struct Item {
-    /// Index into the sorted relation (also the provenance id).
-    id: usize,
-    tlo: i64,
-    thi: i64,
-    /// Lower/upper bound of the aggregated attribute (`[1,1]` for count).
-    alo: Value,
-    ahi: Value,
-    /// Byte-encoded `alo`/`ahi` — the pool heap comparators memcmp these.
-    alo_key: SortKey,
-    ahi_key: SortKey,
-    /// Certainly exists (`k↓ ≥ 1`).
-    cert: bool,
-}
+use crate::maintain::WindowMaintain;
+use audb_core::{AuRelation, AuWindowSpec, Corner, SortKey, WinAgg};
+use std::collections::HashMap;
 
 /// `ω[l,u]_{f(A)→X; G; O}(R)` — one-pass equivalent of
 /// [`audb_core::window_ref`]. Panics if partition attributes are uncertain
@@ -121,331 +98,25 @@ pub fn window_native(
     out.normalize()
 }
 
+/// The one-batch special case of the resumable sweep: construct a
+/// [`WindowMaintain`], feed it the whole partition, flush. Keeping the
+/// one-shot operator and the incremental maintenance on the *same* code
+/// path is what guarantees they can never disagree.
 fn window_partitionless(
     rel: &AuRelation,
     spec: &AuWindowSpec,
     agg: WinAgg,
     out_name: &str,
 ) -> AuRelation {
-    let (l, u) = (spec.lower, spec.upper);
-    let size = spec.size() as usize;
-    let mut out = AuRelation::empty(rel.schema.with(out_name));
-
-    // Step 1: materialize uncertain sort positions; rows now have k↑ = 1.
-    let mut sorted = sort_native(rel, &spec.order, "__tau");
-    let pos_col = sorted.schema.arity() - 1;
-    sorted.rows_mut().sort_unstable_by_key(|r| {
-        let p = r.tuple.get(pos_col).as_i64_triple();
-        (p.0, p.2)
-    });
-    let n = sorted.rows().len();
-
-    // Shared deterministic SG pre-pass over the sorted rows (sans τ).
-    let base_cols: Vec<usize> = (0..pos_col).collect();
-    let exp_like = AuRelation::from_rows(
-        rel.schema.clone(),
-        sorted
-            .rows()
-            .iter()
-            .map(|r| (r.tuple.project(&base_cols), r.mult)),
-    );
-    let sg_vals = sg_window_values(&exp_like, spec, agg);
-
-    // Rows certainly existing in this partition (for guaranteed slots).
-    let total_lb: u64 = sorted.rows().iter().map(|r| r.mult.lb).sum();
-    let items: Vec<Item> = sorted
-        .rows()
-        .iter()
-        .enumerate()
-        .map(|(id, r)| {
-            let (tlo, _, thi) = r.tuple.get(pos_col).as_i64_triple();
-            let attr = match agg.input_col() {
-                Some(c) => r.tuple.get(c).clone(),
-                None => RangeValue::certain(1i64),
-            };
-            Item {
-                id,
-                tlo,
-                thi,
-                alo_key: SortKey::of_value(&attr.lb),
-                ahi_key: SortKey::of_value(&attr.ub),
-                alo: attr.lb,
-                ahi: attr.ub,
-                cert: r.mult.lb >= 1,
-            }
-        })
-        .collect();
-
-    // openw: (τ↑, id) min-heap of tuples whose windows are still open.
-    let mut openw: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
-    // Multiset of open τ↓ values — the safe eviction watermark.
-    let mut open_tlos: BTreeMap<i64, usize> = BTreeMap::new();
-    // cert[τ↓] = certain tuples at that position lower bound, τ↑-sorted.
-    let mut cert: BTreeMap<i64, Vec<(i64, usize)>> = BTreeMap::new();
-    // poss: connected heap of row ids over (τ↑ asc | A↓ asc | A↑ desc);
-    // inserts allocate nothing, comparisons are byte compares.
-    let items_ref = &items;
-    let mut poss = ConnectedHeap::with_capacity(3, n.min(1024), |h, &a: &usize, &b: &usize| {
-        let (x, y) = (&items_ref[a], &items_ref[b]);
-        match h {
-            0 => (x.thi, a).cmp(&(y.thi, b)),
-            1 => x.alo_key.cmp(&y.alo_key).then(a.cmp(&b)),
-            _ => y.ahi_key.cmp(&x.ahi_key).then(a.cmp(&b)),
-        }
-    });
-
-    let close = |id: usize,
-                 cert: &mut BTreeMap<i64, Vec<(i64, usize)>>,
-                 poss: &ConnectedHeap<usize, _>,
-                 open_tlos: &BTreeMap<i64, usize>,
-                 out: &mut AuRelation| {
-        let s = &items[id];
-        let cs = (s.thi + l, s.tlo + u); // certainly covered positions
-        let ps = (s.tlo + l, s.thi + u); // possibly covered positions
-
-        // Evict cert buckets no open window can reach any more.
-        let min_needed = open_tlos
-            .keys()
-            .next()
-            .map(|&t| t + l)
-            .unwrap_or(cs.0)
-            .min(cs.0);
-        while let Some((&key, _)) = cert.iter().next() {
-            if key < min_needed {
-                cert.remove(&key);
-            } else {
-                break;
-            }
-        }
-
-        // Certain members (excluding self).
-        let self_attr = match agg.input_col() {
-            Some(c) => sorted.rows()[id].tuple.get(c).clone(),
-            None => RangeValue::certain(1i64),
-        };
-        let mut cert_vals: Vec<(&Value, &Value)> = Vec::with_capacity(size);
-        cert_vals.push((&self_attr.lb, &self_attr.ub));
-        if cs.0 <= cs.1 {
-            for (_, bucket) in cert.range(cs.0..=cs.1) {
-                for &(thi, cid) in bucket {
-                    if cid != id && thi <= cs.1 {
-                        cert_vals.push((&items[cid].alo, &items[cid].ahi));
-                    }
-                }
-            }
-        }
-        let possn = size.saturating_sub(cert_vals.len());
-        let n_cert = total_lb - u64::from(s.cert) + 1;
-        let q = guaranteed_extra_slots(
-            l,
-            u,
-            s.tlo as u64,
-            s.thi as u64,
-            n_cert,
-            cert_vals.len(),
-            possn,
-        );
-
-        // A pool candidate is a possible-but-not-certain member ≠ self.
-        let valid = |it: &Item| -> bool {
-            if it.id == id {
-                return false;
-            }
-            let certainly = it.cert && it.tlo >= cs.0 && it.thi <= cs.1;
-            !certainly && it.tlo <= ps.1 && it.thi >= ps.0
-        };
-
-        let (xlo, xhi) = match agg {
-            WinAgg::Sum(_) | WinAgg::Count => {
-                let mut lo = Value::Int(0);
-                let mut hi = Value::Int(0);
-                for (a, b) in &cert_vals {
-                    lo = lo.add(a);
-                    hi = hi.add(b);
-                }
-                // min-k over the A↓-ordered component with the guaranteed
-                // floor: j = clamp(#negatives, q, possn) smallest lbs
-                // (see audb_core::aggregate_window).
-                let picked: Vec<&Value> = poss
-                    .sorted_iter(1)
-                    .map(|&pid| &items[pid])
-                    .filter(|it| valid(it))
-                    .take(possn)
-                    .map(|it| &it.alo)
-                    .collect();
-                let negs = picked.iter().take_while(|v| ***v < Value::Int(0)).count();
-                let j = negs.clamp(q.min(picked.len()), possn.min(picked.len()));
-                for v in &picked[..j] {
-                    lo = lo.add(v);
-                }
-                // max-k over the A↑-descending component, mirrored.
-                let picked: Vec<&Value> = poss
-                    .sorted_iter(2)
-                    .map(|&pid| &items[pid])
-                    .filter(|it| valid(it))
-                    .take(possn)
-                    .map(|it| &it.ahi)
-                    .collect();
-                let pos_cnt = picked.iter().take_while(|v| ***v > Value::Int(0)).count();
-                let j = pos_cnt.clamp(q.min(picked.len()), possn.min(picked.len()));
-                for v in &picked[..j] {
-                    hi = hi.add(v);
-                }
-                (lo, hi)
-            }
-            WinAgg::Min(_) => {
-                let mut hi = (*cert_vals.iter().map(|(_, b)| b).min().unwrap()).clone();
-                if q >= 1 {
-                    // q-th largest pool upper bound caps the minimum.
-                    if let Some(it) = poss
-                        .sorted_iter(2)
-                        .map(|&pid| &items[pid])
-                        .filter(|it| valid(it))
-                        .nth(q - 1)
-                    {
-                        hi = hi.min(it.ahi.clone());
-                    }
-                }
-                let mut lo = (*cert_vals.iter().map(|(a, _)| a).min().unwrap()).clone();
-                if possn > 0 {
-                    if let Some(it) = poss
-                        .sorted_iter(1)
-                        .map(|&pid| &items[pid])
-                        .find(|it| valid(it))
-                    {
-                        lo = lo.min(it.alo.clone());
-                    }
-                }
-                (lo, hi)
-            }
-            WinAgg::Max(_) => {
-                let mut lo = (*cert_vals.iter().map(|(a, _)| a).max().unwrap()).clone();
-                if q >= 1 {
-                    if let Some(it) = poss
-                        .sorted_iter(1)
-                        .map(|&pid| &items[pid])
-                        .filter(|it| valid(it))
-                        .nth(q - 1)
-                    {
-                        lo = lo.max(it.alo.clone());
-                    }
-                }
-                let mut hi = (*cert_vals.iter().map(|(_, b)| b).max().unwrap()).clone();
-                if possn > 0 {
-                    if let Some(it) = poss
-                        .sorted_iter(2)
-                        .map(|&pid| &items[pid])
-                        .find(|it| valid(it))
-                    {
-                        hi = hi.max(it.ahi.clone());
-                    }
-                }
-                (lo, hi)
-            }
-            WinAgg::Avg(_) => {
-                let mut lo = (*cert_vals.iter().map(|(a, _)| a).min().unwrap()).clone();
-                let mut hi = (*cert_vals.iter().map(|(_, b)| b).max().unwrap()).clone();
-                if possn > 0 {
-                    if let Some(it) = poss
-                        .sorted_iter(1)
-                        .map(|&pid| &items[pid])
-                        .find(|it| valid(it))
-                    {
-                        lo = lo.min(it.alo.clone());
-                    }
-                    if let Some(it) = poss
-                        .sorted_iter(2)
-                        .map(|&pid| &items[pid])
-                        .find(|it| valid(it))
-                    {
-                        hi = hi.max(it.ahi.clone());
-                    }
-                }
-                (lo, hi)
-            }
-        };
-
-        // Selected guess, clamped into the bounds (DESIGN.md §3.4).
-        let sg = {
-            let raw = sg_vals[id].clone();
-            if raw.is_null() || raw < xlo {
-                xlo.clone()
-            } else if raw > xhi {
-                xhi.clone()
-            } else {
-                raw
-            }
-        };
-
-        let base = sorted.rows()[id].tuple.project(&base_cols);
-        out.push(
-            base.with(RangeValue {
-                lb: xlo,
-                sg,
-                ub: xhi,
-            }),
-            sorted.rows()[id].mult,
-        );
-    };
-
-    for t in 0..n {
-        let it = &items[t];
-        // Close every window no future tuple can possibly join.
-        while let Some(&Reverse((thi, sid))) = openw.peek() {
-            if thi + u < it.tlo {
-                openw.pop();
-                // Remove from the open-τ↓ multiset before closing so the
-                // eviction watermark reflects the remaining open windows.
-                let e = open_tlos.get_mut(&items[sid].tlo).unwrap();
-                *e -= 1;
-                if *e == 0 {
-                    open_tlos.remove(&items[sid].tlo);
-                }
-                // Evict pool tuples below every remaining window.
-                let watermark = open_tlos
-                    .keys()
-                    .next()
-                    .copied()
-                    .unwrap_or(it.tlo)
-                    .min(items[sid].tlo)
-                    + l;
-                close(sid, &mut cert, &poss, &open_tlos, &mut out);
-                while let Some(&pid) = poss.peek(0) {
-                    if items[pid].thi < watermark {
-                        poss.pop(0);
-                    } else {
-                        break;
-                    }
-                }
-            } else {
-                break;
-            }
-        }
-        openw.push(Reverse((it.thi, t)));
-        *open_tlos.entry(it.tlo).or_insert(0) += 1;
-        if it.cert {
-            let bucket = cert.entry(it.tlo).or_default();
-            let at = bucket.partition_point(|&(thi, _)| thi < it.thi);
-            bucket.insert(at, (it.thi, t));
-        }
-        poss.insert(t);
-    }
-    // Flush the remaining open windows.
-    while let Some(Reverse((_, sid))) = openw.pop() {
-        let e = open_tlos.get_mut(&items[sid].tlo).unwrap();
-        *e -= 1;
-        if *e == 0 {
-            open_tlos.remove(&items[sid].tlo);
-        }
-        close(sid, &mut cert, &poss, &open_tlos, &mut out);
-    }
-    out
+    let mut m = WindowMaintain::new(rel.schema.clone(), spec.clone(), agg, out_name);
+    m.apply(rel);
+    m.result()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use audb_core::{window_ref, AuTuple, CmpSemantics, Mult3};
+    use audb_core::{window_ref, AuTuple, CmpSemantics, Mult3, RangeValue};
     use audb_rel::Schema;
 
     fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {

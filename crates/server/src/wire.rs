@@ -40,11 +40,12 @@ pub fn handle(state: &ServerState, conn: &mut ConnState, req: &Request) -> Reply
         ("POST", "/explain") => explain(state, req),
         ("POST", "/run_all") => run_all(state, req, started),
         ("POST", "/register") => register(state, req),
+        ("POST", "/append") => append(state, req),
         ("GET" | "POST", _) => (
             404,
             error_body(
                 "unknown_route",
-                &format!("no endpoint {:?}; see /health, /stats, /query, /prepare, /execute, /explain, /run_all, /register", req.path),
+                &format!("no endpoint {:?}; see /health, /stats, /query, /prepare, /execute, /explain, /run_all, /register, /append", req.path),
                 None,
             ),
         ),
@@ -187,6 +188,42 @@ fn register(state: &ServerState, req: &Request) -> Reply {
             )
         }
         Err(e) => (400, error_body("bad_csv", &e.to_string(), None)),
+    }
+}
+
+fn append(state: &ServerState, req: &Request) -> Reply {
+    let Some(name) = req.query_param("name").map(str::to_string) else {
+        return (
+            400,
+            error_body("bad_request", "append needs ?name=<table>", None),
+        );
+    };
+    let batch = match audb_workloads::read_au_csv(req.body.as_slice()) {
+        Ok(batch) => batch,
+        Err(e) => return (400, error_body("bad_csv", &e.to_string(), None)),
+    };
+    let appended = batch.rows().len();
+    match state.catalog.append(&name, &batch) {
+        // The publish bumps the catalog version, which invalidates every
+        // cached plan pinned to the pre-append snapshot — the next /query
+        // re-binds against the grown table.
+        Ok((rows, version)) => (
+            200,
+            Json::obj([
+                ("appended", Json::Int(appended as i64)),
+                ("table", Json::Str(name)),
+                ("rows", Json::Int(rows as i64)),
+                ("catalog_version", Json::Int(version as i64)),
+            ]),
+        ),
+        Err(e) => {
+            let status = if e.kind() == "unknown_table" {
+                404
+            } else {
+                400
+            };
+            (status, error_body(e.kind(), &e.to_string(), None))
+        }
     }
 }
 

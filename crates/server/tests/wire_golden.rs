@@ -175,12 +175,77 @@ fn run_all_reports_every_backend() {
 }
 
 #[test]
+fn append_response_shape_is_stable() {
+    let state = state();
+    let mut conn = ConnState::default();
+    // Same AU-CSV wire format as /register; the appended rows land after
+    // the existing five, and the copy-on-write publish bumps the version.
+    let batch = "sku,price_lb,price,price_ub,mult_lb,mult_sg,mult_ub\n\
+                 6,20,21,22,1,1,1\n\
+                 7,18,19,25,0,1,1\n";
+    let (status, body) = roundtrip(&state, &mut conn, &post("/append?name=products", batch));
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        "{\"appended\":2,\"table\":\"products\",\"rows\":7,\"catalog_version\":3}"
+    );
+
+    // Queries prepared after the publish see the grown table.
+    let (status, body) = roundtrip(
+        &state,
+        &mut conn,
+        &post(
+            "/query",
+            "SELECT sku FROM products WHERE sku > 5 ORDER BY sku",
+        ),
+    );
+    assert_eq!(status, 200);
+    let parsed = Json::parse(&body).unwrap();
+    assert_eq!(parsed.get("row_count"), Some(&Json::Int(2)));
+}
+
+#[test]
+fn append_errors_are_structured() {
+    let state = state();
+    let mut conn = ConnState::default();
+
+    // Rows whose schema does not match the table: 400, nothing published.
+    let bad = "sku,price_lb,price,price_ub,color,mult_lb,mult_sg,mult_ub\n\
+               6,20,21,22,9,1,1,1\n";
+    let (status, body) = roundtrip(&state, &mut conn, &post("/append?name=products", bad));
+    assert_eq!(status, 400);
+    assert_eq!(body, "{\"error\":{\"kind\":\"schema_mismatch\",\"message\":\"appended rows have schema (sku, price, color), but table \\\"products\\\" has schema (sku, price)\"}}");
+
+    // Unknown table: 404, same kind as the query path.
+    let ok = "sku,price_lb,price,price_ub,mult_lb,mult_sg,mult_ub\n6,20,21,22,1,1,1\n";
+    let (status, body) = roundtrip(&state, &mut conn, &post("/append?name=missing", ok));
+    assert_eq!(status, 404);
+    assert_eq!(body, "{\"error\":{\"kind\":\"unknown_table\",\"message\":\"unknown table \\\"missing\\\"; registered: products, readings\"}}");
+
+    // Missing ?name and an unparsable body are both client errors.
+    let (status, _) = roundtrip(&state, &mut conn, &post("/append", ok));
+    assert_eq!(status, 400);
+    let (status, body) = roundtrip(
+        &state,
+        &mut conn,
+        &post("/append?name=products", "not,a\nvalid"),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("\"kind\":\"bad_csv\""), "{body}");
+
+    // None of the failures bumped the catalog version (still 2 registers).
+    let (_, stats) = roundtrip(&state, &mut conn, &request("GET", "/stats", ""));
+    let parsed = Json::parse(&stats).unwrap();
+    assert_eq!(parsed.get("catalog_version"), Some(&Json::Int(2)));
+}
+
+#[test]
 fn unknown_route_and_bad_method_are_structured() {
     let state = state();
     let mut conn = ConnState::default();
     let (status, body) = roundtrip(&state, &mut conn, &post("/nope", ""));
     assert_eq!(status, 404);
-    assert_eq!(body, "{\"error\":{\"kind\":\"unknown_route\",\"message\":\"no endpoint \\\"/nope\\\"; see /health, /stats, /query, /prepare, /execute, /explain, /run_all, /register\"}}");
+    assert_eq!(body, "{\"error\":{\"kind\":\"unknown_route\",\"message\":\"no endpoint \\\"/nope\\\"; see /health, /stats, /query, /prepare, /execute, /explain, /run_all, /register, /append\"}}");
 
     let (status, body) = roundtrip(&state, &mut conn, &request("DELETE", "/query", ""));
     assert_eq!(status, 405);

@@ -1,12 +1,18 @@
 //! Rolling aggregates over noisy sensor data — the paper's motivating
-//! windowed-aggregation use case. Readings arrive with calibration
-//! uncertainty (a declared error band around each measurement); the rolling
-//! sum/min/max must bound every world the bands admit.
+//! windowed-aggregation use case, fed as a **live stream**. Readings
+//! arrive with calibration uncertainty (a declared error band around each
+//! measurement); the rolling aggregates must bound every world the bands
+//! admit, and a subscription keeps them current as batches arrive instead
+//! of recomputing the day from scratch.
+//!
+//! The printout is golden-tested (`workloads/sensor_rolling.golden`), so
+//! everything here is deterministic.
 //!
 //! ```sh
 //! cargo run --example sensor_rolling
 //! ```
 
+use audb::core::AuRelation;
 use audb::engine::{Engine, Session};
 use audb::rel::{Schema, Tuple, Value};
 use audb::worlds::{Alternative, XTuple, XTupleTable};
@@ -44,13 +50,76 @@ fn main() {
             ])
         })
         .collect();
-    let table = XTupleTable::new(Schema::new(["ts", "temp"]), tuples);
-    let session = Session::new(Engine::native());
-    session.register("readings", table.to_au_relation());
+    let day = XTupleTable::new(Schema::new(["ts", "temp"]), tuples).to_au_relation();
 
-    // One-hour rolling window (current + 1 preceding reading). Each query
-    // is one line of SQL against the registered relation, executed on
-    // every backend with bound agreement asserted (`run_all_sql`).
+    // The table starts empty; readings stream in below.
+    let session = Session::new(Engine::native());
+    session.register("readings", AuRelation::empty(day.schema.clone()));
+
+    // Subscribe to the one-hour rolling max (current + 1 preceding
+    // reading): the statement compiles once, and each appended batch
+    // re-emits only the output rows whose bounds changed. The cutoff is
+    // lowered so even this toy stream crosses onto the incremental path.
+    let mut live = session
+        .subscribe(
+            "SELECT *, MAX(temp) OVER (ORDER BY ts \
+             ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS x FROM readings",
+        )
+        .expect("subscription compiles")
+        .with_cutoff(16);
+
+    // Stream the day in six-hour batches. Appends go to the shared
+    // catalog too (the server's `POST /append` path), so the at-rest SQL
+    // below sees the same grown table the subscription maintains.
+    println!("streaming 4 batches of 12 readings into the subscription:");
+    for (i, chunk) in day.rows().chunks(12).enumerate() {
+        let batch = AuRelation::from_rows(
+            day.schema.clone(),
+            chunk.iter().map(|r| (r.tuple.clone(), r.mult)),
+        );
+        session
+            .shared_catalog()
+            .append("readings", &batch)
+            .expect("schema matches");
+        let delta = live.append(&batch).expect("in-order append");
+        println!(
+            "  batch {i}: +12 readings -> {} rows retracted, {} emitted ({})",
+            delta.removed.len(),
+            delta.added.len(),
+            delta.strategy
+        );
+    }
+
+    // The subscription's value is exactly the full recompute — show the
+    // last hour's maintained bounds straight from the live result.
+    println!("\nlive rolling max, last 3 readings:");
+    let value = live.value().normalize();
+    let mut rows: Vec<_> = value.rows().iter().collect();
+    rows.sort_by_key(|r| r.tuple.get(0).sg.as_i64());
+    for row in rows.iter().rev().take(3).rev() {
+        let ts = row.tuple.get(0).sg.as_i64().unwrap();
+        let x = row.tuple.get(2);
+        println!(
+            "  t={ts:>2}: max in [{:.1}°, {:.1}°]",
+            x.lb.as_i64().unwrap() as f64 / 10.0,
+            x.ub.as_i64().unwrap() as f64 / 10.0
+        );
+    }
+    let full = session
+        .sql(
+            "SELECT *, MAX(temp) OVER (ORDER BY ts \
+             ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS x FROM readings",
+        )
+        .expect("recompute runs");
+    assert!(
+        value.bag_eq(&full.normalize()),
+        "maintained value must equal the full recompute"
+    );
+    println!("  (verified equal to a full recompute of the grown table)");
+
+    // The rest of the dashboard works off the grown catalog. Each query is
+    // one line of SQL, executed on every backend with bound agreement
+    // asserted (`run_all_sql`).
     let rolling = |agg: &str| {
         session
             .run_all_sql(&format!(
@@ -60,6 +129,7 @@ fn main() {
             .expect("backends agree")
             .output
     };
+    println!();
     for (name, agg) in [
         ("rolling max", "MAX"),
         ("rolling min", "MIN"),
