@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [targets...] [--scale X] [--quick] [--json [PATH]]
-//!       [--sizes N,N,...] [--threads N]
+//!       [--sizes N,N,...] [--threads N] [--sel PCT]
 //! repro sql [SCRIPT.sql] [--data DIR] [--table name=path.csv]...
 //!           [--backend reference|native|rewrite] [--explain] [--repl]
 //! repro serve [--data DIR] [--table name=path.csv]... [--port P]
@@ -21,6 +21,8 @@
 //!          (default 1000,4000,16000)
 //! --threads  with the `bench` target: pin the worker-thread count
 //!          (sets AUDB_THREADS; recorded in the artifact)
+//! --sel    with the `bench` target: pin the pruning sweep to one
+//!          selectivity percentage (default sweeps 1,10,50)
 //!
 //! The `sql` subcommand loads every `*.csv` in the data directory
 //! (default `workloads/`) as catalog tables and executes textual
@@ -107,6 +109,10 @@ fn main() {
                 let v = args.next().expect("--threads needs a value");
                 bench_cfg.threads = Some(v.parse().expect("--threads must be an integer"));
             }
+            "--sel" => {
+                let v = args.next().expect("--sel needs a percentage");
+                bench_cfg.sel = Some(v.parse().expect("--sel must be an integer percentage"));
+            }
             "--json" => {
                 // Optional value. Only consume the next token as a path if
                 // it can't be a target name (`repro --json bench` must keep
@@ -119,7 +125,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [heaps|fig11..fig19|bench|all]... [--scale X] [--quick] [--json [PATH]] \
-                     [--sizes N,N,...] [--threads N]\n\
+                     [--sizes N,N,...] [--threads N] [--sel PCT]\n\
                      \x20      repro sql [SCRIPT.sql] [--data DIR] [--table name=path.csv]... \
                      [--backend B] [--explain] [--repl]\n\
                      \x20      repro serve [--data DIR] [--table name=path.csv]... [--port P] \

@@ -72,6 +72,10 @@ pub const NAIVE_BASELINE_SORT_IMP_MS: [f64; 3] = [1.70, 8.34, 46.40];
 /// Pre-optimization window sweep medians (milliseconds).
 pub const NAIVE_BASELINE_WINDOW_IMP_MS: [f64; 3] = [4.02, 24.19, 125.63];
 
+/// Selectivities (percent of rows passing the clustered-key predicate)
+/// the pruning sweep measures by default; `--sel PCT` narrows to one.
+pub const SELECTIVITIES: [u32; 3] = [1, 10, 50];
+
 /// Benchmark configuration (the `repro bench` flags).
 #[derive(Clone, Debug)]
 pub struct BenchConfig {
@@ -81,6 +85,9 @@ pub struct BenchConfig {
     pub sizes: Vec<usize>,
     /// Pinned worker-thread count (`--threads N`); `None` records "auto".
     pub threads: Option<usize>,
+    /// `--sel PCT`: pin the pruning sweep to a single selectivity
+    /// (percent); `None` sweeps [`SELECTIVITIES`].
+    pub sel: Option<u32>,
 }
 
 impl Default for BenchConfig {
@@ -89,6 +96,7 @@ impl Default for BenchConfig {
             quick: false,
             sizes: SIZES.to_vec(),
             threads: None,
+            sel: None,
         }
     }
 }
@@ -549,6 +557,119 @@ pub fn measure_streaming(cfg: &BenchConfig) -> Vec<StreamingRun> {
         .collect()
 }
 
+/// One zone-map pruning cell: a filter-scan plan
+/// (`scan → select → project_exprs`) over a clustered certain key,
+/// measured with zone-map batch skipping on and off **within the same
+/// run** (so the speedup is immune to cross-run noise), at one
+/// selectivity.
+#[derive(Clone, Debug)]
+pub struct PruningRun {
+    /// Input rows.
+    pub n: usize,
+    /// Percent of rows the predicate keeps.
+    pub sel_pct: u32,
+    /// Median wall milliseconds with zone-map pruning (the default path).
+    pub pruned_ms: f64,
+    /// Median wall milliseconds with pruning disabled
+    /// (`Engine::with_pruning(false)`) — same plan, same batches.
+    pub unpruned_ms: f64,
+    /// `unpruned_ms / pruned_ms` — the within-run gate CI reads at 1%.
+    pub speedup: f64,
+    /// Source batches skipped outright by a provably-false zone verdict.
+    pub batches_skipped: usize,
+    /// Source batches that ran through the fused select chain.
+    pub batches_scanned: usize,
+}
+
+/// A clustered AU table for the pruning sweep: a certain, strictly
+/// increasing key `t` (so zone bound boxes are disjoint and a range
+/// predicate is provably-false on most zones) and an uncertain value
+/// band `v` (so the relation is genuinely AU — the pruning decision must
+/// come from the zone maps, not from degenerate certainty).
+fn clustered_table(n: usize) -> AuRelation {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    AuRelation::from_rows(
+        Schema::new(["t", "v"]),
+        (0..n).map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = (state % 1000) as i64;
+            (
+                AuTuple::new([
+                    RangeValue::certain(i as i64),
+                    RangeValue::new(v - 1, v, v + 1),
+                ]),
+                Mult3::ONE,
+            )
+        }),
+    )
+}
+
+/// Measure the pruning sweep: the filter-scan plan shape zone maps
+/// accelerate (`scan → select → project_exprs`) with the selection on
+/// the clustered key at each configured selectivity, pruned vs
+/// pruning-disabled within one run. Deliberately no trailing breaker:
+/// a sort's cost scales with the *surviving* rows, identical in both
+/// arms, and at 1% selectivity it would dominate both sides and dilute
+/// the measured contrast into noise.
+pub fn measure_pruning(cfg: &BenchConfig) -> Vec<PruningRun> {
+    let _pin = ThreadPin::set(cfg.threads);
+    let runs = if cfg.quick { 3 } else { 7 };
+    let sels: Vec<u32> = match cfg.sel {
+        Some(pct) => vec![pct],
+        None => SELECTIVITIES.to_vec(),
+    };
+    let mut out = Vec::new();
+    for &n in &cfg.sizes {
+        let rel = std::sync::Arc::new(clustered_table(n));
+        for &pct in &sels {
+            let threshold = (n as i64 * pct as i64) / 100;
+            let plan = Query::scan(std::sync::Arc::clone(&rel))
+                .select(RangeExpr::col(0).lt(RangeExpr::lit(threshold)))
+                .project_exprs([
+                    (RangeExpr::col(0), "t".to_string()),
+                    (
+                        RangeExpr::Add(Box::new(RangeExpr::col(1)), Box::new(RangeExpr::lit(1))),
+                        "v1".to_string(),
+                    ),
+                ])
+                .build()
+                .expect("pruning plan is valid");
+            let pruned_engine = Engine::native();
+            let unpruned_engine = Engine::native().with_pruning(false);
+            // One traced run collects the skip counters (and warms the
+            // plan's column cache so the timed medians compare the sweeps,
+            // not the first columnarization).
+            let (_, trace) = pruned_engine
+                .execute_traced(&plan)
+                .expect("pruning plan executes");
+            let pruned_ms = time_median(
+                || {
+                    std::hint::black_box(pruned_engine.execute(&plan).expect("pruned run"));
+                },
+                runs,
+            );
+            let unpruned_ms = time_median(
+                || {
+                    std::hint::black_box(unpruned_engine.execute(&plan).expect("unpruned run"));
+                },
+                runs,
+            );
+            out.push(PruningRun {
+                n,
+                sel_pct: pct,
+                pruned_ms,
+                unpruned_ms,
+                speedup: unpruned_ms / pruned_ms,
+                batches_skipped: trace.batches_skipped,
+                batches_scanned: trace.batches_scanned,
+            });
+        }
+    }
+    out
+}
+
 /// Render the per-column physical-type counts of one run's input.
 fn phys_counts(phys: &[PhysType]) -> String {
     let count = |t: PhysType| phys.iter().filter(|p| **p == t).count();
@@ -567,6 +688,7 @@ pub fn render_json(
     measurements: &[Measurement],
     kernels: &[KernelSweep],
     streaming: &[StreamingRun],
+    pruning: &[PruningRun],
     cfg: &BenchConfig,
 ) -> String {
     let mut s = String::new();
@@ -581,7 +703,12 @@ pub fn render_json(
     // v6: the `streaming` section measures a window subscription's
     // incremental vs forced-recompute arms within one run, plus the
     // `streaming_16k_speedup` headline CI gates.
-    s.push_str("  \"schema_version\": 6,\n");
+    // v7: the `pruning` section measures zone-map batch skipping on a
+    // filter-scan plan over a clustered key — pruned vs
+    // pruning-disabled within one run at each selectivity, with batches
+    // skipped/scanned counters — plus the `pruning_16k_speedup_at_1pct`
+    // headline CI gates at ≥ 2×.
+    s.push_str("  \"schema_version\": 7,\n");
     let sizes = cfg
         .sizes
         .iter()
@@ -646,6 +773,16 @@ pub fn render_json(
         s.push_str(if i + 1 < streaming.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    s.push_str("  \"pruning\": [\n");
+    for (i, p) in pruning.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"n\": {}, \"sel_pct\": {}, \"pruned_ms\": {:.3}, \"unpruned_ms\": {:.3}, \"speedup\": {:.2}, \"batches_skipped\": {}, \"batches_scanned\": {}}}",
+            p.n, p.sel_pct, p.pruned_ms, p.unpruned_ms, p.speedup, p.batches_skipped, p.batches_scanned
+        );
+        s.push_str(if i + 1 < pruning.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
     // Headline ratio the acceptance gate reads: naive / current for
     // sort/imp (pipeline arm) at 16k rows; null when 16k was not measured
     // (e.g. the CI `--sizes 1000` smoke run).
@@ -665,9 +802,17 @@ pub fn render_json(
     // v6 headline: the within-run incremental-vs-recompute ratio at 16k.
     match streaming.iter().find(|r| r.n == 16_000) {
         Some(r) => {
-            let _ = writeln!(s, "  \"streaming_16k_speedup\": {:.2}", r.speedup);
+            let _ = writeln!(s, "  \"streaming_16k_speedup\": {:.2},", r.speedup);
         }
-        None => s.push_str("  \"streaming_16k_speedup\": null\n"),
+        None => s.push_str("  \"streaming_16k_speedup\": null,\n"),
+    }
+    // v7 headline: the within-run pruned-vs-unpruned ratio at 16k rows
+    // and 1% selectivity (the most prunable sweep point).
+    match pruning.iter().find(|p| p.n == 16_000 && p.sel_pct == 1) {
+        Some(p) => {
+            let _ = writeln!(s, "  \"pruning_16k_speedup_at_1pct\": {:.2}", p.speedup);
+        }
+        None => s.push_str("  \"pruning_16k_speedup_at_1pct\": null\n"),
     }
     s.push_str("}\n");
     s
@@ -696,7 +841,14 @@ pub fn run_json(path: &str, cfg: &BenchConfig) {
             r.n, r.appends_per_sec, r.p50_us, r.p99_us, r.speedup
         );
     }
-    let json = render_json(&measurements, &kernels, &streaming, cfg);
+    let pruning = measure_pruning(cfg);
+    for p in &pruning {
+        println!(
+            "{:>6} rows  pruning sel {:>3}%  pruned {:>8.3} ms  unpruned {:>8.3} ms  {:>6.2}x  ({} skipped / {} scanned)",
+            p.n, p.sel_pct, p.pruned_ms, p.unpruned_ms, p.speedup, p.batches_skipped, p.batches_scanned
+        );
+    }
+    let json = render_json(&measurements, &kernels, &streaming, &pruning, cfg);
     let json = preserve_server_section(path, json);
     std::fs::write(path, &json).expect("write bench artifact");
     println!("wrote {path}");
@@ -787,9 +939,24 @@ mod tests {
             recompute_ms: 500.0,
             speedup: 8.0,
         }];
-        let json = render_json(&ms, &sweeps, &streaming, &BenchConfig::default());
+        let pruning = vec![PruningRun {
+            n: 16_000,
+            sel_pct: 1,
+            pruned_ms: 0.5,
+            unpruned_ms: 2.0,
+            speedup: 4.0,
+            batches_skipped: 15,
+            batches_scanned: 1,
+        }];
+        let json = render_json(&ms, &sweeps, &streaming, &pruning, &BenchConfig::default());
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"schema_version\": 7"));
+        // The v7 pruning section and its within-run headline.
+        assert!(json.contains(
+            "{\"n\": 16000, \"sel_pct\": 1, \"pruned_ms\": 0.500, \"unpruned_ms\": 2.000, \
+             \"speedup\": 4.00, \"batches_skipped\": 15, \"batches_scanned\": 1}"
+        ));
+        assert!(json.contains("\"pruning_16k_speedup_at_1pct\": 4.00"));
         // The v6 streaming section and its within-run headline.
         assert!(json.contains(
             "{\"n\": 16000, \"batch\": 64, \"appends\": 250, \"appends_per_sec\": 4000, \
@@ -851,10 +1018,10 @@ mod tests {
         // Without the flag, the ambient pin is what the artifact records.
         let cfg = BenchConfig::default();
         assert_eq!(cfg.effective_threads(), Some(3));
-        assert!(render_json(&[], &[], &[], &cfg).contains("\"threads\": 3"));
+        assert!(render_json(&[], &[], &[], &[], &cfg).contains("\"threads\": 3"));
         std::env::remove_var("AUDB_THREADS");
         assert_eq!(cfg.effective_threads(), None);
-        assert!(render_json(&[], &[], &[], &cfg).contains("\"threads\": \"auto\""));
+        assert!(render_json(&[], &[], &[], &[], &cfg).contains("\"threads\": \"auto\""));
     }
 
     /// The typed layout must strictly beat the generic columnar layout,
@@ -898,6 +1065,7 @@ mod tests {
             quick: true,
             sizes: vec![4_000],
             threads: Some(1),
+            sel: None,
         };
         let sweeps = measure_kernels(&cfg);
         assert_eq!(sweeps.len(), 2);
@@ -922,10 +1090,12 @@ mod tests {
             quick: true,
             sizes: vec![1_000],
             threads: Some(2),
+            sel: None,
         };
-        let json = render_json(&ms, &[], &[], &cfg);
+        let json = render_json(&ms, &[], &[], &[], &cfg);
         assert!(json.contains("\"sort_imp_16k_speedup_vs_naive\": null"));
         assert!(json.contains("\"streaming_16k_speedup\": null"));
+        assert!(json.contains("\"pruning_16k_speedup_at_1pct\": null"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"sizes\": [1000]"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -942,6 +1112,7 @@ mod tests {
             quick: true,
             sizes: vec![1_000],
             threads: Some(1),
+            sel: None,
         };
         let runs = measure_streaming(&cfg);
         assert_eq!(runs.len(), 1);
@@ -955,6 +1126,40 @@ mod tests {
                 r.speedup >= 1.0,
                 "incremental arm slower than recompute within one run: {:.2}x",
                 r.speedup
+            );
+        }
+    }
+
+    /// The pruning sweep must actually skip batches on the clustered
+    /// workload (the zone maps are disjoint, so a 1% predicate is
+    /// provably-false on all but the first zone) and — in release builds,
+    /// where the artifact is produced — not lose to the unpruned arm.
+    #[test]
+    fn pruning_sweep_skips_batches_within_run() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let cfg = BenchConfig {
+            quick: true,
+            sizes: vec![4_096],
+            threads: Some(1),
+            sel: Some(1),
+        };
+        let runs = measure_pruning(&cfg);
+        assert_eq!(runs.len(), 1);
+        let p = &runs[0];
+        assert_eq!((p.n, p.sel_pct), (4_096, 1));
+        // 4096 rows at the default 1024-row batch size: four source
+        // batches, of which only the first can satisfy `t < 40`.
+        assert_eq!(
+            (p.batches_skipped, p.batches_scanned),
+            (3, 1),
+            "zone maps should prove 3 of 4 batches empty"
+        );
+        assert!(p.pruned_ms > 0.0 && p.unpruned_ms > 0.0);
+        if !cfg!(debug_assertions) {
+            assert!(
+                p.speedup >= 1.0,
+                "pruned arm slower than unpruned within one run: {:.2}x",
+                p.speedup
             );
         }
     }
@@ -981,9 +1186,11 @@ mod tests {
             quick: true,
             sizes: vec![1_000],
             threads: Some(2),
+            sel: None,
         };
         let fresh = render_json(
             &[cell("sort", "imp", "pipeline", 1_000, 1.0)],
+            &[],
             &[],
             &[],
             &cfg,
@@ -996,7 +1203,7 @@ mod tests {
             "server section changed across the re-render"
         );
         // Everything else is the fresh render's content.
-        assert_eq!(doc.get("schema_version"), Some(&audb_server::Json::Int(6)));
+        assert_eq!(doc.get("schema_version"), Some(&audb_server::Json::Int(7)));
         assert!(doc.get("runs").is_some() && doc.get("streaming").is_some());
 
         // No existing artifact (or one without a server section): the

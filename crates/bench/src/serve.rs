@@ -480,10 +480,10 @@ fn merge_server_section(
         .unwrap_or_else(|| {
             Json::obj([
                 ("artifact", Json::str("BENCH_sort_window")),
-                ("schema_version", Json::Int(6)),
+                ("schema_version", Json::Int(7)),
             ])
         });
-    doc.set("schema_version", Json::Int(6));
+    doc.set("schema_version", Json::Int(7));
     doc.set("server", section);
     let mut out = doc.pretty();
     out.push('\n');

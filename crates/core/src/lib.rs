@@ -54,6 +54,7 @@ pub mod pos;
 pub mod range_value;
 pub mod relation;
 pub mod sortkey;
+pub mod stats;
 pub mod tuple;
 
 pub use batch::{AuBatch, Batches};
@@ -77,4 +78,8 @@ pub use pos::{all_pos_bounds, pos_bounds, PosBounds};
 pub use range_value::{RangeValue, TruthRange};
 pub use relation::{AuRelation, AuRow};
 pub use sortkey::{Corner, SortKey};
+pub use stats::{
+    estimate_selectivity, range_verdict, zone_truth, ColumnStats, TableStats, ZoneMap, ZoneVerdict,
+    ZONE_ROWS,
+};
 pub use tuple::AuTuple;

@@ -1,0 +1,655 @@
+//! Column statistics and zone maps: the bound-aware summaries behind the
+//! engine's cost-based planning and batch pruning.
+//!
+//! AU-DB columns already carry `[lb, ub]` bounds per cell, so min/max
+//! statistics fall out of the columnar layout for free: a column's
+//! *bound box* is the minimum of its lb lane and the maximum of its ub
+//! lane, and every deterministic world's value lies inside it. Statistics
+//! are kept at two granularities:
+//!
+//! * **Column level** ([`ColumnStats`]): bound box, certain fraction,
+//!   null count and a linear-counting distinct estimate over the
+//!   selected-guess lane — the inputs to selectivity estimation and
+//!   cost-based mode choice.
+//! * **Zone level** ([`ZoneMap`], one per [`ZONE_ROWS`]-row block): bound
+//!   box and certain count per zone, aligned with the executor's batch
+//!   chunking so a fused select stage can skip whole batches.
+//!
+//! ## The zone pruning rule
+//!
+//! [`zone_truth`] evaluates a predicate over a zone's bound boxes instead
+//! of its rows, returning a sound three-valued verdict:
+//!
+//! * [`ZoneVerdict::AllFalse`] — for **every** row in the zone the truth
+//!   triple's upper bound is `false` (the predicate is not even possibly
+//!   true), so a selection drops every row: the batch can be skipped.
+//! * [`ZoneVerdict::AllTrue`] — for every row the triple is certainly
+//!   `TRUE`, so the selection's multiplicity filter is the identity: the
+//!   predicate evaluation can be short-circuited (the certainty bitmap is
+//!   untouched — no value is rewritten).
+//! * [`ZoneVerdict::Mixed`] — no conclusion; evaluate normally.
+//!
+//! Soundness leans on the same bound-preservation argument as
+//! [`crate::RangeExpr::eval`]: a comparison `a < b` is certainly true for
+//! every row when `max(a.ub) < min(b.lb)` over the zone, and certainly
+//! not-even-possibly true when `min(a.lb) ≥ max(b.ub)`; connectives
+//! combine verdicts by Kleene logic. Anything the interval analysis
+//! cannot bound (multiplication, string/float arithmetic, predicates
+//! used as values) degrades to `Mixed`, never to a wrong verdict —
+//! property-pinned against per-row [`crate::RangeExpr::truth`] in this
+//! module's tests and in `tests/pipeline_equivalence.rs`.
+
+use crate::columns::AuColumns;
+use crate::expr::RangeExpr;
+use crate::relation::AuRelation;
+use crate::sortkey::Corner;
+use audb_rel::{CmpOp, Value};
+use std::hash::{Hash, Hasher};
+
+/// Rows per statistics zone. Matches the executor's default batch size so
+/// batch `i` at the default size is exactly zone `i`; other batch sizes
+/// consult every overlapping zone.
+pub const ZONE_ROWS: usize = 1024;
+
+/// Bit width of the linear-counting distinct sketch (64 × u64).
+const SKETCH_BITS: usize = 4096;
+
+/// Per-zone summary of one column: the bound box and certain count of one
+/// contiguous [`ZONE_ROWS`]-row block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZoneMap {
+    /// Rows in the zone (only the last zone may be short).
+    pub rows: usize,
+    /// Minimum of the lb lane over the zone.
+    pub min_lb: Value,
+    /// Maximum of the ub lane over the zone.
+    pub max_ub: Value,
+    /// Rows whose cell is a point (`lb ≡ sg ≡ ub`).
+    pub certain: usize,
+}
+
+/// One column's statistics block: whole-column aggregates plus the
+/// per-zone maps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Total rows (equals the table's row count).
+    pub rows: usize,
+    /// Rows whose cell is a point.
+    pub certain: usize,
+    /// Rows whose selected-guess value is `NULL`.
+    pub nulls: usize,
+    /// Linear-counting estimate of distinct selected-guess values
+    /// (capped at `rows`).
+    pub distinct_estimate: usize,
+    /// Minimum of the lb lane (`None` for an empty column).
+    pub min_lb: Option<Value>,
+    /// Maximum of the ub lane (`None` for an empty column).
+    pub max_ub: Option<Value>,
+    /// One [`ZoneMap`] per [`ZONE_ROWS`]-row block, in row order.
+    pub zones: Vec<ZoneMap>,
+}
+
+impl ColumnStats {
+    /// Fraction of rows whose cell is a point, in `[0, 1]` (1.0 for an
+    /// empty column: there is no uncertain cell).
+    pub fn certain_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            1.0
+        } else {
+            self.certain as f64 / self.rows as f64
+        }
+    }
+
+    /// True iff every cell is a point.
+    pub fn all_certain(&self) -> bool {
+        self.certain == self.rows
+    }
+}
+
+/// A table's statistics: one [`ColumnStats`] block per attribute, all
+/// sharing the same zone partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableStats {
+    /// Stored row count (pre-normalization, like the relation itself).
+    pub rows: usize,
+    /// Per-attribute statistics, in schema order.
+    pub cols: Vec<ColumnStats>,
+}
+
+/// Streaming builder for one column: all aggregates in one sweep.
+struct ColBuilder {
+    rows: usize,
+    certain: usize,
+    nulls: usize,
+    min_lb: Option<Value>,
+    max_ub: Option<Value>,
+    sketch: [u64; SKETCH_BITS / 64],
+    zones: Vec<ZoneMap>,
+    zone_rows: usize,
+    zone_certain: usize,
+    zone_min: Option<Value>,
+    zone_max: Option<Value>,
+}
+
+impl ColBuilder {
+    fn new() -> ColBuilder {
+        ColBuilder {
+            rows: 0,
+            certain: 0,
+            nulls: 0,
+            min_lb: None,
+            max_ub: None,
+            sketch: [0u64; SKETCH_BITS / 64],
+            zones: Vec::new(),
+            zone_rows: 0,
+            zone_certain: 0,
+            zone_min: None,
+            zone_max: None,
+        }
+    }
+
+    fn push(&mut self, lb: &Value, sg: &Value, ub: &Value, is_certain: bool) {
+        self.rows += 1;
+        if is_certain {
+            self.certain += 1;
+            self.zone_certain += 1;
+        }
+        if matches!(sg, Value::Null) {
+            self.nulls += 1;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        sg.hash(&mut h);
+        let bit = (h.finish() as usize) % SKETCH_BITS;
+        self.sketch[bit / 64] |= 1u64 << (bit % 64);
+        min_into(&mut self.min_lb, lb);
+        max_into(&mut self.max_ub, ub);
+        min_into(&mut self.zone_min, lb);
+        max_into(&mut self.zone_max, ub);
+        self.zone_rows += 1;
+        if self.zone_rows == ZONE_ROWS {
+            self.close_zone();
+        }
+    }
+
+    fn close_zone(&mut self) {
+        if self.zone_rows == 0 {
+            return;
+        }
+        self.zones.push(ZoneMap {
+            rows: self.zone_rows,
+            min_lb: self.zone_min.take().unwrap_or(Value::Null),
+            max_ub: self.zone_max.take().unwrap_or(Value::Null),
+            certain: self.zone_certain,
+        });
+        self.zone_rows = 0;
+        self.zone_certain = 0;
+    }
+
+    fn finish(mut self) -> ColumnStats {
+        self.close_zone();
+        // Linear counting: m ln(m / empty), exact when no bit collides.
+        let ones: u32 = self.sketch.iter().map(|w| w.count_ones()).sum();
+        let m = SKETCH_BITS as f64;
+        let empty = m - ones as f64;
+        let distinct = if self.rows == 0 {
+            0
+        } else if empty < 1.0 {
+            self.rows
+        } else {
+            ((m * (m / empty).ln()).round() as usize)
+                .max(ones as usize)
+                .min(self.rows)
+        };
+        ColumnStats {
+            rows: self.rows,
+            certain: self.certain,
+            nulls: self.nulls,
+            distinct_estimate: distinct,
+            min_lb: self.min_lb,
+            max_ub: self.max_ub,
+            zones: self.zones,
+        }
+    }
+}
+
+fn min_into(slot: &mut Option<Value>, v: &Value) {
+    match slot {
+        Some(cur) if &*cur <= v => {}
+        _ => *slot = Some(v.clone()),
+    }
+}
+
+fn max_into(slot: &mut Option<Value>, v: &Value) {
+    match slot {
+        Some(cur) if &*cur >= v => {}
+        _ => *slot = Some(v.clone()),
+    }
+}
+
+impl TableStats {
+    /// Compute statistics from a columnar relation: one contiguous sweep
+    /// per bound lane (certain columns read one lane for all three
+    /// corners).
+    pub fn of_columns(cols: &AuColumns) -> TableStats {
+        let n = cols.len();
+        let mut out = Vec::with_capacity(cols.arity());
+        for c in 0..cols.arity() {
+            let col = cols.col(c);
+            let lb = col.corner(Corner::Lb);
+            let sg = col.corner(Corner::Sg);
+            let ub = col.corner(Corner::Ub);
+            let mut b = ColBuilder::new();
+            for i in 0..n {
+                b.push(&lb.value(i), &sg.value(i), &ub.value(i), col.certain_at(i));
+            }
+            out.push(b.finish());
+        }
+        TableStats { rows: n, cols: out }
+    }
+
+    /// Compute statistics from a row relation in one row sweep — no
+    /// transposition. Produces exactly what [`TableStats::of_columns`]
+    /// produces for the columnarized relation (property-pinned below).
+    pub fn of_relation(rel: &AuRelation) -> TableStats {
+        let rows = rel.rows();
+        let mut builders: Vec<ColBuilder> =
+            (0..rel.schema.arity()).map(|_| ColBuilder::new()).collect();
+        for row in rows {
+            for (b, rv) in builders.iter_mut().zip(&row.tuple.0) {
+                b.push(&rv.lb, &rv.sg, &rv.ub, rv.is_certain());
+            }
+        }
+        TableStats {
+            rows: rows.len(),
+            cols: builders.into_iter().map(ColBuilder::finish).collect(),
+        }
+    }
+
+    /// Number of zones ([`ZONE_ROWS`]-row blocks) the table spans.
+    pub fn zone_count(&self) -> usize {
+        self.rows.div_ceil(ZONE_ROWS)
+    }
+
+    /// Rows in zone `z` (only the last zone may be short).
+    pub fn zone_rows(&self, z: usize) -> usize {
+        let start = z * ZONE_ROWS;
+        ZONE_ROWS.min(self.rows.saturating_sub(start))
+    }
+}
+
+/// Sound three-valued zone-level verdict of a predicate (see the module
+/// docs for the pruning rule each variant licenses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZoneVerdict {
+    /// Every row's truth triple is `FALSE` — a selection drops the zone.
+    AllFalse,
+    /// No conclusion; evaluate per row.
+    Mixed,
+    /// Every row's truth triple is `TRUE` — a selection keeps the zone
+    /// with unchanged multiplicities.
+    AllTrue,
+}
+
+impl ZoneVerdict {
+    /// Kleene conjunction.
+    fn and(self, other: ZoneVerdict) -> ZoneVerdict {
+        use ZoneVerdict::*;
+        match (self, other) {
+            (AllFalse, _) | (_, AllFalse) => AllFalse,
+            (AllTrue, AllTrue) => AllTrue,
+            _ => Mixed,
+        }
+    }
+
+    /// Kleene disjunction.
+    fn or(self, other: ZoneVerdict) -> ZoneVerdict {
+        use ZoneVerdict::*;
+        match (self, other) {
+            (AllTrue, _) | (_, AllTrue) => AllTrue,
+            (AllFalse, AllFalse) => AllFalse,
+            _ => Mixed,
+        }
+    }
+
+    /// Negation (swaps the definite verdicts).
+    fn not(self) -> ZoneVerdict {
+        match self {
+            ZoneVerdict::AllFalse => ZoneVerdict::AllTrue,
+            ZoneVerdict::AllTrue => ZoneVerdict::AllFalse,
+            ZoneVerdict::Mixed => ZoneVerdict::Mixed,
+        }
+    }
+}
+
+/// A conservative interval enclosing every bound of an expression's value
+/// over every row of one zone.
+struct ZoneBox {
+    lo: Value,
+    hi: Value,
+}
+
+/// Interval of a value expression over one zone, `None` when the analysis
+/// cannot bound it (which degrades the verdict to `Mixed`, never to a
+/// wrong answer). Arithmetic stays integer-only and checked: overflow in
+/// `Value` semantics promotes to float mid-expression, which would break
+/// endpoint monotonicity, so it bails instead.
+fn zone_box(e: &RangeExpr, stats: &TableStats, z: usize) -> Option<ZoneBox> {
+    match e {
+        RangeExpr::Col(i) => {
+            let zone = stats.cols.get(*i)?.zones.get(z)?;
+            Some(ZoneBox {
+                lo: zone.min_lb.clone(),
+                hi: zone.max_ub.clone(),
+            })
+        }
+        RangeExpr::Lit(v) => Some(ZoneBox {
+            lo: v.lb.clone(),
+            hi: v.ub.clone(),
+        }),
+        RangeExpr::Add(a, b) => {
+            let (a, b) = (zone_box(a, stats, z)?, zone_box(b, stats, z)?);
+            Some(ZoneBox {
+                lo: int_add(&a.lo, &b.lo)?,
+                hi: int_add(&a.hi, &b.hi)?,
+            })
+        }
+        RangeExpr::Sub(a, b) => {
+            let (a, b) = (zone_box(a, stats, z)?, zone_box(b, stats, z)?);
+            Some(ZoneBox {
+                lo: int_sub(&a.lo, &b.hi)?,
+                hi: int_sub(&a.hi, &b.lo)?,
+            })
+        }
+        RangeExpr::Neg(a) => {
+            let a = zone_box(a, stats, z)?;
+            Some(ZoneBox {
+                lo: int_neg(&a.hi)?,
+                hi: int_neg(&a.lo)?,
+            })
+        }
+        // Multiplication mixes signs (four-corner extrema) and predicates
+        // evaluate to boolean ranges; neither is worth bounding here.
+        _ => None,
+    }
+}
+
+fn int_add(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::Int(a), Value::Int(b)) => a.checked_add(*b).map(Value::Int),
+        _ => None,
+    }
+}
+
+fn int_sub(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::Int(a), Value::Int(b)) => a.checked_sub(*b).map(Value::Int),
+        _ => None,
+    }
+}
+
+fn int_neg(a: &Value) -> Option<Value> {
+    match a {
+        Value::Int(a) => a.checked_neg().map(Value::Int),
+        _ => None,
+    }
+}
+
+/// Evaluate a predicate over zone `z`'s bound boxes. Sound for every row
+/// of the zone (see the module docs); anything unbounded is `Mixed`.
+pub fn zone_truth(pred: &RangeExpr, stats: &TableStats, z: usize) -> ZoneVerdict {
+    match pred {
+        RangeExpr::Cmp(op, a, b) => {
+            let (Some(a), Some(b)) = (zone_box(a, stats, z), zone_box(b, stats, z)) else {
+                return ZoneVerdict::Mixed;
+            };
+            cmp_verdict(*op, &a, &b)
+        }
+        RangeExpr::And(a, b) => zone_truth(a, stats, z).and(zone_truth(b, stats, z)),
+        RangeExpr::Or(a, b) => zone_truth(a, stats, z).or(zone_truth(b, stats, z)),
+        RangeExpr::Not(a) => zone_truth(a, stats, z).not(),
+        _ => ZoneVerdict::Mixed,
+    }
+}
+
+/// Verdict of one comparison over two zone boxes, mirroring the per-row
+/// truth semantics ([`crate::RangeValue::lt`] and friends) over the same
+/// total `Value` order.
+fn cmp_verdict(op: CmpOp, a: &ZoneBox, b: &ZoneBox) -> ZoneVerdict {
+    match op {
+        CmpOp::Lt => lt_verdict(a, b, true),
+        CmpOp::Le => lt_verdict(a, b, false),
+        CmpOp::Gt => lt_verdict(b, a, true),
+        CmpOp::Ge => lt_verdict(b, a, false),
+        CmpOp::Eq => eq_verdict(a, b),
+        CmpOp::Ne => eq_verdict(a, b).not(),
+    }
+}
+
+/// `a < b` (`strict`) or `a ≤ b`: certainly true for every row when even
+/// the largest possible left value beats the smallest possible right one;
+/// certainly impossible when even the smallest left never does.
+fn lt_verdict(a: &ZoneBox, b: &ZoneBox, strict: bool) -> ZoneVerdict {
+    let all_true = if strict { a.hi < b.lo } else { a.hi <= b.lo };
+    let all_false = if strict { a.lo >= b.hi } else { a.lo > b.hi };
+    if all_true {
+        ZoneVerdict::AllTrue
+    } else if all_false {
+        ZoneVerdict::AllFalse
+    } else {
+        ZoneVerdict::Mixed
+    }
+}
+
+/// `a = b`: impossible when the boxes are disjoint; certain only when both
+/// boxes collapse to the same single point (then every row is that exact
+/// certain value).
+fn eq_verdict(a: &ZoneBox, b: &ZoneBox) -> ZoneVerdict {
+    if a.hi < b.lo || b.hi < a.lo {
+        ZoneVerdict::AllFalse
+    } else if a.lo == a.hi && b.lo == b.hi && a.lo == b.lo {
+        ZoneVerdict::AllTrue
+    } else {
+        ZoneVerdict::Mixed
+    }
+}
+
+/// Verdict for a contiguous row range `[start, start + len)` (an executor
+/// batch): the combination of every overlapping zone — definite only when
+/// every zone agrees.
+pub fn range_verdict(
+    pred: &RangeExpr,
+    stats: &TableStats,
+    start: usize,
+    len: usize,
+) -> ZoneVerdict {
+    if len == 0 || stats.rows == 0 {
+        return ZoneVerdict::Mixed;
+    }
+    let z0 = start / ZONE_ROWS;
+    let z1 = (start + len - 1) / ZONE_ROWS;
+    let mut verdict = zone_truth(pred, stats, z0);
+    for z in (z0 + 1)..=z1 {
+        if verdict == ZoneVerdict::Mixed {
+            return verdict;
+        }
+        let next = zone_truth(pred, stats, z);
+        if next != verdict {
+            return ZoneVerdict::Mixed;
+        }
+        verdict = next;
+    }
+    verdict
+}
+
+/// Estimated fraction of rows a selection keeps, from zone verdicts:
+/// definite zones count fully or not at all, mixed zones count half.
+/// `1.0` when there are no statistics to consult (empty table).
+pub fn estimate_selectivity(pred: &RangeExpr, stats: &TableStats) -> f64 {
+    if stats.rows == 0 {
+        return 1.0;
+    }
+    let mut kept = 0.0f64;
+    for z in 0..stats.zone_count() {
+        let rows = stats.zone_rows(z) as f64;
+        kept += match zone_truth(pred, stats, z) {
+            ZoneVerdict::AllTrue => rows,
+            ZoneVerdict::Mixed => rows / 2.0,
+            ZoneVerdict::AllFalse => 0.0,
+        };
+    }
+    kept / stats.rows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mult::Mult3;
+    use crate::range_value::RangeValue;
+    use crate::tuple::AuTuple;
+    use audb_rel::Schema;
+
+    fn rel(rows: &[(i64, i64, i64)]) -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["a", "b"]),
+            rows.iter().map(|&(lb, sg, ub)| {
+                (
+                    AuTuple::new([RangeValue::new(lb, sg, ub), RangeValue::certain(sg)]),
+                    Mult3::ONE,
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn of_relation_matches_of_columns() {
+        let r = rel(&[(1, 2, 3), (4, 4, 4), (0, 1, 9), (7, 7, 7)]);
+        let a = TableStats::of_relation(&r);
+        let b = TableStats::of_columns(&r.to_columns());
+        assert_eq!(a, b);
+        assert_eq!(a.rows, 4);
+        assert_eq!(a.cols[0].certain, 2);
+        assert_eq!(a.cols[0].min_lb, Some(Value::Int(0)));
+        assert_eq!(a.cols[0].max_ub, Some(Value::Int(9)));
+        assert!(a.cols[1].all_certain());
+        assert_eq!(a.cols[1].nulls, 0);
+        // Four distinct certain b values; linear counting is exact here.
+        assert_eq!(a.cols[1].distinct_estimate, 4);
+        assert_eq!(a.cols[0].zones.len(), 1);
+        assert_eq!(a.cols[0].zones[0].rows, 4);
+    }
+
+    #[test]
+    fn zones_partition_at_zone_rows() {
+        let rows: Vec<(i64, i64, i64)> = (0..(ZONE_ROWS as i64 + 5)).map(|i| (i, i, i)).collect();
+        let s = TableStats::of_relation(&rel(&rows));
+        assert_eq!(s.zone_count(), 2);
+        assert_eq!(s.cols[0].zones[0].rows, ZONE_ROWS);
+        assert_eq!(s.cols[0].zones[1].rows, 5);
+        assert_eq!(s.cols[0].zones[1].min_lb, Value::Int(ZONE_ROWS as i64));
+        assert_eq!(s.zone_rows(1), 5);
+    }
+
+    /// The soundness property: a definite zone verdict must agree with
+    /// the per-row truth of every row in the zone.
+    #[test]
+    fn zone_verdicts_are_sound_against_per_row_truth() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let rows: Vec<(i64, i64, i64)> = (0..60)
+            .map(|_| {
+                let sg = (step() % 40) as i64;
+                let d1 = (step() % 4) as i64;
+                let d2 = (step() % 4) as i64;
+                (sg - d1, sg, sg + d2)
+            })
+            .collect();
+        let r = rel(&rows);
+        let s = TableStats::of_relation(&r);
+        let preds = [
+            RangeExpr::col(0).lt(RangeExpr::lit(-5)),
+            RangeExpr::col(0).le(RangeExpr::lit(20)),
+            RangeExpr::col(0).lt(RangeExpr::lit(1000)),
+            RangeExpr::col(0).eq(RangeExpr::lit(7)),
+            RangeExpr::col(0).cmp(CmpOp::Ge, RangeExpr::lit(0)),
+            RangeExpr::col(0)
+                .le(RangeExpr::lit(10))
+                .and(RangeExpr::col(1).lt(RangeExpr::lit(50))),
+            RangeExpr::Not(Box::new(RangeExpr::col(0).lt(RangeExpr::lit(-1)))),
+            RangeExpr::Add(Box::new(RangeExpr::col(0)), Box::new(RangeExpr::lit(5)))
+                .le(RangeExpr::lit(3)),
+        ];
+        for pred in &preds {
+            let verdict = zone_truth(pred, &s, 0);
+            for row in r.rows() {
+                let t = pred.truth(&row.tuple);
+                match verdict {
+                    ZoneVerdict::AllFalse => assert!(!t.ub, "{pred:?} claimed AllFalse"),
+                    ZoneVerdict::AllTrue => assert!(t.lb, "{pred:?} claimed AllTrue"),
+                    ZoneVerdict::Mixed => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn definite_verdicts_fire_on_clustered_data() {
+        // Clustered (sorted) key: faraway zones prune.
+        let rows: Vec<(i64, i64, i64)> = (0..(2 * ZONE_ROWS as i64)).map(|i| (i, i, i)).collect();
+        let s = TableStats::of_relation(&rel(&rows));
+        let pred = RangeExpr::col(0).lt(RangeExpr::lit(10));
+        assert_eq!(zone_truth(&pred, &s, 1), ZoneVerdict::AllFalse);
+        assert_eq!(zone_truth(&pred, &s, 0), ZoneVerdict::Mixed);
+        let all = RangeExpr::col(0).lt(RangeExpr::lit(3 * ZONE_ROWS as i64));
+        assert_eq!(zone_truth(&all, &s, 0), ZoneVerdict::AllTrue);
+        assert_eq!(zone_truth(&all, &s, 1), ZoneVerdict::AllTrue);
+        // A batch spanning both zones is definite only when they agree.
+        assert_eq!(
+            range_verdict(&pred, &s, ZONE_ROWS - 2, 4),
+            ZoneVerdict::Mixed
+        );
+        assert_eq!(
+            range_verdict(&all, &s, ZONE_ROWS - 2, 4),
+            ZoneVerdict::AllTrue
+        );
+        let sel = estimate_selectivity(&pred, &s);
+        assert!(
+            sel <= 0.5,
+            "clustered pred keeps at most the mixed zone: {sel}"
+        );
+        assert_eq!(estimate_selectivity(&all, &s), 1.0);
+    }
+
+    #[test]
+    fn uncertain_cells_widen_the_box_and_block_false_positives() {
+        let r = rel(&[(0, 5, 9), (2, 3, 4)]);
+        let s = TableStats::of_relation(&r);
+        // Possibly-true for row 0 (lb 0 < 2): must not claim AllFalse.
+        let pred = RangeExpr::col(0).lt(RangeExpr::lit(2));
+        assert_eq!(zone_truth(&pred, &s, 0), ZoneVerdict::Mixed);
+        // Not even possibly below -1.
+        let never = RangeExpr::col(0).lt(RangeExpr::lit(-1));
+        assert_eq!(zone_truth(&never, &s, 0), ZoneVerdict::AllFalse);
+    }
+
+    #[test]
+    fn nulls_and_distinct_are_counted() {
+        let r = AuRelation::from_rows(
+            Schema::new(["v"]),
+            [
+                (AuTuple::new([RangeValue::certain(Value::Null)]), Mult3::ONE),
+                (AuTuple::new([RangeValue::certain(1i64)]), Mult3::ONE),
+                (AuTuple::new([RangeValue::certain(1i64)]), Mult3::ONE),
+            ],
+        );
+        let s = TableStats::of_relation(&r);
+        assert_eq!(s.cols[0].nulls, 1);
+        assert_eq!(s.cols[0].distinct_estimate, 2);
+        // Null sorts before everything, so it is the lb min.
+        assert_eq!(s.cols[0].min_lb, Some(Value::Null));
+    }
+}

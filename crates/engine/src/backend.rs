@@ -101,9 +101,14 @@ pub trait Backend {
     }
 
     /// Like [`Backend::execute`], also returning the per-operator wall
-    /// times and batch counts the executor measured.
+    /// times and batch counts the executor measured. The default routes
+    /// through the cost model (`choose_exec`) so bare
+    /// backends make the same stats-driven mode/batch-size choice the
+    /// [`crate::Engine`] does.
     fn execute_traced(&self, plan: &Plan) -> Result<(AuRelation, ExecTrace), EngineError> {
-        exec::execute(self, plan, self.preferred_mode(), DEFAULT_BATCH_SIZE)
+        let choice =
+            crate::engine::choose_exec(plan, self.preferred_mode(), None, DEFAULT_BATCH_SIZE);
+        exec::execute(self, plan, choice.mode, choice.batch_size)
     }
 }
 

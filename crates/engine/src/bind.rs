@@ -36,10 +36,24 @@ use audb_rel::Schema;
 use audb_sql::ast;
 use std::sync::Arc;
 
-/// Compile one parsed statement against a catalog.
+/// Compile one parsed statement against a catalog. The root table's
+/// catalog statistics (computed at publication) are attached to the plan
+/// so the optimizer and the cost model never rescan the data.
 pub fn compile(stmt: &ast::Select, catalog: &Catalog) -> Result<Plan, SessionError> {
     let plan = compile_query(stmt, catalog)?.build()?;
+    if let Some(stats) = catalog.stats(root_table(stmt)) {
+        plan.attach_stats(Arc::clone(stats));
+    }
     Ok(plan.with_sql(stmt.text.clone()))
+}
+
+/// The name the statement ultimately scans (sub-selects nest, so recurse
+/// to the innermost FROM).
+fn root_table(stmt: &ast::Select) -> &str {
+    match &stmt.from {
+        ast::TableRef::Name(name) => name,
+        ast::TableRef::Subquery(inner) => root_table(inner),
+    }
 }
 
 fn compile_query(stmt: &ast::Select, catalog: &Catalog) -> Result<Query, SessionError> {

@@ -2,16 +2,26 @@
 //! [`Catalog`] of named AU-relations, and the snapshot-swappable
 //! [`SharedCatalog`] many concurrent sessions read through.
 
-use audb_core::AuRelation;
+use audb_core::{AuRelation, TableStats};
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
+
+/// A registered relation together with the column statistics computed
+/// when it was published. Statistics are recomputed on every
+/// registration (including the append path, which re-registers the grown
+/// table), so a snapshot's stats always describe the relation it holds.
+#[derive(Clone, Debug)]
+struct TableEntry {
+    rel: Arc<AuRelation>,
+    stats: Arc<TableStats>,
+}
 
 /// Named AU-relations, shared cheaply behind [`Arc`]s. Names are
 /// case-sensitive (quote mixed-case names in SQL as `"MyTable"`); lookups
 /// iterate in name order, so catalog listings are deterministic.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, Arc<AuRelation>>,
+    tables: BTreeMap<String, TableEntry>,
 }
 
 impl Catalog {
@@ -21,23 +31,34 @@ impl Catalog {
     }
 
     /// Register a relation under a name, replacing (and returning) any
-    /// previous relation of that name.
+    /// previous relation of that name. Column statistics (zone maps,
+    /// certain fractions — [`TableStats`]) are computed eagerly here, so
+    /// binding and optimization never scan the data to obtain them.
     pub fn register(
         &mut self,
         name: impl Into<String>,
         rel: impl Into<Arc<AuRelation>>,
     ) -> Option<Arc<AuRelation>> {
-        self.tables.insert(name.into(), rel.into())
+        let rel = rel.into();
+        let stats = Arc::new(TableStats::of_relation(&rel));
+        self.tables
+            .insert(name.into(), TableEntry { rel, stats })
+            .map(|e| e.rel)
     }
 
     /// Remove a named relation, returning it if it was registered.
     pub fn deregister(&mut self, name: &str) -> Option<Arc<AuRelation>> {
-        self.tables.remove(name)
+        self.tables.remove(name).map(|e| e.rel)
     }
 
     /// Look up a relation by name.
     pub fn get(&self, name: &str) -> Option<&Arc<AuRelation>> {
-        self.tables.get(name)
+        self.tables.get(name).map(|e| &e.rel)
+    }
+
+    /// The statistics computed when the named relation was registered.
+    pub fn stats(&self, name: &str) -> Option<&Arc<TableStats>> {
+        self.tables.get(name).map(|e| &e.stats)
     }
 
     /// Registered names, in sorted order.
@@ -47,7 +68,7 @@ impl Catalog {
 
     /// `(name, relation)` pairs, in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<AuRelation>)> {
-        self.tables.iter().map(|(n, r)| (n.as_str(), r))
+        self.tables.iter().map(|(n, e)| (n.as_str(), &e.rel))
     }
 
     /// Number of registered relations.
@@ -306,6 +327,29 @@ mod tests {
         assert!(mismatch.to_string().contains("(a)"), "{mismatch}");
         assert_eq!(shared.version(), 2);
         assert_eq!(shared.snapshot().get("t").unwrap().rows().len(), 3);
+    }
+
+    /// Stats are computed at registration and recomputed when the append
+    /// path re-registers the grown table — a snapshot's stats always
+    /// describe the rows it holds.
+    #[test]
+    fn stats_track_publication() {
+        use audb_core::{AuTuple, Mult3, RangeValue};
+        let shared = SharedCatalog::new();
+        let schema = Schema::new(["a"]);
+        let row = |v: i64| (AuTuple::new([RangeValue::certain(v)]), Mult3::ONE);
+        shared.register("t", AuRelation::from_rows(schema.clone(), [row(1), row(2)]));
+        let before = shared.snapshot();
+        assert_eq!(before.stats("t").unwrap().rows, 2);
+
+        let batch = AuRelation::from_rows(schema, [row(3)]);
+        shared.append("t", &batch).unwrap();
+        let after = shared.snapshot();
+        assert_eq!(after.stats("t").unwrap().rows, 3);
+        // The pinned pre-append snapshot keeps its own (still-accurate)
+        // stats.
+        assert_eq!(before.stats("t").unwrap().rows, 2);
+        assert!(after.stats("missing").is_none());
     }
 
     #[test]

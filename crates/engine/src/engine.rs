@@ -4,8 +4,9 @@
 use crate::backend::{Backend, Native, Reference, Rewrite};
 use crate::error::EngineError;
 use crate::exec::{self, ExecMode, ExecTrace, OpTiming, DEFAULT_BATCH_SIZE};
-use crate::plan::Plan;
-use audb_core::{AuRelation, CmpSemantics};
+use crate::optimize::OptInfo;
+use crate::plan::{Op, Plan};
+use audb_core::{estimate_selectivity, AuRelation, CmpSemantics};
 // lint: allow(no-direct-backend-call) -- JoinStrategy is a config knob on Engine itself, not an execution entry point
 use audb_rewrite::JoinStrategy;
 use std::fmt;
@@ -73,6 +74,97 @@ pub struct Engine {
     join_strategy: JoinStrategy,
     batch_size: usize,
     exec_mode: Option<ExecMode>,
+    pruning: bool,
+}
+
+/// Below this many source rows the pipelined executor's batching overhead
+/// outweighs its wins: the cost model picks materialized execution.
+pub const COST_PIPELINE_MIN_ROWS: usize = 512;
+
+/// At and above this many source rows the cost model widens batches to
+/// [`COST_LARGE_BATCH_SIZE`] (fewer dispatches; the working set no longer
+/// fits in cache either way).
+pub const COST_LARGE_ROWS: usize = 65_536;
+
+/// Batch size the cost model picks for [`COST_LARGE_ROWS`]-sized inputs.
+pub const COST_LARGE_BATCH_SIZE: usize = 4096;
+
+/// The cost model's decision for one `(plan, backend)` pair: how the plan
+/// will execute and why.
+#[derive(Clone, Debug)]
+pub struct ExecChoice {
+    /// Chosen execution mode.
+    pub mode: ExecMode,
+    /// Chosen batch size (meaningful under pipelined execution).
+    pub batch_size: usize,
+    /// Why — rendered on `explain`'s `cost:` line.
+    pub reason: String,
+}
+
+/// Stats-driven execution choice, shared by [`Engine`] and the default
+/// [`Backend::execute_traced`]: a forced mode always wins; a backend that
+/// prefers materialized execution (the reference oracle) keeps it; tiny
+/// inputs run materialized; everything else pipelines, with the batch
+/// size widened for large inputs unless the caller pinned one.
+pub fn choose_exec(
+    plan: &Plan,
+    preferred: ExecMode,
+    forced: Option<ExecMode>,
+    batch_size: usize,
+) -> ExecChoice {
+    let stats = plan.source_stats();
+    let rows = stats.rows;
+    let selectivity: f64 = plan
+        .ops()
+        .iter()
+        .take_while(|op| matches!(op, Op::Select { .. }))
+        .map(|op| match op {
+            Op::Select { pred } => estimate_selectivity(pred, stats),
+            _ => unreachable!(),
+        })
+        .product();
+    let breakers = plan
+        .ops()
+        .iter()
+        .filter(|op| matches!(op, Op::Sort { .. } | Op::TopK { .. } | Op::Window { .. }))
+        .count();
+    let detail = format!("rows={rows} · est. selectivity {selectivity:.2} · {breakers} breaker(s)");
+    if let Some(mode) = forced {
+        return ExecChoice {
+            mode,
+            batch_size,
+            reason: format!("{detail} → {mode} (forced via with_exec_mode)"),
+        };
+    }
+    if preferred == ExecMode::Materialized {
+        return ExecChoice {
+            mode: ExecMode::Materialized,
+            batch_size,
+            reason: format!("{detail} → materialized (backend runs operator-at-a-time)"),
+        };
+    }
+    if rows < COST_PIPELINE_MIN_ROWS {
+        return ExecChoice {
+            mode: ExecMode::Materialized,
+            batch_size,
+            reason: format!(
+                "{detail} → materialized (below the {COST_PIPELINE_MIN_ROWS}-row \
+                 pipelining threshold)"
+            ),
+        };
+    }
+    let batch = if batch_size != DEFAULT_BATCH_SIZE {
+        batch_size // the caller pinned a size; respect it
+    } else if rows >= COST_LARGE_ROWS {
+        COST_LARGE_BATCH_SIZE
+    } else {
+        DEFAULT_BATCH_SIZE
+    };
+    ExecChoice {
+        mode: ExecMode::Pipelined,
+        batch_size: batch,
+        reason: format!("{detail} → pipelined · batch {batch}"),
+    }
 }
 
 impl Default for Engine {
@@ -93,6 +185,7 @@ impl Engine {
             join_strategy: JoinStrategy::default(),
             batch_size: DEFAULT_BATCH_SIZE,
             exec_mode: None,
+            pruning: true,
         }
     }
 
@@ -145,16 +238,38 @@ impl Engine {
         self
     }
 
+    /// Enable or disable zone-map batch pruning (default: enabled). The
+    /// disabled engine is the within-run comparison baseline of
+    /// `repro bench` and the pruned ≡ unpruned property test.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
     /// The pipeline executor's batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
     }
 
-    /// The execution mode a given backend runs under on this engine: the
-    /// forced override when [`Engine::with_exec_mode`] was called, the
-    /// backend's preference otherwise.
+    /// The execution mode a given backend is *capable* of preferring on
+    /// this engine: the forced override when [`Engine::with_exec_mode`]
+    /// was called, the backend's capability hint otherwise. The actual
+    /// per-plan decision is made by `choose_exec` from source
+    /// statistics; this method reports the pre-cost-model ceiling.
     pub fn exec_mode_for(&self, backend: &dyn Backend) -> ExecMode {
         self.exec_mode.unwrap_or_else(|| backend.preferred_mode())
+    }
+
+    /// The cost model's decision for this plan on this engine's effective
+    /// backend.
+    pub fn choose_exec(&self, plan: &Plan) -> ExecChoice {
+        let backend = self.backend_for(self.effective());
+        choose_exec(
+            plan,
+            backend.preferred_mode(),
+            self.exec_mode,
+            self.batch_size,
+        )
     }
 
     /// The backend the engine was asked for.
@@ -207,8 +322,19 @@ impl Engine {
     /// times and batch counts.
     pub fn execute_traced(&self, plan: &Plan) -> Result<(AuRelation, ExecTrace), EngineError> {
         let backend = self.backend_for(self.effective());
-        let mode = self.exec_mode_for(&*backend);
-        exec::execute(&*backend, plan, mode, self.batch_size)
+        let choice = choose_exec(
+            plan,
+            backend.preferred_mode(),
+            self.exec_mode,
+            self.batch_size,
+        );
+        exec::execute_with(
+            &*backend,
+            plan,
+            choice.mode,
+            choice.batch_size,
+            self.pruning,
+        )
     }
 
     /// Describe how this engine would run the plan: chosen backend (after
@@ -229,8 +355,13 @@ impl Engine {
                 note: backend.op_note(op),
             });
         }
-        let mode = self.exec_mode_for(&*backend);
-        let pipelines = match mode {
+        let choice = choose_exec(
+            plan,
+            backend.preferred_mode(),
+            self.exec_mode,
+            self.batch_size,
+        );
+        let pipelines = match choice.mode {
             ExecMode::Pipelined => exec::lower(plan).iter().map(|p| p.describe(plan)).collect(),
             ExecMode::Materialized => Vec::new(),
         };
@@ -240,8 +371,10 @@ impl Engine {
             fallback: self.fallback_reason(),
             sql: plan.sql().map(str::to_string),
             steps,
-            mode,
-            batch_size: self.batch_size,
+            opt: plan.opt().cloned(),
+            cost: choice.reason,
+            mode: choice.mode,
+            batch_size: choice.batch_size,
             pipelines,
         }
     }
@@ -267,13 +400,24 @@ impl Engine {
         let mut runs = Vec::with_capacity(BackendChoice::ALL.len());
         for choice in BackendChoice::ALL {
             let backend = comparable.backend_for(choice);
-            let mode = comparable.exec_mode_for(&*backend);
+            let exec_choice = choose_exec(
+                plan,
+                backend.preferred_mode(),
+                comparable.exec_mode,
+                comparable.batch_size,
+            );
             let start = std::time::Instant::now();
-            let (out, trace) = exec::execute(&*backend, plan, mode, comparable.batch_size)?;
+            let (out, trace) = exec::execute_with(
+                &*backend,
+                plan,
+                exec_choice.mode,
+                exec_choice.batch_size,
+                comparable.pruning,
+            )?;
             let elapsed = start.elapsed();
             runs.push(BackendRun {
                 backend: choice,
-                mode,
+                mode: exec_choice.mode,
                 elapsed,
                 rows: out.len(),
                 ops: trace.ops,
@@ -407,6 +551,11 @@ pub struct Explain {
     pub sql: Option<String>,
     /// Scan + one step per operator.
     pub steps: Vec<ExplainStep>,
+    /// Optimizer provenance when the plan was rewritten: the
+    /// pre-optimization operator chain and the applied rules.
+    pub opt: Option<OptInfo>,
+    /// The cost model's reasoning for the chosen mode and batch size.
+    pub cost: String,
     /// Execution mode the plan will run under on this engine.
     pub mode: ExecMode,
     /// Batch size of the pipeline executor.
@@ -441,6 +590,21 @@ impl fmt::Display for Explain {
             writeln!(f, "      schema: {}", step.schema)?;
             writeln!(f, "      note:   {}", step.note)?;
         }
+        if let Some(opt) = &self.opt {
+            writeln!(
+                f,
+                "opt:     {} rewrite{} applied",
+                opt.rules.len(),
+                if opt.rules.len() == 1 { "" } else { "s" }
+            )?;
+            writeln!(f, "      before: {}", opt.before.join("  |  "))?;
+            let after: Vec<String> = self.steps[1..].iter().map(|s| s.op.clone()).collect();
+            writeln!(f, "      after:  {}", after.join("  |  "))?;
+            for rule in &opt.rules {
+                writeln!(f, "      · {}: {}", rule.rule, rule.reason)?;
+            }
+        }
+        writeln!(f, "cost:    {}", self.cost)?;
         match self.mode {
             ExecMode::Materialized => {
                 writeln!(f, "exec:    materialized (operator-at-a-time)")?;

@@ -31,4 +31,4 @@ mod lower;
 mod run;
 
 pub use lower::{is_breaker, lower, Pipeline};
-pub use run::{execute, ExecMode, ExecTrace, OpTiming, DEFAULT_BATCH_SIZE};
+pub use run::{execute, execute_with, ExecMode, ExecTrace, OpTiming, DEFAULT_BATCH_SIZE};

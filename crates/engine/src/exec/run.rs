@@ -23,7 +23,7 @@ use super::lower::{fuse_label, lower, Pipeline};
 use crate::backend::Backend;
 use crate::error::EngineError;
 use crate::plan::{Op, Plan};
-use audb_core::{AuBatch, AuColumns, AuRelation, Mult3};
+use audb_core::{range_verdict, AuBatch, AuColumns, AuRelation, Mult3, TableStats, ZoneVerdict};
 use audb_rel::Schema;
 use std::borrow::Cow;
 use std::fmt;
@@ -79,20 +79,42 @@ pub struct ExecTrace {
     /// Number of pipelines the plan lowered to (0 for materialized runs
     /// and scan-only plans).
     pub pipelines: usize,
+    /// Batches the pipelined executor skipped outright because the source
+    /// zone maps proved a fused selection false over the whole batch
+    /// (always 0 for materialized runs and with pruning disabled).
+    pub batches_skipped: usize,
+    /// Batches the fused stages actually evaluated (0 for materialized
+    /// runs, which do not batch their operator inputs).
+    pub batches_scanned: usize,
     /// Per-operator timings, in execution order (first entry is the scan).
     pub ops: Vec<OpTiming>,
 }
 
 /// Execute `plan` on `backend` in the given mode, collecting a trace.
+/// Zone-map batch pruning is on — [`execute_with`] exposes the switch.
 pub fn execute<B: Backend + ?Sized>(
     backend: &B,
     plan: &Plan,
     mode: ExecMode,
     batch_size: usize,
 ) -> Result<(AuRelation, ExecTrace), EngineError> {
+    execute_with(backend, plan, mode, batch_size, true)
+}
+
+/// Execute `plan` on `backend` in the given mode, with zone-map batch
+/// pruning explicitly enabled or disabled (the disabled arm is the
+/// within-run comparison baseline of `repro bench` and the pruned ≡
+/// unpruned property test).
+pub fn execute_with<B: Backend + ?Sized>(
+    backend: &B,
+    plan: &Plan,
+    mode: ExecMode,
+    batch_size: usize,
+    prune: bool,
+) -> Result<(AuRelation, ExecTrace), EngineError> {
     match mode {
         ExecMode::Materialized => run_materialized(backend, plan, batch_size),
-        ExecMode::Pipelined => run_pipelined(backend, plan, batch_size),
+        ExecMode::Pipelined => run_pipelined(backend, plan, batch_size, prune),
     }
 }
 
@@ -155,9 +177,54 @@ fn run_materialized<B: Backend + ?Sized>(
             mode: ExecMode::Materialized,
             batch_size,
             pipelines: 0,
+            batches_skipped: 0,
+            batches_scanned: 0,
             ops,
         },
     ))
+}
+
+/// Zone-map verdicts for one batch of the first fused stage: whether the
+/// whole batch can be skipped (some fused selection is provably false
+/// over the batch's bound box), and per fused step whether its predicate
+/// is provably true for every row (the evaluation short-circuits; the
+/// certainty bitmap and annotations are untouched because
+/// `Mult3::filter(TRUE)` is the identity).
+struct BatchVerdict {
+    skip: bool,
+    all_true: Vec<bool>,
+}
+
+/// Compute the verdicts for the leading `Select` steps of a fused chain
+/// over source rows `[start, start + len)`. Only the selects *before* the
+/// first projection see source columns (projections reshape the schema,
+/// so statistics column indices stop applying there).
+fn batch_verdict(
+    steps: &[(&Op, &Schema)],
+    stats: &TableStats,
+    start: usize,
+    len: usize,
+) -> BatchVerdict {
+    let mut all_true = vec![false; steps.len()];
+    for (si, (op, _)) in steps.iter().enumerate() {
+        let Op::Select { pred } = op else {
+            break;
+        };
+        match range_verdict(pred, stats, start, len) {
+            ZoneVerdict::AllFalse => {
+                return BatchVerdict {
+                    skip: true,
+                    all_true,
+                }
+            }
+            ZoneVerdict::AllTrue => all_true[si] = true,
+            ZoneVerdict::Mixed => {}
+        }
+    }
+    BatchVerdict {
+        skip: false,
+        all_true,
+    }
 }
 
 /// Apply a fused chain of streamable operators to one columnar batch,
@@ -175,7 +242,7 @@ fn run_materialized<B: Backend + ?Sized>(
 /// * both projections drop rows whose (current) annotation is zero, then
 ///   gather / recompute columns — a bare column reference in a computed
 ///   projection copies the column instead of re-evaluating per cell.
-fn apply_fused(steps: &[(&Op, &Schema)], batch: &AuBatch<'_>) -> AuColumns {
+fn apply_fused(steps: &[(&Op, &Schema)], batch: &AuBatch<'_>, all_true: &[bool]) -> AuColumns {
     // Selections never copy a value: they fold into a pending selection
     // vector (surviving batch-relative indices + filtered annotations)
     // over the current base — the borrowed input batch, or the owned
@@ -188,13 +255,26 @@ fn apply_fused(steps: &[(&Op, &Schema)], batch: &AuBatch<'_>) -> AuColumns {
     }
     let mut owned: Option<AuColumns> = None;
     let mut pending: Option<(Vec<usize>, Vec<Mult3>)> = None;
-    for (op, out_schema) in steps {
+    for (si, (op, out_schema)) in steps.iter().enumerate() {
         let out = {
             let base = match &owned {
                 Some(cols) => cols.as_batch(),
                 None => *batch,
             };
             match op {
+                // A zone-map `AllTrue` verdict short-circuits the
+                // predicate: `Mult3::filter(TRUE)` is the identity, so the
+                // step only drops already-zero annotations (exactly the
+                // materialized select's drop rule) and never evaluates.
+                Op::Select { .. } if all_true.get(si).copied().unwrap_or(false) => {
+                    match pending.take() {
+                        Some((sel, mults)) => StepOut::Selected(sel, mults),
+                        None => {
+                            let (keep, mults) = nonzero_rows(&base);
+                            StepOut::Selected(keep, mults)
+                        }
+                    }
+                }
                 Op::Select { pred } => match pending.take() {
                     // Fold into the previous selection: evaluate the
                     // predicate over its surviving rows only and
@@ -283,9 +363,12 @@ fn run_pipelined<B: Backend + ?Sized>(
     backend: &B,
     plan: &Plan,
     batch_size: usize,
+    prune: bool,
 ) -> Result<(AuRelation, ExecTrace), EngineError> {
     let pipelines: Vec<Pipeline> = lower(plan);
     let mut ops = Vec::with_capacity(plan.ops().len() + 1);
+    let mut batches_skipped = 0usize;
+    let mut batches_scanned = 0usize;
     let start = Instant::now();
     let mut cur: Cow<'_, AuRelation> = backend.scan(plan.source())?;
     ops.push(OpTiming {
@@ -313,20 +396,50 @@ fn run_pipelined<B: Backend + ?Sized>(
             // used — transposed once, shared across executions, the
             // stand-in for columnar base-table storage.
             let cols_local;
-            let cols: &AuColumns = match &cur {
-                Cow::Borrowed(rel) if std::ptr::eq(*rel, plan.source()) => plan.source_columns(),
+            let (cols, on_source): (&AuColumns, bool) = match &cur {
+                Cow::Borrowed(rel) if std::ptr::eq(*rel, plan.source()) => {
+                    (plan.source_columns(), true)
+                }
                 _ => {
                     cols_local = cur.to_columns();
-                    &cols_local
+                    (&cols_local, false)
                 }
             };
             let batches: Vec<audb_core::AuBatch<'_>> = cols.batches(batch_size).collect();
             let n_batches = batches.len();
+            // Zone-map pruning applies only when this stage reads the
+            // plan's source unchanged: the statistics describe source
+            // rows, so batch `i` covers rows `[i·batch, i·batch + len)`
+            // of exactly the relation the zones were built over.
+            let verdicts: Option<Vec<BatchVerdict>> = if prune && on_source {
+                let stats = plan.source_stats();
+                (stats.rows == cols.len()).then(|| {
+                    batches
+                        .iter()
+                        .map(|b| batch_verdict(&steps, stats, b.index() * batch_size, b.len()))
+                        .collect()
+                })
+            } else {
+                None
+            };
+            let skipped = verdicts
+                .as_ref()
+                .map_or(0, |vs| vs.iter().filter(|v| v.skip).count());
+            batches_skipped += skipped;
+            batches_scanned += n_batches - skipped;
+            let no_hints: Vec<bool> = Vec::new();
             // Morsel-parallel: each batch runs the whole fused chain
             // independently; par_map guarantees chunk `i`'s rows land
             // before chunk `i + 1`'s, so the output order is exactly the
-            // sequential one.
-            let chunks = audb_par::par_map(&batches, |b| apply_fused(&steps, b));
+            // sequential one. A skipped batch contributes no rows, in
+            // order, without touching its columns.
+            let chunks = audb_par::par_map(&batches, |b| {
+                match verdicts.as_ref().map(|vs| &vs[b.index()]) {
+                    Some(v) if v.skip => AuColumns::empty(out_schema.clone()),
+                    Some(v) => apply_fused(&steps, b, &v.all_true),
+                    None => apply_fused(&steps, b, &no_hints),
+                }
+            });
             let mut merged = AuColumns::empty(out_schema);
             for chunk in chunks {
                 merged.append(chunk);
@@ -358,6 +471,8 @@ fn run_pipelined<B: Backend + ?Sized>(
             mode: ExecMode::Pipelined,
             batch_size,
             pipelines: pipelines.len(),
+            batches_skipped,
+            batches_scanned,
             ops,
         },
     ))
@@ -498,6 +613,73 @@ mod tests {
         assert_eq!(out.rows()[0].mult, Mult3::new(0, 2, 2));
         let materialized = audb_core::au_project_cols(&audb_core::au_select(&rel, &pred), &[0]);
         assert!(out.bag_eq(&materialized));
+    }
+
+    /// Zone-map pruning on clustered data skips provably-false batches and
+    /// short-circuits provably-true ones, with output identical to the
+    /// unpruned run (and the skip/scan counters surfaced in the trace).
+    #[test]
+    fn zone_pruning_skips_batches_and_preserves_output() {
+        use audb_core::ZONE_ROWS;
+        // Clustered certain key in col 0 (zone maps are tight), uncertain
+        // payload in col 1, some zero annotations sprinkled in.
+        let n = 4 * ZONE_ROWS;
+        let rel = AuRelation::from_rows(
+            Schema::new(["t", "v"]),
+            (0..n).map(|i| {
+                (
+                    AuTuple::new([
+                        RangeValue::certain(i as i64),
+                        RangeValue::new(i as i64 - 1, i as i64, i as i64 + 1),
+                    ]),
+                    if i % 7 == 0 { Mult3::ZERO } else { Mult3::ONE },
+                )
+            }),
+        );
+        // Keeps only the first zone: three of four batches prune away.
+        let plan = Query::scan(rel)
+            .select(RangeExpr::col(0).lt(RangeExpr::lit(ZONE_ROWS as i64)))
+            .project(["t", "v"])
+            .build()
+            .unwrap();
+        let (pruned, trace) =
+            execute_with(&Native, &plan, ExecMode::Pipelined, ZONE_ROWS, true).unwrap();
+        assert_eq!(trace.batches_skipped, 3);
+        assert_eq!(trace.batches_scanned, 1);
+        let (unpruned, off) =
+            execute_with(&Native, &plan, ExecMode::Pipelined, ZONE_ROWS, false).unwrap();
+        assert_eq!(off.batches_skipped, 0);
+        assert_eq!(off.batches_scanned, 4);
+        assert!(pruned.bag_eq(&unpruned));
+        let (materialized, _) = execute(&Native, &plan, ExecMode::Materialized, ZONE_ROWS).unwrap();
+        assert!(pruned.bag_eq(&materialized));
+
+        // An always-true predicate short-circuits: nothing skips, the
+        // output still drops the zero-annotation rows.
+        let plan2 = Query::scan(plan.source_arc().clone())
+            .select(RangeExpr::col(0).lt(RangeExpr::lit(n as i64)))
+            .project(["t"])
+            .build()
+            .unwrap();
+        let (pruned, trace) =
+            execute_with(&Native, &plan2, ExecMode::Pipelined, ZONE_ROWS, true).unwrap();
+        assert_eq!(trace.batches_skipped, 0);
+        let (materialized, _) =
+            execute(&Native, &plan2, ExecMode::Materialized, ZONE_ROWS).unwrap();
+        assert!(pruned.bag_eq(&materialized));
+
+        // A batch size misaligned with the zones stays correct: verdicts
+        // combine every overlapping zone.
+        let (odd, trace) = execute_with(
+            &Native,
+            &plan,
+            ExecMode::Pipelined,
+            ZONE_ROWS / 3 + 11,
+            true,
+        )
+        .unwrap();
+        assert!(odd.bag_eq(&unpruned));
+        assert!(trace.batches_skipped > 0);
     }
 
     /// Multi-breaker plans: every pipeline runs, intermediate fused stages

@@ -38,6 +38,7 @@ mod engine;
 mod error;
 pub mod exec;
 pub mod maintain;
+pub mod optimize;
 mod plan;
 mod plancache;
 mod print;
@@ -49,6 +50,7 @@ pub use engine::{BackendChoice, BackendRun, Engine, Explain, ExplainStep, RunAll
 pub use error::{EngineError, PlanError, SessionError};
 pub use exec::{ExecMode, ExecTrace, OpTiming, Pipeline, DEFAULT_BATCH_SIZE};
 pub use maintain::{Delta, MaintainedQuery, Strategy, DEFAULT_INCREMENTAL_CUTOFF};
+pub use optimize::{optimize, AppliedRule, OptInfo};
 pub use plan::{Agg, ColRef, Op, Plan, Query, WindowSpec};
 pub use plancache::{CacheStats, PlanCache};
 pub use print::plan_to_sql;
@@ -93,6 +95,28 @@ mod tests {
                 ),
             ],
         )
+    }
+
+    /// A `select → project → sort` plan over `n` rows — large enough to
+    /// clear the cost model's pipelining threshold when `n ≥ 512`.
+    fn large_plan(n: usize) -> Plan {
+        use audb_core::RangeExpr;
+        let rows = (0..n).map(|i| {
+            (
+                AuTuple::new([
+                    RangeValue::certain(i as i64),
+                    rv(i as i64, i as i64, i as i64 + 1),
+                ]),
+                Mult3::ONE,
+            )
+        });
+        let rel = AuRelation::from_rows(Schema::new(["a", "b"]), rows);
+        Query::scan(rel)
+            .select(RangeExpr::col(0).le(RangeExpr::lit(i64::MAX / 2)))
+            .project(["a", "b"])
+            .sort_by(["a"])
+            .build()
+            .unwrap()
     }
 
     /// The acceptance-criteria test: explain() and run_all() agreement
@@ -299,16 +323,21 @@ mod tests {
         assert_eq!(lines[2], " 0. scan [3 rows]");
         assert!(lines[3].starts_with("      schema: "), "{text}");
         assert!(lines[4].starts_with("      note:   "), "{text}");
-        // The reference oracle stays materialized; the explain says so on
-        // its final line.
+        // The cost model explains its mode choice, then the exec line
+        // states it. The reference oracle always runs materialized.
+        assert_eq!(
+            lines[lines.len() - 2],
+            "cost:    rows=3 · est. selectivity 1.00 · 1 breaker(s) → materialized \
+             (backend runs operator-at-a-time)"
+        );
         assert_eq!(
             lines.last().unwrap(),
             &"exec:    materialized (operator-at-a-time)"
         );
 
         // Without SQL provenance and without fallback: no query line, bare
-        // backend line — and the physical pipeline plan of the production
-        // backend, fused stages and breaker annotations included.
+        // backend line. The cost model keeps tiny inputs materialized even
+        // on the production backend.
         let plan = Query::scan(example6())
             .select(audb_core::RangeExpr::col(0).le(audb_core::RangeExpr::lit(9)))
             .project(["a", "b"])
@@ -318,6 +347,17 @@ mod tests {
         let text = Engine::native().explain(&plan).to_string();
         assert_eq!(text.lines().next().unwrap(), "backend: native");
         assert!(!text.contains("query:"), "{text}");
+        let tail: Vec<&str> = text.lines().rev().take(2).collect();
+        assert_eq!(tail[0], "exec:    materialized (operator-at-a-time)");
+        assert!(
+            tail[1].starts_with("cost:    rows=3 · est. selectivity "),
+            "{text}"
+        );
+
+        // A large input clears the threshold: the production backend
+        // pipelines, and the physical pipeline plan (fused stages and
+        // breaker annotations) is printed.
+        let text = Engine::native().explain(&large_plan(4096)).to_string();
         let tail: Vec<&str> = text.lines().rev().take(2).collect();
         assert_eq!(tail[1], "exec:    pipelined · batch 1024 · 1 pipeline");
         assert_eq!(tail[0], "      p0: fuse(select · project) ⇒ breaker sort");
@@ -379,9 +419,10 @@ mod tests {
         );
     }
 
-    /// `run_all` executes each backend in its preferred mode (pipelined
-    /// for native/rewrite, materialized for the reference oracle) and
-    /// carries per-operator timings for every run.
+    /// `run_all` executes each backend under the cost model's choice
+    /// (materialized for tiny inputs, pipelined on the production
+    /// backends once the input clears the threshold) and carries
+    /// per-operator timings for every run.
     #[test]
     fn run_all_reports_modes_and_op_timings() {
         use crate::exec::ExecMode;
@@ -391,6 +432,25 @@ mod tests {
             .build()
             .unwrap();
         let all = Engine::native().run_all(&plan).unwrap();
+        // 3 rows sit below the pipelining threshold: every backend runs
+        // materialized.
+        let modes: Vec<ExecMode> = all.runs.iter().map(|r| r.mode).collect();
+        assert_eq!(
+            modes,
+            [
+                ExecMode::Materialized,
+                ExecMode::Materialized,
+                ExecMode::Materialized
+            ]
+        );
+        for run in &all.runs {
+            let labels: Vec<&str> = run.ops.iter().map(|o| o.label.as_str()).collect();
+            assert_eq!(labels, ["scan", "select", "sort"]);
+        }
+
+        // A large input pipelines on the production backends; the
+        // reference oracle stays materialized.
+        let all = Engine::native().run_all(&large_plan(1024)).unwrap();
         let modes: Vec<ExecMode> = all.runs.iter().map(|r| r.mode).collect();
         assert_eq!(
             modes,
@@ -403,8 +463,12 @@ mod tests {
         for run in &all.runs {
             let labels: Vec<&str> = run.ops.iter().map(|o| o.label.as_str()).collect();
             match run.mode {
-                ExecMode::Materialized => assert_eq!(labels, ["scan", "select", "sort"]),
-                ExecMode::Pipelined => assert_eq!(labels, ["scan", "fuse(select)", "sort"]),
+                ExecMode::Materialized => {
+                    assert_eq!(labels, ["scan", "select", "project", "sort"])
+                }
+                ExecMode::Pipelined => {
+                    assert_eq!(labels, ["scan", "fuse(select · project)", "sort"])
+                }
             }
         }
     }

@@ -1,0 +1,807 @@
+//! Cost-based plan optimization: pure `Plan → Plan` rewrite passes driven
+//! by the source table's statistics ([`audb_core::TableStats`]).
+//!
+//! Three passes run in order, each recording an [`AppliedRule`] with a
+//! human-readable reason (shown by `Engine::explain` as a before/after
+//! diff):
+//!
+//! 1. **Select pushdown** below order-based breakers, where AU-DB
+//!    semantics allow it. Classic pushdown is *unsound* here in general:
+//!    sort, top-k and window outputs encode **position bounds**, and
+//!    removing rows early changes which rows can possibly precede a
+//!    surviving row. The pass therefore only fires under conditions that
+//!    provably leave every surviving row's bounds untouched:
+//!    * below **sort/top-k** — a keep-small predicate
+//!      `col < lit` / `col ≤ lit` on the *leading order column* where
+//!      that column is fully certain (per stats) and the literal is
+//!      certain: every dropped row then sorts strictly after every kept
+//!      row in every possible world, so kept position bounds (and the
+//!      top-k cutoff) are unchanged.
+//!    * below **window** — either the frame is exactly `[0, 0]` (each
+//!      row's aggregate depends only on itself), or the predicate
+//!      touches only fully-certain `PARTITION BY` columns with certain
+//!      literals (its truth is then certain and constant per partition,
+//!      so whole partitions are kept or dropped and surviving frames are
+//!      intact). Anything else is refused — property-pinned in
+//!      `tests/pipeline_equivalence.rs`.
+//! 2. **Select reordering**: the leading run of selections is stably
+//!    re-sorted by estimated selectivity ([`estimate_selectivity`]), most
+//!    selective first. Adjacent AU-DB selections commute
+//!    (`Mult3::filter` is componentwise), so this is always sound.
+//! 3. **Dead-column pruning**: source columns that no downstream operator
+//!    reads and that cannot reach the output schema are projected away
+//!    right after the leading selections. When the plan has no
+//!    projection, every source column reaches the output and the pass is
+//!    automatically a no-op.
+//!
+//! The optimizer rebuilds the rewritten chain through the validating
+//! [`Query`] builder — an optimized plan is a first-class plan — and on
+//! any rebuild error falls back to the original plan unchanged (rewrites
+//! may never turn a valid plan into an error).
+
+use crate::plan::{Agg, ColRef, Op, Plan, Query, WindowSpec};
+use audb_core::{estimate_selectivity, AuWindowSpec, RangeExpr, TableStats, WinAgg};
+use audb_rel::CmpOp;
+use std::sync::Arc;
+
+/// One rewrite the optimizer applied, with the reason it fired.
+#[derive(Clone, Debug)]
+pub struct AppliedRule {
+    /// Stable rule identifier (e.g. `pushdown-select-below-sort`).
+    pub rule: &'static str,
+    /// Why the rule fired on this plan.
+    pub reason: String,
+}
+
+/// Optimizer provenance attached to a rewritten plan: the
+/// pre-optimization operator chain and the applied rules, so `explain`
+/// can render before/after even for plans served from the plan cache.
+#[derive(Clone, Debug)]
+pub struct OptInfo {
+    /// The original operator chain, one rendered operator per entry.
+    pub before: Vec<String>,
+    /// The rewrites that produced the current chain, in application order.
+    pub rules: Vec<AppliedRule>,
+}
+
+/// Optimize a plan against its source statistics. Returns the input plan
+/// unchanged (a clone sharing the same source `Arc` and caches) when no
+/// rule applies.
+pub fn optimize(plan: &Plan) -> Plan {
+    let stats = Arc::clone(plan.source_stats());
+    let src_schema = plan.schemas()[0].clone();
+    let mut ops = plan.ops().to_vec();
+    let mut rules = Vec::new();
+
+    pushdown_selects(&mut ops, &stats, src_schema.arity(), &mut rules);
+    reorder_selects(&mut ops, &stats, &mut rules);
+    prune_dead_columns(&mut ops, &src_schema, &mut rules);
+
+    if rules.is_empty() {
+        return plan.clone();
+    }
+    let before: Vec<String> = plan.ops().iter().map(|op| op.to_string()).collect();
+    match rebuild(plan, &ops) {
+        Ok(rewritten) => rewritten
+            .adopt_caches(plan)
+            .with_opt(Arc::new(OptInfo { before, rules })),
+        // A rewrite that fails validation would be an optimizer bug; never
+        // surface it as a user error — run the original plan instead.
+        Err(_) => plan.clone(),
+    }
+}
+
+/// Rebuild an operator chain over the original plan's source through the
+/// validating builder.
+fn rebuild(plan: &Plan, ops: &[Op]) -> Result<Plan, crate::error::PlanError> {
+    let mut q = Query::scan(Arc::clone(plan.source_arc()));
+    for op in ops {
+        q = match op {
+            Op::Select { pred } => q.select(pred.clone()),
+            Op::Project { cols } => q.project(cols.iter().map(|&i| ColRef::Index(i))),
+            Op::ProjectExprs { exprs } => {
+                q.project_exprs(exprs.iter().map(|(e, n)| (e.clone(), n.clone())))
+            }
+            Op::Sort { order, pos_name } => {
+                q.sort_by_as(order.iter().map(|&i| ColRef::Index(i)), pos_name.clone())
+            }
+            Op::TopK { order, k, pos_name } => q
+                .sort_by_as(order.iter().map(|&i| ColRef::Index(i)), pos_name.clone())
+                .topk(*k),
+            Op::Window {
+                spec,
+                agg,
+                out_name,
+            } => q.window(
+                WindowSpec::rows(spec.lower, spec.upper)
+                    .order_by(spec.order.iter().map(|&i| ColRef::Index(i)))
+                    .partition_by(spec.partition.iter().map(|&i| ColRef::Index(i)))
+                    .aggregate(Agg::from(*agg))
+                    .output(out_name.clone()),
+            ),
+        };
+    }
+    q.build()
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: select pushdown below frame-safe breakers
+// ---------------------------------------------------------------------
+
+/// Swap adjacent `(breaker, select)` pairs to a fixpoint wherever the
+/// AU-DB soundness conditions in the module docs hold. Every condition
+/// additionally requires that all operators before the breaker are
+/// selections, so the breaker's input columns are exactly the source
+/// columns (same indices, same statistics).
+fn pushdown_selects(
+    ops: &mut [Op],
+    stats: &TableStats,
+    src_arity: usize,
+    rules: &mut Vec<AppliedRule>,
+) {
+    loop {
+        let mut swapped = false;
+        for i in 0..ops.len().saturating_sub(1) {
+            if !ops[..i].iter().all(|o| matches!(o, Op::Select { .. })) {
+                continue;
+            }
+            let Op::Select { pred } = &ops[i + 1] else {
+                continue;
+            };
+            let fired =
+                match &ops[i] {
+                    Op::Sort { order, .. } => sort_pushdown_reason(pred, order, stats, src_arity)
+                        .map(|reason| AppliedRule {
+                            rule: "pushdown-select-below-sort",
+                            reason,
+                        }),
+                    Op::TopK { order, .. } => sort_pushdown_reason(pred, order, stats, src_arity)
+                        .map(|reason| AppliedRule {
+                            rule: "pushdown-select-below-topk",
+                            reason,
+                        }),
+                    Op::Window { spec, .. } => window_pushdown_reason(pred, spec, stats, src_arity)
+                        .map(|reason| AppliedRule {
+                            rule: "pushdown-select-below-window",
+                            reason,
+                        }),
+                    _ => None,
+                };
+            if let Some(rule) = fired {
+                rules.push(rule);
+                ops.swap(i, i + 1);
+                swapped = true;
+                break;
+            }
+        }
+        if !swapped {
+            return;
+        }
+    }
+}
+
+/// `Some(col)` iff the predicate is a keep-small comparison
+/// `Col(col) < Lit` / `Col(col) ≤ Lit` with a certain literal.
+fn keep_small_col(pred: &RangeExpr) -> Option<usize> {
+    let RangeExpr::Cmp(op, a, b) = pred else {
+        return None;
+    };
+    if !matches!(op, CmpOp::Lt | CmpOp::Le) {
+        return None;
+    }
+    match (a.as_ref(), b.as_ref()) {
+        (RangeExpr::Col(c), RangeExpr::Lit(v)) if v.is_certain() => Some(*c),
+        _ => None,
+    }
+}
+
+/// Soundness check for pushing a select below sort/top-k: keep-small on
+/// the fully-certain leading order column (see module docs). Returns the
+/// reason string when sound.
+fn sort_pushdown_reason(
+    pred: &RangeExpr,
+    order: &[usize],
+    stats: &TableStats,
+    src_arity: usize,
+) -> Option<String> {
+    let c = keep_small_col(pred)?;
+    if c >= src_arity {
+        return None; // references the appended position column
+    }
+    if order.first() != Some(&c) {
+        return None;
+    }
+    if !stats.cols.get(c)?.all_certain() {
+        return None;
+    }
+    Some(format!(
+        "keep-small predicate on certain leading order column #{c}: \
+         dropped rows sort strictly after every kept row, so kept \
+         position bounds are unchanged"
+    ))
+}
+
+/// Soundness check for pushing a select below a window (see module docs):
+/// a `[0, 0]` frame, or a certain partition-constant predicate.
+fn window_pushdown_reason(
+    pred: &RangeExpr,
+    spec: &AuWindowSpec,
+    stats: &TableStats,
+    src_arity: usize,
+) -> Option<String> {
+    let mut cols = Vec::new();
+    expr_cols(pred, &mut cols);
+    if cols.iter().any(|&c| c >= src_arity) {
+        return None; // references the appended aggregate column
+    }
+    if spec.lower == 0 && spec.upper == 0 {
+        return Some(
+            "frame [0, 0]: each row's aggregate depends only on itself, \
+             so dropping other rows cannot change it"
+                .to_string(),
+        );
+    }
+    let partition_only = cols.iter().all(|c| spec.partition.contains(c));
+    let all_certain = cols
+        .iter()
+        .all(|&c| stats.cols.get(c).is_some_and(|s| s.all_certain()));
+    if partition_only && all_certain && expr_lits_certain(pred) {
+        return Some(
+            "predicate over fully-certain PARTITION BY columns with \
+             certain literals: whole partitions are kept or dropped, \
+             surviving frames are intact"
+                .to_string(),
+        );
+    }
+    None
+}
+
+/// Collect every column index an expression references.
+fn expr_cols(e: &RangeExpr, out: &mut Vec<usize>) {
+    match e {
+        RangeExpr::Col(i) => out.push(*i),
+        RangeExpr::Lit(_) => {}
+        RangeExpr::Neg(a) | RangeExpr::Not(a) => expr_cols(a, out),
+        RangeExpr::Add(a, b)
+        | RangeExpr::Sub(a, b)
+        | RangeExpr::Mul(a, b)
+        | RangeExpr::And(a, b)
+        | RangeExpr::Or(a, b)
+        | RangeExpr::Cmp(_, a, b) => {
+            expr_cols(a, out);
+            expr_cols(b, out);
+        }
+    }
+}
+
+/// True iff every literal in the expression is a certain range.
+fn expr_lits_certain(e: &RangeExpr) -> bool {
+    match e {
+        RangeExpr::Col(_) => true,
+        RangeExpr::Lit(v) => v.is_certain(),
+        RangeExpr::Neg(a) | RangeExpr::Not(a) => expr_lits_certain(a),
+        RangeExpr::Add(a, b)
+        | RangeExpr::Sub(a, b)
+        | RangeExpr::Mul(a, b)
+        | RangeExpr::And(a, b)
+        | RangeExpr::Or(a, b)
+        | RangeExpr::Cmp(_, a, b) => expr_lits_certain(a) && expr_lits_certain(b),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: selectivity-based select reordering
+// ---------------------------------------------------------------------
+
+/// Stably re-sort the leading run of selections by estimated selectivity,
+/// most selective first. Sound because adjacent AU-DB selections commute:
+/// `Mult3::filter` multiplies componentwise.
+fn reorder_selects(ops: &mut [Op], stats: &TableStats, rules: &mut Vec<AppliedRule>) {
+    let k = ops
+        .iter()
+        .take_while(|o| matches!(o, Op::Select { .. }))
+        .count();
+    if k < 2 {
+        return;
+    }
+    let mut run: Vec<(f64, Op)> = ops[..k]
+        .iter()
+        .map(|op| {
+            let Op::Select { pred } = op else {
+                unreachable!()
+            };
+            (estimate_selectivity(pred, stats), op.clone())
+        })
+        .collect();
+    let before: Vec<f64> = run.iter().map(|(s, _)| *s).collect();
+    run.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let after: Vec<f64> = run.iter().map(|(s, _)| *s).collect();
+    if before == after {
+        return;
+    }
+    for (slot, (_, op)) in ops[..k].iter_mut().zip(run) {
+        *slot = op;
+    }
+    rules.push(AppliedRule {
+        rule: "reorder-selects",
+        reason: format!("estimated selectivities {before:.2?} re-sorted ascending to {after:.2?}"),
+    });
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: dead-column pruning
+// ---------------------------------------------------------------------
+
+/// Project away source columns no downstream operator reads and that
+/// cannot reach the output schema, inserting one `Project` right after
+/// the leading selections and remapping every later column index.
+fn prune_dead_columns(
+    ops: &mut Vec<Op>,
+    src_schema: &audb_rel::Schema,
+    rules: &mut Vec<AppliedRule>,
+) {
+    let src_arity = src_schema.arity();
+    let p = ops
+        .iter()
+        .take_while(|o| matches!(o, Op::Select { .. }))
+        .count();
+    if p == ops.len() {
+        return; // no downstream op: the full source schema is the output
+    }
+    if matches!(ops[p], Op::Project { .. } | Op::ProjectExprs { .. }) {
+        return; // the plan already prunes at the first opportunity
+    }
+
+    // Walk ops[p..] tracking, for every current column, which source
+    // column it passes through unchanged (None for appended/computed
+    // columns), and mark every source column any operator reads.
+    let mut used = vec![false; src_arity];
+    let mut origin: Vec<Option<usize>> = (0..src_arity).map(Some).collect();
+    let mark = |used: &mut Vec<bool>, o: Option<usize>| {
+        if let Some(c) = o {
+            used[c] = true;
+        }
+    };
+    for op in &ops[p..] {
+        match op {
+            Op::Select { pred } => {
+                let mut cols = Vec::new();
+                expr_cols(pred, &mut cols);
+                for c in cols {
+                    mark(&mut used, origin[c]);
+                }
+            }
+            Op::Project { cols } => {
+                for &c in cols {
+                    mark(&mut used, origin[c]);
+                }
+                origin = cols.iter().map(|&c| origin[c]).collect();
+            }
+            Op::ProjectExprs { exprs } => {
+                for (e, _) in exprs {
+                    let mut cols = Vec::new();
+                    expr_cols(e, &mut cols);
+                    for c in cols {
+                        mark(&mut used, origin[c]);
+                    }
+                }
+                origin = exprs
+                    .iter()
+                    .map(|(e, _)| match e {
+                        RangeExpr::Col(i) => origin[*i],
+                        _ => None,
+                    })
+                    .collect();
+            }
+            Op::Sort { order, .. } | Op::TopK { order, .. } => {
+                for &c in order {
+                    mark(&mut used, origin[c]);
+                }
+                origin.push(None);
+            }
+            Op::Window { spec, agg, .. } => {
+                for &c in spec.order.iter().chain(&spec.partition) {
+                    mark(&mut used, origin[c]);
+                }
+                if let WinAgg::Sum(c) | WinAgg::Min(c) | WinAgg::Max(c) | WinAgg::Avg(c) = agg {
+                    mark(&mut used, origin[*c]);
+                }
+                origin.push(None);
+            }
+        }
+    }
+    // Whatever still maps to a source column reaches the output schema.
+    for &o in &origin {
+        mark(&mut used, o);
+    }
+
+    let live: Vec<usize> = (0..src_arity).filter(|&c| used[c]).collect();
+    if live.len() == src_arity || live.is_empty() {
+        return;
+    }
+
+    // Remap ops[p..] through the pruned schema: `m[old] = Some(new)` for
+    // surviving columns at the current point in the chain.
+    let mut m: Vec<Option<usize>> = vec![None; src_arity];
+    for (new, &old) in live.iter().enumerate() {
+        m[old] = Some(new);
+    }
+    let mut new_arity = live.len();
+    let mut tail: Vec<Op> = Vec::with_capacity(ops.len() - p);
+    for op in &ops[p..] {
+        let remapped = match op {
+            Op::Select { pred } => {
+                let Some(pred) = remap_expr(pred, &m) else {
+                    return;
+                };
+                Op::Select { pred }
+            }
+            Op::Project { cols } => {
+                let Some(cols) = remap_indices(cols, &m) else {
+                    return;
+                };
+                new_arity = cols.len();
+                m = (0..new_arity).map(Some).collect();
+                Op::Project { cols }
+            }
+            Op::ProjectExprs { exprs } => {
+                let mut out = Vec::with_capacity(exprs.len());
+                for (e, n) in exprs {
+                    let Some(e) = remap_expr(e, &m) else {
+                        return;
+                    };
+                    out.push((e, n.clone()));
+                }
+                new_arity = out.len();
+                m = (0..new_arity).map(Some).collect();
+                Op::ProjectExprs { exprs: out }
+            }
+            Op::Sort { order, pos_name } => {
+                let Some(order) = remap_indices(order, &m) else {
+                    return;
+                };
+                m.push(Some(new_arity));
+                new_arity += 1;
+                Op::Sort {
+                    order,
+                    pos_name: pos_name.clone(),
+                }
+            }
+            Op::TopK { order, k, pos_name } => {
+                let Some(order) = remap_indices(order, &m) else {
+                    return;
+                };
+                m.push(Some(new_arity));
+                new_arity += 1;
+                Op::TopK {
+                    order,
+                    k: *k,
+                    pos_name: pos_name.clone(),
+                }
+            }
+            Op::Window {
+                spec,
+                agg,
+                out_name,
+            } => {
+                let (Some(order), Some(partition)) = (
+                    remap_indices(&spec.order, &m),
+                    remap_indices(&spec.partition, &m),
+                ) else {
+                    return;
+                };
+                let remap_agg = |c: usize| m.get(c).copied().flatten();
+                let agg = match agg {
+                    WinAgg::Sum(c) => match remap_agg(*c) {
+                        Some(c) => WinAgg::Sum(c),
+                        None => return,
+                    },
+                    WinAgg::Min(c) => match remap_agg(*c) {
+                        Some(c) => WinAgg::Min(c),
+                        None => return,
+                    },
+                    WinAgg::Max(c) => match remap_agg(*c) {
+                        Some(c) => WinAgg::Max(c),
+                        None => return,
+                    },
+                    WinAgg::Avg(c) => match remap_agg(*c) {
+                        Some(c) => WinAgg::Avg(c),
+                        None => return,
+                    },
+                    WinAgg::Count => WinAgg::Count,
+                };
+                m.push(Some(new_arity));
+                new_arity += 1;
+                Op::Window {
+                    spec: AuWindowSpec::rows(order, spec.lower, spec.upper).partition_by(partition),
+                    agg,
+                    out_name: out_name.clone(),
+                }
+            }
+        };
+        tail.push(remapped);
+    }
+
+    let dropped: Vec<&str> = (0..src_arity)
+        .filter(|&c| !used[c])
+        .map(|c| src_schema.cols()[c].as_str())
+        .collect();
+    let mut rewritten = ops[..p].to_vec();
+    rewritten.push(Op::Project { cols: live });
+    rewritten.extend(tail);
+    *ops = rewritten;
+    rules.push(AppliedRule {
+        rule: "prune-dead-columns",
+        reason: format!("source columns {dropped:?} are never read and cannot reach the output"),
+    });
+}
+
+/// Remap a list of column indices; `None` if any column was pruned
+/// (a pass bug — the caller aborts the pass, never corrupts the plan).
+fn remap_indices(idxs: &[usize], m: &[Option<usize>]) -> Option<Vec<usize>> {
+    idxs.iter().map(|&c| m.get(c).copied().flatten()).collect()
+}
+
+/// Remap every column reference in an expression.
+fn remap_expr(e: &RangeExpr, m: &[Option<usize>]) -> Option<RangeExpr> {
+    Some(match e {
+        RangeExpr::Col(i) => RangeExpr::Col(m.get(*i).copied().flatten()?),
+        RangeExpr::Lit(v) => RangeExpr::Lit(v.clone()),
+        RangeExpr::Neg(a) => RangeExpr::Neg(Box::new(remap_expr(a, m)?)),
+        RangeExpr::Not(a) => RangeExpr::Not(Box::new(remap_expr(a, m)?)),
+        RangeExpr::Add(a, b) => {
+            RangeExpr::Add(Box::new(remap_expr(a, m)?), Box::new(remap_expr(b, m)?))
+        }
+        RangeExpr::Sub(a, b) => {
+            RangeExpr::Sub(Box::new(remap_expr(a, m)?), Box::new(remap_expr(b, m)?))
+        }
+        RangeExpr::Mul(a, b) => {
+            RangeExpr::Mul(Box::new(remap_expr(a, m)?), Box::new(remap_expr(b, m)?))
+        }
+        RangeExpr::And(a, b) => {
+            RangeExpr::And(Box::new(remap_expr(a, m)?), Box::new(remap_expr(b, m)?))
+        }
+        RangeExpr::Or(a, b) => {
+            RangeExpr::Or(Box::new(remap_expr(a, m)?), Box::new(remap_expr(b, m)?))
+        }
+        RangeExpr::Cmp(op, a, b) => RangeExpr::Cmp(
+            *op,
+            Box::new(remap_expr(a, m)?),
+            Box::new(remap_expr(b, m)?),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{AuRelation, AuTuple, Mult3, RangeValue};
+    use audb_rel::Schema;
+
+    /// `n` rows with a certain increasing key `t`, an uncertain value `v`
+    /// and a certain group column `g` (`t mod 4`).
+    fn rel(n: i64) -> AuRelation {
+        AuRelation::from_rows(
+            Schema::new(["t", "v", "g"]),
+            (0..n).map(|i| {
+                (
+                    AuTuple::new([
+                        RangeValue::certain(i),
+                        RangeValue::new(i - 1, i, i + 1),
+                        RangeValue::certain(i % 4),
+                    ]),
+                    Mult3::ONE,
+                )
+            }),
+        )
+    }
+
+    fn op_names(plan: &Plan) -> Vec<&'static str> {
+        plan.ops().iter().map(|o| o.name()).collect()
+    }
+
+    #[test]
+    fn keep_small_select_pushes_below_sort_and_topk() {
+        let plan = Query::scan(rel(8))
+            .sort_by(["t"])
+            .select(RangeExpr::col(0).lt(RangeExpr::lit(4)))
+            .build()
+            .unwrap();
+        let opt = optimize(&plan);
+        assert_eq!(op_names(&opt), ["select", "sort"]);
+        let info = opt.opt().expect("rules applied");
+        assert_eq!(info.rules[0].rule, "pushdown-select-below-sort");
+        assert_eq!(info.before.len(), 2);
+
+        let plan = Query::scan(rel(8))
+            .sort_by(["t"])
+            .topk(5)
+            .select(RangeExpr::col(0).le(RangeExpr::lit(3)))
+            .build()
+            .unwrap();
+        let opt = optimize(&plan);
+        assert_eq!(op_names(&opt), ["select", "topk"]);
+    }
+
+    #[test]
+    fn pushdown_refuses_unsound_shapes() {
+        // Uncertain order column: dropped rows could sort before kept ones.
+        let plan = Query::scan(rel(8))
+            .sort_by(["v"])
+            .select(RangeExpr::col(1).lt(RangeExpr::lit(4)))
+            .build()
+            .unwrap();
+        assert_eq!(op_names(&optimize(&plan)), ["sort", "select"]);
+
+        // Predicate on a non-leading order column.
+        let plan = Query::scan(rel(8))
+            .sort_by(["t", "g"])
+            .select(RangeExpr::col(2).lt(RangeExpr::lit(2)))
+            .build()
+            .unwrap();
+        assert_eq!(op_names(&optimize(&plan)), ["sort", "select"]);
+
+        // Predicate on the appended position column itself.
+        let plan = Query::scan(rel(8))
+            .sort_by(["t"])
+            .select(RangeExpr::col(3).lt(RangeExpr::lit(4)))
+            .build()
+            .unwrap();
+        assert_eq!(op_names(&optimize(&plan)), ["sort", "select"]);
+
+        // Keep-large shape (lit < col) is not the keep-small rule.
+        let plan = Query::scan(rel(8))
+            .sort_by(["t"])
+            .select(RangeExpr::lit(4).lt(RangeExpr::col(0)))
+            .build()
+            .unwrap();
+        assert_eq!(op_names(&optimize(&plan)), ["sort", "select"]);
+    }
+
+    #[test]
+    fn window_pushdown_fires_on_partition_and_point_frames() {
+        // Certain partition-column predicate pushes below a real frame.
+        let plan = Query::scan(rel(8))
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["t"])
+                    .partition_by(["g"])
+                    .aggregate(Agg::sum("v"))
+                    .output("w"),
+            )
+            .select(RangeExpr::col(2).lt(RangeExpr::lit(2)))
+            .build()
+            .unwrap();
+        let opt = optimize(&plan);
+        assert_eq!(op_names(&opt), ["select", "window"]);
+        assert_eq!(
+            opt.opt().unwrap().rules[0].rule,
+            "pushdown-select-below-window"
+        );
+
+        // [0, 0] frame admits any pre-window predicate.
+        let plan = Query::scan(rel(8))
+            .window(
+                WindowSpec::rows(0, 0)
+                    .order_by(["t"])
+                    .aggregate(Agg::sum("v"))
+                    .output("w"),
+            )
+            .select(RangeExpr::col(1).lt(RangeExpr::lit(4)))
+            .build()
+            .unwrap();
+        assert_eq!(op_names(&optimize(&plan)), ["select", "window"]);
+    }
+
+    #[test]
+    fn window_pushdown_refuses_frame_unsafe_predicates() {
+        // Non-partition predicate under a real frame: dropping rows would
+        // change surviving rows' frames.
+        let plan = Query::scan(rel(8))
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["t"])
+                    .partition_by(["g"])
+                    .aggregate(Agg::sum("v"))
+                    .output("w"),
+            )
+            .select(RangeExpr::col(0).lt(RangeExpr::lit(4)))
+            .build()
+            .unwrap();
+        assert_eq!(op_names(&optimize(&plan)), ["window", "select"]);
+
+        // Uncertain partition column: partition membership is uncertain.
+        let plan = Query::scan(rel(8))
+            .window(
+                WindowSpec::rows(-1, 0)
+                    .order_by(["t"])
+                    .partition_by(["v"])
+                    .aggregate(Agg::count())
+                    .output("w"),
+            )
+            .select(RangeExpr::col(1).lt(RangeExpr::lit(4)))
+            .build()
+            .unwrap();
+        assert_eq!(op_names(&optimize(&plan)), ["window", "select"]);
+
+        // Predicate on the aggregate output can never move below.
+        let plan = Query::scan(rel(8))
+            .window(
+                WindowSpec::rows(0, 0)
+                    .order_by(["t"])
+                    .aggregate(Agg::count())
+                    .output("w"),
+            )
+            .select(RangeExpr::col(3).lt(RangeExpr::lit(4)))
+            .build()
+            .unwrap();
+        assert_eq!(op_names(&optimize(&plan)), ["window", "select"]);
+    }
+
+    #[test]
+    fn selects_reorder_by_estimated_selectivity() {
+        use audb_core::ZONE_ROWS;
+        let n = 2 * ZONE_ROWS as i64; // two zones so estimates separate
+        let wide = RangeExpr::col(0).lt(RangeExpr::lit(n)); // keeps all
+        let narrow = RangeExpr::col(0).lt(RangeExpr::lit(4)); // keeps zone 0 partially
+        let plan = Query::scan(rel(n))
+            .select(wide.clone())
+            .select(narrow.clone())
+            .build()
+            .unwrap();
+        let opt = optimize(&plan);
+        assert_eq!(
+            opt.ops()[0],
+            Op::Select {
+                pred: narrow.clone()
+            }
+        );
+        assert_eq!(opt.ops()[1], Op::Select { pred: wide.clone() });
+        let info = opt.opt().unwrap();
+        assert_eq!(info.rules[0].rule, "reorder-selects");
+
+        // Already-ordered selects are left alone (stable, no rule).
+        let plan = Query::scan(rel(n))
+            .select(narrow)
+            .select(wide)
+            .build()
+            .unwrap();
+        assert!(optimize(&plan).opt().is_none());
+    }
+
+    #[test]
+    fn dead_columns_are_pruned_behind_a_projection() {
+        // `v` is never read: select on t, sort by t, project t + pos.
+        let plan = Query::scan(rel(8))
+            .select(RangeExpr::col(0).lt(RangeExpr::lit(6)))
+            .sort_by(["t"])
+            .project(["t", "pos"])
+            .build()
+            .unwrap();
+        let opt = optimize(&plan);
+        assert_eq!(op_names(&opt), ["select", "project", "sort", "project"]);
+        assert_eq!(opt.ops()[1], Op::Project { cols: vec![0] });
+        assert!(matches!(&opt.ops()[2], Op::Sort { order, .. } if order == &[0]));
+        assert_eq!(opt.ops()[3], Op::Project { cols: vec![0, 1] });
+        assert_eq!(opt.schema().cols(), plan.schema().cols());
+        let info = opt.opt().unwrap();
+        assert!(info.rules.iter().any(|r| r.rule == "prune-dead-columns"));
+
+        // Without a projection every column reaches the output: no-op.
+        let plan = Query::scan(rel(8)).sort_by(["t"]).build().unwrap();
+        assert!(optimize(&plan).opt().is_none());
+    }
+
+    #[test]
+    fn optimized_plans_share_source_and_caches() {
+        let plan = Query::scan(rel(8))
+            .sort_by(["t"])
+            .select(RangeExpr::col(0).lt(RangeExpr::lit(4)))
+            .build()
+            .unwrap();
+        let stats_before = Arc::clone(plan.source_stats());
+        let opt = optimize(&plan);
+        assert!(Arc::ptr_eq(plan.source_arc(), opt.source_arc()));
+        assert!(Arc::ptr_eq(&stats_before, opt.source_stats()));
+    }
+}

@@ -16,7 +16,8 @@
 //! index-based, so backends never re-resolve names.
 
 use crate::error::PlanError;
-use audb_core::{AuRelation, AuWindowSpec, RangeExpr, WinAgg};
+use crate::optimize::OptInfo;
+use audb_core::{AuRelation, AuWindowSpec, RangeExpr, TableStats, WinAgg};
 use audb_rel::Schema;
 use std::fmt;
 use std::sync::Arc;
@@ -299,6 +300,15 @@ pub struct Plan {
     /// storage: the pipeline executor's first fused stage reads it instead
     /// of re-transposing the row source on every run.
     source_cols: Arc<std::sync::OnceLock<audb_core::AuColumns>>,
+    /// Statistics of the scanned source: attached by the binder when the
+    /// catalog already computed them at publish time, otherwise computed
+    /// lazily on first use and shared across clones (same lifetime rules
+    /// as `source_cols`).
+    stats: Arc<std::sync::OnceLock<Arc<TableStats>>>,
+    /// Optimizer provenance: the pre-optimization rendering and the
+    /// applied rewrites, attached by [`crate::optimize::optimize`] so
+    /// `explain` can show before/after even for cached plans.
+    opt: Option<Arc<OptInfo>>,
 }
 
 impl Plan {
@@ -320,6 +330,50 @@ impl Plan {
     /// when compiling its printed SQL back against a catalog).
     pub fn source_arc(&self) -> &Arc<AuRelation> {
         &self.source
+    }
+
+    /// Statistics of the scanned source. Prefers the block the binder
+    /// attached (computed once at catalog publish time); otherwise sweeps
+    /// the source on first use — over the columnar form when it is already
+    /// materialized — and caches the result for the plan's lifetime.
+    pub fn source_stats(&self) -> &Arc<TableStats> {
+        self.stats.get_or_init(|| {
+            Arc::new(match self.source_cols.get() {
+                Some(cols) => TableStats::of_columns(cols),
+                None => TableStats::of_relation(&self.source),
+            })
+        })
+    }
+
+    /// Attach pre-computed source statistics (the binder's hook: the
+    /// catalog computes them at publish time). A no-op when statistics
+    /// were already computed or attached.
+    pub fn attach_stats(&self, stats: Arc<TableStats>) {
+        let _ = self.stats.set(stats);
+    }
+
+    /// Optimizer provenance, when [`crate::optimize::optimize`] rewrote
+    /// this plan.
+    pub fn opt(&self) -> Option<&OptInfo> {
+        self.opt.as_deref()
+    }
+
+    /// Attach optimizer provenance (used by [`crate::optimize`]).
+    pub(crate) fn with_opt(mut self, info: Arc<OptInfo>) -> Plan {
+        self.opt = Some(info);
+        self
+    }
+
+    /// Adopt the shared caches and SQL provenance of the plan this one was
+    /// rewritten from. Sound only when both scan the same source `Arc` —
+    /// the optimizer rebuilds over `source_arc()`, so the columnar form
+    /// and statistics transfer as-is.
+    pub(crate) fn adopt_caches(mut self, original: &Plan) -> Plan {
+        debug_assert!(Arc::ptr_eq(&self.source, &original.source));
+        self.sql = original.sql.clone();
+        self.source_cols = Arc::clone(&original.source_cols);
+        self.stats = Arc::clone(&original.stats);
+        self
     }
 
     /// The resolved operator chain.
@@ -377,6 +431,8 @@ impl Plan {
             schemas: self.schemas.clone(),
             sql: self.sql.clone(),
             source_cols: Arc::new(std::sync::OnceLock::new()),
+            stats: Arc::new(std::sync::OnceLock::new()),
+            opt: None,
         })
     }
 
@@ -389,6 +445,8 @@ impl Plan {
             schemas: self.schemas[..=n].to_vec(),
             sql: None,
             source_cols: Arc::clone(&self.source_cols),
+            stats: Arc::clone(&self.stats),
+            opt: None,
         }
     }
 }
@@ -670,6 +728,8 @@ impl Query {
             schemas: state.schemas,
             sql: None,
             source_cols: Arc::new(std::sync::OnceLock::new()),
+            stats: Arc::new(std::sync::OnceLock::new()),
+            opt: None,
         })
     }
 }

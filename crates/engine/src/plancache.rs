@@ -118,11 +118,16 @@ impl PlanCache {
             }
         }
 
-        // Miss on the fast path: parse + bind outside the lock.
+        // Miss on the fast path: parse + bind outside the lock. The
+        // canonical key is rendered from the plan *before* optimization —
+        // normalized-equivalent texts share one entry regardless of which
+        // rewrites fire — while the cached entry stores the *optimized*
+        // plan. Stats changes (register/append) bump the catalog version,
+        // so a stale optimization can never be served.
         let stmt = audb_sql::parse(sql)?;
         let plan = crate::bind::compile(&stmt, &snapshot)?;
         let canonical = (version, plan.to_sql(root_table(&stmt)));
-        let prepared = Prepared::from_plan(plan);
+        let prepared = Prepared::from_plan(crate::optimize::optimize(&plan));
 
         let mut s = self.state.lock().expect("plan cache lock poisoned");
         s.remember_alias(raw_key, canonical.clone(), self.capacity);
@@ -296,6 +301,52 @@ mod tests {
         assert_eq!(s.execute(&p2).unwrap().rows().len(), 5);
         // The old prepared statement still runs on its pinned snapshot.
         assert_eq!(s.execute(&p).unwrap().rows().len(), 3);
+    }
+
+    /// The cache stores the *optimized* plan under the pre-optimization
+    /// canonical key, and a publication-driven stats change invalidates
+    /// it through the version bump: the re-prepared plan is re-optimized
+    /// against the new stats.
+    #[test]
+    fn stats_change_invalidates_optimized_plans() {
+        let s = session();
+        let cache = PlanCache::new(8);
+        let sql = "SELECT * FROM (SELECT * FROM a ORDER BY x) WHERE x < 1";
+
+        // `x` is certain in `a`, so the keep-small select is pushed below
+        // the sort — the cached entry is the optimized plan.
+        let (p, hit) = s.prepare_cached(&cache, sql).unwrap();
+        assert!(!hit);
+        let opt = p.plan().opt().expect("pushdown should fire");
+        assert!(opt
+            .rules
+            .iter()
+            .any(|r| r.rule == "pushdown-select-below-sort"));
+        let (p2, hit) = s.prepare_cached(&cache, sql).unwrap();
+        assert!(hit, "same version: optimized plan served from cache");
+        assert!(p2.plan().opt().is_some());
+
+        // Republish `a` with an uncertain `x`: the version bump
+        // invalidates the entry, and re-optimization against the new
+        // stats refuses the (now unsound) pushdown.
+        s.register(
+            "a",
+            AuRelation::from_rows(
+                Schema::new(["x"]),
+                (0..3).map(|i| {
+                    (
+                        AuTuple::from([RangeValue::from_i64s(i, i, i + 1)]),
+                        Mult3::ONE,
+                    )
+                }),
+            ),
+        );
+        let (p3, hit) = s.prepare_cached(&cache, sql).unwrap();
+        assert!(!hit, "stats change must invalidate via version bump");
+        assert!(
+            p3.plan().opt().is_none(),
+            "pushdown must be refused on uncertain order column"
+        );
     }
 
     #[test]

@@ -126,11 +126,12 @@ impl Session {
     }
 
     /// Compile one statement to a reusable [`Prepared`] plan against the
-    /// current catalog snapshot.
+    /// current catalog snapshot, then run the stats-driven plan rewrites
+    /// ([`crate::optimize::optimize`]).
     pub fn prepare(&self, sql: &str) -> Result<Prepared, SessionError> {
         let stmt = audb_sql::parse(sql)?;
         Ok(Prepared {
-            plan: bind::compile(&stmt, &self.catalog.snapshot())?,
+            plan: crate::optimize::optimize(&bind::compile(&stmt, &self.catalog.snapshot())?),
         })
     }
 
@@ -154,7 +155,7 @@ impl Session {
             .iter()
             .map(|stmt| {
                 Ok(Prepared {
-                    plan: bind::compile(stmt, &snapshot)?,
+                    plan: crate::optimize::optimize(&bind::compile(stmt, &snapshot)?),
                 })
             })
             .collect()

@@ -237,7 +237,28 @@ fn stats_body(state: &ServerState) -> Json {
         ("catalog_version", Json::Int(state.catalog.version() as i64)),
         (
             "tables",
-            Json::Arr(snapshot.names().map(Json::str).collect()),
+            Json::Arr(
+                snapshot
+                    .iter()
+                    .map(|(name, rel)| {
+                        // Stats are recomputed on every publication, so
+                        // staleness here would mean a snapshot invariant
+                        // broke — surfaced rather than assumed.
+                        let stats = snapshot.stats(name);
+                        let fresh = stats.is_some_and(|s| s.rows == rel.rows().len());
+                        Json::obj([
+                            ("name", Json::str(name)),
+                            ("rows", Json::Int(rel.rows().len() as i64)),
+                            ("cols", Json::Int(rel.schema.arity() as i64)),
+                            (
+                                "zones",
+                                Json::Int(stats.map_or(0, |s| s.zone_count()) as i64),
+                            ),
+                            ("stats_fresh", Json::Bool(fresh)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         (
             "plan_cache",

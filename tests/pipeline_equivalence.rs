@@ -10,7 +10,7 @@
 //! boundaries.
 
 use audb::core::{AuRelation, AuTuple, Mult3, RangeExpr, RangeValue};
-use audb::engine::{Agg, BackendChoice, Engine, ExecMode, Plan, Query, WindowSpec};
+use audb::engine::{optimize, Agg, BackendChoice, Engine, ExecMode, Plan, Query, WindowSpec};
 use audb::rel::Schema;
 use proptest::prelude::*;
 
@@ -183,5 +183,102 @@ proptest! {
         let all = Engine::native().run_all(&plan).expect("backends agree");
         let direct = Engine::native().execute(&plan).expect("native executes");
         prop_assert!(all.output.bag_eq(&direct));
+    }
+
+    /// The optimizer's contract: every rewrite (select reordering, select
+    /// pushdown below breakers, dead-column pruning) preserves AU-DB bag
+    /// semantics on every backend.
+    #[test]
+    fn optimized_equals_unoptimized_on_all_backends(plan in plan_strategy()) {
+        let optimized = optimize(&plan);
+        for choice in BackendChoice::ALL {
+            let plain = Engine::new(choice).execute(&plan).expect("unoptimized run");
+            let opt = Engine::new(choice).execute(&optimized).expect("optimized run");
+            prop_assert!(
+                opt.bag_eq(&plain),
+                "{choice}:\noptimized:\n{opt}\nunoptimized:\n{plain}\nrewrites: {:?}",
+                optimized.opt().map(|o| &o.rules)
+            );
+        }
+    }
+
+    /// Zone-map batch skipping is invisible in the output: pruned
+    /// pipelined execution is bag-equal to pruning-disabled execution on
+    /// every backend and batch size.
+    #[test]
+    fn pruned_equals_unpruned_on_all_backends(
+        plan in plan_strategy(),
+        batch_size in prop_oneof![Just(1usize), Just(2), Just(7), Just(1024)],
+    ) {
+        for choice in BackendChoice::ALL {
+            let unpruned = Engine::new(choice)
+                .with_exec_mode(ExecMode::Pipelined)
+                .with_batch_size(batch_size)
+                .with_pruning(false)
+                .execute(&plan)
+                .expect("unpruned run");
+            let pruned = Engine::new(choice)
+                .with_exec_mode(ExecMode::Pipelined)
+                .with_batch_size(batch_size)
+                .execute(&plan)
+                .expect("pruned run");
+            prop_assert!(
+                pruned.bag_eq(&unpruned),
+                "{choice} batch {batch_size}:\npruned:\n{pruned}\nunpruned:\n{unpruned}"
+            );
+        }
+    }
+}
+
+/// Pushing a select below a window is only sound when the frame is the
+/// point frame `[0,0]` or the predicate is a partition-local filter on
+/// certain columns. A trailing-frame window with a plain column predicate
+/// must be refused — and the same shape with a point frame must fire.
+#[test]
+fn frame_unsafe_window_pushdown_is_refused() {
+    let rel = AuRelation::from_rows(
+        Schema::new(["a", "b"]),
+        (0..8).map(|i| {
+            (
+                AuTuple::new([RangeValue::certain(i), RangeValue::certain(10 - i)]),
+                Mult3::ONE,
+            )
+        }),
+    );
+    let windowed = |lower: i64| {
+        Query::scan(rel.clone())
+            .window(
+                WindowSpec::rows(lower, 0)
+                    .order_by(["a"])
+                    .aggregate(Agg::sum("b"))
+                    .output("w"),
+            )
+            .select(RangeExpr::col(0).lt(RangeExpr::lit(5)))
+            .build()
+            .unwrap()
+    };
+
+    // Frame [-1,0]: the select would change which neighbors the window
+    // sees. Refused — the plan comes back without rewrites.
+    let unsafe_plan = windowed(-1);
+    let optimized = optimize(&unsafe_plan);
+    assert!(
+        optimized.opt().is_none(),
+        "pushdown below a trailing-frame window must be refused: {:?}",
+        optimized.opt().map(|o| &o.rules)
+    );
+
+    // Frame [0,0]: each row's window is itself; filtering first is sound,
+    // and the rule fires.
+    let safe_plan = windowed(0);
+    let optimized = optimize(&safe_plan);
+    let rules = &optimized.opt().expect("point-frame pushdown fires").rules;
+    assert!(rules
+        .iter()
+        .any(|r| r.rule == "pushdown-select-below-window"));
+    for choice in BackendChoice::ALL {
+        let plain = Engine::new(choice).execute(&safe_plan).unwrap();
+        let opt = Engine::new(choice).execute(&optimized).unwrap();
+        assert!(opt.bag_eq(&plain), "{choice}");
     }
 }
